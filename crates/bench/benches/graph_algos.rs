@@ -1,0 +1,49 @@
+//! Criterion benchmarks for the graph substrate: the shortest-path
+//! primitives every layer above leans on.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctopo_graph::kshortest::{ecmp_shortest_paths, yen_k_shortest};
+use dctopo_graph::paths::{bfs_distances, dijkstra, path_stats};
+use dctopo_topology::Topology;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rrg(n: usize, r: usize) -> dctopo_graph::Graph {
+    let mut rng = StdRng::seed_from_u64(6);
+    Topology::random_regular(n, r + 2, r, &mut rng).expect("rrg").graph
+}
+
+fn bench_bfs_and_apsp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("paths");
+    for &n in &[100usize, 500] {
+        let g = rrg(n, 8);
+        group.bench_with_input(BenchmarkId::new("bfs", n), &n, |b, _| {
+            b.iter(|| bfs_distances(&g, 0))
+        });
+        group.bench_with_input(BenchmarkId::new("apsp_stats", n), &n, |b, _| {
+            b.iter(|| path_stats(&g).expect("connected"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dijkstra(c: &mut Criterion) {
+    let g = rrg(500, 8);
+    let lens: Vec<f64> = (0..g.arc_count()).map(|a| 1.0 + (a % 7) as f64 * 0.1).collect();
+    c.bench_function("dijkstra_500", |b| b.iter(|| dijkstra(&g, 0, &lens)));
+}
+
+fn bench_kshortest(c: &mut Criterion) {
+    let g = rrg(100, 8);
+    let mut group = c.benchmark_group("kshortest");
+    group.bench_function("yen_k8", |b| {
+        b.iter(|| yen_k_shortest(&g, 0, 50, 8).expect("paths"))
+    });
+    group.bench_function("ecmp_limit8", |b| {
+        b.iter(|| ecmp_shortest_paths(&g, 0, 50, 8).expect("paths"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_bfs_and_apsp, bench_dijkstra, bench_kshortest);
+criterion_main!(benches);

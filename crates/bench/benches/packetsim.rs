@@ -1,0 +1,32 @@
+//! Criterion benchmark for the discrete-event packet simulator
+//! (events per second of simulated MPTCP traffic).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dctopo_core::packet::{build_packet_scenario, PacketParams};
+use dctopo_packetsim::{simulate, SimConfig};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_packetsim(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(7);
+    let topo = Topology::random_regular(16, 8, 6, &mut rng).expect("rrg");
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    let scenario = build_packet_scenario(
+        &topo,
+        &tm,
+        &PacketParams { subflows: 4, ..PacketParams::default() },
+    )
+    .expect("scenario");
+    let cfg = SimConfig { duration: 300.0, warmup: 100.0, ..SimConfig::default() };
+    let mut group = c.benchmark_group("packetsim");
+    group.sample_size(10);
+    group.bench_function("rrg16_32flows_4subflows", |b| {
+        b.iter(|| simulate(&scenario.net, &scenario.flows, &cfg).expect("sim").delivered)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_packetsim);
+criterion_main!(benches);

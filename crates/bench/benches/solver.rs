@@ -1,0 +1,68 @@
+//! Criterion benchmarks for the max-concurrent-flow engine: the inner
+//! loop of every experiment in the paper.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctopo_core::solve_throughput;
+use dctopo_flow::{exact::exact_max_concurrent_flow, max_concurrent_flow, Commodity, FlowOptions};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_fptas_rrg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fptas_rrg_permutation");
+    group.sample_size(10);
+    for &n in &[20usize, 40, 80] {
+        let mut rng = StdRng::seed_from_u64(1);
+        let topo = Topology::random_regular(n, 15, 10, &mut rng).expect("rrg");
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                solve_throughput(&topo, &tm, &FlowOptions::fast()).expect("solve").throughput
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_fptas_epsilon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fptas_epsilon");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(2);
+    let topo = Topology::random_regular(40, 15, 10, &mut rng).expect("rrg");
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    for &(name, opts) in
+        &[("fast", FlowOptions::fast()), ("default", FlowOptions::default())]
+    {
+        group.bench_function(name, |b| {
+            b.iter(|| solve_throughput(&topo, &tm, &opts).expect("solve").throughput)
+        });
+    }
+    group.finish();
+}
+
+fn bench_exact_lp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exact_lp");
+    group.sample_size(10);
+    // small ring + chords, 3 commodities: the cross-validation workload
+    let mut g = dctopo_graph::Graph::new(7);
+    for v in 0..7 {
+        g.add_unit_edge(v, (v + 1) % 7).unwrap();
+    }
+    g.add_unit_edge(0, 3).unwrap();
+    g.add_unit_edge(2, 5).unwrap();
+    let cs =
+        [Commodity::unit(0, 4), Commodity::unit(1, 5), Commodity::unit(6, 2)];
+    group.bench_function("ring7_3commodities", |b| {
+        b.iter(|| exact_max_concurrent_flow(&g, &cs).expect("lp"))
+    });
+    group.bench_function("fptas_same_instance", |b| {
+        b.iter(|| {
+            max_concurrent_flow(&g, &cs, &FlowOptions::default()).expect("fptas").throughput
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fptas_rrg, bench_fptas_epsilon, bench_exact_lp);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Criterion benchmarks for topology construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctopo_topology::hetero::{two_cluster, CrossSpec};
+use dctopo_topology::vl2::{rewired_vl2, Vl2Params};
+use dctopo_topology::{ClusterSpec, Topology};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_rrg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("random_regular");
+    for &n in &[40usize, 200, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(3);
+            b.iter(|| Topology::random_regular(n, 15, 10, &mut rng).expect("rrg"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_two_cluster(c: &mut Criterion) {
+    let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: 15 };
+    let small = ClusterSpec { count: 40, ports: 10, servers_per_switch: 5 };
+    let mut group = c.benchmark_group("two_cluster");
+    for &ratio in &[0.3f64, 1.0] {
+        group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
+            let mut rng = StdRng::seed_from_u64(4);
+            b.iter(|| two_cluster(large, small, CrossSpec::Ratio(ratio), &mut rng).expect("tc"))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rewired_vl2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rewired_vl2");
+    for &(d_a, d_i) in &[(8usize, 8usize), (16, 16)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{d_a}x{d_i}")),
+            &(d_a, d_i),
+            |b, &(d_a, d_i)| {
+                let mut rng = StdRng::seed_from_u64(5);
+                b.iter(|| {
+                    rewired_vl2(Vl2Params { d_a, d_i, tors: None }, &mut rng).expect("vl2")
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rrg, bench_two_cluster, bench_rewired_vl2);
+criterion_main!(benches);

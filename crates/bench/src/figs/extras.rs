@@ -1,0 +1,135 @@
+//! Ablations beyond the paper's figures, backing claims its text makes:
+//!
+//! * `extra-hypercube` — "random graphs have roughly 30% higher
+//!   throughput than hypercubes at the scale of 512 nodes" (§1).
+//! * `extra-fattree` — Jellyfish's "roughly 25% greater throughput than
+//!   a fat-tree built with the same switch equipment" (§2).
+//! * `extra-bisection` — "bisection bandwidth is not a good measure of
+//!   performance" (§6): the cut shrinks long before throughput drops.
+
+use dctopo_core::experiment::Runner;
+use dctopo_core::solve_throughput;
+use dctopo_core::vl2::CoreError;
+use dctopo_graph::components::cut_capacity;
+use dctopo_topology::classic::{fat_tree, hypercube};
+use dctopo_topology::hetero::{heterogeneous_fleet, two_cluster, CrossSpec};
+use dctopo_topology::{ClusterSpec, ServerPlacement, Topology};
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figs::fig06_07::ratio_grid;
+use crate::{columns, header, row, FigConfig};
+
+/// Hypercube vs RRG with identical equipment: compare the *network*
+/// concurrent-flow value λ (the NIC cap would saturate both at 1 on
+/// these lightly loaded configurations and hide the difference).
+pub fn run_hypercube(cfg: &FigConfig) {
+    header("Extra: hypercube vs RRG with the same equipment (permutation traffic)");
+    header("paper §1: RRG ~30% higher throughput at 512 nodes, growing with scale");
+    columns(&["dim", "nodes", "hypercube_lambda", "rrg_lambda", "rrg/hypercube"]);
+    let dims: Vec<u32> = if cfg.full { vec![5, 6, 7, 8, 9] } else { vec![5, 6, 7] };
+    let spw = 1usize; // one server per switch
+    for &dim in &dims {
+        let n = 1usize << dim;
+        let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+        let cube = hypercube(dim, spw).expect("hypercube");
+        let cube_t = runner
+            .run(|seed| -> Result<f64, CoreError> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tm = TrafficMatrix::random_permutation(cube.server_count(), &mut rng);
+                Ok(solve_throughput(&cube, &tm, &cfg.opts)?.network_lambda)
+            })
+            .expect("cube solve");
+        let rrg_t = runner
+            .run(|seed| -> Result<f64, CoreError> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let topo =
+                    Topology::random_regular(n, dim as usize + spw, dim as usize, &mut rng)?;
+                let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+                Ok(solve_throughput(&topo, &tm, &cfg.opts)?.network_lambda)
+            })
+            .expect("rrg solve");
+        row(&[f64::from(dim), n as f64, cube_t.mean, rrg_t.mean, rrg_t.mean / cube_t.mean]);
+    }
+}
+
+/// Fat-tree vs random graph: same switches (count and ports), same
+/// number of servers (placed proportionally on the random graph), same
+/// permutation workload — compare the network λ each fabric sustains.
+pub fn run_fattree(cfg: &FigConfig) {
+    header("Extra: fat-tree vs random graph, same switch equipment and servers");
+    header("paper §2 (Jellyfish): ~25% higher throughput for the random graph");
+    columns(&["k", "switches", "servers", "fattree_lambda", "rrg_lambda", "rrg/fattree"]);
+    let ks: Vec<usize> = if cfg.full { vec![4, 6, 8, 10] } else { vec![4, 6, 8] };
+    for &k in &ks {
+        let ft = fat_tree(k).expect("fat tree");
+        let n_switches = ft.switch_count();
+        let servers = ft.server_count();
+        let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+        let ft_t = runner
+            .run(|seed| -> Result<f64, CoreError> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let tm = TrafficMatrix::random_permutation(servers, &mut rng);
+                Ok(solve_throughput(&ft, &tm, &cfg.opts)?.network_lambda)
+            })
+            .expect("ft solve");
+        let rrg_t = runner
+            .run(|seed| -> Result<f64, CoreError> {
+                let mut rng = StdRng::seed_from_u64(seed);
+                // same fleet: n_switches switches with k ports; servers
+                // spread proportionally (= as evenly as integers allow),
+                // every remaining port wired uniformly at random
+                let topo = heterogeneous_fleet(
+                    &vec![k; n_switches],
+                    vec![0; n_switches],
+                    vec!["switch".into()],
+                    servers,
+                    &ServerPlacement::Proportional,
+                    &mut rng,
+                )?;
+                let tm = TrafficMatrix::random_permutation(servers, &mut rng);
+                Ok(solve_throughput(&topo, &tm, &cfg.opts)?.network_lambda)
+            })
+            .expect("rrg solve");
+        row(&[
+            k as f64,
+            n_switches as f64,
+            servers as f64,
+            ft_t.mean,
+            rrg_t.mean,
+            rrg_t.mean / ft_t.mean,
+        ]);
+    }
+}
+
+/// Bisection bandwidth vs throughput across the cross-cluster sweep.
+pub fn run_bisection(cfg: &FigConfig) {
+    header("Extra: cut capacity falls long before throughput does (§6)");
+    columns(&["x_ratio", "throughput_norm", "cut_norm"]);
+    let large = ClusterSpec { count: 20, ports: 20, servers_per_switch: 8 };
+    let small = ClusterSpec { count: 20, ports: 20, servers_per_switch: 8 };
+    let grid = ratio_grid(large, small, cfg.full);
+    let mut series = Vec::new();
+    for &ratio in &grid {
+        let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+        let mut ts = Vec::new();
+        let mut cuts = Vec::new();
+        for &seed in &runner.seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = two_cluster(large, small, CrossSpec::Ratio(ratio), &mut rng)
+                .expect("build");
+            let in_large: Vec<bool> = (0..40).map(|v| v < 20).collect();
+            cuts.push(cut_capacity(&topo.graph, &in_large));
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+            ts.push(solve_throughput(&topo, &tm, &cfg.opts).expect("solve").throughput);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        series.push((ratio, mean(&ts), mean(&cuts)));
+    }
+    let t_max = series.iter().map(|&(_, t, _)| t).fold(0.0f64, f64::max);
+    let c_max = series.iter().map(|&(_, _, c)| c).fold(0.0f64, f64::max);
+    for (ratio, t, c) in series {
+        row(&[ratio, t / t_max, c / c_max]);
+    }
+}

@@ -1,0 +1,122 @@
+//! Figures 1 and 2: random regular graphs versus the bounds.
+//!
+//! * Fig. 1 — fixed `N = 40` switches, sweeping network degree `r`:
+//!   (a) throughput as a ratio of the Theorem-1 upper bound for
+//!   all-to-all and permutation (5 and 10 servers/switch) traffic;
+//!   (b) observed ASPL versus the Cerf et al. lower bound.
+//! * Fig. 2 — fixed degree `r = 10`, sweeping network size `N`.
+//!
+//! The paper's observation: both ratios approach 1, i.e. random graphs
+//! are near-optimal (within a few percent at a few thousand servers).
+
+use dctopo_bounds::{aspl_lower_bound, throughput_upper_bound};
+use dctopo_core::experiment::{Runner, Stats};
+use dctopo_core::solve_throughput;
+use dctopo_core::vl2::CoreError;
+use dctopo_graph::paths::path_stats;
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{columns, header, row, FigConfig};
+
+/// Throughput ratio to the Theorem-1 bound for `RRG(n, r+spw, r)` under
+/// permutation traffic with `spw` servers per switch.
+fn perm_ratio(cfg: &FigConfig, n: usize, r: usize, spw: usize) -> Result<Stats, CoreError> {
+    let flows = n * spw;
+    let bound = throughput_upper_bound(n, r, flows);
+    let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+    runner.run(|seed| -> Result<f64, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_regular(n, r + spw, r, &mut rng)?;
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        let res = solve_throughput(&topo, &tm, &cfg.opts)?;
+        // Theorem 1 bounds the *network* concurrent flow: the paper's
+        // model here has no server NICs, so compare the uncapped λ
+        Ok(res.network_lambda / bound)
+    })
+}
+
+/// Throughput ratio to the bound for all-to-all traffic with one server
+/// per switch (`f = n(n−1)` unit flows).
+fn a2a_ratio(cfg: &FigConfig, n: usize, r: usize) -> Result<Stats, CoreError> {
+    let flows = n * (n - 1);
+    let bound = throughput_upper_bound(n, r, flows);
+    let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+    runner.run(|seed| -> Result<f64, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_regular(n, r + 1, r, &mut rng)?;
+        let tm = TrafficMatrix::all_to_all(n);
+        let res = solve_throughput(&topo, &tm, &cfg.opts)?;
+        Ok(res.network_lambda / bound)
+    })
+}
+
+/// Observed mean ASPL of `RRG(n, ·, r)`.
+fn observed_aspl(cfg: &FigConfig, n: usize, r: usize) -> Result<Stats, CoreError> {
+    let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+    runner.run(|seed| -> Result<f64, CoreError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_regular(n, r + 1, r, &mut rng)?;
+        Ok(path_stats(&topo.graph)?.aspl)
+    })
+}
+
+/// Fig. 1: N = 40, degree sweep.
+pub fn run_fig1(cfg: &FigConfig) {
+    let n = 40;
+    let degrees: Vec<usize> = if cfg.full {
+        (3..=33).step_by(2).collect()
+    } else {
+        vec![3, 5, 7, 9, 11, 13, 17, 21, 25, 29, 33]
+    };
+    header("Fig 1(a): throughput / Theorem-1 bound, N=40, degree sweep");
+    header("Fig 1(b): ASPL vs Cerf lower bound");
+    columns(&[
+        "degree",
+        "a2a_ratio",
+        "perm10_ratio",
+        "perm5_ratio",
+        "aspl_observed",
+        "aspl_bound",
+    ]);
+    for &r in &degrees {
+        let a2a = a2a_ratio(cfg, n, r).expect("a2a solve");
+        let p10 = perm_ratio(cfg, n, r, 10).expect("perm10 solve");
+        let p5 = perm_ratio(cfg, n, r, 5).expect("perm5 solve");
+        let aspl = observed_aspl(cfg, n, r).expect("aspl");
+        let bound = aspl_lower_bound(n, r).expect("bound");
+        row(&[r as f64, a2a.mean, p10.mean, p5.mean, aspl.mean, bound]);
+    }
+}
+
+/// Fig. 2: degree 10, size sweep.
+pub fn run_fig2(cfg: &FigConfig) {
+    let r = 10;
+    let sizes: Vec<usize> = if cfg.full {
+        vec![15, 20, 30, 40, 60, 80, 100, 120, 140, 160, 180, 200]
+    } else {
+        vec![15, 20, 30, 40, 60, 80, 120, 160, 200]
+    };
+    header("Fig 2(a): throughput / Theorem-1 bound, degree 10, size sweep");
+    header("Fig 2(b): ASPL vs Cerf lower bound");
+    header("a2a runs only at N <= 40 (flow count grows as N^2), as in the paper");
+    columns(&[
+        "size",
+        "a2a_ratio",
+        "perm10_ratio",
+        "perm5_ratio",
+        "aspl_observed",
+        "aspl_bound",
+    ]);
+    for &n in &sizes {
+        let a2a =
+            if n <= 40 { a2a_ratio(cfg, n, r).expect("a2a").mean } else { f64::NAN };
+        let p10 = perm_ratio(cfg, n, r, 10).expect("perm10");
+        let p5 = perm_ratio(cfg, n, r, 5).expect("perm5");
+        let aspl = observed_aspl(cfg, n, r).expect("aspl");
+        let bound = aspl_lower_bound(n, r).expect("bound");
+        row(&[n as f64, a2a, p10.mean, p5.mean, aspl.mean, bound]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 8: heterogeneous line-speeds (§5.2).
+//!
+//! Large switches carry extra high line-speed trunks that connect only
+//! among themselves. (a) sweeps server splits × cross connectivity —
+//! multiple configurations tie; (b) sweeps the trunk line-speed;
+//! (c) sweeps the trunk count. Higher trunk capacity helps, but its
+//! impact vanishes when cross-cluster connectivity is the bottleneck.
+
+use dctopo_core::vl2::CoreError;
+use dctopo_topology::hetero::{two_cluster_linespeed, CrossSpec};
+use dctopo_topology::ClusterSpec;
+
+use crate::figs::fig06_07::ratio_grid;
+use crate::figs::mean_perm_throughput;
+use crate::{columns, header, row_keyed, FigConfig};
+
+fn sweep(
+    cfg: &FigConfig,
+    label: &str,
+    large: ClusterSpec,
+    small: ClusterSpec,
+    high_links: usize,
+    high_speed: f64,
+) -> Result<(), CoreError> {
+    for ratio in ratio_grid(large, small, cfg.full) {
+        let stats = mean_perm_throughput(cfg, |rng| {
+            two_cluster_linespeed(
+                large,
+                small,
+                CrossSpec::Ratio(ratio),
+                high_links,
+                high_speed,
+                rng,
+            )
+        })?;
+        row_keyed(label, &[ratio, stats.mean, stats.std]);
+    }
+    Ok(())
+}
+
+/// Fig. 8(a)–(c).
+pub fn run(cfg: &FigConfig) {
+    header("Fig 8: heterogeneous line-speeds — 20 large (40 low ports), 20 small (15 low ports)");
+    header("large switches carry extra high-speed trunks (paired among large switches only)");
+    columns(&["curve", "x_ratio", "throughput", "std"]);
+    let large = |servers| ClusterSpec { count: 20, ports: 40, servers_per_switch: servers };
+    let small = |servers| ClusterSpec { count: 20, ports: 15, servers_per_switch: servers };
+    // (a) server splits, 3 trunks at 10x (total servers fixed at 860)
+    for &(h, l) in &[(36usize, 7usize), (35, 8), (34, 9), (33, 10), (32, 11)] {
+        sweep(cfg, &format!("a:{h}H,{l}L"), large(h), small(l), 3, 10.0).expect("fig8a");
+    }
+    // (b) trunk speed sweep at 6 trunks, servers fixed (34, 9)
+    for &speed in &[2.0, 4.0, 8.0] {
+        sweep(cfg, &format!("b:speed{speed}"), large(34), small(9), 6, speed).expect("fig8b");
+    }
+    // (c) trunk count sweep at speed 4, servers fixed (34, 9)
+    for &links in &[3usize, 6, 9] {
+        sweep(cfg, &format!("c:{links}links"), large(34), small(9), links, 4.0).expect("fig8c");
+    }
+}

@@ -1,0 +1,214 @@
+//! Figures 10 and 11: validating the Eqn-1 cut/path throughput bound.
+//!
+//! * Fig. 10 — the analytic bound versus observed throughput across the
+//!   cross-connectivity sweep: tight for uniform line-speeds (a), looser
+//!   with mixed line-speeds (b).
+//! * Fig. 11 — eighteen two-cluster configurations; for each, the C̄*
+//!   threshold computed from the observed peak throughput marks where
+//!   throughput *must* fall below its peak. We verify the claim and
+//!   print both the series and the threshold.
+
+use dctopo_bounds::cbar_star;
+use dctopo_core::experiment::Runner;
+use dctopo_core::solve_throughput;
+use dctopo_core::vl2::CoreError;
+use dctopo_graph::components::cut_capacity;
+use dctopo_graph::paths::bfs_distances;
+use dctopo_graph::GraphError;
+use dctopo_topology::hetero::{two_cluster, two_cluster_linespeed, CrossSpec};
+use dctopo_topology::{ClusterSpec, Topology};
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figs::fig06_07::ratio_grid;
+use crate::{columns, header, row_keyed, FigConfig};
+
+/// The ⟨D⟩ that Theorem 1 actually needs under permutation traffic: the
+/// *expected shortest-path distance of a random server pair*, which
+/// weights each switch pair by its server counts (same-switch pairs
+/// contribute distance 0). The unweighted switch ASPL overestimates ⟨D⟩
+/// when big, well-connected switches host more servers, which would make
+/// the "bound" invalid.
+fn server_weighted_aspl(topo: &Topology) -> f64 {
+    let mut num = 0.0f64;
+    let mut den = 0.0f64;
+    for u in 0..topo.switch_count() {
+        let su = topo.servers_at[u] as f64;
+        if su == 0.0 {
+            continue;
+        }
+        let dist = bfs_distances(&topo.graph, u);
+        for v in 0..topo.switch_count() {
+            let sv = topo.servers_at[v] as f64;
+            if sv == 0.0 {
+                continue;
+            }
+            let pairs = if u == v { su * (su - 1.0) } else { su * sv };
+            num += pairs * f64::from(dist[v]);
+            den += pairs;
+        }
+    }
+    num / den
+}
+
+/// Mean (observed throughput, Eqn-1 bound) at one sweep point.
+fn observe<B>(
+    cfg: &FigConfig,
+    large_count: usize,
+    build: B,
+) -> Result<(f64, f64), CoreError>
+where
+    B: Fn(&mut StdRng) -> Result<Topology, GraphError> + Sync,
+{
+    let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+    let mut ts = Vec::new();
+    let mut bs = Vec::new();
+    for &seed in &runner.seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = build(&mut rng)?;
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        let res = solve_throughput(&topo, &tm, &cfg.opts)?;
+        ts.push(res.throughput);
+        // Eqn-1 ingredients from this concrete instance. The paper
+        // evaluates the cut term at the *expected* cross-flow count and
+        // notes the additive error; at our reduced scale that error is
+        // visible, so we use the realised cross-flow count of the
+        // sampled permutation, which is the exact form of the bound.
+        let in_large: Vec<bool> = (0..topo.switch_count()).map(|v| v < large_count).collect();
+        let c_total = topo.graph.total_capacity();
+        let c_bar = cut_capacity(&topo.graph, &in_large);
+        let aspl = server_weighted_aspl(&topo);
+        let s2sw = topo.server_to_switch();
+        let cross_flows = tm
+            .pairs()
+            .iter()
+            .filter(|&&(a, b)| in_large[s2sw[a]] != in_large[s2sw[b]])
+            .count()
+            .max(1);
+        let path_bound = c_total / (aspl * tm.flow_count() as f64);
+        let cut_bound = c_bar / cross_flows as f64;
+        bs.push(path_bound.min(cut_bound));
+    }
+    let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+    Ok((mean(&ts), mean(&bs)))
+}
+
+/// Fig. 10(a), (b).
+pub fn run_fig10(cfg: &FigConfig) {
+    header("Fig 10: Eqn-1 bound vs observed throughput");
+    columns(&["curve", "x_ratio", "observed", "bound"]);
+    // (a) two uniform line-speed cases
+    let cases_uniform: [(&str, ClusterSpec, ClusterSpec); 2] = [
+        (
+            "a:caseA",
+            ClusterSpec { count: 20, ports: 30, servers_per_switch: 15 },
+            ClusterSpec { count: 40, ports: 10, servers_per_switch: 5 },
+        ),
+        (
+            "a:caseB",
+            ClusterSpec { count: 20, ports: 30, servers_per_switch: 9 },
+            ClusterSpec { count: 30, ports: 20, servers_per_switch: 6 },
+        ),
+    ];
+    for (label, large, small) in cases_uniform {
+        for ratio in ratio_grid(large, small, cfg.full) {
+            let (obs, bound) = observe(cfg, large.count, |rng| {
+                two_cluster(large, small, CrossSpec::Ratio(ratio), rng)
+            })
+            .expect("fig10a");
+            row_keyed(label, &[ratio, obs, bound]);
+        }
+    }
+    // (b) mixed line-speeds: same base, extra 10x/4x trunks
+    let large = ClusterSpec { count: 20, ports: 40, servers_per_switch: 34 };
+    let small = ClusterSpec { count: 20, ports: 15, servers_per_switch: 9 };
+    for (label, links, speed) in
+        [("b:caseA", 3usize, 10.0f64), ("b:caseB", 6, 4.0), ("b:caseC", 9, 2.0)]
+    {
+        for ratio in ratio_grid(large, small, cfg.full) {
+            let (obs, bound) = observe(cfg, large.count, |rng| {
+                two_cluster_linespeed(large, small, CrossSpec::Ratio(ratio), links, speed, rng)
+            })
+            .expect("fig10b");
+            row_keyed(label, &[ratio, obs, bound]);
+        }
+    }
+}
+
+/// Fig. 11: 18 configurations with the C̄* drop threshold.
+pub fn run_fig11(cfg: &FigConfig) {
+    header("Fig 11: C̄* threshold — below it throughput must be under its peak");
+    header("threshold_x = cross-ratio at which C̄ = C̄*(T_peak); verified = all points");
+    header("below threshold_x have throughput < peak");
+    columns(&["config", "threshold_x", "peak_T", "verified(1=yes)"]);
+    // 18 configs: 3 port pairs × 3 small-switch counts × 2 server loads
+    let port_pairs = [(30usize, 10usize), (30, 15), (30, 20)];
+    let small_counts = [20usize, 30, 40];
+    let loads = [1.0f64, 1.25];
+    let mut config_id = 0;
+    for &(pl, ps) in &port_pairs {
+        for &ns in &small_counts {
+            for &load in &loads {
+                config_id += 1;
+                // proportional servers scaled by the load factor
+                let s_l = ((pl as f64) * 0.4 * load).round() as usize;
+                let s_s = ((ps as f64) * 0.4 * load).round().max(1.0) as usize;
+                let large = ClusterSpec { count: 20, ports: pl, servers_per_switch: s_l };
+                let small = ClusterSpec { count: ns, ports: ps, servers_per_switch: s_s };
+                let name = format!("cfg{config_id}:{pl}/{ps}p,{ns}s,x{load}");
+                match threshold_check(cfg, &name, large, small) {
+                    Ok(()) => {}
+                    Err(e) => header(&format!("{name} failed: {e}")),
+                }
+            }
+        }
+    }
+}
+
+fn threshold_check(
+    cfg: &FigConfig,
+    name: &str,
+    large: ClusterSpec,
+    small: ClusterSpec,
+) -> Result<(), CoreError> {
+    let n1 = large.count * large.servers_per_switch;
+    let n2 = small.count * small.servers_per_switch;
+    let grid = ratio_grid(large, small, false);
+    let mut series: Vec<(f64, f64, f64)> = Vec::new(); // (ratio, T, C̄)
+    for &ratio in &grid {
+        let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+        let mut ts = Vec::new();
+        let mut cbars = Vec::new();
+        for &seed in &runner.seeds {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let topo = two_cluster(large, small, CrossSpec::Ratio(ratio), &mut rng)?;
+            let in_large: Vec<bool> =
+                (0..topo.switch_count()).map(|v| v < large.count).collect();
+            cbars.push(cut_capacity(&topo.graph, &in_large));
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+            ts.push(solve_throughput(&topo, &tm, &cfg.opts)?.throughput);
+        }
+        let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
+        series.push((ratio, mean(&ts), mean(&cbars)));
+    }
+    let peak = series.iter().map(|&(_, t, _)| t).fold(0.0f64, f64::max);
+    let cstar = cbar_star(peak, n1, n2);
+    // interpolate: the x-ratio where C̄ crosses C̄* (C̄ grows ~linearly in x)
+    let threshold_x = series
+        .windows(2)
+        .find(|w| w[0].2 < cstar && w[1].2 >= cstar)
+        .map(|w| {
+            let (x0, _, c0) = w[0];
+            let (x1, _, c1) = w[1];
+            x0 + (x1 - x0) * (cstar - c0) / (c1 - c0)
+        })
+        .unwrap_or(f64::NAN);
+    // claim: every point with C̄ < C̄* has throughput strictly below peak
+    let verified = series
+        .iter()
+        .filter(|&&(_, _, c)| c < cstar)
+        .all(|&(_, t, _)| t < peak * 0.999);
+    row_keyed(name, &[threshold_x, peak, if verified { 1.0 } else { 0.0 }]);
+    Ok(())
+}

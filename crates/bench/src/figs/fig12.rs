@@ -1,0 +1,149 @@
+//! Figure 12: improving VL2 (§7).
+//!
+//! (a) servers supported at full throughput by the rewired topology,
+//!     as a ratio over stock VL2, across aggregation/core degrees —
+//!     the paper's headline "as much as 43% more servers".
+//! (b) throughput of the rewired topology under x% chunky traffic.
+//! (c) the support ratio when full throughput is required under
+//!     all-to-all / permutation / 100% chunky traffic.
+
+use dctopo_core::vl2::{permutation_tm, SupportSearch};
+use dctopo_topology::vl2::{rewired_vl2, vl2, Vl2Params};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::figs::mean_throughput_with_tm;
+use crate::{columns, header, row_keyed, FigConfig};
+
+fn grids(cfg: &FigConfig) -> (Vec<usize>, Vec<usize>) {
+    if cfg.full {
+        ((6..=20).step_by(2).collect(), vec![16, 20, 24, 28])
+    } else {
+        (vec![6, 8, 10, 12], vec![16, 20])
+    }
+}
+
+fn search_for(cfg: &FigConfig) -> SupportSearch {
+    // Support decisions compare structured (stock) against random
+    // (rewired) fabrics, so the solver gap must be small relative to the
+    // effect size — always use the default profile here, whatever the
+    // sweep profile is.
+    let opts = dctopo_flow::FlowOptions::default();
+    SupportSearch {
+        opts,
+        tol: opts.target_gap + 0.01,
+        runs: cfg.effective_runs().min(3),
+        base_seed: cfg.seed,
+    }
+}
+
+/// Max ToRs supported at full throughput by stock VL2 and the rewired
+/// variant, under the given traffic.
+fn support_pair(
+    cfg: &FigConfig,
+    d_a: usize,
+    d_i: usize,
+    tm: &dyn Fn(&Topology, &mut StdRng) -> TrafficMatrix,
+) -> (usize, usize) {
+    let search = search_for(cfg);
+    let full = d_a * d_i / 4;
+    let stock_build =
+        |tors: usize, _seed: u64| vl2(Vl2Params { d_a, d_i, tors: Some(tors) });
+    let rewired_build = |tors: usize, seed: u64| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
+    };
+    let stock = search
+        .max_tors(full.div_ceil(4), full, &stock_build, tm)
+        .expect("stock search")
+        .unwrap_or(0);
+    let rewired = search
+        .max_tors(full.div_ceil(4), full * 2, &rewired_build, tm)
+        .expect("rewired search")
+        .unwrap_or(0);
+    (stock, rewired)
+}
+
+/// Fig. 12(a): permutation-traffic support ratio.
+pub fn run_fig12a(cfg: &FigConfig) {
+    header("Fig 12(a): ToRs (= servers) at full throughput, rewired / stock VL2");
+    columns(&["curve", "d_a", "ratio", "stock_tors", "rewired_tors"]);
+    let (das, dis) = grids(cfg);
+    for &d_i in &dis {
+        for &d_a in &das {
+            let (stock, rewired) = support_pair(cfg, d_a, d_i, &permutation_tm);
+            let ratio =
+                if stock > 0 { rewired as f64 / stock as f64 } else { f64::NAN };
+            row_keyed(
+                &format!("DI={d_i}"),
+                &[d_a as f64, ratio, stock as f64, rewired as f64],
+            );
+        }
+    }
+}
+
+/// Fig. 12(b): chunky traffic on the rewired topology sized at its
+/// permutation-supported ToR count.
+pub fn run_fig12b(cfg: &FigConfig) {
+    header("Fig 12(b): throughput under x% chunky traffic (rewired VL2 at its");
+    header("permutation-supported size)");
+    columns(&["curve", "d_a", "throughput", "std"]);
+    let (das, dis) = grids(cfg);
+    let d_i = *dis.last().expect("non-empty");
+    for &d_a in &das {
+        let (_, rewired_tors) = support_pair(cfg, d_a, d_i, &permutation_tm);
+        if rewired_tors == 0 {
+            continue;
+        }
+        for &pct in &[20.0f64, 60.0, 100.0] {
+            let stats = mean_throughput_with_tm(
+                cfg,
+                |rng| rewired_vl2(Vl2Params { d_a, d_i, tors: Some(rewired_tors) }, rng),
+                |topo, rng| {
+                    let groups: Vec<Vec<usize>> = topo
+                        .server_groups()
+                        .into_iter()
+                        .filter(|g| !g.is_empty())
+                        .collect();
+                    TrafficMatrix::chunky(&groups, pct, rng)
+                },
+            )
+            .expect("fig12b solve");
+            row_keyed(&format!("{pct:.0}%chunky"), &[d_a as f64, stats.mean, stats.std]);
+        }
+    }
+}
+
+/// Fig. 12(c): support ratio under all-to-all / permutation / 100% chunky.
+pub fn run_fig12c(cfg: &FigConfig) {
+    header("Fig 12(c): support ratio when full throughput is required under");
+    header("each traffic pattern (full = every flow at its NIC-fair rate)");
+    columns(&["curve", "d_a", "ratio", "stock_tors", "rewired_tors"]);
+    let (das, dis) = grids(cfg);
+    let d_i = dis[0];
+    let chunky_tm = |topo: &Topology, rng: &mut StdRng| {
+        let groups: Vec<Vec<usize>> =
+            topo.server_groups().into_iter().filter(|g| !g.is_empty()).collect();
+        TrafficMatrix::chunky(&groups, 100.0, rng)
+    };
+    let a2a_tm = |topo: &Topology, _rng: &mut StdRng| {
+        TrafficMatrix::all_to_all(topo.server_count())
+    };
+    let patterns: [(&str, &dyn Fn(&Topology, &mut StdRng) -> TrafficMatrix); 3] = [
+        ("all-to-all", &a2a_tm),
+        ("permutation", &permutation_tm),
+        ("100%chunky", &chunky_tm),
+    ];
+    // all-to-all is quadratic in servers: restrict to the smaller degrees
+    for (name, tm) in patterns {
+        let degree_cap = if name == "all-to-all" && !cfg.full { 10 } else { usize::MAX };
+        for &d_a in das.iter().filter(|&&d| d <= degree_cap) {
+            let (stock, rewired) = support_pair(cfg, d_a, d_i, tm);
+            let ratio =
+                if stock > 0 { rewired as f64 / stock as f64 } else { f64::NAN };
+            row_keyed(name, &[d_a as f64, ratio, stock as f64, rewired as f64]);
+        }
+    }
+}

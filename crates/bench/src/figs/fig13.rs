@@ -1,0 +1,50 @@
+//! Figure 13: flow-level versus packet-level throughput (§8.2).
+//!
+//! The paper runs MPTCP (8 subflows, shortest paths) in htsim over the
+//! rewired VL2-like topology, deliberately oversubscribed so the flow
+//! value is close to but below 1, and finds the packet level within a
+//! few percent of the flow level. We do the same with our discrete-event
+//! simulator.
+
+use dctopo_core::packet::{build_packet_scenario, PacketParams};
+use dctopo_core::solve_throughput;
+use dctopo_packetsim::{simulate, SimConfig};
+use dctopo_topology::vl2::{rewired_vl2, Vl2Params};
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{columns, header, row, FigConfig};
+
+/// Fig. 13.
+pub fn run(cfg: &FigConfig) {
+    header("Fig 13: flow-level vs packet-level (MPTCP-like, 8 subflows) throughput");
+    header("topologies oversubscribed ~25% so the flow value is < 1");
+    columns(&["d_a", "flow_level", "packet_mean", "packet_min", "pkt/flow"]);
+    let (das, d_i) = if cfg.full {
+        (vec![6usize, 10, 14, 18], 16usize)
+    } else {
+        (vec![4usize, 6, 8], 8usize)
+    };
+    for &d_a in &das {
+        let tors = ((d_a * d_i / 4) as f64 * 1.25).round() as usize;
+        let mut rng = StdRng::seed_from_u64(cfg.seed ^ d_a as u64);
+        let topo = rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
+            .expect("rewired build");
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        let flow = solve_throughput(&topo, &tm, &cfg.opts).expect("flow solve");
+        let flow_t = flow.throughput.min(1.0);
+
+        let scenario = build_packet_scenario(&topo, &tm, &PacketParams::default())
+            .expect("packet scenario");
+        let sim_cfg = SimConfig {
+            duration: if cfg.full { 2000.0 } else { 1000.0 },
+            warmup: if cfg.full { 500.0 } else { 250.0 },
+            ..SimConfig::default()
+        };
+        let res = simulate(&scenario.net, &scenario.flows, &sim_cfg).expect("packet sim");
+        let pkt_mean = res.mean_goodput();
+        let pkt_min = res.min_goodput();
+        row(&[d_a as f64, flow_t, pkt_mean, pkt_min, pkt_mean / flow_t]);
+    }
+}

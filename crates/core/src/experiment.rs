@@ -1,0 +1,170 @@
+//! Seeded, multi-threaded experiment running.
+//!
+//! The paper averages most data points over 20 runs; [`Runner`] executes
+//! one closure per seed on a crossbeam scoped thread pool and aggregates
+//! mean / standard deviation / extremes. Seeds make every figure
+//! regenerable bit-for-bit.
+
+use crossbeam::thread;
+
+/// Summary statistics over per-seed measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stats {
+    /// Sample mean.
+    pub mean: f64,
+    /// Sample standard deviation (n−1 denominator; 0 for n = 1).
+    pub std: f64,
+    /// Minimum sample.
+    pub min: f64,
+    /// Maximum sample.
+    pub max: f64,
+    /// Number of samples.
+    pub n: usize,
+}
+
+impl Stats {
+    /// Compute from raw samples. Panics on an empty slice.
+    pub fn from_samples(xs: &[f64]) -> Stats {
+        assert!(!xs.is_empty(), "no samples");
+        let n = xs.len();
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let var = if n > 1 {
+            xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (n - 1) as f64
+        } else {
+            0.0
+        };
+        Stats {
+            mean,
+            std: var.sqrt(),
+            min: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            n,
+        }
+    }
+
+    /// Relative standard deviation `std / mean` (0 when mean is 0).
+    pub fn rel_std(&self) -> f64 {
+        if self.mean.abs() > 0.0 {
+            self.std / self.mean.abs()
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Experiment runner: a fixed seed list and a thread count.
+#[derive(Debug, Clone)]
+pub struct Runner {
+    /// One run per seed.
+    pub seeds: Vec<u64>,
+    /// Worker threads (clamped to the seed count).
+    pub threads: usize,
+}
+
+/// Configuration alias used by the prelude.
+pub type ExperimentConfig = Runner;
+
+impl Runner {
+    /// `runs` seeds derived from `base_seed`, using all available
+    /// parallelism.
+    pub fn new(runs: usize, base_seed: u64) -> Self {
+        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        Runner {
+            seeds: (0..runs as u64).map(|i| base_seed.wrapping_add(i * 0x9E37_79B9)).collect(),
+            threads,
+        }
+    }
+
+    /// Run `f(seed)` for every seed (in parallel) and aggregate.
+    ///
+    /// The first error aborts the aggregation (remaining runs still
+    /// finish; their results are discarded).
+    pub fn run<F, E>(&self, f: F) -> Result<Stats, E>
+    where
+        F: Fn(u64) -> Result<f64, E> + Sync,
+        E: Send,
+    {
+        let samples = self.run_raw(f)?;
+        Ok(Stats::from_samples(&samples))
+    }
+
+    /// Like [`Runner::run`] but returning the raw per-seed samples in
+    /// seed order.
+    pub fn run_raw<F, E>(&self, f: F) -> Result<Vec<f64>, E>
+    where
+        F: Fn(u64) -> Result<f64, E> + Sync,
+        E: Send,
+    {
+        assert!(!self.seeds.is_empty(), "runner needs at least one seed");
+        let threads = self.threads.clamp(1, self.seeds.len());
+        if threads == 1 {
+            return self.seeds.iter().map(|&s| f(s)).collect();
+        }
+        let results: Vec<_> = thread::scope(|scope| {
+            let chunks: Vec<_> = self
+                .seeds
+                .chunks(self.seeds.len().div_ceil(threads))
+                .map(|chunk| {
+                    let f = &f;
+                    scope.spawn(move |_| {
+                        chunk.iter().map(|&s| f(s)).collect::<Vec<Result<f64, E>>>()
+                    })
+                })
+                .collect();
+            chunks.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+        })
+        .expect("thread scope failed");
+        results.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_basics() {
+        let s = Stats::from_samples(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.std - (5.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.n, 4);
+        let single = Stats::from_samples(&[7.0]);
+        assert_eq!(single.std, 0.0);
+    }
+
+    #[test]
+    fn runner_deterministic_seed_order() {
+        let r = Runner { seeds: vec![10, 20, 30, 40, 50], threads: 3 };
+        let raw = r.run_raw(|s| Ok::<f64, ()>(s as f64)).unwrap();
+        assert_eq!(raw, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
+    }
+
+    #[test]
+    fn runner_aggregates() {
+        let r = Runner::new(8, 99);
+        assert_eq!(r.seeds.len(), 8);
+        // all seeds distinct
+        let mut s = r.seeds.clone();
+        s.sort_unstable();
+        s.dedup();
+        assert_eq!(s.len(), 8);
+        let stats = r.run(|seed| Ok::<f64, ()>((seed % 7) as f64)).unwrap();
+        assert_eq!(stats.n, 8);
+        assert!(stats.min >= 0.0 && stats.max <= 6.0);
+    }
+
+    #[test]
+    fn runner_propagates_error() {
+        let r = Runner { seeds: vec![1, 2, 3], threads: 2 };
+        let out = r.run(|s| if s == 2 { Err("boom") } else { Ok(1.0) });
+        assert_eq!(out.unwrap_err(), "boom");
+    }
+
+    #[test]
+    fn rel_std_guard() {
+        let s = Stats::from_samples(&[0.0, 0.0]);
+        assert_eq!(s.rel_std(), 0.0);
+    }
+}

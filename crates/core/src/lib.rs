@@ -1,0 +1,25 @@
+//! # dctopo-core
+//!
+//! The experiment layer tying the workspace together:
+//!
+//! * [`solve::solve_throughput`] — the full pipeline from a
+//!   [`dctopo_topology::Topology`] plus a server-level
+//!   [`dctopo_traffic::TrafficMatrix`] to the paper's throughput number:
+//!   aggregate server flows into switch-level commodities, solve max
+//!   concurrent flow, and apply the server-NIC line-rate cap.
+//! * [`experiment`] — seeded, multi-threaded experiment runner with
+//!   mean/σ statistics (the paper averages most points over 20 runs).
+//! * [`vl2`] — the §7 case study: binary search for the number of ToRs a
+//!   topology family supports at full throughput, for stock VL2 and the
+//!   rewired variant.
+//! * [`packet`] — glue from a [`dctopo_topology::Topology`] to the
+//!   packet-level simulator (Fig. 13): builds the host-augmented network
+//!   and MPTCP subflow paths over k-shortest routes.
+
+pub mod experiment;
+pub mod packet;
+pub mod solve;
+pub mod vl2;
+
+pub use experiment::{Runner, Stats};
+pub use solve::{solve_throughput, ThroughputResult};

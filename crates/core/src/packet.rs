@@ -1,0 +1,150 @@
+//! Glue from a [`Topology`] + server traffic matrix to the packet-level
+//! simulator: build the host-augmented network and the MPTCP subflow
+//! paths over k-shortest routes (§8.2 / Fig. 13).
+
+use dctopo_graph::kshortest::yen_k_shortest;
+use dctopo_graph::GraphError;
+use dctopo_packetsim::{FlowSpec, LinkSpec, Network};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+
+/// Link-level parameters for the packet scenario.
+#[derive(Debug, Clone, Copy)]
+pub struct PacketParams {
+    /// MPTCP subflows per connection (the paper uses up to 8). If fewer
+    /// distinct shortest paths exist, paths are reused round-robin.
+    pub subflows: usize,
+    /// Queue capacity in packets at every switch/host port.
+    pub queue: usize,
+    /// Per-link propagation delay.
+    pub delay: f64,
+}
+
+impl Default for PacketParams {
+    fn default() -> Self {
+        PacketParams { subflows: 8, queue: 64, delay: 0.02 }
+    }
+}
+
+/// A ready-to-simulate packet scenario.
+#[derive(Debug, Clone)]
+pub struct PacketScenario {
+    /// The network: switch nodes `0..S`, host nodes `S..S+H`.
+    pub net: Network,
+    /// One MPTCP connection per traffic-matrix flow.
+    pub flows: Vec<FlowSpec>,
+}
+
+/// Build the scenario: every topology edge becomes a duplex link with
+/// rate = edge capacity; every server becomes a host node with a
+/// unit-rate duplex access link; each flow gets subflow paths over the
+/// k shortest switch-level routes.
+pub fn build_packet_scenario(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    params: &PacketParams,
+) -> Result<PacketScenario, GraphError> {
+    assert!(params.subflows >= 1, "need at least one subflow");
+    let s = topo.switch_count();
+    let s2sw = topo.server_to_switch();
+    assert_eq!(tm.server_count(), s2sw.len(), "traffic matrix / topology size mismatch");
+    let mut net = Network::new(s + s2sw.len());
+    for e in topo.graph.edges() {
+        net.add_duplex_link(
+            e.u,
+            e.v,
+            LinkSpec { rate: e.capacity, delay: params.delay, queue: params.queue },
+        );
+    }
+    for (host_idx, &sw) in s2sw.iter().enumerate() {
+        net.add_duplex_link(
+            s + host_idx,
+            sw,
+            LinkSpec { rate: 1.0, delay: params.delay, queue: params.queue },
+        );
+    }
+    let mut flows = Vec::with_capacity(tm.flow_count());
+    for &(a, b) in tm.pairs() {
+        let (ha, hb) = (s + a, s + b);
+        let (ua, ub) = (s2sw[a], s2sw[b]);
+        let mut paths: Vec<Vec<usize>> = Vec::new();
+        if ua == ub {
+            paths.push(vec![ha, ua, hb]);
+        } else {
+            let switch_paths = yen_k_shortest(&topo.graph, ua, ub, params.subflows)?;
+            for p in switch_paths {
+                let mut nodes = Vec::with_capacity(p.len() + 2);
+                nodes.push(ha);
+                nodes.extend(p);
+                nodes.push(hb);
+                paths.push(nodes);
+            }
+        }
+        // pad by cycling when fewer distinct paths than subflows
+        let distinct = paths.len();
+        while paths.len() < params.subflows {
+            let p = paths[paths.len() % distinct].clone();
+            paths.push(p);
+        }
+        flows.push(FlowSpec { src: ha, dst: hb, paths });
+    }
+    Ok(PacketScenario { net, flows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_packetsim::{simulate, SimConfig};
+    use dctopo_topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scenario_shapes() {
+        let mut rng = StdRng::seed_from_u64(40);
+        let topo = Topology::random_regular(8, 6, 4, &mut rng).unwrap(); // 16 servers
+        let tm = TrafficMatrix::random_permutation(16, &mut rng);
+        let sc = build_packet_scenario(
+            &topo,
+            &tm,
+            &PacketParams { subflows: 4, ..PacketParams::default() },
+        )
+        .unwrap();
+        assert_eq!(sc.net.node_count(), 8 + 16);
+        assert_eq!(sc.flows.len(), 16);
+        for f in &sc.flows {
+            assert_eq!(f.paths.len(), 4);
+            for p in &f.paths {
+                assert_eq!(p[0], f.src);
+                assert_eq!(*p.last().unwrap(), f.dst);
+                assert!(p.len() >= 3, "host-switch-host at minimum");
+            }
+        }
+    }
+
+    /// End-to-end: packet-level throughput on a small RRG permutation is
+    /// in the same ballpark as the flow-level optimum (the Fig. 13
+    /// claim, at toy scale).
+    #[test]
+    fn packet_vs_flow_ballpark() {
+        let mut rng = StdRng::seed_from_u64(41);
+        let topo = Topology::random_regular(8, 5, 4, &mut rng).unwrap(); // 8 servers
+        let tm = TrafficMatrix::random_permutation(8, &mut rng);
+        let flow = crate::solve::solve_throughput(
+            &topo,
+            &tm,
+            &dctopo_flow::FlowOptions::default(),
+        )
+        .unwrap();
+        let sc = build_packet_scenario(&topo, &tm, &PacketParams::default()).unwrap();
+        let cfg = SimConfig { duration: 3000.0, warmup: 800.0, ..SimConfig::default() };
+        let res = simulate(&sc.net, &sc.flows, &cfg).unwrap();
+        let packet_min = res.min_goodput();
+        assert!(
+            packet_min > 0.5 * flow.throughput.min(1.0),
+            "packet-level min goodput {packet_min} far below flow-level {}",
+            flow.throughput
+        );
+        assert!(packet_min <= 1.0 + 1e-9);
+    }
+}

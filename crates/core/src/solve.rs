@@ -1,0 +1,208 @@
+//! From topology + traffic matrix to the paper's throughput number.
+//!
+//! The paper's model (§4): servers hang off switches with unit-rate NICs;
+//! network capacity and path lengths are measured on the switch graph.
+//! So we (1) map each server flow to its switch pair, (2) aggregate
+//! same-pair flows into one commodity with summed demand, (3) solve max
+//! concurrent flow on the switch graph, and (4) cap the per-flow rate at
+//! what the busiest server NIC allows (`1 / max flows per NIC`). Flows
+//! between servers on the same switch never enter the network and are
+//! satisfied at the NIC cap.
+
+use std::collections::HashMap;
+
+use dctopo_flow::{max_concurrent_flow, Commodity, FlowError, FlowOptions, SolvedFlow};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+
+/// Result of [`solve_throughput`].
+#[derive(Debug, Clone)]
+pub struct ThroughputResult {
+    /// The paper's throughput: minimum per-flow rate, capped at the NIC
+    /// line rate constraint. `1.0` = every flow at full line rate.
+    pub throughput: f64,
+    /// The network-only concurrent flow value λ (may exceed 1 when the
+    /// network is overprovisioned relative to the NICs).
+    pub network_lambda: f64,
+    /// Certified upper bound on the optimal network λ.
+    pub network_upper_bound: f64,
+    /// The NIC cap `1 / max(flows per server NIC)`.
+    pub nic_limit: f64,
+    /// The switch-level commodities that were solved (deterministic
+    /// order), for use with `dctopo-metrics`.
+    pub commodities: Vec<Commodity>,
+    /// The underlying flow solution (`None` when all traffic was
+    /// switch-local and no network solve was needed).
+    pub solved: Option<SolvedFlow>,
+}
+
+impl ThroughputResult {
+    /// Whether every flow achieves its *fair* full rate (within `tol`):
+    /// the line rate for one-flow-per-NIC patterns (permutation, chunky),
+    /// or the NIC-fair share `1/flows-per-NIC` for patterns like
+    /// all-to-all where the NIC itself is the binding resource.
+    pub fn is_full_throughput(&self, tol: f64) -> bool {
+        let reference = self.nic_limit.min(1.0);
+        self.throughput >= reference * (1.0 - tol)
+    }
+}
+
+/// Aggregate a server-level traffic matrix into switch-level commodities.
+///
+/// Same-switch flows are dropped (they bypass the network); the demand of
+/// a commodity is the number of server pairs it aggregates.
+pub fn aggregate_commodities(topo: &Topology, tm: &TrafficMatrix) -> Vec<Commodity> {
+    let s2sw = topo.server_to_switch();
+    assert_eq!(
+        tm.server_count(),
+        s2sw.len(),
+        "traffic matrix has {} servers, topology hosts {}",
+        tm.server_count(),
+        s2sw.len()
+    );
+    let mut agg: HashMap<(usize, usize), f64> = HashMap::new();
+    for &(s, t) in tm.pairs() {
+        let (u, v) = (s2sw[s], s2sw[t]);
+        if u != v {
+            *agg.entry((u, v)).or_insert(0.0) += 1.0;
+        }
+    }
+    let mut commodities: Vec<Commodity> = agg
+        .into_iter()
+        .map(|((src, dst), demand)| Commodity { src, dst, demand })
+        .collect();
+    commodities.sort_by_key(|c| (c.src, c.dst));
+    commodities
+}
+
+/// The NIC cap: no flow can exceed `1 / max(flows on any server NIC)`.
+pub fn nic_limit(tm: &TrafficMatrix) -> f64 {
+    let busiest = tm
+        .out_degree()
+        .into_iter()
+        .chain(tm.in_degree())
+        .max()
+        .unwrap_or(0);
+    if busiest == 0 {
+        f64::INFINITY
+    } else {
+        1.0 / busiest as f64
+    }
+}
+
+/// Solve the throughput of `topo` under `tm`. See module docs.
+///
+/// # Errors
+/// Propagates [`FlowError`] from the solver (e.g. a disconnected switch
+/// graph). A traffic matrix whose flows are all switch-local succeeds
+/// without a network solve.
+pub fn solve_throughput(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    opts: &FlowOptions,
+) -> Result<ThroughputResult, FlowError> {
+    let commodities = aggregate_commodities(topo, tm);
+    let nic = nic_limit(tm);
+    if commodities.is_empty() {
+        // all traffic is intra-switch: NIC-limited only
+        return Ok(ThroughputResult {
+            throughput: nic.min(1.0),
+            network_lambda: f64::INFINITY,
+            network_upper_bound: f64::INFINITY,
+            nic_limit: nic,
+            commodities,
+            solved: None,
+        });
+    }
+    let solved = max_concurrent_flow(&topo.graph, &commodities, opts)?;
+    Ok(ThroughputResult {
+        throughput: solved.throughput.min(nic),
+        network_lambda: solved.throughput,
+        network_upper_bound: solved.upper_bound,
+        nic_limit: nic,
+        commodities,
+        solved: Some(solved),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_topology::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn opts() -> FlowOptions {
+        FlowOptions { epsilon: 0.08, target_gap: 0.03, max_phases: 8000, stall_phases: 300 }
+    }
+
+    #[test]
+    fn aggregation_merges_and_drops_local() {
+        let mut rng = StdRng::seed_from_u64(1);
+        // 4 switches, 2 servers each
+        let topo = Topology::random_regular(4, 5, 3, &mut rng).unwrap();
+        assert_eq!(topo.server_count(), 8);
+        // flows: 0->2 and 1->3 are both switch0 -> switch1; 4->5 is local
+        let tm = TrafficMatrix::from_pairs(8, vec![(0, 2), (1, 3), (4, 5)]);
+        let cs = aggregate_commodities(&topo, &tm);
+        assert_eq!(cs.len(), 1);
+        assert_eq!(cs[0], Commodity { src: 0, dst: 1, demand: 2.0 });
+    }
+
+    #[test]
+    fn nic_limit_by_pattern() {
+        let perm = TrafficMatrix::from_pairs(4, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        assert_eq!(nic_limit(&perm), 1.0);
+        let a2a = TrafficMatrix::all_to_all(5);
+        assert_eq!(nic_limit(&a2a), 0.25);
+    }
+
+    #[test]
+    fn complete_graph_permutation_is_full_throughput() {
+        // K6 with 1 server each, permutation: every switch pair direct
+        let topo = dctopo_topology::classic::complete(6, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(2);
+        let tm = TrafficMatrix::random_permutation(6, &mut rng);
+        let r = solve_throughput(&topo, &tm, &opts()).unwrap();
+        assert!(r.is_full_throughput(0.05), "throughput {}", r.throughput);
+        assert_eq!(r.nic_limit, 1.0);
+    }
+
+    #[test]
+    fn local_only_traffic_needs_no_network() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = Topology::random_regular(4, 6, 2, &mut rng).unwrap(); // 4 servers/switch
+        // all flows within switch 0 (servers 0..4)
+        let tm = TrafficMatrix::from_pairs(16, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
+        let r = solve_throughput(&topo, &tm, &opts()).unwrap();
+        assert_eq!(r.throughput, 1.0);
+        assert!(r.solved.is_none());
+    }
+
+    #[test]
+    fn oversubscription_reduces_throughput() {
+        // same switch equipment, more servers ⇒ lower throughput
+        let mut rng = StdRng::seed_from_u64(4);
+        let lean = Topology::random_regular(20, 8, 6, &mut rng).unwrap(); // 2 servers/sw
+        let fat = Topology::random_regular(20, 12, 6, &mut rng).unwrap(); // 6 servers/sw
+        let tm_lean = TrafficMatrix::random_permutation(lean.server_count(), &mut rng);
+        let tm_fat = TrafficMatrix::random_permutation(fat.server_count(), &mut rng);
+        let r_lean = solve_throughput(&lean, &tm_lean, &opts()).unwrap();
+        let r_fat = solve_throughput(&fat, &tm_fat, &opts()).unwrap();
+        assert!(
+            r_lean.throughput > r_fat.throughput,
+            "lean {} should beat oversubscribed {}",
+            r_lean.throughput,
+            r_fat.throughput
+        );
+    }
+
+    #[test]
+    fn all_to_all_respects_nic_cap() {
+        let topo = dctopo_topology::classic::complete(4, 2).unwrap();
+        let tm = TrafficMatrix::all_to_all(8);
+        let r = solve_throughput(&topo, &tm, &opts()).unwrap();
+        assert!(r.throughput <= r.nic_limit + 1e-9);
+        assert_eq!(r.nic_limit, 1.0 / 7.0);
+    }
+}

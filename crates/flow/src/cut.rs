@@ -1,0 +1,158 @@
+//! Cut oracles: exact (brute-force) non-uniform sparsest cut for tiny
+//! graphs, and helpers for the two-cluster cut analyses of §6.
+//!
+//! The non-uniform sparsest cut of graph `G` with demand graph `H` is
+//! `min_{S ⊆ V} Cap(S) / Dem(S)` where `Cap(S)` is the capacity crossing
+//! `(S, S̄)` and `Dem(S)` the demand separated by it (paper §6.2,
+//! Linial–London–Rabinovich). Sparsest cut is NP-hard in general, so the
+//! exact oracle enumerates subsets and is limited to ~20 nodes — enough
+//! to validate Lemma 2's `φ(G,H) = Θ(q)` behaviour in tests and to
+//! explain bottlenecks on small instances.
+
+use dctopo_graph::{Graph, NodeId};
+
+use crate::Commodity;
+
+/// Result of a sparsest-cut search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SparsestCut {
+    /// The sparsity `Cap(S)/Dem(S)` of the best cut found.
+    pub sparsity: f64,
+    /// Membership of side `S` (true = in S).
+    pub side: Vec<bool>,
+    /// Capacity crossing the cut (both directions).
+    pub capacity: f64,
+    /// Demand separated by the cut (both directions of each commodity
+    /// count once — a commodity is either separated or not).
+    pub demand: f64,
+}
+
+/// Exact non-uniform sparsest cut by subset enumeration.
+///
+/// Panics if the graph has more than 24 nodes (2²⁴ subsets is the
+/// practical ceiling); the caller should use structural knowledge (as the
+/// paper's §6.2 does) beyond that.
+pub fn sparsest_cut_exact(g: &Graph, demands: &[Commodity]) -> Option<SparsestCut> {
+    let n = g.node_count();
+    assert!(n <= 24, "sparsest_cut_exact limited to 24 nodes, got {n}");
+    if n < 2 || demands.is_empty() {
+        return None;
+    }
+    let mut best: Option<SparsestCut> = None;
+    // enumerate subsets containing node 0 to halve the work (complement
+    // symmetric)
+    for mask in 0u32..(1u32 << (n - 1)) {
+        let full = (mask << 1) | 1; // node 0 always in S
+        if full == (1 << n) - 1 {
+            continue; // S = V separates nothing
+        }
+        let in_s = |v: NodeId| (full >> v) & 1 == 1;
+        let mut dem = 0.0;
+        for c in demands {
+            if in_s(c.src) != in_s(c.dst) {
+                dem += c.demand;
+            }
+        }
+        if dem <= 0.0 {
+            continue;
+        }
+        let mut cap = 0.0;
+        for e in g.edges() {
+            if in_s(e.u) != in_s(e.v) {
+                cap += 2.0 * e.capacity; // both directions
+            }
+        }
+        let sparsity = cap / dem;
+        if best.as_ref().map_or(true, |b| sparsity < b.sparsity) {
+            best = Some(SparsestCut {
+                sparsity,
+                side: (0..n).map(in_s).collect(),
+                capacity: cap,
+                demand: dem,
+            });
+        }
+    }
+    best
+}
+
+/// Sparsity of a *given* bipartition under the given demands.
+pub fn cut_sparsity(g: &Graph, demands: &[Commodity], in_s: &[bool]) -> Option<f64> {
+    let mut dem = 0.0;
+    for c in demands {
+        if in_s[c.src] != in_s[c.dst] {
+            dem += c.demand;
+        }
+    }
+    if dem <= 0.0 {
+        return None;
+    }
+    let mut cap = 0.0;
+    for e in g.edges() {
+        if in_s[e.u] != in_s[e.v] {
+            cap += 2.0 * e.capacity;
+        }
+    }
+    Some(cap / dem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Barbell: two triangles joined by one edge. The sparsest cut with
+    /// all-pairs demands is the bridge.
+    #[test]
+    fn barbell_bridge_is_sparsest() {
+        let mut g = Graph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let mut demands = Vec::new();
+        for s in 0..6 {
+            for t in 0..6 {
+                if s != t {
+                    demands.push(Commodity::unit(s, t));
+                }
+            }
+        }
+        let cut = sparsest_cut_exact(&g, &demands).unwrap();
+        // bridge cut: capacity 2 (both dirs), demand 2 * 3 * 3 = 18
+        assert!((cut.sparsity - 2.0 / 18.0).abs() < 1e-12, "sparsity {}", cut.sparsity);
+        let side_a: Vec<usize> =
+            (0..6).filter(|&v| cut.side[v] == cut.side[0]).collect();
+        assert_eq!(side_a.len(), 3);
+    }
+
+    /// Sparsest cut upper-bounds max concurrent flow.
+    #[test]
+    fn sparsest_cut_bounds_flow() {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        let demands = vec![Commodity::unit(0, 2), Commodity::unit(1, 3)];
+        let cut = sparsest_cut_exact(&g, &demands).unwrap();
+        let flow =
+            crate::max_concurrent_flow(&g, &demands, &crate::FlowOptions::default()).unwrap();
+        assert!(flow.throughput <= cut.sparsity * (1.0 + 1e-6));
+    }
+
+    #[test]
+    fn cut_sparsity_of_given_partition() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_edge(1, 2, 3.0).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let demands = vec![Commodity::unit(0, 3)];
+        let s = cut_sparsity(&g, &demands, &[true, true, false, false]).unwrap();
+        assert!((s - 6.0).abs() < 1e-12); // cap 2*3, demand 1
+        // partition separating nothing
+        assert!(cut_sparsity(&g, &demands, &[true, true, true, true]).is_none());
+    }
+
+    #[test]
+    fn trivial_cases() {
+        let g = Graph::new(1);
+        assert!(sparsest_cut_exact(&g, &[]).is_none());
+    }
+}

@@ -1,0 +1,176 @@
+//! Exact max concurrent flow via the edge-flow LP, solved with
+//! `dctopo-linprog`'s simplex.
+//!
+//! Variables: `x[j][a]` (flow of commodity `j` on arc `a`) and `λ`.
+//! Maximise `λ` subject to per-commodity flow conservation with source
+//! surplus `λ·d_j` and joint arc capacities. This is the formulation the
+//! paper hands to CPLEX; we use it as ground truth for the FPTAS on
+//! instances small enough for a dense simplex (≲ 2,000 variables).
+
+use dctopo_graph::Graph;
+use dctopo_linprog::{LinearProgram, LpOutcome};
+
+use crate::{validate, Commodity, FlowError, FlowOptions};
+
+/// Upper bound on LP variables we are willing to hand the dense simplex.
+const MAX_VARS: usize = 6_000;
+
+/// Exact optimal concurrent throughput λ*, or an error if the instance is
+/// too large / malformed.
+pub fn exact_max_concurrent_flow(
+    g: &Graph,
+    commodities: &[Commodity],
+) -> Result<f64, FlowError> {
+    // validation shared with the FPTAS (options irrelevant; use defaults)
+    validate(g, commodities, &FlowOptions::default())?;
+    let k = commodities.len();
+    let m = g.arc_count();
+    let n = g.node_count();
+    let num_vars = k * m + 1;
+    if num_vars > MAX_VARS {
+        return Err(FlowError::BadOptions(format!(
+            "exact LP would need {num_vars} variables (limit {MAX_VARS}); use the FPTAS"
+        )));
+    }
+    let lambda = k * m; // index of λ
+    let mut lp = LinearProgram::new(num_vars);
+    lp.set_objective(lambda, 1.0);
+
+    let var = |j: usize, a: usize| j * m + a;
+
+    // conservation: for each commodity j and node v:
+    //   Σ_out x - Σ_in x = (v == src)·λd - (v == dst)·λd
+    for (j, c) in commodities.iter().enumerate() {
+        for v in 0..n {
+            let mut coeffs: Vec<(usize, f64)> = Vec::new();
+            for (a, _) in g.out_arcs(v) {
+                coeffs.push((var(j, a), 1.0));
+                // the reverse arc of `a` is an in-arc of v
+                coeffs.push((var(j, a ^ 1), -1.0));
+            }
+            if v == c.src {
+                coeffs.push((lambda, -c.demand));
+                lp.add_eq(coeffs, 0.0);
+            } else if v == c.dst {
+                coeffs.push((lambda, c.demand));
+                lp.add_eq(coeffs, 0.0);
+            } else {
+                lp.add_eq(coeffs, 0.0);
+            }
+        }
+    }
+    // capacity: Σ_j x[j][a] <= c(a)
+    for a in 0..m {
+        let coeffs: Vec<(usize, f64)> = (0..k).map(|j| (var(j, a), 1.0)).collect();
+        lp.add_le(coeffs, g.arc_capacity(a));
+    }
+
+    match lp.solve().map_err(|e| FlowError::BadOptions(format!("LP solver failed: {e}")))? {
+        LpOutcome::Optimal(s) => Ok(s.objective),
+        LpOutcome::Infeasible => Err(FlowError::BadOptions(
+            "exact LP infeasible (disconnected commodity?)".into(),
+        )),
+        LpOutcome::Unbounded => Err(FlowError::BadOptions(
+            "exact LP unbounded (zero-demand commodity?)".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_concurrent_flow;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    #[test]
+    fn exact_single_edge() {
+        let mut g = Graph::new(2);
+        g.add_unit_edge(0, 1).unwrap();
+        let v = exact_max_concurrent_flow(&g, &[Commodity::unit(0, 1)]).unwrap();
+        assert!((v - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn exact_cycle_multipath() {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        let v = exact_max_concurrent_flow(&g, &[Commodity::unit(0, 2)]).unwrap();
+        assert!((v - 2.0).abs() < 1e-6, "λ* = {v}");
+    }
+
+    #[test]
+    fn exact_shared_bottleneck() {
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(1, 2).unwrap();
+        let cs = [Commodity::unit(0, 2), Commodity::unit(1, 2)];
+        let v = exact_max_concurrent_flow(&g, &cs).unwrap();
+        assert!((v - 0.5).abs() < 1e-6, "λ* = {v}");
+    }
+
+    #[test]
+    fn too_large_rejected() {
+        let mut g = Graph::new(40);
+        for u in 0..40 {
+            for v in u + 1..40 {
+                g.add_unit_edge(u, v).unwrap();
+            }
+        }
+        let cs: Vec<_> = (0..20).map(|i| Commodity::unit(i, i + 20)).collect();
+        assert!(matches!(
+            exact_max_concurrent_flow(&g, &cs),
+            Err(FlowError::BadOptions(_))
+        ));
+    }
+
+    /// The central cross-validation: FPTAS within its certified gap of the
+    /// exact LP optimum on random small instances.
+    #[test]
+    fn fptas_matches_exact_on_random_instances() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let opts = FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 30000, stall_phases: 3000 };
+        for trial in 0..6 {
+            // random connected graph on 7 nodes: ring + random chords
+            let n = 7;
+            let mut g = Graph::new(n);
+            for v in 0..n {
+                g.add_unit_edge(v, (v + 1) % n).unwrap();
+            }
+            for _ in 0..4 {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u != v && !g.has_edge(u, v) {
+                    g.add_unit_edge(u, v).unwrap();
+                }
+            }
+            let mut cs = Vec::new();
+            while cs.len() < 3 {
+                let s = rng.random_range(0..n);
+                let t = rng.random_range(0..n);
+                if s != t {
+                    cs.push(Commodity::unit(s, t));
+                }
+            }
+            let exact = exact_max_concurrent_flow(&g, &cs).unwrap();
+            let approx = max_concurrent_flow(&g, &cs, &opts).unwrap();
+            assert!(
+                approx.throughput <= exact * (1.0 + 1e-6),
+                "trial {trial}: primal {} exceeds exact {exact}",
+                approx.throughput
+            );
+            assert!(
+                approx.upper_bound >= exact * (1.0 - 1e-6),
+                "trial {trial}: dual {} below exact {exact}",
+                approx.upper_bound
+            );
+            assert!(
+                approx.throughput >= exact * (1.0 - 0.03),
+                "trial {trial}: primal {} too far below exact {exact}",
+                approx.throughput
+            );
+        }
+    }
+}

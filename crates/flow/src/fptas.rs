@@ -1,0 +1,414 @@
+//! The Garg–Könemann / Fleischer FPTAS for max concurrent flow, with
+//! certified primal and dual bounds.
+//!
+//! ## Sketch
+//!
+//! Maintain a length `l(a)` per arc, initially `1/c(a)`. Repeatedly (in
+//! *phases*) route each commodity's demand along currently-shortest
+//! paths, multiplying the length of every used arc `a` by
+//! `1 + ε·(sent_a / c(a))`; congested arcs grow exponentially long, so
+//! later flow avoids them. The accumulated (infeasible) flow divided by
+//! its maximum congestion is feasible; LP duality gives the upper bound
+//! `λ* ≤ D(l)/α(l)` for *any* positive lengths `l`, where
+//! `D(l) = Σ_a c(a)·l(a)` and `α(l) = Σ_j d_j · dist_l(s_j, t_j)`.
+//! We track the best (smallest) dual bound seen and stop as soon as the
+//! certified primal/dual gap is below `target_gap`.
+
+use dctopo_graph::paths::dijkstra;
+use dctopo_graph::{Graph, NodeId};
+
+use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
+
+/// Commodities grouped by source for shared Dijkstra runs.
+struct SourceGroup {
+    src: NodeId,
+    /// (commodity index, dst, demand)
+    sinks: Vec<(usize, NodeId, f64)>,
+}
+
+fn group_by_source(commodities: &[Commodity]) -> Vec<SourceGroup> {
+    let mut groups: Vec<SourceGroup> = Vec::new();
+    // stable grouping that preserves first-seen source order
+    for (i, c) in commodities.iter().enumerate() {
+        match groups.iter_mut().find(|g| g.src == c.src) {
+            Some(g) => g.sinks.push((i, c.dst, c.demand)),
+            None => {
+                groups.push(SourceGroup { src: c.src, sinks: vec![(i, c.dst, c.demand)] })
+            }
+        }
+    }
+    groups
+}
+
+/// Solve max concurrent flow on `g` for `commodities`.
+///
+/// Returns a [`SolvedFlow`] whose `throughput` is a *feasible* concurrent
+/// rate and whose `upper_bound` certifies how far from optimal it can be.
+///
+/// # Errors
+///
+/// * [`FlowError::Unreachable`] if any commodity's endpoints are in
+///   different components.
+/// * validation errors for empty/invalid inputs (see [`FlowError`]).
+pub fn max_concurrent_flow(
+    g: &Graph,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    validate(g, commodities, opts)?;
+    let num_arcs = g.arc_count();
+    if num_arcs == 0 {
+        // commodities exist but there are no edges at all
+        let c = &commodities[0];
+        return Err(FlowError::Unreachable { src: c.src, dst: c.dst });
+    }
+    let eps = opts.epsilon;
+    let groups = group_by_source(commodities);
+
+    // lengths l(a) = 1/c(a) initially
+    let mut length: Vec<f64> = (0..num_arcs).map(|a| 1.0 / g.arc_capacity(a)).collect();
+    // raw (pre-scaling) accumulated flow
+    let mut arc_flow = vec![0.0f64; num_arcs];
+    let mut routed = vec![0.0f64; commodities.len()];
+
+    // The dual bound D(l)/α(l) is invariant under uniform scaling of all
+    // lengths, and so are shortest paths — so we rescale whenever lengths
+    // grow large to avoid overflow corrupting the bound.
+    const RESCALE_ABOVE: f64 = 1e100;
+
+    // reachability check up front (also seeds the first dual bound)
+    let mut best_dual = f64::INFINITY;
+    {
+        let d_l = total_weighted_length(g, &length);
+        let alpha = alpha_of(g, &groups, &length, commodities)?;
+        let bound = d_l / alpha;
+        if bound.is_finite() {
+            best_dual = best_dual.min(bound);
+        }
+    }
+    // evaluate the dual every few phases (it changes slowly and costs a
+    // Dijkstra per source group)
+    let dual_every = 8usize;
+    // plateau detection: stop when the primal stops improving materially
+    let mut last_primal_check = 0.0f64;
+    let mut stagnant_phases = 0usize;
+
+    let mut best: Option<SolvedFlow> = None;
+    let mut phases = 0usize;
+    // scratch buffers reused across iterations
+    let mut tree_load = vec![0.0f64; num_arcs];
+    let mut touched: Vec<usize> = Vec::new();
+
+    while phases < opts.max_phases {
+        phases += 1;
+        for group in &groups {
+            // remaining demand to route for this group's sinks this phase
+            let mut remaining: Vec<f64> = group.sinks.iter().map(|&(_, _, d)| d).collect();
+            let mut inner = 0usize;
+            // route until the group's phase demand is (essentially) done
+            while remaining.iter().any(|&r| r > 1e-12) {
+                inner += 1;
+                if inner > 64 {
+                    // Extremely skewed instances can shrink τ repeatedly;
+                    // carry the leftover to the next phase (correctness is
+                    // unaffected — `routed` only counts what was sent).
+                    break;
+                }
+                let tree = dijkstra(g, group.src, &length);
+                // accumulate load if all remaining demand were routed
+                touched.clear();
+                for (k, &(_, dst, _)) in group.sinks.iter().enumerate() {
+                    let r = remaining[k];
+                    if r <= 1e-12 {
+                        continue;
+                    }
+                    if !tree.dist[dst].is_finite() {
+                        return Err(FlowError::Unreachable { src: group.src, dst });
+                    }
+                    let mut v = dst;
+                    while let Some(a) = tree.parent_arc[v] {
+                        if tree_load[a] == 0.0 {
+                            touched.push(a);
+                        }
+                        tree_load[a] += r;
+                        v = g.arc_tail(a);
+                    }
+                }
+                // capacity-scaled step: never send more than c(a) on any arc
+                let mut tau = 1.0f64;
+                for &a in &touched {
+                    tau = tau.min(g.arc_capacity(a) / tree_load[a]);
+                }
+                // send τ·remaining along the tree, update lengths
+                for &a in &touched {
+                    let sent = tau * tree_load[a];
+                    arc_flow[a] += sent;
+                    length[a] *= 1.0 + eps * (sent / g.arc_capacity(a));
+                    tree_load[a] = 0.0;
+                }
+                touched.clear();
+                for (k, &(j, _, _)) in group.sinks.iter().enumerate() {
+                    let sent = tau * remaining[k];
+                    routed[j] += sent;
+                    remaining[k] -= sent;
+                }
+                if tau >= 1.0 {
+                    break;
+                }
+            }
+        }
+
+        // rescale lengths when they get large (scale-invariant)
+        let max_len = length.iter().copied().fold(0.0f64, f64::max);
+        if max_len > RESCALE_ABOVE {
+            let inv = 1.0 / max_len;
+            for l in length.iter_mut() {
+                *l *= inv;
+            }
+        }
+
+        // certified primal: scale by max congestion
+        let mu = arc_flow
+            .iter()
+            .enumerate()
+            .map(|(a, &f)| f / g.arc_capacity(a))
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let primal = commodities
+            .iter()
+            .enumerate()
+            .map(|(j, c)| routed[j] / (mu * c.demand))
+            .fold(f64::INFINITY, f64::min);
+
+        // certified dual: D(l)/α(l) at current lengths, every few phases
+        if phases % dual_every == 0 || phases == opts.max_phases {
+            let d_l = total_weighted_length(g, &length);
+            let alpha = alpha_of(g, &groups, &length, commodities)?;
+            let bound = d_l / alpha;
+            if bound.is_finite() && bound > 0.0 {
+                best_dual = best_dual.min(bound);
+            }
+        }
+
+        let make_solution = |primal: f64, mu: f64, phases: usize| SolvedFlow {
+            throughput: primal,
+            upper_bound: best_dual,
+            arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
+            commodity_rate: routed.iter().map(|&r| r / mu).collect(),
+            phases,
+        };
+
+        let better = best.as_ref().map_or(true, |b| primal > b.throughput);
+        if better {
+            best = Some(make_solution(primal, mu, phases));
+        }
+        if primal >= (1.0 - opts.target_gap) * best_dual {
+            break;
+        }
+        // plateau stop: the primal is certified-feasible regardless; when
+        // it stops improving the remaining gap is dual-side looseness
+        if primal > last_primal_check * 1.0005 {
+            last_primal_check = primal;
+            stagnant_phases = 0;
+        } else {
+            stagnant_phases += 1;
+            if stagnant_phases >= opts.stall_phases {
+                break;
+            }
+        }
+    }
+
+    let mut sol = best.expect("at least one phase ran");
+    sol.upper_bound = best_dual;
+    sol.phases = phases;
+    Ok(sol)
+}
+
+/// `D(l) = Σ_a c(a) · l(a)`.
+fn total_weighted_length(g: &Graph, length: &[f64]) -> f64 {
+    length.iter().enumerate().map(|(a, &l)| g.arc_capacity(a) * l).sum()
+}
+
+/// `α(l) = Σ_j d_j · dist_l(s_j, t_j)`, grouped by source.
+fn alpha_of(
+    g: &Graph,
+    groups: &[SourceGroup],
+    length: &[f64],
+    _commodities: &[Commodity],
+) -> Result<f64, FlowError> {
+    let mut alpha = 0.0;
+    for group in groups {
+        let tree = dijkstra(g, group.src, length);
+        for &(_, dst, demand) in &group.sinks {
+            let d = tree.dist[dst];
+            if !d.is_finite() {
+                return Err(FlowError::Unreachable { src: group.src, dst });
+            }
+            alpha += demand * d;
+        }
+    }
+    Ok(alpha)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn opts() -> FlowOptions {
+        FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 20000, stall_phases: 2000 }
+    }
+
+    /// Flow on a single edge: one unit-demand commodity, capacity 1 → λ = 1.
+    #[test]
+    fn single_edge() {
+        let mut g = Graph::new(2);
+        g.add_unit_edge(0, 1).unwrap();
+        let s = max_concurrent_flow(&g, &[Commodity::unit(0, 1)], &opts()).unwrap();
+        assert!(s.throughput > 0.97 && s.throughput <= 1.0 + 1e-9, "λ = {}", s.throughput);
+        assert!(s.upper_bound >= s.throughput);
+        // the dual approaches λ* = 1 from above, stopping within the gap
+        assert!(s.upper_bound <= 1.0 / (1.0 - 0.02) + 1e-9, "dual = {}", s.upper_bound);
+    }
+
+    /// Two commodities share one unit edge → λ = 1/2 each.
+    #[test]
+    fn shared_bottleneck() {
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(1, 2).unwrap();
+        let cs = [Commodity::unit(0, 2), Commodity::unit(1, 2)];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        assert!((s.throughput - 0.5).abs() < 0.02, "λ = {}", s.throughput);
+    }
+
+    /// 4-cycle, opposite corners: two edge-disjoint 2-hop paths → λ = 2
+    /// for a single unit commodity.
+    #[test]
+    fn cycle_multipath() {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        let s = max_concurrent_flow(&g, &[Commodity::unit(0, 2)], &opts()).unwrap();
+        assert!((s.throughput - 2.0).abs() < 0.06, "λ = {}", s.throughput);
+    }
+
+    /// Capacity scaling: doubling all capacities doubles λ.
+    #[test]
+    fn capacity_scaling() {
+        let mut g1 = Graph::new(3);
+        g1.add_edge(0, 1, 1.0).unwrap();
+        g1.add_edge(1, 2, 1.0).unwrap();
+        let mut g2 = Graph::new(3);
+        g2.add_edge(0, 1, 2.0).unwrap();
+        g2.add_edge(1, 2, 2.0).unwrap();
+        let cs = [Commodity::unit(0, 2)];
+        let s1 = max_concurrent_flow(&g1, &cs, &opts()).unwrap();
+        let s2 = max_concurrent_flow(&g2, &cs, &opts()).unwrap();
+        assert!((s2.throughput / s1.throughput - 2.0).abs() < 0.08);
+    }
+
+    /// Demand scaling: doubling demand halves λ.
+    #[test]
+    fn demand_scaling() {
+        let mut g = Graph::new(2);
+        g.add_unit_edge(0, 1).unwrap();
+        let s1 = max_concurrent_flow(&g, &[Commodity { src: 0, dst: 1, demand: 1.0 }], &opts())
+            .unwrap();
+        let s2 = max_concurrent_flow(&g, &[Commodity { src: 0, dst: 1, demand: 2.0 }], &opts())
+            .unwrap();
+        assert!((s1.throughput / s2.throughput - 2.0).abs() < 0.08);
+    }
+
+    /// Flow solution is actually feasible: no arc over capacity.
+    #[test]
+    fn feasibility_certificate() {
+        let mut g = Graph::new(5);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2), (1, 3)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let cs = [
+            Commodity::unit(0, 3),
+            Commodity::unit(1, 4),
+            Commodity::unit(2, 0),
+            Commodity::unit(4, 2),
+        ];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        for a in 0..g.arc_count() {
+            assert!(
+                s.arc_flow[a] <= g.arc_capacity(a) * (1.0 + 1e-9),
+                "arc {a} over capacity: {} > {}",
+                s.arc_flow[a],
+                g.arc_capacity(a)
+            );
+        }
+        // each commodity achieves at least λ·d
+        for (j, c) in cs.iter().enumerate() {
+            assert!(s.commodity_rate[j] >= s.throughput * c.demand - 1e-9);
+        }
+        assert!(s.gap() <= 0.02 + 1e-9);
+    }
+
+    /// Unreachable destination is an error, not a hang.
+    #[test]
+    fn unreachable_errors() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let r = max_concurrent_flow(&g, &[Commodity::unit(0, 3)], &opts());
+        assert!(matches!(r, Err(FlowError::Unreachable { src: 0, dst: 3 })));
+    }
+
+    /// Star network: k leaves all sending to the hub through unit edges.
+    #[test]
+    fn star_to_hub() {
+        let k = 6;
+        let mut g = Graph::new(k + 1);
+        for v in 1..=k {
+            g.add_unit_edge(v, 0).unwrap();
+        }
+        let cs: Vec<_> = (1..=k).map(|v| Commodity::unit(v, 0)).collect();
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        // each leaf has its own edge → λ = 1
+        assert!((s.throughput - 1.0).abs() < 0.03, "λ = {}", s.throughput);
+    }
+
+    /// Mean flow path length on a path graph equals the hop distance.
+    #[test]
+    fn mean_path_len() {
+        let mut g = Graph::new(4);
+        for v in 0..3 {
+            g.add_unit_edge(v, v + 1).unwrap();
+        }
+        let s = max_concurrent_flow(&g, &[Commodity::unit(0, 3)], &opts()).unwrap();
+        assert!((s.mean_flow_path_len() - 3.0).abs() < 1e-6);
+    }
+
+    /// Utilization on the single-edge instance is flow/capacity over both
+    /// directions: 1 unit flows one way on a 2-unit bidirectional edge.
+    #[test]
+    fn utilization_definition() {
+        let mut g = Graph::new(2);
+        g.add_unit_edge(0, 1).unwrap();
+        let s = max_concurrent_flow(&g, &[Commodity::unit(0, 1)], &opts()).unwrap();
+        let u = s.utilization(&g);
+        assert!((u - 0.5).abs() < 0.03, "U = {u}");
+        let eu = s.edge_utilization(&g);
+        assert!((eu[0] - 1.0).abs() < 0.03);
+    }
+
+    /// Heterogeneous capacities: big trunk plus thin side path.
+    #[test]
+    fn heterogeneous_capacities() {
+        let mut g = Graph::new(2);
+        g.add_edge(0, 1, 10.0).unwrap();
+        g.add_edge(0, 1, 1.0).unwrap();
+        let s = max_concurrent_flow(
+            &g,
+            &[Commodity { src: 0, dst: 1, demand: 1.0 }],
+            &opts(),
+        )
+        .unwrap();
+        assert!((s.throughput - 11.0).abs() < 0.4, "λ = {}", s.throughput);
+    }
+}

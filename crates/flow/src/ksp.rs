@@ -1,0 +1,263 @@
+//! Max concurrent flow restricted to the `k` shortest paths of each
+//! commodity — the *practical routing* model (§8: real fabrics route on
+//! k-shortest paths with MPTCP/ECMP, not on arbitrary splittable routes).
+//!
+//! Comparing [`max_concurrent_flow_ksp`] against the unrestricted
+//! optimum from [`crate::max_concurrent_flow`] quantifies how much
+//! throughput a k-path routing scheme leaves on the table — the
+//! flow-level analogue of the paper's Fig. 13 question.
+//!
+//! The algorithm is multiplicative weights over the *fixed* path sets:
+//! each round, every commodity routes its demand on its currently
+//! cheapest path (no shortest-path recomputation — path sets are frozen
+//! up front), lengths grow on used arcs, and the same
+//! primal-scaling/dual-bound certificates as the main solver apply. The
+//! dual bound here is valid *for the restricted problem*: α uses the
+//! cheapest path within each commodity's set.
+
+use dctopo_graph::kshortest::yen_k_shortest;
+use dctopo_graph::{Graph, NodeId};
+
+use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
+
+/// Solve max concurrent flow where commodity `j` may only use its `k`
+/// shortest (by hop count) simple paths.
+///
+/// Returns the same certified [`SolvedFlow`] as the unrestricted solver;
+/// `throughput` ≤ the unrestricted optimum by construction.
+pub fn max_concurrent_flow_ksp(
+    g: &Graph,
+    commodities: &[Commodity],
+    k: usize,
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    validate(g, commodities, opts)?;
+    if k == 0 {
+        return Err(FlowError::BadOptions("k must be at least 1".into()));
+    }
+    // freeze path sets (as arc sequences)
+    let mut paths: Vec<Vec<Vec<usize>>> = Vec::with_capacity(commodities.len());
+    for c in commodities {
+        let node_paths = yen_k_shortest(g, c.src, c.dst, k).map_err(|_| {
+            FlowError::Unreachable { src: c.src, dst: c.dst }
+        })?;
+        let arc_paths = node_paths
+            .iter()
+            .map(|p| nodes_to_arcs(g, p))
+            .collect::<Result<Vec<_>, _>>()?;
+        paths.push(arc_paths);
+    }
+
+    let num_arcs = g.arc_count();
+    let eps = opts.epsilon;
+    let mut length: Vec<f64> = (0..num_arcs).map(|a| 1.0 / g.arc_capacity(a)).collect();
+    let mut arc_flow = vec![0.0f64; num_arcs];
+    let mut routed = vec![0.0f64; commodities.len()];
+    let mut best_dual = f64::INFINITY;
+    let mut best: Option<SolvedFlow> = None;
+    let mut phases = 0usize;
+    let mut last_primal = 0.0f64;
+    let mut stagnant = 0usize;
+    const RESCALE_ABOVE: f64 = 1e100;
+
+    while phases < opts.max_phases {
+        phases += 1;
+        for (j, c) in commodities.iter().enumerate() {
+            // cheapest path in the frozen set under current lengths
+            let mut remaining = c.demand;
+            let mut inner = 0;
+            while remaining > 1e-12 && inner < 16 {
+                inner += 1;
+                let (best_path, _) = cheapest(&paths[j], &length);
+                // capacity-scaled step along that path
+                let bottleneck = best_path
+                    .iter()
+                    .map(|&a| g.arc_capacity(a))
+                    .fold(f64::INFINITY, f64::min);
+                let send = remaining.min(bottleneck);
+                for &a in best_path {
+                    arc_flow[a] += send;
+                    length[a] *= 1.0 + eps * (send / g.arc_capacity(a));
+                }
+                routed[j] += send;
+                remaining -= send;
+            }
+        }
+        // rescale lengths
+        let max_len = length.iter().copied().fold(0.0f64, f64::max);
+        if max_len > RESCALE_ABOVE {
+            let inv = 1.0 / max_len;
+            for l in length.iter_mut() {
+                *l *= inv;
+            }
+        }
+        // certificates
+        let mu = arc_flow
+            .iter()
+            .enumerate()
+            .map(|(a, &f)| f / g.arc_capacity(a))
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let primal = commodities
+            .iter()
+            .enumerate()
+            .map(|(j, c)| routed[j] / (mu * c.demand))
+            .fold(f64::INFINITY, f64::min);
+        if phases % 4 == 0 {
+            let d_l: f64 =
+                length.iter().enumerate().map(|(a, &l)| g.arc_capacity(a) * l).sum();
+            let alpha: f64 = commodities
+                .iter()
+                .enumerate()
+                .map(|(j, c)| c.demand * cheapest(&paths[j], &length).1)
+                .sum();
+            let bound = d_l / alpha;
+            if bound.is_finite() && bound > 0.0 {
+                best_dual = best_dual.min(bound);
+            }
+        }
+        if best.as_ref().map_or(true, |b| primal > b.throughput) {
+            best = Some(SolvedFlow {
+                throughput: primal,
+                upper_bound: best_dual,
+                arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
+                commodity_rate: routed.iter().map(|&r| r / mu).collect(),
+                phases,
+            });
+        }
+        if primal >= (1.0 - opts.target_gap) * best_dual {
+            break;
+        }
+        if primal > last_primal * 1.0005 {
+            last_primal = primal;
+            stagnant = 0;
+        } else {
+            stagnant += 1;
+            if stagnant >= opts.stall_phases {
+                break;
+            }
+        }
+    }
+    let mut sol = best.expect("at least one phase");
+    sol.upper_bound = best_dual;
+    sol.phases = phases;
+    Ok(sol)
+}
+
+fn cheapest<'p>(paths: &'p [Vec<usize>], length: &[f64]) -> (&'p Vec<usize>, f64) {
+    let mut best = &paths[0];
+    let mut best_len = f64::INFINITY;
+    for p in paths {
+        let l: f64 = p.iter().map(|&a| length[a]).sum();
+        if l < best_len {
+            best_len = l;
+            best = p;
+        }
+    }
+    (best, best_len)
+}
+
+fn nodes_to_arcs(g: &Graph, nodes: &[NodeId]) -> Result<Vec<usize>, FlowError> {
+    nodes
+        .windows(2)
+        .map(|w| {
+            let e = g.find_edge(w[0], w[1]).ok_or(FlowError::Unreachable {
+                src: w[0],
+                dst: w[1],
+            })?;
+            Ok(g.arc_of(e, w[0]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::max_concurrent_flow;
+
+    fn opts() -> FlowOptions {
+        FlowOptions { epsilon: 0.05, target_gap: 0.03, max_phases: 10000, stall_phases: 800 }
+    }
+
+    /// k = 1 on a 4-cycle: only the one shortest route per direction is
+    /// usable, so a single commodity gets half of what unrestricted
+    /// multipath routing gets.
+    #[test]
+    fn single_path_halves_cycle_throughput() {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        let cs = [Commodity::unit(0, 2)];
+        let restricted = max_concurrent_flow_ksp(&g, &cs, 1, &opts()).unwrap();
+        let free = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        assert!((restricted.throughput - 1.0).abs() < 0.05, "k=1: {}", restricted.throughput);
+        assert!((free.throughput - 2.0).abs() < 0.08, "free: {}", free.throughput);
+    }
+
+    /// k = 2 recovers the full cycle capacity.
+    #[test]
+    fn two_paths_recover_cycle() {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        let cs = [Commodity::unit(0, 2)];
+        let s = max_concurrent_flow_ksp(&g, &cs, 2, &opts()).unwrap();
+        assert!((s.throughput - 2.0).abs() < 0.08, "k=2: {}", s.throughput);
+    }
+
+    /// Restricted throughput is monotone in k and never beats the
+    /// unrestricted optimum.
+    #[test]
+    fn monotone_in_k_and_bounded() {
+        // 5-node graph with parallel route structure
+        let mut g = Graph::new(5);
+        for &(u, v) in &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let cs = [Commodity::unit(0, 4)];
+        let free = max_concurrent_flow(&g, &cs, &opts()).unwrap().throughput;
+        let mut prev = 0.0;
+        for k in 1..=3 {
+            let t = max_concurrent_flow_ksp(&g, &cs, k, &opts()).unwrap().throughput;
+            assert!(t >= prev - 0.02, "k={k} dropped: {t} < {prev}");
+            assert!(t <= free * 1.02, "k={k} beat unrestricted: {t} > {free}");
+            prev = t;
+        }
+        assert!((prev - 3.0).abs() < 0.12, "k=3 should use all 3 disjoint paths: {prev}");
+    }
+
+    /// Certificates hold in restricted mode too.
+    #[test]
+    fn restricted_certificates() {
+        let mut g = Graph::new(6);
+        for v in 0..6 {
+            g.add_unit_edge(v, (v + 1) % 6).unwrap();
+        }
+        g.add_unit_edge(0, 3).unwrap();
+        let cs = [Commodity::unit(0, 3), Commodity::unit(1, 4), Commodity::unit(2, 5)];
+        let s = max_concurrent_flow_ksp(&g, &cs, 4, &opts()).unwrap();
+        assert!(s.throughput <= s.upper_bound * (1.0 + 1e-9));
+        for a in 0..g.arc_count() {
+            assert!(s.arc_flow[a] <= g.arc_capacity(a) * (1.0 + 1e-9));
+        }
+    }
+
+    #[test]
+    fn rejects_k_zero_and_unreachable() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let cs = [Commodity::unit(0, 1)];
+        assert!(matches!(
+            max_concurrent_flow_ksp(&g, &cs, 0, &opts()),
+            Err(FlowError::BadOptions(_))
+        ));
+        let cs_bad = [Commodity::unit(0, 3)];
+        assert!(matches!(
+            max_concurrent_flow_ksp(&g, &cs_bad, 2, &opts()),
+            Err(FlowError::Unreachable { .. })
+        ));
+    }
+}

@@ -1,0 +1,93 @@
+//! Connectivity queries.
+
+use crate::Graph;
+
+/// Label each node with a component id in `0..k`; returns `(labels, k)`.
+pub fn components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.node_count();
+    let mut label = vec![usize::MAX; n];
+    let mut k = 0;
+    let mut stack = Vec::new();
+    for s in 0..n {
+        if label[s] != usize::MAX {
+            continue;
+        }
+        label[s] = k;
+        stack.push(s);
+        while let Some(v) = stack.pop() {
+            for w in g.neighbors(v) {
+                if label[w] == usize::MAX {
+                    label[w] = k;
+                    stack.push(w);
+                }
+            }
+        }
+        k += 1;
+    }
+    (label, k)
+}
+
+/// Whether the graph is connected (empty and single-node graphs count as
+/// connected).
+pub fn is_connected(g: &Graph) -> bool {
+    g.node_count() <= 1 || components(g).1 == 1
+}
+
+/// Number of edges crossing a node bipartition, weighted by capacity in
+/// both directions (the paper's cross-cluster capacity `C̄`).
+///
+/// `in_a[v]` says whether node `v` is on side A.
+pub fn cut_capacity(g: &Graph, in_a: &[bool]) -> f64 {
+    2.0 * g
+        .edges()
+        .iter()
+        .filter(|e| in_a[e.u] != in_a[e.v])
+        .map(|e| e.capacity)
+        .sum::<f64>()
+}
+
+/// Unweighted count of edges crossing a node bipartition.
+pub fn cut_size(g: &Graph, in_a: &[bool]) -> usize {
+    g.edges().iter().filter(|e| in_a[e.u] != in_a[e.v]).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_two_triangles() {
+        let mut g = Graph::new(6);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let (label, k) = components(&g);
+        assert_eq!(k, 2);
+        assert_eq!(label[0], label[1]);
+        assert_eq!(label[1], label[2]);
+        assert_eq!(label[3], label[4]);
+        assert_ne!(label[0], label[3]);
+        assert!(!is_connected(&g));
+        g.add_unit_edge(2, 3).unwrap();
+        assert!(is_connected(&g));
+    }
+
+    #[test]
+    fn empty_and_singleton_connected() {
+        assert!(is_connected(&Graph::new(0)));
+        assert!(is_connected(&Graph::new(1)));
+        assert!(!is_connected(&Graph::new(2)));
+    }
+
+    #[test]
+    fn cut_capacity_counts_both_directions() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap(); // inside A
+        g.add_edge(2, 3, 1.0).unwrap(); // inside B
+        g.add_edge(0, 2, 3.0).unwrap(); // crossing
+        g.add_edge(1, 3, 2.0).unwrap(); // crossing
+        let in_a = vec![true, true, false, false];
+        assert_eq!(cut_capacity(&g, &in_a), 10.0);
+        assert_eq!(cut_size(&g, &in_a), 2);
+    }
+}

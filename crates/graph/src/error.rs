@@ -1,0 +1,64 @@
+//! Error type shared by graph construction and graph algorithms.
+
+use std::fmt;
+
+/// Errors produced by graph construction and algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was at least the number of nodes in the graph.
+    NodeOutOfRange { node: usize, n: usize },
+    /// A self-loop was requested where the operation forbids it.
+    SelfLoop { node: usize },
+    /// An edge capacity was not strictly positive and finite.
+    BadCapacity { capacity: f64 },
+    /// The graph (or the relevant part of it) is not connected, so the
+    /// requested quantity (ASPL, diameter, a path) does not exist.
+    Disconnected,
+    /// No simple path exists between the requested endpoints.
+    NoPath { src: usize, dst: usize },
+    /// A degree sequence or swap request cannot be satisfied
+    /// (e.g. odd total degree, or not enough distinct partners).
+    Unrealizable(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
+            GraphError::BadCapacity { capacity } => {
+                write!(f, "edge capacity must be positive and finite, got {capacity}")
+            }
+            GraphError::Disconnected => write!(f, "graph is not connected"),
+            GraphError::NoPath { src, dst } => write!(f, "no path from {src} to {dst}"),
+            GraphError::Unrealizable(msg) => write!(f, "unrealizable request: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 4 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('4'));
+        let e = GraphError::BadCapacity { capacity: -1.0 };
+        assert!(e.to_string().contains("-1"));
+        let e = GraphError::NoPath { src: 1, dst: 2 };
+        assert!(e.to_string().contains("1"));
+        assert!(GraphError::Disconnected.to_string().contains("connected"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_: &dyn std::error::Error) {}
+        takes_err(&GraphError::Disconnected);
+    }
+}

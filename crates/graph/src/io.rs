@@ -1,0 +1,178 @@
+//! Graph interchange: Graphviz DOT output and a plain capacitated
+//! edge-list format (write + parse), so topologies built here can be
+//! inspected with standard tooling and instances can round-trip through
+//! files.
+//!
+//! The edge-list format is one edge per line, `u v capacity`, with `#`
+//! comments and a leading `nodes N` header:
+//!
+//! ```text
+//! # dctopo edge list
+//! nodes 4
+//! 0 1 1
+//! 1 2 10
+//! ```
+
+use std::fmt::Write as _;
+
+use crate::{Graph, GraphError};
+
+/// Render the graph as Graphviz DOT. `label` names the graph; edges with
+/// capacity ≠ 1 get a `label` and thicker pens so heterogeneous
+/// line-speeds are visible at a glance.
+pub fn to_dot(g: &Graph, label: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "graph {} {{", sanitize(label));
+    let _ = writeln!(out, "  node [shape=circle];");
+    for v in 0..g.node_count() {
+        let _ = writeln!(out, "  n{v};");
+    }
+    for e in g.edges() {
+        if (e.capacity - 1.0).abs() < 1e-12 {
+            let _ = writeln!(out, "  n{} -- n{};", e.u, e.v);
+        } else {
+            let _ = writeln!(
+                out,
+                "  n{} -- n{} [label=\"{}\", penwidth={}];",
+                e.u,
+                e.v,
+                e.capacity,
+                (e.capacity.log2().max(0.0) + 1.0).min(6.0)
+            );
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+fn sanitize(label: &str) -> String {
+    let cleaned: String =
+        label.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        format!("g_{cleaned}")
+    } else {
+        cleaned
+    }
+}
+
+/// Serialise as the capacitated edge-list format described in the module
+/// docs.
+pub fn to_edge_list(g: &Graph) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# dctopo edge list");
+    let _ = writeln!(out, "nodes {}", g.node_count());
+    for e in g.edges() {
+        if (e.capacity - e.capacity.round()).abs() < 1e-12 {
+            let _ = writeln!(out, "{} {} {}", e.u, e.v, e.capacity as i64);
+        } else {
+            let _ = writeln!(out, "{} {} {}", e.u, e.v, e.capacity);
+        }
+    }
+    out
+}
+
+/// Parse the edge-list format. Accepts `#` comments and blank lines; the
+/// capacity column is optional (default 1).
+pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
+    let mut g: Option<Graph> = None;
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let first = parts.next().expect("non-empty line");
+        if first == "nodes" {
+            let n: usize = parts
+                .next()
+                .and_then(|t| t.parse().ok())
+                .ok_or_else(|| bad(lineno, "expected `nodes N`"))?;
+            if g.is_some() {
+                return Err(bad(lineno, "duplicate `nodes` header"));
+            }
+            g = Some(Graph::new(n));
+            continue;
+        }
+        let graph = g.as_mut().ok_or_else(|| bad(lineno, "edge before `nodes` header"))?;
+        let u: usize = first.parse().map_err(|_| bad(lineno, "bad node id"))?;
+        let v: usize = parts
+            .next()
+            .and_then(|t| t.parse().ok())
+            .ok_or_else(|| bad(lineno, "missing second endpoint"))?;
+        let cap: f64 = match parts.next() {
+            Some(t) => t.parse().map_err(|_| bad(lineno, "bad capacity"))?,
+            None => 1.0,
+        };
+        if parts.next().is_some() {
+            return Err(bad(lineno, "trailing tokens"));
+        }
+        graph.add_edge(u, v, cap)?;
+    }
+    g.ok_or_else(|| GraphError::Unrealizable("no `nodes` header found".into()))
+}
+
+fn bad(lineno: usize, msg: &str) -> GraphError {
+    GraphError::Unrealizable(format!("edge list line {}: {msg}", lineno + 1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_edge(1, 2, 10.0).unwrap();
+        g.add_edge(2, 3, 2.5).unwrap();
+        g
+    }
+
+    #[test]
+    fn dot_mentions_all_edges_and_capacities() {
+        let dot = to_dot(&sample(), "my graph 1");
+        assert!(dot.starts_with("graph my_graph_1 {"));
+        assert!(dot.contains("n0 -- n1;"));
+        assert!(dot.contains("n1 -- n2 [label=\"10\""));
+        assert!(dot.contains("n2 -- n3 [label=\"2.5\""));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn dot_label_sanitised() {
+        assert!(to_dot(&Graph::new(1), "42abc").starts_with("graph g_42abc"));
+        assert!(to_dot(&Graph::new(1), "").starts_with("graph g_"));
+    }
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = sample();
+        let text = to_edge_list(&g);
+        let back = from_edge_list(&text).unwrap();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for (a, b) in g.edges().iter().zip(back.edges()) {
+            assert_eq!((a.u, a.v), (b.u, b.v));
+            assert!((a.capacity - b.capacity).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn parser_accepts_comments_and_default_capacity() {
+        let text = "# hello\nnodes 3\n0 1   # inline comment\n1 2 4\n\n";
+        let g = from_edge_list(text).unwrap();
+        assert_eq!(g.edge_count(), 2);
+        assert_eq!(g.edge(0).capacity, 1.0);
+        assert_eq!(g.edge(1).capacity, 4.0);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_input() {
+        assert!(from_edge_list("0 1 1\n").is_err()); // edge before header
+        assert!(from_edge_list("nodes 2\nnodes 2\n").is_err()); // dup header
+        assert!(from_edge_list("nodes 2\n0\n").is_err()); // missing endpoint
+        assert!(from_edge_list("nodes 2\n0 1 1 9\n").is_err()); // trailing
+        assert!(from_edge_list("nodes 2\n0 5 1\n").is_err()); // out of range
+        assert!(from_edge_list("").is_err()); // empty
+        assert!(from_edge_list("nodes x\n").is_err()); // bad header
+    }
+}

@@ -1,0 +1,277 @@
+//! k-shortest simple paths (Yen's algorithm, hop metric) and ECMP
+//! shortest-path enumeration.
+//!
+//! The packet-level simulator routes MPTCP subflows over the `k` shortest
+//! paths between each server pair, exactly as the paper's §8.2 ("MPTCP
+//! with the shortest paths, using as many as 8 MPTCP subflows").
+
+use std::collections::HashSet;
+
+use crate::paths::{bfs_distances, UNREACHABLE};
+use crate::{Graph, GraphError};
+use crate::graph::NodeId;
+
+/// A simple path stored as the node sequence `src, ..., dst`.
+pub type NodePath = Vec<NodeId>;
+
+/// Shortest path by hop count avoiding a set of banned nodes and banned
+/// edges (edges given as unordered node pairs). Returns the node sequence.
+fn shortest_path_avoiding(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    banned_nodes: &[bool],
+    banned_edges: &HashSet<(NodeId, NodeId)>,
+) -> Option<NodePath> {
+    let n = g.node_count();
+    let mut prev = vec![usize::MAX; n];
+    let mut seen = vec![false; n];
+    let mut queue = std::collections::VecDeque::new();
+    seen[src] = true;
+    queue.push_back(src);
+    while let Some(v) = queue.pop_front() {
+        if v == dst {
+            break;
+        }
+        for w in g.neighbors(v) {
+            let key = if v < w { (v, w) } else { (w, v) };
+            if seen[w] || banned_nodes[w] || banned_edges.contains(&key) {
+                continue;
+            }
+            seen[w] = true;
+            prev[w] = v;
+            queue.push_back(w);
+        }
+    }
+    if !seen[dst] {
+        return None;
+    }
+    let mut path = vec![dst];
+    let mut v = dst;
+    while v != src {
+        v = prev[v];
+        path.push(v);
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Yen's algorithm: up to `k` shortest *simple* paths from `src` to `dst`
+/// by hop count, in non-decreasing length order.
+///
+/// Returns fewer than `k` paths when the graph does not contain that many
+/// simple paths; errors only when no path exists at all.
+pub fn yen_k_shortest(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Result<Vec<NodePath>, GraphError> {
+    if src == dst {
+        return Err(GraphError::Unrealizable("k-shortest with src == dst".into()));
+    }
+    let no_nodes = vec![false; g.node_count()];
+    let first = shortest_path_avoiding(g, src, dst, &no_nodes, &HashSet::new())
+        .ok_or(GraphError::NoPath { src, dst })?;
+    let mut found: Vec<NodePath> = vec![first];
+    let mut candidates: Vec<NodePath> = Vec::new();
+    while found.len() < k {
+        let last = found.last().expect("at least one path found").clone();
+        // For each spur node in the previous path, ban the edges that
+        // previous paths with the same root used, ban root nodes, and
+        // search for a deviation.
+        for i in 0..last.len() - 1 {
+            let spur = last[i];
+            let root = &last[..=i];
+            let mut banned_edges = HashSet::new();
+            for p in &found {
+                if p.len() > i && p[..=i] == *root {
+                    let (a, b) = (p[i], p[i + 1]);
+                    banned_edges.insert(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+            let mut banned_nodes = vec![false; g.node_count()];
+            for &v in &root[..i] {
+                banned_nodes[v] = true;
+            }
+            if let Some(tail) = shortest_path_avoiding(g, spur, dst, &banned_nodes, &banned_edges)
+            {
+                let mut path = root[..i].to_vec();
+                path.extend(tail);
+                if !found.contains(&path) && !candidates.contains(&path) {
+                    candidates.push(path);
+                }
+            }
+        }
+        if candidates.is_empty() {
+            break;
+        }
+        // pick the shortest candidate (stable tie-break on node sequence)
+        let best = candidates
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| a.len().cmp(&b.len()).then_with(|| a.cmp(b)))
+            .map(|(i, _)| i)
+            .expect("candidates not empty");
+        found.push(candidates.swap_remove(best));
+    }
+    Ok(found)
+}
+
+/// Enumerate up to `limit` distinct *shortest* paths (all of minimal hop
+/// count) from `src` to `dst`, via DFS over the shortest-path DAG.
+///
+/// This models ECMP: equal-cost multipath routing spreads traffic over
+/// exactly these paths.
+pub fn ecmp_shortest_paths(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    limit: usize,
+) -> Result<Vec<NodePath>, GraphError> {
+    if src == dst {
+        return Err(GraphError::Unrealizable("ecmp with src == dst".into()));
+    }
+    let dist_to_dst = bfs_distances(g, dst);
+    if dist_to_dst[src] == UNREACHABLE {
+        return Err(GraphError::NoPath { src, dst });
+    }
+    let mut out = Vec::new();
+    let mut stack = vec![src];
+    dfs_dag(g, dst, &dist_to_dst, &mut stack, &mut out, limit);
+    Ok(out)
+}
+
+fn dfs_dag(
+    g: &Graph,
+    dst: NodeId,
+    dist_to_dst: &[u32],
+    stack: &mut Vec<NodeId>,
+    out: &mut Vec<NodePath>,
+    limit: usize,
+) {
+    if out.len() >= limit {
+        return;
+    }
+    let v = *stack.last().expect("stack non-empty");
+    if v == dst {
+        out.push(stack.clone());
+        return;
+    }
+    // a shortest path must strictly decrease distance-to-destination
+    let dv = dist_to_dst[v];
+    let mut nexts: Vec<NodeId> = g
+        .neighbors(v)
+        .filter(|&w| dist_to_dst[w] != UNREACHABLE && dist_to_dst[w] + 1 == dv)
+        .collect();
+    nexts.sort_unstable();
+    nexts.dedup();
+    for w in nexts {
+        stack.push(w);
+        dfs_dag(g, dst, dist_to_dst, stack, out, limit);
+        stack.pop();
+        if out.len() >= limit {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// 4-cycle 0-1-2-3-0.
+    fn cycle4() -> Graph {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn yen_on_cycle() {
+        let g = cycle4();
+        let ps = yen_k_shortest(&g, 0, 2, 5).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0].len(), 3); // both routes are 2 hops
+        assert_eq!(ps[1].len(), 3);
+        assert_ne!(ps[0], ps[1]);
+    }
+
+    #[test]
+    fn yen_orders_by_length() {
+        // path 0-1-2 plus chord 0-2: shortest is direct, second is 2 hops
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(1, 2).unwrap();
+        g.add_unit_edge(0, 2).unwrap();
+        let ps = yen_k_shortest(&g, 0, 2, 5).unwrap();
+        assert_eq!(ps.len(), 2);
+        assert_eq!(ps[0], vec![0, 2]);
+        assert_eq!(ps[1], vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn yen_no_path_errors() {
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1).unwrap();
+        assert!(matches!(yen_k_shortest(&g, 0, 2, 3), Err(GraphError::NoPath { .. })));
+    }
+
+    #[test]
+    fn yen_paths_are_simple() {
+        // complete graph K5: plenty of paths; all must be simple
+        let mut g = Graph::new(5);
+        for u in 0..5 {
+            for v in u + 1..5 {
+                g.add_unit_edge(u, v).unwrap();
+            }
+        }
+        let ps = yen_k_shortest(&g, 0, 4, 10).unwrap();
+        assert!(ps.len() >= 4);
+        for p in &ps {
+            let mut q = p.clone();
+            q.sort_unstable();
+            q.dedup();
+            assert_eq!(q.len(), p.len(), "path revisits a node: {p:?}");
+            assert_eq!(p[0], 0);
+            assert_eq!(*p.last().unwrap(), 4);
+            for w in p.windows(2) {
+                assert!(g.has_edge(w[0], w[1]));
+            }
+        }
+        // lengths non-decreasing
+        for w in ps.windows(2) {
+            assert!(w[0].len() <= w[1].len());
+        }
+    }
+
+    #[test]
+    fn ecmp_counts_shortest_paths() {
+        let g = cycle4();
+        let ps = ecmp_shortest_paths(&g, 0, 2, 8).unwrap();
+        assert_eq!(ps.len(), 2);
+        for p in &ps {
+            assert_eq!(p.len(), 3);
+        }
+    }
+
+    #[test]
+    fn ecmp_respects_limit() {
+        // hypercube Q3 has 6 shortest 0->7 paths
+        let mut g = Graph::new(8);
+        for u in 0..8usize {
+            for b in 0..3 {
+                let v = u ^ (1 << b);
+                if u < v {
+                    g.add_unit_edge(u, v).unwrap();
+                }
+            }
+        }
+        let all = ecmp_shortest_paths(&g, 0, 7, 100).unwrap();
+        assert_eq!(all.len(), 6);
+        let capped = ecmp_shortest_paths(&g, 0, 7, 4).unwrap();
+        assert_eq!(capped.len(), 4);
+    }
+}

@@ -1,0 +1,155 @@
+//! Degree-preserving double-edge swaps.
+//!
+//! A double-edge swap replaces edges `(a,b)` and `(c,d)` with `(a,c)` and
+//! `(b,d)` (or `(a,d)` and `(b,c)`). It preserves every node's degree, so
+//! it is the basic move both for *repairing* a stuck random-graph
+//! construction (Jellyfish §2 of the paper's reference [27]) and for
+//! *mixing* a graph towards the uniform distribution over graphs with the
+//! same degree sequence.
+
+use rand::{Rng, RngExt};
+
+use crate::{Graph, GraphError};
+
+/// Attempt one random degree-preserving double-edge swap that keeps the
+/// graph simple (no self-loops or parallel edges introduced).
+///
+/// Returns `true` if a swap was applied. A `false` return means the
+/// sampled pair could not be legally swapped — callers typically loop.
+pub fn try_random_swap<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) -> bool {
+    let m = g.edge_count();
+    if m < 2 {
+        return false;
+    }
+    let e1 = rng.random_range(0..m);
+    let e2 = rng.random_range(0..m);
+    if e1 == e2 {
+        return false;
+    }
+    let (a, b) = {
+        let e = g.edge(e1);
+        (e.u, e.v)
+    };
+    let (c, d) = {
+        let e = g.edge(e2);
+        (e.u, e.v)
+    };
+    let cap1 = g.edge(e1).capacity;
+    let cap2 = g.edge(e2).capacity;
+    // orientation choice: (a,c)+(b,d) or (a,d)+(b,c)
+    let (x1, y1, x2, y2) = if rng.random_range(0..2) == 0 { (a, c, b, d) } else { (a, d, b, c) };
+    if x1 == y1 || x2 == y2 || g.has_edge(x1, y1) || g.has_edge(x2, y2) {
+        return false;
+    }
+    // remove higher id first so the lower id stays valid
+    let (hi, lo) = if e1 > e2 { (e1, e2) } else { (e2, e1) };
+    let (cap_hi, cap_lo) = if e1 > e2 { (cap1, cap2) } else { (cap2, cap1) };
+    g.remove_edge(hi);
+    g.remove_edge(lo);
+    g.add_edge(x1, y1, cap_lo).expect("swap endpoints validated");
+    g.add_edge(x2, y2, cap_hi).expect("swap endpoints validated");
+    true
+}
+
+/// Apply `count` successful random swaps (each preserves the degree
+/// sequence), giving up after `max_attempts` failed samples in a row.
+pub fn shuffle_edges<R: Rng + ?Sized>(
+    g: &mut Graph,
+    count: usize,
+    rng: &mut R,
+) -> Result<usize, GraphError> {
+    let mut done = 0;
+    let mut stuck = 0usize;
+    let max_attempts = 100 + 50 * g.edge_count();
+    while done < count {
+        if try_random_swap(g, rng) {
+            done += 1;
+            stuck = 0;
+        } else {
+            stuck += 1;
+            if stuck > max_attempts {
+                return Err(GraphError::Unrealizable(format!(
+                    "edge shuffle stuck after {done} of {count} swaps"
+                )));
+            }
+        }
+    }
+    Ok(done)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ring(n: usize) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_unit_edge(v, (v + 1) % n).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn swap_preserves_degrees_and_simplicity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = ring(20);
+        let before = g.degrees();
+        let mut applied = 0;
+        for _ in 0..500 {
+            if try_random_swap(&mut g, &mut rng) {
+                applied += 1;
+            }
+        }
+        assert!(applied > 10, "expected some swaps to succeed, got {applied}");
+        assert_eq!(g.degrees(), before);
+        // graph stays simple
+        for v in 0..g.node_count() {
+            let mut nbrs: Vec<_> = g.neighbors(v).collect();
+            let len = nbrs.len();
+            nbrs.sort_unstable();
+            nbrs.dedup();
+            assert_eq!(nbrs.len(), len, "parallel edge introduced at {v}");
+            assert!(!nbrs.contains(&v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn shuffle_edges_counts_successes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = ring(30);
+        let n = shuffle_edges(&mut g, 50, &mut rng).unwrap();
+        assert_eq!(n, 50);
+        assert_eq!(g.regular_degree(), Some(2));
+    }
+
+    #[test]
+    fn swap_impossible_on_tiny_graph() {
+        // single edge: nothing to swap with
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut g = Graph::new(2);
+        g.add_unit_edge(0, 1).unwrap();
+        assert!(!try_random_swap(&mut g, &mut rng));
+        assert!(shuffle_edges(&mut g, 1, &mut rng).is_err());
+    }
+
+    #[test]
+    fn swap_preserves_capacity_multiset() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut g = Graph::new(6);
+        for &(u, v, c) in
+            &[(0, 1, 1.0), (2, 3, 10.0), (4, 5, 1.0), (1, 2, 10.0), (3, 4, 1.0), (5, 0, 10.0)]
+        {
+            g.add_edge(u, v, c).unwrap();
+        }
+        let mut caps_before: Vec<_> = g.edges().iter().map(|e| e.capacity as i64).collect();
+        caps_before.sort_unstable();
+        for _ in 0..200 {
+            let _ = try_random_swap(&mut g, &mut rng);
+        }
+        let mut caps_after: Vec<_> = g.edges().iter().map(|e| e.capacity as i64).collect();
+        caps_after.sort_unstable();
+        assert_eq!(caps_before, caps_after);
+    }
+}

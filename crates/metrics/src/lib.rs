@@ -1,0 +1,309 @@
+//! # dctopo-metrics
+//!
+//! The paper's §6.1 throughput decomposition and bottleneck analysis.
+//!
+//! Throughput factors exactly as
+//!
+//! ```text
+//! T  =  C · U / (⟨D⟩ · AS)        (per unit of demand)
+//! ```
+//!
+//! where `C` is total capacity, `U` average utilization, `⟨D⟩` the
+//! demand-weighted average shortest path length, and `AS` the *stretch*:
+//! the flow-weighted average routed path length divided by `⟨D⟩`.
+//! [`decompose`] computes all factors from a solved flow;
+//! [`utilization_by_class`] reproduces the per-link-class utilization
+//! breakdown the paper uses to locate bottlenecks ("links between across
+//! clusters are close to fully utilized ... links inside the large
+//! cluster are < 20% utilized").
+
+use dctopo_flow::{Commodity, FlowError, SolvedFlow};
+use dctopo_graph::paths::bfs_distances;
+use dctopo_graph::Graph;
+
+/// The multiplicative factors of the throughput identity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decomposition {
+    /// Total network capacity `C` (both directions).
+    pub capacity: f64,
+    /// Average link utilization `U ∈ [0, 1]`.
+    pub utilization: f64,
+    /// Demand-weighted average *shortest-path* length ⟨D⟩ between
+    /// commodity endpoints.
+    pub aspl: f64,
+    /// Average stretch `AS ≥ 1`: flow-weighted routed path length / ⟨D⟩.
+    pub stretch: f64,
+    /// Flow-weighted routed path length (= `aspl · stretch`).
+    pub mean_flow_path_len: f64,
+    /// Total demand `Σ_j d_j`.
+    pub total_demand: f64,
+}
+
+impl Decomposition {
+    /// Reconstruct the concurrent throughput from the factors:
+    /// `T = C·U / (⟨D⟩·AS·f)` where `f` is total demand. Matches the
+    /// solver's λ when the optimum serves all commodities at equal rate
+    /// (uniform traffic), and is the paper's identity otherwise.
+    pub fn implied_throughput(&self) -> f64 {
+        self.capacity * self.utilization
+            / (self.aspl * self.stretch * self.total_demand)
+    }
+}
+
+/// Compute the decomposition of a solved flow.
+///
+/// `commodities` must be the same list the flow was solved for.
+///
+/// # Errors
+/// [`FlowError::Unreachable`] if a commodity's endpoints are disconnected
+/// (cannot happen if the solve succeeded on the same inputs).
+pub fn decompose(
+    g: &Graph,
+    solved: &SolvedFlow,
+    commodities: &[Commodity],
+) -> Result<Decomposition, FlowError> {
+    let capacity = g.total_capacity();
+    let utilization = solved.utilization(g);
+    // demand-weighted ASPL between commodity endpoints, sharing BFS runs
+    // across commodities with the same source
+    let mut by_src: Vec<Vec<(usize, f64)>> = vec![Vec::new(); g.node_count()];
+    for c in commodities {
+        by_src[c.src].push((c.dst, c.demand));
+    }
+    let mut dist_sum = 0.0;
+    let mut demand_sum = 0.0;
+    for (src, sinks) in by_src.iter().enumerate() {
+        if sinks.is_empty() {
+            continue;
+        }
+        let dist = bfs_distances(g, src);
+        for &(dst, demand) in sinks {
+            if dist[dst] == dctopo_graph::paths::UNREACHABLE {
+                return Err(FlowError::Unreachable { src, dst });
+            }
+            dist_sum += demand * f64::from(dist[dst]);
+            demand_sum += demand;
+        }
+    }
+    let aspl = dist_sum / demand_sum;
+    let mean_flow_path_len = solved.mean_flow_path_len();
+    // stretch: routed length over shortest length (≥ 1 up to solver noise)
+    let stretch = if aspl > 0.0 { mean_flow_path_len / aspl } else { 1.0 };
+    Ok(Decomposition {
+        capacity,
+        utilization,
+        aspl,
+        stretch,
+        mean_flow_path_len,
+        total_demand: demand_sum,
+    })
+}
+
+/// Jain's fairness index `(Σ xᵢ)² / (n·Σ xᵢ²)` of a rate vector.
+/// 1.0 = perfectly even; `1/n` = one flow takes everything.
+///
+/// The concurrent-flow solver serves all commodities at (nearly) equal
+/// per-demand rates by construction, so this is mostly interesting for
+/// *packet-level* goodputs (the paper's §9 "flow-fairness" discussion:
+/// TCP's bandwidth shares are not max-min shares).
+pub fn jain_fairness(rates: &[f64]) -> f64 {
+    assert!(!rates.is_empty(), "fairness of an empty rate vector");
+    let n = rates.len() as f64;
+    let sum: f64 = rates.iter().sum();
+    let sumsq: f64 = rates.iter().map(|x| x * x).sum();
+    if sumsq <= 0.0 {
+        return 1.0;
+    }
+    sum * sum / (n * sumsq)
+}
+
+/// Jain fairness of a solved flow's per-unit-demand service rates.
+pub fn flow_fairness(solved: &SolvedFlow, commodities: &[Commodity]) -> f64 {
+    assert_eq!(solved.commodity_rate.len(), commodities.len(), "rate/commodity mismatch");
+    let xs: Vec<f64> = solved
+        .commodity_rate
+        .iter()
+        .zip(commodities)
+        .map(|(&r, c)| r / c.demand)
+        .collect();
+    jain_fairness(&xs)
+}
+
+/// Histogram of per-edge utilizations in `buckets` equal bins over
+/// `[0, 1]`; the last bin also absorbs (numerically) over-1 values.
+/// The §6.1 analysis is exactly about the mass moving between the low
+/// and the saturated ends of this histogram.
+pub fn utilization_histogram(g: &Graph, solved: &SolvedFlow, buckets: usize) -> Vec<usize> {
+    assert!(buckets >= 1, "need at least one bucket");
+    let mut hist = vec![0usize; buckets];
+    for u in solved.edge_utilization(g) {
+        let idx = ((u * buckets as f64) as usize).min(buckets - 1);
+        hist[idx] += 1;
+    }
+    hist
+}
+
+/// Average *directional* link utilization per unordered class pair.
+///
+/// `class_of[v]` assigns each switch a class; returns, for every class
+/// pair `(a ≤ b)` that has at least one edge, the mean over those edges
+/// of `max(flow_uv, flow_vu) / capacity`. This is the paper's
+/// "averaged link utilization for each link type" bottleneck probe.
+pub fn utilization_by_class(
+    g: &Graph,
+    solved: &SolvedFlow,
+    class_of: &[usize],
+) -> Vec<((usize, usize), f64)> {
+    assert_eq!(class_of.len(), g.node_count(), "class_of length mismatch");
+    let per_edge = solved.edge_utilization(g);
+    let mut sums: std::collections::BTreeMap<(usize, usize), (f64, usize)> =
+        std::collections::BTreeMap::new();
+    for (e, edge) in g.edges().iter().enumerate() {
+        let (a, b) = {
+            let (ca, cb) = (class_of[edge.u], class_of[edge.v]);
+            if ca <= cb {
+                (ca, cb)
+            } else {
+                (cb, ca)
+            }
+        };
+        let entry = sums.entry((a, b)).or_insert((0.0, 0));
+        entry.0 += per_edge[e];
+        entry.1 += 1;
+    }
+    sums.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_flow::{max_concurrent_flow, FlowOptions};
+
+    fn opts() -> FlowOptions {
+        FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 20000, stall_phases: 2000 }
+    }
+
+    /// On a path graph with one commodity, all factors are hand-checkable.
+    #[test]
+    fn decompose_path_graph() {
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(1, 2).unwrap();
+        let cs = [Commodity::unit(0, 2)];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let d = decompose(&g, &s, &cs).unwrap();
+        assert_eq!(d.capacity, 4.0);
+        assert!((d.aspl - 2.0).abs() < 1e-12);
+        assert!((d.stretch - 1.0).abs() < 0.02, "stretch {}", d.stretch);
+        // one unit over 2 of 4 capacity-directions
+        assert!((d.utilization - 0.5).abs() < 0.03);
+        assert!((d.implied_throughput() - s.throughput).abs() < 0.05);
+    }
+
+    /// The identity T = C·U/(⟨D⟩·AS·f) holds on a symmetric instance.
+    #[test]
+    fn identity_holds_on_cycle() {
+        let mut g = Graph::new(6);
+        for v in 0..6 {
+            g.add_unit_edge(v, (v + 1) % 6).unwrap();
+        }
+        let cs: Vec<Commodity> = (0..6).map(|v| Commodity::unit(v, (v + 3) % 6)).collect();
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let d = decompose(&g, &s, &cs).unwrap();
+        let implied = d.implied_throughput();
+        assert!(
+            (implied - s.throughput).abs() / s.throughput < 0.05,
+            "implied {implied} vs actual {}",
+            s.throughput
+        );
+        assert!(d.stretch >= 1.0 - 0.02);
+    }
+
+    #[test]
+    fn stretch_detects_long_routes() {
+        // two routes: direct (1 hop) and long (3 hops); with enough
+        // demand the solver must also use the long one → stretch > 1
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap(); // direct
+        g.add_unit_edge(0, 2).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        g.add_unit_edge(3, 1).unwrap();
+        let cs = [Commodity { src: 0, dst: 1, demand: 2.0 }];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let d = decompose(&g, &s, &cs).unwrap();
+        assert!(d.stretch > 1.5, "stretch {} should reflect the 3-hop detour", d.stretch);
+    }
+
+    #[test]
+    fn class_utilization_separates_bottleneck() {
+        // two "clusters" {0,1} and {2,3}, fat internal edges, thin cross
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 10.0).unwrap();
+        g.add_edge(2, 3, 10.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        let cs = [Commodity::unit(0, 3)];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let by_class = utilization_by_class(&g, &s, &[0, 0, 1, 1]);
+        let get = |a: usize, b: usize| {
+            by_class
+                .iter()
+                .find(|&&(k, _)| k == (a, b))
+                .map(|&(_, u)| u)
+                .expect("class pair present")
+        };
+        assert!(get(0, 1) > 0.9, "cross links saturated: {}", get(0, 1));
+        assert!(get(0, 0) < 0.2, "internal links idle: {}", get(0, 0));
+    }
+
+    #[test]
+    fn fairness_index_bounds() {
+        assert!((jain_fairness(&[1.0, 1.0, 1.0]) - 1.0).abs() < 1e-12);
+        assert!((jain_fairness(&[1.0, 0.0, 0.0]) - 1.0 / 3.0).abs() < 1e-12);
+        let j = jain_fairness(&[2.0, 1.0]);
+        assert!((j - 0.9).abs() < 1e-12);
+        assert_eq!(jain_fairness(&[0.0, 0.0]), 1.0);
+    }
+
+    #[test]
+    fn solver_rates_are_concurrent_fair() {
+        // the concurrent objective serves commodities at equal per-demand
+        // rates even when one has spare private capacity
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 5.0).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let cs = [Commodity::unit(0, 1), Commodity::unit(2, 3)];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let j = flow_fairness(&s, &cs);
+        assert!(j > 0.95, "concurrent flow serves evenly: {j}");
+    }
+
+    #[test]
+    fn histogram_partitions_edges() {
+        let mut g = Graph::new(3);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_edge(1, 2, 10.0).unwrap();
+        let cs = [Commodity::unit(0, 2)];
+        let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let hist = utilization_histogram(&g, &s, 4);
+        assert_eq!(hist.iter().sum::<usize>(), g.edge_count());
+        // the unit edge saturates (last bucket), the 10x edge is cold
+        assert_eq!(hist[3], 1);
+        assert_eq!(hist[0], 1);
+    }
+
+    #[test]
+    fn decompose_unreachable_errors() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        // solve on the connected part...
+        let cs_ok = [Commodity::unit(0, 1)];
+        let s = max_concurrent_flow(&g, &cs_ok, &opts()).unwrap();
+        // ...then ask for a decomposition over a disconnected commodity
+        let cs_bad = [Commodity::unit(0, 3)];
+        assert!(matches!(
+            decompose(&g, &s, &cs_bad),
+            Err(FlowError::Unreachable { .. })
+        ));
+    }
+}

@@ -1,0 +1,138 @@
+//! The simulated network: nodes connected by unidirectional links, each
+//! with a service rate, propagation delay, and a FIFO drop-tail queue.
+
+/// Parameters of one (unidirectional) link.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Service rate in packets per time unit (1.0 = server line rate).
+    pub rate: f64,
+    /// Propagation delay in time units.
+    pub delay: f64,
+    /// Queue capacity in packets (excluding the one in service).
+    pub queue: usize,
+}
+
+/// A directed link instance.
+#[derive(Debug, Clone, Copy)]
+pub struct Link {
+    /// Source node.
+    pub from: usize,
+    /// Target node.
+    pub to: usize,
+    /// Parameters.
+    pub spec: LinkSpec,
+}
+
+/// The static network: node count and directed links with an adjacency
+/// index for path resolution.
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    nodes: usize,
+    links: Vec<Link>,
+    /// `next_link[u]` lists `(v, link id)` pairs.
+    out: Vec<Vec<(usize, usize)>>,
+}
+
+impl Network {
+    /// A network with `nodes` nodes and no links.
+    pub fn new(nodes: usize) -> Self {
+        Network { nodes, links: Vec::new(), out: vec![Vec::new(); nodes] }
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.nodes
+    }
+
+    /// Number of directed links.
+    pub fn link_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: usize) -> &Link {
+        &self.links[id]
+    }
+
+    /// Add a unidirectional link; returns its id.
+    ///
+    /// # Panics
+    /// On out-of-range nodes, self-loops, or non-positive rate.
+    pub fn add_link(&mut self, from: usize, to: usize, spec: LinkSpec) -> usize {
+        assert!(from < self.nodes && to < self.nodes, "link endpoint out of range");
+        assert_ne!(from, to, "self-loop link");
+        assert!(spec.rate > 0.0 && spec.rate.is_finite(), "link rate must be positive");
+        assert!(spec.delay >= 0.0, "negative delay");
+        let id = self.links.len();
+        self.links.push(Link { from, to, spec });
+        self.out[from].push((to, id));
+        id
+    }
+
+    /// Add both directions with the same spec; returns `(fwd, rev)` ids.
+    pub fn add_duplex_link(&mut self, a: usize, b: usize, spec: LinkSpec) -> (usize, usize) {
+        (self.add_link(a, b, spec), self.add_link(b, a, spec))
+    }
+
+    /// The link from `u` to `v`, if present (first match on parallels).
+    pub fn link_between(&self, u: usize, v: usize) -> Option<usize> {
+        self.out[u].iter().find(|&&(w, _)| w == v).map(|&(_, id)| id)
+    }
+
+    /// Resolve a node path `[n0, n1, ..., nk]` into link ids.
+    ///
+    /// Returns `None` if any consecutive pair has no link.
+    pub fn resolve_path(&self, nodes: &[usize]) -> Option<Vec<usize>> {
+        nodes.windows(2).map(|w| self.link_between(w[0], w[1])).collect()
+    }
+
+    /// Total propagation delay along a node path (for ACK return delay).
+    pub fn path_delay(&self, links: &[usize]) -> f64 {
+        links.iter().map(|&l| self.links[l].spec.delay).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LinkSpec {
+        LinkSpec { rate: 1.0, delay: 0.1, queue: 8 }
+    }
+
+    #[test]
+    fn build_and_resolve() {
+        let mut net = Network::new(3);
+        net.add_duplex_link(0, 1, spec());
+        net.add_link(1, 2, spec());
+        assert_eq!(net.link_count(), 3);
+        let path = net.resolve_path(&[0, 1, 2]).unwrap();
+        assert_eq!(path.len(), 2);
+        assert_eq!(net.link(path[0]).from, 0);
+        assert_eq!(net.link(path[1]).to, 2);
+        // reverse of 1->2 does not exist
+        assert!(net.resolve_path(&[2, 1]).is_none());
+        assert!((net.path_delay(&path) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn rejects_self_loop() {
+        let mut net = Network::new(2);
+        net.add_link(1, 1, spec());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_bad_node() {
+        let mut net = Network::new(2);
+        net.add_link(0, 5, spec());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_zero_rate() {
+        let mut net = Network::new(2);
+        net.add_link(0, 1, LinkSpec { rate: 0.0, delay: 0.0, queue: 1 });
+    }
+}

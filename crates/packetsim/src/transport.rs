@@ -1,0 +1,331 @@
+//! MPTCP-like transport state machines: per-subflow AIMD senders with
+//! coupled window increase, and a cumulative-ACK receiver.
+//!
+//! This is deliberately an *abstract* TCP: no byte streams, no SACK
+//! blocks, no slow-start phase (we start from a small window and let
+//! AIMD probe) — the quantities that matter for Fig. 13 are steady-state
+//! window dynamics: additive increase coupled across subflows
+//! (`+1/cwnd_total` per ACKed packet, a simplified Linked-Increases
+//! Algorithm), multiplicative decrease on triple-duplicate ACK, and a
+//! retransmit-timeout backstop.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Maximum congestion window (packets) — a sanity cap, not a tuning knob.
+pub const MAX_CWND: f64 = 10_000.0;
+
+/// Sender-side state of one subflow.
+#[derive(Debug, Clone)]
+pub struct Subflow {
+    /// Congestion window in packets.
+    pub cwnd: f64,
+    /// Next fresh sequence number to send.
+    pub next_seq: u64,
+    /// Highest cumulative ACK received (all `seq < cum_acked` delivered).
+    pub cum_acked: u64,
+    /// Unacknowledged sequences in flight, mapped to their send time
+    /// (`NAN` once retransmitted — Karn's rule excludes them from RTT
+    /// sampling).
+    pub outstanding: BTreeMap<u64, f64>,
+    /// Duplicate-ACK counter.
+    pub dup_acks: u32,
+    /// While `cum_acked < recover_until` the subflow is in fast recovery
+    /// and ignores further duplicate ACKs.
+    pub recover_until: u64,
+    /// Timer generation — incremented to invalidate stale RTO events.
+    pub timer_gen: u64,
+    /// Smoothed RTT estimate (RFC-6298 style), `None` before the first
+    /// sample.
+    pub srtt: Option<f64>,
+    /// RTT variance estimate.
+    pub rttvar: f64,
+    /// Consecutive-timeout exponential backoff (doubles the RTO per
+    /// timeout, reset by the next genuine ACK).
+    pub backoff: u32,
+}
+
+/// What the engine must do after feeding an ACK to a subflow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AckOutcome {
+    /// Number of newly acknowledged packets (0 for a duplicate ACK).
+    pub newly_acked: u64,
+    /// A sequence number to retransmit immediately, if any.
+    pub retransmit: Option<u64>,
+}
+
+impl Subflow {
+    /// Fresh subflow with the given initial window.
+    pub fn new(initial_cwnd: f64) -> Self {
+        Subflow {
+            cwnd: initial_cwnd.max(1.0),
+            next_seq: 0,
+            cum_acked: 0,
+            outstanding: BTreeMap::new(),
+            dup_acks: 0,
+            recover_until: 0,
+            timer_gen: 0,
+            srtt: None,
+            rttvar: 0.0,
+            backoff: 0,
+        }
+    }
+
+    /// Current retransmission timeout: `SRTT + 4·RTTVAR`, clamped to
+    /// `[initial/10, initial·10]`; `initial` before the first sample.
+    pub fn rto(&self, initial: f64) -> f64 {
+        let base = match self.srtt {
+            Some(srtt) => (srtt + 4.0 * self.rttvar).clamp(initial / 10.0, initial * 10.0),
+            None => initial,
+        };
+        base * f64::from(1u32 << self.backoff.min(6))
+    }
+
+    /// Record an RTT sample (RFC 6298 smoothing).
+    fn sample_rtt(&mut self, sample: f64) {
+        match self.srtt {
+            None => {
+                self.srtt = Some(sample);
+                self.rttvar = sample / 2.0;
+            }
+            Some(srtt) => {
+                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample).abs();
+                self.srtt = Some(0.875 * srtt + 0.125 * sample);
+            }
+        }
+    }
+
+    /// Can another packet enter the network under the current window?
+    pub fn can_send(&self) -> bool {
+        (self.outstanding.len() as f64) < self.cwnd.floor().max(1.0)
+    }
+
+    /// Allocate and record the next fresh sequence number, stamped with
+    /// its send time for RTT sampling.
+    pub fn take_next_seq(&mut self, now: f64) -> u64 {
+        let s = self.next_seq;
+        self.next_seq += 1;
+        self.outstanding.insert(s, now);
+        s
+    }
+
+    /// Mark a sequence as retransmitted (Karn: exclude from RTT samples).
+    pub fn mark_retransmitted(&mut self, seq: u64) {
+        if let Some(t) = self.outstanding.get_mut(&seq) {
+            *t = f64::NAN;
+        }
+    }
+
+    /// Process a cumulative ACK at time `now`. `total_cwnd` is the sum
+    /// of the windows of *all* subflows of the connection (the coupling
+    /// term).
+    pub fn on_ack(&mut self, cum: u64, total_cwnd: f64, now: f64) -> AckOutcome {
+        if cum > self.cum_acked {
+            let newly = cum - self.cum_acked;
+            self.cum_acked = cum;
+            // drop acked seqs, sampling RTT from never-retransmitted ones
+            let mut best_sample: Option<f64> = None;
+            while let Some((&s, &sent)) = self.outstanding.iter().next() {
+                if s < cum {
+                    self.outstanding.remove(&s);
+                    if sent.is_finite() {
+                        best_sample = Some(now - sent);
+                    }
+                } else {
+                    break;
+                }
+            }
+            if let Some(sample) = best_sample {
+                self.sample_rtt(sample.max(0.0));
+            }
+            self.dup_acks = 0;
+            self.backoff = 0;
+            // coupled additive increase: +1/total per ACKed packet
+            let total = total_cwnd.max(1.0);
+            self.cwnd = (self.cwnd + newly as f64 / total).min(MAX_CWND);
+            // a partial ACK during recovery retransmits the next hole
+            let retransmit = if cum < self.recover_until && self.outstanding.contains_key(&cum)
+            {
+                Some(cum)
+            } else {
+                None
+            };
+            AckOutcome { newly_acked: newly, retransmit }
+        } else {
+            // duplicate ACK
+            self.dup_acks += 1;
+            if self.dup_acks == 3 && self.cum_acked >= self.recover_until {
+                // fast retransmit + multiplicative decrease, once per window
+                self.cwnd = (self.cwnd / 2.0).max(1.0);
+                self.recover_until = self.next_seq;
+                let seq = self.cum_acked;
+                let retransmit = self.outstanding.contains_key(&seq).then_some(seq);
+                AckOutcome { newly_acked: 0, retransmit }
+            } else {
+                AckOutcome { newly_acked: 0, retransmit: None }
+            }
+        }
+    }
+
+    /// Retransmission timeout: collapse the window, return the first
+    /// missing sequence to retransmit (if anything is in flight).
+    pub fn on_timeout(&mut self) -> Option<u64> {
+        if self.outstanding.is_empty() {
+            return None;
+        }
+        self.cwnd = 1.0;
+        self.dup_acks = 0;
+        self.recover_until = self.next_seq;
+        // exponential backoff: repeated timeouts double the RTO
+        self.backoff = (self.backoff + 1).min(6);
+        if let Some(srtt) = self.srtt {
+            self.rttvar = (self.rttvar * 2.0).max(srtt / 2.0);
+        }
+        self.outstanding.keys().next().copied()
+    }
+}
+
+/// Receiver-side state of one subflow: cumulative ACK with out-of-order
+/// buffering.
+#[derive(Debug, Clone, Default)]
+pub struct Receiver {
+    /// Next in-order sequence expected (= cumulative ACK value).
+    pub expected: u64,
+    /// Out-of-order packets held back.
+    pub buffered: BTreeSet<u64>,
+}
+
+impl Receiver {
+    /// Process an arriving packet. Returns `(cumulative_ack, is_new)`:
+    /// `is_new` is false for duplicates (retransmissions of delivered
+    /// data), which must not count toward goodput.
+    pub fn on_packet(&mut self, seq: u64) -> (u64, bool) {
+        if seq < self.expected || self.buffered.contains(&seq) {
+            return (self.expected, false);
+        }
+        if seq == self.expected {
+            self.expected += 1;
+            while self.buffered.remove(&self.expected) {
+                self.expected += 1;
+            }
+        } else {
+            self.buffered.insert(seq);
+        }
+        (self.expected, true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_gates_sending() {
+        let mut s = Subflow::new(2.0);
+        assert!(s.can_send());
+        s.take_next_seq(0.0);
+        assert!(s.can_send());
+        s.take_next_seq(0.0);
+        assert!(!s.can_send());
+    }
+
+    #[test]
+    fn ack_advances_and_grows_window() {
+        let mut s = Subflow::new(2.0);
+        s.take_next_seq(0.0);
+        s.take_next_seq(0.0);
+        let out = s.on_ack(2, 4.0, 1.0);
+        assert_eq!(out.newly_acked, 2);
+        assert!(out.retransmit.is_none());
+        assert!(s.outstanding.is_empty());
+        assert!((s.cwnd - 2.5).abs() < 1e-12, "coupled increase 2·(1/4)");
+    }
+
+    #[test]
+    fn triple_dup_ack_halves_and_retransmits() {
+        let mut s = Subflow::new(8.0);
+        for _ in 0..8 {
+            s.take_next_seq(0.0);
+        }
+        // packet 0 lost: receiver keeps acking 0
+        assert_eq!(s.on_ack(0, 8.0, 1.0), AckOutcome { newly_acked: 0, retransmit: None });
+        assert_eq!(s.on_ack(0, 8.0, 1.1), AckOutcome { newly_acked: 0, retransmit: None });
+        let third = s.on_ack(0, 8.0, 1.2);
+        assert_eq!(third.retransmit, Some(0));
+        assert!((s.cwnd - 4.0).abs() < 1e-12);
+        // further dups during recovery do nothing
+        let fourth = s.on_ack(0, 8.0, 1.3);
+        assert_eq!(fourth.retransmit, None);
+        assert!((s.cwnd - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_ack_in_recovery_retransmits_next_hole() {
+        let mut s = Subflow::new(8.0);
+        for _ in 0..6 {
+            s.take_next_seq(0.0);
+        }
+        for _ in 0..3 {
+            s.on_ack(0, 8.0, 1.0);
+        }
+        assert!(s.recover_until == 6);
+        // cum advances to 2 but hole at 2 remains
+        let out = s.on_ack(2, 8.0, 1.5);
+        assert_eq!(out.newly_acked, 2);
+        assert_eq!(out.retransmit, Some(2));
+    }
+
+    #[test]
+    fn timeout_collapses_window() {
+        let mut s = Subflow::new(16.0);
+        for _ in 0..5 {
+            s.take_next_seq(0.0);
+        }
+        let r = s.on_timeout();
+        assert_eq!(r, Some(0));
+        assert_eq!(s.cwnd, 1.0);
+        // nothing outstanding → no retransmission
+        let mut idle = Subflow::new(4.0);
+        assert_eq!(idle.on_timeout(), None);
+    }
+
+    #[test]
+    fn window_never_exceeds_cap_or_floor() {
+        let mut s = Subflow::new(0.1);
+        assert!(s.cwnd >= 1.0);
+        s.cwnd = MAX_CWND - 0.1;
+        s.take_next_seq(0.0);
+        s.on_ack(1, 1.0, 1.0);
+        assert!(s.cwnd <= MAX_CWND);
+    }
+
+    #[test]
+    fn rtt_estimator_tracks_samples_and_sets_rto() {
+        let mut s = Subflow::new(4.0);
+        assert_eq!(s.rto(60.0), 60.0, "initial RTO before any sample");
+        s.take_next_seq(0.0);
+        s.on_ack(1, 4.0, 2.0); // sample = 2.0
+        assert!((s.srtt.unwrap() - 2.0).abs() < 1e-12);
+        let rto = s.rto(60.0);
+        assert!(rto >= 2.0 && rto < 60.0, "adaptive RTO {rto} near RTT");
+        // Karn: retransmitted packets give no sample
+        s.take_next_seq(3.0);
+        s.mark_retransmitted(1);
+        let srtt_before = s.srtt;
+        s.on_ack(2, 4.0, 100.0);
+        assert_eq!(s.srtt, srtt_before, "retransmitted seq must not skew RTT");
+    }
+
+    #[test]
+    fn receiver_cumulative_and_ooo() {
+        let mut r = Receiver::default();
+        assert_eq!(r.on_packet(0), (1, true));
+        // gap: 2 arrives before 1
+        assert_eq!(r.on_packet(2), (1, true));
+        // duplicate of 2
+        assert_eq!(r.on_packet(2), (1, false));
+        // hole fills, cum jumps past buffered 2
+        assert_eq!(r.on_packet(1), (3, true));
+        // stale retransmission
+        assert_eq!(r.on_packet(0), (3, false));
+    }
+}

@@ -1,0 +1,141 @@
+//! Incremental expansion — the operational advantage the paper credits
+//! to random graphs (§2: "random networks are easier to incrementally
+//! expand — adding equipment simply involves a few random link swaps").
+//!
+//! [`expand_random`] adds one switch to a live topology Jellyfish-style:
+//! for every pair of new network ports, remove one random existing link
+//! `(u, v)` and add `(new, u)` and `(new, v)`. All existing switches keep
+//! their degree; no rewiring beyond the touched links is needed.
+
+use dctopo_graph::{GraphError, NodeId};
+use rand::{Rng, RngExt};
+
+use crate::Topology;
+
+/// Add one switch with `ports` ports (`network_degree` of them wired into
+/// the fabric, the rest hosting servers) to an existing topology.
+///
+/// Returns the new switch's node id. The new switch joins switch class
+/// `class`, which must already exist.
+///
+/// # Errors
+/// * `network_degree` must be even (each swap consumes two new ports),
+///   positive, and at most `ports`.
+/// * The fabric must have enough links to donate without creating
+///   parallel edges; pathological cases (tiny or near-complete graphs)
+///   error out after bounded retries.
+pub fn expand_random<R: Rng + ?Sized>(
+    topo: &mut Topology,
+    ports: usize,
+    network_degree: usize,
+    class: usize,
+    rng: &mut R,
+) -> Result<NodeId, GraphError> {
+    if network_degree == 0 || network_degree % 2 != 0 {
+        return Err(GraphError::Unrealizable(format!(
+            "expansion degree must be even and positive, got {network_degree}"
+        )));
+    }
+    if network_degree > ports {
+        return Err(GraphError::Unrealizable(format!(
+            "{network_degree} network ports exceed {ports} total"
+        )));
+    }
+    if class >= topo.classes.len() {
+        return Err(GraphError::Unrealizable(format!("switch class {class} does not exist")));
+    }
+    if topo.graph.edge_count() < network_degree / 2 {
+        return Err(GraphError::Unrealizable(
+            "not enough existing links to donate for the expansion".into(),
+        ));
+    }
+    let new = topo.graph.add_node();
+    let mut attached = 0usize;
+    let mut attempts = 0usize;
+    let budget = 200 + 50 * network_degree;
+    while attached < network_degree {
+        attempts += 1;
+        if attempts > budget {
+            return Err(GraphError::Unrealizable(format!(
+                "expansion stuck after attaching {attached} of {network_degree} ports"
+            )));
+        }
+        let e = rng.random_range(0..topo.graph.edge_count());
+        let edge = topo.graph.edge(e);
+        let (u, v) = (edge.u, edge.v);
+        // the donated link's endpoints must both be new neighbours
+        if u == new || v == new || topo.graph.has_edge(new, u) || topo.graph.has_edge(new, v) {
+            continue;
+        }
+        let capacity = edge.capacity;
+        topo.graph.remove_edge(e);
+        topo.graph.add_edge(new, u, capacity)?;
+        topo.graph.add_edge(new, v, capacity)?;
+        attached += 2;
+    }
+    topo.servers_at.push(ports - network_degree);
+    topo.class_of.push(class);
+    Ok(new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_graph::components::is_connected;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn expansion_preserves_existing_degrees() {
+        let mut rng = StdRng::seed_from_u64(50);
+        let mut topo = Topology::random_regular(20, 15, 10, &mut rng).unwrap();
+        let before = topo.graph.degrees();
+        let new = expand_random(&mut topo, 15, 10, 0, &mut rng).unwrap();
+        assert_eq!(new, 20);
+        let after = topo.graph.degrees();
+        assert_eq!(&after[..20], &before[..]);
+        assert_eq!(after[20], 10);
+        assert_eq!(topo.servers_at[20], 5);
+        assert!(is_connected(&topo.graph));
+        topo.validate_ports().unwrap();
+    }
+
+    #[test]
+    fn repeated_expansion_grows_cleanly() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let mut topo = Topology::random_regular(12, 10, 6, &mut rng).unwrap();
+        for step in 0..8 {
+            expand_random(&mut topo, 10, 6, 0, &mut rng)
+                .unwrap_or_else(|e| panic!("expansion {step} failed: {e}"));
+        }
+        assert_eq!(topo.switch_count(), 20);
+        assert_eq!(topo.graph.regular_degree(), Some(6));
+        assert_eq!(topo.server_count(), 20 * 4);
+        assert!(is_connected(&topo.graph));
+    }
+
+    #[test]
+    fn expansion_rejects_bad_parameters() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let mut topo = Topology::random_regular(10, 8, 4, &mut rng).unwrap();
+        assert!(expand_random(&mut topo, 8, 3, 0, &mut rng).is_err()); // odd
+        assert!(expand_random(&mut topo, 8, 0, 0, &mut rng).is_err()); // zero
+        assert!(expand_random(&mut topo, 4, 6, 0, &mut rng).is_err()); // > ports
+        assert!(expand_random(&mut topo, 8, 4, 7, &mut rng).is_err()); // bad class
+        // failures must not have mutated the topology's bookkeeping
+        assert_eq!(topo.servers_at.len(), topo.class_of.len());
+    }
+
+    #[test]
+    fn expansion_keeps_capacity_classes() {
+        // expanding a 10x fabric donates 10x links and re-adds 10x links
+        let mut rng = StdRng::seed_from_u64(53);
+        let mut topo = Topology::random_regular(12, 10, 6, &mut rng).unwrap();
+        for e in 0..topo.graph.edge_count() {
+            let edge = topo.graph.edge(e);
+            assert_eq!(edge.capacity, 1.0, "precondition");
+        }
+        expand_random(&mut topo, 10, 6, 0, &mut rng).unwrap();
+        assert!(topo.graph.edges().iter().all(|e| e.capacity == 1.0));
+    }
+}

@@ -1,0 +1,347 @@
+//! Stub-pairing machinery: the configuration-model-with-repair routine
+//! underlying every random builder in this crate.
+//!
+//! A *stub* is one free port of a switch. [`pair_stubs`] connects stubs
+//! uniformly at random into simple edges (no self-loops, no parallel
+//! edges), repairing dead ends with degree-preserving rewires — the same
+//! move Jellyfish uses when its incremental construction gets stuck.
+//! Repairs only ever touch edges created by the current call (a
+//! contiguous id window), so multi-phase constructions (e.g. "exactly X
+//! cross-cluster links, then fill each side") never corrupt earlier
+//! phases.
+
+use dctopo_graph::{Graph, GraphError, NodeId};
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// Pair all `stubs` into random simple edges of the given capacity.
+///
+/// If the stub count is odd, one random stub is left unused. Returns the
+/// number of unused stubs.
+///
+/// # Errors
+/// [`GraphError::Unrealizable`] if the pairing cannot be completed even
+/// with repairs (e.g. all remaining stubs belong to one node and no
+/// rewire helps).
+pub fn pair_stubs<R: Rng + ?Sized>(
+    g: &mut Graph,
+    mut stubs: Vec<NodeId>,
+    capacity: f64,
+    rng: &mut R,
+) -> Result<usize, GraphError> {
+    let mut unused = 0usize;
+    if stubs.len() % 2 == 1 {
+        let i = rng.random_range(0..stubs.len());
+        stubs.swap_remove(i);
+        unused += 1;
+    }
+    let window_start = g.edge_count();
+    let mut repairs = 0usize;
+    let repair_budget = 200 + 20 * stubs.len();
+    stubs.shuffle(rng);
+    while stubs.len() >= 2 {
+        let mut placed = false;
+        // random pick with bounded retries
+        for _ in 0..64 {
+            let i = rng.random_range(0..stubs.len());
+            let mut j = rng.random_range(0..stubs.len() - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (x, y) = (stubs[i], stubs[j]);
+            if x != y && !g.has_edge(x, y) {
+                g.add_edge(x, y, capacity)?;
+                let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+                stubs.swap_remove(hi);
+                stubs.swap_remove(lo);
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            continue;
+        }
+        // Dead end: every remaining pair is invalid (or we're unlucky).
+        // Repair: take stub x, break an existing in-window edge (u, v)
+        // with x ∉ {u, v} and no x-u edge; connect x-u and return v's
+        // stub to the pool. Keeps all degrees intact.
+        repairs += 1;
+        if repairs > repair_budget || g.edge_count() == window_start {
+            return Err(GraphError::Unrealizable(format!(
+                "stub pairing stuck with {} stubs left",
+                stubs.len()
+            )));
+        }
+        let x = stubs[0];
+        let mut repaired = false;
+        for _ in 0..200 {
+            let e = rng.random_range(window_start..g.edge_count());
+            let edge = g.edge(e);
+            let (u, v) = (edge.u, edge.v);
+            if u == x || v == x {
+                continue;
+            }
+            // try attaching x to u (freeing v) or to v (freeing u)
+            if !g.has_edge(x, u) {
+                g.remove_edge(e);
+                g.add_edge(x, u, capacity)?;
+                stubs[0] = v;
+                repaired = true;
+                break;
+            }
+            if !g.has_edge(x, v) {
+                g.remove_edge(e);
+                g.add_edge(x, v, capacity)?;
+                stubs[0] = u;
+                repaired = true;
+                break;
+            }
+        }
+        if !repaired {
+            return Err(GraphError::Unrealizable(format!(
+                "stub pairing found no repair for node {x} with {} stubs left",
+                stubs.len()
+            )));
+        }
+    }
+    Ok(unused)
+}
+
+/// Pair all `stubs` into random edges **allowing parallel edges**
+/// (trunking) but not self-loops. Used when a cluster is too dense for a
+/// simple graph — e.g. a handful of high-radix switches whose free ports
+/// exceed the possible distinct neighbours; real deployments bundle such
+/// ports into link-aggregation trunks.
+///
+/// Returns the number of unused stubs (0 or 1, plus any stubs stranded
+/// on a single node once every other node's ports are exhausted).
+pub fn pair_stubs_multi<R: Rng + ?Sized>(
+    g: &mut Graph,
+    mut stubs: Vec<NodeId>,
+    capacity: f64,
+    rng: &mut R,
+) -> Result<usize, GraphError> {
+    let mut unused = 0usize;
+    if stubs.len() % 2 == 1 {
+        let i = rng.random_range(0..stubs.len());
+        stubs.swap_remove(i);
+        unused += 1;
+    }
+    stubs.shuffle(rng);
+    while stubs.len() >= 2 {
+        // all remaining stubs on one node → the rest are unusable
+        let first = stubs[0];
+        if stubs.iter().all(|&v| v == first) {
+            unused += stubs.len();
+            break;
+        }
+        let i = rng.random_range(0..stubs.len());
+        let mut j = rng.random_range(0..stubs.len() - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (x, y) = (stubs[i], stubs[j]);
+        if x == y {
+            continue;
+        }
+        g.add_edge(x, y, capacity)?;
+        let (hi, lo) = if i > j { (i, j) } else { (j, i) };
+        stubs.swap_remove(hi);
+        stubs.swap_remove(lo);
+    }
+    Ok(unused)
+}
+
+/// Create exactly `count` random simple edges between side-A stubs and
+/// side-B stubs (a bipartite pairing), consuming the used stubs from the
+/// input vectors and leaving the rest in place.
+///
+/// # Errors
+/// [`GraphError::Unrealizable`] if `count` exceeds either side's stubs
+/// or the pairing cannot avoid parallel edges.
+pub fn pair_bipartite<R: Rng + ?Sized>(
+    g: &mut Graph,
+    a_stubs: &mut Vec<NodeId>,
+    b_stubs: &mut Vec<NodeId>,
+    count: usize,
+    capacity: f64,
+    rng: &mut R,
+) -> Result<(), GraphError> {
+    if count > a_stubs.len() || count > b_stubs.len() {
+        return Err(GraphError::Unrealizable(format!(
+            "requested {count} cross links but only {}x{} stubs available",
+            a_stubs.len(),
+            b_stubs.len()
+        )));
+    }
+    let window_start = g.edge_count();
+    a_stubs.shuffle(rng);
+    b_stubs.shuffle(rng);
+    let mut made = 0usize;
+    let mut repairs = 0usize;
+    let repair_budget = 200 + 20 * count;
+    while made < count {
+        let mut placed = false;
+        for _ in 0..64 {
+            let i = rng.random_range(0..a_stubs.len());
+            let j = rng.random_range(0..b_stubs.len());
+            let (x, y) = (a_stubs[i], b_stubs[j]);
+            if !g.has_edge(x, y) {
+                g.add_edge(x, y, capacity)?;
+                a_stubs.swap_remove(i);
+                b_stubs.swap_remove(j);
+                made += 1;
+                placed = true;
+                break;
+            }
+        }
+        if placed {
+            continue;
+        }
+        repairs += 1;
+        if repairs > repair_budget || g.edge_count() == window_start {
+            return Err(GraphError::Unrealizable(format!(
+                "bipartite pairing stuck after {made} of {count} links"
+            )));
+        }
+        // repair: x from side A cannot reach any sampled partner; break a
+        // random in-window cross edge (u, v) with u on side A: connect
+        // x-v if new, free u's stub back to side A.
+        let x = a_stubs[0];
+        let mut repaired = false;
+        for _ in 0..200 {
+            let e = rng.random_range(window_start..g.edge_count());
+            let edge = g.edge(e);
+            // orientation: we don't know which endpoint is side A, try both
+            for (u, v) in [(edge.u, edge.v), (edge.v, edge.u)] {
+                if u != x && !g.has_edge(x, v) {
+                    g.remove_edge(e);
+                    g.add_edge(x, v, capacity)?;
+                    a_stubs[0] = u;
+                    repaired = true;
+                    break;
+                }
+            }
+            if repaired {
+                break;
+            }
+        }
+        if !repaired {
+            return Err(GraphError::Unrealizable(
+                "bipartite pairing found no repair".into(),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// Expand per-node stub counts into a flat stub list.
+pub fn stubs_from_counts(counts: &[(NodeId, usize)]) -> Vec<NodeId> {
+    let mut stubs = Vec::new();
+    for &(v, c) in counts {
+        stubs.extend(std::iter::repeat(v).take(c));
+    }
+    stubs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pair_stubs_regular_graph() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for trial in 0..20 {
+            let n = 20;
+            let r = 4;
+            let mut g = Graph::new(n);
+            let stubs = stubs_from_counts(&(0..n).map(|v| (v, r)).collect::<Vec<_>>());
+            let unused = pair_stubs(&mut g, stubs, 1.0, &mut rng)
+                .unwrap_or_else(|e| panic!("trial {trial}: {e}"));
+            assert_eq!(unused, 0);
+            assert_eq!(g.regular_degree(), Some(r));
+            // simple graph check
+            for v in 0..n {
+                let mut nb: Vec<_> = g.neighbors(v).collect();
+                let len = nb.len();
+                nb.sort_unstable();
+                nb.dedup();
+                assert_eq!(nb.len(), len);
+                assert!(!nb.contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn pair_stubs_odd_leaves_one() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut g = Graph::new(3);
+        let unused = pair_stubs(&mut g, vec![0, 1, 2], 1.0, &mut rng).unwrap();
+        assert_eq!(unused, 1);
+        assert_eq!(g.edge_count(), 1);
+    }
+
+    #[test]
+    fn pair_stubs_impossible_errors() {
+        // all stubs on one node: nothing to connect to
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut g = Graph::new(2);
+        assert!(pair_stubs(&mut g, vec![0, 0, 0, 0], 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn pair_stubs_repair_rescues_dead_end() {
+        // Node 0 has many stubs; small graph forces conflicts that the
+        // repair must resolve: K4-able degrees (3,3,3,3) succeed even
+        // from adversarial shuffles.
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let mut g = Graph::new(4);
+            let stubs = stubs_from_counts(&[(0, 3), (1, 3), (2, 3), (3, 3)]);
+            pair_stubs(&mut g, stubs, 1.0, &mut rng).unwrap();
+            assert_eq!(g.edge_count(), 6); // K4
+        }
+    }
+
+    #[test]
+    fn bipartite_exact_count() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut g = Graph::new(10);
+        // side A nodes 0..5 with 3 stubs each; side B nodes 5..10 with 3
+        let mut a = stubs_from_counts(&(0..5).map(|v| (v, 3)).collect::<Vec<_>>());
+        let mut b = stubs_from_counts(&(5..10).map(|v| (v, 3)).collect::<Vec<_>>());
+        pair_bipartite(&mut g, &mut a, &mut b, 8, 1.0, &mut rng).unwrap();
+        assert_eq!(g.edge_count(), 8);
+        assert_eq!(a.len(), 15 - 8);
+        assert_eq!(b.len(), 15 - 8);
+        for e in g.edges() {
+            assert!(e.u < 5 && e.v >= 5 || e.v < 5 && e.u >= 5);
+        }
+    }
+
+    #[test]
+    fn bipartite_too_many_rejected() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut g = Graph::new(4);
+        let mut a = vec![0, 1];
+        let mut b = vec![2, 3];
+        assert!(pair_bipartite(&mut g, &mut a, &mut b, 5, 1.0, &mut rng).is_err());
+    }
+
+    #[test]
+    fn bipartite_saturated_complete() {
+        // 2x2 sides, 4 links = complete bipartite K22; must avoid
+        // parallel edges exactly
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..30 {
+            let mut g = Graph::new(4);
+            let mut a = vec![0, 0, 1, 1];
+            let mut b = vec![2, 3, 2, 3];
+            pair_bipartite(&mut g, &mut a, &mut b, 4, 1.0, &mut rng).unwrap();
+            assert_eq!(g.edge_count(), 4);
+            assert!(g.has_edge(0, 2) && g.has_edge(0, 3) && g.has_edge(1, 2) && g.has_edge(1, 3));
+        }
+    }
+}

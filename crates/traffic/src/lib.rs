@@ -1,0 +1,274 @@
+//! # dctopo-traffic
+//!
+//! Traffic matrix generators (§3, §8.1 of the paper).
+//!
+//! A [`TrafficMatrix`] is a list of unit-demand server-to-server flows.
+//! Servers are dense indices `0..n`; mapping servers to switches is the
+//! topology layer's job (`dctopo-core` aggregates server flows into
+//! switch-level commodities before solving).
+//!
+//! Generators:
+//!
+//! * [`TrafficMatrix::random_permutation`] — each server sends to exactly
+//!   one other server and receives from exactly one (a fixed-point-free
+//!   permutation). The paper's default workload.
+//! * [`TrafficMatrix::all_to_all`] — every ordered pair.
+//! * [`TrafficMatrix::chunky`] — §8.1's *x% Chunky*: `x%` of the ToRs
+//!   engage in a ToR-level permutation (server `i` of ToR `A` sends to
+//!   server `i` of its partner ToR), the remaining servers run a
+//!   server-level random permutation among themselves.
+//! * [`TrafficMatrix::hotspot`] — a many-to-few stress pattern (extra,
+//!   not in the paper; useful for the examples).
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngExt};
+
+/// A set of unit-demand server-to-server flows.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrafficMatrix {
+    n_servers: usize,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl TrafficMatrix {
+    /// Build from explicit `(src server, dst server)` pairs.
+    ///
+    /// # Panics
+    /// If any index is out of range or a pair is a self-loop.
+    pub fn from_pairs(n_servers: usize, pairs: Vec<(usize, usize)>) -> Self {
+        for &(s, t) in &pairs {
+            assert!(s < n_servers && t < n_servers, "server index out of range");
+            assert_ne!(s, t, "self-flow not allowed");
+        }
+        TrafficMatrix { n_servers, pairs }
+    }
+
+    /// Random permutation: each server sends to exactly one other server
+    /// and receives from exactly one. Fixed points are eliminated, so
+    /// every server participates (requires `n ≥ 2`).
+    pub fn random_permutation<R: Rng + ?Sized>(n_servers: usize, rng: &mut R) -> Self {
+        assert!(n_servers >= 2, "permutation needs at least 2 servers");
+        let mut perm: Vec<usize> = (0..n_servers).collect();
+        perm.shuffle(rng);
+        // break fixed points by swapping with a neighbour (cyclically),
+        // which preserves permutation-ness
+        for i in 0..n_servers {
+            if perm[i] == i {
+                let j = (i + 1) % n_servers;
+                perm.swap(i, j);
+            }
+        }
+        // a final pass: the swap above can only leave a fixed point if it
+        // re-created one at j; loop until clean (terminates fast: each
+        // pass strictly reduces fixed points for n >= 2)
+        loop {
+            let fixed: Vec<usize> = (0..n_servers).filter(|&i| perm[i] == i).collect();
+            if fixed.is_empty() {
+                break;
+            }
+            for &i in &fixed {
+                let j = (i + 1) % n_servers;
+                perm.swap(i, j);
+            }
+        }
+        let pairs = (0..n_servers).map(|i| (i, perm[i])).collect();
+        TrafficMatrix { n_servers, pairs }
+    }
+
+    /// All-to-all: every ordered pair `(i, j)`, `i ≠ j`.
+    pub fn all_to_all(n_servers: usize) -> Self {
+        let mut pairs = Vec::with_capacity(n_servers * n_servers.saturating_sub(1));
+        for i in 0..n_servers {
+            for j in 0..n_servers {
+                if i != j {
+                    pairs.push((i, j));
+                }
+            }
+        }
+        TrafficMatrix { n_servers, pairs }
+    }
+
+    /// §8.1's *x% Chunky* pattern.
+    ///
+    /// `groups[k]` lists the servers of ToR `k`. A fraction
+    /// `percent_chunky/100` of the ToRs (rounded down to an even count,
+    /// since they pair up) is selected at random; these ToRs form a
+    /// ToR-level permutation where server `i` of a ToR sends to server
+    /// `i` of its partner. All remaining servers run a server-level
+    /// random permutation among themselves.
+    pub fn chunky<R: Rng + ?Sized>(
+        groups: &[Vec<usize>],
+        percent_chunky: f64,
+        rng: &mut R,
+    ) -> Self {
+        assert!((0.0..=100.0).contains(&percent_chunky), "percent must be in [0, 100]");
+        let n_servers: usize = groups.iter().map(|g| g.len()).sum();
+        let n_tors = groups.len();
+        let mut chunky_count = ((n_tors as f64) * percent_chunky / 100.0).round() as usize;
+        chunky_count -= chunky_count % 2; // ToRs pair up
+        let mut tor_ids: Vec<usize> = (0..n_tors).collect();
+        tor_ids.shuffle(rng);
+        let chunky_tors = &tor_ids[..chunky_count];
+
+        let mut pairs = Vec::new();
+        // ToR-level permutation among chunky ToRs: pair consecutive
+        // shuffled ToRs both ways (a permutation of the chunky set).
+        for chunk in chunky_tors.chunks_exact(2) {
+            let (a, b) = (chunk[0], chunk[1]);
+            let k = groups[a].len().min(groups[b].len());
+            for i in 0..k {
+                pairs.push((groups[a][i], groups[b][i]));
+                pairs.push((groups[b][i], groups[a][i]));
+            }
+        }
+        // server-level permutation among the rest
+        let mut rest: Vec<usize> = tor_ids[chunky_count..]
+            .iter()
+            .flat_map(|&t| groups[t].iter().copied())
+            .collect();
+        if rest.len() >= 2 {
+            rest.shuffle(rng);
+            let m = rest.len();
+            // cyclic shift = fixed-point-free permutation of `rest`
+            for i in 0..m {
+                pairs.push((rest[i], rest[(i + 1) % m]));
+            }
+        }
+        TrafficMatrix { n_servers, pairs }
+    }
+
+    /// Many-to-few hotspot: every server outside the hot set sends to a
+    /// uniformly random hot server.
+    pub fn hotspot<R: Rng + ?Sized>(n_servers: usize, hot: usize, rng: &mut R) -> Self {
+        assert!(hot >= 1 && hot < n_servers, "hot set must be non-empty and proper");
+        let pairs = (hot..n_servers).map(|s| (s, rng.random_range(0..hot))).collect();
+        TrafficMatrix { n_servers, pairs }
+    }
+
+    /// Number of servers this matrix is defined over.
+    pub fn server_count(&self) -> usize {
+        self.n_servers
+    }
+
+    /// Number of flows.
+    pub fn flow_count(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// The `(src, dst)` flow pairs.
+    pub fn pairs(&self) -> &[(usize, usize)] {
+        &self.pairs
+    }
+
+    /// Flows sent per server (out-degree in the demand graph).
+    pub fn out_degree(&self) -> Vec<usize> {
+        let mut d = vec![0; self.n_servers];
+        for &(s, _) in &self.pairs {
+            d[s] += 1;
+        }
+        d
+    }
+
+    /// Flows received per server.
+    pub fn in_degree(&self) -> Vec<usize> {
+        let mut d = vec![0; self.n_servers];
+        for &(_, t) in &self.pairs {
+            d[t] += 1;
+        }
+        d
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn permutation_is_derangement() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 3, 5, 17, 100] {
+            let tm = TrafficMatrix::random_permutation(n, &mut rng);
+            assert_eq!(tm.flow_count(), n);
+            assert!(tm.out_degree().iter().all(|&d| d == 1));
+            assert!(tm.in_degree().iter().all(|&d| d == 1));
+            assert!(tm.pairs().iter().all(|&(s, t)| s != t));
+        }
+    }
+
+    #[test]
+    fn all_to_all_counts() {
+        let tm = TrafficMatrix::all_to_all(5);
+        assert_eq!(tm.flow_count(), 20);
+        assert_eq!(tm.out_degree(), vec![4; 5]);
+        assert_eq!(tm.in_degree(), vec![4; 5]);
+    }
+
+    #[test]
+    fn chunky_full() {
+        let mut rng = StdRng::seed_from_u64(5);
+        // 4 ToRs with 3 servers each; 100% chunky
+        let groups: Vec<Vec<usize>> =
+            (0..4).map(|t| (t * 3..t * 3 + 3).collect()).collect();
+        let tm = TrafficMatrix::chunky(&groups, 100.0, &mut rng);
+        assert_eq!(tm.server_count(), 12);
+        // every server sends exactly once and receives exactly once
+        assert!(tm.out_degree().iter().all(|&d| d == 1), "{:?}", tm.out_degree());
+        assert!(tm.in_degree().iter().all(|&d| d == 1));
+        // chunky pairs connect whole ToRs: partner of every server in a
+        // ToR lives on the same partner ToR
+        let tor_of = |s: usize| s / 3;
+        for t in 0..4 {
+            let partners: Vec<usize> = tm
+                .pairs()
+                .iter()
+                .filter(|&&(s, _)| tor_of(s) == t)
+                .map(|&(_, d)| tor_of(d))
+                .collect();
+            assert!(partners.windows(2).all(|w| w[0] == w[1]), "ToR {t} splits traffic");
+            assert_ne!(partners[0], t);
+        }
+    }
+
+    #[test]
+    fn chunky_partial() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let groups: Vec<Vec<usize>> =
+            (0..10).map(|t| (t * 4..t * 4 + 4).collect()).collect();
+        let tm = TrafficMatrix::chunky(&groups, 60.0, &mut rng);
+        assert_eq!(tm.server_count(), 40);
+        // everyone still sends and receives exactly once
+        assert!(tm.out_degree().iter().all(|&d| d == 1));
+        assert!(tm.in_degree().iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn chunky_zero_is_permutation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let groups: Vec<Vec<usize>> = (0..6).map(|t| (t * 2..t * 2 + 2).collect()).collect();
+        let tm = TrafficMatrix::chunky(&groups, 0.0, &mut rng);
+        assert_eq!(tm.flow_count(), 12);
+        assert!(tm.pairs().iter().all(|&(s, t)| s != t));
+    }
+
+    #[test]
+    fn hotspot_targets_hot_servers() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let tm = TrafficMatrix::hotspot(20, 3, &mut rng);
+        assert_eq!(tm.flow_count(), 17);
+        assert!(tm.pairs().iter().all(|&(s, t)| t < 3 && s >= 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "self-flow")]
+    fn from_pairs_rejects_self_flow() {
+        let _ = TrafficMatrix::from_pairs(3, vec![(1, 1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_pairs_rejects_out_of_range() {
+        let _ = TrafficMatrix::from_pairs(3, vec![(0, 7)]);
+    }
+}

@@ -1,0 +1,287 @@
+//! `topobench` — a command-line topology benchmarking tool in the spirit
+//! of the paper's released artifact (TopoBench, reference [28]).
+//!
+//! ```text
+//! topobench build rrg --switches 40 --ports 15 --degree 10 [--seed S] [--dot]
+//! topobench build fat-tree --k 8 [--dot]
+//! topobench build vl2 --da 12 --di 16 [--rewired] [--tors T] [--dot]
+//! topobench solve rrg --switches 40 --ports 15 --degree 10
+//!                 [--traffic permutation|all-to-all|chunky:<pct>]
+//!                 [--runs N] [--seed S] [--precise]
+//! topobench bounds --switches 40 --degree 10 --flows 200
+//! topobench vl2-study --da 10 --di 12 [--runs N]
+//! ```
+//!
+//! `build` prints the switch-level topology as a capacitated edge list
+//! (or Graphviz DOT with `--dot`); `solve` builds, generates traffic,
+//! runs the certified max-concurrent-flow solver and prints throughput
+//! plus the §6.1 decomposition; `bounds` prints the paper's analytic
+//! bounds; `vl2-study` reproduces the §7 comparison for one size.
+
+use std::collections::HashMap;
+use std::process::exit;
+
+use dctopo::bounds::{aspl_lower_bound, throughput_upper_bound};
+use dctopo::core::vl2::{permutation_tm, SupportSearch};
+use dctopo::graph::io::{to_dot, to_edge_list};
+use dctopo::metrics::decompose;
+use dctopo::prelude::*;
+use dctopo::topology::classic::{complete, fat_tree, hypercube, torus2d};
+use dctopo::topology::vl2::{rewired_vl2, vl2, Vl2Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  topobench build <family> [options] [--dot]\n  \
+         topobench solve <family> [options] [--traffic T] [--runs N] [--precise]\n  \
+         topobench bounds --switches N --degree R --flows F\n  \
+         topobench vl2-study --da A --di I [--runs N]\n\n\
+         families: rrg (--switches --ports --degree), fat-tree (--k),\n  \
+         hypercube (--dim --servers), torus (--rows --cols --servers),\n  \
+         complete (--switches --servers), vl2 (--da --di [--tors] [--rewired])\n\
+         traffic: permutation (default) | all-to-all | chunky:<percent>"
+    );
+    exit(2);
+}
+
+/// Minimal flag parser: `--key value` pairs plus boolean flags.
+struct Args {
+    values: HashMap<String, String>,
+    flags: Vec<String>,
+    positional: Vec<String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Args {
+        let mut values = HashMap::new();
+        let mut flags = Vec::new();
+        let mut positional = Vec::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let tok = &raw[i];
+            if let Some(key) = tok.strip_prefix("--") {
+                // boolean flags take no value; everything else takes one
+                if matches!(key, "dot" | "rewired" | "precise" | "full") {
+                    flags.push(key.to_string());
+                } else if i + 1 < raw.len() {
+                    values.insert(key.to_string(), raw[i + 1].clone());
+                    i += 1;
+                } else {
+                    eprintln!("missing value for --{key}");
+                    usage();
+                }
+            } else {
+                positional.push(tok.clone());
+            }
+            i += 1;
+        }
+        Args { values, flags, positional }
+    }
+
+    fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
+        self.values.get(key).and_then(|v| v.parse().ok())
+    }
+
+    fn require<T: std::str::FromStr>(&self, key: &str) -> T {
+        match self.get(key) {
+            Some(v) => v,
+            None => {
+                eprintln!("missing or invalid --{key}");
+                usage();
+            }
+        }
+    }
+
+    fn flag(&self, key: &str) -> bool {
+        self.flags.iter().any(|f| f == key)
+    }
+}
+
+fn build_topology(family: &str, args: &Args, rng: &mut StdRng) -> Topology {
+    let result = match family {
+        "rrg" => Topology::random_regular(
+            args.require("switches"),
+            args.require("ports"),
+            args.require("degree"),
+            rng,
+        ),
+        "fat-tree" => fat_tree(args.require("k")),
+        "hypercube" => hypercube(args.require("dim"), args.get("servers").unwrap_or(1)),
+        "torus" => torus2d(
+            args.require("rows"),
+            args.require("cols"),
+            args.get("servers").unwrap_or(1),
+        ),
+        "complete" => complete(args.require("switches"), args.get("servers").unwrap_or(1)),
+        "vl2" => {
+            let params = Vl2Params {
+                d_a: args.require("da"),
+                d_i: args.require("di"),
+                tors: args.get("tors"),
+            };
+            if args.flag("rewired") {
+                rewired_vl2(params, rng)
+            } else {
+                vl2(params)
+            }
+        }
+        other => {
+            eprintln!("unknown family '{other}'");
+            usage();
+        }
+    };
+    match result {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to build {family}: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn build_traffic(spec: &str, topo: &Topology, rng: &mut StdRng) -> TrafficMatrix {
+    if spec == "permutation" {
+        TrafficMatrix::random_permutation(topo.server_count(), rng)
+    } else if spec == "all-to-all" {
+        TrafficMatrix::all_to_all(topo.server_count())
+    } else if let Some(pct) = spec.strip_prefix("chunky:") {
+        let pct: f64 = pct.parse().unwrap_or_else(|_| {
+            eprintln!("bad chunky percentage '{pct}'");
+            usage();
+        });
+        let groups: Vec<Vec<usize>> =
+            topo.server_groups().into_iter().filter(|g| !g.is_empty()).collect();
+        TrafficMatrix::chunky(&groups, pct, rng)
+    } else {
+        eprintln!("unknown traffic '{spec}'");
+        usage();
+    }
+}
+
+fn cmd_build(args: &Args) {
+    let family = args.positional.first().map(String::as_str).unwrap_or_else(|| usage());
+    let mut rng = StdRng::seed_from_u64(args.get("seed").unwrap_or(1));
+    let topo = build_topology(family, args, &mut rng);
+    eprintln!(
+        "# {family}: {} switches, {} links, {} servers, {} unused ports",
+        topo.switch_count(),
+        topo.graph.edge_count(),
+        topo.server_count(),
+        topo.unused_ports
+    );
+    if args.flag("dot") {
+        print!("{}", to_dot(&topo.graph, family));
+    } else {
+        print!("{}", to_edge_list(&topo.graph));
+    }
+}
+
+fn cmd_solve(args: &Args) {
+    let family = args.positional.first().map(String::as_str).unwrap_or_else(|| usage());
+    let runs: usize = args.get("runs").unwrap_or(3);
+    let base_seed: u64 = args.get("seed").unwrap_or(1);
+    let traffic = args.values.get("traffic").cloned().unwrap_or_else(|| "permutation".into());
+    let opts =
+        if args.flag("precise") { FlowOptions::precise() } else { FlowOptions::default() };
+    let mut throughputs = Vec::new();
+    for run in 0..runs {
+        let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(run as u64));
+        let topo = build_topology(family, args, &mut rng);
+        let tm = build_traffic(&traffic, &topo, &mut rng);
+        match solve_throughput(&topo, &tm, &opts) {
+            Ok(res) => {
+                if run == 0 {
+                    println!(
+                        "topology: {} switches / {} links / {} servers; traffic: {} flows",
+                        topo.switch_count(),
+                        topo.graph.edge_count(),
+                        topo.server_count(),
+                        tm.flow_count()
+                    );
+                    if let Some(solved) = res.solved.as_ref() {
+                        if let Ok(d) = decompose(&topo.graph, solved, &res.commodities) {
+                            println!(
+                                "decomposition: U = {:.3}, <D> = {:.3}, stretch = {:.3}",
+                                d.utilization, d.aspl, d.stretch
+                            );
+                        }
+                    }
+                }
+                println!(
+                    "run {run}: throughput {:.4} (network λ {:.4} ≤ {:.4} certified, NIC cap {:.4})",
+                    res.throughput, res.network_lambda, res.network_upper_bound, res.nic_limit
+                );
+                throughputs.push(res.throughput);
+            }
+            Err(e) => {
+                eprintln!("run {run}: solve failed: {e}");
+                exit(1);
+            }
+        }
+    }
+    let mean = throughputs.iter().sum::<f64>() / throughputs.len() as f64;
+    println!("mean throughput over {runs} runs: {mean:.4}");
+}
+
+fn cmd_bounds(args: &Args) {
+    let n: usize = args.require("switches");
+    let r: usize = args.require("degree");
+    let flows: usize = args.require("flows");
+    match aspl_lower_bound(n, r) {
+        Ok(d_star) => {
+            println!("ASPL lower bound d*({n}, {r}) = {d_star:.4}");
+            println!(
+                "Theorem-1 throughput bound for {flows} uniform flows: {:.4}",
+                throughput_upper_bound(n, r, flows)
+            );
+        }
+        Err(e) => {
+            eprintln!("invalid parameters: {e}");
+            exit(1);
+        }
+    }
+}
+
+fn cmd_vl2_study(args: &Args) {
+    let d_a: usize = args.require("da");
+    let d_i: usize = args.require("di");
+    let runs: usize = args.get("runs").unwrap_or(2);
+    let full = d_a * d_i / 4;
+    println!("VL2(D_A={d_a}, D_I={d_i}): design capacity {full} ToRs");
+    let search = SupportSearch { runs, ..SupportSearch::default() };
+    let stock_build = |tors: usize, _s: u64| vl2(Vl2Params { d_a, d_i, tors: Some(tors) });
+    let rewired_build = |tors: usize, s: u64| {
+        let mut rng = StdRng::seed_from_u64(s);
+        rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
+    };
+    let stock = search
+        .max_tors(full.div_ceil(2), full, &stock_build, &permutation_tm)
+        .unwrap_or(None)
+        .unwrap_or(0);
+    let rewired = search
+        .max_tors(full.div_ceil(2), full * 2, &rewired_build, &permutation_tm)
+        .unwrap_or(None)
+        .unwrap_or(0);
+    println!("stock VL2:   {stock} ToRs at full throughput");
+    println!("rewired:     {rewired} ToRs at full throughput (same equipment)");
+    if stock > 0 {
+        println!("improvement: {:+.1}%", 100.0 * (rewired as f64 / stock as f64 - 1.0));
+    }
+}
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    if raw.is_empty() {
+        usage();
+    }
+    let cmd = raw[0].as_str();
+    let args = Args::parse(&raw[1..]);
+    match cmd {
+        "build" => cmd_build(&args),
+        "solve" => cmd_solve(&args),
+        "bounds" => cmd_bounds(&args),
+        "vl2-study" => cmd_vl2_study(&args),
+        _ => usage(),
+    }
+}

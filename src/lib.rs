@@ -1,0 +1,64 @@
+//! # dctopo — High Throughput Data Center Topology Design
+//!
+//! A from-scratch Rust reproduction of *High Throughput Data Center
+//! Topology Design* (Singla, Godfrey, Kolla — NSDI 2014).
+//!
+//! This facade crate re-exports every subsystem of the workspace under a
+//! single dependency:
+//!
+//! * [`graph`] — capacitated multigraph + shortest paths / k-shortest / swaps
+//! * [`linprog`] — dense two-phase simplex LP solver
+//! * [`flow`] — max concurrent multi-commodity flow (FPTAS + exact bridge)
+//! * [`topology`] — RRG, heterogeneous, two-cluster, fat-tree, VL2, ... generators
+//! * [`traffic`] — permutation / all-to-all / chunky / hotspot traffic matrices
+//! * [`bounds`] — Theorem 1 throughput bound, ASPL lower bound, cut bounds
+//! * [`metrics`] — throughput decomposition `T = C·U / (⟨D⟩·AS)`
+//! * [`packetsim`] — discrete-event packet simulator with MPTCP-like transport
+//! * [`core`](mod@core) — experiment harness, VL2 rewiring case study
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use dctopo::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! // Build a random regular graph: 20 switches, 9 ports each,
+//! // 4 used for the network, 5 servers per switch.
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let topo = Topology::random_regular(20, 9, 4, &mut rng).unwrap();
+//!
+//! // Random permutation traffic among the 100 servers.
+//! let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+//!
+//! // Throughput = max-min flow rate, certified within the solver gap.
+//! let result = solve_throughput(&topo, &tm, &FlowOptions::default()).unwrap();
+//! assert!(result.throughput > 0.0);
+//!
+//! // Compare against the paper's Theorem-1 upper bound (any topology
+//! // of 20 switches with network degree 4 and these flows).
+//! let bound = throughput_upper_bound(20, 4, tm.flow_count());
+//! assert!(result.throughput <= bound * 1.01);
+//! ```
+
+pub use dctopo_bounds as bounds;
+pub use dctopo_core as core;
+pub use dctopo_flow as flow;
+pub use dctopo_graph as graph;
+pub use dctopo_linprog as linprog;
+pub use dctopo_metrics as metrics;
+pub use dctopo_packetsim as packetsim;
+pub use dctopo_topology as topology;
+pub use dctopo_traffic as traffic;
+
+/// The most commonly used items, re-exported flat.
+pub mod prelude {
+    pub use dctopo_bounds::{aspl_lower_bound, throughput_upper_bound};
+    pub use dctopo_core::experiment::{Runner, Stats};
+    pub use dctopo_core::{solve_throughput, ThroughputResult};
+    pub use dctopo_flow::{Commodity, FlowOptions, SolvedFlow};
+    pub use dctopo_graph::{Graph, GraphError, NodeId};
+    pub use dctopo_metrics::{decompose, Decomposition};
+    pub use dctopo_topology::{ClusterSpec, ServerPlacement, SwitchClass, Topology};
+    pub use dctopo_traffic::TrafficMatrix;
+}

@@ -1,0 +1,137 @@
+//! Failure-injection tests: every layer must fail loudly and precisely
+//! on malformed input, never hang or return garbage.
+
+use dctopo::core::packet::{build_packet_scenario, PacketParams};
+use dctopo::core::solve_throughput;
+use dctopo::flow::{max_concurrent_flow, Commodity, FlowError, FlowOptions};
+use dctopo::graph::{Graph, GraphError};
+use dctopo::packetsim::{simulate, FlowSpec, LinkSpec, Network, SimConfig, SimError};
+use dctopo::prelude::*;
+use dctopo::topology::hetero::{two_cluster, CrossSpec};
+use dctopo::topology::vl2::{vl2, Vl2Params};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn disconnected_topology_fails_cleanly() {
+    // two clusters, zero cross links → two components
+    let large = ClusterSpec { count: 6, ports: 8, servers_per_switch: 2 };
+    let small = ClusterSpec { count: 6, ports: 8, servers_per_switch: 2 };
+    let mut rng = StdRng::seed_from_u64(1);
+    let topo = two_cluster(large, small, CrossSpec::Exact(0), &mut rng).unwrap();
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    // a permutation over all servers almost surely crosses the gap
+    let res = solve_throughput(&topo, &tm, &FlowOptions::default());
+    assert!(
+        matches!(res, Err(FlowError::Unreachable { .. })),
+        "expected Unreachable, got {res:?}"
+    );
+}
+
+#[test]
+fn zero_capacity_edges_rejected_at_construction() {
+    let mut g = Graph::new(2);
+    assert!(matches!(g.add_edge(0, 1, 0.0), Err(GraphError::BadCapacity { .. })));
+    assert!(matches!(g.add_edge(0, 1, -3.0), Err(GraphError::BadCapacity { .. })));
+    assert_eq!(g.edge_count(), 0, "failed adds must not mutate the graph");
+}
+
+#[test]
+fn impossible_degree_sequences_rejected() {
+    let mut rng = StdRng::seed_from_u64(2);
+    // odd degree sum
+    assert!(Topology::random_regular(5, 10, 3, &mut rng).is_err());
+    // degree exceeding node count
+    assert!(Topology::random_regular(4, 10, 7, &mut rng).is_err());
+    // more cross links than ports
+    let spec = ClusterSpec { count: 2, ports: 4, servers_per_switch: 1 };
+    assert!(two_cluster(spec, spec, CrossSpec::Exact(1000), &mut rng).is_err());
+}
+
+#[test]
+fn vl2_parameter_validation() {
+    assert!(vl2(Vl2Params { d_a: 9, d_i: 8, tors: None }).is_err()); // odd D_A
+    assert!(vl2(Vl2Params { d_a: 0, d_i: 8, tors: None }).is_err());
+    assert!(vl2(Vl2Params { d_a: 8, d_i: 8, tors: Some(10_000) }).is_err());
+}
+
+#[test]
+fn solver_rejects_degenerate_commodities() {
+    let mut g = Graph::new(3);
+    g.add_unit_edge(0, 1).unwrap();
+    g.add_unit_edge(1, 2).unwrap();
+    let opts = FlowOptions::default();
+    assert!(matches!(
+        max_concurrent_flow(&g, &[], &opts),
+        Err(FlowError::NoCommodities)
+    ));
+    assert!(matches!(
+        max_concurrent_flow(&g, &[Commodity { src: 0, dst: 2, demand: f64::NAN }], &opts),
+        Err(FlowError::BadDemand { .. })
+    ));
+    assert!(matches!(
+        max_concurrent_flow(&g, &[Commodity::unit(2, 2)], &opts),
+        Err(FlowError::SelfCommodity { .. })
+    ));
+    let bad_opts = FlowOptions { target_gap: 1.5, ..opts };
+    assert!(matches!(
+        max_concurrent_flow(&g, &[Commodity::unit(0, 2)], &bad_opts),
+        Err(FlowError::BadOptions(_))
+    ));
+}
+
+#[test]
+fn solver_on_edgeless_graph() {
+    let g = Graph::new(4);
+    let res = max_concurrent_flow(&g, &[Commodity::unit(0, 1)], &FlowOptions::default());
+    assert!(matches!(res, Err(FlowError::Unreachable { .. })));
+}
+
+#[test]
+fn packet_sim_validates_everything() {
+    let mut net = Network::new(3);
+    net.add_duplex_link(0, 1, LinkSpec { rate: 1.0, delay: 0.1, queue: 4 });
+    // path through a non-existent link
+    let flows = vec![FlowSpec { src: 0, dst: 2, paths: vec![vec![0, 2]] }];
+    assert!(matches!(
+        simulate(&net, &flows, &SimConfig::default()),
+        Err(SimError::BadPath { flow: 0, subflow: 0 })
+    ));
+    // warmup >= duration
+    let cfg = SimConfig { duration: 5.0, warmup: 9.0, ..SimConfig::default() };
+    assert!(matches!(simulate(&net, &[], &cfg), Err(SimError::BadConfig(_))));
+}
+
+#[test]
+fn packet_scenario_needs_matching_sizes() {
+    let mut rng = StdRng::seed_from_u64(3);
+    let topo = Topology::random_regular(6, 5, 4, &mut rng).unwrap(); // 6 servers
+    let tm = TrafficMatrix::random_permutation(5, &mut rng); // wrong count
+    let result = std::panic::catch_unwind(|| {
+        build_packet_scenario(&topo, &tm, &PacketParams::default())
+    });
+    assert!(result.is_err(), "size mismatch must be rejected");
+}
+
+#[test]
+fn traffic_matrix_asserts_bounds() {
+    assert!(std::panic::catch_unwind(|| TrafficMatrix::from_pairs(3, vec![(0, 3)])).is_err());
+    assert!(std::panic::catch_unwind(|| TrafficMatrix::from_pairs(3, vec![(2, 2)])).is_err());
+    let mut rng = StdRng::seed_from_u64(4);
+    assert!(std::panic::catch_unwind(move || TrafficMatrix::hotspot(3, 3, &mut rng)).is_err());
+}
+
+/// Degenerate but *valid* inputs must still work.
+#[test]
+fn minimal_valid_configurations() {
+    let mut rng = StdRng::seed_from_u64(5);
+    // smallest possible RRG: 2 switches, 1 link... degree 1 over 2 nodes
+    let topo = Topology::random_regular(2, 3, 1, &mut rng).unwrap();
+    assert_eq!(topo.graph.edge_count(), 1);
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    let r = solve_throughput(&topo, &tm, &FlowOptions::default()).unwrap();
+    assert!(r.throughput > 0.0);
+    // two-server permutation
+    let tm = TrafficMatrix::random_permutation(2, &mut rng);
+    assert_eq!(tm.flow_count(), 2);
+}

@@ -1,0 +1,175 @@
+//! Property-based tests (proptest) on the core invariants of the
+//! workspace: graph builders, the flow solver's certificates, bounds,
+//! and traffic generators.
+
+use dctopo::bounds::aspl_lower_bound;
+use dctopo::flow::{exact::exact_max_concurrent_flow, max_concurrent_flow, Commodity, FlowOptions};
+use dctopo::graph::components::{cut_size, is_connected};
+use dctopo::graph::paths::path_stats;
+use dctopo::graph::swaps::shuffle_edges;
+use dctopo::graph::Graph;
+use dctopo::prelude::*;
+use dctopo::topology::hetero::{place_servers, two_cluster, CrossSpec};
+use dctopo::traffic::TrafficMatrix as Tm;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn solver_opts() -> FlowOptions {
+    FlowOptions { epsilon: 0.1, target_gap: 0.05, max_phases: 2000, stall_phases: 100 }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// RRGs are r-regular, simple, and respect the ASPL lower bound.
+    #[test]
+    fn rrg_regularity_and_aspl(seed in any::<u64>(), n in 8usize..40, r in 3usize..7) {
+        prop_assume!(r < n && (n * r) % 2 == 0);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_regular(n, r + 2, r, &mut rng).unwrap();
+        prop_assert_eq!(topo.graph.regular_degree(), Some(r));
+        for v in 0..n {
+            let mut nb: Vec<_> = topo.graph.neighbors(v).collect();
+            let len = nb.len();
+            nb.sort_unstable();
+            nb.dedup();
+            prop_assert_eq!(nb.len(), len, "parallel edge at {}", v);
+        }
+        if is_connected(&topo.graph) {
+            let aspl = path_stats(&topo.graph).unwrap().aspl;
+            let bound = aspl_lower_bound(n, r).unwrap();
+            prop_assert!(aspl >= bound - 1e-9, "ASPL {} < bound {}", aspl, bound);
+        }
+    }
+
+    /// Degree-preserving swaps preserve the degree sequence.
+    #[test]
+    fn swaps_preserve_degrees(seed in any::<u64>(), n in 10usize..30) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut topo = Topology::random_regular(n, 6, 4, &mut rng).unwrap();
+        let before = topo.graph.degrees();
+        let _ = shuffle_edges(&mut topo.graph, 20, &mut rng);
+        prop_assert_eq!(topo.graph.degrees(), before);
+    }
+
+    /// two_cluster realises the exact requested cross-link count.
+    #[test]
+    fn two_cluster_exact_cross(seed in any::<u64>(), cross in 10usize..60) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let large = ClusterSpec { count: 10, ports: 16, servers_per_switch: 6 };
+        let small = ClusterSpec { count: 20, ports: 8, servers_per_switch: 3 };
+        let topo = two_cluster(large, small, CrossSpec::Exact(cross), &mut rng).unwrap();
+        let in_large: Vec<bool> = (0..30).map(|v| v < 10).collect();
+        prop_assert_eq!(cut_size(&topo.graph, &in_large), cross);
+        topo.validate_ports().unwrap();
+    }
+
+    /// place_servers: totals exact, port budgets respected, and β = 1
+    /// equals Proportional.
+    #[test]
+    fn placement_totals_and_limits(total in 20usize..120, beta in 0.0f64..2.0) {
+        let ports = [32usize, 24, 16, 8, 8, 8];
+        let class_of = [0usize, 0, 1, 2, 2, 2];
+        let placed = place_servers(&ports, total, &ServerPlacement::PowerLaw { beta }, &class_of);
+        prop_assume!(placed.is_ok());
+        let placed = placed.unwrap();
+        prop_assert_eq!(placed.iter().sum::<usize>(), total);
+        for (i, &s) in placed.iter().enumerate() {
+            prop_assert!(s < ports[i], "switch {} overloaded", i);
+        }
+        let prop1 = place_servers(&ports, total, &ServerPlacement::PowerLaw { beta: 1.0 }, &class_of).unwrap();
+        let prop2 = place_servers(&ports, total, &ServerPlacement::Proportional, &class_of).unwrap();
+        prop_assert_eq!(prop1, prop2);
+    }
+
+    /// Permutation traffic matrices are fixed-point-free bijections.
+    #[test]
+    fn permutation_is_bijection(seed in any::<u64>(), n in 2usize..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tm = Tm::random_permutation(n, &mut rng);
+        prop_assert_eq!(tm.flow_count(), n);
+        prop_assert!(tm.out_degree().iter().all(|&d| d == 1));
+        prop_assert!(tm.in_degree().iter().all(|&d| d == 1));
+        prop_assert!(tm.pairs().iter().all(|&(s, t)| s != t));
+    }
+
+    /// Chunky traffic keeps every server in at most one flow each way,
+    /// and everyone participates except a possible sub-permutation
+    /// leftover (fewer than 2 servers outside the chunky set).
+    #[test]
+    fn chunky_degree_invariant(seed in any::<u64>(), tors in 2usize..12, spt in 1usize..6, pct in 0.0f64..100.0) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let groups: Vec<Vec<usize>> = (0..tors).map(|t| (t * spt..(t + 1) * spt).collect()).collect();
+        let tm = Tm::chunky(&groups, pct, &mut rng);
+        let out = tm.out_degree();
+        let inn = tm.in_degree();
+        prop_assert!(out.iter().all(|&d| d <= 1));
+        prop_assert!(inn.iter().all(|&d| d <= 1));
+        // senders and receivers match up pairwise
+        prop_assert_eq!(out.iter().sum::<usize>(), inn.iter().sum::<usize>());
+        // at most one stranded rest-server (it takes < 2 to be unable to
+        // form a permutation; ToR pairing strands nothing with equal
+        // group sizes)
+        let idle = out.iter().filter(|&&d| d == 0).count();
+        prop_assert!(idle <= 1, "{} idle servers", idle);
+    }
+
+    /// Flow solver certificates: feasibility, primal ≤ dual, per-arc
+    /// capacity respected.
+    #[test]
+    fn flow_certificates(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_regular(12, 6, 4, &mut rng).unwrap();
+        prop_assume!(is_connected(&topo.graph));
+        let g = &topo.graph;
+        let cs: Vec<Commodity> =
+            (0..6).map(|i| Commodity::unit(i, (i + 6) % 12)).collect();
+        let s = max_concurrent_flow(g, &cs, &solver_opts()).unwrap();
+        prop_assert!(s.throughput <= s.upper_bound * (1.0 + 1e-9));
+        for a in 0..g.arc_count() {
+            prop_assert!(s.arc_flow[a] <= g.arc_capacity(a) * (1.0 + 1e-9));
+        }
+        for (j, c) in cs.iter().enumerate() {
+            prop_assert!(s.commodity_rate[j] >= s.throughput * c.demand - 1e-9);
+        }
+    }
+
+    /// FPTAS brackets the exact LP optimum on tiny instances.
+    #[test]
+    fn fptas_brackets_exact(seed in 0u64..200) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        // ring of 6 + one chord keeps the exact LP tiny
+        let mut g = Graph::new(6);
+        for v in 0..6 {
+            g.add_unit_edge(v, (v + 1) % 6).unwrap();
+        }
+        g.add_unit_edge(0, 3).unwrap();
+        let tm = Tm::random_permutation(6, &mut rng);
+        let cs: Vec<Commodity> =
+            tm.pairs().iter().map(|&(s, t)| Commodity::unit(s, t)).collect();
+        let exact = exact_max_concurrent_flow(&g, &cs).unwrap();
+        let opts = FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 20000, stall_phases: 2000 };
+        let approx = max_concurrent_flow(&g, &cs, &opts).unwrap();
+        prop_assert!(approx.throughput <= exact * (1.0 + 1e-6),
+            "primal {} above exact {}", approx.throughput, exact);
+        prop_assert!(approx.upper_bound >= exact * (1.0 - 1e-6),
+            "dual {} below exact {}", approx.upper_bound, exact);
+        prop_assert!(approx.throughput >= exact * 0.95,
+            "primal {} too loose vs exact {}", approx.throughput, exact);
+    }
+
+    /// The ASPL lower bound is monotone: growing n (fixed r) never
+    /// decreases it; growing r (fixed n) never increases it.
+    #[test]
+    fn aspl_bound_monotonicity(n in 6usize..500, r in 2usize..8) {
+        prop_assume!(r < n);
+        let b = aspl_lower_bound(n, r).unwrap();
+        let b_bigger_n = aspl_lower_bound(n + 1, r).unwrap();
+        prop_assert!(b_bigger_n >= b - 1e-12);
+        if r + 1 < n {
+            let b_bigger_r = aspl_lower_bound(n, r + 1).unwrap();
+            prop_assert!(b_bigger_r <= b + 1e-12);
+        }
+    }
+}
