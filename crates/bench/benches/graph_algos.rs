@@ -10,7 +10,9 @@ use rand::SeedableRng;
 
 fn rrg(n: usize, r: usize) -> dctopo_graph::Graph {
     let mut rng = StdRng::seed_from_u64(6);
-    Topology::random_regular(n, r + 2, r, &mut rng).expect("rrg").graph
+    Topology::random_regular(n, r + 2, r, &mut rng)
+        .expect("rrg")
+        .graph
 }
 
 fn bench_bfs_and_apsp(c: &mut Criterion) {
@@ -29,7 +31,9 @@ fn bench_bfs_and_apsp(c: &mut Criterion) {
 
 fn bench_dijkstra(c: &mut Criterion) {
     let g = rrg(500, 8);
-    let lens: Vec<f64> = (0..g.arc_count()).map(|a| 1.0 + (a % 7) as f64 * 0.1).collect();
+    let lens: Vec<f64> = (0..g.arc_count())
+        .map(|a| 1.0 + (a % 7) as f64 * 0.1)
+        .collect();
     c.bench_function("dijkstra_500", |b| b.iter(|| dijkstra(&g, 0, &lens)));
 }
 

@@ -16,14 +16,25 @@ fn bench_packetsim(c: &mut Criterion) {
     let scenario = build_packet_scenario(
         &topo,
         &tm,
-        &PacketParams { subflows: 4, ..PacketParams::default() },
+        &PacketParams {
+            subflows: 4,
+            ..PacketParams::default()
+        },
     )
     .expect("scenario");
-    let cfg = SimConfig { duration: 300.0, warmup: 100.0, ..SimConfig::default() };
+    let cfg = SimConfig {
+        duration: 300.0,
+        warmup: 100.0,
+        ..SimConfig::default()
+    };
     let mut group = c.benchmark_group("packetsim");
     group.sample_size(10);
     group.bench_function("rrg16_32flows_4subflows", |b| {
-        b.iter(|| simulate(&scenario.net, &scenario.flows, &cfg).expect("sim").delivered)
+        b.iter(|| {
+            simulate(&scenario.net, &scenario.flows, &cfg)
+                .expect("sim")
+                .delivered
+        })
     });
     group.finish();
 }

@@ -1,13 +1,49 @@
 //! Criterion benchmarks for the max-concurrent-flow engine: the inner
 //! loop of every experiment in the paper.
+//!
+//! The headline comparison is `csr_vs_graph`: the CSR/workspace FPTAS
+//! backend against the retained direct-`Graph` baseline
+//! (`dctopo_flow::reference`) on RRG(64, 12, 8) permutation traffic.
+//! Run `CRITERION_JSON=BENCH_solver.json cargo bench --bench solver` to
+//! regenerate the committed numbers.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use dctopo_core::solve_throughput;
+use dctopo_core::{solve_throughput, ThroughputEngine};
+use dctopo_flow::reference::max_concurrent_flow_graph;
 use dctopo_flow::{exact::exact_max_concurrent_flow, max_concurrent_flow, Commodity, FlowOptions};
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// The acceptance benchmark: old (direct-Graph, single-threaded) vs new
+/// (CsrNet + workspaces + phase-parallel rayon) FPTAS on the same
+/// RRG(64 switches, 12 ports, degree 8) permutation instance.
+fn bench_csr_vs_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("csr_vs_graph_rrg64x12x8");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(64, 12, 8, &mut rng).expect("rrg");
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    let engine = ThroughputEngine::new(&topo);
+    let commodities = dctopo_core::solve::aggregate_commodities(&topo, &tm);
+    let opts = FlowOptions::fast();
+    group.bench_function("graph_baseline", |b| {
+        b.iter(|| {
+            max_concurrent_flow_graph(&topo.graph, &commodities, &opts)
+                .expect("baseline")
+                .throughput
+        })
+    });
+    group.bench_function("csr_engine", |b| {
+        b.iter(|| {
+            dctopo_flow::solve(engine.net(), &commodities, &opts)
+                .expect("csr")
+                .throughput
+        })
+    });
+    group.finish();
+}
 
 fn bench_fptas_rrg(c: &mut Criterion) {
     let mut group = c.benchmark_group("fptas_rrg_permutation");
@@ -18,7 +54,9 @@ fn bench_fptas_rrg(c: &mut Criterion) {
         let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| {
-                solve_throughput(&topo, &tm, &FlowOptions::fast()).expect("solve").throughput
+                solve_throughput(&topo, &tm, &FlowOptions::fast())
+                    .expect("solve")
+                    .throughput
             })
         });
     }
@@ -31,11 +69,16 @@ fn bench_fptas_epsilon(c: &mut Criterion) {
     let mut rng = StdRng::seed_from_u64(2);
     let topo = Topology::random_regular(40, 15, 10, &mut rng).expect("rrg");
     let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
-    for &(name, opts) in
-        &[("fast", FlowOptions::fast()), ("default", FlowOptions::default())]
-    {
+    for &(name, opts) in &[
+        ("fast", FlowOptions::fast()),
+        ("default", FlowOptions::default()),
+    ] {
         group.bench_function(name, |b| {
-            b.iter(|| solve_throughput(&topo, &tm, &opts).expect("solve").throughput)
+            b.iter(|| {
+                solve_throughput(&topo, &tm, &opts)
+                    .expect("solve")
+                    .throughput
+            })
         });
     }
     group.finish();
@@ -51,18 +94,29 @@ fn bench_exact_lp(c: &mut Criterion) {
     }
     g.add_unit_edge(0, 3).unwrap();
     g.add_unit_edge(2, 5).unwrap();
-    let cs =
-        [Commodity::unit(0, 4), Commodity::unit(1, 5), Commodity::unit(6, 2)];
+    let cs = [
+        Commodity::unit(0, 4),
+        Commodity::unit(1, 5),
+        Commodity::unit(6, 2),
+    ];
     group.bench_function("ring7_3commodities", |b| {
         b.iter(|| exact_max_concurrent_flow(&g, &cs).expect("lp"))
     });
     group.bench_function("fptas_same_instance", |b| {
         b.iter(|| {
-            max_concurrent_flow(&g, &cs, &FlowOptions::default()).expect("fptas").throughput
+            max_concurrent_flow(&g, &cs, &FlowOptions::default())
+                .expect("fptas")
+                .throughput
         })
     });
     group.finish();
 }
 
-criterion_group!(benches, bench_fptas_rrg, bench_fptas_epsilon, bench_exact_lp);
+criterion_group!(
+    benches,
+    bench_csr_vs_graph,
+    bench_fptas_rrg,
+    bench_fptas_epsilon,
+    bench_exact_lp
+);
 criterion_main!(benches);

@@ -19,8 +19,16 @@ fn bench_rrg(c: &mut Criterion) {
 }
 
 fn bench_two_cluster(c: &mut Criterion) {
-    let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: 15 };
-    let small = ClusterSpec { count: 40, ports: 10, servers_per_switch: 5 };
+    let large = ClusterSpec {
+        count: 20,
+        ports: 30,
+        servers_per_switch: 15,
+    };
+    let small = ClusterSpec {
+        count: 40,
+        ports: 10,
+        servers_per_switch: 5,
+    };
     let mut group = c.benchmark_group("two_cluster");
     for &ratio in &[0.3f64, 1.0] {
         group.bench_with_input(BenchmarkId::from_parameter(ratio), &ratio, |b, &ratio| {
@@ -40,7 +48,15 @@ fn bench_rewired_vl2(c: &mut Criterion) {
             |b, &(d_a, d_i)| {
                 let mut rng = StdRng::seed_from_u64(5);
                 b.iter(|| {
-                    rewired_vl2(Vl2Params { d_a, d_i, tors: None }, &mut rng).expect("vl2")
+                    rewired_vl2(
+                        Vl2Params {
+                            d_a,
+                            d_i,
+                            tors: None,
+                        },
+                        &mut rng,
+                    )
+                    .expect("vl2")
                 })
             },
         );

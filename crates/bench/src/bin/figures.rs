@@ -14,15 +14,28 @@
 
 use dctopo_bench::figs;
 use dctopo_bench::FigConfig;
-use dctopo_flow::FlowOptions;
+use dctopo_flow::{Backend, FlowOptions};
 
 fn usage() -> ! {
     eprintln!(
         "usage: figures <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
          fig12|fig12a|fig12b|fig12c|fig13|extra-hypercube|extra-fattree|\
-         extra-bisection|all> [--full] [--runs N] [--seed S] [--precise]"
+         extra-bisection|all> [--full] [--runs N] [--seed S] [--precise] \
+         [--backend fptas|exact|ksp:<k>]"
     );
     std::process::exit(2);
+}
+
+/// Parse a `--backend` argument (`fptas`, `exact`, or `ksp:<k>`).
+fn parse_backend(s: &str) -> Option<Backend> {
+    match s {
+        "fptas" => Some(Backend::Fptas),
+        "exact" => Some(Backend::ExactLp),
+        _ => {
+            let k: usize = s.strip_prefix("ksp:")?.parse().ok()?;
+            (k > 0).then_some(Backend::KspRestricted { k })
+        }
+    }
 }
 
 fn main() {
@@ -39,11 +52,24 @@ fn main() {
             "--precise" => cfg.opts = FlowOptions::default(),
             "--runs" => {
                 i += 1;
-                cfg.runs = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.runs = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
             }
             "--seed" => {
                 i += 1;
-                cfg.seed = args.get(i).and_then(|s| s.parse().ok()).unwrap_or_else(|| usage());
+                cfg.seed = args
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage());
+            }
+            "--backend" => {
+                i += 1;
+                cfg.opts.backend = args
+                    .get(i)
+                    .and_then(|s| parse_backend(s))
+                    .unwrap_or_else(|| usage());
             }
             _ => usage(),
         }
@@ -79,8 +105,21 @@ fn main() {
 
     if target == "all" {
         for name in [
-            "fig1", "fig2", "fig3", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9",
-            "fig10", "fig11", "fig12", "fig13", "extra-hypercube", "extra-fattree",
+            "fig1",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "fig11",
+            "fig12",
+            "fig13",
+            "extra-hypercube",
+            "extra-fattree",
             "extra-bisection",
         ] {
             println!("##### {name} #####");

@@ -27,8 +27,18 @@ use crate::{columns, header, row, FigConfig};
 pub fn run_hypercube(cfg: &FigConfig) {
     header("Extra: hypercube vs RRG with the same equipment (permutation traffic)");
     header("paper §1: RRG ~30% higher throughput at 512 nodes, growing with scale");
-    columns(&["dim", "nodes", "hypercube_lambda", "rrg_lambda", "rrg/hypercube"]);
-    let dims: Vec<u32> = if cfg.full { vec![5, 6, 7, 8, 9] } else { vec![5, 6, 7] };
+    columns(&[
+        "dim",
+        "nodes",
+        "hypercube_lambda",
+        "rrg_lambda",
+        "rrg/hypercube",
+    ]);
+    let dims: Vec<u32> = if cfg.full {
+        vec![5, 6, 7, 8, 9]
+    } else {
+        vec![5, 6, 7]
+    };
     let spw = 1usize; // one server per switch
     for &dim in &dims {
         let n = 1usize << dim;
@@ -44,13 +54,18 @@ pub fn run_hypercube(cfg: &FigConfig) {
         let rrg_t = runner
             .run(|seed| -> Result<f64, CoreError> {
                 let mut rng = StdRng::seed_from_u64(seed);
-                let topo =
-                    Topology::random_regular(n, dim as usize + spw, dim as usize, &mut rng)?;
+                let topo = Topology::random_regular(n, dim as usize + spw, dim as usize, &mut rng)?;
                 let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
                 Ok(solve_throughput(&topo, &tm, &cfg.opts)?.network_lambda)
             })
             .expect("rrg solve");
-        row(&[f64::from(dim), n as f64, cube_t.mean, rrg_t.mean, rrg_t.mean / cube_t.mean]);
+        row(&[
+            f64::from(dim),
+            n as f64,
+            cube_t.mean,
+            rrg_t.mean,
+            rrg_t.mean / cube_t.mean,
+        ]);
     }
 }
 
@@ -60,8 +75,19 @@ pub fn run_hypercube(cfg: &FigConfig) {
 pub fn run_fattree(cfg: &FigConfig) {
     header("Extra: fat-tree vs random graph, same switch equipment and servers");
     header("paper §2 (Jellyfish): ~25% higher throughput for the random graph");
-    columns(&["k", "switches", "servers", "fattree_lambda", "rrg_lambda", "rrg/fattree"]);
-    let ks: Vec<usize> = if cfg.full { vec![4, 6, 8, 10] } else { vec![4, 6, 8] };
+    columns(&[
+        "k",
+        "switches",
+        "servers",
+        "fattree_lambda",
+        "rrg_lambda",
+        "rrg/fattree",
+    ]);
+    let ks: Vec<usize> = if cfg.full {
+        vec![4, 6, 8, 10]
+    } else {
+        vec![4, 6, 8]
+    };
     for &k in &ks {
         let ft = fat_tree(k).expect("fat tree");
         let n_switches = ft.switch_count();
@@ -107,8 +133,16 @@ pub fn run_fattree(cfg: &FigConfig) {
 pub fn run_bisection(cfg: &FigConfig) {
     header("Extra: cut capacity falls long before throughput does (§6)");
     columns(&["x_ratio", "throughput_norm", "cut_norm"]);
-    let large = ClusterSpec { count: 20, ports: 20, servers_per_switch: 8 };
-    let small = ClusterSpec { count: 20, ports: 20, servers_per_switch: 8 };
+    let large = ClusterSpec {
+        count: 20,
+        ports: 20,
+        servers_per_switch: 8,
+    };
+    let small = ClusterSpec {
+        count: 20,
+        ports: 20,
+        servers_per_switch: 8,
+    };
     let grid = ratio_grid(large, small, cfg.full);
     let mut series = Vec::new();
     for &ratio in &grid {
@@ -117,12 +151,15 @@ pub fn run_bisection(cfg: &FigConfig) {
         let mut cuts = Vec::new();
         for &seed in &runner.seeds {
             let mut rng = StdRng::seed_from_u64(seed);
-            let topo = two_cluster(large, small, CrossSpec::Ratio(ratio), &mut rng)
-                .expect("build");
+            let topo = two_cluster(large, small, CrossSpec::Ratio(ratio), &mut rng).expect("build");
             let in_large: Vec<bool> = (0..40).map(|v| v < 20).collect();
             cuts.push(cut_capacity(&topo.graph, &in_large));
             let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
-            ts.push(solve_throughput(&topo, &tm, &cfg.opts).expect("solve").throughput);
+            ts.push(
+                solve_throughput(&topo, &tm, &cfg.opts)
+                    .expect("solve")
+                    .throughput,
+            );
         }
         let mean = |v: &[f64]| v.iter().sum::<f64>() / v.len() as f64;
         series.push((ratio, mean(&ts), mean(&cuts)));

@@ -111,8 +111,11 @@ pub fn run_fig2(cfg: &FigConfig) {
         "aspl_bound",
     ]);
     for &n in &sizes {
-        let a2a =
-            if n <= 40 { a2a_ratio(cfg, n, r).expect("a2a").mean } else { f64::NAN };
+        let a2a = if n <= 40 {
+            a2a_ratio(cfg, n, r).expect("a2a").mean
+        } else {
+            f64::NAN
+        };
         let p10 = perm_ratio(cfg, n, r, 10).expect("perm10");
         let p5 = perm_ratio(cfg, n, r, 5).expect("perm5");
         let aspl = observed_aspl(cfg, n, r).expect("aspl");

@@ -29,7 +29,10 @@ pub fn run(cfg: &FigConfig) {
     sizes.dedup();
 
     header("Fig 3: ASPL vs lower bound, degree 4 (x-tics = new bound levels)");
-    header(&format!("level boundaries: {:?}", moore_level_boundaries(r, max_n)));
+    header(&format!(
+        "level boundaries: {:?}",
+        moore_level_boundaries(r, max_n)
+    ));
     columns(&["size", "aspl_observed", "aspl_bound", "ratio"]);
     for &n in &sizes {
         let runner = Runner::new(cfg.effective_runs(), cfg.seed);

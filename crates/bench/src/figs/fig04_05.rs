@@ -38,7 +38,16 @@ fn sweep_split_curve(
                 rng,
             )
         })?;
-        row_keyed(label, &[s_l as f64 / prop, stats.mean, stats.std, s_l as f64, s_s as f64]);
+        row_keyed(
+            label,
+            &[
+                s_l as f64 / prop,
+                stats.mean,
+                stats.std,
+                s_l as f64,
+                s_s as f64,
+            ],
+        );
     }
     Ok(())
 }
@@ -46,7 +55,14 @@ fn sweep_split_curve(
 /// Fig. 4(a)–(c).
 pub fn run_fig4(cfg: &FigConfig) {
     header("Fig 4: server distribution sweeps; x = servers-at-large / proportional");
-    columns(&["curve", "x_ratio", "throughput", "std", "servers_large", "servers_small"]);
+    columns(&[
+        "curve",
+        "x_ratio",
+        "throughput",
+        "std",
+        "servers_large",
+        "servers_small",
+    ]);
     // (a) port ratios 3:1, 2:1, 3:2 — 20 large, 40 small
     sweep_split_curve(cfg, "a:3to1", 20, 30, 40, 10, 500).expect("fig4a 3:1");
     sweep_split_curve(cfg, "a:2to1", 20, 30, 40, 15, 480).expect("fig4a 2:1");
@@ -67,8 +83,7 @@ pub fn run_fig5(cfg: &FigConfig) {
     header("normalized to the beta = 1.0 (proportional) configuration");
     columns(&["curve", "beta", "normalized_throughput", "std"]);
     let n_switches = 40;
-    let betas: Vec<f64> =
-        (0..=8).map(|i| i as f64 * 0.2).collect();
+    let betas: Vec<f64> = (0..=8).map(|i| i as f64 * 0.2).collect();
     for &(label, min_ports) in &[("avg6", 4usize), ("avg8", 6), ("avg10", 7)] {
         // a fixed fleet per curve (sampled once, deterministic)
         let mut fleet_rng = StdRng::seed_from_u64(cfg.seed ^ min_ports as u64);

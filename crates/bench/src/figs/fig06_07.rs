@@ -17,7 +17,7 @@ use crate::{columns, header, row_keyed, FigConfig};
 
 /// The standard cross-ratio grid, clamped to what the port budgets allow.
 pub(crate) fn ratio_grid(large: ClusterSpec, small: ClusterSpec, dense: bool) -> Vec<f64> {
-    let l = large.total_network_ports().expect("ports") ;
+    let l = large.total_network_ports().expect("ports");
     let s = small.total_network_ports().expect("ports");
     let expected = expected_cross_links(l, s);
     let max_ratio = l.min(s) as f64 / expected;
@@ -50,7 +50,11 @@ pub fn run_fig6(cfg: &FigConfig) {
     header("Fig 6: cross-cluster connectivity sweeps, proportional servers");
     header("x = cross links / expected under vanilla random wiring");
     columns(&["curve", "x_ratio", "throughput", "std"]);
-    let spec = |count, ports, servers| ClusterSpec { count, ports, servers_per_switch: servers };
+    let spec = |count, ports, servers| ClusterSpec {
+        count,
+        ports,
+        servers_per_switch: servers,
+    };
     // (a) port ratios (servers proportional to ports)
     sweep_cross_curve(cfg, "a:3to1", spec(20, 30, 15), spec(40, 10, 5)).expect("6a 3:1");
     sweep_cross_curve(cfg, "a:2to1", spec(20, 30, 12), spec(40, 15, 6)).expect("6a 2:1");
@@ -72,14 +76,30 @@ pub fn run_fig7(cfg: &FigConfig) {
     columns(&["curve", "x_ratio", "throughput", "std"]);
     // (a) 20 large (30p), 40 small (10p), 400 servers total
     for &(h, l) in &[(16usize, 2usize), (14, 3), (12, 4), (10, 5), (8, 6)] {
-        let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: h };
-        let small = ClusterSpec { count: 40, ports: 10, servers_per_switch: l };
+        let large = ClusterSpec {
+            count: 20,
+            ports: 30,
+            servers_per_switch: h,
+        };
+        let small = ClusterSpec {
+            count: 40,
+            ports: 10,
+            servers_per_switch: l,
+        };
         sweep_cross_curve(cfg, &format!("a:{h}H,{l}L"), large, small).expect("fig7a");
     }
     // (b) 20 large (30p), 40 small (20p), 560 servers total
     for &(h, l) in &[(22usize, 3usize), (18, 5), (14, 7), (10, 9), (6, 11)] {
-        let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: h };
-        let small = ClusterSpec { count: 40, ports: 20, servers_per_switch: l };
+        let large = ClusterSpec {
+            count: 20,
+            ports: 30,
+            servers_per_switch: h,
+        };
+        let small = ClusterSpec {
+            count: 40,
+            ports: 20,
+            servers_per_switch: l,
+        };
         sweep_cross_curve(cfg, &format!("b:{h}H,{l}L"), large, small).expect("fig7b");
     }
 }

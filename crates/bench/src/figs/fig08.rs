@@ -43,18 +43,42 @@ pub fn run(cfg: &FigConfig) {
     header("Fig 8: heterogeneous line-speeds — 20 large (40 low ports), 20 small (15 low ports)");
     header("large switches carry extra high-speed trunks (paired among large switches only)");
     columns(&["curve", "x_ratio", "throughput", "std"]);
-    let large = |servers| ClusterSpec { count: 20, ports: 40, servers_per_switch: servers };
-    let small = |servers| ClusterSpec { count: 20, ports: 15, servers_per_switch: servers };
+    let large = |servers| ClusterSpec {
+        count: 20,
+        ports: 40,
+        servers_per_switch: servers,
+    };
+    let small = |servers| ClusterSpec {
+        count: 20,
+        ports: 15,
+        servers_per_switch: servers,
+    };
     // (a) server splits, 3 trunks at 10x (total servers fixed at 860)
     for &(h, l) in &[(36usize, 7usize), (35, 8), (34, 9), (33, 10), (32, 11)] {
         sweep(cfg, &format!("a:{h}H,{l}L"), large(h), small(l), 3, 10.0).expect("fig8a");
     }
     // (b) trunk speed sweep at 6 trunks, servers fixed (34, 9)
     for &speed in &[2.0, 4.0, 8.0] {
-        sweep(cfg, &format!("b:speed{speed}"), large(34), small(9), 6, speed).expect("fig8b");
+        sweep(
+            cfg,
+            &format!("b:speed{speed}"),
+            large(34),
+            small(9),
+            6,
+            speed,
+        )
+        .expect("fig8b");
     }
     // (c) trunk count sweep at speed 4, servers fixed (34, 9)
     for &links in &[3usize, 6, 9] {
-        sweep(cfg, &format!("c:{links}links"), large(34), small(9), links, 4.0).expect("fig8c");
+        sweep(
+            cfg,
+            &format!("c:{links}links"),
+            large(34),
+            small(9),
+            links,
+            4.0,
+        )
+        .expect("fig8c");
     }
 }

@@ -39,11 +39,22 @@ where
         let res = solve_throughput(&topo, &tm, &cfg.opts)?;
         let solved = res.solved.as_ref().expect("network solve present");
         let d = decompose(&topo.graph, solved, &res.commodities)?;
-        Ok([res.throughput, d.utilization, 1.0 / d.aspl, 1.0 / d.stretch.max(1e-9)])
+        Ok([
+            res.throughput,
+            d.utilization,
+            1.0 / d.aspl,
+            1.0 / d.stretch.max(1e-9),
+        ])
     })?;
     let n = samples.len() as f64;
     let mean = |i: usize| samples.iter().map(|s| s[i]).sum::<f64>() / n;
-    Ok(Point { x, t: mean(0), u: mean(1), inv_d: mean(2), inv_as: mean(3) })
+    Ok(Point {
+        x,
+        t: mean(0),
+        u: mean(1),
+        inv_d: mean(2),
+        inv_as: mean(3),
+    })
 }
 
 fn print_normalized(label: &str, points: &[Point]) {
@@ -53,7 +64,10 @@ fn print_normalized(label: &str, points: &[Point]) {
         .expect("non-empty sweep");
     let (pt, pu, pd, pa) = (peak.t, peak.u, peak.inv_d, peak.inv_as);
     for p in points {
-        row_keyed(label, &[p.x, p.t / pt, p.u / pu, p.inv_d / pd, p.inv_as / pa]);
+        row_keyed(
+            label,
+            &[p.x, p.t / pt, p.u / pu, p.inv_d / pd, p.inv_as / pa],
+        );
     }
 }
 
@@ -70,7 +84,14 @@ where
 /// Fig. 9(a)–(c).
 pub fn run(cfg: &FigConfig) {
     header("Fig 9: throughput decomposition, all metrics normalized at the peak-T point");
-    columns(&["panel", "x", "throughput", "utilization", "inv_aspl", "inv_stretch"]);
+    columns(&[
+        "panel",
+        "x",
+        "throughput",
+        "utilization",
+        "inv_aspl",
+        "inv_stretch",
+    ]);
 
     // (a) = Fig 4(c) '480 servers': server split sweep
     let mut pts = Vec::new();
@@ -90,8 +111,16 @@ pub fn run(cfg: &FigConfig) {
     print_normalized("a:servers", &pts);
 
     // (b) = Fig 6(c) '480 servers': cross-connectivity sweep
-    let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: 12 };
-    let small = ClusterSpec { count: 30, ports: 20, servers_per_switch: 8 };
+    let large = ClusterSpec {
+        count: 20,
+        ports: 30,
+        servers_per_switch: 12,
+    };
+    let small = ClusterSpec {
+        count: 30,
+        ports: 20,
+        servers_per_switch: 8,
+    };
     let mut pts = Vec::new();
     for ratio in ratio_grid(large, small, cfg.full) {
         let p = measure(cfg, ratio, |rng| {
@@ -103,8 +132,16 @@ pub fn run(cfg: &FigConfig) {
     print_normalized("b:cross", &pts);
 
     // (c) = Fig 8(c) '3 H-links': line-speed cross sweep
-    let large = ClusterSpec { count: 20, ports: 40, servers_per_switch: 34 };
-    let small = ClusterSpec { count: 20, ports: 15, servers_per_switch: 9 };
+    let large = ClusterSpec {
+        count: 20,
+        ports: 40,
+        servers_per_switch: 34,
+    };
+    let small = ClusterSpec {
+        count: 20,
+        ports: 15,
+        servers_per_switch: 9,
+    };
     let mut pts = Vec::new();
     for ratio in ratio_grid(large, small, cfg.full) {
         let p = measure(cfg, ratio, |rng| {

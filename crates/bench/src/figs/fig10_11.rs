@@ -39,8 +39,8 @@ fn server_weighted_aspl(topo: &Topology) -> f64 {
             continue;
         }
         let dist = bfs_distances(&topo.graph, u);
-        for v in 0..topo.switch_count() {
-            let sv = topo.servers_at[v] as f64;
+        for (v, &servers) in topo.servers_at.iter().enumerate() {
+            let sv = servers as f64;
             if sv == 0.0 {
                 continue;
             }
@@ -53,11 +53,7 @@ fn server_weighted_aspl(topo: &Topology) -> f64 {
 }
 
 /// Mean (observed throughput, Eqn-1 bound) at one sweep point.
-fn observe<B>(
-    cfg: &FigConfig,
-    large_count: usize,
-    build: B,
-) -> Result<(f64, f64), CoreError>
+fn observe<B>(cfg: &FigConfig, large_count: usize, build: B) -> Result<(f64, f64), CoreError>
 where
     B: Fn(&mut StdRng) -> Result<Topology, GraphError> + Sync,
 {
@@ -102,13 +98,29 @@ pub fn run_fig10(cfg: &FigConfig) {
     let cases_uniform: [(&str, ClusterSpec, ClusterSpec); 2] = [
         (
             "a:caseA",
-            ClusterSpec { count: 20, ports: 30, servers_per_switch: 15 },
-            ClusterSpec { count: 40, ports: 10, servers_per_switch: 5 },
+            ClusterSpec {
+                count: 20,
+                ports: 30,
+                servers_per_switch: 15,
+            },
+            ClusterSpec {
+                count: 40,
+                ports: 10,
+                servers_per_switch: 5,
+            },
         ),
         (
             "a:caseB",
-            ClusterSpec { count: 20, ports: 30, servers_per_switch: 9 },
-            ClusterSpec { count: 30, ports: 20, servers_per_switch: 6 },
+            ClusterSpec {
+                count: 20,
+                ports: 30,
+                servers_per_switch: 9,
+            },
+            ClusterSpec {
+                count: 30,
+                ports: 20,
+                servers_per_switch: 6,
+            },
         ),
     ];
     for (label, large, small) in cases_uniform {
@@ -121,11 +133,21 @@ pub fn run_fig10(cfg: &FigConfig) {
         }
     }
     // (b) mixed line-speeds: same base, extra 10x/4x trunks
-    let large = ClusterSpec { count: 20, ports: 40, servers_per_switch: 34 };
-    let small = ClusterSpec { count: 20, ports: 15, servers_per_switch: 9 };
-    for (label, links, speed) in
-        [("b:caseA", 3usize, 10.0f64), ("b:caseB", 6, 4.0), ("b:caseC", 9, 2.0)]
-    {
+    let large = ClusterSpec {
+        count: 20,
+        ports: 40,
+        servers_per_switch: 34,
+    };
+    let small = ClusterSpec {
+        count: 20,
+        ports: 15,
+        servers_per_switch: 9,
+    };
+    for (label, links, speed) in [
+        ("b:caseA", 3usize, 10.0f64),
+        ("b:caseB", 6, 4.0),
+        ("b:caseC", 9, 2.0),
+    ] {
         for ratio in ratio_grid(large, small, cfg.full) {
             let (obs, bound) = observe(cfg, large.count, |rng| {
                 two_cluster_linespeed(large, small, CrossSpec::Ratio(ratio), links, speed, rng)
@@ -154,8 +176,16 @@ pub fn run_fig11(cfg: &FigConfig) {
                 // proportional servers scaled by the load factor
                 let s_l = ((pl as f64) * 0.4 * load).round() as usize;
                 let s_s = ((ps as f64) * 0.4 * load).round().max(1.0) as usize;
-                let large = ClusterSpec { count: 20, ports: pl, servers_per_switch: s_l };
-                let small = ClusterSpec { count: ns, ports: ps, servers_per_switch: s_s };
+                let large = ClusterSpec {
+                    count: 20,
+                    ports: pl,
+                    servers_per_switch: s_l,
+                };
+                let small = ClusterSpec {
+                    count: ns,
+                    ports: ps,
+                    servers_per_switch: s_s,
+                };
                 let name = format!("cfg{config_id}:{pl}/{ps}p,{ns}s,x{load}");
                 match threshold_check(cfg, &name, large, small) {
                     Ok(()) => {}
@@ -183,8 +213,7 @@ fn threshold_check(
         for &seed in &runner.seeds {
             let mut rng = StdRng::seed_from_u64(seed);
             let topo = two_cluster(large, small, CrossSpec::Ratio(ratio), &mut rng)?;
-            let in_large: Vec<bool> =
-                (0..topo.switch_count()).map(|v| v < large.count).collect();
+            let in_large: Vec<bool> = (0..topo.switch_count()).map(|v| v < large.count).collect();
             cbars.push(cut_capacity(&topo.graph, &in_large));
             let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
             ts.push(solve_throughput(&topo, &tm, &cfg.opts)?.throughput);

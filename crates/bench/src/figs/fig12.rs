@@ -7,14 +7,14 @@
 //! (c) the support ratio when full throughput is required under
 //!     all-to-all / permutation / 100% chunky traffic.
 
-use dctopo_core::vl2::{permutation_tm, SupportSearch};
+use dctopo_core::experiment::Runner;
+use dctopo_core::vl2::{permutation_tm, CoreError, SupportSearch};
 use dctopo_topology::vl2::{rewired_vl2, vl2, Vl2Params};
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::figs::mean_throughput_with_tm;
 use crate::{columns, header, row_keyed, FigConfig};
 
 fn grids(cfg: &FigConfig) -> (Vec<usize>, Vec<usize>) {
@@ -49,11 +49,23 @@ fn support_pair(
 ) -> (usize, usize) {
     let search = search_for(cfg);
     let full = d_a * d_i / 4;
-    let stock_build =
-        |tors: usize, _seed: u64| vl2(Vl2Params { d_a, d_i, tors: Some(tors) });
+    let stock_build = |tors: usize, _seed: u64| {
+        vl2(Vl2Params {
+            d_a,
+            d_i,
+            tors: Some(tors),
+        })
+    };
     let rewired_build = |tors: usize, seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
+        rewired_vl2(
+            Vl2Params {
+                d_a,
+                d_i,
+                tors: Some(tors),
+            },
+            &mut rng,
+        )
     };
     let stock = search
         .max_tors(full.div_ceil(4), full, &stock_build, tm)
@@ -74,8 +86,11 @@ pub fn run_fig12a(cfg: &FigConfig) {
     for &d_i in &dis {
         for &d_a in &das {
             let (stock, rewired) = support_pair(cfg, d_a, d_i, &permutation_tm);
-            let ratio =
-                if stock > 0 { rewired as f64 / stock as f64 } else { f64::NAN };
+            let ratio = if stock > 0 {
+                rewired as f64 / stock as f64
+            } else {
+                f64::NAN
+            };
             row_keyed(
                 &format!("DI={d_i}"),
                 &[d_a as f64, ratio, stock as f64, rewired as f64],
@@ -86,32 +101,51 @@ pub fn run_fig12a(cfg: &FigConfig) {
 
 /// Fig. 12(b): chunky traffic on the rewired topology sized at its
 /// permutation-supported ToR count.
+///
+/// All chunky percentages are solved against one `ThroughputEngine`
+/// (one CSR flattening) per seeded topology via
+/// [`Runner::run_throughput`].
 pub fn run_fig12b(cfg: &FigConfig) {
     header("Fig 12(b): throughput under x% chunky traffic (rewired VL2 at its");
     header("permutation-supported size)");
     columns(&["curve", "d_a", "throughput", "std"]);
     let (das, dis) = grids(cfg);
     let d_i = *dis.last().expect("non-empty");
+    const PCTS: [f64; 3] = [20.0, 60.0, 100.0];
     for &d_a in &das {
         let (_, rewired_tors) = support_pair(cfg, d_a, d_i, &permutation_tm);
         if rewired_tors == 0 {
             continue;
         }
-        for &pct in &[20.0f64, 60.0, 100.0] {
-            let stats = mean_throughput_with_tm(
-                cfg,
-                |rng| rewired_vl2(Vl2Params { d_a, d_i, tors: Some(rewired_tors) }, rng),
+        let runner = Runner::new(cfg.effective_runs(), cfg.seed);
+        let stats = runner
+            .run_throughput(
+                |rng: &mut StdRng| {
+                    rewired_vl2(
+                        Vl2Params {
+                            d_a,
+                            d_i,
+                            tors: Some(rewired_tors),
+                        },
+                        rng,
+                    )
+                    .map_err(CoreError::Graph)
+                },
                 |topo, rng| {
                     let groups: Vec<Vec<usize>> = topo
                         .server_groups()
                         .into_iter()
                         .filter(|g| !g.is_empty())
                         .collect();
-                    TrafficMatrix::chunky(&groups, pct, rng)
+                    PCTS.iter()
+                        .map(|&pct| TrafficMatrix::chunky(&groups, pct, rng))
+                        .collect()
                 },
+                &cfg.opts,
             )
             .expect("fig12b solve");
-            row_keyed(&format!("{pct:.0}%chunky"), &[d_a as f64, stats.mean, stats.std]);
+        for (&pct, s) in PCTS.iter().zip(&stats) {
+            row_keyed(&format!("{pct:.0}%chunky"), &[d_a as f64, s.mean, s.std]);
         }
     }
 }
@@ -124,25 +158,35 @@ pub fn run_fig12c(cfg: &FigConfig) {
     let (das, dis) = grids(cfg);
     let d_i = dis[0];
     let chunky_tm = |topo: &Topology, rng: &mut StdRng| {
-        let groups: Vec<Vec<usize>> =
-            topo.server_groups().into_iter().filter(|g| !g.is_empty()).collect();
+        let groups: Vec<Vec<usize>> = topo
+            .server_groups()
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .collect();
         TrafficMatrix::chunky(&groups, 100.0, rng)
     };
-    let a2a_tm = |topo: &Topology, _rng: &mut StdRng| {
-        TrafficMatrix::all_to_all(topo.server_count())
-    };
-    let patterns: [(&str, &dyn Fn(&Topology, &mut StdRng) -> TrafficMatrix); 3] = [
+    let a2a_tm =
+        |topo: &Topology, _rng: &mut StdRng| TrafficMatrix::all_to_all(topo.server_count());
+    type TmBuilder<'a> = &'a dyn Fn(&Topology, &mut StdRng) -> TrafficMatrix;
+    let patterns: [(&str, TmBuilder); 3] = [
         ("all-to-all", &a2a_tm),
         ("permutation", &permutation_tm),
         ("100%chunky", &chunky_tm),
     ];
     // all-to-all is quadratic in servers: restrict to the smaller degrees
     for (name, tm) in patterns {
-        let degree_cap = if name == "all-to-all" && !cfg.full { 10 } else { usize::MAX };
+        let degree_cap = if name == "all-to-all" && !cfg.full {
+            10
+        } else {
+            usize::MAX
+        };
         for &d_a in das.iter().filter(|&&d| d <= degree_cap) {
             let (stock, rewired) = support_pair(cfg, d_a, d_i, tm);
-            let ratio =
-                if stock > 0 { rewired as f64 / stock as f64 } else { f64::NAN };
+            let ratio = if stock > 0 {
+                rewired as f64 / stock as f64
+            } else {
+                f64::NAN
+            };
             row_keyed(name, &[d_a as f64, ratio, stock as f64, rewired as f64]);
         }
     }

@@ -29,14 +29,21 @@ pub fn run(cfg: &FigConfig) {
     for &d_a in &das {
         let tors = ((d_a * d_i / 4) as f64 * 1.25).round() as usize;
         let mut rng = StdRng::seed_from_u64(cfg.seed ^ d_a as u64);
-        let topo = rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
-            .expect("rewired build");
+        let topo = rewired_vl2(
+            Vl2Params {
+                d_a,
+                d_i,
+                tors: Some(tors),
+            },
+            &mut rng,
+        )
+        .expect("rewired build");
         let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
         let flow = solve_throughput(&topo, &tm, &cfg.opts).expect("flow solve");
         let flow_t = flow.throughput.min(1.0);
 
-        let scenario = build_packet_scenario(&topo, &tm, &PacketParams::default())
-            .expect("packet scenario");
+        let scenario =
+            build_packet_scenario(&topo, &tm, &PacketParams::default()).expect("packet scenario");
         let sim_cfg = SimConfig {
             duration: if cfg.full { 2000.0 } else { 1000.0 },
             warmup: if cfg.full { 500.0 } else { 250.0 },

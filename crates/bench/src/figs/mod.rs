@@ -39,19 +39,17 @@ pub(crate) fn mean_perm_throughput<B>(cfg: &FigConfig, build: B) -> Result<Stats
 where
     B: Fn(&mut StdRng) -> Result<Topology, GraphError> + Sync,
 {
-    let runner = Runner::new(cfg.effective_runs(), cfg.seed);
-    runner.run(|seed| {
-        zero_if_unreachable((|| -> Result<f64, CoreError> {
-            let mut rng = StdRng::seed_from_u64(seed);
-            let topo = build(&mut rng)?;
-            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
-            let r = solve_throughput(&topo, &tm, &cfg.opts)?;
-            Ok(r.throughput)
-        })())
+    mean_throughput_with_tm(cfg, build, |topo, rng| {
+        TrafficMatrix::random_permutation(topo.server_count(), rng)
     })
 }
 
 /// Mean throughput with an arbitrary traffic-matrix builder.
+///
+/// `solve_throughput` is the one-shot [`dctopo_core::ThroughputEngine`]
+/// path, so backend selection (`cfg.opts.backend`) and CSR flattening
+/// all live in `dctopo-core`; multi-matrix sweeps should use
+/// [`Runner::run_throughput`] directly (see Fig. 12(b)).
 pub(crate) fn mean_throughput_with_tm<B, T>(
     cfg: &FigConfig,
     build: B,

@@ -37,7 +37,12 @@ pub struct FigConfig {
 
 impl Default for FigConfig {
     fn default() -> Self {
-        FigConfig { runs: 3, seed: 20140402, full: false, opts: FlowOptions::fast() }
+        FigConfig {
+            runs: 3,
+            seed: 20140402,
+            full: false,
+            opts: FlowOptions::fast(),
+        }
     }
 }
 
@@ -91,7 +96,7 @@ pub fn server_splits(
             break;
         }
         let rem = total - used;
-        if rem % n_s == 0 {
+        if rem.is_multiple_of(n_s) {
             let s_s = rem / n_s;
             if s_s < ports_s {
                 out.push((s_l, s_s));

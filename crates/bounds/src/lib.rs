@@ -41,7 +41,9 @@ pub fn aspl_lower_bound(n: usize, r: usize) -> Result<f64, GraphError> {
         return Ok(1.0);
     }
     if n < 2 {
-        return Err(GraphError::Unrealizable(format!("ASPL undefined for n = {n}")));
+        return Err(GraphError::Unrealizable(format!(
+            "ASPL undefined for n = {n}"
+        )));
     }
     if r < 2 {
         return Err(GraphError::Unrealizable(format!(
@@ -113,7 +115,10 @@ pub fn cut_throughput_bound(
     n1: usize,
     n2: usize,
 ) -> f64 {
-    assert!(n1 > 0 && n2 > 0 && aspl > 0.0, "need servers in both clusters");
+    assert!(
+        n1 > 0 && n2 > 0 && aspl > 0.0,
+        "need servers in both clusters"
+    );
     let f = (n1 + n2) as f64;
     let path_bound = total_capacity / (aspl * f);
     let cut_bound = cross_capacity * f / (2.0 * n1 as f64 * n2 as f64);

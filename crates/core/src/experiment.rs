@@ -4,8 +4,22 @@
 //! one closure per seed on a crossbeam scoped thread pool and aggregates
 //! mean / standard deviation / extremes. Seeds make every figure
 //! regenerable bit-for-bit.
+//!
+//! [`Runner::run_throughput`] is the throughput-sweep form: per seed it
+//! builds one topology, preprocesses it into a
+//! [`crate::solve::ThroughputEngine`] (one shared `CsrNet`), and solves
+//! *every* requested traffic matrix against that engine — so a
+//! k-pattern sweep pays for graph flattening once, and the solver
+//! backend is whatever [`FlowOptions::backend`] selects.
 
 use crossbeam::thread;
+use dctopo_flow::{FlowError, FlowOptions};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::solve::ThroughputEngine;
 
 /// Summary statistics over per-seed measurements.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -68,9 +82,13 @@ impl Runner {
     /// `runs` seeds derived from `base_seed`, using all available
     /// parallelism.
     pub fn new(runs: usize, base_seed: u64) -> Self {
-        let threads = std::thread::available_parallelism().map(|p| p.get()).unwrap_or(4);
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4);
         Runner {
-            seeds: (0..runs as u64).map(|i| base_seed.wrapping_add(i * 0x9E37_79B9)).collect(),
+            seeds: (0..runs as u64)
+                .map(|i| base_seed.wrapping_add(i * 0x9E37_79B9))
+                .collect(),
             threads,
         }
     }
@@ -95,6 +113,63 @@ impl Runner {
         F: Fn(u64) -> Result<f64, E> + Sync,
         E: Send,
     {
+        self.run_raw_items(f)
+    }
+
+    /// Throughput sweep: for each seed, build one topology, flatten it
+    /// once, and solve every traffic matrix from `matrices` against the
+    /// shared [`ThroughputEngine`] with the backend in `opts.backend`.
+    ///
+    /// Returns one [`Stats`] per traffic-matrix index (aggregated over
+    /// seeds). `matrices` must return the same number of matrices for
+    /// every topology.
+    ///
+    /// # Errors
+    /// The first build or solver error aborts the sweep.
+    pub fn run_throughput<B, M, E>(
+        &self,
+        build: B,
+        matrices: M,
+        opts: &FlowOptions,
+    ) -> Result<Vec<Stats>, E>
+    where
+        B: Fn(&mut StdRng) -> Result<Topology, E> + Sync,
+        M: Fn(&Topology, &mut StdRng) -> Vec<TrafficMatrix> + Sync,
+        E: Send + From<FlowError>,
+    {
+        let per_seed: Vec<Vec<f64>> = {
+            let rows = self.run_raw_items(|seed| {
+                let mut rng = StdRng::seed_from_u64(seed);
+                let topo = build(&mut rng)?;
+                let engine = ThroughputEngine::new(&topo);
+                let tms = matrices(&topo, &mut rng);
+                tms.iter()
+                    .map(|tm| Ok(engine.solve(tm, opts)?.throughput))
+                    .collect::<Result<Vec<f64>, E>>()
+            })?;
+            rows
+        };
+        let width = per_seed.first().map_or(0, Vec::len);
+        assert!(
+            per_seed.iter().all(|r| r.len() == width),
+            "matrices() must be the same length for every topology"
+        );
+        Ok((0..width)
+            .map(|i| {
+                let column: Vec<f64> = per_seed.iter().map(|r| r[i]).collect();
+                Stats::from_samples(&column)
+            })
+            .collect())
+    }
+
+    /// Like [`Runner::run_raw`] but with an arbitrary `Send` item per
+    /// seed (still returned in seed order).
+    fn run_raw_items<T, F, E>(&self, f: F) -> Result<Vec<T>, E>
+    where
+        F: Fn(u64) -> Result<T, E> + Sync,
+        T: Send,
+        E: Send,
+    {
         assert!(!self.seeds.is_empty(), "runner needs at least one seed");
         let threads = self.threads.clamp(1, self.seeds.len());
         if threads == 1 {
@@ -106,12 +181,13 @@ impl Runner {
                 .chunks(self.seeds.len().div_ceil(threads))
                 .map(|chunk| {
                     let f = &f;
-                    scope.spawn(move |_| {
-                        chunk.iter().map(|&s| f(s)).collect::<Vec<Result<f64, E>>>()
-                    })
+                    scope.spawn(move |_| chunk.iter().map(|&s| f(s)).collect::<Vec<Result<T, E>>>())
                 })
                 .collect();
-            chunks.into_iter().flat_map(|h| h.join().expect("worker panicked")).collect()
+            chunks
+                .into_iter()
+                .flat_map(|h| h.join().expect("worker panicked"))
+                .collect()
         })
         .expect("thread scope failed");
         results.into_iter().collect()
@@ -136,7 +212,10 @@ mod tests {
 
     #[test]
     fn runner_deterministic_seed_order() {
-        let r = Runner { seeds: vec![10, 20, 30, 40, 50], threads: 3 };
+        let r = Runner {
+            seeds: vec![10, 20, 30, 40, 50],
+            threads: 3,
+        };
         let raw = r.run_raw(|s| Ok::<f64, ()>(s as f64)).unwrap();
         assert_eq!(raw, vec![10.0, 20.0, 30.0, 40.0, 50.0]);
     }
@@ -157,7 +236,10 @@ mod tests {
 
     #[test]
     fn runner_propagates_error() {
-        let r = Runner { seeds: vec![1, 2, 3], threads: 2 };
+        let r = Runner {
+            seeds: vec![1, 2, 3],
+            threads: 2,
+        };
         let out = r.run(|s| if s == 2 { Err("boom") } else { Ok(1.0) });
         assert_eq!(out.unwrap_err(), "boom");
     }
@@ -166,5 +248,35 @@ mod tests {
     fn rel_std_guard() {
         let s = Stats::from_samples(&[0.0, 0.0]);
         assert_eq!(s.rel_std(), 0.0);
+    }
+
+    #[test]
+    fn run_throughput_one_engine_many_matrices() {
+        use dctopo_flow::FlowError;
+        use dctopo_traffic::TrafficMatrix;
+        use rand::rngs::StdRng;
+
+        let r = Runner {
+            seeds: vec![5, 6, 7],
+            threads: 2,
+        };
+        let opts = FlowOptions::fast();
+        let stats = r
+            .run_throughput(
+                |rng: &mut StdRng| Topology::random_regular(8, 6, 4, rng).map_err(FlowError::Graph),
+                |topo, rng| {
+                    vec![
+                        TrafficMatrix::random_permutation(topo.server_count(), rng),
+                        TrafficMatrix::all_to_all(topo.server_count()),
+                    ]
+                },
+                &opts,
+            )
+            .unwrap();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].n, 3);
+        // permutation traffic (1 flow per NIC) beats all-to-all per-flow
+        assert!(stats[0].mean > stats[1].mean);
+        assert!(stats.iter().all(|s| s.mean > 0.0));
     }
 }

@@ -6,9 +6,15 @@
 //!   [`dctopo_topology::Topology`] plus a server-level
 //!   [`dctopo_traffic::TrafficMatrix`] to the paper's throughput number:
 //!   aggregate server flows into switch-level commodities, solve max
-//!   concurrent flow, and apply the server-NIC line-rate cap.
+//!   concurrent flow (with the backend picked by
+//!   [`dctopo_flow::FlowOptions::backend`]), and apply the server-NIC
+//!   line-rate cap. [`solve::ThroughputEngine`] is the amortised form
+//!   that flattens a topology to its `CsrNet` once and reuses it across
+//!   traffic matrices.
 //! * [`experiment`] — seeded, multi-threaded experiment runner with
-//!   mean/σ statistics (the paper averages most points over 20 runs).
+//!   mean/σ statistics (the paper averages most points over 20 runs);
+//!   [`experiment::Runner::run_throughput`] runs whole traffic sweeps on
+//!   one engine per topology.
 //! * [`vl2`] — the §7 case study: binary search for the number of ToRs a
 //!   topology family supports at full throughput, for stock VL2 and the
 //!   rewired variant.
@@ -22,4 +28,4 @@ pub mod solve;
 pub mod vl2;
 
 pub use experiment::{Runner, Stats};
-pub use solve::{solve_throughput, ThroughputResult};
+pub use solve::{solve_throughput, ThroughputEngine, ThroughputResult};

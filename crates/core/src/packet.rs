@@ -22,7 +22,11 @@ pub struct PacketParams {
 
 impl Default for PacketParams {
     fn default() -> Self {
-        PacketParams { subflows: 8, queue: 64, delay: 0.02 }
+        PacketParams {
+            subflows: 8,
+            queue: 64,
+            delay: 0.02,
+        }
     }
 }
 
@@ -47,20 +51,32 @@ pub fn build_packet_scenario(
     assert!(params.subflows >= 1, "need at least one subflow");
     let s = topo.switch_count();
     let s2sw = topo.server_to_switch();
-    assert_eq!(tm.server_count(), s2sw.len(), "traffic matrix / topology size mismatch");
+    assert_eq!(
+        tm.server_count(),
+        s2sw.len(),
+        "traffic matrix / topology size mismatch"
+    );
     let mut net = Network::new(s + s2sw.len());
     for e in topo.graph.edges() {
         net.add_duplex_link(
             e.u,
             e.v,
-            LinkSpec { rate: e.capacity, delay: params.delay, queue: params.queue },
+            LinkSpec {
+                rate: e.capacity,
+                delay: params.delay,
+                queue: params.queue,
+            },
         );
     }
     for (host_idx, &sw) in s2sw.iter().enumerate() {
         net.add_duplex_link(
             s + host_idx,
             sw,
-            LinkSpec { rate: 1.0, delay: params.delay, queue: params.queue },
+            LinkSpec {
+                rate: 1.0,
+                delay: params.delay,
+                queue: params.queue,
+            },
         );
     }
     let mut flows = Vec::with_capacity(tm.flow_count());
@@ -86,7 +102,11 @@ pub fn build_packet_scenario(
             let p = paths[paths.len() % distinct].clone();
             paths.push(p);
         }
-        flows.push(FlowSpec { src: ha, dst: hb, paths });
+        flows.push(FlowSpec {
+            src: ha,
+            dst: hb,
+            paths,
+        });
     }
     Ok(PacketScenario { net, flows })
 }
@@ -107,7 +127,10 @@ mod tests {
         let sc = build_packet_scenario(
             &topo,
             &tm,
-            &PacketParams { subflows: 4, ..PacketParams::default() },
+            &PacketParams {
+                subflows: 4,
+                ..PacketParams::default()
+            },
         )
         .unwrap();
         assert_eq!(sc.net.node_count(), 8 + 16);
@@ -130,14 +153,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(41);
         let topo = Topology::random_regular(8, 5, 4, &mut rng).unwrap(); // 8 servers
         let tm = TrafficMatrix::random_permutation(8, &mut rng);
-        let flow = crate::solve::solve_throughput(
-            &topo,
-            &tm,
-            &dctopo_flow::FlowOptions::default(),
-        )
-        .unwrap();
+        let flow = crate::solve::solve_throughput(&topo, &tm, &dctopo_flow::FlowOptions::default())
+            .unwrap();
         let sc = build_packet_scenario(&topo, &tm, &PacketParams::default()).unwrap();
-        let cfg = SimConfig { duration: 3000.0, warmup: 800.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            duration: 3000.0,
+            warmup: 800.0,
+            ..SimConfig::default()
+        };
         let res = simulate(&sc.net, &sc.flows, &cfg).unwrap();
         let packet_min = res.min_goodput();
         assert!(

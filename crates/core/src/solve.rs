@@ -8,10 +8,17 @@
 //! what the busiest server NIC allows (`1 / max flows per NIC`). Flows
 //! between servers on the same switch never enter the network and are
 //! satisfied at the NIC cap.
+//!
+//! Step (3) dispatches through [`dctopo_flow::solve`], so the backend is
+//! whatever [`FlowOptions::backend`] selects. [`ThroughputEngine`]
+//! preprocesses a topology into its shared [`CsrNet`] **once** and
+//! amortises it over every traffic matrix solved against that topology;
+//! [`solve_throughput`] is the one-shot convenience form.
 
 use std::collections::HashMap;
 
-use dctopo_flow::{max_concurrent_flow, Commodity, FlowError, FlowOptions, SolvedFlow};
+use dctopo_flow::{Commodity, FlowError, FlowOptions, SolvedFlow};
+use dctopo_graph::CsrNet;
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 
@@ -90,39 +97,85 @@ pub fn nic_limit(tm: &TrafficMatrix) -> f64 {
     }
 }
 
-/// Solve the throughput of `topo` under `tm`. See module docs.
+/// A topology preprocessed for repeated throughput solves.
+///
+/// Builds the switch graph's [`CsrNet`] once; every
+/// [`ThroughputEngine::solve`] call against any traffic matrix (and any
+/// backend) then skips graph flattening entirely. This is the form the
+/// experiment layer uses when sweeping traffic patterns over one fabric.
+#[derive(Debug)]
+pub struct ThroughputEngine<'t> {
+    topo: &'t Topology,
+    net: CsrNet,
+}
+
+impl<'t> ThroughputEngine<'t> {
+    /// Preprocess `topo` (flattens the switch graph to CSR).
+    pub fn new(topo: &'t Topology) -> Self {
+        ThroughputEngine {
+            topo,
+            net: CsrNet::from_graph(&topo.graph),
+        }
+    }
+
+    /// The underlying topology.
+    pub fn topology(&self) -> &'t Topology {
+        self.topo
+    }
+
+    /// The shared CSR network all backends solve on.
+    pub fn net(&self) -> &CsrNet {
+        &self.net
+    }
+
+    /// Solve the throughput of the topology under `tm`, using the
+    /// backend selected by `opts.backend`. See module docs.
+    ///
+    /// # Errors
+    /// Propagates [`FlowError`] from the solver (e.g. a disconnected
+    /// switch graph). A traffic matrix whose flows are all switch-local
+    /// succeeds without a network solve.
+    pub fn solve(
+        &self,
+        tm: &TrafficMatrix,
+        opts: &FlowOptions,
+    ) -> Result<ThroughputResult, FlowError> {
+        let commodities = aggregate_commodities(self.topo, tm);
+        let nic = nic_limit(tm);
+        if commodities.is_empty() {
+            // all traffic is intra-switch: NIC-limited only
+            return Ok(ThroughputResult {
+                throughput: nic.min(1.0),
+                network_lambda: f64::INFINITY,
+                network_upper_bound: f64::INFINITY,
+                nic_limit: nic,
+                commodities,
+                solved: None,
+            });
+        }
+        let solved = dctopo_flow::solve(&self.net, &commodities, opts)?;
+        Ok(ThroughputResult {
+            throughput: solved.throughput.min(nic),
+            network_lambda: solved.throughput,
+            network_upper_bound: solved.upper_bound,
+            nic_limit: nic,
+            commodities,
+            solved: Some(solved),
+        })
+    }
+}
+
+/// Solve the throughput of `topo` under `tm`: one-shot form of
+/// [`ThroughputEngine::solve`] (builds the CSR net, solves, discards).
 ///
 /// # Errors
-/// Propagates [`FlowError`] from the solver (e.g. a disconnected switch
-/// graph). A traffic matrix whose flows are all switch-local succeeds
-/// without a network solve.
+/// As [`ThroughputEngine::solve`].
 pub fn solve_throughput(
     topo: &Topology,
     tm: &TrafficMatrix,
     opts: &FlowOptions,
 ) -> Result<ThroughputResult, FlowError> {
-    let commodities = aggregate_commodities(topo, tm);
-    let nic = nic_limit(tm);
-    if commodities.is_empty() {
-        // all traffic is intra-switch: NIC-limited only
-        return Ok(ThroughputResult {
-            throughput: nic.min(1.0),
-            network_lambda: f64::INFINITY,
-            network_upper_bound: f64::INFINITY,
-            nic_limit: nic,
-            commodities,
-            solved: None,
-        });
-    }
-    let solved = max_concurrent_flow(&topo.graph, &commodities, opts)?;
-    Ok(ThroughputResult {
-        throughput: solved.throughput.min(nic),
-        network_lambda: solved.throughput,
-        network_upper_bound: solved.upper_bound,
-        nic_limit: nic,
-        commodities,
-        solved: Some(solved),
-    })
+    ThroughputEngine::new(topo).solve(tm, opts)
 }
 
 #[cfg(test)]
@@ -133,7 +186,13 @@ mod tests {
     use rand::SeedableRng;
 
     fn opts() -> FlowOptions {
-        FlowOptions { epsilon: 0.08, target_gap: 0.03, max_phases: 8000, stall_phases: 300 }
+        FlowOptions {
+            epsilon: 0.08,
+            target_gap: 0.03,
+            max_phases: 8000,
+            stall_phases: 300,
+            ..FlowOptions::default()
+        }
     }
 
     #[test]
@@ -146,7 +205,14 @@ mod tests {
         let tm = TrafficMatrix::from_pairs(8, vec![(0, 2), (1, 3), (4, 5)]);
         let cs = aggregate_commodities(&topo, &tm);
         assert_eq!(cs.len(), 1);
-        assert_eq!(cs[0], Commodity { src: 0, dst: 1, demand: 2.0 });
+        assert_eq!(
+            cs[0],
+            Commodity {
+                src: 0,
+                dst: 1,
+                demand: 2.0
+            }
+        );
     }
 
     #[test]
@@ -172,7 +238,7 @@ mod tests {
     fn local_only_traffic_needs_no_network() {
         let mut rng = StdRng::seed_from_u64(3);
         let topo = Topology::random_regular(4, 6, 2, &mut rng).unwrap(); // 4 servers/switch
-        // all flows within switch 0 (servers 0..4)
+                                                                         // all flows within switch 0 (servers 0..4)
         let tm = TrafficMatrix::from_pairs(16, vec![(0, 1), (1, 0), (2, 3), (3, 2)]);
         let r = solve_throughput(&topo, &tm, &opts()).unwrap();
         assert_eq!(r.throughput, 1.0);
@@ -204,5 +270,47 @@ mod tests {
         let r = solve_throughput(&topo, &tm, &opts()).unwrap();
         assert!(r.throughput <= r.nic_limit + 1e-9);
         assert_eq!(r.nic_limit, 1.0 / 7.0);
+    }
+
+    /// One engine serves many traffic matrices and matches the one-shot
+    /// path exactly (same CsrNet → bit-identical solver trajectory).
+    #[test]
+    fn engine_reuse_matches_one_shot() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let topo = Topology::random_regular(10, 6, 4, &mut rng).unwrap();
+        let engine = ThroughputEngine::new(&topo);
+        assert_eq!(engine.net().node_count(), topo.graph.node_count());
+        for seed in 0..3u64 {
+            let mut tm_rng = StdRng::seed_from_u64(seed);
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut tm_rng);
+            let a = engine.solve(&tm, &opts()).unwrap();
+            let b = solve_throughput(&topo, &tm, &opts()).unwrap();
+            assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+            assert_eq!(a.network_lambda.to_bits(), b.network_lambda.to_bits());
+            assert_eq!(a.commodities, b.commodities);
+        }
+    }
+
+    /// FlowOptions.backend is honored end-to-end: the exact LP and the
+    /// FPTAS agree within the certified gap on a small topology.
+    #[test]
+    fn backend_selection_flows_through() {
+        use dctopo_flow::Backend;
+        let topo = dctopo_topology::classic::complete(5, 1).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let tm = TrafficMatrix::random_permutation(5, &mut rng);
+        let engine = ThroughputEngine::new(&topo);
+        let fptas = engine.solve(&tm, &opts()).unwrap();
+        let exact = engine
+            .solve(&tm, &opts().with_backend(Backend::ExactLp))
+            .unwrap();
+        assert_eq!(exact.network_lambda, exact.network_upper_bound);
+        assert!(fptas.network_lambda <= exact.network_lambda * (1.0 + 1e-9));
+        assert!(
+            fptas.network_lambda >= exact.network_lambda * (1.0 - 0.04),
+            "fptas {} vs exact {}",
+            fptas.network_lambda,
+            exact.network_lambda
+        );
     }
 }

@@ -72,7 +72,12 @@ pub struct SupportSearch {
 impl Default for SupportSearch {
     fn default() -> Self {
         let opts = FlowOptions::default();
-        SupportSearch { opts, tol: opts.target_gap + 0.01, runs: 3, base_seed: 7 }
+        SupportSearch {
+            opts,
+            tol: opts.target_gap + 0.01,
+            runs: 3,
+            base_seed: 7,
+        }
     }
 }
 
@@ -138,7 +143,13 @@ mod tests {
 
     fn search() -> SupportSearch {
         SupportSearch {
-            opts: FlowOptions { epsilon: 0.1, target_gap: 0.03, max_phases: 4000, stall_phases: 150 },
+            opts: FlowOptions {
+                epsilon: 0.1,
+                target_gap: 0.03,
+                max_phases: 4000,
+                stall_phases: 150,
+                ..FlowOptions::default()
+            },
             tol: 0.04,
             runs: 2,
             base_seed: 11,
@@ -149,7 +160,11 @@ mod tests {
     fn vl2_supports_design_capacity() {
         // VL2(8,8) supports exactly D_A·D_I/4 = 16 ToRs
         let build = |tors: usize, _seed: u64| {
-            vl2(Vl2Params { d_a: 8, d_i: 8, tors: Some(tors) })
+            vl2(Vl2Params {
+                d_a: 8,
+                d_i: 8,
+                tors: Some(tors),
+            })
         };
         let s = search();
         let best = s.max_tors(4, 32, &build, &permutation_tm).unwrap();
@@ -160,14 +175,28 @@ mod tests {
     fn rewired_vl2_beats_stock() {
         let s = search();
         let stock = |tors: usize, _seed: u64| {
-            vl2(Vl2Params { d_a: 10, d_i: 12, tors: Some(tors) })
+            vl2(Vl2Params {
+                d_a: 10,
+                d_i: 12,
+                tors: Some(tors),
+            })
         };
         let rewired = |tors: usize, seed: u64| {
             let mut rng = StdRng::seed_from_u64(seed);
-            rewired_vl2(Vl2Params { d_a: 10, d_i: 12, tors: Some(tors) }, &mut rng)
+            rewired_vl2(
+                Vl2Params {
+                    d_a: 10,
+                    d_i: 12,
+                    tors: Some(tors),
+                },
+                &mut rng,
+            )
         };
         let a = s.max_tors(4, 80, &stock, &permutation_tm).unwrap().unwrap();
-        let b = s.max_tors(4, 80, &rewired, &permutation_tm).unwrap().unwrap();
+        let b = s
+            .max_tors(4, 80, &rewired, &permutation_tm)
+            .unwrap()
+            .unwrap();
         assert!(
             b > a,
             "rewired VL2 supports {b} ToRs, stock {a} — expected an improvement"
@@ -179,8 +208,13 @@ mod tests {
         // an absurd tolerance that nothing satisfies
         let mut s = search();
         s.tol = -0.5;
-        let build =
-            |tors: usize, _| vl2(Vl2Params { d_a: 8, d_i: 8, tors: Some(tors) });
+        let build = |tors: usize, _| {
+            vl2(Vl2Params {
+                d_a: 8,
+                d_i: 8,
+                tors: Some(tors),
+            })
+        };
         assert_eq!(s.max_tors(4, 16, &build, &permutation_tm).unwrap(), None);
     }
 }

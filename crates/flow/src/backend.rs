@@ -1,0 +1,212 @@
+//! The [`SolverBackend`] abstraction: every max-concurrent-flow solver
+//! consumes the same shared, immutable [`CsrNet`] and produces the same
+//! certified [`SolvedFlow`], so experiment code can swap solvers by
+//! flipping [`FlowOptions::backend`].
+//!
+//! | backend | algorithm | role |
+//! |---|---|---|
+//! | [`Fptas`] | parallel Garg–Könemann / Fleischer | production path |
+//! | [`ExactLp`] | edge-flow LP via `dctopo-linprog` | ground truth on small instances |
+//! | [`KspRestricted`] | multiplicative weights on frozen k-shortest path sets | practical-routing model (§8) |
+
+use dctopo_graph::CsrNet;
+
+use crate::{Commodity, FlowError, FlowOptions, SolvedFlow};
+
+/// A max-concurrent-flow solver over the shared CSR network.
+///
+/// Implementations must be deterministic for fixed inputs: repeated
+/// calls (at any rayon thread count) return bit-identical results.
+pub trait SolverBackend: Send + Sync {
+    /// Short stable identifier (used in logs and benchmark output).
+    fn name(&self) -> &'static str;
+
+    /// Solve for the given commodities under `opts`.
+    fn solve(
+        &self,
+        net: &CsrNet,
+        commodities: &[Commodity],
+        opts: &FlowOptions,
+    ) -> Result<SolvedFlow, FlowError>;
+}
+
+/// The parallel multiplicative-weights FPTAS (see [`crate::fptas`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fptas;
+
+impl SolverBackend for Fptas {
+    fn name(&self) -> &'static str {
+        "fptas"
+    }
+
+    fn solve(
+        &self,
+        net: &CsrNet,
+        commodities: &[Commodity],
+        opts: &FlowOptions,
+    ) -> Result<SolvedFlow, FlowError> {
+        crate::fptas::max_concurrent_flow_csr(net, commodities, opts)
+    }
+}
+
+/// The exact edge-flow LP (see [`crate::exact`]).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactLp;
+
+impl SolverBackend for ExactLp {
+    fn name(&self) -> &'static str {
+        "exact-lp"
+    }
+
+    fn solve(
+        &self,
+        net: &CsrNet,
+        commodities: &[Commodity],
+        opts: &FlowOptions,
+    ) -> Result<SolvedFlow, FlowError> {
+        crate::exact::exact_solved_flow(net, commodities, opts)
+    }
+}
+
+/// Flow restricted to each commodity's `k` shortest paths
+/// (see [`crate::ksp`]).
+#[derive(Debug, Clone, Copy)]
+pub struct KspRestricted {
+    /// Paths per commodity (must be ≥ 1).
+    pub k: usize,
+}
+
+impl SolverBackend for KspRestricted {
+    fn name(&self) -> &'static str {
+        "ksp"
+    }
+
+    fn solve(
+        &self,
+        net: &CsrNet,
+        commodities: &[Commodity],
+        opts: &FlowOptions,
+    ) -> Result<SolvedFlow, FlowError> {
+        crate::ksp::max_concurrent_flow_ksp_csr(net, commodities, self.k, opts)
+    }
+}
+
+/// Value-level backend selector carried inside [`FlowOptions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Backend {
+    /// [`Fptas`] — the default.
+    #[default]
+    Fptas,
+    /// [`ExactLp`].
+    ExactLp,
+    /// [`KspRestricted`] with the given path budget.
+    KspRestricted {
+        /// Paths per commodity.
+        k: usize,
+    },
+}
+
+impl Backend {
+    /// The backend's stable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Backend::Fptas => Fptas.name(),
+            Backend::ExactLp => ExactLp.name(),
+            Backend::KspRestricted { k } => KspRestricted { k }.name(),
+        }
+    }
+
+    /// Dispatch to the corresponding [`SolverBackend`].
+    pub fn solve(
+        self,
+        net: &CsrNet,
+        commodities: &[Commodity],
+        opts: &FlowOptions,
+    ) -> Result<SolvedFlow, FlowError> {
+        match self {
+            Backend::Fptas => Fptas.solve(net, commodities, opts),
+            Backend::ExactLp => ExactLp.solve(net, commodities, opts),
+            Backend::KspRestricted { k } => KspRestricted { k }.solve(net, commodities, opts),
+        }
+    }
+}
+
+/// Solve on a prebuilt net with the backend selected in `opts.backend`.
+///
+/// This is the single entry point the experiment layer uses; building
+/// the [`CsrNet`] once and calling this repeatedly amortises graph
+/// flattening across traffic matrices.
+pub fn solve(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    opts.backend.solve(net, commodities, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_graph::Graph;
+
+    fn square_net() -> CsrNet {
+        let mut g = Graph::new(4);
+        for v in 0..4 {
+            g.add_unit_edge(v, (v + 1) % 4).unwrap();
+        }
+        CsrNet::from_graph(&g)
+    }
+
+    #[test]
+    fn backend_names_stable() {
+        assert_eq!(Backend::Fptas.name(), "fptas");
+        assert_eq!(Backend::ExactLp.name(), "exact-lp");
+        assert_eq!(Backend::KspRestricted { k: 4 }.name(), "ksp");
+        assert_eq!(Backend::default(), Backend::Fptas);
+    }
+
+    #[test]
+    fn all_backends_agree_on_cycle() {
+        let net = square_net();
+        let cs = [Commodity::unit(0, 2)];
+        let opts = FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 20000,
+            stall_phases: 2000,
+            ..FlowOptions::default()
+        };
+        // λ* = 2 via the two edge-disjoint 2-hop routes
+        let exact = Backend::ExactLp.solve(&net, &cs, &opts).unwrap();
+        assert!((exact.throughput - 2.0).abs() < 1e-6);
+        let fptas = Backend::Fptas.solve(&net, &cs, &opts).unwrap();
+        assert!(
+            (fptas.throughput - 2.0).abs() < 0.06,
+            "λ = {}",
+            fptas.throughput
+        );
+        let ksp = Backend::KspRestricted { k: 2 }
+            .solve(&net, &cs, &opts)
+            .unwrap();
+        assert!(
+            (ksp.throughput - 2.0).abs() < 0.08,
+            "λ = {}",
+            ksp.throughput
+        );
+    }
+
+    #[test]
+    fn options_select_backend() {
+        let net = square_net();
+        let cs = [Commodity::unit(0, 2)];
+        let opts = FlowOptions::default().with_backend(Backend::ExactLp);
+        let s = solve(&net, &cs, &opts).unwrap();
+        assert!((s.throughput - 2.0).abs() < 1e-6);
+        // dynamic dispatch through the trait object works too
+        let backends: [&dyn SolverBackend; 3] = [&Fptas, &ExactLp, &KspRestricted { k: 2 }];
+        for b in backends {
+            let s = b.solve(&net, &cs, &FlowOptions::default()).unwrap();
+            assert!(s.throughput > 1.5, "{}: λ = {}", b.name(), s.throughput);
+        }
+    }
+}

@@ -63,7 +63,7 @@ pub fn sparsest_cut_exact(g: &Graph, demands: &[Commodity]) -> Option<SparsestCu
             }
         }
         let sparsity = cap / dem;
-        if best.as_ref().map_or(true, |b| sparsity < b.sparsity) {
+        if best.as_ref().is_none_or(|b| sparsity < b.sparsity) {
             best = Some(SparsestCut {
                 sparsity,
                 side: (0..n).map(in_s).collect(),
@@ -117,9 +117,12 @@ mod tests {
         }
         let cut = sparsest_cut_exact(&g, &demands).unwrap();
         // bridge cut: capacity 2 (both dirs), demand 2 * 3 * 3 = 18
-        assert!((cut.sparsity - 2.0 / 18.0).abs() < 1e-12, "sparsity {}", cut.sparsity);
-        let side_a: Vec<usize> =
-            (0..6).filter(|&v| cut.side[v] == cut.side[0]).collect();
+        assert!(
+            (cut.sparsity - 2.0 / 18.0).abs() < 1e-12,
+            "sparsity {}",
+            cut.sparsity
+        );
+        let side_a: Vec<usize> = (0..6).filter(|&v| cut.side[v] == cut.side[0]).collect();
         assert_eq!(side_a.len(), 3);
     }
 
@@ -146,7 +149,7 @@ mod tests {
         let demands = vec![Commodity::unit(0, 3)];
         let s = cut_sparsity(&g, &demands, &[true, true, false, false]).unwrap();
         assert!((s - 6.0).abs() < 1e-12); // cap 2*3, demand 1
-        // partition separating nothing
+                                          // partition separating nothing
         assert!(cut_sparsity(&g, &demands, &[true, true, true, true]).is_none());
     }
 

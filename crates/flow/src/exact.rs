@@ -5,27 +5,47 @@
 //! Maximise `λ` subject to per-commodity flow conservation with source
 //! surplus `λ·d_j` and joint arc capacities. This is the formulation the
 //! paper hands to CPLEX; we use it as ground truth for the FPTAS on
-//! instances small enough for a dense simplex (≲ 2,000 variables).
+//! instances small enough for a dense simplex (≲ 6,000 variables).
+//!
+//! The LP is assembled from the shared [`CsrNet`] arc arrays; the
+//! [`crate::ExactLp`] backend wraps [`exact_solved_flow`], which also
+//! recovers the optimal per-arc flow and per-commodity rates from the
+//! simplex solution so exact results are drop-in replacements for FPTAS
+//! results everywhere downstream (metrics, decomposition, figures).
 
-use dctopo_graph::Graph;
+use dctopo_graph::{CsrNet, Graph};
 use dctopo_linprog::{LinearProgram, LpOutcome};
 
-use crate::{validate, Commodity, FlowError, FlowOptions};
+use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 
 /// Upper bound on LP variables we are willing to hand the dense simplex.
 const MAX_VARS: usize = 6_000;
 
 /// Exact optimal concurrent throughput λ*, or an error if the instance is
-/// too large / malformed.
-pub fn exact_max_concurrent_flow(
-    g: &Graph,
+/// too large / malformed. Convenience wrapper over [`exact_solved_flow`].
+pub fn exact_max_concurrent_flow(g: &Graph, commodities: &[Commodity]) -> Result<f64, FlowError> {
+    exact_solved_flow(&CsrNet::from_graph(g), commodities, &FlowOptions::default())
+        .map(|s| s.throughput)
+}
+
+/// Solve the exact LP on a prebuilt net, returning the full certified
+/// flow (`upper_bound == throughput` up to simplex tolerance; `phases`
+/// reports 1).
+///
+/// # Errors
+/// [`FlowError::BadOptions`] when the instance exceeds the dense-simplex
+/// budget, is infeasible, or unbounded; validation errors as usual.
+pub fn exact_solved_flow(
+    net: &CsrNet,
     commodities: &[Commodity],
-) -> Result<f64, FlowError> {
-    // validation shared with the FPTAS (options irrelevant; use defaults)
-    validate(g, commodities, &FlowOptions::default())?;
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    // validation shared with the FPTAS (iterative knobs are ignored here
+    // but still range-checked for interface uniformity)
+    validate(net.node_count(), commodities, opts)?;
     let k = commodities.len();
-    let m = g.arc_count();
-    let n = g.node_count();
+    let m = net.arc_count();
+    let n = net.node_count();
     let num_vars = k * m + 1;
     if num_vars > MAX_VARS {
         return Err(FlowError::BadOptions(format!(
@@ -43,30 +63,48 @@ pub fn exact_max_concurrent_flow(
     for (j, c) in commodities.iter().enumerate() {
         for v in 0..n {
             let mut coeffs: Vec<(usize, f64)> = Vec::new();
-            for (a, _) in g.out_arcs(v) {
+            let (arcs, _) = net.out_slots(v);
+            for &a in arcs {
+                let a = a as usize;
                 coeffs.push((var(j, a), 1.0));
                 // the reverse arc of `a` is an in-arc of v
                 coeffs.push((var(j, a ^ 1), -1.0));
             }
             if v == c.src {
                 coeffs.push((lambda, -c.demand));
-                lp.add_eq(coeffs, 0.0);
             } else if v == c.dst {
                 coeffs.push((lambda, c.demand));
-                lp.add_eq(coeffs, 0.0);
-            } else {
-                lp.add_eq(coeffs, 0.0);
             }
+            lp.add_eq(coeffs, 0.0);
         }
     }
     // capacity: Σ_j x[j][a] <= c(a)
     for a in 0..m {
         let coeffs: Vec<(usize, f64)> = (0..k).map(|j| (var(j, a), 1.0)).collect();
-        lp.add_le(coeffs, g.arc_capacity(a));
+        lp.add_le(coeffs, net.capacity(a));
     }
 
-    match lp.solve().map_err(|e| FlowError::BadOptions(format!("LP solver failed: {e}")))? {
-        LpOutcome::Optimal(s) => Ok(s.objective),
+    match lp
+        .solve()
+        .map_err(|e| FlowError::BadOptions(format!("LP solver failed: {e}")))?
+    {
+        LpOutcome::Optimal(s) => {
+            let throughput = s.objective;
+            let mut arc_flow = vec![0.0f64; m];
+            for j in 0..k {
+                for (a, f) in arc_flow.iter_mut().enumerate() {
+                    *f += s.x[var(j, a)];
+                }
+            }
+            let commodity_rate = commodities.iter().map(|c| throughput * c.demand).collect();
+            Ok(SolvedFlow {
+                throughput,
+                upper_bound: throughput,
+                arc_flow,
+                commodity_rate,
+                phases: 1,
+            })
+        }
         LpOutcome::Infeasible => Err(FlowError::BadOptions(
             "exact LP infeasible (disconnected commodity?)".into(),
         )),
@@ -111,6 +149,28 @@ mod tests {
         assert!((v - 0.5).abs() < 1e-6, "λ* = {v}");
     }
 
+    /// The recovered flow vector is feasible and ships λ·d per commodity.
+    #[test]
+    fn exact_flow_vector_feasible() {
+        let mut g = Graph::new(5);
+        for &(u, v) in &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0), (0, 2)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let net = CsrNet::from_graph(&g);
+        let cs = [Commodity::unit(0, 3), Commodity::unit(1, 4)];
+        let s = exact_solved_flow(&net, &cs, &FlowOptions::default()).unwrap();
+        assert_eq!(s.upper_bound, s.throughput);
+        for a in 0..net.arc_count() {
+            assert!(
+                s.arc_flow[a] <= net.capacity(a) * (1.0 + 1e-6),
+                "arc {a} over capacity"
+            );
+        }
+        for (j, c) in cs.iter().enumerate() {
+            assert!((s.commodity_rate[j] - s.throughput * c.demand).abs() < 1e-9);
+        }
+    }
+
     #[test]
     fn too_large_rejected() {
         let mut g = Graph::new(40);
@@ -131,7 +191,13 @@ mod tests {
     #[test]
     fn fptas_matches_exact_on_random_instances() {
         let mut rng = StdRng::seed_from_u64(42);
-        let opts = FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 30000, stall_phases: 3000 };
+        let opts = FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 30000,
+            stall_phases: 3000,
+            ..FlowOptions::default()
+        };
         for trial in 0..6 {
             // random connected graph on 7 nodes: ring + random chords
             let n = 7;

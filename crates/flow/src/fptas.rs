@@ -1,11 +1,12 @@
-//! The Garg–Könemann / Fleischer FPTAS for max concurrent flow, with
-//! certified primal and dual bounds.
+//! The Garg–Könemann / Fleischer FPTAS for max concurrent flow over the
+//! shared [`CsrNet`], with certified primal and dual bounds and
+//! phase-parallel shortest-path computation.
 //!
 //! ## Sketch
 //!
-//! Maintain a length `l(a)` per arc, initially `1/c(a)`. Repeatedly (in
-//! *phases*) route each commodity's demand along currently-shortest
-//! paths, multiplying the length of every used arc `a` by
+//! Maintain a length `l(a)` per arc, initially `1/c(a)`. In each *phase*,
+//! route every commodity's demand along shortest paths under the current
+//! lengths, multiplying the length of every used arc `a` by
 //! `1 + ε·(sent_a / c(a))`; congested arcs grow exponentially long, so
 //! later flow avoids them. The accumulated (infeasible) flow divided by
 //! its maximum congestion is feasible; LP duality gives the upper bound
@@ -13,34 +14,84 @@
 //! `D(l) = Σ_a c(a)·l(a)` and `α(l) = Σ_j d_j · dist_l(s_j, t_j)`.
 //! We track the best (smallest) dual bound seen and stop as soon as the
 //! certified primal/dual gap is below `target_gap`.
+//!
+//! ## Execution strategy
+//!
+//! Commodities are grouped by source. Routing is *sequential in fixed
+//! group order* and recomputes each group's shortest-path tree under the
+//! **current** lengths inside the augmentation loop — exactly the
+//! trajectory of the retained [`crate::reference`] baseline, so the two
+//! implementations produce bit-identical results; what changes is the
+//! cost per operation:
+//!
+//! * every Dijkstra runs over the flat [`CsrNet`] arrays into a
+//!   persistent per-group [`DijkstraWorkspace`] — no nested-`Vec`
+//!   pointer chasing, no allocation after warm-up, a duplicate-free
+//!   indexed heap, and early termination once the group's sinks settle;
+//! * the dual bound `D(l)/α(l)` (evaluated every few phases) needs one
+//!   shortest-path tree per source group against *fixed* lengths —
+//!   a read-only, embarrassingly parallel pass that runs on **rayon**
+//!   across the per-group workspaces, with the `α` reduction performed
+//!   sequentially in group order.
+//!
+//! Because the parallel pass computes into disjoint per-group buffers
+//! and every floating-point reduction runs in fixed group order, a
+//! seeded run is **bit-identical at every thread count** — unlike
+//! classic work-stealing parallelism. Routing itself is kept sequential
+//! deliberately: length updates are a serial dependency, and routing on
+//! stale length snapshots (the obvious way to parallelise it) measurably
+//! slows convergence — more phases to reach `target_gap` than the
+//! parallel Dijkstra pass saves.
 
-use dctopo_graph::paths::dijkstra;
-use dctopo_graph::{Graph, NodeId};
+use dctopo_graph::{CsrNet, DijkstraWorkspace, NodeId};
+use rayon::prelude::*;
 
 use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 
-/// Commodities grouped by source for shared Dijkstra runs.
-struct SourceGroup {
+/// Minimum `source groups × arcs` before the dual-bound Dijkstra pass
+/// fans out on rayon; below this, thread spawn costs more than the pass.
+const PARALLEL_DUAL_MIN_WORK: usize = 1 << 16;
+
+/// One source group: commodities sharing a source, plus the group's
+/// persistent Dijkstra scratch state.
+struct GroupState {
     src: NodeId,
     /// (commodity index, dst, demand)
     sinks: Vec<(usize, NodeId, f64)>,
+    /// Unique sink nodes: Dijkstra stops once all of them are settled.
+    targets: Vec<u32>,
+    /// Per-group scratch: written by the parallel pass, read by routing.
+    ws: DijkstraWorkspace,
+    /// Per-sink demand left to route in the current phase.
+    remaining: Vec<f64>,
 }
 
-fn group_by_source(commodities: &[Commodity]) -> Vec<SourceGroup> {
-    let mut groups: Vec<SourceGroup> = Vec::new();
+fn group_by_source(commodities: &[Commodity], n: usize) -> Vec<GroupState> {
+    let mut groups: Vec<GroupState> = Vec::new();
     // stable grouping that preserves first-seen source order
     for (i, c) in commodities.iter().enumerate() {
         match groups.iter_mut().find(|g| g.src == c.src) {
             Some(g) => g.sinks.push((i, c.dst, c.demand)),
-            None => {
-                groups.push(SourceGroup { src: c.src, sinks: vec![(i, c.dst, c.demand)] })
-            }
+            None => groups.push(GroupState {
+                src: c.src,
+                sinks: vec![(i, c.dst, c.demand)],
+                targets: Vec::new(),
+                ws: DijkstraWorkspace::new(n),
+                remaining: Vec::new(),
+            }),
         }
+    }
+    for g in &mut groups {
+        g.remaining = vec![0.0; g.sinks.len()];
+        g.targets = g.sinks.iter().map(|&(_, dst, _)| dst as u32).collect();
+        g.targets.sort_unstable();
+        g.targets.dedup();
     }
     groups
 }
 
-/// Solve max concurrent flow on `g` for `commodities`.
+/// Solve max concurrent flow on `net` for `commodities` with the
+/// phase-parallel FPTAS.
 ///
 /// Returns a [`SolvedFlow`] whose `throughput` is a *feasible* concurrent
 /// rate and whose `upper_bound` certifies how far from optimal it can be.
@@ -50,23 +101,27 @@ fn group_by_source(commodities: &[Commodity]) -> Vec<SourceGroup> {
 /// * [`FlowError::Unreachable`] if any commodity's endpoints are in
 ///   different components.
 /// * validation errors for empty/invalid inputs (see [`FlowError`]).
-pub fn max_concurrent_flow(
-    g: &Graph,
+pub fn max_concurrent_flow_csr(
+    net: &CsrNet,
     commodities: &[Commodity],
     opts: &FlowOptions,
 ) -> Result<SolvedFlow, FlowError> {
-    validate(g, commodities, opts)?;
-    let num_arcs = g.arc_count();
+    validate(net.node_count(), commodities, opts)?;
+    let num_arcs = net.arc_count();
     if num_arcs == 0 {
         // commodities exist but there are no edges at all
         let c = &commodities[0];
-        return Err(FlowError::Unreachable { src: c.src, dst: c.dst });
+        return Err(FlowError::Unreachable {
+            src: c.src,
+            dst: c.dst,
+        });
     }
     let eps = opts.epsilon;
-    let groups = group_by_source(commodities);
+    let mut groups = group_by_source(commodities, net.node_count());
+    let inv_cap = net.inv_capacities();
 
     // lengths l(a) = 1/c(a) initially
-    let mut length: Vec<f64> = (0..num_arcs).map(|a| 1.0 / g.arc_capacity(a)).collect();
+    let mut length: Vec<f64> = inv_cap.to_vec();
     // raw (pre-scaling) accumulated flow
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
@@ -76,18 +131,13 @@ pub fn max_concurrent_flow(
     // grow large to avoid overflow corrupting the bound.
     const RESCALE_ABOVE: f64 = 1e100;
 
-    // reachability check up front (also seeds the first dual bound)
     let mut best_dual = f64::INFINITY;
-    {
-        let d_l = total_weighted_length(g, &length);
-        let alpha = alpha_of(g, &groups, &length, commodities)?;
-        let bound = d_l / alpha;
-        if bound.is_finite() {
-            best_dual = best_dual.min(bound);
-        }
+    // reachability check up front (also seeds the first dual bound)
+    if let Some(bound) = dual_bound(net, &mut groups, &length)? {
+        best_dual = best_dual.min(bound);
     }
     // evaluate the dual every few phases (it changes slowly and costs a
-    // Dijkstra per source group)
+    // Dijkstra per source group — the parallel pass)
     let dual_every = 8usize;
     // plateau detection: stop when the primal stops improving materially
     let mut last_primal_check = 0.0f64;
@@ -95,18 +145,22 @@ pub fn max_concurrent_flow(
 
     let mut best: Option<SolvedFlow> = None;
     let mut phases = 0usize;
-    // scratch buffers reused across iterations
+    // routing scratch shared across groups (routing is sequential)
     let mut tree_load = vec![0.0f64; num_arcs];
     let mut touched: Vec<usize> = Vec::new();
 
     while phases < opts.max_phases {
         phases += 1;
-        for group in &groups {
-            // remaining demand to route for this group's sinks this phase
-            let mut remaining: Vec<f64> = group.sinks.iter().map(|&(_, _, d)| d).collect();
+        // sequential routing in fixed group order, shortest paths always
+        // under the *current* lengths (see module docs for why routing
+        // is not parallelised)
+        for g in &mut groups {
+            for (k, &(_, _, d)) in g.sinks.iter().enumerate() {
+                g.remaining[k] = d;
+            }
             let mut inner = 0usize;
             // route until the group's phase demand is (essentially) done
-            while remaining.iter().any(|&r| r > 1e-12) {
+            while g.remaining.iter().any(|&r| r > 1e-12) {
                 inner += 1;
                 if inner > 64 {
                     // Extremely skewed instances can shrink τ repeatedly;
@@ -114,43 +168,41 @@ pub fn max_concurrent_flow(
                     // unaffected — `routed` only counts what was sent).
                     break;
                 }
-                let tree = dijkstra(g, group.src, &length);
+                net.dijkstra_targets(g.src, &length, &g.targets, &mut g.ws);
                 // accumulate load if all remaining demand were routed
                 touched.clear();
-                for (k, &(_, dst, _)) in group.sinks.iter().enumerate() {
-                    let r = remaining[k];
+                for (k, &(_, dst, _)) in g.sinks.iter().enumerate() {
+                    let r = g.remaining[k];
                     if r <= 1e-12 {
                         continue;
                     }
-                    if !tree.dist[dst].is_finite() {
-                        return Err(FlowError::Unreachable { src: group.src, dst });
+                    if !g.ws.distance(dst).is_finite() {
+                        return Err(FlowError::Unreachable { src: g.src, dst });
                     }
-                    let mut v = dst;
-                    while let Some(a) = tree.parent_arc[v] {
+                    g.ws.walk_path(net, dst, |a| {
                         if tree_load[a] == 0.0 {
                             touched.push(a);
                         }
                         tree_load[a] += r;
-                        v = g.arc_tail(a);
-                    }
+                    });
                 }
                 // capacity-scaled step: never send more than c(a) on any arc
                 let mut tau = 1.0f64;
                 for &a in &touched {
-                    tau = tau.min(g.arc_capacity(a) / tree_load[a]);
+                    tau = tau.min(net.capacity(a) / tree_load[a]);
                 }
                 // send τ·remaining along the tree, update lengths
                 for &a in &touched {
                     let sent = tau * tree_load[a];
                     arc_flow[a] += sent;
-                    length[a] *= 1.0 + eps * (sent / g.arc_capacity(a));
+                    length[a] *= 1.0 + eps * (sent * inv_cap[a]);
                     tree_load[a] = 0.0;
                 }
                 touched.clear();
-                for (k, &(j, _, _)) in group.sinks.iter().enumerate() {
-                    let sent = tau * remaining[k];
+                for (k, &(j, _, _)) in g.sinks.iter().enumerate() {
+                    let sent = tau * g.remaining[k];
                     routed[j] += sent;
-                    remaining[k] -= sent;
+                    g.remaining[k] -= sent;
                 }
                 if tau >= 1.0 {
                     break;
@@ -170,8 +222,8 @@ pub fn max_concurrent_flow(
         // certified primal: scale by max congestion
         let mu = arc_flow
             .iter()
-            .enumerate()
-            .map(|(a, &f)| f / g.arc_capacity(a))
+            .zip(inv_cap)
+            .map(|(&f, &ic)| f * ic)
             .fold(0.0f64, f64::max)
             .max(1e-300);
         let primal = commodities
@@ -181,26 +233,22 @@ pub fn max_concurrent_flow(
             .fold(f64::INFINITY, f64::min);
 
         // certified dual: D(l)/α(l) at current lengths, every few phases
-        if phases % dual_every == 0 || phases == opts.max_phases {
-            let d_l = total_weighted_length(g, &length);
-            let alpha = alpha_of(g, &groups, &length, commodities)?;
-            let bound = d_l / alpha;
-            if bound.is_finite() && bound > 0.0 {
+        // — the rayon-parallel source-group Dijkstra pass
+        if phases.is_multiple_of(dual_every) || phases == opts.max_phases {
+            if let Some(bound) = dual_bound(net, &mut groups, &length)? {
                 best_dual = best_dual.min(bound);
             }
         }
 
-        let make_solution = |primal: f64, mu: f64, phases: usize| SolvedFlow {
-            throughput: primal,
-            upper_bound: best_dual,
-            arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
-            commodity_rate: routed.iter().map(|&r| r / mu).collect(),
-            phases,
-        };
-
-        let better = best.as_ref().map_or(true, |b| primal > b.throughput);
+        let better = best.as_ref().is_none_or(|b| primal > b.throughput);
         if better {
-            best = Some(make_solution(primal, mu, phases));
+            best = Some(SolvedFlow {
+                throughput: primal,
+                upper_bound: best_dual,
+                arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
+                commodity_rate: routed.iter().map(|&r| r / mu).collect(),
+                phases,
+            });
         }
         if primal >= (1.0 - opts.target_gap) * best_dual {
             break;
@@ -224,38 +272,67 @@ pub fn max_concurrent_flow(
     Ok(sol)
 }
 
-/// `D(l) = Σ_a c(a) · l(a)`.
-fn total_weighted_length(g: &Graph, length: &[f64]) -> f64 {
-    length.iter().enumerate().map(|(a, &l)| g.arc_capacity(a) * l).sum()
-}
-
-/// `α(l) = Σ_j d_j · dist_l(s_j, t_j)`, grouped by source.
-fn alpha_of(
-    g: &Graph,
-    groups: &[SourceGroup],
+/// The certified dual bound `D(l)/α(l)` at the given lengths, or `None`
+/// when the ratio is degenerate (e.g. α = 0 before any length growth).
+///
+/// `α(l)` needs one shortest-path tree per source group against fixed
+/// lengths — a read-only pass that runs **in parallel on rayon** into
+/// the disjoint per-group workspaces. The `α` reduction itself is
+/// sequential in group order, so the bound is bit-identical at every
+/// thread count.
+fn dual_bound(
+    net: &CsrNet,
+    groups: &mut [GroupState],
     length: &[f64],
-    _commodities: &[Commodity],
-) -> Result<f64, FlowError> {
-    let mut alpha = 0.0;
-    for group in groups {
-        let tree = dijkstra(g, group.src, length);
-        for &(_, dst, demand) in &group.sinks {
-            let d = tree.dist[dst];
+) -> Result<Option<f64>, FlowError> {
+    // The vendored rayon spawns scoped OS threads per call, so only fan
+    // out when the pass is big enough to amortise the spawn cost (and to
+    // avoid oversubscription when many Runner workers each solve their
+    // own instance). Results are identical either way — the sequential
+    // path is exactly the one-thread schedule.
+    if groups.len() * net.arc_count() >= PARALLEL_DUAL_MIN_WORK {
+        groups
+            .par_iter_mut()
+            .for_each(|g| net.dijkstra_targets(g.src, length, &g.targets, &mut g.ws));
+    } else {
+        for g in groups.iter_mut() {
+            net.dijkstra_targets(g.src, length, &g.targets, &mut g.ws);
+        }
+    }
+    let d_l: f64 = length
+        .iter()
+        .zip(net.capacities())
+        .map(|(&l, &c)| l * c)
+        .sum();
+    let mut alpha = 0.0f64;
+    for g in groups.iter() {
+        for &(_, dst, demand) in &g.sinks {
+            let d = g.ws.distance(dst);
             if !d.is_finite() {
-                return Err(FlowError::Unreachable { src: group.src, dst });
+                return Err(FlowError::Unreachable { src: g.src, dst });
             }
             alpha += demand * d;
         }
     }
-    Ok(alpha)
+    let bound = d_l / alpha;
+    Ok((bound.is_finite() && bound > 0.0).then_some(bound))
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::max_concurrent_flow;
+    use dctopo_graph::Graph;
+    use rayon::ThreadPoolBuilder;
 
     fn opts() -> FlowOptions {
-        FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 20000, stall_phases: 2000 }
+        FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 20000,
+            stall_phases: 2000,
+            ..FlowOptions::default()
+        }
     }
 
     /// Flow on a single edge: one unit-demand commodity, capacity 1 → λ = 1.
@@ -264,10 +341,18 @@ mod tests {
         let mut g = Graph::new(2);
         g.add_unit_edge(0, 1).unwrap();
         let s = max_concurrent_flow(&g, &[Commodity::unit(0, 1)], &opts()).unwrap();
-        assert!(s.throughput > 0.97 && s.throughput <= 1.0 + 1e-9, "λ = {}", s.throughput);
+        assert!(
+            s.throughput > 0.97 && s.throughput <= 1.0 + 1e-9,
+            "λ = {}",
+            s.throughput
+        );
         assert!(s.upper_bound >= s.throughput);
         // the dual approaches λ* = 1 from above, stopping within the gap
-        assert!(s.upper_bound <= 1.0 / (1.0 - 0.02) + 1e-9, "dual = {}", s.upper_bound);
+        assert!(
+            s.upper_bound <= 1.0 / (1.0 - 0.02) + 1e-9,
+            "dual = {}",
+            s.upper_bound
+        );
     }
 
     /// Two commodities share one unit edge → λ = 1/2 each.
@@ -313,10 +398,26 @@ mod tests {
     fn demand_scaling() {
         let mut g = Graph::new(2);
         g.add_unit_edge(0, 1).unwrap();
-        let s1 = max_concurrent_flow(&g, &[Commodity { src: 0, dst: 1, demand: 1.0 }], &opts())
-            .unwrap();
-        let s2 = max_concurrent_flow(&g, &[Commodity { src: 0, dst: 1, demand: 2.0 }], &opts())
-            .unwrap();
+        let s1 = max_concurrent_flow(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            }],
+            &opts(),
+        )
+        .unwrap();
+        let s2 = max_concurrent_flow(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 1,
+                demand: 2.0,
+            }],
+            &opts(),
+        )
+        .unwrap();
         assert!((s1.throughput / s2.throughput - 2.0).abs() < 0.08);
     }
 
@@ -405,10 +506,55 @@ mod tests {
         g.add_edge(0, 1, 1.0).unwrap();
         let s = max_concurrent_flow(
             &g,
-            &[Commodity { src: 0, dst: 1, demand: 1.0 }],
+            &[Commodity {
+                src: 0,
+                dst: 1,
+                demand: 1.0,
+            }],
             &opts(),
         )
         .unwrap();
         assert!((s.throughput - 11.0).abs() < 0.4, "λ = {}", s.throughput);
+    }
+
+    /// The headline determinism guarantee: a seeded instance solved at
+    /// 1, 2, and 8 rayon threads produces bit-identical output.
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // ring + chords with many source groups so the parallel pass
+        // actually splits work
+        let mut g = Graph::new(24);
+        for v in 0..24 {
+            g.add_unit_edge(v, (v + 1) % 24).unwrap();
+        }
+        for v in 0..8 {
+            g.add_edge(v, v + 12, 1.5).unwrap();
+        }
+        let cs: Vec<Commodity> = (0..12).map(|v| Commodity::unit(v, (v + 11) % 24)).collect();
+        let solve_at = |threads: usize| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| max_concurrent_flow(&g, &cs, &opts()).unwrap())
+        };
+        let base = solve_at(1);
+        for threads in [2, 8] {
+            let s = solve_at(threads);
+            assert_eq!(
+                base.throughput.to_bits(),
+                s.throughput.to_bits(),
+                "{threads} threads"
+            );
+            assert_eq!(base.upper_bound.to_bits(), s.upper_bound.to_bits());
+            assert_eq!(base.phases, s.phases);
+            assert_eq!(base.arc_flow.len(), s.arc_flow.len());
+            for (a, (x, y)) in base.arc_flow.iter().zip(&s.arc_flow).enumerate() {
+                assert_eq!(x.to_bits(), y.to_bits(), "arc {a} at {threads} threads");
+            }
+            for (x, y) in base.commodity_rate.iter().zip(&s.commodity_rate) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
     }
 }

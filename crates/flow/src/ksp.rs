@@ -2,45 +2,78 @@
 //! commodity — the *practical routing* model (§8: real fabrics route on
 //! k-shortest paths with MPTCP/ECMP, not on arbitrary splittable routes).
 //!
-//! Comparing [`max_concurrent_flow_ksp`] against the unrestricted
-//! optimum from [`crate::max_concurrent_flow`] quantifies how much
-//! throughput a k-path routing scheme leaves on the table — the
-//! flow-level analogue of the paper's Fig. 13 question.
+//! Comparing [`crate::KspRestricted`] against the unrestricted optimum
+//! from [`crate::Fptas`] quantifies how much throughput a k-path routing
+//! scheme leaves on the table — the flow-level analogue of the paper's
+//! Fig. 13 question.
 //!
 //! The algorithm is multiplicative weights over the *fixed* path sets:
 //! each round, every commodity routes its demand on its currently
 //! cheapest path (no shortest-path recomputation — path sets are frozen
-//! up front), lengths grow on used arcs, and the same
-//! primal-scaling/dual-bound certificates as the main solver apply. The
-//! dual bound here is valid *for the restricted problem*: α uses the
+//! up front with Yen's algorithm), lengths grow on used arcs, and the
+//! same primal-scaling/dual-bound certificates as the main solver apply.
+//! The dual bound here is valid *for the restricted problem*: α uses the
 //! cheapest path within each commodity's set.
+//!
+//! Path freezing is a one-time preprocessing step and runs on an
+//! adjacency-list [`Graph`] (rebuilt from the [`CsrNet`] when needed);
+//! the hot multiplicative-weights loop runs on the flat CSR arrays.
 
 use dctopo_graph::kshortest::yen_k_shortest;
-use dctopo_graph::{Graph, NodeId};
+use dctopo_graph::{CsrNet, Graph, NodeId};
 
 use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 
 /// Solve max concurrent flow where commodity `j` may only use its `k`
-/// shortest (by hop count) simple paths.
-///
-/// Returns the same certified [`SolvedFlow`] as the unrestricted solver;
-/// `throughput` ≤ the unrestricted optimum by construction.
+/// shortest (by hop count) simple paths. Graph-level convenience
+/// wrapper over [`max_concurrent_flow_ksp_csr`].
 pub fn max_concurrent_flow_ksp(
     g: &Graph,
     commodities: &[Commodity],
     k: usize,
     opts: &FlowOptions,
 ) -> Result<SolvedFlow, FlowError> {
-    validate(g, commodities, opts)?;
+    freeze_and_solve(g, &CsrNet::from_graph(g), commodities, k, opts)
+}
+
+/// k-shortest-paths-restricted solve on a prebuilt net (the
+/// [`crate::KspRestricted`] backend entry point).
+///
+/// Returns the same certified [`SolvedFlow`] as the unrestricted solver;
+/// `throughput` ≤ the unrestricted optimum by construction.
+///
+/// Note: unlike the FPTAS, this backend re-derives its adjacency-list
+/// view and re-freezes path sets on every call, so a `ThroughputEngine`
+/// does not yet amortise KSP preprocessing across traffic matrices —
+/// caching frozen path sets per net/k is tracked as a ROADMAP item.
+pub fn max_concurrent_flow_ksp_csr(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    k: usize,
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    freeze_and_solve(&net.to_graph(), net, commodities, k, opts)
+}
+
+fn freeze_and_solve(
+    g: &Graph,
+    net: &CsrNet,
+    commodities: &[Commodity],
+    k: usize,
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    validate(net.node_count(), commodities, opts)?;
     if k == 0 {
         return Err(FlowError::BadOptions("k must be at least 1".into()));
     }
     // freeze path sets (as arc sequences)
     let mut paths: Vec<Vec<Vec<usize>>> = Vec::with_capacity(commodities.len());
     for c in commodities {
-        let node_paths = yen_k_shortest(g, c.src, c.dst, k).map_err(|_| {
-            FlowError::Unreachable { src: c.src, dst: c.dst }
-        })?;
+        let node_paths =
+            yen_k_shortest(g, c.src, c.dst, k).map_err(|_| FlowError::Unreachable {
+                src: c.src,
+                dst: c.dst,
+            })?;
         let arc_paths = node_paths
             .iter()
             .map(|p| nodes_to_arcs(g, p))
@@ -48,9 +81,9 @@ pub fn max_concurrent_flow_ksp(
         paths.push(arc_paths);
     }
 
-    let num_arcs = g.arc_count();
+    let num_arcs = net.arc_count();
     let eps = opts.epsilon;
-    let mut length: Vec<f64> = (0..num_arcs).map(|a| 1.0 / g.arc_capacity(a)).collect();
+    let mut length: Vec<f64> = net.inv_capacities().to_vec();
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
     let mut best_dual = f64::INFINITY;
@@ -72,12 +105,12 @@ pub fn max_concurrent_flow_ksp(
                 // capacity-scaled step along that path
                 let bottleneck = best_path
                     .iter()
-                    .map(|&a| g.arc_capacity(a))
+                    .map(|&a| net.capacity(a))
                     .fold(f64::INFINITY, f64::min);
                 let send = remaining.min(bottleneck);
                 for &a in best_path {
                     arc_flow[a] += send;
-                    length[a] *= 1.0 + eps * (send / g.arc_capacity(a));
+                    length[a] *= 1.0 + eps * (send * net.inv_capacity(a));
                 }
                 routed[j] += send;
                 remaining -= send;
@@ -94,8 +127,8 @@ pub fn max_concurrent_flow_ksp(
         // certificates
         let mu = arc_flow
             .iter()
-            .enumerate()
-            .map(|(a, &f)| f / g.arc_capacity(a))
+            .zip(net.inv_capacities())
+            .map(|(&f, &ic)| f * ic)
             .fold(0.0f64, f64::max)
             .max(1e-300);
         let primal = commodities
@@ -103,9 +136,12 @@ pub fn max_concurrent_flow_ksp(
             .enumerate()
             .map(|(j, c)| routed[j] / (mu * c.demand))
             .fold(f64::INFINITY, f64::min);
-        if phases % 4 == 0 {
-            let d_l: f64 =
-                length.iter().enumerate().map(|(a, &l)| g.arc_capacity(a) * l).sum();
+        if phases.is_multiple_of(4) {
+            let d_l: f64 = length
+                .iter()
+                .zip(net.capacities())
+                .map(|(&l, &c)| l * c)
+                .sum();
             let alpha: f64 = commodities
                 .iter()
                 .enumerate()
@@ -116,7 +152,7 @@ pub fn max_concurrent_flow_ksp(
                 best_dual = best_dual.min(bound);
             }
         }
-        if best.as_ref().map_or(true, |b| primal > b.throughput) {
+        if best.as_ref().is_none_or(|b| primal > b.throughput) {
             best = Some(SolvedFlow {
                 throughput: primal,
                 upper_bound: best_dual,
@@ -176,7 +212,13 @@ mod tests {
     use crate::max_concurrent_flow;
 
     fn opts() -> FlowOptions {
-        FlowOptions { epsilon: 0.05, target_gap: 0.03, max_phases: 10000, stall_phases: 800 }
+        FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.03,
+            max_phases: 10000,
+            stall_phases: 800,
+            ..FlowOptions::default()
+        }
     }
 
     /// k = 1 on a 4-cycle: only the one shortest route per direction is
@@ -191,8 +233,16 @@ mod tests {
         let cs = [Commodity::unit(0, 2)];
         let restricted = max_concurrent_flow_ksp(&g, &cs, 1, &opts()).unwrap();
         let free = max_concurrent_flow(&g, &cs, &opts()).unwrap();
-        assert!((restricted.throughput - 1.0).abs() < 0.05, "k=1: {}", restricted.throughput);
-        assert!((free.throughput - 2.0).abs() < 0.08, "free: {}", free.throughput);
+        assert!(
+            (restricted.throughput - 1.0).abs() < 0.05,
+            "k=1: {}",
+            restricted.throughput
+        );
+        assert!(
+            (free.throughput - 2.0).abs() < 0.08,
+            "free: {}",
+            free.throughput
+        );
     }
 
     /// k = 2 recovers the full cycle capacity.
@@ -220,12 +270,17 @@ mod tests {
         let free = max_concurrent_flow(&g, &cs, &opts()).unwrap().throughput;
         let mut prev = 0.0;
         for k in 1..=3 {
-            let t = max_concurrent_flow_ksp(&g, &cs, k, &opts()).unwrap().throughput;
+            let t = max_concurrent_flow_ksp(&g, &cs, k, &opts())
+                .unwrap()
+                .throughput;
             assert!(t >= prev - 0.02, "k={k} dropped: {t} < {prev}");
             assert!(t <= free * 1.02, "k={k} beat unrestricted: {t} > {free}");
             prev = t;
         }
-        assert!((prev - 3.0).abs() < 0.12, "k=3 should use all 3 disjoint paths: {prev}");
+        assert!(
+            (prev - 3.0).abs() < 0.12,
+            "k=3 should use all 3 disjoint paths: {prev}"
+        );
     }
 
     /// Certificates hold in restricted mode too.
@@ -236,12 +291,31 @@ mod tests {
             g.add_unit_edge(v, (v + 1) % 6).unwrap();
         }
         g.add_unit_edge(0, 3).unwrap();
-        let cs = [Commodity::unit(0, 3), Commodity::unit(1, 4), Commodity::unit(2, 5)];
+        let cs = [
+            Commodity::unit(0, 3),
+            Commodity::unit(1, 4),
+            Commodity::unit(2, 5),
+        ];
         let s = max_concurrent_flow_ksp(&g, &cs, 4, &opts()).unwrap();
         assert!(s.throughput <= s.upper_bound * (1.0 + 1e-9));
         for a in 0..g.arc_count() {
             assert!(s.arc_flow[a] <= g.arc_capacity(a) * (1.0 + 1e-9));
         }
+    }
+
+    /// The CSR entry point (used by the backend) matches the Graph one.
+    #[test]
+    fn csr_and_graph_entry_points_agree() {
+        let mut g = Graph::new(5);
+        for &(u, v) in &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let net = CsrNet::from_graph(&g);
+        let cs = [Commodity::unit(0, 4)];
+        let a = max_concurrent_flow_ksp(&g, &cs, 2, &opts()).unwrap();
+        let b = max_concurrent_flow_ksp_csr(&net, &cs, 2, &opts()).unwrap();
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.phases, b.phases);
     }
 
     #[test]

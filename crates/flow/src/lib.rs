@@ -29,25 +29,61 @@
 //!    step, which keeps each length update bounded by `(1+ε)` while
 //!    doing one shortest-path computation for the whole source group.
 //!
-//! [`exact`] contains an exact LP formulation (solved with
-//! `dctopo-linprog`) used to cross-validate the FPTAS on small instances,
-//! [`cut`] a brute-force sparsest-cut oracle for tiny graphs, and
-//! [`ksp`] a variant restricted to each commodity's k shortest paths
-//! (the practical-routing model of §8).
+//! ## Backends
+//!
+//! All solvers run against one shared, immutable [`CsrNet`] — the flat
+//! arc-level view of the graph built once per topology — and implement
+//! the [`SolverBackend`] trait:
+//!
+//! * [`Fptas`] — the production path described above. Its per-phase
+//!   source-group Dijkstra passes run in parallel on rayon against a
+//!   length snapshot, with a fixed sequential reduction order, so seeded
+//!   runs are bit-identical at every thread count.
+//! * [`ExactLp`] — the edge-flow LP (via `dctopo-linprog`) the paper
+//!   hands to CPLEX; ground truth on small instances.
+//! * [`KspRestricted`] — flow restricted to each commodity's k shortest
+//!   paths (the practical-routing model of §8).
+//!
+//! Callers pick a backend with [`FlowOptions::backend`] and go through
+//! [`solve`] (or the [`max_concurrent_flow`] convenience wrapper that
+//! still accepts a [`Graph`]). The pre-CSR, single-threaded FPTAS is
+//! kept verbatim in [`reference`] as the benchmark baseline and as an
+//! independent cross-check.
 
+pub mod backend;
 pub mod cut;
 pub mod exact;
 mod fptas;
 pub mod ksp;
+pub mod reference;
 
 use std::fmt;
 
-use dctopo_graph::{Graph, GraphError};
+use dctopo_graph::{CsrNet, Graph, GraphError};
 
 /// Re-export: node index type used by [`Commodity`].
 pub use dctopo_graph::NodeId;
 
-pub use fptas::max_concurrent_flow;
+pub use backend::{solve, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
+pub use fptas::max_concurrent_flow_csr;
+
+/// Solve max concurrent flow on `g` with the backend selected in
+/// `opts.backend` (the [`Fptas`] by default).
+///
+/// Builds the [`CsrNet`] internally; hot paths that solve many traffic
+/// matrices on one topology should build the net once and call
+/// [`solve`] directly.
+///
+/// # Errors
+/// See [`FlowError`]; notably [`FlowError::Unreachable`] when a
+/// commodity's endpoints are disconnected.
+pub fn max_concurrent_flow(
+    g: &Graph,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    solve(&CsrNet::from_graph(g), commodities, opts)
+}
 
 /// One commodity: `demand` units want to travel from `src` to `dst`.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -63,11 +99,16 @@ pub struct Commodity {
 impl Commodity {
     /// Unit-demand commodity.
     pub fn unit(src: NodeId, dst: NodeId) -> Self {
-        Commodity { src, dst, demand: 1.0 }
+        Commodity {
+            src,
+            dst,
+            demand: 1.0,
+        }
     }
 }
 
-/// Options for the FPTAS.
+/// Options for the throughput engine: iterative-solver tuning plus the
+/// backend selector.
 #[derive(Debug, Clone, Copy)]
 pub struct FlowOptions {
     /// Multiplicative-weights step size ε (length multiplier per
@@ -84,23 +125,52 @@ pub struct FlowOptions {
     /// times; stalling means the remaining reported gap is dual-side
     /// looseness). Set to `max_phases` to disable.
     pub stall_phases: usize,
+    /// Which [`SolverBackend`] services [`solve`] /
+    /// [`max_concurrent_flow`] calls. The iterative knobs above apply to
+    /// the FPTAS and k-shortest-path backends; [`Backend::ExactLp`]
+    /// ignores them.
+    pub backend: Backend,
 }
 
 impl Default for FlowOptions {
     fn default() -> Self {
-        FlowOptions { epsilon: 0.1, target_gap: 0.03, max_phases: 4000, stall_phases: 150 }
+        FlowOptions {
+            epsilon: 0.1,
+            target_gap: 0.03,
+            max_phases: 4000,
+            stall_phases: 150,
+            backend: Backend::Fptas,
+        }
     }
 }
 
 impl FlowOptions {
     /// A faster, looser profile for large sweeps (5% certified gap).
     pub fn fast() -> Self {
-        FlowOptions { epsilon: 0.15, target_gap: 0.05, max_phases: 1500, stall_phases: 80 }
+        FlowOptions {
+            epsilon: 0.15,
+            target_gap: 0.05,
+            max_phases: 1500,
+            stall_phases: 80,
+            ..FlowOptions::default()
+        }
     }
 
     /// A tighter profile for headline numbers (1.5% certified gap).
     pub fn precise() -> Self {
-        FlowOptions { epsilon: 0.05, target_gap: 0.015, max_phases: 20000, stall_phases: 1000 }
+        FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.015,
+            max_phases: 20000,
+            stall_phases: 1000,
+            ..FlowOptions::default()
+        }
+    }
+
+    /// Same options with a different backend.
+    pub fn with_backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
     }
 }
 
@@ -215,9 +285,10 @@ impl From<GraphError> for FlowError {
     }
 }
 
-/// Validate options and commodities against a graph.
+/// Validate options and commodities against a network of `node_count`
+/// nodes.
 pub(crate) fn validate(
-    g: &Graph,
+    node_count: usize,
     commodities: &[Commodity],
     opts: &FlowOptions,
 ) -> Result<(), FlowError> {
@@ -225,31 +296,40 @@ pub(crate) fn validate(
         return Err(FlowError::NoCommodities);
     }
     if !(opts.epsilon > 0.0 && opts.epsilon < 1.0) {
-        return Err(FlowError::BadOptions(format!("epsilon {} not in (0,1)", opts.epsilon)));
+        return Err(FlowError::BadOptions(format!(
+            "epsilon {} not in (0,1)",
+            opts.epsilon
+        )));
     }
     if !(opts.target_gap > 0.0 && opts.target_gap < 1.0) {
-        return Err(FlowError::BadOptions(format!("target_gap {} not in (0,1)", opts.target_gap)));
+        return Err(FlowError::BadOptions(format!(
+            "target_gap {} not in (0,1)",
+            opts.target_gap
+        )));
     }
     if opts.max_phases == 0 {
         return Err(FlowError::BadOptions("max_phases must be positive".into()));
     }
     for (i, c) in commodities.iter().enumerate() {
         if !(c.demand.is_finite() && c.demand > 0.0) {
-            return Err(FlowError::BadDemand { index: i, demand: c.demand });
+            return Err(FlowError::BadDemand {
+                index: i,
+                demand: c.demand,
+            });
         }
         if c.src == c.dst {
             return Err(FlowError::SelfCommodity { index: i });
         }
-        if c.src >= g.node_count() {
+        if c.src >= node_count {
             return Err(FlowError::Graph(GraphError::NodeOutOfRange {
                 node: c.src,
-                n: g.node_count(),
+                n: node_count,
             }));
         }
-        if c.dst >= g.node_count() {
+        if c.dst >= node_count {
             return Err(FlowError::Graph(GraphError::NodeOutOfRange {
                 node: c.dst,
-                n: g.node_count(),
+                n: node_count,
             }));
         }
     }
@@ -262,22 +342,34 @@ mod tests {
 
     #[test]
     fn validation_catches_bad_inputs() {
-        let mut g = Graph::new(2);
-        g.add_unit_edge(0, 1).unwrap();
         let opts = FlowOptions::default();
-        assert_eq!(validate(&g, &[], &opts), Err(FlowError::NoCommodities));
+        assert_eq!(validate(2, &[], &opts), Err(FlowError::NoCommodities));
         assert!(matches!(
-            validate(&g, &[Commodity { src: 0, dst: 1, demand: -1.0 }], &opts),
+            validate(
+                2,
+                &[Commodity {
+                    src: 0,
+                    dst: 1,
+                    demand: -1.0
+                }],
+                &opts
+            ),
             Err(FlowError::BadDemand { .. })
         ));
         assert!(matches!(
-            validate(&g, &[Commodity::unit(1, 1)], &opts),
+            validate(2, &[Commodity::unit(1, 1)], &opts),
             Err(FlowError::SelfCommodity { .. })
         ));
-        assert!(matches!(validate(&g, &[Commodity::unit(0, 9)], &opts), Err(FlowError::Graph(_))));
-        let bad = FlowOptions { epsilon: 0.0, ..opts };
         assert!(matches!(
-            validate(&g, &[Commodity::unit(0, 1)], &bad),
+            validate(2, &[Commodity::unit(0, 9)], &opts),
+            Err(FlowError::Graph(_))
+        ));
+        let bad = FlowOptions {
+            epsilon: 0.0,
+            ..opts
+        };
+        assert!(matches!(
+            validate(2, &[Commodity::unit(0, 1)], &bad),
             Err(FlowError::BadOptions(_))
         ));
     }

@@ -1,0 +1,533 @@
+//! Compact CSR (compressed sparse row) arc representation of a
+//! [`Graph`], plus reusable Dijkstra scratch state.
+//!
+//! ## Why this exists
+//!
+//! Every experiment in the paper reduces to solving max concurrent flow,
+//! and the solver's inner loop is single-source Dijkstra repeated
+//! thousands of times with re-weighted arc lengths. Traversing
+//! [`Graph`]'s nested `Vec<Vec<(EdgeId, NodeId)>>` adjacency pays a
+//! pointer chase per neighbor and recomputes arc orientation
+//! (`arc_of`) on every visit. [`CsrNet`] is built **once** per topology
+//! and flattens everything the hot loop touches into contiguous arrays:
+//!
+//! * `row[v]..row[v+1]` indexes the out-arc slots of node `v`,
+//! * `adj_arc` / `adj_head` give the arc id and head node per slot,
+//! * `capacity` / `inv_capacity` are indexed directly by [`ArcId`].
+//!
+//! **Arc ids are preserved exactly**: arc `2e` is edge `e` oriented
+//! `u → v`, arc `2e + 1` the reverse, so flow vectors produced against a
+//! `CsrNet` index interchangeably with the original [`Graph`].
+//!
+//! [`DijkstraWorkspace`] owns the distance and parent arrays plus an
+//! indexed (decrease-key, duplicate-free) flat 4-ary heap of
+//! integer-packed keys, so repeated [`CsrNet::dijkstra`] calls allocate
+//! nothing after warm-up and every heap pop settles a node.
+//!
+//! The traversal order (adjacency order, heap tie-broken by node id)
+//! matches [`crate::paths::dijkstra`] operation-for-operation, so
+//! distances agree **bitwise** with the legacy implementation — seeded
+//! experiments produce identical numbers whichever path computes them.
+
+use crate::{ArcId, Graph, NodeId};
+
+/// Sentinel in [`DijkstraWorkspace::parent_arc`]: no parent (source or
+/// unreached node).
+pub const NO_ARC: u32 = u32::MAX;
+
+/// Immutable flat arc-level view of a [`Graph`], shared by every solver
+/// backend and safe to reuse across traffic matrices and threads.
+#[derive(Debug, Clone)]
+pub struct CsrNet {
+    n: usize,
+    /// CSR offsets: out-arc slots of `v` are `row[v] as usize..row[v+1] as usize`.
+    row: Vec<u32>,
+    /// Arc id per adjacency slot (preserves [`Graph`] arc numbering).
+    adj_arc: Vec<u32>,
+    /// Head node per adjacency slot.
+    adj_head: Vec<u32>,
+    /// Tail node per arc (indexed by [`ArcId`]).
+    arc_tail: Vec<u32>,
+    /// Head node per arc (indexed by [`ArcId`]).
+    arc_head: Vec<u32>,
+    /// Capacity per arc (indexed by [`ArcId`]).
+    capacity: Vec<f64>,
+    /// `1 / capacity` per arc, precomputed for the multiplicative-weights
+    /// length updates.
+    inv_capacity: Vec<f64>,
+}
+
+impl CsrNet {
+    /// Flatten `g` into CSR form. `O(n + m)`.
+    pub fn from_graph(g: &Graph) -> Self {
+        let n = g.node_count();
+        let num_arcs = g.arc_count();
+        let mut row = Vec::with_capacity(n + 1);
+        let mut adj_arc = Vec::with_capacity(num_arcs);
+        let mut adj_head = Vec::with_capacity(num_arcs);
+        row.push(0u32);
+        for v in 0..n {
+            // same slot order as Graph::out_arcs so traversal order (and
+            // therefore floating-point results) match paths::dijkstra
+            for (a, w) in g.out_arcs(v) {
+                adj_arc.push(a as u32);
+                adj_head.push(w as u32);
+            }
+            row.push(adj_arc.len() as u32);
+        }
+        let mut arc_tail = vec![0u32; num_arcs];
+        let mut arc_head = vec![0u32; num_arcs];
+        let mut capacity = vec![0.0f64; num_arcs];
+        let mut inv_capacity = vec![0.0f64; num_arcs];
+        for (e, edge) in g.edges().iter().enumerate() {
+            let fwd = e << 1;
+            arc_tail[fwd] = edge.u as u32;
+            arc_head[fwd] = edge.v as u32;
+            arc_tail[fwd | 1] = edge.v as u32;
+            arc_head[fwd | 1] = edge.u as u32;
+            capacity[fwd] = edge.capacity;
+            capacity[fwd | 1] = edge.capacity;
+            inv_capacity[fwd] = 1.0 / edge.capacity;
+            inv_capacity[fwd | 1] = 1.0 / edge.capacity;
+        }
+        CsrNet {
+            n,
+            row,
+            adj_arc,
+            adj_head,
+            arc_tail,
+            arc_head,
+            capacity,
+            inv_capacity,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn node_count(&self) -> usize {
+        self.n
+    }
+
+    /// Number of directed arcs (`2 ×` undirected edges).
+    #[inline]
+    pub fn arc_count(&self) -> usize {
+        self.capacity.len()
+    }
+
+    /// Capacity of arc `a`.
+    #[inline]
+    pub fn capacity(&self, a: ArcId) -> f64 {
+        self.capacity[a]
+    }
+
+    /// All arc capacities, indexed by [`ArcId`].
+    #[inline]
+    pub fn capacities(&self) -> &[f64] {
+        &self.capacity
+    }
+
+    /// `1 / capacity` of arc `a`.
+    #[inline]
+    pub fn inv_capacity(&self, a: ArcId) -> f64 {
+        self.inv_capacity[a]
+    }
+
+    /// All inverse capacities, indexed by [`ArcId`].
+    #[inline]
+    pub fn inv_capacities(&self) -> &[f64] {
+        &self.inv_capacity
+    }
+
+    /// Tail (source node) of arc `a`.
+    #[inline]
+    pub fn arc_tail(&self, a: ArcId) -> NodeId {
+        self.arc_tail[a] as NodeId
+    }
+
+    /// Head (target node) of arc `a`.
+    #[inline]
+    pub fn arc_head(&self, a: ArcId) -> NodeId {
+        self.arc_head[a] as NodeId
+    }
+
+    /// Out-arc slots of `v` as parallel `(arc ids, heads)` slices.
+    #[inline]
+    pub fn out_slots(&self, v: NodeId) -> (&[u32], &[u32]) {
+        let lo = self.row[v] as usize;
+        let hi = self.row[v + 1] as usize;
+        (&self.adj_arc[lo..hi], &self.adj_head[lo..hi])
+    }
+
+    /// Out-degree of `v` counting parallel edges.
+    #[inline]
+    pub fn out_degree(&self, v: NodeId) -> usize {
+        (self.row[v + 1] - self.row[v]) as usize
+    }
+
+    /// Total capacity counting both directions (the paper's `C`).
+    pub fn total_capacity(&self) -> f64 {
+        self.capacity.iter().sum()
+    }
+
+    /// Rebuild an equivalent [`Graph`] (used by path-enumeration code
+    /// such as Yen's algorithm that wants adjacency-list form).
+    pub fn to_graph(&self) -> Graph {
+        let mut g = Graph::new(self.n);
+        for e in 0..self.arc_count() / 2 {
+            let a = e << 1;
+            g.add_edge(self.arc_tail(a), self.arc_head(a), self.capacity[a])
+                .expect("CsrNet edges originate from a valid Graph");
+        }
+        g
+    }
+
+    /// Single-source Dijkstra over per-arc lengths, writing distances and
+    /// parent arcs into `ws`. Allocation-free after `ws` warms up.
+    ///
+    /// `arc_len` must have one non-negative entry per arc. Results are
+    /// identical (bitwise) to [`crate::paths::dijkstra`].
+    pub fn dijkstra(&self, src: NodeId, arc_len: &[f64], ws: &mut DijkstraWorkspace) {
+        self.dijkstra_targets(src, arc_len, &[], ws);
+    }
+
+    /// [`CsrNet::dijkstra`] with early termination: the run stops as soon
+    /// as every node in `targets` is settled (an empty list settles the
+    /// whole component, i.e. plain Dijkstra).
+    ///
+    /// Settled nodes — which include every target, every node on a
+    /// shortest path to a target, and anything nearer — carry their exact
+    /// final distance and parent arc; other nodes may hold tentative
+    /// values, so read results only for targets and their ancestors.
+    /// This is the form the flow solver's source groups use: a group
+    /// routing to 4 sinks in a 1000-switch fabric explores only the ball
+    /// that covers those sinks.
+    ///
+    /// The priority queue is a flat 4-ary heap over integer-packed
+    /// `(distance bits, node)` keys — for non-negative finite `f64`
+    /// distances the IEEE-754 bit pattern is order-preserving, so
+    /// integer comparison sorts exactly like the float, ties broken by
+    /// node id. The settle order therefore matches
+    /// [`crate::paths::dijkstra`]'s `BinaryHeap` implementation and the
+    /// results are bitwise interchangeable.
+    pub fn dijkstra_targets(
+        &self,
+        src: NodeId,
+        arc_len: &[f64],
+        targets: &[u32],
+        ws: &mut DijkstraWorkspace,
+    ) {
+        debug_assert_eq!(arc_len.len(), self.arc_count());
+        ws.begin(self.n);
+        ws.dist[src] = 0.0;
+        ws.heap_insert(pack(0.0, src as u32));
+        let mut outstanding = targets.len();
+        while let Some(item) = ws.heap_pop() {
+            let (d, v) = unpack(item);
+            let v = v as usize;
+            if !targets.is_empty() && targets.contains(&(v as u32)) {
+                outstanding -= 1;
+                if outstanding == 0 {
+                    return;
+                }
+            }
+            let (arcs, heads) = self.out_slots(v);
+            for (&a, &w) in arcs.iter().zip(heads) {
+                let (a, w) = (a as usize, w as usize);
+                // no settled-check needed: settle order is nondecreasing
+                // in distance and lengths are non-negative, so
+                // `nd ≥ d ≥ dist[w]` for any settled `w` and the strict
+                // comparison rejects it
+                let nd = d + arc_len[a];
+                if nd < ws.dist[w] {
+                    ws.dist[w] = nd;
+                    ws.parent_arc[w] = a as u32;
+                    ws.heap_upsert(pack(nd, w as u32));
+                }
+            }
+        }
+    }
+}
+
+/// Pack a non-negative finite distance and a node id into one ordered
+/// `u128` key: distance bits in the high half (IEEE-754 order ==
+/// numeric order for non-negative floats), node id in the low half so
+/// equal distances order by node id.
+#[inline]
+fn pack(dist: f64, node: u32) -> u128 {
+    debug_assert!(dist >= 0.0);
+    ((dist.to_bits() as u128) << 32) | node as u128
+}
+
+/// Inverse of [`pack`].
+#[inline]
+fn unpack(item: u128) -> (f64, u32) {
+    (f64::from_bits((item >> 32) as u64), item as u32)
+}
+
+/// Sentinel in the heap position index: node not currently queued.
+const NOT_QUEUED: u32 = u32::MAX;
+
+/// Reusable scratch state for [`CsrNet::dijkstra`].
+///
+/// Holds the distance, parent-arc, and settled arrays plus an *indexed*
+/// flat 4-ary min-heap of integer-packed keys — decrease-key updates a
+/// node's queued entry in place, so the heap never holds duplicates and
+/// every pop is a settle. Reuse one workspace per thread (or per source
+/// group) across thousands of Dijkstra runs: after warm-up no run
+/// allocates. Per-run reset cost is four `memset`-speed fills.
+#[derive(Debug, Clone, Default)]
+pub struct DijkstraWorkspace {
+    /// Tentative/final distance per node (`INFINITY` = unreached).
+    pub dist: Vec<f64>,
+    /// Tree parent arc per node ([`NO_ARC`] = none).
+    pub parent_arc: Vec<u32>,
+    /// Indexed 4-ary min-heap of `pack`ed (distance, node) keys.
+    heap: Vec<u128>,
+    /// Heap slot per node ([`NOT_QUEUED`] when absent).
+    pos: Vec<u32>,
+    /// Active prefix length (the network's node count).
+    n: usize,
+}
+
+impl DijkstraWorkspace {
+    /// Workspace sized for an `n`-node network (grows on demand).
+    pub fn new(n: usize) -> Self {
+        let mut ws = DijkstraWorkspace::default();
+        ws.begin(n);
+        ws
+    }
+
+    /// Start a new run: reset the active prefix and clear the heap.
+    fn begin(&mut self, n: usize) {
+        if self.dist.len() < n {
+            self.dist.resize(n, f64::INFINITY);
+            self.parent_arc.resize(n, NO_ARC);
+            self.pos.resize(n, NOT_QUEUED);
+        }
+        self.n = n;
+        self.dist[..n].fill(f64::INFINITY);
+        self.parent_arc[..n].fill(NO_ARC);
+        self.pos[..n].fill(NOT_QUEUED);
+        self.heap.clear();
+    }
+
+    /// Distance of `v` from the last run's source (`INFINITY` if
+    /// unreached).
+    #[inline]
+    pub fn distance(&self, v: NodeId) -> f64 {
+        self.dist[v]
+    }
+
+    /// Parent arc of `v` in the shortest-path tree, if any.
+    #[inline]
+    pub fn parent(&self, v: NodeId) -> Option<ArcId> {
+        if self.parent_arc[v] != NO_ARC {
+            Some(self.parent_arc[v] as ArcId)
+        } else {
+            None
+        }
+    }
+
+    /// Move `item` towards the root from slot `i`, maintaining `pos`.
+    #[inline]
+    fn sift_up(&mut self, mut i: usize, item: u128) {
+        while i > 0 {
+            let p = (i - 1) >> 2;
+            let parent = self.heap[p];
+            if parent <= item {
+                break;
+            }
+            self.heap[i] = parent;
+            self.pos[parent as u32 as usize] = i as u32;
+            i = p;
+        }
+        self.heap[i] = item;
+        self.pos[item as u32 as usize] = i as u32;
+    }
+
+    /// Insert a node known to be absent from the heap.
+    #[inline]
+    fn heap_insert(&mut self, item: u128) {
+        let i = self.heap.len();
+        self.heap.push(item);
+        self.sift_up(i, item);
+    }
+
+    /// Insert `item`'s node, or decrease its key in place if queued.
+    #[inline]
+    fn heap_upsert(&mut self, item: u128) {
+        match self.pos[item as u32 as usize] {
+            NOT_QUEUED => self.heap_insert(item),
+            slot => self.sift_up(slot as usize, item),
+        }
+    }
+
+    /// Pop the minimum key from the indexed 4-ary min-heap.
+    #[inline]
+    fn heap_pop(&mut self) -> Option<u128> {
+        let top = *self.heap.first()?;
+        self.pos[top as u32 as usize] = NOT_QUEUED;
+        let last = self.heap.pop().expect("non-empty");
+        let len = self.heap.len();
+        if len > 0 {
+            // sift the former tail down from the root
+            let mut i = 0;
+            loop {
+                let first_child = (i << 2) + 1;
+                if first_child >= len {
+                    break;
+                }
+                let mut min_c = first_child;
+                let end = (first_child + 4).min(len);
+                for c in first_child + 1..end {
+                    if self.heap[c] < self.heap[min_c] {
+                        min_c = c;
+                    }
+                }
+                let child = self.heap[min_c];
+                if child >= last {
+                    break;
+                }
+                self.heap[i] = child;
+                self.pos[child as u32 as usize] = i as u32;
+                i = min_c;
+            }
+            self.heap[i] = last;
+            self.pos[last as u32 as usize] = i as u32;
+        }
+        Some(top)
+    }
+
+    /// Walk parent arcs from `dst` to the source, invoking `visit` for
+    /// each arc (dst-to-source order). Returns `false` if `dst` was
+    /// unreached.
+    #[inline]
+    pub fn walk_path(&self, net: &CsrNet, dst: NodeId, mut visit: impl FnMut(ArcId)) -> bool {
+        if !self.distance(dst).is_finite() {
+            return false;
+        }
+        let mut v = dst;
+        while let Some(a) = self.parent(v) {
+            visit(a);
+            v = net.arc_tail(a);
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::paths::dijkstra;
+
+    fn ring_with_chords(n: usize, chords: &[(usize, usize)]) -> Graph {
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_unit_edge(v, (v + 1) % n).unwrap();
+        }
+        for &(u, v) in chords {
+            g.add_edge(u, v, 2.5).unwrap();
+        }
+        g
+    }
+
+    #[test]
+    fn csr_mirrors_graph_topology() {
+        let g = ring_with_chords(8, &[(0, 4), (1, 5)]);
+        let net = CsrNet::from_graph(&g);
+        assert_eq!(net.node_count(), g.node_count());
+        assert_eq!(net.arc_count(), g.arc_count());
+        assert_eq!(net.total_capacity(), g.total_capacity());
+        for a in 0..g.arc_count() {
+            assert_eq!(net.arc_tail(a), g.arc_tail(a));
+            assert_eq!(net.arc_head(a), g.arc_head(a));
+            assert_eq!(net.capacity(a), g.arc_capacity(a));
+            assert!((net.inv_capacity(a) - 1.0 / g.arc_capacity(a)).abs() < 1e-15);
+        }
+        for v in 0..g.node_count() {
+            let (arcs, heads) = net.out_slots(v);
+            let expect: Vec<(usize, usize)> = g.out_arcs(v).collect();
+            assert_eq!(arcs.len(), expect.len());
+            assert_eq!(net.out_degree(v), expect.len());
+            for (i, &(a, w)) in expect.iter().enumerate() {
+                assert_eq!(arcs[i] as usize, a);
+                assert_eq!(heads[i] as usize, w);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_to_graph() {
+        let g = ring_with_chords(6, &[(2, 5)]);
+        let back = CsrNet::from_graph(&g).to_graph();
+        assert_eq!(back.node_count(), g.node_count());
+        assert_eq!(back.edge_count(), g.edge_count());
+        for e in 0..g.edge_count() {
+            assert_eq!(back.edge(e), g.edge(e));
+        }
+    }
+
+    #[test]
+    fn dijkstra_matches_legacy_bitwise() {
+        let g = ring_with_chords(12, &[(0, 6), (3, 9), (1, 7)]);
+        let net = CsrNet::from_graph(&g);
+        // irregular lengths exercise tie-breaking and float order
+        let lens: Vec<f64> = (0..g.arc_count())
+            .map(|a| 0.25 + ((a * 37) % 11) as f64 * 0.125)
+            .collect();
+        let mut ws = DijkstraWorkspace::new(net.node_count());
+        for src in 0..g.node_count() {
+            let legacy = dijkstra(&g, src, &lens);
+            net.dijkstra(src, &lens, &mut ws);
+            for v in 0..g.node_count() {
+                assert_eq!(
+                    legacy.dist[v].to_bits(),
+                    ws.distance(v).to_bits(),
+                    "src {src} node {v}"
+                );
+                assert_eq!(legacy.parent_arc[v], ws.parent(v), "src {src} node {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_handles_disconnection() {
+        let mut g = Graph::new(5);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let net = CsrNet::from_graph(&g);
+        let lens = vec![1.0; net.arc_count()];
+        let mut ws = DijkstraWorkspace::new(5);
+        net.dijkstra(0, &lens, &mut ws);
+        assert!(ws.distance(1).is_finite());
+        assert!(!ws.distance(2).is_finite());
+        assert!(!ws.distance(4).is_finite());
+        // second run from the other component: stale entries must not leak
+        net.dijkstra(2, &lens, &mut ws);
+        assert_eq!(ws.distance(3), 1.0);
+        assert!(!ws.distance(0).is_finite());
+        assert!(ws.parent(1).is_none());
+    }
+
+    #[test]
+    fn walk_path_visits_arcs_in_reverse() {
+        let g = ring_with_chords(6, &[]);
+        let net = CsrNet::from_graph(&g);
+        let lens = vec![1.0; net.arc_count()];
+        let mut ws = DijkstraWorkspace::new(6);
+        net.dijkstra(0, &lens, &mut ws);
+        let mut arcs = Vec::new();
+        assert!(ws.walk_path(&net, 2, |a| arcs.push(a)));
+        assert_eq!(arcs.len(), 2);
+        assert_eq!(net.arc_head(arcs[0]), 2);
+        assert_eq!(net.arc_tail(arcs[1]), 0);
+        let mut none = 0;
+        let mut g2 = Graph::new(3);
+        g2.add_unit_edge(0, 1).unwrap();
+        let net2 = CsrNet::from_graph(&g2);
+        let mut ws2 = DijkstraWorkspace::new(3);
+        net2.dijkstra(0, &[1.0; 2], &mut ws2);
+        assert!(!ws2.walk_path(&net2, 2, |_| none += 1));
+        assert_eq!(none, 0);
+    }
+}

@@ -29,7 +29,10 @@ impl fmt::Display for GraphError {
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
             GraphError::BadCapacity { capacity } => {
-                write!(f, "edge capacity must be positive and finite, got {capacity}")
+                write!(
+                    f,
+                    "edge capacity must be positive and finite, got {capacity}"
+                )
             }
             GraphError::Disconnected => write!(f, "graph is not connected"),
             GraphError::NoPath { src, dst } => write!(f, "no path from {src} to {dst}"),

@@ -43,7 +43,11 @@ pub struct Graph {
 impl Graph {
     /// Create an empty graph with `n` isolated nodes.
     pub fn new(n: usize) -> Self {
-        Graph { n, edges: Vec::new(), adj: vec![Vec::new(); n] }
+        Graph {
+            n,
+            edges: Vec::new(),
+            adj: vec![Vec::new(); n],
+        }
     }
 
     /// Number of nodes.
@@ -132,13 +136,21 @@ impl Graph {
     /// Whether at least one edge connects `u` and `v`.
     pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
         // iterate over the smaller adjacency list
-        let (a, b) = if self.adj[u].len() <= self.adj[v].len() { (u, v) } else { (v, u) };
+        let (a, b) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[a].iter().any(|&(_, w)| w == b)
     }
 
     /// Some edge id connecting `u` and `v`, if any.
     pub fn find_edge(&self, u: NodeId, v: NodeId) -> Option<EdgeId> {
-        let (a, b) = if self.adj[u].len() <= self.adj[v].len() { (u, v) } else { (v, u) };
+        let (a, b) = if self.adj[u].len() <= self.adj[v].len() {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adj[a].iter().find(|&&(_, w)| w == b).map(|&(e, _)| e)
     }
 
@@ -197,7 +209,9 @@ impl Graph {
 
     /// Outgoing arcs of `v` as `(arc id, head)` pairs.
     pub fn out_arcs(&self, v: NodeId) -> impl Iterator<Item = (ArcId, NodeId)> + '_ {
-        self.adj[v].iter().map(move |&(e, w)| (self.arc_of(e, v), w))
+        self.adj[v]
+            .iter()
+            .map(move |&(e, w)| (self.arc_of(e, v), w))
     }
 
     /// Remove edge `e` by swapping in the last edge (O(degree) work).
@@ -265,11 +279,26 @@ mod tests {
     #[test]
     fn rejects_bad_edges() {
         let mut g = Graph::new(2);
-        assert!(matches!(g.add_unit_edge(0, 5), Err(GraphError::NodeOutOfRange { .. })));
-        assert!(matches!(g.add_unit_edge(1, 1), Err(GraphError::SelfLoop { .. })));
-        assert!(matches!(g.add_edge(0, 1, 0.0), Err(GraphError::BadCapacity { .. })));
-        assert!(matches!(g.add_edge(0, 1, f64::NAN), Err(GraphError::BadCapacity { .. })));
-        assert!(matches!(g.add_edge(0, 1, f64::INFINITY), Err(GraphError::BadCapacity { .. })));
+        assert!(matches!(
+            g.add_unit_edge(0, 5),
+            Err(GraphError::NodeOutOfRange { .. })
+        ));
+        assert!(matches!(
+            g.add_unit_edge(1, 1),
+            Err(GraphError::SelfLoop { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, 0.0),
+            Err(GraphError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::NAN),
+            Err(GraphError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            g.add_edge(0, 1, f64::INFINITY),
+            Err(GraphError::BadCapacity { .. })
+        ));
     }
 
     #[test]

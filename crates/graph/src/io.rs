@@ -46,8 +46,10 @@ pub fn to_dot(g: &Graph, label: &str) -> String {
 }
 
 fn sanitize(label: &str) -> String {
-    let cleaned: String =
-        label.chars().map(|c| if c.is_alphanumeric() { c } else { '_' }).collect();
+    let cleaned: String = label
+        .chars()
+        .map(|c| if c.is_alphanumeric() { c } else { '_' })
+        .collect();
     if cleaned.is_empty() || cleaned.chars().next().is_some_and(|c| c.is_ascii_digit()) {
         format!("g_{cleaned}")
     } else {
@@ -93,7 +95,9 @@ pub fn from_edge_list(text: &str) -> Result<Graph, GraphError> {
             g = Some(Graph::new(n));
             continue;
         }
-        let graph = g.as_mut().ok_or_else(|| bad(lineno, "edge before `nodes` header"))?;
+        let graph = g
+            .as_mut()
+            .ok_or_else(|| bad(lineno, "edge before `nodes` header"))?;
         let u: usize = first.parse().map_err(|_| bad(lineno, "bad node id"))?;
         let v: usize = parts
             .next()

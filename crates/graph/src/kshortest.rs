@@ -7,9 +7,9 @@
 
 use std::collections::HashSet;
 
+use crate::graph::NodeId;
 use crate::paths::{bfs_distances, UNREACHABLE};
 use crate::{Graph, GraphError};
-use crate::graph::NodeId;
 
 /// A simple path stored as the node sequence `src, ..., dst`.
 pub type NodePath = Vec<NodeId>;
@@ -68,7 +68,9 @@ pub fn yen_k_shortest(
     k: usize,
 ) -> Result<Vec<NodePath>, GraphError> {
     if src == dst {
-        return Err(GraphError::Unrealizable("k-shortest with src == dst".into()));
+        return Err(GraphError::Unrealizable(
+            "k-shortest with src == dst".into(),
+        ));
     }
     let no_nodes = vec![false; g.node_count()];
     let first = shortest_path_avoiding(g, src, dst, &no_nodes, &HashSet::new())
@@ -94,8 +96,7 @@ pub fn yen_k_shortest(
             for &v in &root[..i] {
                 banned_nodes[v] = true;
             }
-            if let Some(tail) = shortest_path_avoiding(g, spur, dst, &banned_nodes, &banned_edges)
-            {
+            if let Some(tail) = shortest_path_avoiding(g, spur, dst, &banned_nodes, &banned_edges) {
                 let mut path = root[..i].to_vec();
                 path.extend(tail);
                 if !found.contains(&path) && !candidates.contains(&path) {
@@ -216,7 +217,10 @@ mod tests {
     fn yen_no_path_errors() {
         let mut g = Graph::new(3);
         g.add_unit_edge(0, 1).unwrap();
-        assert!(matches!(yen_k_shortest(&g, 0, 2, 3), Err(GraphError::NoPath { .. })));
+        assert!(matches!(
+            yen_k_shortest(&g, 0, 2, 3),
+            Err(GraphError::NoPath { .. })
+        ));
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!   view (each undirected edge contributes two arcs of equal capacity, one
 //!   per direction), which is the representation the max-concurrent-flow
 //!   solver consumes.
+//! * a compact CSR arc view ([`csr::CsrNet`]) with reusable Dijkstra
+//!   scratch buffers ([`csr::DijkstraWorkspace`]) — the zero-allocation
+//!   representation every flow-solver backend consumes.
 //! * shortest paths: unweighted BFS, weighted Dijkstra over arbitrary
 //!   per-arc lengths ([`paths`]), Yen's k-shortest simple paths and ECMP
 //!   shortest-path enumeration ([`kshortest`]).
@@ -26,6 +29,7 @@
 //! bare graph.
 
 pub mod components;
+pub mod csr;
 pub mod error;
 pub mod graph;
 pub mod io;
@@ -34,6 +38,7 @@ pub mod paths;
 pub mod spectral;
 pub mod swaps;
 
+pub use csr::{CsrNet, DijkstraWorkspace};
 pub use error::GraphError;
 pub use graph::{ArcId, EdgeId, Graph, NodeId};
 pub use paths::PathStats;

@@ -84,9 +84,15 @@ pub fn path_stats_over(g: &Graph, nodes: &[NodeId]) -> Result<PathStats, GraphEr
         }
     }
     if pairs == 0 {
-        return Err(GraphError::Unrealizable("no node pairs to average over".into()));
+        return Err(GraphError::Unrealizable(
+            "no node pairs to average over".into(),
+        ));
     }
-    Ok(PathStats { aspl: sum as f64 / pairs as f64, diameter, pairs })
+    Ok(PathStats {
+        aspl: sum as f64 / pairs as f64,
+        diameter,
+        pairs,
+    })
 }
 
 /// Average shortest-path distance over an explicit list of ordered pairs.
@@ -184,7 +190,10 @@ pub fn dijkstra(g: &Graph, src: NodeId, arc_len: &[f64]) -> ShortestPathTree {
     let mut done = vec![false; n];
     let mut heap = BinaryHeap::new();
     dist[src] = 0.0;
-    heap.push(HeapItem { dist: 0.0, node: src });
+    heap.push(HeapItem {
+        dist: 0.0,
+        node: src,
+    });
     while let Some(HeapItem { dist: d, node: v }) = heap.pop() {
         if done[v] {
             continue;
@@ -294,8 +303,8 @@ mod tests {
         let lens = vec![1.0; g.arc_count()];
         let t = dijkstra(&g, 0, &lens);
         let b = bfs_distances(&g, 0);
-        for v in 0..8 {
-            assert!((t.dist[v] - f64::from(b[v])).abs() < 1e-12);
+        for (dw, &du) in t.dist.iter().zip(&b) {
+            assert!((dw - f64::from(du)).abs() < 1e-12);
         }
     }
 

@@ -26,9 +26,9 @@ use crate::{Graph, GraphError};
 /// [`GraphError::Unrealizable`] if the graph is not regular.
 pub fn second_eigenvalue(g: &Graph, iterations: usize) -> Result<f64, GraphError> {
     let n = g.node_count();
-    let r = g
-        .regular_degree()
-        .ok_or_else(|| GraphError::Unrealizable("second_eigenvalue needs a regular graph".into()))?;
+    let r = g.regular_degree().ok_or_else(|| {
+        GraphError::Unrealizable("second_eigenvalue needs a regular graph".into())
+    })?;
     if n < 2 {
         return Ok(0.0);
     }
@@ -73,11 +73,7 @@ pub fn ramanujan_bound(r: usize) -> f64 {
 /// and return the minimum of `|∂S| / min(|S|, |S̄|)` observed. An upper
 /// bound on the true expansion (true minimum is over all cuts), useful
 /// as a cheap health check that no sampled cut is catastrophically thin.
-pub fn edge_expansion_sample<R: Rng + ?Sized>(
-    g: &Graph,
-    samples: usize,
-    rng: &mut R,
-) -> f64 {
+pub fn edge_expansion_sample<R: Rng + ?Sized>(g: &Graph, samples: usize, rng: &mut R) -> f64 {
     let n = g.node_count();
     assert!(n >= 2, "expansion needs at least 2 nodes");
     let mut best = f64::INFINITY;
@@ -135,7 +131,10 @@ mod tests {
         }
         let l2 = second_eigenvalue(&g, 2000).unwrap();
         let expected = 2.0 * (std::f64::consts::PI / n as f64).cos();
-        assert!((l2 - expected).abs() < 0.02, "λ₂ = {l2}, expected {expected}");
+        assert!(
+            (l2 - expected).abs() < 0.02,
+            "λ₂ = {l2}, expected {expected}"
+        );
     }
 
     /// Even cycles are bipartite: −2 is an eigenvalue, so the magnitude

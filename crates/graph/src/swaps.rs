@@ -37,7 +37,11 @@ pub fn try_random_swap<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) -> bool {
     let cap1 = g.edge(e1).capacity;
     let cap2 = g.edge(e2).capacity;
     // orientation choice: (a,c)+(b,d) or (a,d)+(b,c)
-    let (x1, y1, x2, y2) = if rng.random_range(0..2) == 0 { (a, c, b, d) } else { (a, d, b, c) };
+    let (x1, y1, x2, y2) = if rng.random_range(0..2) == 0 {
+        (a, c, b, d)
+    } else {
+        (a, d, b, c)
+    };
     if x1 == y1 || x2 == y2 || g.has_edge(x1, y1) || g.has_edge(x2, y2) {
         return false;
     }
@@ -46,8 +50,10 @@ pub fn try_random_swap<R: Rng + ?Sized>(g: &mut Graph, rng: &mut R) -> bool {
     let (cap_hi, cap_lo) = if e1 > e2 { (cap1, cap2) } else { (cap2, cap1) };
     g.remove_edge(hi);
     g.remove_edge(lo);
-    g.add_edge(x1, y1, cap_lo).expect("swap endpoints validated");
-    g.add_edge(x2, y2, cap_hi).expect("swap endpoints validated");
+    g.add_edge(x1, y1, cap_lo)
+        .expect("swap endpoints validated");
+    g.add_edge(x2, y2, cap_hi)
+        .expect("swap endpoints validated");
     true
 }
 
@@ -102,7 +108,10 @@ mod tests {
                 applied += 1;
             }
         }
-        assert!(applied > 10, "expected some swaps to succeed, got {applied}");
+        assert!(
+            applied > 10,
+            "expected some swaps to succeed, got {applied}"
+        );
         assert_eq!(g.degrees(), before);
         // graph stays simple
         for v in 0..g.node_count() {
@@ -138,9 +147,14 @@ mod tests {
     fn swap_preserves_capacity_multiset() {
         let mut rng = StdRng::seed_from_u64(9);
         let mut g = Graph::new(6);
-        for &(u, v, c) in
-            &[(0, 1, 1.0), (2, 3, 10.0), (4, 5, 1.0), (1, 2, 10.0), (3, 4, 1.0), (5, 0, 10.0)]
-        {
+        for &(u, v, c) in &[
+            (0, 1, 1.0),
+            (2, 3, 10.0),
+            (4, 5, 1.0),
+            (1, 2, 10.0),
+            (3, 4, 1.0),
+            (5, 0, 10.0),
+        ] {
             g.add_edge(u, v, c).unwrap();
         }
         let mut caps_before: Vec<_> = g.edges().iter().map(|e| e.capacity as i64).collect();

@@ -61,7 +61,10 @@ impl LinearProgram {
     /// Create an LP with `num_vars` non-negative variables and an
     /// all-zero objective.
     pub fn new(num_vars: usize) -> Self {
-        LinearProgram { objective: vec![0.0; num_vars], constraints: Vec::new() }
+        LinearProgram {
+            objective: vec![0.0; num_vars],
+            constraints: Vec::new(),
+        }
     }
 
     /// Number of variables.
@@ -76,16 +79,26 @@ impl LinearProgram {
 
     /// Set the objective coefficient of variable `var`.
     pub fn set_objective(&mut self, var: usize, coeff: f64) {
-        assert!(var < self.objective.len(), "objective variable out of range");
+        assert!(
+            var < self.objective.len(),
+            "objective variable out of range"
+        );
         self.objective[var] = coeff;
     }
 
     /// Add a constraint. Out-of-range variable indices panic.
     pub fn add_constraint(&mut self, coeffs: Vec<(usize, f64)>, relation: Relation, rhs: f64) {
         for &(v, _) in &coeffs {
-            assert!(v < self.objective.len(), "constraint variable {v} out of range");
+            assert!(
+                v < self.objective.len(),
+                "constraint variable {v} out of range"
+            );
         }
-        self.constraints.push(Constraint { coeffs, relation, rhs });
+        self.constraints.push(Constraint {
+            coeffs,
+            relation,
+            rhs,
+        });
     }
 
     /// Convenience: `Σ coeffs ≤ rhs`.

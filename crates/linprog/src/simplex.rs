@@ -156,7 +156,9 @@ impl Tableau {
                 stall += 1;
             }
         }
-        Err(LpError::IterationLimit { iterations: max_iters })
+        Err(LpError::IterationLimit {
+            iterations: max_iters,
+        })
     }
 }
 
@@ -166,14 +168,20 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome, LpError> {
     let m = lp.num_constraints();
     for (i, c) in lp.constraints().iter().enumerate() {
         if !c.rhs.is_finite() {
-            return Err(LpError::BadInput(format!("constraint {i} has non-finite rhs")));
+            return Err(LpError::BadInput(format!(
+                "constraint {i} has non-finite rhs"
+            )));
         }
         if c.coeffs.iter().any(|&(_, a)| !a.is_finite()) {
-            return Err(LpError::BadInput(format!("constraint {i} has non-finite coefficient")));
+            return Err(LpError::BadInput(format!(
+                "constraint {i} has non-finite coefficient"
+            )));
         }
     }
     if lp.objective().iter().any(|a| !a.is_finite()) {
-        return Err(LpError::BadInput("objective has non-finite coefficient".into()));
+        return Err(LpError::BadInput(
+            "objective has non-finite coefficient".into(),
+        ));
     }
 
     // Column layout: [original vars | slack/surplus | artificials] + RHS.
@@ -242,7 +250,12 @@ pub fn solve(lp: &LinearProgram) -> Result<LpOutcome, LpError> {
         rows.push(row);
     }
 
-    let mut t = Tableau { rows, cost: vec![0.0; cols + 1], basis, cols };
+    let mut t = Tableau {
+        rows,
+        cost: vec![0.0; cols + 1],
+        basis,
+        cols,
+    };
 
     if artificial_count > 0 {
         // Phase 1: minimise sum of artificials. cost = sum of rows whose

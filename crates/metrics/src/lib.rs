@@ -45,8 +45,7 @@ impl Decomposition {
     /// solver's λ when the optimum serves all commodities at equal rate
     /// (uniform traffic), and is the paper's identity otherwise.
     pub fn implied_throughput(&self) -> f64 {
-        self.capacity * self.utilization
-            / (self.aspl * self.stretch * self.total_demand)
+        self.capacity * self.utilization / (self.aspl * self.stretch * self.total_demand)
     }
 }
 
@@ -88,7 +87,11 @@ pub fn decompose(
     let aspl = dist_sum / demand_sum;
     let mean_flow_path_len = solved.mean_flow_path_len();
     // stretch: routed length over shortest length (≥ 1 up to solver noise)
-    let stretch = if aspl > 0.0 { mean_flow_path_len / aspl } else { 1.0 };
+    let stretch = if aspl > 0.0 {
+        mean_flow_path_len / aspl
+    } else {
+        1.0
+    };
     Ok(Decomposition {
         capacity,
         utilization,
@@ -119,7 +122,11 @@ pub fn jain_fairness(rates: &[f64]) -> f64 {
 
 /// Jain fairness of a solved flow's per-unit-demand service rates.
 pub fn flow_fairness(solved: &SolvedFlow, commodities: &[Commodity]) -> f64 {
-    assert_eq!(solved.commodity_rate.len(), commodities.len(), "rate/commodity mismatch");
+    assert_eq!(
+        solved.commodity_rate.len(),
+        commodities.len(),
+        "rate/commodity mismatch"
+    );
     let xs: Vec<f64> = solved
         .commodity_rate
         .iter()
@@ -171,7 +178,9 @@ pub fn utilization_by_class(
         entry.0 += per_edge[e];
         entry.1 += 1;
     }
-    sums.into_iter().map(|(k, (s, n))| (k, s / n as f64)).collect()
+    sums.into_iter()
+        .map(|(k, (s, n))| (k, s / n as f64))
+        .collect()
 }
 
 #[cfg(test)]
@@ -180,7 +189,13 @@ mod tests {
     use dctopo_flow::{max_concurrent_flow, FlowOptions};
 
     fn opts() -> FlowOptions {
-        FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 20000, stall_phases: 2000 }
+        FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 20000,
+            stall_phases: 2000,
+            ..FlowOptions::default()
+        }
     }
 
     /// On a path graph with one commodity, all factors are hand-checkable.
@@ -228,10 +243,18 @@ mod tests {
         g.add_unit_edge(0, 2).unwrap();
         g.add_unit_edge(2, 3).unwrap();
         g.add_unit_edge(3, 1).unwrap();
-        let cs = [Commodity { src: 0, dst: 1, demand: 2.0 }];
+        let cs = [Commodity {
+            src: 0,
+            dst: 1,
+            demand: 2.0,
+        }];
         let s = max_concurrent_flow(&g, &cs, &opts()).unwrap();
         let d = decompose(&g, &s, &cs).unwrap();
-        assert!(d.stretch > 1.5, "stretch {} should reflect the 3-hop detour", d.stretch);
+        assert!(
+            d.stretch > 1.5,
+            "stretch {} should reflect the 3-hop detour",
+            d.stretch
+        );
     }
 
     #[test]

@@ -45,9 +45,25 @@ mod integration_tests {
     #[test]
     fn single_flow_saturates_link() {
         let mut net = Network::new(2);
-        net.add_duplex_link(0, 1, LinkSpec { rate: 1.0, delay: 0.05, queue: 32 });
-        let flows = vec![FlowSpec { src: 0, dst: 1, paths: vec![vec![0, 1]] }];
-        let cfg = SimConfig { duration: 3000.0, warmup: 500.0, ..SimConfig::default() };
+        net.add_duplex_link(
+            0,
+            1,
+            LinkSpec {
+                rate: 1.0,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 1,
+            paths: vec![vec![0, 1]],
+        }];
+        let cfg = SimConfig {
+            duration: 3000.0,
+            warmup: 500.0,
+            ..SimConfig::default()
+        };
         let res = simulate(&net, &flows, &cfg).unwrap();
         let rate = res.flow_goodput[0];
         assert!(rate > 0.85, "goodput {rate} too far below line rate");
@@ -58,14 +74,50 @@ mod integration_tests {
     #[test]
     fn two_flows_share_fairly() {
         let mut net = Network::new(4);
-        net.add_duplex_link(0, 2, LinkSpec { rate: 1.0, delay: 0.05, queue: 32 });
-        net.add_duplex_link(1, 2, LinkSpec { rate: 1.0, delay: 0.05, queue: 32 });
-        net.add_duplex_link(2, 3, LinkSpec { rate: 1.0, delay: 0.05, queue: 32 });
+        net.add_duplex_link(
+            0,
+            2,
+            LinkSpec {
+                rate: 1.0,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        net.add_duplex_link(
+            1,
+            2,
+            LinkSpec {
+                rate: 1.0,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        net.add_duplex_link(
+            2,
+            3,
+            LinkSpec {
+                rate: 1.0,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
         let flows = vec![
-            FlowSpec { src: 0, dst: 3, paths: vec![vec![0, 2, 3]] },
-            FlowSpec { src: 1, dst: 3, paths: vec![vec![1, 2, 3]] },
+            FlowSpec {
+                src: 0,
+                dst: 3,
+                paths: vec![vec![0, 2, 3]],
+            },
+            FlowSpec {
+                src: 1,
+                dst: 3,
+                paths: vec![vec![1, 2, 3]],
+            },
         ];
-        let cfg = SimConfig { duration: 4000.0, warmup: 1000.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            duration: 4000.0,
+            warmup: 1000.0,
+            ..SimConfig::default()
+        };
         let res = simulate(&net, &flows, &cfg).unwrap();
         let (a, b) = (res.flow_goodput[0], res.flow_goodput[1]);
         assert!(a + b > 0.8, "total {a}+{b} leaves the bottleneck idle");
@@ -79,14 +131,57 @@ mod integration_tests {
     fn multipath_uses_both_paths() {
         // 0 -(A)- 1 -(A)- 3 and 0 -(B)- 2 -(B)- 3
         let mut net = Network::new(4);
-        net.add_duplex_link(0, 1, LinkSpec { rate: 0.5, delay: 0.05, queue: 32 });
-        net.add_duplex_link(1, 3, LinkSpec { rate: 0.5, delay: 0.05, queue: 32 });
-        net.add_duplex_link(0, 2, LinkSpec { rate: 0.5, delay: 0.05, queue: 32 });
-        net.add_duplex_link(2, 3, LinkSpec { rate: 0.5, delay: 0.05, queue: 32 });
-        let single = vec![FlowSpec { src: 0, dst: 3, paths: vec![vec![0, 1, 3]] }];
-        let multi =
-            vec![FlowSpec { src: 0, dst: 3, paths: vec![vec![0, 1, 3], vec![0, 2, 3]] }];
-        let cfg = SimConfig { duration: 4000.0, warmup: 1000.0, ..SimConfig::default() };
+        net.add_duplex_link(
+            0,
+            1,
+            LinkSpec {
+                rate: 0.5,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        net.add_duplex_link(
+            1,
+            3,
+            LinkSpec {
+                rate: 0.5,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        net.add_duplex_link(
+            0,
+            2,
+            LinkSpec {
+                rate: 0.5,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        net.add_duplex_link(
+            2,
+            3,
+            LinkSpec {
+                rate: 0.5,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        let single = vec![FlowSpec {
+            src: 0,
+            dst: 3,
+            paths: vec![vec![0, 1, 3]],
+        }];
+        let multi = vec![FlowSpec {
+            src: 0,
+            dst: 3,
+            paths: vec![vec![0, 1, 3], vec![0, 2, 3]],
+        }];
+        let cfg = SimConfig {
+            duration: 4000.0,
+            warmup: 1000.0,
+            ..SimConfig::default()
+        };
         let r1 = simulate(&net, &single, &cfg).unwrap().flow_goodput[0];
         let r2 = simulate(&net, &multi, &cfg).unwrap().flow_goodput[0];
         assert!(r2 > 1.5 * r1, "multipath {r2} vs single {r1}");

@@ -36,7 +36,11 @@ pub struct Network {
 impl Network {
     /// A network with `nodes` nodes and no links.
     pub fn new(nodes: usize) -> Self {
-        Network { nodes, links: Vec::new(), out: vec![Vec::new(); nodes] }
+        Network {
+            nodes,
+            links: Vec::new(),
+            out: vec![Vec::new(); nodes],
+        }
     }
 
     /// Number of nodes.
@@ -59,9 +63,15 @@ impl Network {
     /// # Panics
     /// On out-of-range nodes, self-loops, or non-positive rate.
     pub fn add_link(&mut self, from: usize, to: usize, spec: LinkSpec) -> usize {
-        assert!(from < self.nodes && to < self.nodes, "link endpoint out of range");
+        assert!(
+            from < self.nodes && to < self.nodes,
+            "link endpoint out of range"
+        );
         assert_ne!(from, to, "self-loop link");
-        assert!(spec.rate > 0.0 && spec.rate.is_finite(), "link rate must be positive");
+        assert!(
+            spec.rate > 0.0 && spec.rate.is_finite(),
+            "link rate must be positive"
+        );
         assert!(spec.delay >= 0.0, "negative delay");
         let id = self.links.len();
         self.links.push(Link { from, to, spec });
@@ -76,14 +86,20 @@ impl Network {
 
     /// The link from `u` to `v`, if present (first match on parallels).
     pub fn link_between(&self, u: usize, v: usize) -> Option<usize> {
-        self.out[u].iter().find(|&&(w, _)| w == v).map(|&(_, id)| id)
+        self.out[u]
+            .iter()
+            .find(|&&(w, _)| w == v)
+            .map(|&(_, id)| id)
     }
 
     /// Resolve a node path `[n0, n1, ..., nk]` into link ids.
     ///
     /// Returns `None` if any consecutive pair has no link.
     pub fn resolve_path(&self, nodes: &[usize]) -> Option<Vec<usize>> {
-        nodes.windows(2).map(|w| self.link_between(w[0], w[1])).collect()
+        nodes
+            .windows(2)
+            .map(|w| self.link_between(w[0], w[1]))
+            .collect()
     }
 
     /// Total propagation delay along a node path (for ACK return delay).
@@ -97,7 +113,11 @@ mod tests {
     use super::*;
 
     fn spec() -> LinkSpec {
-        LinkSpec { rate: 1.0, delay: 0.1, queue: 8 }
+        LinkSpec {
+            rate: 1.0,
+            delay: 0.1,
+            queue: 8,
+        }
     }
 
     #[test]
@@ -133,6 +153,14 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_zero_rate() {
         let mut net = Network::new(2);
-        net.add_link(0, 1, LinkSpec { rate: 0.0, delay: 0.0, queue: 1 });
+        net.add_link(
+            0,
+            1,
+            LinkSpec {
+                rate: 0.0,
+                delay: 0.0,
+                queue: 1,
+            },
+        );
     }
 }

@@ -68,7 +68,10 @@ pub struct SimResult {
 impl SimResult {
     /// Minimum per-flow goodput (the paper's strict throughput metric).
     pub fn min_goodput(&self) -> f64 {
-        self.flow_goodput.iter().copied().fold(f64::INFINITY, f64::min)
+        self.flow_goodput
+            .iter()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
     }
 
     /// Mean per-flow goodput.
@@ -222,7 +225,12 @@ impl<'n> Engine<'n> {
             let first_link = self.subs[flow][sub].links[0];
             self.enqueue(
                 first_link,
-                Pkt { flow: flow as u32, sub: sub as u16, hop: 0, seq },
+                Pkt {
+                    flow: flow as u32,
+                    sub: sub as u16,
+                    hop: 0,
+                    seq,
+                },
             );
         }
     }
@@ -231,7 +239,15 @@ impl<'n> Engine<'n> {
         self.retransmits += 1;
         self.subs[flow][sub].state.mark_retransmitted(seq);
         let first_link = self.subs[flow][sub].links[0];
-        self.enqueue(first_link, Pkt { flow: flow as u32, sub: sub as u16, hop: 0, seq });
+        self.enqueue(
+            first_link,
+            Pkt {
+                flow: flow as u32,
+                sub: sub as u16,
+                hop: 0,
+                seq,
+            },
+        );
     }
 
     fn arm_rto(&mut self, flow: usize, sub: usize) {
@@ -265,7 +281,13 @@ impl<'n> Engine<'n> {
                 let path_len = self.subs[flow][sub].links.len();
                 if hop + 1 < path_len {
                     let next_link = self.subs[flow][sub].links[hop + 1];
-                    self.enqueue(next_link, Pkt { hop: pkt.hop + 1, ..pkt });
+                    self.enqueue(
+                        next_link,
+                        Pkt {
+                            hop: pkt.hop + 1,
+                            ..pkt
+                        },
+                    );
                 } else {
                     // delivered: receiver logic + ACK back to the sender
                     let rt = &mut self.subs[flow][sub];
@@ -308,12 +330,10 @@ impl<'n> Engine<'n> {
 }
 
 /// Run the simulation. See [`crate`] docs for the model.
-pub fn simulate(
-    net: &Network,
-    flows: &[FlowSpec],
-    cfg: &SimConfig,
-) -> Result<SimResult, SimError> {
-    if !(cfg.duration > 0.0) || cfg.warmup >= cfg.duration {
+pub fn simulate(net: &Network, flows: &[FlowSpec], cfg: &SimConfig) -> Result<SimResult, SimError> {
+    if cfg.duration.partial_cmp(&0.0) != Some(std::cmp::Ordering::Greater)
+        || cfg.warmup >= cfg.duration
+    {
         return Err(SimError::BadConfig(format!(
             "duration {} / warmup {} invalid",
             cfg.duration, cfg.warmup
@@ -323,7 +343,10 @@ pub fn simulate(
     let mut subs: Vec<Vec<SubflowRt>> = Vec::with_capacity(flows.len());
     for (fi, f) in flows.iter().enumerate() {
         if f.paths.is_empty() {
-            return Err(SimError::BadFlow { flow: fi, reason: "no subflow paths".into() });
+            return Err(SimError::BadFlow {
+                flow: fi,
+                reason: "no subflow paths".into(),
+            });
         }
         let mut v = Vec::with_capacity(f.paths.len());
         for (si, p) in f.paths.iter().enumerate() {
@@ -333,11 +356,11 @@ pub fn simulate(
                     reason: format!("subflow {si} path does not join src to dst"),
                 });
             }
-            let links = net
-                .resolve_path(p)
-                .ok_or(SimError::BadPath { flow: fi, subflow: si })?;
-            let ack_delay =
-                net.path_delay(&links) + cfg.ack_hop_delay * links.len() as f64;
+            let links = net.resolve_path(p).ok_or(SimError::BadPath {
+                flow: fi,
+                subflow: si,
+            })?;
+            let ack_delay = net.path_delay(&links) + cfg.ack_hop_delay * links.len() as f64;
             v.push(SubflowRt {
                 state: Subflow::new(cfg.initial_cwnd),
                 recv: Receiver::default(),
@@ -353,7 +376,10 @@ pub fn simulate(
         net,
         cfg: *cfg,
         links: (0..net.link_count())
-            .map(|_| LinkState { busy: false, queue: VecDeque::new() })
+            .map(|_| LinkState {
+                busy: false,
+                queue: VecDeque::new(),
+            })
             .collect(),
         subs,
         heap: BinaryHeap::new(),
@@ -404,18 +430,33 @@ mod tests {
     use crate::net::LinkSpec;
 
     fn unit_spec() -> LinkSpec {
-        LinkSpec { rate: 1.0, delay: 0.05, queue: 32 }
+        LinkSpec {
+            rate: 1.0,
+            delay: 0.05,
+            queue: 32,
+        }
     }
 
     #[test]
     fn rejects_bad_config() {
         let net = Network::new(2);
-        let r = simulate(&net, &[], &SimConfig { duration: 0.0, ..SimConfig::default() });
+        let r = simulate(
+            &net,
+            &[],
+            &SimConfig {
+                duration: 0.0,
+                ..SimConfig::default()
+            },
+        );
         assert!(matches!(r, Err(SimError::BadConfig(_))));
         let r = simulate(
             &net,
             &[],
-            &SimConfig { duration: 10.0, warmup: 10.0, ..SimConfig::default() },
+            &SimConfig {
+                duration: 10.0,
+                warmup: 10.0,
+                ..SimConfig::default()
+            },
         );
         assert!(matches!(r, Err(SimError::BadConfig(_))));
     }
@@ -424,17 +465,29 @@ mod tests {
     fn rejects_bad_paths() {
         let mut net = Network::new(3);
         net.add_duplex_link(0, 1, unit_spec());
-        let flows = vec![FlowSpec { src: 0, dst: 2, paths: vec![vec![0, 2]] }];
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 2,
+            paths: vec![vec![0, 2]],
+        }];
         assert!(matches!(
             simulate(&net, &flows, &SimConfig::default()),
             Err(SimError::BadPath { .. })
         ));
-        let flows = vec![FlowSpec { src: 0, dst: 1, paths: vec![vec![1, 0]] }];
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 1,
+            paths: vec![vec![1, 0]],
+        }];
         assert!(matches!(
             simulate(&net, &flows, &SimConfig::default()),
             Err(SimError::BadFlow { .. })
         ));
-        let flows = vec![FlowSpec { src: 0, dst: 1, paths: vec![] }];
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 1,
+            paths: vec![],
+        }];
         assert!(matches!(
             simulate(&net, &flows, &SimConfig::default()),
             Err(SimError::BadFlow { .. })
@@ -454,9 +507,25 @@ mod tests {
     fn goodput_bounded_by_bottleneck_rate() {
         // 0 -> 1 at rate 0.25
         let mut net = Network::new(2);
-        net.add_duplex_link(0, 1, LinkSpec { rate: 0.25, delay: 0.05, queue: 32 });
-        let flows = vec![FlowSpec { src: 0, dst: 1, paths: vec![vec![0, 1]] }];
-        let cfg = SimConfig { duration: 2000.0, warmup: 500.0, ..SimConfig::default() };
+        net.add_duplex_link(
+            0,
+            1,
+            LinkSpec {
+                rate: 0.25,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 1,
+            paths: vec![vec![0, 1]],
+        }];
+        let cfg = SimConfig {
+            duration: 2000.0,
+            warmup: 500.0,
+            ..SimConfig::default()
+        };
         let res = simulate(&net, &flows, &cfg).unwrap();
         assert!(res.flow_goodput[0] <= 0.25 + 1e-9);
         assert!(res.flow_goodput[0] > 0.2, "rate {}", res.flow_goodput[0]);
@@ -467,9 +536,29 @@ mod tests {
         // two-hop path with a small queue at the bottleneck: AIMD will
         // overshoot, lose packets, and recover via fast retransmit
         let mut net = Network::new(3);
-        net.add_duplex_link(0, 1, LinkSpec { rate: 1.0, delay: 0.05, queue: 32 });
-        net.add_duplex_link(1, 2, LinkSpec { rate: 0.5, delay: 0.05, queue: 6 });
-        let flows = vec![FlowSpec { src: 0, dst: 2, paths: vec![vec![0, 1, 2]] }];
+        net.add_duplex_link(
+            0,
+            1,
+            LinkSpec {
+                rate: 1.0,
+                delay: 0.05,
+                queue: 32,
+            },
+        );
+        net.add_duplex_link(
+            1,
+            2,
+            LinkSpec {
+                rate: 0.5,
+                delay: 0.05,
+                queue: 6,
+            },
+        );
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 2,
+            paths: vec![vec![0, 1, 2]],
+        }];
         let cfg = SimConfig {
             duration: 3000.0,
             warmup: 1000.0,
@@ -479,7 +568,11 @@ mod tests {
         let res = simulate(&net, &flows, &cfg).unwrap();
         assert!(res.drops > 0, "expected queue drops");
         assert!(res.retransmits > 0, "drops must trigger retransmissions");
-        assert!(res.flow_goodput[0] > 0.3, "goodput {} collapsed", res.flow_goodput[0]);
+        assert!(
+            res.flow_goodput[0] > 0.3,
+            "goodput {} collapsed",
+            res.flow_goodput[0]
+        );
         assert!(res.flow_goodput[0] <= 0.5 + 1e-9);
     }
 
@@ -487,8 +580,16 @@ mod tests {
     fn deterministic_given_same_inputs() {
         let mut net = Network::new(2);
         net.add_duplex_link(0, 1, unit_spec());
-        let flows = vec![FlowSpec { src: 0, dst: 1, paths: vec![vec![0, 1]] }];
-        let cfg = SimConfig { duration: 500.0, warmup: 100.0, ..SimConfig::default() };
+        let flows = vec![FlowSpec {
+            src: 0,
+            dst: 1,
+            paths: vec![vec![0, 1]],
+        }];
+        let cfg = SimConfig {
+            duration: 500.0,
+            warmup: 100.0,
+            ..SimConfig::default()
+        };
         let a = simulate(&net, &flows, &cfg).unwrap();
         let b = simulate(&net, &flows, &cfg).unwrap();
         assert_eq!(a.flow_goodput, b.flow_goodput);

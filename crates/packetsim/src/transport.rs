@@ -143,13 +143,15 @@ impl Subflow {
             let total = total_cwnd.max(1.0);
             self.cwnd = (self.cwnd + newly as f64 / total).min(MAX_CWND);
             // a partial ACK during recovery retransmits the next hole
-            let retransmit = if cum < self.recover_until && self.outstanding.contains_key(&cum)
-            {
+            let retransmit = if cum < self.recover_until && self.outstanding.contains_key(&cum) {
                 Some(cum)
             } else {
                 None
             };
-            AckOutcome { newly_acked: newly, retransmit }
+            AckOutcome {
+                newly_acked: newly,
+                retransmit,
+            }
         } else {
             // duplicate ACK
             self.dup_acks += 1;
@@ -159,9 +161,15 @@ impl Subflow {
                 self.recover_until = self.next_seq;
                 let seq = self.cum_acked;
                 let retransmit = self.outstanding.contains_key(&seq).then_some(seq);
-                AckOutcome { newly_acked: 0, retransmit }
+                AckOutcome {
+                    newly_acked: 0,
+                    retransmit,
+                }
             } else {
-                AckOutcome { newly_acked: 0, retransmit: None }
+                AckOutcome {
+                    newly_acked: 0,
+                    retransmit: None,
+                }
             }
         }
     }
@@ -247,8 +255,20 @@ mod tests {
             s.take_next_seq(0.0);
         }
         // packet 0 lost: receiver keeps acking 0
-        assert_eq!(s.on_ack(0, 8.0, 1.0), AckOutcome { newly_acked: 0, retransmit: None });
-        assert_eq!(s.on_ack(0, 8.0, 1.1), AckOutcome { newly_acked: 0, retransmit: None });
+        assert_eq!(
+            s.on_ack(0, 8.0, 1.0),
+            AckOutcome {
+                newly_acked: 0,
+                retransmit: None
+            }
+        );
+        assert_eq!(
+            s.on_ack(0, 8.0, 1.1),
+            AckOutcome {
+                newly_acked: 0,
+                retransmit: None
+            }
+        );
         let third = s.on_ack(0, 8.0, 1.2);
         assert_eq!(third.retransmit, Some(0));
         assert!((s.cwnd - 4.0).abs() < 1e-12);
@@ -306,7 +326,7 @@ mod tests {
         s.on_ack(1, 4.0, 2.0); // sample = 2.0
         assert!((s.srtt.unwrap() - 2.0).abs() < 1e-12);
         let rto = s.rto(60.0);
-        assert!(rto >= 2.0 && rto < 60.0, "adaptive RTO {rto} near RTT");
+        assert!((2.0..60.0).contains(&rto), "adaptive RTO {rto} near RTT");
         // Karn: retransmitted packets give no sample
         s.take_next_seq(3.0);
         s.mark_retransmitted(1);

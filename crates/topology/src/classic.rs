@@ -13,8 +13,10 @@ use crate::{SwitchClass, Topology};
 /// # Errors
 /// `k` must be even and ≥ 2.
 pub fn fat_tree(k: usize) -> Result<Topology, GraphError> {
-    if k < 2 || k % 2 != 0 {
-        return Err(GraphError::Unrealizable(format!("fat-tree needs even k ≥ 2, got {k}")));
+    if k < 2 || !k.is_multiple_of(2) {
+        return Err(GraphError::Unrealizable(format!(
+            "fat-tree needs even k ≥ 2, got {k}"
+        )));
     }
     let half = k / 2;
     let n_edge = k * half;
@@ -41,24 +43,27 @@ pub fn fat_tree(k: usize) -> Result<Topology, GraphError> {
         }
     }
     let mut servers_at = vec![0usize; n];
-    for v in 0..n_edge {
-        servers_at[v] = half;
-    }
+    servers_at[..n_edge].fill(half);
     let mut class_of = vec![0usize; n];
-    for v in n_edge..n_edge + n_agg {
-        class_of[v] = 1;
-    }
-    for v in n_edge + n_agg..n {
-        class_of[v] = 2;
-    }
+    class_of[n_edge..n_edge + n_agg].fill(1);
+    class_of[n_edge + n_agg..].fill(2);
     Ok(Topology {
         graph: g,
         servers_at,
         class_of,
         classes: vec![
-            SwitchClass { name: "edge".into(), ports: k },
-            SwitchClass { name: "agg".into(), ports: k },
-            SwitchClass { name: "core".into(), ports: k },
+            SwitchClass {
+                name: "edge".into(),
+                ports: k,
+            },
+            SwitchClass {
+                name: "agg".into(),
+                ports: k,
+            },
+            SwitchClass {
+                name: "core".into(),
+                ports: k,
+            },
         ],
         unused_ports: 0,
     })
@@ -69,7 +74,9 @@ pub fn fat_tree(k: usize) -> Result<Topology, GraphError> {
 /// graphs have roughly 30% higher throughput than hypercubes" baseline).
 pub fn hypercube(dim: u32, servers_per_switch: usize) -> Result<Topology, GraphError> {
     if dim == 0 || dim > 20 {
-        return Err(GraphError::Unrealizable(format!("hypercube dim {dim} out of range")));
+        return Err(GraphError::Unrealizable(format!(
+            "hypercube dim {dim} out of range"
+        )));
     }
     let n = 1usize << dim;
     let mut g = Graph::new(n);
@@ -94,7 +101,11 @@ pub fn hypercube(dim: u32, servers_per_switch: usize) -> Result<Topology, GraphE
 }
 
 /// `rows × cols` 2-D torus (degree 4 when both dimensions exceed 2).
-pub fn torus2d(rows: usize, cols: usize, servers_per_switch: usize) -> Result<Topology, GraphError> {
+pub fn torus2d(
+    rows: usize,
+    cols: usize,
+    servers_per_switch: usize,
+) -> Result<Topology, GraphError> {
     if rows < 3 || cols < 3 {
         return Err(GraphError::Unrealizable(
             "torus needs both dimensions ≥ 3 (wraparound would duplicate edges)".into(),
@@ -113,7 +124,10 @@ pub fn torus2d(rows: usize, cols: usize, servers_per_switch: usize) -> Result<To
         graph: g,
         servers_at: vec![servers_per_switch; n],
         class_of: vec![0; n],
-        classes: vec![SwitchClass { name: "switch".into(), ports: 4 + servers_per_switch }],
+        classes: vec![SwitchClass {
+            name: "switch".into(),
+            ports: 4 + servers_per_switch,
+        }],
         unused_ports: 0,
     })
 }
@@ -121,7 +135,9 @@ pub fn torus2d(rows: usize, cols: usize, servers_per_switch: usize) -> Result<To
 /// The complete graph `K_n` with `servers_per_switch` servers per switch.
 pub fn complete(n: usize, servers_per_switch: usize) -> Result<Topology, GraphError> {
     if n < 2 {
-        return Err(GraphError::Unrealizable("complete graph needs n ≥ 2".into()));
+        return Err(GraphError::Unrealizable(
+            "complete graph needs n ≥ 2".into(),
+        ));
     }
     let mut g = Graph::new(n);
     for u in 0..n {

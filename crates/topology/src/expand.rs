@@ -31,7 +31,7 @@ pub fn expand_random<R: Rng + ?Sized>(
     class: usize,
     rng: &mut R,
 ) -> Result<NodeId, GraphError> {
-    if network_degree == 0 || network_degree % 2 != 0 {
+    if network_degree == 0 || !network_degree.is_multiple_of(2) {
         return Err(GraphError::Unrealizable(format!(
             "expansion degree must be even and positive, got {network_degree}"
         )));
@@ -42,7 +42,9 @@ pub fn expand_random<R: Rng + ?Sized>(
         )));
     }
     if class >= topo.classes.len() {
-        return Err(GraphError::Unrealizable(format!("switch class {class} does not exist")));
+        return Err(GraphError::Unrealizable(format!(
+            "switch class {class} does not exist"
+        )));
     }
     if topo.graph.edge_count() < network_degree / 2 {
         return Err(GraphError::Unrealizable(
@@ -122,7 +124,7 @@ mod tests {
         assert!(expand_random(&mut topo, 8, 0, 0, &mut rng).is_err()); // zero
         assert!(expand_random(&mut topo, 4, 6, 0, &mut rng).is_err()); // > ports
         assert!(expand_random(&mut topo, 8, 4, 7, &mut rng).is_err()); // bad class
-        // failures must not have mutated the topology's bookkeeping
+                                                                       // failures must not have mutated the topology's bookkeeping
         assert_eq!(topo.servers_at.len(), topo.class_of.len());
     }
 

@@ -64,10 +64,14 @@ pub fn place_servers(
     };
     let wsum: f64 = weights.iter().sum();
     if wsum <= 0.0 {
-        return Err(GraphError::Unrealizable("non-positive placement weights".into()));
+        return Err(GraphError::Unrealizable(
+            "non-positive placement weights".into(),
+        ));
     }
-    let quota: Vec<f64> =
-        weights.iter().map(|w| total_servers as f64 * w / wsum).collect();
+    let quota: Vec<f64> = weights
+        .iter()
+        .map(|w| total_servers as f64 * w / wsum)
+        .collect();
     let mut counts: Vec<usize> = quota.iter().map(|q| q.floor() as usize).collect();
     let assigned: usize = counts.iter().sum();
     // largest fractional remainders get the leftover servers
@@ -93,7 +97,7 @@ pub fn place_servers(
     while overflow > 0 {
         // give to the switch with most spare port capacity
         let best = (0..n)
-            .filter(|&i| counts[i] + 1 <= ports[i].saturating_sub(1))
+            .filter(|&i| counts[i] < ports[i].saturating_sub(1))
             .max_by_key(|&i| ports[i] - counts[i]);
         match best {
             Some(i) => {
@@ -126,8 +130,9 @@ pub fn heterogeneous_fleet<R: Rng + ?Sized>(
 ) -> Result<Topology, GraphError> {
     assert_eq!(ports.len(), class_of.len(), "ports/class length mismatch");
     let servers_at = place_servers(ports, total_servers, placement, &class_of)?;
-    let counts: Vec<_> =
-        (0..ports.len()).map(|v| (v, ports[v] - servers_at[v])).collect();
+    let counts: Vec<_> = (0..ports.len())
+        .map(|v| (v, ports[v] - servers_at[v]))
+        .collect();
     let mut last_err = None;
     for attempt in 0..10 {
         let mut g = Graph::new(ports.len());
@@ -183,8 +188,8 @@ pub fn heterogeneous<R: Rng + ?Sized>(
     let mut class_of = Vec::new();
     let mut names = Vec::new();
     for (c, &(count, p)) in classes.iter().enumerate() {
-        ports.extend(std::iter::repeat(p).take(count));
-        class_of.extend(std::iter::repeat(c).take(count));
+        ports.extend(std::iter::repeat_n(p, count));
+        class_of.extend(std::iter::repeat_n(c, count));
         names.push(format!("class{c}({p}p)"));
     }
     heterogeneous_fleet(&ports, class_of, names, total_servers, placement, rng)
@@ -221,7 +226,9 @@ pub fn two_cluster<R: Rng + ?Sized>(
     for _ in 0..8 {
         let mut g = Graph::new(n);
         let mut l_stubs = stubs_from_counts(
-            &(0..large.count).map(|v| (v, large.network_ports().expect("checked"))).collect::<Vec<_>>(),
+            &(0..large.count)
+                .map(|v| (v, large.network_ports().expect("checked")))
+                .collect::<Vec<_>>(),
         );
         let mut s_stubs = stubs_from_counts(
             &(large.count..n)
@@ -238,8 +245,10 @@ pub fn two_cluster<R: Rng + ?Sized>(
                 let nodes: std::collections::HashSet<_> = stubs.iter().copied().collect();
                 let n = nodes.len();
                 let simple_capacity = n.saturating_sub(1);
-                let densest =
-                    nodes.iter().map(|&v| stubs.iter().filter(|&&w| w == v).count()).max();
+                let densest = nodes
+                    .iter()
+                    .map(|&v| stubs.iter().filter(|&&w| w == v).count())
+                    .max();
                 if densest.unwrap_or(0) > simple_capacity {
                     unused += pair_stubs_multi(&mut g, stubs, 1.0, rng)?;
                 } else {
@@ -259,8 +268,14 @@ pub fn two_cluster<R: Rng + ?Sized>(
                     .concat(),
                     class_of: [vec![0; large.count], vec![1; small.count]].concat(),
                     classes: vec![
-                        SwitchClass { name: "large".into(), ports: large.ports },
-                        SwitchClass { name: "small".into(), ports: small.ports },
+                        SwitchClass {
+                            name: "large".into(),
+                            ports: large.ports,
+                        },
+                        SwitchClass {
+                            name: "small".into(),
+                            ports: small.ports,
+                        },
                     ],
                     unused_ports: unused,
                 })
@@ -290,7 +305,9 @@ pub fn two_cluster_linespeed<R: Rng + ?Sized>(
     let mut topo = two_cluster(large, small, cross, rng)?;
     if high_per_large > 0 {
         let high_stubs = stubs_from_counts(
-            &(0..large.count).map(|v| (v, high_per_large)).collect::<Vec<_>>(),
+            &(0..large.count)
+                .map(|v| (v, high_per_large))
+                .collect::<Vec<_>>(),
         );
         topo.unused_ports += pair_stubs(&mut topo.graph, high_stubs, high_speed, rng)?;
         topo.classes[0].ports = large.ports + high_per_large;
@@ -310,8 +327,9 @@ pub fn power_law_ports<R: Rng + ?Sized>(
 ) -> Vec<usize> {
     assert!(min_ports >= 2 && max_ports >= min_ports, "bad port range");
     // discrete inverse-CDF sampling
-    let weights: Vec<f64> =
-        (min_ports..=max_ports).map(|k| (k as f64).powf(-exponent)).collect();
+    let weights: Vec<f64> = (min_ports..=max_ports)
+        .map(|k| (k as f64).powf(-exponent))
+        .collect();
     let total: f64 = weights.iter().sum();
     let mut out = Vec::with_capacity(n);
     for _ in 0..n {
@@ -341,8 +359,8 @@ mod tests {
     fn place_servers_proportional() {
         // ports 30,30,10,10,10 with 18 servers → 6,6,2,2,2
         let ports = [30, 30, 10, 10, 10];
-        let s = place_servers(&ports, 18, &ServerPlacement::Proportional, &[0, 0, 1, 1, 1])
-            .unwrap();
+        let s =
+            place_servers(&ports, 18, &ServerPlacement::Proportional, &[0, 0, 1, 1, 1]).unwrap();
         assert_eq!(s, vec![6, 6, 2, 2, 2]);
         assert_eq!(s.iter().sum::<usize>(), 18);
     }
@@ -350,8 +368,8 @@ mod tests {
     #[test]
     fn place_servers_power_law_beta_zero_uniform() {
         let ports = [30, 20, 10, 5];
-        let s = place_servers(&ports, 8, &ServerPlacement::PowerLaw { beta: 0.0 }, &[0; 4])
-            .unwrap();
+        let s =
+            place_servers(&ports, 8, &ServerPlacement::PowerLaw { beta: 0.0 }, &[0; 4]).unwrap();
         assert_eq!(s, vec![2, 2, 2, 2]);
     }
 
@@ -359,8 +377,13 @@ mod tests {
     fn place_servers_respects_port_limit() {
         // 3-port switches can host at most 2 servers each
         let ports = [3, 3, 30];
-        let s = place_servers(&ports, 10, &ServerPlacement::PowerLaw { beta: 0.0 }, &[0; 3])
-            .unwrap();
+        let s = place_servers(
+            &ports,
+            10,
+            &ServerPlacement::PowerLaw { beta: 0.0 },
+            &[0; 3],
+        )
+        .unwrap();
         assert!(s[0] <= 2 && s[1] <= 2);
         assert_eq!(s.iter().sum::<usize>(), 10);
         // impossible total
@@ -379,29 +402,48 @@ mod tests {
         .unwrap();
         assert_eq!(s, vec![12, 12, 4]);
         // class count exceeding ports rejected
-        assert!(place_servers(&ports, 0, &ServerPlacement::PerClass(vec![30, 4]), &[0, 0, 1])
-            .is_err());
+        assert!(place_servers(
+            &ports,
+            0,
+            &ServerPlacement::PerClass(vec![30, 4]),
+            &[0, 0, 1]
+        )
+        .is_err());
     }
 
     #[test]
     fn heterogeneous_builds_and_validates() {
         let mut rng = StdRng::seed_from_u64(20);
-        let t = heterogeneous(&[(20, 30), (40, 10)], 500, &ServerPlacement::Proportional, &mut rng)
-            .unwrap();
+        let t = heterogeneous(
+            &[(20, 30), (40, 10)],
+            500,
+            &ServerPlacement::Proportional,
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(t.switch_count(), 60);
         assert_eq!(t.server_count(), 500);
         t.validate_ports().unwrap();
         // degrees = ports - servers (minus possibly one unused stub)
-        let total_net_ports: usize =
-            (0..60).map(|v| if v < 20 { 30 } else { 10 } - t.servers_at[v]).sum();
+        let total_net_ports: usize = (0..60)
+            .map(|v| if v < 20 { 30 } else { 10 } - t.servers_at[v])
+            .sum();
         assert!(2 * t.graph.edge_count() + t.unused_ports == total_net_ports);
     }
 
     #[test]
     fn two_cluster_exact_cross_count() {
         let mut rng = StdRng::seed_from_u64(21);
-        let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: 12 };
-        let small = ClusterSpec { count: 40, ports: 10, servers_per_switch: 4 };
+        let large = ClusterSpec {
+            count: 20,
+            ports: 30,
+            servers_per_switch: 12,
+        };
+        let small = ClusterSpec {
+            count: 40,
+            ports: 10,
+            servers_per_switch: 4,
+        };
         for cross in [40usize, 100, 200] {
             let t = two_cluster(large, small, CrossSpec::Exact(cross), &mut rng).unwrap();
             let in_large: Vec<bool> = (0..60).map(|v| v < 20).collect();
@@ -413,8 +455,16 @@ mod tests {
     #[test]
     fn two_cluster_ratio_matches_expectation() {
         let mut rng = StdRng::seed_from_u64(22);
-        let large = ClusterSpec { count: 20, ports: 30, servers_per_switch: 12 };
-        let small = ClusterSpec { count: 40, ports: 10, servers_per_switch: 4 };
+        let large = ClusterSpec {
+            count: 20,
+            ports: 30,
+            servers_per_switch: 12,
+        };
+        let small = ClusterSpec {
+            count: 40,
+            ports: 10,
+            servers_per_switch: 4,
+        };
         let l = large.total_network_ports().unwrap();
         let s = small.total_network_ports().unwrap();
         let t = two_cluster(large, small, CrossSpec::Ratio(1.0), &mut rng).unwrap();
@@ -426,21 +476,41 @@ mod tests {
     #[test]
     fn two_cluster_rejects_excess_cross() {
         let mut rng = StdRng::seed_from_u64(23);
-        let large = ClusterSpec { count: 2, ports: 4, servers_per_switch: 1 };
-        let small = ClusterSpec { count: 2, ports: 4, servers_per_switch: 1 };
+        let large = ClusterSpec {
+            count: 2,
+            ports: 4,
+            servers_per_switch: 1,
+        };
+        let small = ClusterSpec {
+            count: 2,
+            ports: 4,
+            servers_per_switch: 1,
+        };
         assert!(two_cluster(large, small, CrossSpec::Exact(100), &mut rng).is_err());
     }
 
     #[test]
     fn linespeed_adds_high_trunks() {
         let mut rng = StdRng::seed_from_u64(24);
-        let large = ClusterSpec { count: 20, ports: 40, servers_per_switch: 34 };
-        let small = ClusterSpec { count: 20, ports: 15, servers_per_switch: 9 };
-        let t = two_cluster_linespeed(large, small, CrossSpec::Ratio(1.0), 3, 10.0, &mut rng)
-            .unwrap();
+        let large = ClusterSpec {
+            count: 20,
+            ports: 40,
+            servers_per_switch: 34,
+        };
+        let small = ClusterSpec {
+            count: 20,
+            ports: 15,
+            servers_per_switch: 9,
+        };
+        let t =
+            two_cluster_linespeed(large, small, CrossSpec::Ratio(1.0), 3, 10.0, &mut rng).unwrap();
         // high-speed edges exist, only among large switches
-        let high: Vec<_> =
-            t.graph.edges().iter().filter(|e| e.capacity > 1.0).collect();
+        let high: Vec<_> = t
+            .graph
+            .edges()
+            .iter()
+            .filter(|e| e.capacity > 1.0)
+            .collect();
         assert!(!high.is_empty());
         for e in &high {
             assert!(e.u < 20 && e.v < 20, "high trunk touches small switch");
@@ -461,7 +531,10 @@ mod tests {
         assert!(ports.iter().all(|&p| (4..=48).contains(&p)));
         // power law: small values dominate
         let small = ports.iter().filter(|&&p| p <= 8).count();
-        assert!(small > 250, "expected skew toward small port counts, got {small}/500");
+        assert!(
+            small > 250,
+            "expected skew toward small port counts, got {small}/500"
+        );
         // sorted descending
         assert!(ports.windows(2).all(|w| w[0] >= w[1]));
     }

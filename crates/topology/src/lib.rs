@@ -95,7 +95,7 @@ impl Topology {
     pub fn server_to_switch(&self) -> Vec<NodeId> {
         let mut map = Vec::with_capacity(self.server_count());
         for (sw, &cnt) in self.servers_at.iter().enumerate() {
-            map.extend(std::iter::repeat(sw).take(cnt));
+            map.extend(std::iter::repeat_n(sw, cnt));
         }
         map
     }
@@ -114,7 +114,9 @@ impl Topology {
 
     /// Switches belonging to class `c`.
     pub fn switches_of_class(&self, c: usize) -> Vec<NodeId> {
-        (0..self.switch_count()).filter(|&v| self.class_of[v] == c).collect()
+        (0..self.switch_count())
+            .filter(|&v| self.class_of[v] == c)
+            .collect()
     }
 
     /// The network degree (graph degree) of each switch.
@@ -161,12 +163,14 @@ pub struct ClusterSpec {
 impl ClusterSpec {
     /// Ports left for the network after server attachment, per switch.
     pub fn network_ports(&self) -> Result<usize, GraphError> {
-        self.ports.checked_sub(self.servers_per_switch).ok_or_else(|| {
-            GraphError::Unrealizable(format!(
-                "{} servers exceed {} ports",
-                self.servers_per_switch, self.ports
-            ))
-        })
+        self.ports
+            .checked_sub(self.servers_per_switch)
+            .ok_or_else(|| {
+                GraphError::Unrealizable(format!(
+                    "{} servers exceed {} ports",
+                    self.servers_per_switch, self.ports
+                ))
+            })
     }
 
     /// Total network stubs contributed by the cluster.
@@ -200,8 +204,14 @@ mod tests {
             servers_at: vec![2, 0, 1],
             class_of: vec![0, 1, 1],
             classes: vec![
-                SwitchClass { name: "large".into(), ports: 4 },
-                SwitchClass { name: "small".into(), ports: 3 },
+                SwitchClass {
+                    name: "large".into(),
+                    ports: 4,
+                },
+                SwitchClass {
+                    name: "small".into(),
+                    ports: 3,
+                },
             ],
             unused_ports: 0,
         };
@@ -222,7 +232,10 @@ mod tests {
             graph: g,
             servers_at: vec![3, 0],
             class_of: vec![0, 0],
-            classes: vec![SwitchClass { name: "s".into(), ports: 3 }],
+            classes: vec![SwitchClass {
+                name: "s".into(),
+                ports: 3,
+            }],
             unused_ports: 0,
         };
         assert!(t.validate_ports().is_err());
@@ -230,10 +243,18 @@ mod tests {
 
     #[test]
     fn cluster_spec_budgets() {
-        let c = ClusterSpec { count: 4, ports: 10, servers_per_switch: 3 };
+        let c = ClusterSpec {
+            count: 4,
+            ports: 10,
+            servers_per_switch: 3,
+        };
         assert_eq!(c.network_ports().unwrap(), 7);
         assert_eq!(c.total_network_ports().unwrap(), 28);
-        let bad = ClusterSpec { count: 1, ports: 2, servers_per_switch: 5 };
+        let bad = ClusterSpec {
+            count: 1,
+            ports: 2,
+            servers_per_switch: 5,
+        };
         assert!(bad.network_ports().is_err());
     }
 

@@ -52,7 +52,10 @@ impl Topology {
                         graph: g,
                         servers_at: vec![k - r; n],
                         class_of: vec![0; n],
-                        classes: vec![SwitchClass { name: "switch".into(), ports: k }],
+                        classes: vec![SwitchClass {
+                            name: "switch".into(),
+                            ports: k,
+                        }],
                         unused_ports: 0,
                     });
                 }
@@ -77,7 +80,10 @@ mod tests {
             let t = Topology::random_regular(n, k, r, &mut rng).unwrap();
             assert_eq!(t.graph.regular_degree(), Some(r), "N={n} r={r}");
             assert_eq!(t.server_count(), n * (k - r));
-            assert!(is_connected(&t.graph), "RRG disconnected (astronomically unlikely)");
+            assert!(
+                is_connected(&t.graph),
+                "RRG disconnected (astronomically unlikely)"
+            );
             t.validate_ports().unwrap();
         }
     }
@@ -105,7 +111,11 @@ mod tests {
             e.sort_unstable();
             e
         };
-        assert_ne!(edges(&a), edges(&b), "two RRG samples identical — RNG misuse?");
+        assert_ne!(
+            edges(&a),
+            edges(&b),
+            "two RRG samples identical — RNG misuse?"
+        );
     }
 
     #[test]

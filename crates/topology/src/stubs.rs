@@ -239,7 +239,7 @@ pub fn pair_bipartite<R: Rng + ?Sized>(
 pub fn stubs_from_counts(counts: &[(NodeId, usize)]) -> Vec<NodeId> {
     let mut stubs = Vec::new();
     for &(v, c) in counts {
-        stubs.extend(std::iter::repeat(v).take(c));
+        stubs.extend(std::iter::repeat_n(v, c));
     }
     stubs
 }

@@ -44,11 +44,17 @@ pub struct Vl2Params {
 impl Vl2Params {
     /// Validate and return `(n_tors, n_agg, n_core)`.
     fn shape(&self) -> Result<(usize, usize, usize), GraphError> {
-        if self.d_a < 2 || self.d_a % 2 != 0 {
-            return Err(GraphError::Unrealizable(format!("D_A must be even ≥ 2, got {}", self.d_a)));
+        if self.d_a < 2 || !self.d_a.is_multiple_of(2) {
+            return Err(GraphError::Unrealizable(format!(
+                "D_A must be even ≥ 2, got {}",
+                self.d_a
+            )));
         }
         if self.d_i < 2 {
-            return Err(GraphError::Unrealizable(format!("D_I must be ≥ 2, got {}", self.d_i)));
+            return Err(GraphError::Unrealizable(format!(
+                "D_I must be ≥ 2, got {}",
+                self.d_i
+            )));
         }
         let full = self.d_a * self.d_i / 4;
         let tors = self.tors.unwrap_or(full);
@@ -146,8 +152,12 @@ pub fn rewired_vl2<R: Rng + ?Sized>(
         // is random
         let mut slots: Vec<usize> = Vec::with_capacity(uplinks);
         for (s, &q) in quota.iter().enumerate() {
-            let node = if s < n_agg { agg_id(s) } else { core_id(s - n_agg) };
-            slots.extend(std::iter::repeat(node).take(q));
+            let node = if s < n_agg {
+                agg_id(s)
+            } else {
+                core_id(s - n_agg)
+            };
+            slots.extend(std::iter::repeat_n(node, q));
         }
         let attempt = (|| -> Result<usize, GraphError> {
             for t in 0..n_tors {
@@ -173,8 +183,12 @@ pub fn rewired_vl2<R: Rng + ?Sized>(
             // wire the remaining switch ports uniformly at random
             let mut pool: Vec<usize> = Vec::with_capacity(switch_ports - uplinks);
             for (s, &q) in quota.iter().enumerate() {
-                let node = if s < n_agg { agg_id(s) } else { core_id(s - n_agg) };
-                pool.extend(std::iter::repeat(node).take(ports_of(s) - q));
+                let node = if s < n_agg {
+                    agg_id(s)
+                } else {
+                    core_id(s - n_agg)
+                };
+                pool.extend(std::iter::repeat_n(node, ports_of(s) - q));
             }
             pair_stubs(&mut g, pool, UPLINK_SPEED, rng)
         })();
@@ -197,20 +211,25 @@ fn finish(g: Graph, n_tors: usize, n_agg: usize, n_core: usize, params: Vl2Param
         *s = SERVERS_PER_TOR;
     }
     let mut class_of = vec![0usize; n];
-    for v in n_tors..n_tors + n_agg {
-        class_of[v] = 1;
-    }
-    for v in n_tors + n_agg..n {
-        class_of[v] = 2;
-    }
+    class_of[n_tors..n_tors + n_agg].fill(1);
+    class_of[n_tors + n_agg..].fill(2);
     Topology {
         graph: g,
         servers_at,
         class_of,
         classes: vec![
-            SwitchClass { name: "tor".into(), ports: SERVERS_PER_TOR + TOR_UPLINKS },
-            SwitchClass { name: "agg".into(), ports: params.d_a },
-            SwitchClass { name: "core".into(), ports: params.d_i },
+            SwitchClass {
+                name: "tor".into(),
+                ports: SERVERS_PER_TOR + TOR_UPLINKS,
+            },
+            SwitchClass {
+                name: "agg".into(),
+                ports: params.d_a,
+            },
+            SwitchClass {
+                name: "core".into(),
+                ports: params.d_i,
+            },
         ],
         unused_ports: 0,
     }
@@ -231,7 +250,11 @@ mod tests {
 
     #[test]
     fn vl2_structure() {
-        let p = Vl2Params { d_a: 8, d_i: 8, tors: None };
+        let p = Vl2Params {
+            d_a: 8,
+            d_i: 8,
+            tors: None,
+        };
         let t = vl2(p).unwrap();
         // 16 ToRs, 8 agg, 4 core
         assert_eq!(t.switch_count(), 28);
@@ -258,26 +281,53 @@ mod tests {
 
     #[test]
     fn vl2_undersubscribed_tor_count() {
-        let p = Vl2Params { d_a: 8, d_i: 8, tors: Some(12) };
+        let p = Vl2Params {
+            d_a: 8,
+            d_i: 8,
+            tors: Some(12),
+        };
         let t = vl2(p).unwrap();
         assert_eq!(t.server_count(), 240);
         // the agg layer's ToR-facing ports cap the ToR count at
         // D_A·D_I/4 — beyond that the bipartite build must error
-        let p_bad = Vl2Params { d_a: 8, d_i: 8, tors: Some(17) };
+        let p_bad = Vl2Params {
+            d_a: 8,
+            d_i: 8,
+            tors: Some(17),
+        };
         assert!(vl2(p_bad).is_err());
     }
 
     #[test]
     fn vl2_rejects_bad_params() {
-        assert!(vl2(Vl2Params { d_a: 7, d_i: 8, tors: None }).is_err());
-        assert!(vl2(Vl2Params { d_a: 8, d_i: 1, tors: None }).is_err());
-        assert!(vl2(Vl2Params { d_a: 8, d_i: 8, tors: Some(0) }).is_err());
+        assert!(vl2(Vl2Params {
+            d_a: 7,
+            d_i: 8,
+            tors: None
+        })
+        .is_err());
+        assert!(vl2(Vl2Params {
+            d_a: 8,
+            d_i: 1,
+            tors: None
+        })
+        .is_err());
+        assert!(vl2(Vl2Params {
+            d_a: 8,
+            d_i: 8,
+            tors: Some(0)
+        })
+        .is_err());
     }
 
     #[test]
     fn rewired_same_equipment() {
         let mut rng = StdRng::seed_from_u64(30);
-        let p = Vl2Params { d_a: 12, d_i: 12, tors: None };
+        let p = Vl2Params {
+            d_a: 12,
+            d_i: 12,
+            tors: None,
+        };
         let orig = vl2(p).unwrap();
         let rew = rewired_vl2(p, &mut rng).unwrap();
         assert_eq!(rew.switch_count(), orig.switch_count());
@@ -309,9 +359,25 @@ mod tests {
     fn rewired_supports_more_tors_than_bipartite_limit() {
         // the rewired build can host ToR counts the rigid build cannot
         let mut rng = StdRng::seed_from_u64(31);
-        let p = Vl2Params { d_a: 8, d_i: 8, tors: Some(24) };
-        assert!(vl2(Vl2Params { d_a: 8, d_i: 8, tors: Some(33) }).is_err());
-        let rew = rewired_vl2(Vl2Params { tors: Some(33), ..p }, &mut rng).unwrap();
+        let p = Vl2Params {
+            d_a: 8,
+            d_i: 8,
+            tors: Some(24),
+        };
+        assert!(vl2(Vl2Params {
+            d_a: 8,
+            d_i: 8,
+            tors: Some(33)
+        })
+        .is_err());
+        let rew = rewired_vl2(
+            Vl2Params {
+                tors: Some(33),
+                ..p
+            },
+            &mut rng,
+        )
+        .unwrap();
         assert_eq!(rew.server_count(), 33 * 20);
     }
 }

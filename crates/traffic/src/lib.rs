@@ -101,7 +101,10 @@ impl TrafficMatrix {
         percent_chunky: f64,
         rng: &mut R,
     ) -> Self {
-        assert!((0.0..=100.0).contains(&percent_chunky), "percent must be in [0, 100]");
+        assert!(
+            (0.0..=100.0).contains(&percent_chunky),
+            "percent must be in [0, 100]"
+        );
         let n_servers: usize = groups.iter().map(|g| g.len()).sum();
         let n_tors = groups.len();
         let mut chunky_count = ((n_tors as f64) * percent_chunky / 100.0).round() as usize;
@@ -115,10 +118,9 @@ impl TrafficMatrix {
         // shuffled ToRs both ways (a permutation of the chunky set).
         for chunk in chunky_tors.chunks_exact(2) {
             let (a, b) = (chunk[0], chunk[1]);
-            let k = groups[a].len().min(groups[b].len());
-            for i in 0..k {
-                pairs.push((groups[a][i], groups[b][i]));
-                pairs.push((groups[b][i], groups[a][i]));
+            for (&x, &y) in groups[a].iter().zip(&groups[b]) {
+                pairs.push((x, y));
+                pairs.push((y, x));
             }
         }
         // server-level permutation among the rest
@@ -140,8 +142,13 @@ impl TrafficMatrix {
     /// Many-to-few hotspot: every server outside the hot set sends to a
     /// uniformly random hot server.
     pub fn hotspot<R: Rng + ?Sized>(n_servers: usize, hot: usize, rng: &mut R) -> Self {
-        assert!(hot >= 1 && hot < n_servers, "hot set must be non-empty and proper");
-        let pairs = (hot..n_servers).map(|s| (s, rng.random_range(0..hot))).collect();
+        assert!(
+            hot >= 1 && hot < n_servers,
+            "hot set must be non-empty and proper"
+        );
+        let pairs = (hot..n_servers)
+            .map(|s| (s, rng.random_range(0..hot)))
+            .collect();
         TrafficMatrix { n_servers, pairs }
     }
 
@@ -209,12 +216,15 @@ mod tests {
     fn chunky_full() {
         let mut rng = StdRng::seed_from_u64(5);
         // 4 ToRs with 3 servers each; 100% chunky
-        let groups: Vec<Vec<usize>> =
-            (0..4).map(|t| (t * 3..t * 3 + 3).collect()).collect();
+        let groups: Vec<Vec<usize>> = (0..4).map(|t| (t * 3..t * 3 + 3).collect()).collect();
         let tm = TrafficMatrix::chunky(&groups, 100.0, &mut rng);
         assert_eq!(tm.server_count(), 12);
         // every server sends exactly once and receives exactly once
-        assert!(tm.out_degree().iter().all(|&d| d == 1), "{:?}", tm.out_degree());
+        assert!(
+            tm.out_degree().iter().all(|&d| d == 1),
+            "{:?}",
+            tm.out_degree()
+        );
         assert!(tm.in_degree().iter().all(|&d| d == 1));
         // chunky pairs connect whole ToRs: partner of every server in a
         // ToR lives on the same partner ToR
@@ -226,7 +236,10 @@ mod tests {
                 .filter(|&&(s, _)| tor_of(s) == t)
                 .map(|&(_, d)| tor_of(d))
                 .collect();
-            assert!(partners.windows(2).all(|w| w[0] == w[1]), "ToR {t} splits traffic");
+            assert!(
+                partners.windows(2).all(|w| w[0] == w[1]),
+                "ToR {t} splits traffic"
+            );
             assert_ne!(partners[0], t);
         }
     }
@@ -234,8 +247,7 @@ mod tests {
     #[test]
     fn chunky_partial() {
         let mut rng = StdRng::seed_from_u64(6);
-        let groups: Vec<Vec<usize>> =
-            (0..10).map(|t| (t * 4..t * 4 + 4).collect()).collect();
+        let groups: Vec<Vec<usize>> = (0..10).map(|t| (t * 4..t * 4 + 4).collect()).collect();
         let tm = TrafficMatrix::chunky(&groups, 60.0, &mut rng);
         assert_eq!(tm.server_count(), 40);
         // everyone still sends and receives exactly once

@@ -70,8 +70,16 @@ fn main() {
 
     println!();
     println!("== Question 2: how densely to wire new switches together? ==");
-    let new = ClusterSpec { count: new_count, ports: new_ports, servers_per_switch: 16 };
-    let old = ClusterSpec { count: old_count, ports: old_ports, servers_per_switch: 8 };
+    let new = ClusterSpec {
+        count: new_count,
+        ports: new_ports,
+        servers_per_switch: 16,
+    };
+    let old = ClusterSpec {
+        count: old_count,
+        ports: old_ports,
+        servers_per_switch: 8,
+    };
     for ratio in [0.2, 0.5, 1.0, 1.5] {
         let t = mean_throughput(|rng| {
             two_cluster(new, old, CrossSpec::Ratio(ratio), rng).expect("buildable")

@@ -29,10 +29,17 @@ fn main() {
         let scenario = build_packet_scenario(
             &topo,
             &tm,
-            &PacketParams { subflows, ..PacketParams::default() },
+            &PacketParams {
+                subflows,
+                ..PacketParams::default()
+            },
         )
         .expect("scenario");
-        let cfg = SimConfig { duration: 1500.0, warmup: 400.0, ..SimConfig::default() };
+        let cfg = SimConfig {
+            duration: 1500.0,
+            warmup: 400.0,
+            ..SimConfig::default()
+        };
         let res = simulate(&scenario.net, &scenario.flows, &cfg).expect("simulate");
         println!(
             "MPTCP with {subflows} subflow(s): mean goodput {:.3}, min {:.3} \

@@ -29,8 +29,8 @@ fn main() {
 
     // Throughput = maximum concurrent flow with max-min fairness,
     // solved by the Garg–Könemann/Fleischer FPTAS with certified bounds.
-    let result = solve_throughput(&topo, &tm, &FlowOptions::default())
-        .expect("connected topology solves");
+    let result =
+        solve_throughput(&topo, &tm, &FlowOptions::default()).expect("connected topology solves");
     println!(
         "throughput: {:.3} of line rate per flow (network λ = {:.3}, certified ≤ {:.3})",
         result.throughput, result.network_lambda, result.network_upper_bound

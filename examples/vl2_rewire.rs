@@ -14,8 +14,10 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
-    let args: Vec<usize> =
-        std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+    let args: Vec<usize> = std::env::args()
+        .skip(1)
+        .filter_map(|a| a.parse().ok())
+        .collect();
     let (d_a, d_i) = match args.as_slice() {
         [] => (10, 12),
         [a, i] => (*a, *i),
@@ -25,12 +27,27 @@ fn main() {
         }
     };
     let full = d_a * d_i / 4;
-    println!("VL2(D_A={d_a}, D_I={d_i}): {d_i} agg switches, {} core switches", d_a / 2);
-    println!("design capacity: {full} ToRs = {} servers", full * SERVERS_PER_TOR);
+    println!(
+        "VL2(D_A={d_a}, D_I={d_i}): {d_i} agg switches, {} core switches",
+        d_a / 2
+    );
+    println!(
+        "design capacity: {full} ToRs = {} servers",
+        full * SERVERS_PER_TOR
+    );
 
-    let search = SupportSearch { runs: 2, ..SupportSearch::default() };
+    let search = SupportSearch {
+        runs: 2,
+        ..SupportSearch::default()
+    };
 
-    let stock_build = |tors: usize, _seed: u64| vl2(Vl2Params { d_a, d_i, tors: Some(tors) });
+    let stock_build = |tors: usize, _seed: u64| {
+        vl2(Vl2Params {
+            d_a,
+            d_i,
+            tors: Some(tors),
+        })
+    };
     let stock = search
         .max_tors(full / 2, full, &stock_build, &permutation_tm)
         .expect("search")
@@ -39,7 +56,14 @@ fn main() {
 
     let rewired_build = |tors: usize, seed: u64| {
         let mut rng = StdRng::seed_from_u64(seed);
-        rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
+        rewired_vl2(
+            Vl2Params {
+                d_a,
+                d_i,
+                tors: Some(tors),
+            },
+            &mut rng,
+        )
     };
     let rewired = search
         .max_tors(full / 2, full * 2, &rewired_build, &permutation_tm)

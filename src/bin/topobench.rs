@@ -8,6 +8,7 @@
 //! topobench solve rrg --switches 40 --ports 15 --degree 10
 //!                 [--traffic permutation|all-to-all|chunky:<pct>]
 //!                 [--runs N] [--seed S] [--precise]
+//!                 [--backend fptas|exact|ksp:<k>]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
@@ -35,6 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  topobench build <family> [options] [--dot]\n  \
          topobench solve <family> [options] [--traffic T] [--runs N] [--precise]\n  \
+         \x20               [--backend fptas|exact|ksp:<k>]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
          families: rrg (--switches --ports --degree), fat-tree (--k),\n  \
@@ -43,6 +45,19 @@ fn usage() -> ! {
          traffic: permutation (default) | all-to-all | chunky:<percent>"
     );
     exit(2);
+}
+
+/// Parse a `--backend` argument (`fptas`, `exact`, or `ksp:<k>`).
+fn parse_backend(s: &str) -> Option<dctopo::flow::Backend> {
+    use dctopo::flow::Backend;
+    match s {
+        "fptas" => Some(Backend::Fptas),
+        "exact" => Some(Backend::ExactLp),
+        _ => {
+            let k: usize = s.strip_prefix("ksp:")?.parse().ok()?;
+            (k > 0).then_some(Backend::KspRestricted { k })
+        }
+    }
 }
 
 /// Minimal flag parser: `--key value` pairs plus boolean flags.
@@ -76,7 +91,11 @@ impl Args {
             }
             i += 1;
         }
-        Args { values, flags, positional }
+        Args {
+            values,
+            flags,
+            positional,
+        }
     }
 
     fn get<T: std::str::FromStr>(&self, key: &str) -> Option<T> {
@@ -150,8 +169,11 @@ fn build_traffic(spec: &str, topo: &Topology, rng: &mut StdRng) -> TrafficMatrix
             eprintln!("bad chunky percentage '{pct}'");
             usage();
         });
-        let groups: Vec<Vec<usize>> =
-            topo.server_groups().into_iter().filter(|g| !g.is_empty()).collect();
+        let groups: Vec<Vec<usize>> = topo
+            .server_groups()
+            .into_iter()
+            .filter(|g| !g.is_empty())
+            .collect();
         TrafficMatrix::chunky(&groups, pct, rng)
     } else {
         eprintln!("unknown traffic '{spec}'");
@@ -160,7 +182,11 @@ fn build_traffic(spec: &str, topo: &Topology, rng: &mut StdRng) -> TrafficMatrix
 }
 
 fn cmd_build(args: &Args) {
-    let family = args.positional.first().map(String::as_str).unwrap_or_else(|| usage());
+    let family = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let mut rng = StdRng::seed_from_u64(args.get("seed").unwrap_or(1));
     let topo = build_topology(family, args, &mut rng);
     eprintln!(
@@ -178,18 +204,38 @@ fn cmd_build(args: &Args) {
 }
 
 fn cmd_solve(args: &Args) {
-    let family = args.positional.first().map(String::as_str).unwrap_or_else(|| usage());
+    let family = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
     let runs: usize = args.get("runs").unwrap_or(3);
     let base_seed: u64 = args.get("seed").unwrap_or(1);
-    let traffic = args.values.get("traffic").cloned().unwrap_or_else(|| "permutation".into());
-    let opts =
-        if args.flag("precise") { FlowOptions::precise() } else { FlowOptions::default() };
+    let traffic = args
+        .values
+        .get("traffic")
+        .cloned()
+        .unwrap_or_else(|| "permutation".into());
+    let mut opts = if args.flag("precise") {
+        FlowOptions::precise()
+    } else {
+        FlowOptions::default()
+    };
+    if let Some(spec) = args.values.get("backend") {
+        opts.backend = parse_backend(spec).unwrap_or_else(|| {
+            eprintln!("unknown backend '{spec}' (want fptas, exact, or ksp:<k>)");
+            usage();
+        });
+    }
     let mut throughputs = Vec::new();
     for run in 0..runs {
         let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(run as u64));
         let topo = build_topology(family, args, &mut rng);
+        // one CSR flattening per topology, shared by whichever backend
+        // `opts.backend` selects
+        let engine = dctopo::core::ThroughputEngine::new(&topo);
         let tm = build_traffic(&traffic, &topo, &mut rng);
-        match solve_throughput(&topo, &tm, &opts) {
+        match engine.solve(&tm, &opts) {
             Ok(res) => {
                 if run == 0 {
                     println!(
@@ -249,11 +295,27 @@ fn cmd_vl2_study(args: &Args) {
     let runs: usize = args.get("runs").unwrap_or(2);
     let full = d_a * d_i / 4;
     println!("VL2(D_A={d_a}, D_I={d_i}): design capacity {full} ToRs");
-    let search = SupportSearch { runs, ..SupportSearch::default() };
-    let stock_build = |tors: usize, _s: u64| vl2(Vl2Params { d_a, d_i, tors: Some(tors) });
+    let search = SupportSearch {
+        runs,
+        ..SupportSearch::default()
+    };
+    let stock_build = |tors: usize, _s: u64| {
+        vl2(Vl2Params {
+            d_a,
+            d_i,
+            tors: Some(tors),
+        })
+    };
     let rewired_build = |tors: usize, s: u64| {
         let mut rng = StdRng::seed_from_u64(s);
-        rewired_vl2(Vl2Params { d_a, d_i, tors: Some(tors) }, &mut rng)
+        rewired_vl2(
+            Vl2Params {
+                d_a,
+                d_i,
+                tors: Some(tors),
+            },
+            &mut rng,
+        )
     };
     let stock = search
         .max_tors(full.div_ceil(2), full, &stock_build, &permutation_tm)
@@ -266,7 +328,10 @@ fn cmd_vl2_study(args: &Args) {
     println!("stock VL2:   {stock} ToRs at full throughput");
     println!("rewired:     {rewired} ToRs at full throughput (same equipment)");
     if stock > 0 {
-        println!("improvement: {:+.1}%", 100.0 * (rewired as f64 / stock as f64 - 1.0));
+        println!(
+            "improvement: {:+.1}%",
+            100.0 * (rewired as f64 / stock as f64 - 1.0)
+        );
     }
 }
 

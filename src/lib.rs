@@ -40,6 +40,39 @@
 //! let bound = throughput_upper_bound(20, 4, tm.flow_count());
 //! assert!(result.throughput <= bound * 1.01);
 //! ```
+//!
+//! ## Solver backends and the throughput engine
+//!
+//! All solvers implement [`flow::SolverBackend`] over one shared
+//! [`graph::CsrNet`]; [`FlowOptions::backend`](flow::FlowOptions)
+//! selects which one a solve uses, and [`ThroughputEngine`] flattens a
+//! topology once to amortise preprocessing over many traffic matrices:
+//!
+//! ```
+//! use dctopo::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut rng = StdRng::seed_from_u64(7);
+//! // K5 with one server per switch keeps the exact LP tiny
+//! let topo = dctopo::topology::classic::complete(5, 1).unwrap();
+//! // one CSR flattening, many solves
+//! let engine = ThroughputEngine::new(&topo);
+//! let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+//!
+//! // the production FPTAS (default) vs the exact LP ground truth
+//! let fptas = engine.solve(&tm, &FlowOptions::default()).unwrap();
+//! let exact = engine
+//!     .solve(&tm, &FlowOptions::default().with_backend(Backend::ExactLp))
+//!     .unwrap();
+//! assert!(fptas.network_lambda <= exact.network_lambda * 1.000001);
+//!
+//! // k-shortest-path-restricted routing never beats unrestricted
+//! let ksp = engine
+//!     .solve(&tm, &FlowOptions::default().with_backend(Backend::KspRestricted { k: 2 }))
+//!     .unwrap();
+//! assert!(ksp.network_lambda <= exact.network_lambda * 1.000001);
+//! ```
 
 pub use dctopo_bounds as bounds;
 pub use dctopo_core as core;
@@ -55,9 +88,9 @@ pub use dctopo_traffic as traffic;
 pub mod prelude {
     pub use dctopo_bounds::{aspl_lower_bound, throughput_upper_bound};
     pub use dctopo_core::experiment::{Runner, Stats};
-    pub use dctopo_core::{solve_throughput, ThroughputResult};
-    pub use dctopo_flow::{Commodity, FlowOptions, SolvedFlow};
-    pub use dctopo_graph::{Graph, GraphError, NodeId};
+    pub use dctopo_core::{solve_throughput, ThroughputEngine, ThroughputResult};
+    pub use dctopo_flow::{Backend, Commodity, FlowOptions, SolvedFlow, SolverBackend};
+    pub use dctopo_graph::{CsrNet, DijkstraWorkspace, Graph, GraphError, NodeId};
     pub use dctopo_metrics::{decompose, Decomposition};
     pub use dctopo_topology::{ClusterSpec, ServerPlacement, SwitchClass, Topology};
     pub use dctopo_traffic::TrafficMatrix;

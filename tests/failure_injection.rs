@@ -15,8 +15,16 @@ use rand::SeedableRng;
 #[test]
 fn disconnected_topology_fails_cleanly() {
     // two clusters, zero cross links → two components
-    let large = ClusterSpec { count: 6, ports: 8, servers_per_switch: 2 };
-    let small = ClusterSpec { count: 6, ports: 8, servers_per_switch: 2 };
+    let large = ClusterSpec {
+        count: 6,
+        ports: 8,
+        servers_per_switch: 2,
+    };
+    let small = ClusterSpec {
+        count: 6,
+        ports: 8,
+        servers_per_switch: 2,
+    };
     let mut rng = StdRng::seed_from_u64(1);
     let topo = two_cluster(large, small, CrossSpec::Exact(0), &mut rng).unwrap();
     let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
@@ -31,8 +39,14 @@ fn disconnected_topology_fails_cleanly() {
 #[test]
 fn zero_capacity_edges_rejected_at_construction() {
     let mut g = Graph::new(2);
-    assert!(matches!(g.add_edge(0, 1, 0.0), Err(GraphError::BadCapacity { .. })));
-    assert!(matches!(g.add_edge(0, 1, -3.0), Err(GraphError::BadCapacity { .. })));
+    assert!(matches!(
+        g.add_edge(0, 1, 0.0),
+        Err(GraphError::BadCapacity { .. })
+    ));
+    assert!(matches!(
+        g.add_edge(0, 1, -3.0),
+        Err(GraphError::BadCapacity { .. })
+    ));
     assert_eq!(g.edge_count(), 0, "failed adds must not mutate the graph");
 }
 
@@ -44,15 +58,34 @@ fn impossible_degree_sequences_rejected() {
     // degree exceeding node count
     assert!(Topology::random_regular(4, 10, 7, &mut rng).is_err());
     // more cross links than ports
-    let spec = ClusterSpec { count: 2, ports: 4, servers_per_switch: 1 };
+    let spec = ClusterSpec {
+        count: 2,
+        ports: 4,
+        servers_per_switch: 1,
+    };
     assert!(two_cluster(spec, spec, CrossSpec::Exact(1000), &mut rng).is_err());
 }
 
 #[test]
 fn vl2_parameter_validation() {
-    assert!(vl2(Vl2Params { d_a: 9, d_i: 8, tors: None }).is_err()); // odd D_A
-    assert!(vl2(Vl2Params { d_a: 0, d_i: 8, tors: None }).is_err());
-    assert!(vl2(Vl2Params { d_a: 8, d_i: 8, tors: Some(10_000) }).is_err());
+    assert!(vl2(Vl2Params {
+        d_a: 9,
+        d_i: 8,
+        tors: None
+    })
+    .is_err()); // odd D_A
+    assert!(vl2(Vl2Params {
+        d_a: 0,
+        d_i: 8,
+        tors: None
+    })
+    .is_err());
+    assert!(vl2(Vl2Params {
+        d_a: 8,
+        d_i: 8,
+        tors: Some(10_000)
+    })
+    .is_err());
 }
 
 #[test]
@@ -66,14 +99,25 @@ fn solver_rejects_degenerate_commodities() {
         Err(FlowError::NoCommodities)
     ));
     assert!(matches!(
-        max_concurrent_flow(&g, &[Commodity { src: 0, dst: 2, demand: f64::NAN }], &opts),
+        max_concurrent_flow(
+            &g,
+            &[Commodity {
+                src: 0,
+                dst: 2,
+                demand: f64::NAN
+            }],
+            &opts
+        ),
         Err(FlowError::BadDemand { .. })
     ));
     assert!(matches!(
         max_concurrent_flow(&g, &[Commodity::unit(2, 2)], &opts),
         Err(FlowError::SelfCommodity { .. })
     ));
-    let bad_opts = FlowOptions { target_gap: 1.5, ..opts };
+    let bad_opts = FlowOptions {
+        target_gap: 1.5,
+        ..opts
+    };
     assert!(matches!(
         max_concurrent_flow(&g, &[Commodity::unit(0, 2)], &bad_opts),
         Err(FlowError::BadOptions(_))
@@ -90,16 +134,38 @@ fn solver_on_edgeless_graph() {
 #[test]
 fn packet_sim_validates_everything() {
     let mut net = Network::new(3);
-    net.add_duplex_link(0, 1, LinkSpec { rate: 1.0, delay: 0.1, queue: 4 });
+    net.add_duplex_link(
+        0,
+        1,
+        LinkSpec {
+            rate: 1.0,
+            delay: 0.1,
+            queue: 4,
+        },
+    );
     // path through a non-existent link
-    let flows = vec![FlowSpec { src: 0, dst: 2, paths: vec![vec![0, 2]] }];
+    let flows = vec![FlowSpec {
+        src: 0,
+        dst: 2,
+        paths: vec![vec![0, 2]],
+    }];
     assert!(matches!(
         simulate(&net, &flows, &SimConfig::default()),
-        Err(SimError::BadPath { flow: 0, subflow: 0 })
+        Err(SimError::BadPath {
+            flow: 0,
+            subflow: 0
+        })
     ));
     // warmup >= duration
-    let cfg = SimConfig { duration: 5.0, warmup: 9.0, ..SimConfig::default() };
-    assert!(matches!(simulate(&net, &[], &cfg), Err(SimError::BadConfig(_))));
+    let cfg = SimConfig {
+        duration: 5.0,
+        warmup: 9.0,
+        ..SimConfig::default()
+    };
+    assert!(matches!(
+        simulate(&net, &[], &cfg),
+        Err(SimError::BadConfig(_))
+    ));
 }
 
 #[test]
@@ -107,9 +173,8 @@ fn packet_scenario_needs_matching_sizes() {
     let mut rng = StdRng::seed_from_u64(3);
     let topo = Topology::random_regular(6, 5, 4, &mut rng).unwrap(); // 6 servers
     let tm = TrafficMatrix::random_permutation(5, &mut rng); // wrong count
-    let result = std::panic::catch_unwind(|| {
-        build_packet_scenario(&topo, &tm, &PacketParams::default())
-    });
+    let result =
+        std::panic::catch_unwind(|| build_packet_scenario(&topo, &tm, &PacketParams::default()));
     assert!(result.is_err(), "size mismatch must be rejected");
 }
 

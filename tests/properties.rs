@@ -16,7 +16,13 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn solver_opts() -> FlowOptions {
-    FlowOptions { epsilon: 0.1, target_gap: 0.05, max_phases: 2000, stall_phases: 100 }
+    FlowOptions {
+        epsilon: 0.1,
+        target_gap: 0.05,
+        max_phases: 2000,
+        stall_phases: 100,
+        ..FlowOptions::default()
+    }
 }
 
 proptest! {
@@ -149,7 +155,13 @@ proptest! {
         let cs: Vec<Commodity> =
             tm.pairs().iter().map(|&(s, t)| Commodity::unit(s, t)).collect();
         let exact = exact_max_concurrent_flow(&g, &cs).unwrap();
-        let opts = FlowOptions { epsilon: 0.05, target_gap: 0.02, max_phases: 20000, stall_phases: 2000 };
+        let opts = FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 20000,
+            stall_phases: 2000,
+            ..FlowOptions::default()
+        };
         let approx = max_concurrent_flow(&g, &cs, &opts).unwrap();
         prop_assert!(approx.throughput <= exact * (1.0 + 1e-6),
             "primal {} above exact {}", approx.throughput, exact);
@@ -170,6 +182,86 @@ proptest! {
         if r + 1 < n {
             let b_bigger_r = aspl_lower_bound(n, r + 1).unwrap();
             prop_assert!(b_bigger_r <= b + 1e-12);
+        }
+    }
+
+    /// Backend agreement on one shared CsrNet: `Fptas` lands within its
+    /// `target_gap` of `ExactLp`'s optimum on random small RRGs, never
+    /// above it, and the FPTAS dual brackets it from the other side.
+    #[test]
+    fn fptas_and_exactlp_backends_agree(seed in any::<u64>()) {
+        use dctopo::flow::Backend;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let topo = Topology::random_regular(8, 5, 3, &mut rng).unwrap();
+        prop_assume!(is_connected(&topo.graph));
+        let net = dctopo::graph::CsrNet::from_graph(&topo.graph);
+        let tm = Tm::random_permutation(topo.server_count(), &mut rng);
+        let cs: Vec<Commodity> = dctopo::core::solve::aggregate_commodities(&topo, &tm);
+        prop_assume!(!cs.is_empty());
+        let opts = FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 30000,
+            stall_phases: 3000,
+            ..FlowOptions::default()
+        };
+        let exact = dctopo::flow::solve(&net, &cs, &opts.with_backend(Backend::ExactLp)).unwrap();
+        let fptas = dctopo::flow::solve(&net, &cs, &opts).unwrap();
+        prop_assert!(fptas.throughput <= exact.throughput * (1.0 + 1e-6),
+            "fptas primal {} above exact {}", fptas.throughput, exact.throughput);
+        prop_assert!(fptas.upper_bound >= exact.throughput * (1.0 - 1e-6),
+            "fptas dual {} below exact {}", fptas.upper_bound, exact.throughput);
+        prop_assert!(fptas.throughput >= exact.throughput * (1.0 - opts.target_gap - 0.01),
+            "fptas primal {} outside target_gap of exact {}",
+            fptas.throughput, exact.throughput);
+    }
+}
+
+/// CsrNet Dijkstra (indexed-heap, early-terminating engine) reproduces
+/// `paths::dijkstra` bitwise on 100 seeded random graphs with random
+/// positive arc lengths.
+#[test]
+fn csr_dijkstra_matches_legacy_on_100_seeded_graphs() {
+    use dctopo::graph::csr::DijkstraWorkspace;
+    use dctopo::graph::paths::dijkstra;
+    use dctopo::graph::CsrNet;
+    use rand::RngExt;
+
+    let mut ws = DijkstraWorkspace::new(0);
+    for seed in 0..100u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(6..40);
+        // ring (connected) + random chords with random capacities
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n, rng.random_range(0.5..4.0))
+                .unwrap();
+        }
+        for _ in 0..rng.random_range(0..2 * n) {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                g.add_edge(u, v, rng.random_range(0.5..4.0)).unwrap();
+            }
+        }
+        let lens: Vec<f64> = (0..g.arc_count())
+            .map(|_| rng.random_range(0.01..5.0))
+            .collect();
+        let net = CsrNet::from_graph(&g);
+        let src = rng.random_range(0..n);
+        let legacy = dijkstra(&g, src, &lens);
+        net.dijkstra(src, &lens, &mut ws);
+        for v in 0..n {
+            assert_eq!(
+                legacy.dist[v].to_bits(),
+                ws.distance(v).to_bits(),
+                "seed {seed}: dist mismatch at node {v}"
+            );
+            assert_eq!(
+                legacy.parent_arc[v],
+                ws.parent(v),
+                "seed {seed}: parent mismatch at node {v}"
+            );
         }
     }
 }

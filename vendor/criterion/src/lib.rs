@@ -1,0 +1,345 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Provides the macro + builder surface the workspace's benches use
+//! (`criterion_group!` / `criterion_main!`, benchmark groups,
+//! `bench_with_input`, `Bencher::iter`) with a simple wall-clock
+//! sampler: per sample, the closure runs enough iterations to cover a
+//! minimum window, and the per-iteration mean/min/max over all samples
+//! is reported.
+//!
+//! Results accumulate on the [`Criterion`] struct; `criterion_main!`
+//! prints a summary table and, when `CRITERION_JSON` is set in the
+//! environment, writes every measurement to that path as a JSON array —
+//! which is how `BENCH_solver.json` gets produced without a network
+//! dependency.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-export of `std::hint::black_box`).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function_name/parameter` form.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Parameter-only form.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        BenchmarkId { id }
+    }
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Group name ("" for top-level `bench_function`).
+    pub group: String,
+    /// Benchmark id within the group.
+    pub id: String,
+    /// Mean per-iteration time in nanoseconds.
+    pub mean_ns: f64,
+    /// Fastest sample's per-iteration time in nanoseconds.
+    pub min_ns: f64,
+    /// Slowest sample's per-iteration time in nanoseconds.
+    pub max_ns: f64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    results: Vec<BenchResult>,
+    sample_size: usize,
+    min_sample_window: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            results: Vec::new(),
+            sample_size: 20,
+            min_sample_window: Duration::from_millis(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Accepted for compatibility; CLI filtering is not implemented.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Begin a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.sample_size;
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            sample_size,
+        }
+    }
+
+    /// Measure a single top-level benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let sample_size = self.sample_size;
+        self.record(String::new(), id.into().id, sample_size, f);
+        self
+    }
+
+    /// All measurements taken so far.
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+
+    fn record(
+        &mut self,
+        group: String,
+        id: String,
+        sample_size: usize,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        let mut bencher = Bencher {
+            sample_size,
+            min_sample_window: self.min_sample_window,
+            per_iter_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let xs = &bencher.per_iter_ns;
+        assert!(
+            !xs.is_empty(),
+            "benchmark {group}/{id} never called Bencher::iter"
+        );
+        let result = BenchResult {
+            group,
+            id,
+            mean_ns: xs.iter().sum::<f64>() / xs.len() as f64,
+            min_ns: xs.iter().copied().fold(f64::INFINITY, f64::min),
+            max_ns: xs.iter().copied().fold(f64::NEG_INFINITY, f64::max),
+            samples: xs.len(),
+        };
+        eprintln!(
+            "bench {:<40} mean {:>12}  min {:>12}  ({} samples)",
+            display_name(&result),
+            fmt_ns(result.mean_ns),
+            fmt_ns(result.min_ns),
+            result.samples
+        );
+        self.results.push(result);
+    }
+}
+
+fn display_name(r: &BenchResult) -> String {
+    if r.group.is_empty() {
+        r.id.clone()
+    } else {
+        format!("{}/{}", r.group, r.id)
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of benchmarks sharing a name and sample size.
+pub struct BenchmarkGroup<'c> {
+    c: &'c mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample_size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Measure one benchmark in the group.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let (name, n) = (self.name.clone(), self.sample_size);
+        self.c.record(name, id.into().id, n, f);
+        self
+    }
+
+    /// Measure one benchmark parameterised by `input`.
+    pub fn bench_with_input<I: ?Sized>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) -> &mut Self {
+        let (name, n) = (self.name.clone(), self.sample_size);
+        self.c.record(name, id.id, n, |b| f(b, input));
+        self
+    }
+
+    /// End the group (measurements were already recorded eagerly).
+    pub fn finish(self) {}
+}
+
+/// Timing driver handed to each benchmark closure.
+pub struct Bencher {
+    sample_size: usize,
+    min_sample_window: Duration,
+    per_iter_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Time `f`: one warm-up call, then `sample_size` samples, each
+    /// running enough iterations to fill the minimum sampling window.
+    pub fn iter<O>(&mut self, mut f: impl FnMut() -> O) {
+        black_box(f());
+        // calibrate iterations per sample from one timed call
+        let t0 = Instant::now();
+        black_box(f());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters =
+            (self.min_sample_window.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+        self.per_iter_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            self.per_iter_ns
+                .push(elapsed.as_secs_f64() * 1e9 / iters as f64);
+        }
+    }
+}
+
+/// Serialise all results as a JSON array (no external JSON dependency).
+pub fn results_to_json(results: &[BenchResult]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        let _ = write!(
+            out,
+            "  {{\"group\": \"{}\", \"id\": \"{}\", \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+             \"max_ns\": {:.1}, \"samples\": {}}}{}",
+            escape(&r.group),
+            escape(&r.id),
+            r.mean_ns,
+            r.min_ns,
+            r.max_ns,
+            r.samples,
+            if i + 1 == results.len() { "\n" } else { ",\n" }
+        );
+    }
+    out.push(']');
+    out.push('\n');
+    out
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Called by `criterion_main!` after all groups ran: honours the
+/// `CRITERION_JSON` env var for machine-readable output.
+pub fn finalize(c: &Criterion) {
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if !path.is_empty() {
+            std::fs::write(&path, results_to_json(c.results()))
+                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            eprintln!("wrote {} benchmark results to {path}", c.results().len());
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $group(&mut c); )+
+            $crate::finalize(&c);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_records_samples() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+        assert_eq!(c.results().len(), 2);
+        assert_eq!(c.results()[0].samples, 5);
+        assert_eq!(c.results()[1].id, "sq/4");
+        assert!(c.results()[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn json_shape() {
+        let rs = vec![BenchResult {
+            group: "g".into(),
+            id: "x/1".into(),
+            mean_ns: 10.0,
+            min_ns: 9.0,
+            max_ns: 11.5,
+            samples: 3,
+        }];
+        let j = results_to_json(&rs);
+        assert!(j.contains("\"group\": \"g\""));
+        assert!(j.contains("\"mean_ns\": 10.0"));
+        assert!(j.starts_with('[') && j.trim_end().ends_with(']'));
+    }
+}

@@ -1,0 +1,83 @@
+//! Offline vendored stand-in for `crossbeam`'s scoped threads, backed by
+//! `std::thread::scope` (stable since 1.63, so the crossbeam dependency
+//! is API sugar only). Only `crossbeam::thread` is provided.
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `scope(|s| ...)` shape.
+
+    use std::thread as std_thread;
+
+    /// Result of joining a scoped thread (Err carries the panic payload).
+    pub type Result<T> = std::result::Result<T, Box<dyn std::any::Any + Send + 'static>>;
+
+    /// A scope handle; spawned closures receive `&Scope` so they can
+    /// spawn siblings, exactly like crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std_thread::Scope<'scope, 'env>,
+    }
+
+    /// Join handle for a scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std_thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` holds the panic payload.
+        pub fn join(self) -> Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. `Err` is only produced by crossbeam for panics that
+    /// escape unjoined threads — `std::thread::scope` resumes such
+    /// panics instead, so this shim always returns `Ok`.
+    pub fn scope<'env, F, R>(f: F) -> Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std_thread::scope(|s| f(&Scope { inner: s })))
+    }
+
+    #[cfg(test)]
+    mod tests {
+        #[test]
+        fn scope_spawns_and_joins() {
+            let data = [1u64, 2, 3, 4];
+            let total: u64 = super::scope(|s| {
+                let handles: Vec<_> = data
+                    .chunks(2)
+                    .map(|c| s.spawn(move |_| c.iter().sum::<u64>()))
+                    .collect();
+                handles.into_iter().map(|h| h.join().unwrap()).sum()
+            })
+            .unwrap();
+            assert_eq!(total, 10);
+        }
+
+        #[test]
+        fn nested_spawn_through_scope_arg() {
+            let out = super::scope(|s| {
+                s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                    .join()
+                    .unwrap()
+            })
+            .unwrap();
+            assert_eq!(out, 42);
+        }
+    }
+}

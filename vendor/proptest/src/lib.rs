@@ -1,0 +1,292 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Supports the subset the workspace's property tests use: the
+//! `proptest!` macro with `pat in strategy` bindings, range and
+//! `any::<T>()` strategies, `prop_assume!` / `prop_assert!` /
+//! `prop_assert_eq!`, and `ProptestConfig::with_cases`. Cases are
+//! generated from a fixed seed sequence, so failures are reproducible;
+//! there is **no shrinking** — the failing case's inputs are reported
+//! verbatim instead.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SampleUniform};
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+        TestCaseError, TestCaseResult,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases to run.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Why a generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is skipped, not counted.
+    Reject(String),
+    /// A `prop_assert*!` failed; the test fails.
+    Fail(String),
+}
+
+/// Outcome of one generated case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// Value generators. Unlike real proptest there is no shrink tree; a
+/// strategy is just a seeded sampler.
+pub trait Strategy {
+    /// Generated value type.
+    type Value;
+
+    /// Sample one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for Range<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(self.start..self.end)
+    }
+}
+
+impl<T: SampleUniform + PartialOrd + Copy> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.random_range(*self.start()..=*self.end())
+    }
+}
+
+/// Strategy for "any value of `T`", from [`any`].
+#[derive(Debug, Default, Clone, Copy)]
+pub struct AnyStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+/// Full-domain strategy for `T` (`any::<u64>()` etc.).
+pub fn any<T>() -> AnyStrategy<T>
+where
+    AnyStrategy<T>: Strategy,
+{
+    AnyStrategy {
+        _marker: std::marker::PhantomData,
+    }
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for AnyStrategy<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                use rand::RngCore;
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u64, u32, u16, u8, usize, i64, i32);
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random_bool(0.5)
+    }
+}
+
+impl Strategy for AnyStrategy<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        // finite, sign-symmetric, spanning many magnitudes
+        let mag = rng.random_range(-300.0..300.0f64);
+        let sign = if rng.random_bool(0.5) { 1.0 } else { -1.0 };
+        sign * 10f64.powf(mag / 10.0)
+    }
+}
+
+/// The driver `proptest!` expands into. `body` returns `Err(Reject)` to
+/// skip a case and `Err(Fail)` to fail the test.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut body: impl FnMut(&mut StdRng, u64) -> TestCaseResult,
+) {
+    use rand::SeedableRng;
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let max_rejects = config.cases.saturating_mul(32).max(1024);
+    let mut case: u64 = 0;
+    while accepted < config.cases {
+        case += 1;
+        // fixed, name-independent seed schedule: reproducible without
+        // any global state
+        let mut rng = StdRng::seed_from_u64(0xD1F7_BA5E_0000_0000u64.wrapping_add(case));
+        match body(&mut rng, case) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                assert!(
+                    rejected < max_rejects,
+                    "{test_name}: too many rejected cases ({rejected}) — \
+                     prop_assume! conditions are unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("{test_name}: case #{case} failed: {msg}")
+            }
+        }
+    }
+}
+
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(String::from(stringify!($cond))));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Reject(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {}",
+                stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!(
+                "assertion failed: {} == {} ({:?} vs {:?})",
+                stringify!($left),
+                stringify!($right),
+                l,
+                r
+            )));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return Err($crate::TestCaseError::Fail(format!($($fmt)*)));
+        }
+    }};
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::ProptestConfig = $config;
+                $crate::run_cases(&config, stringify!($name), |__rng, __case| {
+                    $(let $pat = $crate::Strategy::generate(&($strategy), __rng);)*
+                    let __out: $crate::TestCaseResult = (|| {
+                        $body
+                        #[allow(unreachable_code)]
+                        Ok(())
+                    })();
+                    let _ = __case;
+                    __out
+                });
+            }
+        )*
+    };
+    (
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident( $($pat:pat in $strategy:expr),* $(,)? ) $body:block
+        )*
+    ) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $( $(#[$meta])* fn $name( $($pat in $strategy),* ) $body )*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn ranges_respected(x in 5usize..10, y in 0.0f64..1.0) {
+            prop_assert!((5..10).contains(&x));
+            prop_assert!((0.0..1.0).contains(&y));
+        }
+
+        #[test]
+        fn assume_skips(x in 0usize..100) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+
+        #[test]
+        fn any_u64_varies(x in any::<u64>(), y in any::<u64>()) {
+            // same-case draws come from one stream, so x != y generically
+            prop_assume!(x != y);
+            prop_assert!(x != y);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed")]
+    fn failing_case_panics() {
+        crate::run_cases(&ProptestConfig::with_cases(4), "demo", |_rng, _case| {
+            prop_assert!(false, "forced failure");
+            Ok(())
+        });
+    }
+}

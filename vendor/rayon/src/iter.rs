@@ -1,0 +1,287 @@
+//! Indexed parallel iterators.
+//!
+//! Every source exposes `(len, item(i))`; terminal operations split the
+//! index space into one contiguous chunk per worker thread and write
+//! results directly into their final, index-ordered slots.
+
+use std::ops::Range;
+
+/// A parallel iterator over an indexable source.
+///
+/// `item` takes `&self` so worker threads can share the pipeline; all
+/// captured state must therefore be [`Sync`].
+pub trait ParallelIterator: Sized + Sync {
+    /// Produced item type.
+    type Item: Send;
+
+    /// Number of items.
+    fn len(&self) -> usize;
+
+    /// Whether the iterator is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The item at `index`.
+    ///
+    /// # Safety
+    /// Callers must invoke this **at most once per index** per iterator
+    /// value (terminal operations uphold this by construction).
+    /// Exclusive sources such as [`ParSliceMut`] mint `&mut` references
+    /// out of a shared `&self`, so a second call with the same index
+    /// would create aliasing exclusive references — undefined behavior.
+    unsafe fn item(&self, index: usize) -> Self::Item;
+
+    /// Map each item through `f`.
+    fn map<F, R>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Item) -> R + Sync,
+        R: Send,
+    {
+        Map { base: self, f }
+    }
+
+    /// Hint accepted for rayon compatibility; chunking here is always
+    /// one contiguous block per thread.
+    fn with_min_len(self, _min: usize) -> Self {
+        self
+    }
+
+    /// Evaluate in parallel into an index-ordered `Vec`.
+    fn run(self) -> Vec<Self::Item> {
+        let n = self.len();
+        let threads = crate::current_num_threads().clamp(1, n.max(1));
+        if threads <= 1 || n <= 1 {
+            // SAFETY: each index visited exactly once
+            return (0..n).map(|i| unsafe { self.item(i) }).collect();
+        }
+        let chunk = n.div_ceil(threads);
+        let mut out: Vec<Option<Self::Item>> = Vec::with_capacity(n);
+        out.resize_with(n, || None);
+        let this = &self;
+        std::thread::scope(|scope| {
+            for (t, slots) in out.chunks_mut(chunk).enumerate() {
+                scope.spawn(move || {
+                    let base = t * chunk;
+                    for (k, slot) in slots.iter_mut().enumerate() {
+                        // SAFETY: chunks are disjoint, so each index is
+                        // visited exactly once across all workers
+                        *slot = Some(unsafe { this.item(base + k) });
+                    }
+                });
+            }
+        });
+        out.into_iter()
+            .map(|o| o.expect("worker filled every slot"))
+            .collect()
+    }
+
+    /// Collect into any `FromIterator` container, preserving item order.
+    fn collect<C: FromIterator<Self::Item>>(self) -> C {
+        self.run().into_iter().collect()
+    }
+
+    /// Sum items **sequentially over the index-ordered buffer**, so the
+    /// result is bit-identical for every thread count.
+    fn sum<S: std::iter::Sum<Self::Item>>(self) -> S {
+        self.run().into_iter().sum()
+    }
+
+    /// Run `f` on every item (parallel evaluation, no result).
+    fn for_each<F>(self, f: F)
+    where
+        F: Fn(Self::Item) + Sync,
+    {
+        self.map(f).run();
+    }
+}
+
+/// `map` adaptor.
+pub struct Map<B, F> {
+    base: B,
+    f: F,
+}
+
+impl<B, F, R> ParallelIterator for Map<B, F>
+where
+    B: ParallelIterator,
+    F: Fn(B::Item) -> R + Sync,
+    R: Send,
+{
+    type Item = R;
+
+    fn len(&self) -> usize {
+        self.base.len()
+    }
+
+    unsafe fn item(&self, index: usize) -> R {
+        // SAFETY: forwarded once-per-index contract
+        (self.f)(unsafe { self.base.item(index) })
+    }
+}
+
+/// Borrowing parallel iterator over a slice.
+pub struct ParSlice<'a, T> {
+    slice: &'a [T],
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSlice<'a, T> {
+    type Item = &'a T;
+
+    fn len(&self) -> usize {
+        self.slice.len()
+    }
+
+    unsafe fn item(&self, index: usize) -> &'a T {
+        &self.slice[index]
+    }
+}
+
+/// Parallel iterator over a `Range<usize>`.
+pub struct ParRange {
+    range: Range<usize>,
+}
+
+impl ParallelIterator for ParRange {
+    type Item = usize;
+
+    fn len(&self) -> usize {
+        self.range.len()
+    }
+
+    unsafe fn item(&self, index: usize) -> usize {
+        self.range.start + index
+    }
+}
+
+/// Conversion into an owning parallel iterator.
+pub trait IntoParallelIterator {
+    /// Resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type.
+    type Item: Send;
+    /// Convert.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+impl IntoParallelIterator for Range<usize> {
+    type Iter = ParRange;
+    type Item = usize;
+
+    fn into_par_iter(self) -> ParRange {
+        ParRange { range: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParSlice<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> ParSlice<'a, T> {
+        ParSlice { slice: self }
+    }
+}
+
+/// Exclusive parallel iterator over a slice: hands each worker disjoint
+/// `&mut T` items.
+pub struct ParSliceMut<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    _marker: std::marker::PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: `item` (unsafe, once-per-index contract) hands out disjoint
+// `&mut T` references, so sharing the iterator across worker threads is
+// sound.
+unsafe impl<T: Send> Sync for ParSliceMut<'_, T> {}
+unsafe impl<T: Send> Send for ParSliceMut<'_, T> {}
+
+impl<'a, T: Send> ParallelIterator for ParSliceMut<'a, T> {
+    type Item = &'a mut T;
+
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    unsafe fn item(&self, index: usize) -> &'a mut T {
+        assert!(index < self.len);
+        // SAFETY: index is in bounds; the caller guarantees at most one
+        // call per index, so the returned `&mut` references are disjoint
+        unsafe { &mut *self.ptr.add(index) }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut [T] {
+    type Iter = ParSliceMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParSliceMut<'a, T> {
+        ParSliceMut {
+            ptr: self.as_mut_ptr(),
+            len: self.len(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<'a, T: Send> IntoParallelIterator for &'a mut Vec<T> {
+    type Iter = ParSliceMut<'a, T>;
+    type Item = &'a mut T;
+
+    fn into_par_iter(self) -> ParSliceMut<'a, T> {
+        self.as_mut_slice().into_par_iter()
+    }
+}
+
+/// `par_iter()` on borrowable collections.
+pub trait IntoParallelRefIterator<'data> {
+    /// Resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a reference).
+    type Item: Send + 'data;
+    /// Borrowing parallel iterator.
+    fn par_iter(&'data self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefIterator<'data> for C
+where
+    &'data C: IntoParallelIterator,
+{
+    type Iter = <&'data C as IntoParallelIterator>::Iter;
+    type Item = <&'data C as IntoParallelIterator>::Item;
+
+    fn par_iter(&'data self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}
+
+/// `par_iter_mut()` on mutably borrowable collections.
+pub trait IntoParallelRefMutIterator<'data> {
+    /// Resulting iterator.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// Item type (a mutable reference).
+    type Item: Send + 'data;
+    /// Exclusive borrowing parallel iterator.
+    fn par_iter_mut(&'data mut self) -> Self::Iter;
+}
+
+impl<'data, C: 'data + ?Sized> IntoParallelRefMutIterator<'data> for C
+where
+    &'data mut C: IntoParallelIterator,
+{
+    type Iter = <&'data mut C as IntoParallelIterator>::Iter;
+    type Item = <&'data mut C as IntoParallelIterator>::Item;
+
+    fn par_iter_mut(&'data mut self) -> Self::Iter {
+        self.into_par_iter()
+    }
+}

@@ -1,0 +1,174 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the subset of rayon's API the workspace uses — `par_iter`
+//! / `into_par_iter` with `map` + `collect` / `sum`, plus
+//! [`ThreadPoolBuilder`] / [`ThreadPool::install`] for scoped thread
+//! counts — on top of `std::thread::scope`.
+//!
+//! **Determinism guarantee (stronger than rayon's):** all terminal
+//! operations assemble results *in item-index order*, and reductions run
+//! sequentially over that ordered buffer. Output is therefore bit-exact
+//! regardless of the number of worker threads, which the flow solver
+//! relies on for reproducible seeded experiments.
+
+pub mod iter;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `rayon::prelude`.
+    pub use crate::iter::{
+        IntoParallelIterator, IntoParallelRefIterator, IntoParallelRefMutIterator, ParallelIterator,
+    };
+}
+
+use std::cell::Cell;
+
+thread_local! {
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of worker threads terminal operations will use on this thread.
+///
+/// Resolution order: an active [`ThreadPool::install`] override, then the
+/// `RAYON_NUM_THREADS` environment variable, then available parallelism.
+pub fn current_num_threads() -> usize {
+    let o = THREAD_OVERRIDE.with(|c| c.get());
+    if o > 0 {
+        return o;
+    }
+    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+/// Error type for [`ThreadPoolBuilder::build`] (never actually produced).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    /// New builder with automatic thread count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fix the worker thread count (0 = automatic).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    /// Build the pool. Infallible in this shim.
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        Ok(ThreadPool {
+            num_threads: self.num_threads,
+        })
+    }
+}
+
+/// A "pool" that scopes a thread-count override; threads themselves are
+/// spawned per terminal operation via `std::thread::scope`.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    /// Run `f` with this pool's thread count applied to every parallel
+    /// operation `f` performs on the current thread.
+    pub fn install<R>(&self, f: impl FnOnce() -> R) -> R {
+        let prev = THREAD_OVERRIDE.with(|c| c.replace(self.num_threads));
+        let out = f();
+        THREAD_OVERRIDE.with(|c| c.set(prev));
+        out
+    }
+
+    /// The configured thread count (0 = automatic).
+    pub fn current_num_threads(&self) -> usize {
+        if self.num_threads > 0 {
+            self.num_threads
+        } else {
+            current_num_threads()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn map_collect_preserves_order() {
+        let v: Vec<usize> = (0..1000).collect();
+        let out: Vec<usize> = v.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(out, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn range_into_par_iter() {
+        let out: Vec<usize> = (0..17usize).into_par_iter().map(|i| i * i).collect();
+        assert_eq!(out.len(), 17);
+        assert_eq!(out[16], 256);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.install(current_num_threads), 3);
+    }
+
+    #[test]
+    fn identical_across_thread_counts() {
+        let input: Vec<f64> = (0..257).map(|i| i as f64 * 0.3).collect();
+        let run = |threads| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| {
+                    input
+                        .par_iter()
+                        .map(|&x| (x.sin() * 1e9).floor())
+                        .sum::<f64>()
+                })
+        };
+        let one = run(1);
+        for t in [2, 3, 8] {
+            assert_eq!(one.to_bits(), run(t).to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_matches_sequential() {
+        let v: Vec<u64> = (0..100).collect();
+        let s: u64 = v.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 4950);
+    }
+
+    #[test]
+    fn par_iter_mut_disjoint_writes() {
+        let mut w: Vec<usize> = (0..503).collect();
+        w.par_iter_mut().for_each(|x| *x *= 3);
+        assert_eq!(w, (0..503).map(|x| x * 3).collect::<Vec<_>>());
+    }
+}
