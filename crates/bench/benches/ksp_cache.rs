@@ -1,0 +1,158 @@
+//! Criterion benchmarks for the amortised path-set cache and the
+//! persistent worker pool — the two per-topology costs a multi-matrix
+//! throughput sweep should pay once.
+//!
+//! The headline comparison is `ksp_sweep_rrg16x24x8`: a 16-traffic-
+//! matrix `KspRestricted` sweep on one RRG, solved cold (path sets
+//! re-frozen per matrix, the pre-cache behavior) vs through a
+//! [`PathSetCache`] (each switch pair frozen once per topology). The
+//! two sweeps are asserted bit-identical before timing starts. Run
+//! `CRITERION_JSON=BENCH_ksp.json cargo bench -p dctopo-bench --bench
+//! ksp_cache` to regenerate the committed numbers.
+//!
+//! `pool_scaling_fptas_rrg32` measures the FPTAS on a small instance at
+//! 1/2/4-way chunking: with per-call thread spawning this used to be a
+//! guaranteed slowdown, with the persistent pool the parallel dual-bound
+//! pass is at worst free and at best a win. `pool_par_iter_4k` isolates
+//! the pool itself — a 4096-element map+sum is already in
+//! spawn-per-call territory (~100 µs/thread) but only a queue push for
+//! the pool, so multi-way chunking wins even at this size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctopo_core::solve::aggregate_commodities;
+use dctopo_flow::{Backend, Commodity, FlowOptions, PathSetCache};
+use dctopo_graph::CsrNet;
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One RRG topology plus 16 aggregated permutation traffic matrices —
+/// the paper's core sweep shape (many matrices, one fabric).
+fn sweep_instance() -> (CsrNet, Vec<Vec<Commodity>>) {
+    let mut rng = StdRng::seed_from_u64(20140402);
+    // 16 servers per switch: each permutation matrix touches most of the
+    // 240 ordered switch pairs, the sweep shape that makes per-pair
+    // freezing worth amortising
+    let topo = Topology::random_regular(16, 24, 8, &mut rng).expect("rrg");
+    let matrices: Vec<Vec<Commodity>> = (0..16)
+        .map(|_| {
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+            aggregate_commodities(&topo, &tm)
+        })
+        .collect();
+    (CsrNet::from_graph(&topo.graph), matrices)
+}
+
+fn ksp_opts() -> FlowOptions {
+    // sweep profile: the certified 5% gap of `fast()` with a shorter
+    // stall fuse, the setting a 16×-matrix scan actually runs at
+    FlowOptions {
+        stall_phases: 40,
+        ..FlowOptions::fast()
+    }
+    .with_backend(Backend::KspRestricted { k: 8 })
+}
+
+/// The acceptance benchmark: cold vs cached 16-matrix KSP sweep.
+fn bench_ksp_sweep(c: &mut Criterion) {
+    let (net, matrices) = sweep_instance();
+    let opts = ksp_opts();
+
+    // correctness gate: cached and cold sweeps must be bit-identical
+    let cache = PathSetCache::new();
+    for cs in &matrices {
+        let cold = dctopo_flow::solve(&net, cs, &opts).expect("cold");
+        let warm = dctopo_flow::solve_with_cache(&net, cs, &opts, &cache).expect("warm");
+        assert_eq!(
+            cold.throughput.to_bits(),
+            warm.throughput.to_bits(),
+            "cached KSP sweep diverged from cold"
+        );
+    }
+
+    let mut group = c.benchmark_group("ksp_sweep_rrg16x24x8");
+    group.sample_size(10);
+    group.bench_function("cold_16_matrices", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for cs in &matrices {
+                acc += dctopo_flow::solve(&net, cs, &opts)
+                    .expect("cold")
+                    .throughput;
+            }
+            acc
+        })
+    });
+    group.bench_function("cached_16_matrices", |b| {
+        b.iter(|| {
+            // a fresh cache per sweep: the first matrix pays the misses,
+            // the other 15 amortise them — no warm-up credit
+            let cache = PathSetCache::new();
+            let mut acc = 0.0;
+            for cs in &matrices {
+                acc += dctopo_flow::solve_with_cache(&net, cs, &opts, &cache)
+                    .expect("warm")
+                    .throughput;
+            }
+            acc
+        })
+    });
+    group.finish();
+}
+
+/// Pool scaling on a small instance: the FPTAS dual-bound pass at
+/// 1/2/4-way chunking, all backed by the persistent pool.
+fn bench_pool_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_scaling_fptas_rrg32");
+    group.sample_size(10);
+    let mut rng = StdRng::seed_from_u64(7);
+    let topo = Topology::random_regular(32, 12, 8, &mut rng).expect("rrg");
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    let net = CsrNet::from_graph(&topo.graph);
+    let commodities = aggregate_commodities(&topo, &tm);
+    let opts = FlowOptions::fast();
+    for &threads in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool handle");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| {
+                pool.install(|| {
+                    dctopo_flow::solve(&net, &commodities, &opts)
+                        .expect("fptas")
+                        .throughput
+                })
+            })
+        });
+    }
+    group.finish();
+}
+
+/// The pool in isolation: terminal-op cost on a 4096-element map+sum
+/// small enough that per-call thread spawning could never profit.
+fn bench_pool_par_iter(c: &mut Criterion) {
+    use rayon::prelude::*;
+    let mut group = c.benchmark_group("pool_par_iter_4k");
+    group.sample_size(10);
+    let xs: Vec<f64> = (0..4096).map(|i| i as f64 * 0.37).collect();
+    for &threads in &[1usize, 2, 4] {
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .expect("pool handle");
+        group.bench_with_input(BenchmarkId::from_parameter(threads), &threads, |b, _| {
+            b.iter(|| pool.install(|| xs.par_iter().map(|&x| (x.sin() * 1e9).floor()).sum::<f64>()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_ksp_sweep,
+    bench_pool_scaling,
+    bench_pool_par_iter
+);
+criterion_main!(benches);

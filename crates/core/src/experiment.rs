@@ -7,10 +7,11 @@
 //!
 //! [`Runner::run_throughput`] is the throughput-sweep form: per seed it
 //! builds one topology, preprocesses it into a
-//! [`crate::solve::ThroughputEngine`] (one shared `CsrNet`), and solves
-//! *every* requested traffic matrix against that engine — so a
-//! k-pattern sweep pays for graph flattening once, and the solver
-//! backend is whatever [`FlowOptions::backend`] selects.
+//! [`crate::solve::ThroughputEngine`] (one shared `CsrNet` plus one
+//! path-set cache), and solves *every* requested traffic matrix against
+//! that engine — so a k-pattern sweep pays for graph flattening (and,
+//! under the `KspRestricted` backend, Yen path freezing) once, and the
+//! solver backend is whatever [`FlowOptions::backend`] selects.
 
 use crossbeam::thread;
 use dctopo_flow::{FlowError, FlowOptions};

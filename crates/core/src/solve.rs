@@ -9,15 +9,17 @@
 //! between servers on the same switch never enter the network and are
 //! satisfied at the NIC cap.
 //!
-//! Step (3) dispatches through [`dctopo_flow::solve`], so the backend is
-//! whatever [`FlowOptions::backend`] selects. [`ThroughputEngine`]
-//! preprocesses a topology into its shared [`CsrNet`] **once** and
-//! amortises it over every traffic matrix solved against that topology;
-//! [`solve_throughput`] is the one-shot convenience form.
+//! Step (3) dispatches through [`dctopo_flow::solve_with_cache`], so the
+//! backend is whatever [`FlowOptions::backend`] selects.
+//! [`ThroughputEngine`] preprocesses a topology into its shared
+//! [`CsrNet`] **once**, carries a [`PathSetCache`] so the
+//! `KspRestricted` backend also freezes its Yen path sets once, and
+//! amortises both over every traffic matrix solved against that
+//! topology; [`solve_throughput`] is the one-shot convenience form.
 
 use std::collections::HashMap;
 
-use dctopo_flow::{Commodity, FlowError, FlowOptions, SolvedFlow};
+use dctopo_flow::{Commodity, FlowError, FlowOptions, PathSetCache, SolvedFlow};
 use dctopo_graph::CsrNet;
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
@@ -99,22 +101,27 @@ pub fn nic_limit(tm: &TrafficMatrix) -> f64 {
 
 /// A topology preprocessed for repeated throughput solves.
 ///
-/// Builds the switch graph's [`CsrNet`] once; every
-/// [`ThroughputEngine::solve`] call against any traffic matrix (and any
-/// backend) then skips graph flattening entirely. This is the form the
+/// Builds the switch graph's [`CsrNet`] once and owns a
+/// [`PathSetCache`], so every [`ThroughputEngine::solve`] call against
+/// any traffic matrix (and any backend) skips graph flattening entirely
+/// and — for the `KspRestricted` backend — freezes each switch pair's
+/// k-shortest path set at most once per `k`. This is the form the
 /// experiment layer uses when sweeping traffic patterns over one fabric.
 #[derive(Debug)]
 pub struct ThroughputEngine<'t> {
     topo: &'t Topology,
     net: CsrNet,
+    cache: PathSetCache,
 }
 
 impl<'t> ThroughputEngine<'t> {
-    /// Preprocess `topo` (flattens the switch graph to CSR).
+    /// Preprocess `topo` (flattens the switch graph to CSR; the path-set
+    /// cache starts empty and fills lazily).
     pub fn new(topo: &'t Topology) -> Self {
         ThroughputEngine {
             topo,
             net: CsrNet::from_graph(&topo.graph),
+            cache: PathSetCache::new(),
         }
     }
 
@@ -126,6 +133,11 @@ impl<'t> ThroughputEngine<'t> {
     /// The shared CSR network all backends solve on.
     pub fn net(&self) -> &CsrNet {
         &self.net
+    }
+
+    /// The engine's path-set cache (hit/miss counters, manual `clear`).
+    pub fn path_cache(&self) -> &PathSetCache {
+        &self.cache
     }
 
     /// Solve the throughput of the topology under `tm`, using the
@@ -153,7 +165,7 @@ impl<'t> ThroughputEngine<'t> {
                 solved: None,
             });
         }
-        let solved = dctopo_flow::solve(&self.net, &commodities, opts)?;
+        let solved = dctopo_flow::solve_with_cache(&self.net, &commodities, opts, &self.cache)?;
         Ok(ThroughputResult {
             throughput: solved.throughput.min(nic),
             network_lambda: solved.throughput,
@@ -289,6 +301,32 @@ mod tests {
             assert_eq!(a.network_lambda.to_bits(), b.network_lambda.to_bits());
             assert_eq!(a.commodities, b.commodities);
         }
+    }
+
+    /// KSP solves through one engine hit the path-set cache on repeat
+    /// traffic matrices and stay bit-identical to the cold one-shot
+    /// path.
+    #[test]
+    fn engine_ksp_cache_amortises_and_matches_cold() {
+        use dctopo_flow::Backend;
+        let mut rng = StdRng::seed_from_u64(11);
+        let topo = Topology::random_regular(10, 6, 4, &mut rng).unwrap();
+        let engine = ThroughputEngine::new(&topo);
+        let opts = opts().with_backend(Backend::KspRestricted { k: 3 });
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        let warm = engine.solve(&tm, &opts).unwrap();
+        let stats_after_first = engine.path_cache().stats();
+        assert_eq!(stats_after_first.hits, 0);
+        assert!(stats_after_first.misses > 0);
+        // same matrix again: all pairs served from the cache
+        let again = engine.solve(&tm, &opts).unwrap();
+        assert_eq!(engine.path_cache().stats().misses, stats_after_first.misses);
+        assert!(engine.path_cache().stats().hits >= stats_after_first.misses);
+        assert_eq!(warm.throughput.to_bits(), again.throughput.to_bits());
+        // and both match the cache-free one-shot solve bitwise
+        let cold = solve_throughput(&topo, &tm, &opts).unwrap();
+        assert_eq!(cold.throughput.to_bits(), warm.throughput.to_bits());
+        assert_eq!(cold.network_lambda.to_bits(), warm.network_lambda.to_bits());
     }
 
     /// FlowOptions.backend is honored end-to-end: the exact LP and the

@@ -11,6 +11,7 @@
 
 use dctopo_graph::CsrNet;
 
+use crate::cache::PathSetCache;
 use crate::{Commodity, FlowError, FlowOptions, SolvedFlow};
 
 /// A max-concurrent-flow solver over the shared CSR network.
@@ -30,7 +31,7 @@ pub trait SolverBackend: Send + Sync {
     ) -> Result<SolvedFlow, FlowError>;
 }
 
-/// The parallel multiplicative-weights FPTAS (see [`crate::fptas`]).
+/// The parallel multiplicative-weights FPTAS (see [`max_concurrent_flow_csr`](crate::max_concurrent_flow_csr)).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fptas;
 
@@ -129,6 +130,26 @@ impl Backend {
             Backend::KspRestricted { k } => KspRestricted { k }.solve(net, commodities, opts),
         }
     }
+
+    /// [`Backend::solve`] with per-topology preprocessing served from
+    /// `cache`. Only [`Backend::KspRestricted`] has cacheable
+    /// preprocessing today; the other backends ignore the cache and
+    /// behave exactly like [`Backend::solve`]. Results are bit-identical
+    /// to the uncached dispatch either way.
+    pub fn solve_cached(
+        self,
+        net: &CsrNet,
+        commodities: &[Commodity],
+        opts: &FlowOptions,
+        cache: &PathSetCache,
+    ) -> Result<SolvedFlow, FlowError> {
+        match self {
+            Backend::KspRestricted { k } => {
+                crate::ksp::max_concurrent_flow_ksp_cached(net, commodities, k, opts, cache)
+            }
+            other => other.solve(net, commodities, opts),
+        }
+    }
 }
 
 /// Solve on a prebuilt net with the backend selected in `opts.backend`.
@@ -142,6 +163,19 @@ pub fn solve(
     opts: &FlowOptions,
 ) -> Result<SolvedFlow, FlowError> {
     opts.backend.solve(net, commodities, opts)
+}
+
+/// [`solve`] with per-topology preprocessing amortised through `cache`
+/// (see [`PathSetCache`]). This is what `ThroughputEngine` in
+/// `dctopo-core` calls so that a multi-matrix sweep freezes each
+/// k-shortest path set once.
+pub fn solve_with_cache(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+    cache: &PathSetCache,
+) -> Result<SolvedFlow, FlowError> {
+    opts.backend.solve_cached(net, commodities, opts, cache)
 }
 
 #[cfg(test)]

@@ -49,8 +49,12 @@ use rayon::prelude::*;
 use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 
 /// Minimum `source groups × arcs` before the dual-bound Dijkstra pass
-/// fans out on rayon; below this, thread spawn costs more than the pass.
-const PARALLEL_DUAL_MIN_WORK: usize = 1 << 16;
+/// fans out on rayon; below this, even a pool dispatch costs more than
+/// the pass. Rayon's persistent worker pool made fan-out ~two orders of
+/// magnitude cheaper than the scoped-thread spawning this gate was
+/// originally calibrated for (65536), so instances as small as a
+/// 32-switch RRG now take the parallel path.
+const PARALLEL_DUAL_MIN_WORK: usize = 1 << 12;
 
 /// One source group: commodities sharing a source, plus the group's
 /// persistent Dijkstra scratch state.
@@ -285,11 +289,11 @@ fn dual_bound(
     groups: &mut [GroupState],
     length: &[f64],
 ) -> Result<Option<f64>, FlowError> {
-    // The vendored rayon spawns scoped OS threads per call, so only fan
-    // out when the pass is big enough to amortise the spawn cost (and to
-    // avoid oversubscription when many Runner workers each solve their
-    // own instance). Results are identical either way — the sequential
-    // path is exactly the one-thread schedule.
+    // Fan out only when the pass is big enough to amortise the pool
+    // dispatch (and to avoid contending for pool workers when many
+    // Runner threads each solve their own instance). Results are
+    // identical either way — the sequential path is exactly the
+    // one-thread schedule.
     if groups.len() * net.arc_count() >= PARALLEL_DUAL_MIN_WORK {
         groups
             .par_iter_mut()

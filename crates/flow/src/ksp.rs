@@ -18,10 +18,17 @@
 //! Path freezing is a one-time preprocessing step and runs on an
 //! adjacency-list [`Graph`] (rebuilt from the [`CsrNet`] when needed);
 //! the hot multiplicative-weights loop runs on the flat CSR arrays.
+//! Because freezing depends only on the topology and `k`, it is
+//! memoisable: [`max_concurrent_flow_ksp_cached`] reuses frozen path
+//! sets from a [`PathSetCache`] and is bit-identical to the cold
+//! [`max_concurrent_flow_ksp_csr`].
+
+use std::sync::Arc;
 
 use dctopo_graph::kshortest::yen_k_shortest;
 use dctopo_graph::{CsrNet, Graph, NodeId};
 
+use crate::cache::{FrozenPathSet, PathSetCache};
 use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 
 /// Solve max concurrent flow where commodity `j` may only use its `k`
@@ -37,15 +44,15 @@ pub fn max_concurrent_flow_ksp(
 }
 
 /// k-shortest-paths-restricted solve on a prebuilt net (the
-/// [`crate::KspRestricted`] backend entry point).
+/// [`crate::KspRestricted`] backend entry point), freezing path sets
+/// from scratch — the *cold* path.
 ///
 /// Returns the same certified [`SolvedFlow`] as the unrestricted solver;
 /// `throughput` ≤ the unrestricted optimum by construction.
 ///
-/// Note: unlike the FPTAS, this backend re-derives its adjacency-list
-/// view and re-freezes path sets on every call, so a `ThroughputEngine`
-/// does not yet amortise KSP preprocessing across traffic matrices —
-/// caching frozen path sets per net/k is tracked as a ROADMAP item.
+/// Repeated solves on one topology should go through
+/// [`max_concurrent_flow_ksp_cached`] instead, which amortises the
+/// adjacency-list rebuild and the Yen runs across traffic matrices.
 pub fn max_concurrent_flow_ksp_csr(
     net: &CsrNet,
     commodities: &[Commodity],
@@ -53,6 +60,43 @@ pub fn max_concurrent_flow_ksp_csr(
     opts: &FlowOptions,
 ) -> Result<SolvedFlow, FlowError> {
     freeze_and_solve(&net.to_graph(), net, commodities, k, opts)
+}
+
+/// [`max_concurrent_flow_ksp_csr`] with path-set preprocessing served
+/// from (and recorded into) `cache` — the *amortised* path.
+///
+/// Bit-identical to the cold entry point for the same inputs: the cache
+/// stores exactly what cold freezing computes (Yen is deterministic),
+/// and the multiplicative-weights loop is shared.
+pub fn max_concurrent_flow_ksp_cached(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    k: usize,
+    opts: &FlowOptions,
+    cache: &PathSetCache,
+) -> Result<SolvedFlow, FlowError> {
+    validate(net.node_count(), commodities, opts)?;
+    if k == 0 {
+        return Err(FlowError::BadOptions("k must be at least 1".into()));
+    }
+    let paths = cache.freeze(net, commodities, k)?;
+    solve_frozen(net, commodities, &paths, opts)
+}
+
+/// Freeze one `(src, dst)` pair's k-shortest path set as arc sequences.
+/// Shared by cold freezing here and by [`PathSetCache`] misses.
+pub(crate) fn freeze_pair(
+    g: &Graph,
+    src: NodeId,
+    dst: NodeId,
+    k: usize,
+) -> Result<Vec<Vec<usize>>, FlowError> {
+    let node_paths =
+        yen_k_shortest(g, src, dst, k).map_err(|_| FlowError::Unreachable { src, dst })?;
+    node_paths
+        .iter()
+        .map(|p| nodes_to_arcs(g, p))
+        .collect::<Result<Vec<_>, _>>()
 }
 
 fn freeze_and_solve(
@@ -66,21 +110,22 @@ fn freeze_and_solve(
     if k == 0 {
         return Err(FlowError::BadOptions("k must be at least 1".into()));
     }
-    // freeze path sets (as arc sequences)
-    let mut paths: Vec<Vec<Vec<usize>>> = Vec::with_capacity(commodities.len());
-    for c in commodities {
-        let node_paths =
-            yen_k_shortest(g, c.src, c.dst, k).map_err(|_| FlowError::Unreachable {
-                src: c.src,
-                dst: c.dst,
-            })?;
-        let arc_paths = node_paths
-            .iter()
-            .map(|p| nodes_to_arcs(g, p))
-            .collect::<Result<Vec<_>, _>>()?;
-        paths.push(arc_paths);
-    }
+    let paths = commodities
+        .iter()
+        .map(|c| freeze_pair(g, c.src, c.dst, k).map(Arc::new))
+        .collect::<Result<Vec<FrozenPathSet>, _>>()?;
+    solve_frozen(net, commodities, &paths, opts)
+}
 
+/// The multiplicative-weights loop over frozen path sets (one
+/// [`FrozenPathSet`] per commodity, commodity order). Cold and cached
+/// entry points converge here, which is what makes them bit-identical.
+fn solve_frozen(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    paths: &[FrozenPathSet],
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
     let num_arcs = net.arc_count();
     let eps = opts.epsilon;
     let mut length: Vec<f64> = net.inv_capacities().to_vec();
@@ -101,7 +146,7 @@ fn freeze_and_solve(
             let mut inner = 0;
             while remaining > 1e-12 && inner < 16 {
                 inner += 1;
-                let (best_path, _) = cheapest(&paths[j], &length);
+                let (best_path, _) = cheapest(&paths[j][..], &length);
                 // capacity-scaled step along that path
                 let bottleneck = best_path
                     .iter()
@@ -145,7 +190,7 @@ fn freeze_and_solve(
             let alpha: f64 = commodities
                 .iter()
                 .enumerate()
-                .map(|(j, c)| c.demand * cheapest(&paths[j], &length).1)
+                .map(|(j, c)| c.demand * cheapest(&paths[j][..], &length).1)
                 .sum();
             let bound = d_l / alpha;
             if bound.is_finite() && bound > 0.0 {
@@ -316,6 +361,44 @@ mod tests {
         let b = max_concurrent_flow_ksp_csr(&net, &cs, 2, &opts()).unwrap();
         assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
         assert_eq!(a.phases, b.phases);
+    }
+
+    /// The cached entry point returns bit-identical results to the cold
+    /// one, whether the cache is empty (miss path) or warm (hit path).
+    #[test]
+    fn cached_matches_cold_bitwise() {
+        let mut g = Graph::new(6);
+        for v in 0..6 {
+            g.add_unit_edge(v, (v + 1) % 6).unwrap();
+        }
+        g.add_unit_edge(0, 3).unwrap();
+        let net = CsrNet::from_graph(&g);
+        let cs = [Commodity::unit(0, 3), Commodity::unit(1, 4)];
+        let cache = PathSetCache::new();
+        let cold = max_concurrent_flow_ksp_csr(&net, &cs, 3, &opts()).unwrap();
+        let miss = max_concurrent_flow_ksp_cached(&net, &cs, 3, &opts(), &cache).unwrap();
+        let hit = max_concurrent_flow_ksp_cached(&net, &cs, 3, &opts(), &cache).unwrap();
+        assert_eq!(cache.stats().hits, 2);
+        for s in [&miss, &hit] {
+            assert_eq!(cold.throughput.to_bits(), s.throughput.to_bits());
+            assert_eq!(cold.upper_bound.to_bits(), s.upper_bound.to_bits());
+            assert_eq!(cold.phases, s.phases);
+            for (x, y) in cold.arc_flow.iter().zip(&s.arc_flow) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn cached_rejects_k_zero() {
+        let mut g = Graph::new(2);
+        g.add_unit_edge(0, 1).unwrap();
+        let net = CsrNet::from_graph(&g);
+        let cache = PathSetCache::new();
+        assert!(matches!(
+            max_concurrent_flow_ksp_cached(&net, &[Commodity::unit(0, 1)], 0, &opts(), &cache),
+            Err(FlowError::BadOptions(_))
+        ));
     }
 
     #[test]

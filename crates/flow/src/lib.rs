@@ -42,15 +42,21 @@
 //! * [`ExactLp`] — the edge-flow LP (via `dctopo-linprog`) the paper
 //!   hands to CPLEX; ground truth on small instances.
 //! * [`KspRestricted`] — flow restricted to each commodity's k shortest
-//!   paths (the practical-routing model of §8).
+//!   paths (the practical-routing model of §8). Its per-topology path
+//!   freezing is memoised by [`PathSetCache`], so multi-matrix sweeps
+//!   pay for Yen's algorithm once per `(topology, k)` — go through
+//!   [`solve_with_cache`] to amortise it.
 //!
 //! Callers pick a backend with [`FlowOptions::backend`] and go through
 //! [`solve`] (or the [`max_concurrent_flow`] convenience wrapper that
 //! still accepts a [`Graph`]). The pre-CSR, single-threaded FPTAS is
-//! kept verbatim in [`reference`] as the benchmark baseline and as an
+//! kept verbatim in [`mod@reference`] as the benchmark baseline and as an
 //! independent cross-check.
 
+#![warn(missing_docs)]
+
 pub mod backend;
+pub mod cache;
 pub mod cut;
 pub mod exact;
 mod fptas;
@@ -64,7 +70,8 @@ use dctopo_graph::{CsrNet, Graph, GraphError};
 /// Re-export: node index type used by [`Commodity`].
 pub use dctopo_graph::NodeId;
 
-pub use backend::{solve, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
+pub use backend::{solve, solve_with_cache, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
+pub use cache::{CacheStats, PathSetCache};
 pub use fptas::max_concurrent_flow_csr;
 
 /// Solve max concurrent flow on `g` with the backend selected in
@@ -247,11 +254,24 @@ pub enum FlowError {
     /// No commodities were supplied.
     NoCommodities,
     /// A commodity has a non-positive or non-finite demand.
-    BadDemand { index: usize, demand: f64 },
+    BadDemand {
+        /// Index of the offending commodity in the input slice.
+        index: usize,
+        /// The invalid demand value.
+        demand: f64,
+    },
     /// A commodity's endpoints coincide.
-    SelfCommodity { index: usize },
+    SelfCommodity {
+        /// Index of the offending commodity in the input slice.
+        index: usize,
+    },
     /// A commodity's destination is unreachable from its source.
-    Unreachable { src: NodeId, dst: NodeId },
+    Unreachable {
+        /// Source node.
+        src: NodeId,
+        /// Unreachable destination node.
+        dst: NodeId,
+    },
     /// Underlying graph error.
     Graph(GraphError),
     /// Options are invalid (ε or gap not in (0, 1), zero phase budget).

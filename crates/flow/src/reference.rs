@@ -11,7 +11,7 @@
 //! 2. cross-validation tests have a third, independently-implemented
 //!    solver to agree with.
 //!
-//! Algorithm notes are in [`crate::fptas`]; the two implementations share
+//! Algorithm notes are in [`crate::max_concurrent_flow_csr`]; the two implementations share
 //! the same certificates (feasible scaled primal, `D(l)/α(l)` dual).
 
 use dctopo_graph::paths::dijkstra;

@@ -29,16 +29,24 @@
 //! distances agree **bitwise** with the legacy implementation — seeded
 //! experiments produce identical numbers whichever path computes them.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use crate::{ArcId, Graph, NodeId};
 
 /// Sentinel in [`DijkstraWorkspace::parent_arc`]: no parent (source or
 /// unreached node).
 pub const NO_ARC: u32 = u32::MAX;
 
+/// Process-wide counter backing [`CsrNet::id`]. Starts at 1 so 0 can
+/// serve downstream code as a "no net" sentinel.
+static NEXT_NET_ID: AtomicU64 = AtomicU64::new(1);
+
 /// Immutable flat arc-level view of a [`Graph`], shared by every solver
 /// backend and safe to reuse across traffic matrices and threads.
 #[derive(Debug, Clone)]
 pub struct CsrNet {
+    /// Identity token (see [`CsrNet::id`]).
+    id: u64,
     n: usize,
     /// CSR offsets: out-arc slots of `v` are `row[v] as usize..row[v+1] as usize`.
     row: Vec<u32>,
@@ -91,6 +99,7 @@ impl CsrNet {
             inv_capacity[fwd | 1] = 1.0 / edge.capacity;
         }
         CsrNet {
+            id: NEXT_NET_ID.fetch_add(1, Ordering::Relaxed),
             n,
             row,
             adj_arc,
@@ -100,6 +109,19 @@ impl CsrNet {
             capacity,
             inv_capacity,
         }
+    }
+
+    /// Process-unique identity token, assigned at [`CsrNet::from_graph`]
+    /// time and **preserved by `Clone`**.
+    ///
+    /// A `CsrNet` is immutable, so two values sharing an id are
+    /// guaranteed content-identical — which is exactly the property
+    /// per-topology caches (e.g. `dctopo-flow`'s path-set cache) need in
+    /// a key. Two nets built from equal graphs still get *different*
+    /// ids: the token is an identity, not a structural hash.
+    #[inline]
+    pub fn id(&self) -> u64 {
+        self.id
     }
 
     /// Number of nodes.

@@ -6,16 +6,32 @@ use std::fmt;
 #[derive(Debug, Clone, PartialEq)]
 pub enum GraphError {
     /// A node index was at least the number of nodes in the graph.
-    NodeOutOfRange { node: usize, n: usize },
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// The graph's node count.
+        n: usize,
+    },
     /// A self-loop was requested where the operation forbids it.
-    SelfLoop { node: usize },
+    SelfLoop {
+        /// The node both endpoints referred to.
+        node: usize,
+    },
     /// An edge capacity was not strictly positive and finite.
-    BadCapacity { capacity: f64 },
+    BadCapacity {
+        /// The invalid capacity value.
+        capacity: f64,
+    },
     /// The graph (or the relevant part of it) is not connected, so the
     /// requested quantity (ASPL, diameter, a path) does not exist.
     Disconnected,
     /// No simple path exists between the requested endpoints.
-    NoPath { src: usize, dst: usize },
+    NoPath {
+        /// Source node.
+        src: usize,
+        /// Destination node.
+        dst: usize,
+    },
     /// A degree sequence or swap request cannot be satisfied
     /// (e.g. odd total degree, or not enough distinct partners).
     Unrealizable(String),

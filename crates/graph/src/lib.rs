@@ -28,6 +28,8 @@
 //! they belong to `dctopo-topology`, which layers meaning on top of the
 //! bare graph.
 
+#![warn(missing_docs)]
+
 pub mod components;
 pub mod csr;
 pub mod error;

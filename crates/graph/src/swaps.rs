@@ -3,7 +3,7 @@
 //! A double-edge swap replaces edges `(a,b)` and `(c,d)` with `(a,c)` and
 //! `(b,d)` (or `(a,d)` and `(b,c)`). It preserves every node's degree, so
 //! it is the basic move both for *repairing* a stuck random-graph
-//! construction (Jellyfish §2 of the paper's reference [27]) and for
+//! construction (Jellyfish §2 of the paper's reference \[27\]) and for
 //! *mixing* a graph towards the uniform distribution over graphs with the
 //! same degree sequence.
 

@@ -5,7 +5,7 @@ use dctopo_graph::{Graph, GraphError};
 
 use crate::{SwitchClass, Topology};
 
-/// The canonical k-ary fat-tree (Al-Fares et al., the paper's [2]):
+/// The canonical k-ary fat-tree (Al-Fares et al., the paper's \[2\]):
 /// `k` pods of `k/2` edge and `k/2` aggregation switches, `(k/2)²` core
 /// switches, `k³/4` servers, all links unit capacity, every switch `k`
 /// ports.

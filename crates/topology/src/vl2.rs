@@ -1,4 +1,4 @@
-//! The VL2 topology (Greenberg et al., the paper's [17]) and the paper's
+//! The VL2 topology (Greenberg et al., the paper's \[17\]) and the paper's
 //! §7 rewired variant.
 //!
 //! Capacities are in units of the server line rate: server NICs are 1×

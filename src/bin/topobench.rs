@@ -1,5 +1,5 @@
 //! `topobench` — a command-line topology benchmarking tool in the spirit
-//! of the paper's released artifact (TopoBench, reference [28]).
+//! of the paper's released artifact (TopoBench, reference \[28\]).
 //!
 //! ```text
 //! topobench build rrg --switches 40 --ports 15 --degree 10 [--seed S] [--dot]

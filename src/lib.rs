@@ -45,8 +45,10 @@
 //!
 //! All solvers implement [`flow::SolverBackend`] over one shared
 //! [`graph::CsrNet`]; [`FlowOptions::backend`](flow::FlowOptions)
-//! selects which one a solve uses, and [`ThroughputEngine`] flattens a
-//! topology once to amortise preprocessing over many traffic matrices:
+//! selects which one a solve uses, and
+//! [`ThroughputEngine`](core::ThroughputEngine) flattens a topology once
+//! (CSR arrays plus a [`flow::PathSetCache`] of frozen k-shortest path
+//! sets) to amortise preprocessing over many traffic matrices:
 //!
 //! ```
 //! use dctopo::prelude::*;

@@ -217,6 +217,108 @@ proptest! {
     }
 }
 
+/// The KSP path-set cache is invisible to results: cached and cold
+/// `KspRestricted` solves are bit-identical across 50 seeded random
+/// graphs and 3 values of k, on both the miss path (first solve) and
+/// the hit path (second solve), sharing ONE cache across all nets —
+/// exercising the `(CsrNet identity, k)` keying.
+#[test]
+fn ksp_cache_bitwise_identical_on_50_seeded_graphs() {
+    use dctopo::flow::ksp::{max_concurrent_flow_ksp_cached, max_concurrent_flow_ksp_csr};
+    use dctopo::flow::PathSetCache;
+    use dctopo::graph::CsrNet;
+    use rand::RngExt;
+
+    let cache = PathSetCache::new();
+    let opts = FlowOptions {
+        epsilon: 0.15,
+        target_gap: 0.05,
+        max_phases: 400,
+        stall_phases: 40,
+        ..FlowOptions::default()
+    };
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(6..20);
+        // ring (connected) + random chords with random capacities
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n, rng.random_range(0.5..4.0))
+                .unwrap();
+        }
+        for _ in 0..rng.random_range(0..n) {
+            let u = rng.random_range(0..n);
+            let v = rng.random_range(0..n);
+            if u != v {
+                g.add_edge(u, v, rng.random_range(0.5..4.0)).unwrap();
+            }
+        }
+        let net = CsrNet::from_graph(&g);
+        let cs: Vec<Commodity> = (0..3).map(|i| Commodity::unit(i, n / 2 + i)).collect();
+        for k in [1usize, 2, 4] {
+            let cold = max_concurrent_flow_ksp_csr(&net, &cs, k, &opts).unwrap();
+            let miss = max_concurrent_flow_ksp_cached(&net, &cs, k, &opts, &cache).unwrap();
+            let hit = max_concurrent_flow_ksp_cached(&net, &cs, k, &opts, &cache).unwrap();
+            for (label, s) in [("miss", &miss), ("hit", &hit)] {
+                assert_eq!(
+                    cold.throughput.to_bits(),
+                    s.throughput.to_bits(),
+                    "seed {seed} k {k}: {label} throughput diverged"
+                );
+                assert_eq!(cold.upper_bound.to_bits(), s.upper_bound.to_bits());
+                assert_eq!(cold.phases, s.phases, "seed {seed} k {k} ({label})");
+                for (x, y) in cold.arc_flow.iter().zip(&s.arc_flow) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} k {k} ({label})");
+                }
+                for (x, y) in cold.commodity_rate.iter().zip(&s.commodity_rate) {
+                    assert_eq!(x.to_bits(), y.to_bits(), "seed {seed} k {k} ({label})");
+                }
+            }
+        }
+    }
+    let stats = cache.stats();
+    // 50 graphs × 3 ks × 3 pairs: one miss + one hit per (net, k, pair)
+    assert_eq!(stats.misses, 50 * 3 * 3);
+    assert_eq!(stats.hits, 50 * 3 * 3);
+}
+
+/// Worker-pool runs match single-thread results bitwise: the FPTAS on
+/// an instance big enough to take the parallel dual-bound path returns
+/// identical output at every chunk count.
+#[test]
+fn pool_runs_match_single_thread_results() {
+    use dctopo::graph::CsrNet;
+    use rayon::ThreadPoolBuilder;
+
+    let mut rng = StdRng::seed_from_u64(42);
+    // 32 source groups × 256 arcs crosses the parallel-pass threshold
+    let topo = Topology::random_regular(32, 12, 8, &mut rng).unwrap();
+    let net = CsrNet::from_graph(&topo.graph);
+    let cs: Vec<Commodity> = (0..32).map(|i| Commodity::unit(i, (i + 13) % 32)).collect();
+    let opts = FlowOptions::fast();
+    let solve_at = |threads: usize| {
+        ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| dctopo::flow::solve(&net, &cs, &opts).unwrap())
+    };
+    let base = solve_at(1);
+    for threads in [2, 4, 8] {
+        let s = solve_at(threads);
+        assert_eq!(
+            base.throughput.to_bits(),
+            s.throughput.to_bits(),
+            "{threads}-way chunking diverged"
+        );
+        assert_eq!(base.upper_bound.to_bits(), s.upper_bound.to_bits());
+        assert_eq!(base.phases, s.phases);
+        for (x, y) in base.arc_flow.iter().zip(&s.arc_flow) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}
+
 /// CsrNet Dijkstra (indexed-heap, early-terminating engine) reproduces
 /// `paths::dijkstra` bitwise on 100 seeded random graphs with random
 /// positive arc lengths.

@@ -135,7 +135,7 @@ macro_rules! impl_sample_uniform_float {
 
 impl_sample_uniform_float!(f64, f32);
 
-/// Range types accepted by [`Rng::random_range`].
+/// Range types accepted by [`RngExt::random_range`].
 pub trait SampleRange<T> {
     /// Draw one uniform sample.
     fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;

@@ -47,7 +47,9 @@ pub trait ParallelIterator: Sized + Sync {
         self
     }
 
-    /// Evaluate in parallel into an index-ordered `Vec`.
+    /// Evaluate into an index-ordered `Vec`, fanning the index space out
+    /// over the persistent worker pool (one contiguous chunk per
+    /// configured thread; see [`crate::pool`]).
     fn run(self) -> Vec<Self::Item> {
         let n = self.len();
         let threads = crate::current_num_threads().clamp(1, n.max(1));
@@ -56,19 +58,19 @@ pub trait ParallelIterator: Sized + Sync {
             return (0..n).map(|i| unsafe { self.item(i) }).collect();
         }
         let chunk = n.div_ceil(threads);
+        let chunks = n.div_ceil(chunk);
         let mut out: Vec<Option<Self::Item>> = Vec::with_capacity(n);
         out.resize_with(n, || None);
+        let slots = SharedSlots {
+            ptr: out.as_mut_ptr(),
+        };
         let this = &self;
-        std::thread::scope(|scope| {
-            for (t, slots) in out.chunks_mut(chunk).enumerate() {
-                scope.spawn(move || {
-                    let base = t * chunk;
-                    for (k, slot) in slots.iter_mut().enumerate() {
-                        // SAFETY: chunks are disjoint, so each index is
-                        // visited exactly once across all workers
-                        *slot = Some(unsafe { this.item(base + k) });
-                    }
-                });
+        crate::pool::run_chunks(chunks, &|t| {
+            for i in t * chunk..((t + 1) * chunk).min(n) {
+                // SAFETY: chunks are disjoint, so each index is visited
+                // (and each slot written) exactly once across all
+                // executors; `out` outlives the blocking run_chunks call
+                unsafe { slots.write(i, Some(this.item(i))) };
             }
         });
         out.into_iter()
@@ -93,6 +95,29 @@ pub trait ParallelIterator: Sized + Sync {
         F: Fn(Self::Item) + Sync,
     {
         self.map(f).run();
+    }
+}
+
+/// Raw pointer into the output slot buffer, shareable across pool
+/// executors because every chunk writes a disjoint index range.
+struct SharedSlots<T> {
+    ptr: *mut Option<T>,
+}
+
+// SAFETY: executors write disjoint slots (the once-per-index contract),
+// so concurrent `write` calls never alias.
+unsafe impl<T: Send> Sync for SharedSlots<T> {}
+unsafe impl<T: Send> Send for SharedSlots<T> {}
+
+impl<T> SharedSlots<T> {
+    /// Store `value` into slot `i`.
+    ///
+    /// # Safety
+    /// `i` must be in bounds and written at most once across all
+    /// executors while the underlying buffer is alive.
+    #[inline]
+    unsafe fn write(&self, i: usize, value: Option<T>) {
+        unsafe { *self.ptr.add(i) = value };
     }
 }
 

@@ -3,15 +3,24 @@
 //! Implements the subset of rayon's API the workspace uses — `par_iter`
 //! / `into_par_iter` with `map` + `collect` / `sum`, plus
 //! [`ThreadPoolBuilder`] / [`ThreadPool::install`] for scoped thread
-//! counts — on top of `std::thread::scope`.
+//! counts — on top of a **persistent, lazily-initialised worker pool**
+//! ([`pool`]): worker threads are spawned once on first use and park
+//! between jobs, so a terminal operation costs a queue push and a
+//! wake-up rather than per-call OS thread spawns. Size the pool with
+//! the `DCTOPO_THREADS` environment variable (then `RAYON_NUM_THREADS`,
+//! then available parallelism), read *before* the first parallel
+//! operation.
 //!
 //! **Determinism guarantee (stronger than rayon's):** all terminal
 //! operations assemble results *in item-index order*, and reductions run
 //! sequentially over that ordered buffer. Output is therefore bit-exact
-//! regardless of the number of worker threads, which the flow solver
-//! relies on for reproducible seeded experiments.
+//! regardless of the number of worker threads or how the pool schedules
+//! chunks, which the flow solver relies on for reproducible seeded
+//! experiments. [`ThreadPool::install`] changes how many chunks an
+//! operation splits into — never the worker count, never the result.
 
 pub mod iter;
+pub mod pool;
 
 pub mod prelude {
     //! Glob-import surface mirroring `rayon::prelude`.
@@ -26,25 +35,19 @@ thread_local! {
     static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
 }
 
-/// Number of worker threads terminal operations will use on this thread.
+/// Number of chunks terminal operations on this thread will split into.
 ///
-/// Resolution order: an active [`ThreadPool::install`] override, then the
-/// `RAYON_NUM_THREADS` environment variable, then available parallelism.
+/// Resolution order: an active [`ThreadPool::install`] override, then
+/// the `DCTOPO_THREADS` environment variable, then `RAYON_NUM_THREADS`,
+/// then available parallelism. Note this governs *chunking* only; the
+/// executing threads come from the persistent [`pool`], whose size is
+/// fixed at first use.
 pub fn current_num_threads() -> usize {
     let o = THREAD_OVERRIDE.with(|c| c.get());
     if o > 0 {
         return o;
     }
-    if let Ok(v) = std::env::var("RAYON_NUM_THREADS") {
-        if let Ok(n) = v.parse::<usize>() {
-            if n > 0 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(1)
+    pool::configured_threads()
 }
 
 /// Builder mirroring `rayon::ThreadPoolBuilder`.
@@ -85,8 +88,9 @@ impl ThreadPoolBuilder {
     }
 }
 
-/// A "pool" that scopes a thread-count override; threads themselves are
-/// spawned per terminal operation via `std::thread::scope`.
+/// A handle that scopes a chunk-count override; execution always
+/// happens on the shared persistent [`pool`]. Building many
+/// `ThreadPool`s is free — no threads are spawned per instance.
 #[derive(Debug)]
 pub struct ThreadPool {
     num_threads: usize,

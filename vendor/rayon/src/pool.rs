@@ -1,0 +1,342 @@
+//! The persistent, lazily-initialised worker pool behind every terminal
+//! operation.
+//!
+//! Before this module existed, each `collect`/`sum`/`for_each` spawned
+//! fresh scoped OS threads — a per-call cost (~50–100 µs per thread on
+//! Linux) that dwarfed the useful work on small instances and made
+//! fanning out the flow solver's dual-bound pass unprofitable below
+//! tens of thousands of arcs. Now worker threads are spawned **once**,
+//! on first use, and park on a condvar between jobs; a terminal
+//! operation just enqueues a job and wakes them.
+//!
+//! ## Execution model
+//!
+//! A *job* is `total` independent chunk tasks sharing one closure
+//! (`f(chunk_index)`); chunk↔data assignment is fixed by the caller, so
+//! **which** thread runs a chunk never affects results. Workers (and
+//! the submitting thread, which always participates) claim chunk
+//! indices from an atomic counter and run them to exhaustion; the
+//! submitter then blocks until the last claimed chunk completes, which
+//! is what makes lending stack-borrowing closures to `'static` workers
+//! sound (see safety notes inline).
+//!
+//! Because the submitter participates, a job always finishes even if
+//! every worker is busy — nested `run_chunks` calls (a parallel
+//! operation inside a parallel operation) therefore cannot deadlock:
+//! the inner submitter simply executes its own chunks.
+//!
+//! ## Sizing
+//!
+//! The pool is sized once, at first use, from the `DCTOPO_THREADS`
+//! environment variable (then `RAYON_NUM_THREADS`, then
+//! `std::thread::available_parallelism`): `N - 1` workers, because the
+//! submitter is the `N`-th executor. [`crate::ThreadPool::install`]
+//! overrides only how many *chunks* a terminal operation is split into,
+//! never the worker count — output is bit-identical either way because
+//! assembly is index-ordered (see [`crate::iter`]).
+//!
+//! Panics in a chunk are caught, forwarded to the submitter, and
+//! re-thrown there; workers survive and keep serving later jobs.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+
+/// A batch of `total` chunk tasks over one lifetime-erased closure.
+struct Job {
+    /// The chunk executor. Points at a stack-borrowing closure owned by
+    /// the submitter; erased to `'static` because trait objects in
+    /// fields need a fixed lifetime. Validity is upheld by the protocol:
+    /// `run_chunks` does not return until `done == total`, and `f` is
+    /// only dereferenced between a successful claim and the matching
+    /// `done` increment.
+    f: *const (dyn Fn(usize) + Sync),
+    /// Next chunk index to claim (claims past `total` mean "exhausted").
+    next: AtomicUsize,
+    /// Chunks completed (or abandoned to a panic) so far.
+    done: AtomicUsize,
+    /// Total chunk count.
+    total: usize,
+    /// First panic payload raised by any chunk, if any.
+    panic: Mutex<Option<Box<dyn Any + Send>>>,
+    /// Completion signalling for the submitter.
+    done_lock: Mutex<()>,
+    done_cv: Condvar,
+}
+
+// SAFETY: `f` is only dereferenced while the submitter provably keeps
+// the closure alive (see the protocol described on the field), and the
+// pointee is `Sync`, so sharing `Job` across threads is sound.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+impl Job {
+    /// Claim the next unprocessed chunk index, if any remain.
+    fn claim(&self) -> Option<usize> {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        (i < self.total).then_some(i)
+    }
+
+    /// Whether every chunk has been claimed (not necessarily finished).
+    fn exhausted(&self) -> bool {
+        self.next.load(Ordering::Relaxed) >= self.total
+    }
+
+    /// Claim and run chunks until none remain. Called by workers and by
+    /// the submitting thread alike.
+    fn execute(&self) {
+        while let Some(i) = self.claim() {
+            // SAFETY: a successful claim implies `done < total`, so the
+            // submitter is still blocked in `wait` and the closure it
+            // owns is alive for the whole call.
+            let f = unsafe { &*self.f };
+            if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+                let mut slot = self.panic.lock().expect("panic slot");
+                slot.get_or_insert(payload);
+            }
+            if self.done.fetch_add(1, Ordering::AcqRel) + 1 == self.total {
+                // lock before notifying so the submitter can't check the
+                // counter and sleep between our increment and our notify
+                let _guard = self.done_lock.lock().expect("done lock");
+                self.done_cv.notify_all();
+            }
+        }
+    }
+
+    /// Block until every chunk has completed.
+    fn wait(&self) {
+        let mut guard = self.done_lock.lock().expect("done lock");
+        while self.done.load(Ordering::Acquire) < self.total {
+            guard = self.done_cv.wait(guard).expect("done cv");
+        }
+    }
+}
+
+/// The queue workers pull jobs from. Exhausted jobs are lazily dropped
+/// from the front; a job is never removed while chunks remain.
+struct Pool {
+    queue: Mutex<VecDeque<Arc<Job>>>,
+    work_cv: Condvar,
+    workers: usize,
+}
+
+impl Pool {
+    /// Leak a pool with `workers` detached worker threads. Called once
+    /// for the process-wide pool; tests spawn private instances to
+    /// exercise the worker path regardless of host parallelism.
+    fn spawn(workers: usize) -> &'static Pool {
+        let pool: &'static Pool = Box::leak(Box::new(Pool {
+            queue: Mutex::new(VecDeque::new()),
+            work_cv: Condvar::new(),
+            workers,
+        }));
+        for i in 0..workers {
+            std::thread::Builder::new()
+                .name(format!("dctopo-rayon-{i}"))
+                .spawn(move || pool.worker_loop())
+                .expect("spawn pool worker");
+        }
+        pool
+    }
+
+    fn worker_loop(&self) {
+        loop {
+            let job = {
+                let mut q = self.queue.lock().expect("pool queue");
+                loop {
+                    while q.front().is_some_and(|j| j.exhausted()) {
+                        q.pop_front();
+                    }
+                    if let Some(j) = q.front() {
+                        break Arc::clone(j);
+                    }
+                    q = self.work_cv.wait(q).expect("pool cv");
+                }
+            };
+            job.execute();
+        }
+    }
+}
+
+static POOL: OnceLock<&'static Pool> = OnceLock::new();
+
+/// Worker-thread count the pool was (or would be) initialised with:
+/// `DCTOPO_THREADS`, then `RAYON_NUM_THREADS`, then available
+/// parallelism. Unlike [`crate::current_num_threads`] this ignores
+/// [`crate::ThreadPool::install`] overrides — the pool is global and
+/// sized once.
+pub(crate) fn configured_threads() -> usize {
+    for var in ["DCTOPO_THREADS", "RAYON_NUM_THREADS"] {
+        if let Ok(v) = std::env::var(var) {
+            if let Ok(n) = v.parse::<usize>() {
+                if n > 0 {
+                    return n;
+                }
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+}
+
+/// The process-wide pool, spawning its workers on first use. `N - 1`
+/// workers for a configured count of `N`: the submitter is the `N`-th
+/// executor. Workers are detached and park between jobs; they live for
+/// the rest of the process.
+fn pool() -> &'static Pool {
+    POOL.get_or_init(|| Pool::spawn(configured_threads().saturating_sub(1)))
+}
+
+/// Number of executing threads a pool-backed operation can use
+/// (workers + the submitting thread). Forces pool initialisation.
+pub fn pool_threads() -> usize {
+    pool().workers + 1
+}
+
+/// Run `f(0)`, `f(1)`, …, `f(total - 1)` on the persistent pool and
+/// block until all complete. The submitting thread participates, so the
+/// call makes progress even when every worker is busy (including the
+/// nested case where the submitter *is* a pool worker). Re-raises the
+/// first panic any chunk produced.
+pub(crate) fn run_chunks(total: usize, f: &(dyn Fn(usize) + Sync)) {
+    run_chunks_on(pool(), total, f)
+}
+
+/// [`run_chunks`] against an explicit pool instance.
+fn run_chunks_on(pool: &Pool, total: usize, f: &(dyn Fn(usize) + Sync)) {
+    if total == 0 {
+        return;
+    }
+    // SAFETY: erasing the closure's stack lifetime to place it in the
+    // job; `wait` below keeps this frame (and therefore the closure)
+    // alive until every chunk has run.
+    let erased: *const (dyn Fn(usize) + Sync) =
+        unsafe { std::mem::transmute(f as *const (dyn Fn(usize) + Sync)) };
+    let job = Arc::new(Job {
+        f: erased,
+        next: AtomicUsize::new(0),
+        done: AtomicUsize::new(0),
+        total,
+        panic: Mutex::new(None),
+        done_lock: Mutex::new(()),
+        done_cv: Condvar::new(),
+    });
+    if pool.workers > 0 {
+        pool.queue
+            .lock()
+            .expect("pool queue")
+            .push_back(Arc::clone(&job));
+        // wake only as many workers as could usefully claim a chunk
+        // (the submitter takes one share itself); small jobs on
+        // many-core hosts must not stampede the whole pool
+        let useful = pool.workers.min(total - 1);
+        if useful == pool.workers {
+            pool.work_cv.notify_all();
+        } else {
+            for _ in 0..useful {
+                pool.work_cv.notify_one();
+            }
+        }
+    }
+    job.execute();
+    job.wait();
+    let payload = job.panic.lock().expect("panic slot").take();
+    if let Some(payload) = payload {
+        resume_unwind(payload);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    /// Both the process-wide pool (whose worker count depends on the
+    /// host) and a private 3-worker instance run every chunk exactly
+    /// once.
+    #[test]
+    fn runs_every_chunk_exactly_once() {
+        for target in [None, Some(Pool::spawn(3))] {
+            let counts: Vec<AtomicU64> = (0..97).map(|_| AtomicU64::new(0)).collect();
+            let f = |i: usize| {
+                counts[i].fetch_add(1, Ordering::Relaxed);
+            };
+            match target {
+                None => run_chunks(97, &f),
+                Some(p) => run_chunks_on(p, 97, &f),
+            }
+            assert!(counts.iter().all(|c| c.load(Ordering::Relaxed) == 1));
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_many_jobs() {
+        // regression guard for the per-call thread-spawn behavior this
+        // module replaced: 10k tiny jobs complete quickly only if no
+        // threads are spawned per job
+        let pool = Pool::spawn(2);
+        let sum = AtomicU64::new(0);
+        for _ in 0..10_000 {
+            run_chunks_on(pool, 4, &|i| {
+                sum.fetch_add(i as u64, Ordering::Relaxed);
+            });
+        }
+        assert_eq!(sum.load(Ordering::Relaxed), 10_000 * 6);
+    }
+
+    /// Nested fan-out over one shared pool: inner submitters execute
+    /// their own chunks, so 8×8 jobs complete on 2 workers.
+    #[test]
+    fn nested_jobs_complete() {
+        let pool = Pool::spawn(2);
+        let total = AtomicU64::new(0);
+        run_chunks_on(pool, 8, &|_| {
+            run_chunks_on(pool, 8, &|j| {
+                total.fetch_add(j as u64, Ordering::Relaxed);
+            });
+        });
+        assert_eq!(total.load(Ordering::Relaxed), 8 * 28);
+    }
+
+    /// Concurrent submitters sharing one pool: every job completes with
+    /// its own chunks only.
+    #[test]
+    fn concurrent_submitters_do_not_interfere() {
+        let pool = Pool::spawn(3);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..200 {
+                        let sum = AtomicU64::new(0);
+                        run_chunks_on(pool, 5, &|i| {
+                            sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+                        });
+                        assert_eq!(sum.load(Ordering::Relaxed), 15);
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn chunk_panic_propagates_and_pool_survives() {
+        let pool = Pool::spawn(2);
+        let r = std::panic::catch_unwind(|| {
+            run_chunks_on(pool, 4, &|i| {
+                if i == 2 {
+                    panic!("boom");
+                }
+            });
+        });
+        assert!(r.is_err());
+        // the pool still works after a panicking job
+        let ok = AtomicU64::new(0);
+        run_chunks_on(pool, 4, &|_| {
+            ok.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ok.load(Ordering::Relaxed), 4);
+    }
+}
