@@ -1,0 +1,129 @@
+//! Criterion benchmark for the FPTAS fast path — Fleischer tree reuse
+//! plus increase-only incremental Dijkstra repair in the routing inner
+//! loop — against the strict legacy trajectory on the paper's core
+//! sweep shape (many traffic matrices, one fabric).
+//!
+//! The headline comparison is `fptas_sweep_rrg64x12x8`: an 8-matrix
+//! permutation sweep on RRG(64 switches, 12 ports, degree 8), solved
+//! with `strict_reference: true` (the pre-fast-path trajectory, still
+//! bit-identical to `dctopo_flow::reference`) vs the default fast path.
+//! Before timing, every fast solve is gated: feasible on every arc,
+//! certified `gap() <= target_gap`, and primal/dual brackets overlapping
+//! the strict run's. Run
+//! `DCTOPO_BENCH_JSON=BENCH_fptas.json cargo bench -p dctopo-bench
+//! --bench fptas_fast` to regenerate the committed artifact in the
+//! shared speedup schema (settle counts ride along in `instance`).
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dctopo_bench::report::{self, SpeedupRecord};
+use dctopo_core::solve::aggregate_commodities;
+use dctopo_flow::{Commodity, FlowOptions, SolvedFlow};
+use dctopo_graph::CsrNet;
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One RRG(64, 12, 8) plus 8 aggregated permutation traffic matrices.
+fn sweep_instance() -> (CsrNet, Vec<Vec<Commodity>>) {
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(64, 12, 8, &mut rng).expect("rrg");
+    let matrices: Vec<Vec<Commodity>> = (0..8)
+        .map(|_| {
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+            aggregate_commodities(&topo, &tm)
+        })
+        .collect();
+    (CsrNet::from_graph(&topo.graph), matrices)
+}
+
+/// Sweep profile: the certified 5% gap of `fast()` with headroom to
+/// actually reach it (the correctness gate below asserts it does).
+fn sweep_opts() -> FlowOptions {
+    FlowOptions {
+        max_phases: 4000,
+        stall_phases: 400,
+        ..FlowOptions::fast()
+    }
+}
+
+fn run_sweep(net: &CsrNet, matrices: &[Vec<Commodity>], opts: &FlowOptions) -> Vec<SolvedFlow> {
+    matrices
+        .iter()
+        .map(|cs| dctopo_flow::solve(net, cs, opts).expect("solve"))
+        .collect()
+}
+
+fn bench_fptas_fast(c: &mut Criterion) {
+    let (net, matrices) = sweep_instance();
+    let fast_opts = sweep_opts();
+    let strict_opts = fast_opts.with_strict_reference(true);
+
+    // ---- correctness gate (runs once, before any timing) ----
+    let t = Instant::now();
+    let strict = run_sweep(&net, &matrices, &strict_opts);
+    let old_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let fast = run_sweep(&net, &matrices, &fast_opts);
+    let new_ms = t.elapsed().as_secs_f64() * 1e3;
+    for (i, (s, f)) in strict.iter().zip(&fast).enumerate() {
+        assert!(
+            f.gap() <= fast_opts.target_gap + 1e-9,
+            "matrix {i}: fast gap {} above target {}",
+            f.gap(),
+            fast_opts.target_gap
+        );
+        for a in 0..net.arc_count() {
+            assert!(
+                f.arc_flow[a] <= net.capacity(a) * (1.0 + 1e-9),
+                "matrix {i}: fast path overflows arc {a}"
+            );
+        }
+        // both certified intervals must bracket the same optimum
+        assert!(f.throughput <= s.upper_bound * (1.0 + 1e-9), "matrix {i}");
+        assert!(s.throughput <= f.upper_bound * (1.0 + 1e-9), "matrix {i}");
+    }
+    let strict_settles: u64 = strict.iter().map(|s| s.settles).sum();
+    let fast_settles: u64 = fast.iter().map(|s| s.settles).sum();
+    assert!(
+        2 * fast_settles <= strict_settles,
+        "fast path should at least halve Dijkstra-equivalent settles: \
+         {fast_settles} vs {strict_settles}"
+    );
+    report::emit_from_env(&[SpeedupRecord {
+        name: "fptas_fast".into(),
+        instance: format!(
+            "RRG(64, 12, 8), 8 permutation matrices, eps 0.15 gap 0.05; \
+             settles {strict_settles} -> {fast_settles} ({:.1}x fewer)",
+            strict_settles as f64 / fast_settles as f64
+        ),
+        old_ms,
+        new_ms,
+    }]);
+
+    // ---- timed comparison ----
+    let mut group = c.benchmark_group("fptas_sweep_rrg64x12x8");
+    group.sample_size(10);
+    group.bench_function("strict_8_matrices", |b| {
+        b.iter(|| {
+            run_sweep(&net, &matrices, &strict_opts)
+                .iter()
+                .map(|s| s.throughput)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("fast_8_matrices", |b| {
+        b.iter(|| {
+            run_sweep(&net, &matrices, &fast_opts)
+                .iter()
+                .map(|s| s.throughput)
+                .sum::<f64>()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_fptas_fast);
+criterion_main!(benches);

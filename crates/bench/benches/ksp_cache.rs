@@ -7,8 +7,10 @@
 //! re-frozen per matrix, the pre-cache behavior) vs through a
 //! [`PathSetCache`] (each switch pair frozen once per topology). The
 //! two sweeps are asserted bit-identical before timing starts. Run
-//! `CRITERION_JSON=BENCH_ksp.json cargo bench -p dctopo-bench --bench
-//! ksp_cache` to regenerate the committed numbers.
+//! `DCTOPO_BENCH_JSON=$PWD/BENCH_ksp.json cargo bench -p dctopo-bench
+//! --bench ksp_cache` to regenerate the committed shared-schema
+//! artifact (see [`dctopo_bench::report`]); `CRITERION_JSON=<path>`
+//! separately dumps criterion's own per-group numbers.
 //!
 //! `pool_scaling_fptas_rrg32` measures the FPTAS on a small instance at
 //! 1/2/4-way chunking: with per-call thread spawning this used to be a
@@ -18,7 +20,10 @@
 //! spawn-per-call territory (~100 µs/thread) but only a queue push for
 //! the pool, so multi-way chunking wins even at this size.
 
+use std::time::Instant;
+
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctopo_bench::report::{self, SpeedupRecord};
 use dctopo_core::solve::aggregate_commodities;
 use dctopo_flow::{Backend, Commodity, FlowOptions, PathSetCache};
 use dctopo_graph::CsrNet;
@@ -70,6 +75,27 @@ fn bench_ksp_sweep(c: &mut Criterion) {
             "cached KSP sweep diverged from cold"
         );
     }
+
+    // shared-schema artifact probe (see `dctopo_bench::report`)
+    let t = Instant::now();
+    for cs in &matrices {
+        dctopo_flow::solve(&net, cs, &opts).expect("cold");
+    }
+    let old_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let cache = PathSetCache::new();
+    for cs in &matrices {
+        dctopo_flow::solve_with_cache(&net, cs, &opts, &cache).expect("warm");
+    }
+    let new_ms = t.elapsed().as_secs_f64() * 1e3;
+    report::emit_from_env(&[SpeedupRecord {
+        name: "ksp_cache".into(),
+        instance: "RRG(16, 24, 8), 16 permutation matrices, KSP k=8; \
+                   cold re-freeze per matrix vs PathSetCache"
+            .into(),
+        old_ms,
+        new_ms,
+    }]);
 
     let mut group = c.benchmark_group("ksp_sweep_rrg16x24x8");
     group.sample_size(10);

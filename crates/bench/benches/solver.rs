@@ -1,13 +1,19 @@
 //! Criterion benchmarks for the max-concurrent-flow engine: the inner
 //! loop of every experiment in the paper.
 //!
-//! The headline comparison is `csr_vs_graph`: the CSR/workspace FPTAS
-//! backend against the retained direct-`Graph` baseline
+//! The headline comparison is `csr_vs_graph`: the CSR fast-path FPTAS
+//! engine against the retained direct-`Graph` baseline
 //! (`dctopo_flow::reference`) on RRG(64, 12, 8) permutation traffic.
-//! Run `CRITERION_JSON=BENCH_solver.json cargo bench --bench solver` to
-//! regenerate the committed numbers.
+//! Run `DCTOPO_BENCH_JSON=$PWD/BENCH_solver.json cargo bench -p
+//! dctopo-bench --bench solver` to regenerate the committed
+//! shared-schema artifact (see [`dctopo_bench::report`]);
+//! `CRITERION_JSON=<path>` separately dumps criterion's own per-group
+//! numbers.
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dctopo_bench::report::{self, SpeedupRecord};
 use dctopo_core::{solve_throughput, ThroughputEngine};
 use dctopo_flow::reference::max_concurrent_flow_graph;
 use dctopo_flow::{exact::exact_max_concurrent_flow, max_concurrent_flow, Commodity, FlowOptions};
@@ -17,7 +23,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// The acceptance benchmark: old (direct-Graph, single-threaded) vs new
-/// (CsrNet + workspaces + phase-parallel rayon) FPTAS on the same
+/// (CsrNet + workspaces + the incremental fast path) FPTAS on the same
 /// RRG(64 switches, 12 ports, degree 8) permutation instance.
 fn bench_csr_vs_graph(c: &mut Criterion) {
     let mut group = c.benchmark_group("csr_vs_graph_rrg64x12x8");
@@ -28,6 +34,25 @@ fn bench_csr_vs_graph(c: &mut Criterion) {
     let engine = ThroughputEngine::new(&topo);
     let commodities = dctopo_core::solve::aggregate_commodities(&topo, &tm);
     let opts = FlowOptions::fast();
+
+    // shared-schema artifact probe (see `dctopo_bench::report`)
+    let t = Instant::now();
+    let base = max_concurrent_flow_graph(&topo.graph, &commodities, &opts).expect("baseline");
+    let old_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let engine_sol = dctopo_flow::solve(engine.net(), &commodities, &opts).expect("csr");
+    let new_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert!(engine_sol.gap() <= opts.target_gap + 1e-9);
+    assert!(base.gap() <= opts.target_gap + 1e-9);
+    report::emit_from_env(&[SpeedupRecord {
+        name: "solver_engine".into(),
+        instance: "RRG(64, 12, 8) permutation, FlowOptions::fast(); \
+                   direct-Graph reference vs CSR fast-path engine"
+            .into(),
+        old_ms,
+        new_ms,
+    }]);
+
     group.bench_function("graph_baseline", |b| {
         b.iter(|| {
             max_concurrent_flow_graph(&topo.graph, &commodities, &opts)

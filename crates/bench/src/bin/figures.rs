@@ -21,19 +21,22 @@ fn usage() -> ! {
         "usage: figures <fig1|fig2|fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|\
          fig12|fig12a|fig12b|fig12c|fig13|extra-hypercube|extra-fattree|\
          extra-bisection|all> [--full] [--runs N] [--seed S] [--precise] \
-         [--backend fptas|exact|ksp:<k>]"
+         [--backend fptas|fptas-strict|exact|ksp:<k>]"
     );
     std::process::exit(2);
 }
 
-/// Parse a `--backend` argument (`fptas`, `exact`, or `ksp:<k>`).
-fn parse_backend(s: &str) -> Option<Backend> {
+/// Parse a `--backend` argument (`fptas`, `fptas-strict`, `exact`, or
+/// `ksp:<k>`); the second element selects the FPTAS's strict legacy
+/// trajectory (`FlowOptions::strict_reference`).
+fn parse_backend(s: &str) -> Option<(Backend, bool)> {
     match s {
-        "fptas" => Some(Backend::Fptas),
-        "exact" => Some(Backend::ExactLp),
+        "fptas" => Some((Backend::Fptas, false)),
+        "fptas-strict" => Some((Backend::Fptas, true)),
+        "exact" => Some((Backend::ExactLp, false)),
         _ => {
             let k: usize = s.strip_prefix("ksp:")?.parse().ok()?;
-            (k > 0).then_some(Backend::KspRestricted { k })
+            (k > 0).then_some((Backend::KspRestricted { k }, false))
         }
     }
 }
@@ -66,10 +69,12 @@ fn main() {
             }
             "--backend" => {
                 i += 1;
-                cfg.opts.backend = args
+                let (backend, strict) = args
                     .get(i)
                     .and_then(|s| parse_backend(s))
                     .unwrap_or_else(|| usage());
+                cfg.opts.backend = backend;
+                cfg.opts.strict_reference = strict;
             }
             _ => usage(),
         }

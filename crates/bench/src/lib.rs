@@ -19,6 +19,7 @@
 //! algorithms live in `benches/`.
 
 pub mod figs;
+pub mod report;
 
 use dctopo_flow::FlowOptions;
 

@@ -1,0 +1,113 @@
+//! Shared machine-readable schema for the committed `BENCH_*.json`
+//! artifacts.
+//!
+//! Every acceptance benchmark in this workspace is an old-vs-new
+//! comparison on a fixed instance; this module gives them all one JSON
+//! shape — `name`, `instance`, `old_ms`, `new_ms`, `speedup` — so the
+//! perf trajectory across PRs stays diffable by machines (and humans)
+//! without parsing per-bench formats.
+//!
+//! Benches call [`emit_from_env`] after their correctness gate: when the
+//! `DCTOPO_BENCH_JSON` environment variable names a path, the records
+//! are written there (and the path echoed to stderr); otherwise the call
+//! is a no-op, so `cargo bench` runs stay side-effect free by default.
+//!
+//! ```text
+//! DCTOPO_BENCH_JSON=BENCH_fptas.json cargo bench -p dctopo-bench --bench fptas_fast
+//! ```
+
+use std::io;
+
+/// One old-vs-new comparison on a fixed benchmark instance.
+#[derive(Debug, Clone)]
+pub struct SpeedupRecord {
+    /// Stable benchmark name (e.g. `fptas_fast`).
+    pub name: String,
+    /// Human-readable instance description (topology, traffic, knobs —
+    /// free text; auxiliary numbers like settle counts go here too).
+    pub instance: String,
+    /// Old implementation's wall-clock for the instance, milliseconds.
+    pub old_ms: f64,
+    /// New implementation's wall-clock for the instance, milliseconds.
+    pub new_ms: f64,
+}
+
+impl SpeedupRecord {
+    /// `old_ms / new_ms` (what the acceptance criteria bound).
+    pub fn speedup(&self) -> f64 {
+        self.old_ms / self.new_ms
+    }
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control chars).
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render records in the shared schema.
+pub fn to_json(records: &[SpeedupRecord]) -> String {
+    let rows: Vec<String> = records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"instance\": \"{}\", \"old_ms\": {:.3}, \"new_ms\": {:.3}, \"speedup\": {:.3}}}",
+                escape(&r.name),
+                escape(&r.instance),
+                r.old_ms,
+                r.new_ms,
+                r.speedup()
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Write records to `path` in the shared schema.
+pub fn write_json(path: &str, records: &[SpeedupRecord]) -> io::Result<()> {
+    std::fs::write(path, to_json(records))
+}
+
+/// Write records to the path named by `DCTOPO_BENCH_JSON`, if set.
+/// Panics on I/O errors (a bench asked for an artifact it cannot have)
+/// and is a silent no-op when the variable is absent.
+pub fn emit_from_env(records: &[SpeedupRecord]) {
+    if let Ok(path) = std::env::var("DCTOPO_BENCH_JSON") {
+        write_json(&path, records).expect("write DCTOPO_BENCH_JSON artifact");
+        eprintln!("wrote {} speedup record(s) to {path}", records.len());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_shape_and_speedup() {
+        let rec = SpeedupRecord {
+            name: "fptas_fast".into(),
+            instance: "RRG(64, 12, 8) \"sweep\"".into(),
+            old_ms: 300.0,
+            new_ms: 150.0,
+        };
+        assert!((rec.speedup() - 2.0).abs() < 1e-12);
+        let json = to_json(std::slice::from_ref(&rec));
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"name\": \"fptas_fast\""));
+        assert!(json.contains("\\\"sweep\\\""));
+        assert!(json.contains("\"speedup\": 2.000"));
+    }
+
+    #[test]
+    fn escape_controls() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+}

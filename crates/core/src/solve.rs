@@ -329,6 +329,30 @@ mod tests {
         assert_eq!(cold.network_lambda.to_bits(), warm.network_lambda.to_bits());
     }
 
+    /// FlowOptions.strict_reference is honored end-to-end: the engine
+    /// runs the legacy trajectory on demand (bit-identical to the
+    /// one-shot strict solve) and the default fast path certifies an
+    /// overlapping optimality interval.
+    #[test]
+    fn strict_reference_flows_through_engine() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo = Topology::random_regular(10, 6, 4, &mut rng).unwrap();
+        let engine = ThroughputEngine::new(&topo);
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        let strict_opts = opts().with_strict_reference(true);
+        let strict = engine.solve(&tm, &strict_opts).unwrap();
+        let fast = engine.solve(&tm, &opts()).unwrap();
+        // engine plumbing is transparent: same options, same bits
+        let one_shot = solve_throughput(&topo, &tm, &strict_opts).unwrap();
+        assert_eq!(
+            strict.network_lambda.to_bits(),
+            one_shot.network_lambda.to_bits()
+        );
+        // fast and strict certify overlapping intervals
+        assert!(fast.network_lambda <= strict.network_upper_bound * (1.0 + 1e-9));
+        assert!(strict.network_lambda <= fast.network_upper_bound * (1.0 + 1e-9));
+    }
+
     /// FlowOptions.backend is honored end-to-end: the exact LP and the
     /// FPTAS agree within the certified gap on a small topology.
     #[test]

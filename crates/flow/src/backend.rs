@@ -32,6 +32,11 @@ pub trait SolverBackend: Send + Sync {
 }
 
 /// The parallel multiplicative-weights FPTAS (see [`max_concurrent_flow_csr`](crate::max_concurrent_flow_csr)).
+///
+/// Runs the incremental fast path (tree reuse + increase-only Dijkstra
+/// repair + annealed ε) by default; set
+/// [`FlowOptions::strict_reference`] to pin the legacy trajectory,
+/// bit-identical to [`crate::reference`].
 #[derive(Debug, Clone, Copy, Default)]
 pub struct Fptas;
 

@@ -124,12 +124,18 @@ impl PathSetCache {
             if missing.is_empty() {
                 return Ok(out.into_iter().map(|p| p.expect("all hits")).collect());
             }
-            inner
-                .graphs
-                .entry(net.id())
-                .or_insert_with(|| Arc::new(net.to_graph()))
-                .clone()
-        };
+            inner.graphs.get(&net.id()).cloned()
+        }
+        // The O(nodes + arcs) adjacency rebuild runs outside the lock,
+        // like the Yen runs below — concurrent solvers on different
+        // nets must not serialise on each other's preprocessing. A
+        // racing rebuild of the same net produces identical content
+        // (`to_graph` is deterministic), so first-writer-wins is safe.
+        .unwrap_or_else(|| {
+            let built = Arc::new(net.to_graph());
+            let mut inner = self.inner.lock().expect("path cache poisoned");
+            inner.graphs.entry(net.id()).or_insert(built).clone()
+        });
         // phase 2 (unlocked): freeze the missing pairs
         let mut frozen: Vec<((NodeId, NodeId), FrozenPathSet)> = Vec::with_capacity(missing.len());
         for &(src, dst) in &missing {

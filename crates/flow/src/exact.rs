@@ -103,6 +103,7 @@ pub fn exact_solved_flow(
                 arc_flow,
                 commodity_rate,
                 phases: 1,
+                settles: 0,
             })
         }
         LpOutcome::Infeasible => Err(FlowError::BadOptions(

@@ -1,6 +1,7 @@
 //! The Garg–Könemann / Fleischer FPTAS for max concurrent flow over the
-//! shared [`CsrNet`], with certified primal and dual bounds and
-//! phase-parallel shortest-path computation.
+//! shared [`CsrNet`], with certified primal and dual bounds,
+//! phase-parallel shortest-path computation, and an incremental
+//! shortest-path fast path.
 //!
 //! ## Sketch
 //!
@@ -15,33 +16,49 @@
 //! We track the best (smallest) dual bound seen and stop as soon as the
 //! certified primal/dual gap is below `target_gap`.
 //!
-//! ## Execution strategy
+//! ## Two execution strategies
 //!
-//! Commodities are grouped by source. Routing is *sequential in fixed
-//! group order* and recomputes each group's shortest-path tree under the
-//! **current** lengths inside the augmentation loop — exactly the
-//! trajectory of the retained [`crate::reference`] baseline, so the two
-//! implementations produce bit-identical results; what changes is the
-//! cost per operation:
+//! Commodities are grouped by source; routing is *sequential in fixed
+//! group order* in both modes, so seeded runs are bit-identical at every
+//! thread count either way. [`crate::FlowOptions::strict_reference`]
+//! selects the trajectory:
 //!
-//! * every Dijkstra runs over the flat [`CsrNet`] arrays into a
-//!   persistent per-group [`DijkstraWorkspace`] — no nested-`Vec`
-//!   pointer chasing, no allocation after warm-up, a duplicate-free
-//!   indexed heap, and early termination once the group's sinks settle;
-//! * the dual bound `D(l)/α(l)` (evaluated every few phases) needs one
-//!   shortest-path tree per source group against *fixed* lengths —
-//!   a read-only, embarrassingly parallel pass that runs on **rayon**
-//!   across the per-group workspaces, with the `α` reduction performed
-//!   sequentially in group order.
+//! * **Fast path (default).** Each source group keeps a *full*
+//!   shortest-path tree in its [`DijkstraWorkspace`] and routes against
+//!   it through a three-tier reuse ladder (see [`solve_fast`] docs):
+//!   exact reuse of untouched paths (increase-only lengths keep them
+//!   *exactly* shortest), Fleischer `(1+ε·δ)` drift tolerance for
+//!   touched ones, and [`CsrNet::dijkstra_repair`] — an increase-only
+//!   incremental re-settle of just the drifted subtree, fed by a global
+//!   length-increase log with one cursor per group — beyond the gate.
+//!   Every few phases all trees are rebuilt in one **rayon-parallel**
+//!   exact pass, the dual bound is harvested every phase for free from
+//!   the (possibly mixed-age) trees, `D(l)` is maintained incrementally
+//!   at the length-update sites (verified against the full sum in debug
+//!   builds), and the step size ε anneals from coarse to the configured
+//!   value as the certified gap closes. None of this bends correctness:
+//!   the primal stays feasible by construction (capacity-scaled steps)
+//!   and `D(l)/α(l)` upper-bounds λ* for *any* positive lengths, so the
+//!   reported gap is certified no matter how the trajectory was chosen.
+//! * **Strict path** (`strict_reference: true`). The retained
+//!   pre-fast-path trajectory: every inner augmentation recomputes the
+//!   group's shortest-path tree under the current lengths with
+//!   target-set early termination — operation-for-operation the
+//!   trajectory of [`crate::reference`], so the two produce
+//!   bit-identical results. This is the escape hatch that keeps the
+//!   legacy baseline pinned.
 //!
-//! Because the parallel pass computes into disjoint per-group buffers
-//! and every floating-point reduction runs in fixed group order, a
-//! seeded run is **bit-identical at every thread count** — unlike
-//! classic work-stealing parallelism. Routing itself is kept sequential
-//! deliberately: length updates are a serial dependency, and routing on
-//! stale length snapshots (the obvious way to parallelise it) measurably
-//! slows convergence — more phases to reach `target_gap` than the
-//! parallel Dijkstra pass saves.
+//! Every multi-tree pass (the strict dual pass, the fast path's batched
+//! rebuilds) writes into disjoint per-group workspaces and fans out on
+//! **rayon**, with every floating-point reduction performed sequentially
+//! in fixed group order — so a seeded run is **bit-identical at every
+//! thread count**. Routing itself is kept sequential deliberately:
+//! length updates are a serial dependency, and routing on stale length
+//! snapshots (the obvious way to parallelise it) measurably slows
+//! convergence — more phases to reach `target_gap` than the parallel
+//! passes save.
+
+use std::collections::HashMap;
 
 use dctopo_graph::{CsrNet, DijkstraWorkspace, NodeId};
 use rayon::prelude::*;
@@ -56,33 +73,73 @@ use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 /// 32-switch RRG now take the parallel path.
 const PARALLEL_DUAL_MIN_WORK: usize = 1 << 12;
 
+/// The dual bound D(l)/α(l) is invariant under uniform scaling of all
+/// lengths, and so are shortest paths — so we rescale whenever lengths
+/// grow large to avoid overflow corrupting the bound.
+const RESCALE_ABOVE: f64 = 1e100;
+
+/// Fast path: opening (coarse) step size of the annealing schedule.
+/// Solves whose configured ε is already coarser start there instead.
+/// Calibrated on RRG(64, 12, 8) permutation sweeps — see `BENCH_fptas`.
+const COARSE_EPS: f64 = 0.55;
+
+/// Fast path: rebuild every tree (making that phase's dual bound the
+/// exact `D(l)/α(l)`) and compact the increase log every this many
+/// phases. Between exact passes trees are only repaired lazily by the
+/// routing ladder and the per-phase dual bound is the valid mixed-age
+/// lower-bound form.
+const EXACT_PASS_EVERY: usize = 2;
+
+/// Fast path: tier-2 tolerates a touched path while its current length
+/// is within `1 + ε·DRIFT_FRACTION` of the tree-time distance. Measured
+/// cliff: fractions ≥ ~0.75 let groups keep loading paths competitors
+/// already saturated and the phase count explodes; 0.5 is the sweet
+/// spot between skipped rebuilds and routing reactivity.
+const DRIFT_FRACTION: f64 = 0.5;
+
 /// One source group: commodities sharing a source, plus the group's
 /// persistent Dijkstra scratch state.
 struct GroupState {
     src: NodeId,
     /// (commodity index, dst, demand)
     sinks: Vec<(usize, NodeId, f64)>,
-    /// Unique sink nodes: Dijkstra stops once all of them are settled.
+    /// Unique sink nodes: the strict path's Dijkstra stops once all of
+    /// them are settled (the fast path keeps full trees instead).
     targets: Vec<u32>,
     /// Per-group scratch: written by the parallel pass, read by routing.
+    /// In fast mode it holds the group's persistent shortest-path tree.
     ws: DijkstraWorkspace,
     /// Per-sink demand left to route in the current phase.
     remaining: Vec<f64>,
+    /// Fast path: absolute increase-log position up to which this
+    /// group's tree is exact (pending repairs start there).
+    cursor: usize,
+    /// Fast path: the tree's stored distances are unusable (after a
+    /// uniform length rescale) — recompute in full before routing.
+    needs_full: bool,
 }
 
 fn group_by_source(commodities: &[Commodity], n: usize) -> Vec<GroupState> {
     let mut groups: Vec<GroupState> = Vec::new();
-    // stable grouping that preserves first-seen source order
+    // hash-map index over sources; `groups` itself preserves first-seen
+    // source order, so grouping stays stable while lookup is O(1)
+    // (the old linear rescan was quadratic on all-to-all matrices)
+    let mut index: HashMap<NodeId, usize> = HashMap::with_capacity(commodities.len().min(n));
     for (i, c) in commodities.iter().enumerate() {
-        match groups.iter_mut().find(|g| g.src == c.src) {
-            Some(g) => g.sinks.push((i, c.dst, c.demand)),
-            None => groups.push(GroupState {
-                src: c.src,
-                sinks: vec![(i, c.dst, c.demand)],
-                targets: Vec::new(),
-                ws: DijkstraWorkspace::new(n),
-                remaining: Vec::new(),
-            }),
+        match index.get(&c.src) {
+            Some(&gi) => groups[gi].sinks.push((i, c.dst, c.demand)),
+            None => {
+                index.insert(c.src, groups.len());
+                groups.push(GroupState {
+                    src: c.src,
+                    sinks: vec![(i, c.dst, c.demand)],
+                    targets: Vec::new(),
+                    ws: DijkstraWorkspace::new(n),
+                    remaining: Vec::new(),
+                    cursor: 0,
+                    needs_full: false,
+                });
+            }
         }
     }
     for g in &mut groups {
@@ -94,11 +151,23 @@ fn group_by_source(commodities: &[Commodity], n: usize) -> Vec<GroupState> {
     groups
 }
 
+/// `D(l) = Σ_a c(a)·l(a)` as one full pass (the strict path's per-call
+/// form, and the fast path's init/rescale/debug-verification form).
+fn weighted_length_sum(net: &CsrNet, length: &[f64]) -> f64 {
+    length
+        .iter()
+        .zip(net.capacities())
+        .map(|(&l, &c)| l * c)
+        .sum()
+}
+
 /// Solve max concurrent flow on `net` for `commodities` with the
 /// phase-parallel FPTAS.
 ///
 /// Returns a [`SolvedFlow`] whose `throughput` is a *feasible* concurrent
 /// rate and whose `upper_bound` certifies how far from optimal it can be.
+/// [`FlowOptions::strict_reference`] selects between the incremental
+/// fast path (default) and the legacy trajectory (see module docs).
 ///
 /// # Errors
 ///
@@ -111,8 +180,7 @@ pub fn max_concurrent_flow_csr(
     opts: &FlowOptions,
 ) -> Result<SolvedFlow, FlowError> {
     validate(net.node_count(), commodities, opts)?;
-    let num_arcs = net.arc_count();
-    if num_arcs == 0 {
+    if net.arc_count() == 0 {
         // commodities exist but there are no edges at all
         let c = &commodities[0];
         return Err(FlowError::Unreachable {
@@ -120,6 +188,22 @@ pub fn max_concurrent_flow_csr(
             dst: c.dst,
         });
     }
+    if opts.strict_reference {
+        solve_strict(net, commodities, opts)
+    } else {
+        solve_fast(net, commodities, opts)
+    }
+}
+
+/// The legacy trajectory: recompute each group's (early-terminated)
+/// shortest-path tree on every inner augmentation. Bit-identical to
+/// [`crate::reference::max_concurrent_flow_graph`].
+fn solve_strict(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    let num_arcs = net.arc_count();
     let eps = opts.epsilon;
     let mut groups = group_by_source(commodities, net.node_count());
     let inv_cap = net.inv_capacities();
@@ -130,14 +214,10 @@ pub fn max_concurrent_flow_csr(
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
 
-    // The dual bound D(l)/α(l) is invariant under uniform scaling of all
-    // lengths, and so are shortest paths — so we rescale whenever lengths
-    // grow large to avoid overflow corrupting the bound.
-    const RESCALE_ABOVE: f64 = 1e100;
-
     let mut best_dual = f64::INFINITY;
     // reachability check up front (also seeds the first dual bound)
-    if let Some(bound) = dual_bound(net, &mut groups, &length)? {
+    let d_l = weighted_length_sum(net, &length);
+    if let Some(bound) = dual_bound(net, &mut groups, &length, d_l, false)? {
         best_dual = best_dual.min(bound);
     }
     // evaluate the dual every few phases (it changes slowly and costs a
@@ -195,14 +275,17 @@ pub fn max_concurrent_flow_csr(
                 for &a in &touched {
                     tau = tau.min(net.capacity(a) / tree_load[a]);
                 }
-                // send τ·remaining along the tree, update lengths
+                // send τ·remaining along the tree, update lengths.
+                // Divide by the capacity (rather than multiplying by the
+                // precomputed reciprocal the fast path uses): division
+                // is what `reference` does, and the strict path's whole
+                // point is ulp-for-ulp agreement with it.
                 for &a in &touched {
                     let sent = tau * tree_load[a];
                     arc_flow[a] += sent;
-                    length[a] *= 1.0 + eps * (sent * inv_cap[a]);
+                    length[a] *= 1.0 + eps * (sent / net.capacity(a));
                     tree_load[a] = 0.0;
                 }
-                touched.clear();
                 for (k, &(j, _, _)) in g.sinks.iter().enumerate() {
                     let sent = tau * g.remaining[k];
                     routed[j] += sent;
@@ -226,8 +309,8 @@ pub fn max_concurrent_flow_csr(
         // certified primal: scale by max congestion
         let mu = arc_flow
             .iter()
-            .zip(inv_cap)
-            .map(|(&f, &ic)| f * ic)
+            .zip(net.capacities())
+            .map(|(&f, &c)| f / c)
             .fold(0.0f64, f64::max)
             .max(1e-300);
         let primal = commodities
@@ -239,7 +322,8 @@ pub fn max_concurrent_flow_csr(
         // certified dual: D(l)/α(l) at current lengths, every few phases
         // — the rayon-parallel source-group Dijkstra pass
         if phases.is_multiple_of(dual_every) || phases == opts.max_phases {
-            if let Some(bound) = dual_bound(net, &mut groups, &length)? {
+            let d_l = weighted_length_sum(net, &length);
+            if let Some(bound) = dual_bound(net, &mut groups, &length, d_l, false)? {
                 best_dual = best_dual.min(bound);
             }
         }
@@ -252,6 +336,7 @@ pub fn max_concurrent_flow_csr(
                 arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
                 commodity_rate: routed.iter().map(|&r| r / mu).collect(),
                 phases,
+                settles: 0,
             });
         }
         if primal >= (1.0 - opts.target_gap) * best_dual {
@@ -273,41 +358,365 @@ pub fn max_concurrent_flow_csr(
     let mut sol = best.expect("at least one phase ran");
     sol.upper_bound = best_dual;
     sol.phases = phases;
+    sol.settles = groups.iter().map(|g| g.ws.settles()).sum();
+    Ok(sol)
+}
+
+/// The incremental fast path. Each source group keeps a persistent
+/// **full** shortest-path tree and routes against it through a
+/// three-tier reuse ladder, cheapest first:
+///
+/// 1. **Exact reuse.** Lengths only grow, so a routed path none of
+///    whose arcs changed since the tree was computed is *still exactly
+///    shortest* — every alternative only got longer. A per-arc update
+///    stamp (`updated_at`) makes this an O(path) check.
+/// 2. **Fleischer drift tolerance.** A touched path may still be
+///    routed while its current length stays within a `(1+ε·δ)` factor
+///    of the tree-time distance (a valid lower bound on the current
+///    shortest distance). The certified primal/dual bounds hold for
+///    any routing, so this trades a little path quality for skipped
+///    recomputes.
+/// 3. **Incremental repair.** Beyond the gate,
+///    [`CsrNet::dijkstra_repair`] re-settles just the subtrees hanging
+///    off the arcs that actually grew (`log[cursor..]`) instead of
+///    recomputing from scratch.
+///
+/// Ladder misses rebuild lazily (speculative per-phase refreshes
+/// measurably double-pay: a tree rebuilt at phase start is often
+/// drifted again before its routing turn). Every [`EXACT_PASS_EVERY`]
+/// phases a **rayon-parallel** exact pass (disjoint workspaces)
+/// rebuilds all trees against one length snapshot, which makes that
+/// phase's dual bound exact and lets the increase log compact; the
+/// in-between phases harvest the valid mixed-age bound for free. The
+/// step size ε anneals from [`COARSE_EPS`] down to the configured
+/// value as the certified gap closes — coarse steps cross the early
+/// primal ground in far fewer phases, fine steps finish the endgame.
+fn solve_fast(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+) -> Result<SolvedFlow, FlowError> {
+    let num_arcs = net.arc_count();
+    let eps = opts.epsilon;
+    let mut groups = group_by_source(commodities, net.node_count());
+    let inv_cap = net.inv_capacities();
+
+    let mut length: Vec<f64> = inv_cap.to_vec();
+    let mut arc_flow = vec![0.0f64; num_arcs];
+    let mut routed = vec![0.0f64; commodities.len()];
+
+    // D(l) maintained incrementally at the length-update sites below;
+    // recomputed in full only at init and after a uniform rescale, and
+    // cross-checked against the full sum in debug builds.
+    let mut d_l = weighted_length_sum(net, &length);
+
+    // Global monotone increase log. `clock = base + log.len()` is an
+    // absolute event counter; a group whose tree was computed at
+    // absolute cursor `c` repairs with `log[c - base..]`. `updated_at`
+    // holds each arc's last absolute update index (the exact-reuse
+    // stamp). The log prefix is compacted whenever every cursor reaches
+    // the clock (each dual refresh), keeping memory proportional to the
+    // inter-refresh update volume.
+    let mut log: Vec<u32> = Vec::new();
+    let mut base = 0usize;
+    let mut updated_at = vec![usize::MAX; num_arcs];
+
+    let mut best_dual = f64::INFINITY;
+    // seeds every group's full tree and checks reachability up front
+    if let Some(bound) = dual_bound(net, &mut groups, &length, d_l, true)? {
+        best_dual = best_dual.min(bound);
+    }
+    let dual_every = EXACT_PASS_EVERY;
+    let mut last_primal_check = 0.0f64;
+    let mut stagnant_phases = 0usize;
+
+    let mut best: Option<SolvedFlow> = None;
+    let mut phases = 0usize;
+    let mut tree_load = vec![0.0f64; num_arcs];
+    let mut touched: Vec<usize> = Vec::new();
+    // Annealed step size: open with a coarse ε (few, productive phases
+    // while the primal is far from optimal), halve it whenever the
+    // primal stalls, and finish at the configured ε which governs the
+    // endgame accuracy. Both certificates remain valid at every step —
+    // the primal is feasible by construction and `D(l)/α(l)` bounds λ*
+    // for *any* positive lengths — so annealing changes the trajectory,
+    // never the guarantees.
+    let mut eps_cur = eps.max(COARSE_EPS);
+    // Patience before halving ε (or, at the final ε, before the
+    // `stall_phases` plateau stop takes over).
+    let anneal_patience = 10usize.min(opts.stall_phases);
+
+    while phases < opts.max_phases {
+        phases += 1;
+        // Tier-2 gate: tolerate a touched path while its current length
+        // stays within (1 + ε/2) of the tree-time distance. A
+        // tighter-than-(1+ε) gate keeps routing reactive to other
+        // groups' congestion (the multiplicative-weights trajectory
+        // degrades sharply when groups keep loading paths that
+        // competitors already saturated).
+        let drift = 1.0 + eps_cur * DRIFT_FRACTION;
+
+        // ---- periodic exact pass (the parallel refresh) ----
+        // Trees are rebuilt *lazily* inside the routing ladder (a
+        // speculative per-phase refresh measurably double-pays: a tree
+        // rebuilt at phase start is often drifted again by the earlier
+        // groups of the same phase before its turn comes). Every
+        // `dual_every`-th phase, though, all trees are rebuilt in one
+        // rayon-parallel pass against a consistent length snapshot so
+        // the dual bound below is the exact `D(l)/α(l)`, every repair
+        // cursor realigns, and the increase log can be compacted.
+        let exact_pass = phases.is_multiple_of(dual_every) || phases == opts.max_phases;
+        if exact_pass {
+            let clock = base + log.len();
+            let rebuild = |g: &mut GroupState| {
+                net.dijkstra(g.src, &length, &mut g.ws);
+                g.cursor = clock;
+                g.needs_full = false;
+            };
+            if groups.len() * net.arc_count() >= PARALLEL_DUAL_MIN_WORK {
+                groups.par_iter_mut().for_each(rebuild);
+            } else {
+                groups.iter_mut().for_each(rebuild);
+            }
+        }
+
+        // ---- dual bound, every phase and essentially free ----
+        // Each group's stored distances were exact under the (older)
+        // lengths its tree was computed at; lengths only grow, so they
+        // are lower bounds on the current distances, Σ d_j·dist_j is a
+        // lower bound on α(l), and `d_l / Σ` is a *valid* (if slightly
+        // weak) upper bound on λ*. On exact-pass phases every tree was
+        // just rebuilt, making the bound the exact `D(l)/α(l)`.
+        //
+        // The one exception is the aftermath of a uniform rescale:
+        // un-rebuilt trees then hold distances in *pre-rescale* units —
+        // far larger than any current distance, which would fabricate a
+        // too-small (invalid!) bound. Skip the harvest until the next
+        // rebuild has cleared every `needs_full` flag.
+        if groups.iter().all(|g| !g.needs_full) {
+            #[cfg(debug_assertions)]
+            {
+                let full = weighted_length_sum(net, &length);
+                debug_assert!(
+                    (d_l - full).abs() <= 1e-6 * full.max(f64::MIN_POSITIVE),
+                    "incremental D(l) drifted: {d_l} vs {full}"
+                );
+            }
+            let mut alpha = 0.0f64;
+            for g in groups.iter() {
+                for &(_, dst, demand) in &g.sinks {
+                    alpha += demand * g.ws.distance(dst);
+                }
+            }
+            let bound = d_l / alpha;
+            if bound.is_finite() && bound > 0.0 {
+                best_dual = best_dual.min(bound);
+            }
+        }
+        if exact_pass {
+            // every cursor is at the clock: compact the increase log
+            base += log.len();
+            log.clear();
+        }
+
+        // ---- sequential routing in fixed group order ----
+        for g in &mut groups {
+            for (k, &(_, _, d)) in g.sinks.iter().enumerate() {
+                g.remaining[k] = d;
+            }
+            let mut inner = 0usize;
+            while g.remaining.iter().any(|&r| r > 1e-12) {
+                inner += 1;
+                if inner > 64 {
+                    // carry skewed-instance leftovers to the next phase
+                    // (correctness unaffected; see strict path)
+                    break;
+                }
+                if g.needs_full {
+                    // post-rescale: stored distances are in pre-rescale
+                    // units, so the drift gate cannot be trusted — rebuild
+                    net.dijkstra(g.src, &length, &mut g.ws);
+                    g.cursor = base + log.len();
+                    g.needs_full = false;
+                }
+                // walk the tree through the reuse ladder; repair at most
+                // once per augmentation (a repaired tree is exact)
+                let mut exact = base + log.len() == g.cursor;
+                loop {
+                    touched.clear();
+                    let mut stale = false;
+                    for (k, &(_, dst, _)) in g.sinks.iter().enumerate() {
+                        let r = g.remaining[k];
+                        if r <= 1e-12 {
+                            continue;
+                        }
+                        if !g.ws.distance(dst).is_finite() {
+                            return Err(FlowError::Unreachable { src: g.src, dst });
+                        }
+                        let mut plen = 0.0f64;
+                        let mut hit = false;
+                        g.ws.walk_path(net, dst, |a| {
+                            if tree_load[a] == 0.0 {
+                                touched.push(a);
+                            }
+                            tree_load[a] += r;
+                            plen += length[a];
+                            hit |= updated_at[a] != usize::MAX && updated_at[a] >= g.cursor;
+                        });
+                        // tier 1: untouched path is still exactly
+                        // shortest; tier 2: touched but within the gate
+                        if !exact && hit && plen > drift * g.ws.distance(dst) {
+                            stale = true;
+                            break;
+                        }
+                    }
+                    if !stale {
+                        break;
+                    }
+                    // tier 3: incremental repair of the drifted tree
+                    // (every stored tree is full — seeded, exact-pass,
+                    // and repaired trees all settle the component, as
+                    // repair's preconditions require)
+                    for &a in &touched {
+                        tree_load[a] = 0.0;
+                    }
+                    net.dijkstra_repair(g.src, &length, &log[g.cursor - base..], &mut g.ws);
+                    g.cursor = base + log.len();
+                    exact = true;
+                }
+                let mut tau = 1.0f64;
+                for &a in &touched {
+                    tau = tau.min(net.capacity(a) / tree_load[a]);
+                }
+                for &a in &touched {
+                    let sent = tau * tree_load[a];
+                    arc_flow[a] += sent;
+                    let old = length[a];
+                    let new = old * (1.0 + eps_cur * (sent * inv_cap[a]));
+                    length[a] = new;
+                    // incremental D(l), the repair log, and the
+                    // exact-reuse stamp — all maintained at the one
+                    // place lengths ever change
+                    d_l += net.capacity(a) * (new - old);
+                    updated_at[a] = base + log.len();
+                    log.push(a as u32);
+                    tree_load[a] = 0.0;
+                }
+                for (k, &(j, _, _)) in g.sinks.iter().enumerate() {
+                    let sent = tau * g.remaining[k];
+                    routed[j] += sent;
+                    g.remaining[k] -= sent;
+                }
+                if tau >= 1.0 {
+                    break;
+                }
+            }
+        }
+
+        // rescale lengths when they get large (scale-invariant). Scaling
+        // is not an arcwise *increase*, so incremental repair no longer
+        // applies: recompute D(l) in full and flag every tree for a full
+        // rebuild in the next refresh pass.
+        let max_len = length.iter().copied().fold(0.0f64, f64::max);
+        if max_len > RESCALE_ABOVE {
+            let inv = 1.0 / max_len;
+            for l in length.iter_mut() {
+                *l *= inv;
+            }
+            d_l = weighted_length_sum(net, &length);
+            for g in groups.iter_mut() {
+                g.needs_full = true;
+            }
+        }
+
+        let mu = arc_flow
+            .iter()
+            .zip(inv_cap)
+            .map(|(&f, &ic)| f * ic)
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let primal = commodities
+            .iter()
+            .enumerate()
+            .map(|(j, c)| routed[j] / (mu * c.demand))
+            .fold(f64::INFINITY, f64::min);
+
+        let better = best.as_ref().is_none_or(|b| primal > b.throughput);
+        if better {
+            best = Some(SolvedFlow {
+                throughput: primal,
+                upper_bound: best_dual,
+                arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
+                commodity_rate: routed.iter().map(|&r| r / mu).collect(),
+                phases,
+                settles: 0,
+            });
+        }
+        if primal >= (1.0 - opts.target_gap) * best_dual {
+            break;
+        }
+        // a coarse step size has done its job once the certified gap
+        // shrinks to its own order (it cannot certify much further):
+        // halve ε and keep going
+        if eps_cur > eps && primal >= (1.0 - eps_cur) * best_dual {
+            eps_cur = (eps_cur * 0.5).max(eps);
+            stagnant_phases = 0;
+        }
+        if primal > last_primal_check * 1.0005 {
+            last_primal_check = primal;
+            stagnant_phases = 0;
+        } else {
+            stagnant_phases += 1;
+            // a stall at a coarse ε also means that step is exhausted
+            if eps_cur > eps && stagnant_phases >= anneal_patience {
+                eps_cur = (eps_cur * 0.5).max(eps);
+                stagnant_phases = 0;
+            } else if stagnant_phases >= opts.stall_phases {
+                break;
+            }
+        }
+    }
+
+    let mut sol = best.expect("at least one phase ran");
+    sol.upper_bound = best_dual;
+    sol.phases = phases;
+    sol.settles = groups.iter().map(|g| g.ws.settles()).sum();
     Ok(sol)
 }
 
 /// The certified dual bound `D(l)/α(l)` at the given lengths, or `None`
 /// when the ratio is degenerate (e.g. α = 0 before any length growth).
 ///
-/// `α(l)` needs one shortest-path tree per source group against fixed
-/// lengths — a read-only pass that runs **in parallel on rayon** into
-/// the disjoint per-group workspaces. The `α` reduction itself is
-/// sequential in group order, so the bound is bit-identical at every
-/// thread count.
+/// `d_l` is `D(l) = Σ_a c(a)·l(a)` supplied by the caller (the strict
+/// path computes it in full per call; the fast path maintains it
+/// incrementally). `α(l)` needs one shortest-path tree per source group
+/// against fixed lengths — a read-only pass that runs **in parallel on
+/// rayon** into the disjoint per-group workspaces; with `full_trees`
+/// the pass settles whole components (the fast path's tree refresh),
+/// otherwise it early-terminates at each group's targets. The `α`
+/// reduction itself is sequential in group order, so the bound is
+/// bit-identical at every thread count.
 fn dual_bound(
     net: &CsrNet,
     groups: &mut [GroupState],
     length: &[f64],
+    d_l: f64,
+    full_trees: bool,
 ) -> Result<Option<f64>, FlowError> {
+    let settle = |g: &mut GroupState| {
+        let targets: &[u32] = if full_trees { &[] } else { &g.targets };
+        net.dijkstra_targets(g.src, length, targets, &mut g.ws);
+    };
     // Fan out only when the pass is big enough to amortise the pool
     // dispatch (and to avoid contending for pool workers when many
     // Runner threads each solve their own instance). Results are
     // identical either way — the sequential path is exactly the
     // one-thread schedule.
     if groups.len() * net.arc_count() >= PARALLEL_DUAL_MIN_WORK {
-        groups
-            .par_iter_mut()
-            .for_each(|g| net.dijkstra_targets(g.src, length, &g.targets, &mut g.ws));
+        groups.par_iter_mut().for_each(settle);
     } else {
-        for g in groups.iter_mut() {
-            net.dijkstra_targets(g.src, length, &g.targets, &mut g.ws);
-        }
+        groups.iter_mut().for_each(settle);
     }
-    let d_l: f64 = length
-        .iter()
-        .zip(net.capacities())
-        .map(|(&l, &c)| l * c)
-        .sum();
     let mut alpha = 0.0f64;
     for g in groups.iter() {
         for &(_, dst, demand) in &g.sinks {
@@ -454,13 +863,16 @@ mod tests {
         assert!(s.gap() <= 0.02 + 1e-9);
     }
 
-    /// Unreachable destination is an error, not a hang.
+    /// Unreachable destination is an error, not a hang — on both paths.
     #[test]
     fn unreachable_errors() {
         let mut g = Graph::new(4);
         g.add_unit_edge(0, 1).unwrap();
         g.add_unit_edge(2, 3).unwrap();
         let r = max_concurrent_flow(&g, &[Commodity::unit(0, 3)], &opts());
+        assert!(matches!(r, Err(FlowError::Unreachable { src: 0, dst: 3 })));
+        let strict = opts().with_strict_reference(true);
+        let r = max_concurrent_flow(&g, &[Commodity::unit(0, 3)], &strict);
         assert!(matches!(r, Err(FlowError::Unreachable { src: 0, dst: 3 })));
     }
 
@@ -521,8 +933,78 @@ mod tests {
         assert!((s.throughput - 11.0).abs() < 0.4, "λ = {}", s.throughput);
     }
 
+    /// The strict escape hatch reproduces the retained baseline
+    /// bit-for-bit — the pin that keeps `reference` honest.
+    #[test]
+    fn strict_path_matches_reference_bitwise() {
+        let mut g = Graph::new(9);
+        for v in 0..9 {
+            g.add_unit_edge(v, (v + 1) % 9).unwrap();
+        }
+        g.add_edge(0, 4, 2.0).unwrap();
+        g.add_edge(2, 7, 0.5).unwrap();
+        let cs = [
+            Commodity::unit(0, 5),
+            Commodity::unit(1, 6),
+            Commodity::unit(0, 3),
+            Commodity {
+                src: 7,
+                dst: 2,
+                demand: 1.5,
+            },
+        ];
+        let strict = opts().with_strict_reference(true);
+        let a = crate::reference::max_concurrent_flow_graph(&g, &cs, &strict).unwrap();
+        let b = max_concurrent_flow(&g, &cs, &strict).unwrap();
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+        assert_eq!(a.phases, b.phases);
+        for (x, y) in a.arc_flow.iter().zip(&b.arc_flow) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+        for (x, y) in a.commodity_rate.iter().zip(&b.commodity_rate) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    /// The fast path certifies the same optimum as the strict path.
+    #[test]
+    fn fast_path_agrees_with_strict() {
+        let mut g = Graph::new(16);
+        for v in 0..16 {
+            g.add_unit_edge(v, (v + 1) % 16).unwrap();
+        }
+        for v in 0..8 {
+            g.add_edge(v, v + 8, 1.5).unwrap();
+        }
+        let cs: Vec<Commodity> = (0..8).map(|v| Commodity::unit(v, (v + 7) % 16)).collect();
+        let fast = max_concurrent_flow(&g, &cs, &opts()).unwrap();
+        let strict = max_concurrent_flow(&g, &cs, &opts().with_strict_reference(true)).unwrap();
+        // both certify their own interval around the same optimum
+        assert!(fast.throughput <= strict.upper_bound * (1.0 + 1e-9));
+        assert!(strict.throughput <= fast.upper_bound * (1.0 + 1e-9));
+        assert!(fast.gap() <= 0.02 + 1e-9, "fast gap {}", fast.gap());
+    }
+
+    /// Both paths report their settle instrumentation (the sweep-scale
+    /// "fast settles less" property lives in `tests/properties.rs`,
+    /// which can build real RRG instances).
+    #[test]
+    fn settle_instrumentation_reported() {
+        let mut g = Graph::new(6);
+        for v in 0..6 {
+            g.add_unit_edge(v, (v + 1) % 6).unwrap();
+        }
+        let cs = [Commodity::unit(0, 3), Commodity::unit(1, 4)];
+        for strict in [false, true] {
+            let s = max_concurrent_flow(&g, &cs, &opts().with_strict_reference(strict)).unwrap();
+            assert!(s.settles > 0, "strict {strict}: no settles recorded");
+        }
+    }
+
     /// The headline determinism guarantee: a seeded instance solved at
-    /// 1, 2, and 8 rayon threads produces bit-identical output.
+    /// 1, 2, and 8 rayon threads produces bit-identical output — on the
+    /// fast path (default) and the strict path alike.
     #[test]
     fn bit_identical_across_thread_counts() {
         // ring + chords with many source groups so the parallel pass
@@ -535,29 +1017,33 @@ mod tests {
             g.add_edge(v, v + 12, 1.5).unwrap();
         }
         let cs: Vec<Commodity> = (0..12).map(|v| Commodity::unit(v, (v + 11) % 24)).collect();
-        let solve_at = |threads: usize| {
-            ThreadPoolBuilder::new()
-                .num_threads(threads)
-                .build()
-                .unwrap()
-                .install(|| max_concurrent_flow(&g, &cs, &opts()).unwrap())
-        };
-        let base = solve_at(1);
-        for threads in [2, 8] {
-            let s = solve_at(threads);
-            assert_eq!(
-                base.throughput.to_bits(),
-                s.throughput.to_bits(),
-                "{threads} threads"
-            );
-            assert_eq!(base.upper_bound.to_bits(), s.upper_bound.to_bits());
-            assert_eq!(base.phases, s.phases);
-            assert_eq!(base.arc_flow.len(), s.arc_flow.len());
-            for (a, (x, y)) in base.arc_flow.iter().zip(&s.arc_flow).enumerate() {
-                assert_eq!(x.to_bits(), y.to_bits(), "arc {a} at {threads} threads");
-            }
-            for (x, y) in base.commodity_rate.iter().zip(&s.commodity_rate) {
-                assert_eq!(x.to_bits(), y.to_bits());
+        for strict in [false, true] {
+            let o = opts().with_strict_reference(strict);
+            let solve_at = |threads: usize| {
+                ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .unwrap()
+                    .install(|| max_concurrent_flow(&g, &cs, &o).unwrap())
+            };
+            let base = solve_at(1);
+            for threads in [2, 8] {
+                let s = solve_at(threads);
+                assert_eq!(
+                    base.throughput.to_bits(),
+                    s.throughput.to_bits(),
+                    "{threads} threads (strict: {strict})"
+                );
+                assert_eq!(base.upper_bound.to_bits(), s.upper_bound.to_bits());
+                assert_eq!(base.phases, s.phases);
+                assert_eq!(base.settles, s.settles);
+                assert_eq!(base.arc_flow.len(), s.arc_flow.len());
+                for (a, (x, y)) in base.arc_flow.iter().zip(&s.arc_flow).enumerate() {
+                    assert_eq!(x.to_bits(), y.to_bits(), "arc {a} at {threads} threads");
+                }
+                for (x, y) in base.commodity_rate.iter().zip(&s.commodity_rate) {
+                    assert_eq!(x.to_bits(), y.to_bits());
+                }
             }
         }
     }

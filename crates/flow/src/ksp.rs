@@ -204,6 +204,7 @@ fn solve_frozen(
                 arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
                 commodity_rate: routed.iter().map(|&r| r / mu).collect(),
                 phases,
+                settles: 0,
             });
         }
         if primal >= (1.0 - opts.target_gap) * best_dual {

@@ -137,6 +137,18 @@ pub struct FlowOptions {
     /// the FPTAS and k-shortest-path backends; [`Backend::ExactLp`]
     /// ignores them.
     pub backend: Backend,
+    /// Route the [`Fptas`] backend through the legacy strict trajectory
+    /// (recompute every group's shortest-path tree per augmentation)
+    /// instead of the default incremental fast path (tree reuse +
+    /// increase-only Dijkstra repair).
+    ///
+    /// The strict trajectory is **bit-identical** to
+    /// [`mod@reference`]'s; the fast path is certified by the same
+    /// primal-feasibility and `D(l)/α(l)` dual bounds and remains
+    /// bit-identical across thread counts, but follows its own
+    /// (cheaper) trajectory. See `docs/ARCHITECTURE.md` for the full
+    /// determinism contract. Ignored by the other backends.
+    pub strict_reference: bool,
 }
 
 impl Default for FlowOptions {
@@ -147,6 +159,7 @@ impl Default for FlowOptions {
             max_phases: 4000,
             stall_phases: 150,
             backend: Backend::Fptas,
+            strict_reference: false,
         }
     }
 }
@@ -179,6 +192,12 @@ impl FlowOptions {
         self.backend = backend;
         self
     }
+
+    /// Same options with [`FlowOptions::strict_reference`] set.
+    pub fn with_strict_reference(mut self, strict: bool) -> Self {
+        self.strict_reference = strict;
+        self
+    }
 }
 
 /// A solved max concurrent flow.
@@ -195,6 +214,11 @@ pub struct SolvedFlow {
     pub commodity_rate: Vec<f64>,
     /// Number of phases executed.
     pub phases: usize,
+    /// Dijkstra-equivalent settle operations (heap pops) the solver
+    /// performed — the work metric the fast-path FPTAS optimises.
+    /// `0` for solvers that are not instrumented ([`ExactLp`],
+    /// [`KspRestricted`], and the [`mod@reference`] baseline).
+    pub settles: u64,
 }
 
 impl SolvedFlow {

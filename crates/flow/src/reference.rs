@@ -201,6 +201,7 @@ pub fn max_concurrent_flow_graph(
             arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
             commodity_rate: routed.iter().map(|&r| r / mu).collect(),
             phases,
+            settles: 0,
         };
 
         let better = best.as_ref().is_none_or(|b| primal > b.throughput);

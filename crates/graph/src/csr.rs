@@ -244,6 +244,7 @@ impl CsrNet {
         ws.heap_insert(pack(0.0, src as u32));
         let mut outstanding = targets.len();
         while let Some(item) = ws.heap_pop() {
+            ws.settles += 1;
             let (d, v) = unpack(item);
             let v = v as usize;
             if !targets.is_empty() && targets.contains(&(v as u32)) {
@@ -264,6 +265,177 @@ impl CsrNet {
                     ws.dist[w] = nd;
                     ws.parent_arc[w] = a as u32;
                     ws.heap_upsert(pack(nd, w as u32));
+                }
+            }
+        }
+    }
+
+    /// Incrementally repair a **full** shortest-path tree after
+    /// increase-only arc-length updates, re-settling just the affected
+    /// subtree.
+    ///
+    /// Preconditions:
+    ///
+    /// * `ws` holds the result of a completed, non-early-terminated run
+    ///   ([`CsrNet::dijkstra`] with an empty target set, or a previous
+    ///   repair) from the same `src` on this net;
+    /// * every entry of `arc_len` is `>=` its value in that run, and
+    ///   `increased` contains (at least) every arc whose length grew —
+    ///   duplicates and unchanged arcs are permitted.
+    ///
+    /// Postconditions:
+    ///
+    /// * `ws.dist` is **bitwise identical** to a cold
+    ///   [`CsrNet::dijkstra`] under `arc_len`: distances are minima over
+    ///   identical per-arc float sums, so the repair and the cold run
+    ///   agree to the last ulp.
+    /// * `ws.parent_arc` is a valid, deterministically tie-broken
+    ///   shortest-path tree: every parent arc satisfies
+    ///   `dist(tail) + arc_len == dist(node)` exactly, and the choice
+    ///   among candidates is the minimum of `(tail distance, tail id,
+    ///   arc id)` over tails that re-settled earlier (or were untouched).
+    ///   This reproduces the cold run's parents exactly **except**
+    ///   inside floating-point *absorption plateaus* — chains where
+    ///   `dist + arc_len` rounds back to `dist`, giving several nodes
+    ///   the same distance bits — where cold's own choice depends on
+    ///   transient heap order that no local rule can reconstruct; there
+    ///   the repair still picks a deterministic, cycle-free parent
+    ///   achieving the identical distance.
+    ///
+    /// Nodes whose tree path used no increased arc keep their exact
+    /// distance and parent. Only descendants of increased *tree* arcs
+    /// are invalidated and re-settled, so the cost is proportional to
+    /// the affected subtree's degree sum, not to the component size;
+    /// when that subtree grows past ~40% of the nodes (where per-node
+    /// re-settling stops being cheaper), the repair bails out to an
+    /// internal cold [`CsrNet::dijkstra`], which satisfies the same
+    /// postconditions trivially.
+    pub fn dijkstra_repair(
+        &self,
+        src: NodeId,
+        arc_len: &[f64],
+        increased: &[u32],
+        ws: &mut DijkstraWorkspace,
+    ) {
+        debug_assert_eq!(arc_len.len(), self.arc_count());
+        debug_assert_eq!(ws.n, self.n, "workspace sized for a different net");
+        debug_assert!(
+            ws.heap.is_empty(),
+            "repair requires a completed (non-early-terminated) prior run"
+        );
+        debug_assert_eq!(ws.dist[src], 0.0, "workspace holds a tree from {src}");
+        ws.begin_repair(self.n);
+        // 1. affected roots: increased arcs the tree actually uses. A
+        //    non-tree arc growing longer cannot change any distance.
+        for &a in increased {
+            let w = self.arc_head[a as usize] as usize;
+            if ws.parent_arc[w] == a && ws.mark[w] != ws.mark_gen {
+                ws.mark[w] = ws.mark_gen;
+                ws.affected.push(w as u32);
+            }
+        }
+        if ws.affected.is_empty() {
+            return; // tree untouched: still bitwise equal to a cold run
+        }
+        // 2. close the affected set under tree children. Re-settling
+        //    costs a constant factor more per node than a cold settle
+        //    (closure + seed + relax scans), so once the subtree spans
+        //    a large fraction of the component a cold rebuild is the
+        //    faster way to the identical result — bail out to it.
+        let bail_at = self.n * 2 / 5 + 1;
+        let mut i = 0;
+        while i < ws.affected.len() {
+            let v = ws.affected[i] as usize;
+            i += 1;
+            let (arcs, heads) = self.out_slots(v);
+            for (&a, &w) in arcs.iter().zip(heads) {
+                let w = w as usize;
+                if ws.parent_arc[w] == a && ws.mark[w] != ws.mark_gen {
+                    ws.mark[w] = ws.mark_gen;
+                    ws.affected.push(w as u32);
+                }
+            }
+            if ws.affected.len() >= bail_at {
+                self.dijkstra(src, arc_len, ws);
+                return;
+            }
+        }
+        // 3. invalidate the affected set
+        for i in 0..ws.affected.len() {
+            let w = ws.affected[i] as usize;
+            ws.dist[w] = f64::INFINITY;
+            ws.parent_arc[w] = NO_ARC;
+        }
+        // 4. seed each affected node from its best *unaffected* in-arc
+        //    (in-arc of `w` = reverse of out-arc, i.e. `a ^ 1`); paths
+        //    entering through affected tails are found by relaxation
+        for i in 0..ws.affected.len() {
+            let w = ws.affected[i];
+            let (arcs, heads) = self.out_slots(w as usize);
+            let mut best = f64::INFINITY;
+            for (&a_out, &v) in arcs.iter().zip(heads) {
+                if ws.mark[v as usize] == ws.mark_gen {
+                    continue;
+                }
+                let dv = ws.dist[v as usize];
+                if !dv.is_finite() {
+                    continue;
+                }
+                let nd = dv + arc_len[(a_out ^ 1) as usize];
+                if nd < best {
+                    best = nd;
+                }
+            }
+            if best.is_finite() {
+                ws.dist[w as usize] = best;
+                ws.heap_insert(pack(best, w));
+            }
+        }
+        // 5. re-settle. A popped node's distance is final; its parent is
+        //    the (tail key, arc id)-minimal in-arc achieving exactly that
+        //    distance among *eligible* tails — unaffected ones, whose
+        //    distances never move, or affected ones that popped earlier
+        //    in this repair. Eligibility keeps the scan deterministic
+        //    (every value read is final) and the tree cycle-free even
+        //    inside absorption plateaus, where an equal-distance
+        //    not-yet-popped neighbor could otherwise be chosen mutually.
+        while let Some(item) = ws.heap_pop() {
+            ws.settles += 1;
+            let (d, w) = unpack(item);
+            let wu = w as usize;
+            ws.mark[wu] = ws.mark_gen | POPPED_BIT;
+            let (arcs, heads) = self.out_slots(wu);
+            let mut best: Option<(u128, u32)> = None;
+            for (&a_out, &v) in arcs.iter().zip(heads) {
+                let m = ws.mark[v as usize];
+                if m & MARK_MASK == ws.mark_gen && m & POPPED_BIT == 0 {
+                    continue; // affected and still pending: not final
+                }
+                let dv = ws.dist[v as usize];
+                if !dv.is_finite() {
+                    continue;
+                }
+                let a_in = a_out ^ 1;
+                if dv + arc_len[a_in as usize] == d {
+                    let cand = (pack(dv, v), a_in);
+                    if best.is_none_or(|b| cand < b) {
+                        best = Some(cand);
+                    }
+                }
+            }
+            debug_assert!(best.is_some(), "re-settled node {wu} has no parent");
+            if let Some((_, a)) = best {
+                ws.parent_arc[wu] = a;
+            }
+            for (&a, &u) in arcs.iter().zip(heads) {
+                let u = u as usize;
+                let nd = d + arc_len[a as usize];
+                if nd < ws.dist[u] {
+                    // increase-only updates cannot improve an unaffected
+                    // node: its stored distance is already optimal
+                    debug_assert_eq!(ws.mark[u] & MARK_MASK, ws.mark_gen);
+                    ws.dist[u] = nd;
+                    ws.heap_upsert(pack(nd, u as u32));
                 }
             }
         }
@@ -289,6 +461,13 @@ fn unpack(item: u128) -> (f64, u32) {
 /// Sentinel in the heap position index: node not currently queued.
 const NOT_QUEUED: u32 = u32::MAX;
 
+/// Top bit of a [`DijkstraWorkspace`] mark stamp: the node has already
+/// been re-settled (popped) by the current repair pass.
+const POPPED_BIT: u32 = 1 << 31;
+
+/// Mask extracting the generation half of a mark stamp.
+const MARK_MASK: u32 = POPPED_BIT - 1;
+
 /// Reusable scratch state for [`CsrNet::dijkstra`].
 ///
 /// Holds the distance, parent-arc, and settled arrays plus an *indexed*
@@ -309,6 +488,15 @@ pub struct DijkstraWorkspace {
     pos: Vec<u32>,
     /// Active prefix length (the network's node count).
     n: usize,
+    /// Cumulative settle (heap pop) counter across runs and repairs.
+    settles: u64,
+    /// Generation-stamped affected marker for [`CsrNet::dijkstra_repair`]
+    /// (`mark[v] == mark_gen` ⇔ `v` affected by the current repair).
+    mark: Vec<u32>,
+    /// Current repair generation (0 = no repair has run yet).
+    mark_gen: u32,
+    /// Scratch list of affected nodes for the current repair.
+    affected: Vec<u32>,
 }
 
 impl DijkstraWorkspace {
@@ -331,6 +519,31 @@ impl DijkstraWorkspace {
         self.parent_arc[..n].fill(NO_ARC);
         self.pos[..n].fill(NOT_QUEUED);
         self.heap.clear();
+    }
+
+    /// Start a repair pass: bump the affected-marker generation and
+    /// clear the affected scratch list. Distances, parents, and the
+    /// (empty) heap are carried over from the prior run.
+    fn begin_repair(&mut self, n: usize) {
+        if self.mark.len() < n {
+            self.mark.resize(n, 0);
+        }
+        // generations live in the low 31 bits; the top bit flags "popped"
+        self.mark_gen = (self.mark_gen + 1) & MARK_MASK;
+        if self.mark_gen == 0 {
+            // generation counter wrapped: stale stamps could alias
+            self.mark.fill(0);
+            self.mark_gen = 1;
+        }
+        self.affected.clear();
+    }
+
+    /// Cumulative number of settle operations (heap pops) performed by
+    /// Dijkstra runs and repairs since the workspace was created — the
+    /// "Dijkstra-equivalent settles" unit solver benchmarks report.
+    #[inline]
+    pub fn settles(&self) -> u64 {
+        self.settles
     }
 
     /// Distance of `v` from the last run's source (`INFINITY` if
@@ -529,6 +742,198 @@ mod tests {
         assert_eq!(ws.distance(3), 1.0);
         assert!(!ws.distance(0).is_finite());
         assert!(ws.parent(1).is_none());
+    }
+
+    /// Compare `ws` (repaired) against a cold full run for every node.
+    fn assert_matches_cold(net: &CsrNet, src: usize, lens: &[f64], ws: &DijkstraWorkspace) {
+        let mut cold = DijkstraWorkspace::new(net.node_count());
+        net.dijkstra(src, lens, &mut cold);
+        for v in 0..net.node_count() {
+            assert_eq!(
+                cold.distance(v).to_bits(),
+                ws.distance(v).to_bits(),
+                "src {src} node {v}: dist"
+            );
+            assert_eq!(cold.parent(v), ws.parent(v), "src {src} node {v}: parent");
+        }
+    }
+
+    #[test]
+    fn repair_matches_cold_on_chain_of_increases() {
+        let g = ring_with_chords(10, &[(0, 5), (2, 7), (3, 8)]);
+        let net = CsrNet::from_graph(&g);
+        let mut lens: Vec<f64> = (0..net.arc_count())
+            .map(|a| 0.5 + ((a * 13) % 7) as f64 * 0.25)
+            .collect();
+        for src in 0..net.node_count() {
+            let mut ws = DijkstraWorkspace::new(net.node_count());
+            net.dijkstra(src, &lens, &mut ws);
+            // grow a rotating window of arcs several times; repair after
+            // each batch and demand bitwise equality with a cold run
+            for round in 0..6 {
+                let increased: Vec<u32> = (0..net.arc_count())
+                    .filter(|a| (a + round) % 3 == 0)
+                    .map(|a| a as u32)
+                    .collect();
+                for &a in &increased {
+                    lens[a as usize] *= 1.0 + 0.3 * ((a % 5) as f64 + 1.0);
+                }
+                net.dijkstra_repair(src, &lens, &increased, &mut ws);
+                assert_matches_cold(&net, src, &lens, &ws);
+            }
+            // restore lengths for the next source
+            for (a, len) in lens.iter_mut().enumerate() {
+                *len = 0.5 + ((a * 13) % 7) as f64 * 0.25;
+            }
+        }
+    }
+
+    #[test]
+    fn repair_of_nontree_arc_is_free() {
+        let g = ring_with_chords(8, &[(1, 5)]);
+        let net = CsrNet::from_graph(&g);
+        let mut lens = vec![1.0; net.arc_count()];
+        let mut ws = DijkstraWorkspace::new(net.node_count());
+        net.dijkstra(0, &lens, &mut ws);
+        let before = ws.settles();
+        // find an arc the tree does not use and grow only that one
+        let unused = (0..net.arc_count() as u32)
+            .find(|&a| ws.parent_arc[net.arc_head(a as usize)] != a)
+            .unwrap();
+        lens[unused as usize] = 9.0;
+        net.dijkstra_repair(0, &lens, &[unused], &mut ws);
+        assert_eq!(
+            ws.settles(),
+            before,
+            "non-tree increase must settle nothing"
+        );
+        assert_matches_cold(&net, 0, &lens, &ws);
+    }
+
+    /// Parallel edges and exact distance ties exercise the parent
+    /// tie-breaking contract (settle key of the tail, then arc id).
+    #[test]
+    fn repair_matches_cold_with_parallel_edges_and_ties() {
+        let mut g = Graph::new(6);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(0, 2).unwrap();
+        g.add_unit_edge(1, 3).unwrap();
+        g.add_unit_edge(2, 3).unwrap(); // tie at node 3 via 1 and 2
+        g.add_unit_edge(3, 4).unwrap();
+        g.add_unit_edge(3, 4).unwrap(); // parallel pair to 4
+        g.add_unit_edge(4, 5).unwrap();
+        g.add_unit_edge(2, 5).unwrap();
+        let net = CsrNet::from_graph(&g);
+        let mut lens = vec![1.0; net.arc_count()];
+        let mut ws = DijkstraWorkspace::new(net.node_count());
+        net.dijkstra(0, &lens, &mut ws);
+        // grow the currently-used arc into 3 and one of the parallel
+        // arcs, keeping unit ties alive elsewhere
+        let tree_arc_3 = ws.parent(3).unwrap() as u32;
+        lens[tree_arc_3 as usize] = 1.5;
+        let tree_arc_4 = ws.parent(4).unwrap() as u32;
+        lens[tree_arc_4 as usize] = 1.25;
+        net.dijkstra_repair(0, &lens, &[tree_arc_3, tree_arc_4], &mut ws);
+        assert_matches_cold(&net, 0, &lens, &ws);
+        // and again after a second wave that reverses the preference
+        let arcs: Vec<u32> = (0..net.arc_count() as u32).collect();
+        for l in lens.iter_mut() {
+            *l *= 2.0;
+        }
+        net.dijkstra_repair(0, &lens, &arcs, &mut ws);
+        assert_matches_cold(&net, 0, &lens, &ws);
+    }
+
+    #[test]
+    fn repair_random_sequences_match_cold() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..30u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = rng.random_range(5..24);
+            let mut g = Graph::new(n);
+            for v in 0..n {
+                g.add_edge(v, (v + 1) % n, rng.random_range(0.5..4.0))
+                    .unwrap();
+            }
+            for _ in 0..rng.random_range(0..2 * n) {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u != v {
+                    g.add_edge(u, v, rng.random_range(0.5..4.0)).unwrap();
+                }
+            }
+            let net = CsrNet::from_graph(&g);
+            let mut lens: Vec<f64> = (0..net.arc_count())
+                .map(|_| rng.random_range(0.01..5.0))
+                .collect();
+            let src = rng.random_range(0..n);
+            let mut ws = DijkstraWorkspace::new(n);
+            net.dijkstra(src, &lens, &mut ws);
+            for _ in 0..8 {
+                let mut increased = Vec::new();
+                for (a, len) in lens.iter_mut().enumerate() {
+                    if rng.random_range(0.0..1.0) < 0.3 {
+                        *len *= 1.0 + rng.random_range(0.0..2.0);
+                        increased.push(a as u32);
+                    }
+                }
+                net.dijkstra_repair(src, &lens, &increased, &mut ws);
+                assert_matches_cold(&net, src, &lens, &ws);
+            }
+        }
+    }
+
+    /// FPTAS-style updates: unit lengths and identical multipliers keep
+    /// many exact distance ties alive across repair rounds.
+    #[test]
+    fn repair_with_tied_multiplicative_updates() {
+        use rand::rngs::StdRng;
+        use rand::{RngExt, SeedableRng};
+        for seed in 0..40u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let n = 7;
+            let mut g = Graph::new(n);
+            for v in 0..n {
+                g.add_unit_edge(v, (v + 1) % n).unwrap();
+            }
+            for _ in 0..4 {
+                let u = rng.random_range(0..n);
+                let v = rng.random_range(0..n);
+                if u != v {
+                    g.add_unit_edge(u, v).unwrap();
+                }
+            }
+            let net = CsrNet::from_graph(&g);
+            let mut lens = vec![1.0f64; net.arc_count()];
+            let src = rng.random_range(0..n);
+            let mut ws = DijkstraWorkspace::new(n);
+            net.dijkstra(src, &lens, &mut ws);
+            for _ in 0..20 {
+                let mut increased = Vec::new();
+                for (a, len) in lens.iter_mut().enumerate() {
+                    if rng.random_range(0.0..1.0) < 0.2 {
+                        *len *= 1.05;
+                        increased.push(a as u32);
+                    }
+                }
+                net.dijkstra_repair(src, &lens, &increased, &mut ws);
+                assert_matches_cold(&net, src, &lens, &ws);
+            }
+        }
+    }
+
+    #[test]
+    fn settles_counter_accumulates() {
+        let g = ring_with_chords(6, &[]);
+        let net = CsrNet::from_graph(&g);
+        let lens = vec![1.0; net.arc_count()];
+        let mut ws = DijkstraWorkspace::new(6);
+        assert_eq!(ws.settles(), 0);
+        net.dijkstra(0, &lens, &mut ws);
+        assert_eq!(ws.settles(), 6, "full run settles every node");
+        net.dijkstra(0, &lens, &mut ws);
+        assert_eq!(ws.settles(), 12, "counter is cumulative");
     }
 
     #[test]

@@ -8,7 +8,7 @@
 //! topobench solve rrg --switches 40 --ports 15 --degree 10
 //!                 [--traffic permutation|all-to-all|chunky:<pct>]
 //!                 [--runs N] [--seed S] [--precise]
-//!                 [--backend fptas|exact|ksp:<k>]
+//!                 [--backend fptas|fptas-strict|exact|ksp:<k>]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
@@ -36,7 +36,7 @@ fn usage() -> ! {
     eprintln!(
         "usage:\n  topobench build <family> [options] [--dot]\n  \
          topobench solve <family> [options] [--traffic T] [--runs N] [--precise]\n  \
-         \x20               [--backend fptas|exact|ksp:<k>]\n  \
+         \x20               [--backend fptas|fptas-strict|exact|ksp:<k>]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
          families: rrg (--switches --ports --degree), fat-tree (--k),\n  \
@@ -47,15 +47,18 @@ fn usage() -> ! {
     exit(2);
 }
 
-/// Parse a `--backend` argument (`fptas`, `exact`, or `ksp:<k>`).
-fn parse_backend(s: &str) -> Option<dctopo::flow::Backend> {
+/// Parse a `--backend` argument (`fptas`, `fptas-strict`, `exact`, or
+/// `ksp:<k>`). Returns the backend plus whether the FPTAS should run
+/// its strict legacy trajectory ([`FlowOptions::strict_reference`]).
+fn parse_backend(s: &str) -> Option<(dctopo::flow::Backend, bool)> {
     use dctopo::flow::Backend;
     match s {
-        "fptas" => Some(Backend::Fptas),
-        "exact" => Some(Backend::ExactLp),
+        "fptas" => Some((Backend::Fptas, false)),
+        "fptas-strict" => Some((Backend::Fptas, true)),
+        "exact" => Some((Backend::ExactLp, false)),
         _ => {
             let k: usize = s.strip_prefix("ksp:")?.parse().ok()?;
-            (k > 0).then_some(Backend::KspRestricted { k })
+            (k > 0).then_some((Backend::KspRestricted { k }, false))
         }
     }
 }
@@ -222,10 +225,12 @@ fn cmd_solve(args: &Args) {
         FlowOptions::default()
     };
     if let Some(spec) = args.values.get("backend") {
-        opts.backend = parse_backend(spec).unwrap_or_else(|| {
-            eprintln!("unknown backend '{spec}' (want fptas, exact, or ksp:<k>)");
+        let (backend, strict) = parse_backend(spec).unwrap_or_else(|| {
+            eprintln!("unknown backend '{spec}' (want fptas, fptas-strict, exact, or ksp:<k>)");
             usage();
         });
+        opts.backend = backend;
+        opts.strict_reference = strict;
     }
     let mut throughputs = Vec::new();
     for run in 0..runs {

@@ -282,6 +282,221 @@ fn ksp_cache_bitwise_identical_on_50_seeded_graphs() {
     assert_eq!(stats.hits, 50 * 3 * 3);
 }
 
+/// Build the shared 50-seeded-graph family (ring + random chords with
+/// random capacities) used by the fast-path and cache suites.
+fn seeded_graph(seed: u64) -> Graph {
+    use rand::RngExt;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(6..20);
+    let mut g = Graph::new(n);
+    for v in 0..n {
+        g.add_edge(v, (v + 1) % n, rng.random_range(0.5..4.0))
+            .unwrap();
+    }
+    for _ in 0..rng.random_range(0..n) {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u != v {
+            g.add_edge(u, v, rng.random_range(0.5..4.0)).unwrap();
+        }
+    }
+    g
+}
+
+/// The FPTAS fast path (tree reuse + incremental Dijkstra repair) over
+/// 50 seeded random graphs: (a) lands within `target_gap` of the exact
+/// LP optimum and never above it, (b) never exceeds any arc capacity,
+/// and (c) is bit-identical at 1, 2, and 8 rayon threads.
+#[test]
+fn fptas_fast_path_certified_on_50_seeded_graphs() {
+    use dctopo::flow::Backend;
+    use dctopo::graph::CsrNet;
+    use rayon::ThreadPoolBuilder;
+
+    let opts = FlowOptions {
+        epsilon: 0.05,
+        target_gap: 0.02,
+        max_phases: 30000,
+        stall_phases: 3000,
+        ..FlowOptions::default()
+    };
+    assert!(!opts.strict_reference, "fast path must be the default");
+    for seed in 0..50u64 {
+        let g = seeded_graph(seed);
+        let n = g.node_count();
+        let net = CsrNet::from_graph(&g);
+        let cs: Vec<Commodity> = (0..3).map(|i| Commodity::unit(i, n / 2 + i)).collect();
+        let exact = dctopo::flow::solve(&net, &cs, &opts.with_backend(Backend::ExactLp)).unwrap();
+        let fast = dctopo::flow::solve(&net, &cs, &opts).unwrap();
+        // (a) within the certified gap of the exact optimum
+        assert!(
+            fast.throughput <= exact.throughput * (1.0 + 1e-6),
+            "seed {seed}: fast primal {} above exact {}",
+            fast.throughput,
+            exact.throughput
+        );
+        assert!(
+            fast.upper_bound >= exact.throughput * (1.0 - 1e-6),
+            "seed {seed}: fast dual {} below exact {}",
+            fast.upper_bound,
+            exact.throughput
+        );
+        assert!(
+            fast.throughput >= exact.throughput * (1.0 - opts.target_gap - 0.01),
+            "seed {seed}: fast primal {} outside target_gap of exact {}",
+            fast.throughput,
+            exact.throughput
+        );
+        // (b) feasibility: no arc over capacity, every commodity served
+        for a in 0..g.arc_count() {
+            assert!(
+                fast.arc_flow[a] <= g.arc_capacity(a) * (1.0 + 1e-9),
+                "seed {seed}: arc {a} over capacity"
+            );
+        }
+        for (j, c) in cs.iter().enumerate() {
+            assert!(fast.commodity_rate[j] >= fast.throughput * c.demand - 1e-9);
+        }
+        // (c) bit-identical across thread counts
+        let solve_at = |threads: usize| {
+            ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .unwrap()
+                .install(|| dctopo::flow::solve(&net, &cs, &opts).unwrap())
+        };
+        for threads in [1usize, 2, 8] {
+            let s = solve_at(threads);
+            assert_eq!(
+                fast.throughput.to_bits(),
+                s.throughput.to_bits(),
+                "seed {seed}: {threads} threads diverged"
+            );
+            assert_eq!(fast.upper_bound.to_bits(), s.upper_bound.to_bits());
+            assert_eq!(fast.phases, s.phases);
+            assert_eq!(fast.settles, s.settles);
+            for (x, y) in fast.arc_flow.iter().zip(&s.arc_flow) {
+                assert_eq!(x.to_bits(), y.to_bits(), "seed {seed}: {threads} threads");
+            }
+        }
+    }
+}
+
+/// The `strict_reference` escape hatch reproduces the retained
+/// direct-`Graph` baseline bit-for-bit across 50 seeded graphs — the
+/// pin that keeps the legacy trajectory available unchanged.
+#[test]
+fn strict_reference_bitwise_matches_reference_on_50_seeded_graphs() {
+    use dctopo::flow::reference::max_concurrent_flow_graph;
+
+    let opts = FlowOptions {
+        epsilon: 0.15,
+        target_gap: 0.05,
+        max_phases: 400,
+        stall_phases: 40,
+        ..FlowOptions::default()
+    }
+    .with_strict_reference(true);
+    for seed in 0..50u64 {
+        let g = seeded_graph(seed);
+        let n = g.node_count();
+        let cs: Vec<Commodity> = (0..3).map(|i| Commodity::unit(i, n / 2 + i)).collect();
+        let legacy = max_concurrent_flow_graph(&g, &cs, &opts).unwrap();
+        let strict = max_concurrent_flow(&g, &cs, &opts).unwrap();
+        assert_eq!(
+            legacy.throughput.to_bits(),
+            strict.throughput.to_bits(),
+            "seed {seed}: strict trajectory diverged from reference"
+        );
+        assert_eq!(legacy.upper_bound.to_bits(), strict.upper_bound.to_bits());
+        assert_eq!(legacy.phases, strict.phases, "seed {seed}");
+        for (x, y) in legacy.arc_flow.iter().zip(&strict.arc_flow) {
+            assert_eq!(x.to_bits(), y.to_bits(), "seed {seed}");
+        }
+        for (x, y) in legacy.commodity_rate.iter().zip(&strict.commodity_rate) {
+            assert_eq!(x.to_bits(), y.to_bits(), "seed {seed}");
+        }
+    }
+}
+
+/// On the sweep workload the fast path is tuned for — an RRG
+/// permutation matrix — the default FPTAS performs materially fewer
+/// Dijkstra-equivalent settles than the strict legacy trajectory while
+/// still certifying its gap (the committed `BENCH_fptas.json` asserts
+/// ≥2× on the full 8-matrix sweep; one matrix keeps this test quick).
+#[test]
+fn fptas_fast_path_settles_less_on_rrg_sweep_matrix() {
+    use dctopo::core::solve::aggregate_commodities;
+    use dctopo::graph::CsrNet;
+
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(64, 12, 8, &mut rng).unwrap();
+    let tm = Tm::random_permutation(topo.server_count(), &mut rng);
+    let cs = aggregate_commodities(&topo, &tm);
+    let net = CsrNet::from_graph(&topo.graph);
+    let o = FlowOptions {
+        max_phases: 4000,
+        stall_phases: 400,
+        ..FlowOptions::fast()
+    };
+    let fast = dctopo::flow::solve(&net, &cs, &o).unwrap();
+    let strict = dctopo::flow::solve(&net, &cs, &o.with_strict_reference(true)).unwrap();
+    assert!(fast.gap() <= o.target_gap + 1e-9, "fast gap {}", fast.gap());
+    // certified intervals bracket the same optimum
+    assert!(fast.throughput <= strict.upper_bound * (1.0 + 1e-9));
+    assert!(strict.throughput <= fast.upper_bound * (1.0 + 1e-9));
+    assert!(
+        2 * fast.settles <= strict.settles,
+        "fast {} vs strict {} settles",
+        fast.settles,
+        strict.settles
+    );
+}
+
+/// Incremental Dijkstra repair equals a cold recompute on randomised
+/// increase sequences: distances bitwise on every graph; parents too
+/// (the lengths here stay within a few orders of magnitude, so no
+/// absorption plateau arises and the cold parent rule applies exactly).
+#[test]
+fn dijkstra_repair_matches_cold_on_random_increase_sequences() {
+    use dctopo::graph::csr::DijkstraWorkspace;
+    use dctopo::graph::CsrNet;
+    use rand::RngExt;
+
+    for seed in 0..50u64 {
+        let g = seeded_graph(seed);
+        let n = g.node_count();
+        let net = CsrNet::from_graph(&g);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1DA);
+        let mut lens: Vec<f64> = (0..net.arc_count())
+            .map(|_| rng.random_range(0.01..5.0))
+            .collect();
+        let src = rng.random_range(0..n);
+        let mut ws = DijkstraWorkspace::new(n);
+        net.dijkstra(src, &lens, &mut ws);
+        let mut cold = DijkstraWorkspace::new(n);
+        for _round in 0..10 {
+            let mut increased = Vec::new();
+            for (a, len) in lens.iter_mut().enumerate() {
+                if rng.random_range(0.0..1.0) < 0.25 {
+                    *len *= 1.0 + rng.random_range(0.0..1.5);
+                    increased.push(a as u32);
+                }
+            }
+            net.dijkstra_repair(src, &lens, &increased, &mut ws);
+            net.dijkstra(src, &lens, &mut cold);
+            for v in 0..n {
+                assert_eq!(
+                    cold.distance(v).to_bits(),
+                    ws.distance(v).to_bits(),
+                    "seed {seed} node {v}: repaired distance diverged"
+                );
+                assert_eq!(cold.parent(v), ws.parent(v), "seed {seed} node {v}: parent");
+            }
+        }
+    }
+}
+
 /// Worker-pool runs match single-thread results bitwise: the FPTAS on
 /// an instance big enough to take the parallel dual-bound path returns
 /// identical output at every chunk count.
