@@ -1,0 +1,219 @@
+//! Criterion benchmark for the scenario sweep engine's delta-view path:
+//! evaluating a degradation grid against `CsrNet` delta views (one base
+//! flattening + structure-keyed path-set reuse) vs the old world where
+//! every cell rebuilds its network from a degraded `Graph`.
+//!
+//! The instance is the paper's core shape at sweep scale: RRG(64
+//! switches, 12 ports, degree 8), a grid of 8 scenarios (capacity
+//! scaling, heterogeneous line-card mixes, link failures) × 2
+//! permutation matrices, solved with the k-shortest-path backend whose
+//! per-topology Yen freezing is exactly the preprocessing the delta path
+//! amortises. Before timing, every cell is gated **bit-identical**
+//! between the two paths — a delta view is semantically invisible.
+//!
+//! ```text
+//! DCTOPO_BENCH_JSON=BENCH_sweep.json DCTOPO_SWEEP_JSON=SWEEP_cells.json \
+//!     cargo bench -p dctopo-bench --bench sweep
+//! ```
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dctopo_bench::report::{self, SpeedupRecord, SweepCellRecord};
+use dctopo_core::{
+    BackendChoice, Degradation, Scenario, SweepRunner, SweepSpec, ThroughputEngine, TopologyPoint,
+    TrafficModel,
+};
+use dctopo_flow::{Backend, FlowOptions};
+use dctopo_graph::CsrNet;
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::baseline(),
+        Scenario::new(
+            "scale:0.8",
+            vec![Degradation::ScaleCapacity { factor: 0.8 }],
+        ),
+        Scenario::new(
+            "scale:1.25",
+            vec![Degradation::ScaleCapacity { factor: 1.25 }],
+        ),
+        Scenario::new(
+            "scale:1.5",
+            vec![Degradation::ScaleCapacity { factor: 1.5 }],
+        ),
+        Scenario::new(
+            "linecard:25%x4",
+            vec![Degradation::LineCardMix {
+                fraction: 0.25,
+                factor: 4.0,
+                seed: 11,
+            }],
+        ),
+        Scenario::new(
+            "linecard:50%x10",
+            vec![Degradation::LineCardMix {
+                fraction: 0.5,
+                factor: 10.0,
+                seed: 12,
+            }],
+        ),
+        Scenario::new(
+            "fail:2",
+            vec![Degradation::FailLinks { count: 2, seed: 13 }],
+        ),
+        Scenario::new(
+            "fail:4",
+            vec![Degradation::FailLinks { count: 4, seed: 13 }],
+        ),
+    ]
+}
+
+fn instance() -> (Topology, Vec<TrafficMatrix>) {
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(64, 12, 8, &mut rng).expect("rrg");
+    let matrices = (0..2)
+        .map(|_| TrafficMatrix::random_permutation(topo.server_count(), &mut rng))
+        .collect();
+    (topo, matrices)
+}
+
+fn opts() -> FlowOptions {
+    FlowOptions {
+        max_phases: 800,
+        stall_phases: 60,
+        ..FlowOptions::fast()
+    }
+    .with_backend(Backend::KspRestricted { k: 8 })
+}
+
+/// The delta path: one engine, one base net, every scenario a cheap
+/// view, frozen path sets shared wherever the structure allows.
+fn run_delta(topo: &Topology, matrices: &[TrafficMatrix], scenarios: &[Scenario]) -> Vec<f64> {
+    let engine = ThroughputEngine::new(topo);
+    let mut out = Vec::with_capacity(scenarios.len() * matrices.len());
+    for s in scenarios {
+        let applied = s.apply(topo, engine.net()).expect("apply");
+        for tm in matrices {
+            out.push(
+                engine
+                    .solve_on(&applied.net, tm, &opts())
+                    .expect("solve")
+                    .throughput,
+            );
+        }
+    }
+    out
+}
+
+/// The rebuild path: every cell materialises a degraded `Graph`,
+/// re-flattens it, and (because the rebuilt net has a fresh structure)
+/// re-freezes every path set.
+fn run_rebuild(topo: &Topology, matrices: &[TrafficMatrix], scenarios: &[Scenario]) -> Vec<f64> {
+    let base = CsrNet::from_graph(&topo.graph);
+    let mut out = Vec::with_capacity(scenarios.len() * matrices.len());
+    for s in scenarios {
+        let applied = s.apply(topo, &base).expect("apply");
+        for tm in matrices {
+            // per-cell rebuild: degraded Graph -> fresh engine (CSR
+            // flattening + cold path-set cache) -> solve
+            let engine_topo = Topology {
+                graph: applied.net.to_graph(),
+                servers_at: topo.servers_at.clone(),
+                class_of: topo.class_of.clone(),
+                classes: topo.classes.clone(),
+                unused_ports: topo.unused_ports,
+            };
+            let engine = ThroughputEngine::new(&engine_topo);
+            out.push(engine.solve(tm, &opts()).expect("solve").throughput);
+        }
+    }
+    out
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let (topo, matrices) = instance();
+    let scenarios = scenarios();
+
+    // ---- correctness gate + one-shot timing (runs before criterion) ----
+    let t = Instant::now();
+    let rebuilt = run_rebuild(&topo, &matrices, &scenarios);
+    let old_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let delta = run_delta(&topo, &matrices, &scenarios);
+    let new_ms = t.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(rebuilt.len(), delta.len());
+    for (i, (r, d)) in rebuilt.iter().zip(&delta).enumerate() {
+        assert_eq!(
+            r.to_bits(),
+            d.to_bits(),
+            "cell {i}: delta view diverged from per-cell rebuild"
+        );
+    }
+    let speedup = old_ms / new_ms;
+    assert!(
+        speedup >= 1.5,
+        "delta-view path must beat per-cell rebuilds by >= 1.5x on the \
+         64-node grid, measured {speedup:.2}x ({old_ms:.0} ms -> {new_ms:.0} ms)"
+    );
+    report::emit_from_env(&[SpeedupRecord {
+        name: "sweep_delta_views".into(),
+        instance: format!(
+            "RRG(64, 12, 8) x {} scenarios x {} permutation matrices, ksp k=8; \
+             per-cell Graph rebuild + cold refreeze vs delta views + \
+             structure-keyed path cache",
+            scenarios.len(),
+            matrices.len()
+        ),
+        old_ms,
+        new_ms,
+    }]);
+
+    // ---- full engine pass: emit the per-cell artifact ----
+    let spec = SweepSpec {
+        topologies: vec![TopologyPoint::rrg(64, 12, 8)],
+        traffic: vec![TrafficModel::Permutation],
+        scenarios: scenarios.clone(),
+        backends: vec![BackendChoice::fptas(), BackendChoice::ksp(8)],
+        opts: opts(),
+        seed: 20140402,
+        runs: 1,
+    };
+    let report_grid = SweepRunner::new(spec).run();
+    assert_eq!(report_grid.ok_count(), report_grid.cells.len());
+    for cell in &report_grid.cells {
+        let m = cell.metrics().expect("gated ok");
+        assert!(
+            m.network_lambda <= m.hop_bound * (1.0 + 1e-9),
+            "{}/{}: λ {} above hop bound {}",
+            cell.scenario,
+            cell.backend,
+            m.network_lambda,
+            m.hop_bound
+        );
+    }
+    let records: Vec<SweepCellRecord> = report_grid.cells.iter().map(Into::into).collect();
+    report::emit_cells_from_env(&records);
+
+    // ---- timed comparison ----
+    let mut group = c.benchmark_group("scenario_sweep_rrg64x12x8");
+    group.sample_size(10);
+    group.bench_function("rebuild_per_cell", |b| {
+        b.iter(|| {
+            run_rebuild(&topo, &matrices, &scenarios)
+                .iter()
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("delta_views", |b| {
+        b.iter(|| run_delta(&topo, &matrices, &scenarios).iter().sum::<f64>())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

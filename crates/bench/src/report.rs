@@ -1,22 +1,33 @@
-//! Shared machine-readable schema for the committed `BENCH_*.json`
+//! Shared machine-readable schemas for the committed `BENCH_*.json`
 //! artifacts.
 //!
-//! Every acceptance benchmark in this workspace is an old-vs-new
-//! comparison on a fixed instance; this module gives them all one JSON
-//! shape — `name`, `instance`, `old_ms`, `new_ms`, `speedup` — so the
-//! perf trajectory across PRs stays diffable by machines (and humans)
-//! without parsing per-bench formats.
+//! Two record shapes cover every artifact in the workspace:
+//!
+//! * [`SpeedupRecord`] — an old-vs-new comparison on a fixed instance
+//!   (`name`, `instance`, `old_ms`, `new_ms`, `speedup`), so the perf
+//!   trajectory across PRs stays diffable by machines (and humans)
+//!   without parsing per-bench formats.
+//! * [`SweepCellRecord`] — one scenario-sweep grid cell (topology /
+//!   scenario / traffic / backend coordinates plus throughput, certified
+//!   gap, the per-cell hop bound, and settle counts), the shape
+//!   `topobench sweep --json` and the sweep bench emit.
 //!
 //! Benches call [`emit_from_env`] after their correctness gate: when the
 //! `DCTOPO_BENCH_JSON` environment variable names a path, the records
 //! are written there (and the path echoed to stderr); otherwise the call
 //! is a no-op, so `cargo bench` runs stay side-effect free by default.
+//! Sweep cell records use the `DCTOPO_SWEEP_JSON` variable the same way
+//! (see [`emit_cells_from_env`]).
 //!
 //! ```text
 //! DCTOPO_BENCH_JSON=BENCH_fptas.json cargo bench -p dctopo-bench --bench fptas_fast
+//! DCTOPO_BENCH_JSON=BENCH_sweep.json DCTOPO_SWEEP_JSON=SWEEP_cells.json \
+//!     cargo bench -p dctopo-bench --bench sweep
 //! ```
 
 use std::io;
+
+use dctopo_core::SweepCell;
 
 /// One old-vs-new comparison on a fixed benchmark instance.
 #[derive(Debug, Clone)]
@@ -86,6 +97,125 @@ pub fn emit_from_env(records: &[SpeedupRecord]) {
     }
 }
 
+/// One scenario-sweep grid cell in the shared artifact schema.
+///
+/// Built from a [`SweepCell`] via `From`; failed cells carry the error
+/// text in `status` and `null` metrics.
+#[derive(Debug, Clone)]
+pub struct SweepCellRecord {
+    /// Topology-axis name (family + size, e.g. `rrg-64x12x8`).
+    pub topology: String,
+    /// Repetition index.
+    pub run: usize,
+    /// Scenario (degradation recipe) name.
+    pub scenario: String,
+    /// Traffic-model name.
+    pub traffic: String,
+    /// Backend name.
+    pub backend: String,
+    /// Switches in the base topology.
+    pub switches: usize,
+    /// Live links in the degraded view.
+    pub live_links: usize,
+    /// Surviving flows the cell solved for.
+    pub flows: usize,
+    /// `"ok"`, or the cell's error text.
+    pub status: String,
+    /// The paper's throughput (NIC-capped), if the cell solved.
+    pub throughput: Option<f64>,
+    /// Network-only λ.
+    pub network_lambda: Option<f64>,
+    /// Certified dual upper bound on λ.
+    pub upper_bound: Option<f64>,
+    /// Certified relative gap.
+    pub gap: Option<f64>,
+    /// Per-cell Theorem-1 hop bound on λ.
+    pub hop_bound: Option<f64>,
+    /// Dijkstra-equivalent settles spent.
+    pub settles: Option<u64>,
+}
+
+impl From<&SweepCell> for SweepCellRecord {
+    fn from(cell: &SweepCell) -> Self {
+        let (status, m) = match &cell.result {
+            Ok(m) => ("ok".to_string(), Some(m)),
+            Err(e) => (e.to_string(), None),
+        };
+        SweepCellRecord {
+            topology: cell.topology.clone(),
+            run: cell.run,
+            scenario: cell.scenario.clone(),
+            traffic: cell.traffic.clone(),
+            backend: cell.backend.clone(),
+            switches: cell.switches,
+            live_links: cell.live_links,
+            flows: cell.flows,
+            status,
+            throughput: m.map(|m| m.throughput),
+            network_lambda: m.map(|m| m.network_lambda),
+            upper_bound: m.map(|m| m.upper_bound),
+            gap: m.map(|m| m.gap),
+            hop_bound: m.map(|m| m.hop_bound),
+            settles: m.map(|m| m.settles),
+        }
+    }
+}
+
+/// A float field: `null` when absent or non-finite (JSON has no `inf`;
+/// an all-local-traffic cell's λ is `∞`).
+fn num(x: Option<f64>) -> String {
+    match x {
+        Some(v) if v.is_finite() => format!("{v:.6}"),
+        _ => "null".into(),
+    }
+}
+
+/// Render sweep cells in the shared schema.
+pub fn cells_to_json(cells: &[SweepCellRecord]) -> String {
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "  {{\"topology\": \"{}\", \"run\": {}, \"scenario\": \"{}\", \
+                 \"traffic\": \"{}\", \"backend\": \"{}\", \"switches\": {}, \
+                 \"live_links\": {}, \"flows\": {}, \"status\": \"{}\", \
+                 \"throughput\": {}, \"network_lambda\": {}, \"upper_bound\": {}, \
+                 \"gap\": {}, \"hop_bound\": {}, \"settles\": {}}}",
+                escape(&c.topology),
+                c.run,
+                escape(&c.scenario),
+                escape(&c.traffic),
+                escape(&c.backend),
+                c.switches,
+                c.live_links,
+                c.flows,
+                escape(&c.status),
+                num(c.throughput),
+                num(c.network_lambda),
+                num(c.upper_bound),
+                num(c.gap),
+                num(c.hop_bound),
+                c.settles.map_or("null".into(), |s| s.to_string()),
+            )
+        })
+        .collect();
+    format!("[\n{}\n]\n", rows.join(",\n"))
+}
+
+/// Write sweep cells to `path` in the shared schema.
+pub fn write_cells_json(path: &str, cells: &[SweepCellRecord]) -> io::Result<()> {
+    std::fs::write(path, cells_to_json(cells))
+}
+
+/// Write sweep cells to the path named by `DCTOPO_SWEEP_JSON`, if set
+/// (same contract as [`emit_from_env`]).
+pub fn emit_cells_from_env(cells: &[SweepCellRecord]) {
+    if let Ok(path) = std::env::var("DCTOPO_SWEEP_JSON") {
+        write_cells_json(&path, cells).expect("write DCTOPO_SWEEP_JSON artifact");
+        eprintln!("wrote {} sweep cell record(s) to {path}", cells.len());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -109,5 +239,58 @@ mod tests {
     #[test]
     fn escape_controls() {
         assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\u000ad");
+    }
+
+    #[test]
+    fn sweep_cell_schema_handles_ok_error_and_infinity() {
+        use dctopo_core::sweep::CellMetrics;
+        use dctopo_flow::FlowError;
+
+        let ok = SweepCell {
+            topology: "rrg-8x5x3".into(),
+            run: 0,
+            scenario: "fail2".into(),
+            traffic: "permutation".into(),
+            backend: "fptas".into(),
+            switches: 8,
+            live_links: 10,
+            flows: 16,
+            result: Ok(CellMetrics {
+                throughput: 0.75,
+                network_lambda: 0.8,
+                upper_bound: 0.82,
+                gap: 0.024,
+                hop_bound: 0.9,
+                nic_limit: 1.0,
+                settles: 123,
+            }),
+        };
+        let local = SweepCell {
+            result: Ok(CellMetrics {
+                throughput: 1.0,
+                network_lambda: f64::INFINITY,
+                upper_bound: f64::INFINITY,
+                gap: 0.0,
+                hop_bound: f64::INFINITY,
+                nic_limit: 1.0,
+                settles: 0,
+            }),
+            ..ok.clone()
+        };
+        let failed = SweepCell {
+            result: Err(FlowError::Unreachable { src: 1, dst: 5 }),
+            ..ok.clone()
+        };
+        let records: Vec<SweepCellRecord> =
+            [&ok, &local, &failed].into_iter().map(Into::into).collect();
+        let json = cells_to_json(&records);
+        assert!(json.contains("\"status\": \"ok\""));
+        assert!(json.contains("\"throughput\": 0.750000"));
+        assert!(json.contains("\"settles\": 123"));
+        // infinities serialize as null, keeping the artifact valid JSON
+        assert!(json.contains("\"network_lambda\": null"));
+        // errors carry their display text and null metrics
+        assert!(json.contains("unreachable"));
+        assert_eq!(records[2].throughput, None);
     }
 }

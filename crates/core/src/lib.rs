@@ -21,11 +21,23 @@
 //! * [`packet`] — glue from a [`dctopo_topology::Topology`] to the
 //!   packet-level simulator (Fig. 13): builds the host-augmented network
 //!   and MPTCP subflow paths over k-shortest routes.
+//! * [`scenario`] — failure/degradation recipes ([`scenario::Scenario`])
+//!   applied to a base topology's `CsrNet` as cheap delta views.
+//! * [`sweep`] — the scenario sweep engine: evaluate a full
+//!   `{topology × scenario × traffic × backend}` grid on the persistent
+//!   worker pool, bit-identical at every thread count.
 
 pub mod experiment;
 pub mod packet;
+pub mod scenario;
 pub mod solve;
+pub mod sweep;
 pub mod vl2;
 
 pub use experiment::{Runner, Stats};
+pub use scenario::{AppliedScenario, Degradation, Scenario};
 pub use solve::{solve_throughput, ThroughputEngine, ThroughputResult};
+pub use sweep::{
+    BackendChoice, CellMetrics, SweepCell, SweepReport, SweepRunner, SweepSpec, TopologyPoint,
+    TrafficModel,
+};

@@ -24,6 +24,8 @@ use dctopo_graph::CsrNet;
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 
+use crate::scenario::AppliedScenario;
+
 /// Result of [`solve_throughput`].
 #[derive(Debug, Clone)]
 pub struct ThroughputResult {
@@ -82,6 +84,28 @@ pub fn aggregate_commodities(topo: &Topology, tm: &TrafficMatrix) -> Vec<Commodi
         .collect();
     commodities.sort_by_key(|c| (c.src, c.dst));
     commodities
+}
+
+/// The traffic that survives a switch-failure scenario: flows whose
+/// endpoint servers both sit on live switches. A failed ToR takes its
+/// hosts down with it, so their flows disappear from the demand rather
+/// than showing up as unreachable commodities.
+///
+/// Server numbering is preserved (dead servers simply carry no flows),
+/// so NIC accounting and switch aggregation work unchanged.
+pub fn surviving_traffic(
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    failed_switch: &[bool],
+) -> TrafficMatrix {
+    let s2sw = topo.server_to_switch();
+    let pairs: Vec<(usize, usize)> = tm
+        .pairs()
+        .iter()
+        .copied()
+        .filter(|&(s, t)| !failed_switch[s2sw[s]] && !failed_switch[s2sw[t]])
+        .collect();
+    TrafficMatrix::from_pairs(tm.server_count(), pairs)
 }
 
 /// The NIC cap: no flow can exceed `1 / max(flows on any server NIC)`.
@@ -152,6 +176,38 @@ impl<'t> ThroughputEngine<'t> {
         tm: &TrafficMatrix,
         opts: &FlowOptions,
     ) -> Result<ThroughputResult, FlowError> {
+        self.solve_on(&self.net, tm, opts)
+    }
+
+    /// [`ThroughputEngine::solve`] against an alternative network view
+    /// (typically a degradation delta view of this engine's base net),
+    /// sharing the engine's path-set cache.
+    ///
+    /// The cache key is the view's *structure*, so capacity-only views
+    /// reuse the base topology's frozen path sets while failure views
+    /// correctly re-freeze; either way results are bit-identical to a
+    /// cold solve on the same view.
+    pub fn solve_on(
+        &self,
+        net: &CsrNet,
+        tm: &TrafficMatrix,
+        opts: &FlowOptions,
+    ) -> Result<ThroughputResult, FlowError> {
+        if tm.flow_count() == 0 {
+            // nothing demands service (e.g. a scenario killed every
+            // flow-bearing switch): the min-over-flows throughput is
+            // vacuous, and it must read as 0, not as a healthy 1.0, so
+            // sweep aggregates never show a dead fabric beating a
+            // degraded one
+            return Ok(ThroughputResult {
+                throughput: 0.0,
+                network_lambda: 0.0,
+                network_upper_bound: 0.0,
+                nic_limit: f64::INFINITY,
+                commodities: Vec::new(),
+                solved: None,
+            });
+        }
         let commodities = aggregate_commodities(self.topo, tm);
         let nic = nic_limit(tm);
         if commodities.is_empty() {
@@ -165,7 +221,7 @@ impl<'t> ThroughputEngine<'t> {
                 solved: None,
             });
         }
-        let solved = dctopo_flow::solve_with_cache(&self.net, &commodities, opts, &self.cache)?;
+        let solved = dctopo_flow::solve_with_cache(net, &commodities, opts, &self.cache)?;
         Ok(ThroughputResult {
             throughput: solved.throughput.min(nic),
             network_lambda: solved.throughput,
@@ -174,6 +230,29 @@ impl<'t> ThroughputEngine<'t> {
             commodities,
             solved: Some(solved),
         })
+    }
+
+    /// Solve the topology's throughput under a degradation scenario:
+    /// flows of servers on failed switches are dropped from the demand
+    /// (see [`surviving_traffic`]), then the surviving traffic is solved
+    /// against the scenario's delta view.
+    ///
+    /// # Errors
+    /// As [`ThroughputEngine::solve`] — notably
+    /// [`FlowError::Unreachable`] when a surviving flow's switches were
+    /// disconnected by the degradation.
+    pub fn solve_scenario(
+        &self,
+        applied: &AppliedScenario,
+        tm: &TrafficMatrix,
+        opts: &FlowOptions,
+    ) -> Result<ThroughputResult, FlowError> {
+        if applied.failed_switch_count() > 0 {
+            let survivors = surviving_traffic(self.topo, tm, &applied.failed_switch);
+            self.solve_on(&applied.net, &survivors, opts)
+        } else {
+            self.solve_on(&applied.net, tm, opts)
+        }
     }
 }
 

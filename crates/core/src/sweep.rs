@@ -1,0 +1,775 @@
+//! The scenario sweep engine: evaluate a full experiment grid
+//! `{topology × run × scenario × traffic model × backend}` on the
+//! persistent worker pool, one [`SweepCell`] per point.
+//!
+//! This is the paper's experimental method made into a subsystem: every
+//! figure is a grid of throughput numbers against analytic bounds, swept
+//! over sizes, traffic models, and degraded variants. The engine owns
+//! the amortisation story — per `(topology, run)` it builds **one**
+//! topology, flattens **one** base [`CsrNet`], applies every scenario as
+//! a cheap delta view, generates every traffic matrix once, and shares
+//! one [`ThroughputEngine`] path-set cache across all cells — and the
+//! determinism story:
+//!
+//! * Every random choice (topology sample, traffic matrix, degradation
+//!   victims) derives from [`SweepSpec::seed`] and the cell's grid
+//!   coordinates — never from evaluation order.
+//! * Cells are evaluated in parallel on the vendored rayon pool with
+//!   index-ordered assembly, and every solver backend is itself
+//!   bit-identical across thread counts, so **a sweep's cell vector is
+//!   bit-identical regardless of thread count or evaluation order**
+//!   (pinned by `tests/sweep_determinism.rs`).
+//!
+//! Per-cell failures (a degradation disconnects a surviving flow, a
+//! backend rejects an oversized instance) are recorded in the cell
+//! rather than aborting the grid: a sweep is a census, not a
+//! transaction.
+
+use dctopo_flow::{Backend, Commodity, FlowError, FlowOptions};
+use dctopo_graph::{CsrNet, DijkstraWorkspace, GraphError};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+
+use crate::scenario::Scenario;
+use crate::solve::ThroughputEngine;
+
+/// Seeded topology builder carried by a [`TopologyPoint`].
+pub type TopologyBuilder = Box<dyn Fn(&mut StdRng) -> Result<Topology, GraphError> + Send + Sync>;
+
+/// One point on the topology axis: a display name plus a seeded
+/// builder. Family and size both live here — `rrg-64`, `vl2-10x12`,
+/// `fat-tree-8` are three different points.
+pub struct TopologyPoint {
+    /// Display name (used in cell records).
+    pub name: String,
+    /// Seeded builder; called once per `(topology, run)` pair.
+    pub build: TopologyBuilder,
+}
+
+impl TopologyPoint {
+    /// A named point from any seeded builder.
+    pub fn new(
+        name: impl Into<String>,
+        build: impl Fn(&mut StdRng) -> Result<Topology, GraphError> + Send + Sync + 'static,
+    ) -> Self {
+        TopologyPoint {
+            name: name.into(),
+            build: Box::new(build),
+        }
+    }
+
+    /// The paper's `RRG(n, k, r)` family at one size.
+    pub fn rrg(n: usize, k: usize, r: usize) -> Self {
+        Self::new(format!("rrg-{n}x{k}x{r}"), move |rng| {
+            Topology::random_regular(n, k, r, rng)
+        })
+    }
+}
+
+impl std::fmt::Debug for TopologyPoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TopologyPoint")
+            .field("name", &self.name)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One point on the traffic axis.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TrafficModel {
+    /// Fixed-point-free random server permutation (the paper's default).
+    Permutation,
+    /// Every ordered server pair.
+    AllToAll,
+    /// §8.1's x% Chunky ToR-level pattern.
+    Chunky {
+        /// Percentage of ToRs paired up ToR-to-ToR.
+        percent: f64,
+    },
+    /// Many-to-few hotspot onto the first `hot` servers.
+    Hotspot {
+        /// Size of the hot set.
+        hot: usize,
+    },
+}
+
+impl TrafficModel {
+    /// Stable display name.
+    pub fn name(&self) -> String {
+        match self {
+            TrafficModel::Permutation => "permutation".into(),
+            TrafficModel::AllToAll => "all-to-all".into(),
+            TrafficModel::Chunky { percent } => format!("chunky:{percent}"),
+            TrafficModel::Hotspot { hot } => format!("hotspot:{hot}"),
+        }
+    }
+
+    /// Generate the matrix for `topo` from a seeded RNG.
+    ///
+    /// # Errors
+    /// [`FlowError::BadOptions`] when the model cannot be instantiated
+    /// on this topology (a permutation over fewer than 2 servers, a
+    /// chunky percentage outside `[0, 100]`, a hotspot set that is
+    /// empty or not a proper subset of the servers). The underlying
+    /// generators assert these preconditions — a sweep must record a
+    /// bad axis point as per-cell errors, never panic the worker pool.
+    pub fn generate(&self, topo: &Topology, rng: &mut StdRng) -> Result<TrafficMatrix, FlowError> {
+        let servers = topo.server_count();
+        match self {
+            TrafficModel::Permutation => {
+                if servers < 2 {
+                    return Err(FlowError::BadOptions(format!(
+                        "permutation traffic needs at least 2 servers, topology hosts {servers}"
+                    )));
+                }
+                Ok(TrafficMatrix::random_permutation(servers, rng))
+            }
+            TrafficModel::AllToAll => Ok(TrafficMatrix::all_to_all(servers)),
+            TrafficModel::Chunky { percent } => {
+                if !(0.0..=100.0).contains(percent) {
+                    return Err(FlowError::BadOptions(format!(
+                        "chunky percentage {percent} not in [0, 100]"
+                    )));
+                }
+                let groups: Vec<Vec<usize>> = topo
+                    .server_groups()
+                    .into_iter()
+                    .filter(|g| !g.is_empty())
+                    .collect();
+                Ok(TrafficMatrix::chunky(&groups, *percent, rng))
+            }
+            TrafficModel::Hotspot { hot } => {
+                if *hot < 1 || *hot >= servers {
+                    return Err(FlowError::BadOptions(format!(
+                        "hotspot set of {hot} is not a proper non-empty subset \
+                         of {servers} servers"
+                    )));
+                }
+                Ok(TrafficMatrix::hotspot(servers, *hot, rng))
+            }
+        }
+    }
+}
+
+/// One point on the backend axis: a solver plus the FPTAS trajectory
+/// flag.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BackendChoice {
+    /// The solver backend.
+    pub backend: Backend,
+    /// Route the FPTAS through its strict legacy trajectory.
+    pub strict: bool,
+}
+
+impl BackendChoice {
+    /// The default fast-path FPTAS.
+    pub fn fptas() -> Self {
+        BackendChoice {
+            backend: Backend::Fptas,
+            strict: false,
+        }
+    }
+
+    /// The strict (legacy-trajectory) FPTAS.
+    pub fn fptas_strict() -> Self {
+        BackendChoice {
+            backend: Backend::Fptas,
+            strict: true,
+        }
+    }
+
+    /// The exact edge-flow LP.
+    pub fn exact() -> Self {
+        BackendChoice {
+            backend: Backend::ExactLp,
+            strict: false,
+        }
+    }
+
+    /// k-shortest-path-restricted routing.
+    pub fn ksp(k: usize) -> Self {
+        BackendChoice {
+            backend: Backend::KspRestricted { k },
+            strict: false,
+        }
+    }
+
+    /// Stable display name (`fptas`, `fptas-strict`, `exact-lp`,
+    /// `ksp:<k>`).
+    pub fn name(&self) -> String {
+        match (self.backend, self.strict) {
+            (Backend::Fptas, true) => "fptas-strict".into(),
+            (Backend::KspRestricted { k }, _) => format!("ksp:{k}"),
+            (b, _) => b.name().into(),
+        }
+    }
+}
+
+/// The full grid specification.
+#[derive(Debug)]
+pub struct SweepSpec {
+    /// Topology axis (family × size folded together).
+    pub topologies: Vec<TopologyPoint>,
+    /// Traffic-model axis.
+    pub traffic: Vec<TrafficModel>,
+    /// Scenario (degradation) axis.
+    pub scenarios: Vec<Scenario>,
+    /// Backend axis.
+    pub backends: Vec<BackendChoice>,
+    /// Solver options shared by every cell (the backend field is
+    /// overridden per cell by the backend axis).
+    pub opts: FlowOptions,
+    /// Master seed; every cell's randomness derives from it and the
+    /// cell's grid coordinates.
+    pub seed: u64,
+    /// Independent seeded repetitions per topology point.
+    pub runs: usize,
+}
+
+/// Metrics of one successfully solved cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellMetrics {
+    /// The paper's throughput (network λ capped by the NIC limit).
+    pub throughput: f64,
+    /// Network-only concurrent-flow value λ (`∞` when no flow crossed
+    /// the network).
+    pub network_lambda: f64,
+    /// Certified dual upper bound on the optimal λ.
+    pub upper_bound: f64,
+    /// Certified relative gap of the solve.
+    pub gap: f64,
+    /// Theorem-1-style hop bound on λ for this exact cell:
+    /// `C_live / Σ_j demand_j · hopdist_j` over the degraded view (see
+    /// [`hop_throughput_bound`]). Every backend's λ must sit below it.
+    pub hop_bound: f64,
+    /// NIC cap of the (surviving) traffic.
+    pub nic_limit: f64,
+    /// Dijkstra-equivalent settles the solver spent.
+    pub settles: u64,
+}
+
+/// One evaluated grid point.
+#[derive(Debug, Clone)]
+pub struct SweepCell {
+    /// Topology-axis name.
+    pub topology: String,
+    /// Run (repetition) index.
+    pub run: usize,
+    /// Scenario name.
+    pub scenario: String,
+    /// Traffic-model name.
+    pub traffic: String,
+    /// Backend name.
+    pub backend: String,
+    /// Switches in the (base) topology.
+    pub switches: usize,
+    /// Live links in the degraded view.
+    pub live_links: usize,
+    /// Surviving flows the cell solved for.
+    pub flows: usize,
+    /// Metrics, or the error this cell failed with.
+    pub result: Result<CellMetrics, FlowError>,
+}
+
+impl SweepCell {
+    /// The cell's metrics, if it solved.
+    pub fn metrics(&self) -> Option<&CellMetrics> {
+        self.result.as_ref().ok()
+    }
+}
+
+/// The evaluated grid, cells in row-major
+/// `topology → run → scenario → traffic → backend` order regardless of
+/// how they were scheduled.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// All cells, row-major.
+    pub cells: Vec<SweepCell>,
+    dims: [usize; 5],
+}
+
+impl SweepReport {
+    /// Grid dimensions `[topologies, runs, scenarios, traffic, backends]`.
+    pub fn dims(&self) -> [usize; 5] {
+        self.dims
+    }
+
+    /// The cell at the given grid coordinates.
+    pub fn cell(&self, t: usize, run: usize, s: usize, m: usize, b: usize) -> &SweepCell {
+        let [_, r, sc, tm, bk] = self.dims;
+        &self.cells[(((t * r + run) * sc + s) * tm + m) * bk + b]
+    }
+
+    /// Number of cells that solved successfully.
+    pub fn ok_count(&self) -> usize {
+        self.cells.iter().filter(|c| c.result.is_ok()).count()
+    }
+
+    /// Mean throughput over the cells selected by `pred` (`None` when no
+    /// selected cell solved).
+    pub fn mean_throughput(&self, pred: impl Fn(&SweepCell) -> bool) -> Option<f64> {
+        let xs: Vec<f64> = self
+            .cells
+            .iter()
+            .filter(|c| pred(c))
+            .filter_map(|c| c.metrics().map(|m| m.throughput))
+            .collect();
+        (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
+    }
+}
+
+/// Runs a [`SweepSpec`] grid on the persistent worker pool.
+#[derive(Debug)]
+pub struct SweepRunner {
+    spec: SweepSpec,
+}
+
+impl SweepRunner {
+    /// Wrap a grid specification.
+    pub fn new(spec: SweepSpec) -> Self {
+        SweepRunner { spec }
+    }
+
+    /// The wrapped specification.
+    pub fn spec(&self) -> &SweepSpec {
+        &self.spec
+    }
+
+    /// Evaluate every cell of the grid. Per-cell failures land in the
+    /// cells; the grid itself always comes back complete.
+    pub fn run(&self) -> SweepReport {
+        let spec = &self.spec;
+        let runs = spec.runs.max(1);
+        let dims = [
+            spec.topologies.len(),
+            runs,
+            spec.scenarios.len(),
+            spec.traffic.len(),
+            spec.backends.len(),
+        ];
+        // outer fan-out: one task per (topology, run) — each builds its
+        // own topology + base net + scenario views + traffic matrices,
+        // then fans the cells out again (the pool's submitter
+        // participates, so nesting cannot deadlock)
+        let blocks: Vec<Vec<SweepCell>> = (0..dims[0] * runs)
+            .into_par_iter()
+            .map(|tr| self.eval_topology(tr / runs, tr % runs))
+            .collect();
+        SweepReport {
+            cells: blocks.into_iter().flatten().collect(),
+            dims,
+        }
+    }
+
+    /// Evaluate the `scenario × traffic × backend` block of one
+    /// `(topology, run)` pair.
+    fn eval_topology(&self, t: usize, run: usize) -> Vec<SweepCell> {
+        let spec = &self.spec;
+        let point = &spec.topologies[t];
+        let block = spec.scenarios.len() * spec.traffic.len() * spec.backends.len();
+        let error_block = |e: FlowError| -> Vec<SweepCell> {
+            (0..block)
+                .map(|i| {
+                    let (s, m, b) = self.split(i);
+                    SweepCell {
+                        topology: point.name.clone(),
+                        run,
+                        scenario: spec.scenarios[s].name.clone(),
+                        traffic: spec.traffic[m].name(),
+                        backend: spec.backends[b].name(),
+                        switches: 0,
+                        live_links: 0,
+                        flows: 0,
+                        result: Err(e.clone()),
+                    }
+                })
+                .collect()
+        };
+
+        let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 1, t, run));
+        let topo = match (point.build)(&mut rng) {
+            Ok(t) => t,
+            Err(e) => return error_block(FlowError::Graph(e)),
+        };
+        let engine = ThroughputEngine::new(&topo);
+        let applied: Vec<Result<crate::scenario::AppliedScenario, GraphError>> = spec
+            .scenarios
+            .iter()
+            .map(|s| s.apply(&topo, engine.net()))
+            .collect();
+        let matrices: Vec<Result<TrafficMatrix, FlowError>> = spec
+            .traffic
+            .iter()
+            .enumerate()
+            .map(|(m, model)| {
+                let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 2, t, run * 1024 + m));
+                model.generate(&topo, &mut rng)
+            })
+            .collect();
+
+        // per-(scenario, traffic) precompute shared by every backend on
+        // the axis: the surviving traffic (filtered once, borrowed when
+        // no switch failed) and the hop bound (a Dijkstra sweep that is
+        // bit-identical across backends)
+        struct Prepared {
+            /// `Some` = filtered by switch failures; `None` = borrow
+            /// the unfiltered matrix.
+            tm: Option<TrafficMatrix>,
+            flows: usize,
+            hop_bound: f64,
+        }
+        let n_traffic = spec.traffic.len();
+        let prepared: Vec<Option<Prepared>> = (0..spec.scenarios.len() * n_traffic)
+            .map(|i| {
+                let (s, m) = (i / n_traffic, i % n_traffic);
+                let ap = applied[s].as_ref().ok()?;
+                let tm_full = matrices[m].as_ref().ok()?;
+                let (tm, flows, commodities) = if ap.failed_switch_count() > 0 {
+                    let tm = crate::solve::surviving_traffic(&topo, tm_full, &ap.failed_switch);
+                    let cs = crate::solve::aggregate_commodities(&topo, &tm);
+                    let flows = tm.flow_count();
+                    (Some(tm), flows, cs)
+                } else {
+                    let cs = crate::solve::aggregate_commodities(&topo, tm_full);
+                    (None, tm_full.flow_count(), cs)
+                };
+                let hop_bound = hop_throughput_bound(&ap.net, &commodities);
+                Some(Prepared {
+                    tm,
+                    flows,
+                    hop_bound,
+                })
+            })
+            .collect();
+
+        // inner fan-out: the actual solves
+        (0..block)
+            .into_par_iter()
+            .map(|i| {
+                let (s, m, b) = self.split(i);
+                let choice = spec.backends[b];
+                let opts = spec
+                    .opts
+                    .with_backend(choice.backend)
+                    .with_strict_reference(choice.strict);
+                let mut cell = SweepCell {
+                    topology: point.name.clone(),
+                    run,
+                    scenario: spec.scenarios[s].name.clone(),
+                    traffic: spec.traffic[m].name(),
+                    backend: choice.name(),
+                    switches: topo.switch_count(),
+                    live_links: 0,
+                    flows: 0,
+                    result: Err(FlowError::NoCommodities),
+                };
+                let ap = match &applied[s] {
+                    Ok(ap) => ap,
+                    Err(e) => {
+                        cell.result = Err(FlowError::Graph(e.clone()));
+                        return cell;
+                    }
+                };
+                cell.live_links = ap.net.live_arc_count() / 2;
+                let tm_full = match &matrices[m] {
+                    Ok(tm) => tm,
+                    Err(e) => {
+                        cell.result = Err(e.clone());
+                        return cell;
+                    }
+                };
+                let prep = prepared[s * n_traffic + m]
+                    .as_ref()
+                    .expect("scenario and matrix both ok");
+                let tm = prep.tm.as_ref().unwrap_or(tm_full);
+                cell.flows = prep.flows;
+                cell.result = engine.solve_on(&ap.net, tm, &opts).map(|r| {
+                    let (gap, settles) = r
+                        .solved
+                        .as_ref()
+                        .map(|s| (s.gap(), s.settles))
+                        .unwrap_or((0.0, 0));
+                    CellMetrics {
+                        throughput: r.throughput,
+                        network_lambda: r.network_lambda,
+                        upper_bound: r.network_upper_bound,
+                        gap,
+                        hop_bound: prep.hop_bound,
+                        nic_limit: r.nic_limit,
+                        settles,
+                    }
+                });
+                cell
+            })
+            .collect()
+    }
+
+    /// Decompose a block-local index into `(scenario, traffic, backend)`.
+    fn split(&self, i: usize) -> (usize, usize, usize) {
+        let b = self.spec.backends.len();
+        let m = self.spec.traffic.len();
+        (i / (m * b), (i / b) % m, i % b)
+    }
+}
+
+/// Theorem-1 with per-cell observed distances: on the given (possibly
+/// degraded) view, any concurrent flow satisfies
+/// `λ · Σ_j demand_j · hopdist(src_j, dst_j) ≤ C_live`, because every
+/// unit of commodity `j` consumes at least `hopdist_j` units of
+/// capacity. Returns `C_live / Σ_j demand_j · hopdist_j` — a *hard*
+/// per-instance upper bound on the network λ of **every** backend
+/// (unlike the paper's `d*(n, r)` form, which bounds the average over
+/// all pairs and only holds for uniform traffic on regular graphs).
+///
+/// `∞` when there are no commodities; `0` when some commodity is
+/// disconnected (λ is forced to 0 there anyway).
+pub fn hop_throughput_bound(net: &CsrNet, commodities: &[Commodity]) -> f64 {
+    if commodities.is_empty() {
+        return f64::INFINITY;
+    }
+    let ones = vec![1.0f64; net.arc_count()];
+    let mut ws = DijkstraWorkspace::new(net.node_count());
+    let mut alpha = 0.0f64;
+    let mut current_src = usize::MAX;
+    // commodities arrive sorted by (src, dst) from the aggregation, so
+    // one Dijkstra per distinct source suffices
+    for c in commodities {
+        if c.src != current_src {
+            net.dijkstra(c.src, &ones, &mut ws);
+            current_src = c.src;
+        }
+        let d = ws.distance(c.dst);
+        if !d.is_finite() {
+            return 0.0;
+        }
+        alpha += c.demand * d;
+    }
+    net.total_capacity() / alpha
+}
+
+/// Mix grid coordinates into the master seed (splitmix64 finalizer) so
+/// every cell's randomness is independent of evaluation order and of
+/// the other axes.
+fn derive_seed(base: u64, domain: u64, a: usize, b: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(domain.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((a as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((b as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::Degradation;
+
+    fn small_spec() -> SweepSpec {
+        SweepSpec {
+            topologies: vec![TopologyPoint::rrg(10, 6, 4), TopologyPoint::rrg(12, 7, 4)],
+            traffic: vec![
+                TrafficModel::Permutation,
+                TrafficModel::Chunky { percent: 50.0 },
+            ],
+            scenarios: vec![
+                Scenario::baseline(),
+                Scenario::new("fail2", vec![Degradation::FailLinks { count: 2, seed: 7 }]),
+                Scenario::new("scale1.5", vec![Degradation::ScaleCapacity { factor: 1.5 }]),
+            ],
+            backends: vec![BackendChoice::fptas(), BackendChoice::ksp(3)],
+            opts: FlowOptions::fast(),
+            seed: 20140402,
+            runs: 2,
+        }
+    }
+
+    /// One shared evaluation of [`small_spec`] — the read-only tests all
+    /// inspect the same grid instead of re-solving it.
+    fn shared_report() -> &'static SweepReport {
+        static REPORT: std::sync::OnceLock<SweepReport> = std::sync::OnceLock::new();
+        REPORT.get_or_init(|| SweepRunner::new(small_spec()).run())
+    }
+
+    #[test]
+    fn grid_shape_and_order() {
+        let report = shared_report();
+        assert_eq!(report.dims(), [2, 2, 3, 2, 2]);
+        assert_eq!(report.cells.len(), 48);
+        // row-major order: the indexer agrees with the flat vector
+        let c = report.cell(1, 0, 2, 1, 1);
+        assert_eq!(c.topology, "rrg-12x7x4");
+        assert_eq!(c.scenario, "scale1.5");
+        assert_eq!(c.traffic, "chunky:50");
+        assert_eq!(c.backend, "ksp:3");
+        assert_eq!(c.run, 0);
+    }
+
+    #[test]
+    fn cells_solve_and_respect_their_hop_bound() {
+        let report = shared_report();
+        assert_eq!(report.ok_count(), report.cells.len(), "no cell may fail");
+        for cell in &report.cells {
+            let m = cell.metrics().unwrap();
+            assert!(m.throughput > 0.0, "{cell:?}");
+            assert!(
+                m.network_lambda <= m.hop_bound * (1.0 + 1e-9),
+                "{}: λ {} above hop bound {}",
+                cell.scenario,
+                m.network_lambda,
+                m.hop_bound
+            );
+            assert!(m.network_lambda <= m.upper_bound * (1.0 + 1e-9));
+            assert!(m.throughput <= m.nic_limit + 1e-12);
+        }
+    }
+
+    #[test]
+    fn same_run_same_traffic_across_scenarios() {
+        // flows only differ where switch failures filtered them — link
+        // failure and capacity cells must see the identical matrix
+        let report = shared_report();
+        for t in 0..2 {
+            for run in 0..2 {
+                for m in 0..2 {
+                    let base = report.cell(t, run, 0, m, 0).flows;
+                    for s in 1..3 {
+                        assert_eq!(report.cell(t, run, s, m, 0).flows, base);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let a = shared_report();
+        let b = SweepRunner::new(small_spec()).run();
+        for (x, y) in a.cells.iter().zip(&b.cells) {
+            match (&x.result, &y.result) {
+                (Ok(mx), Ok(my)) => {
+                    assert_eq!(mx.throughput.to_bits(), my.throughput.to_bits());
+                    assert_eq!(mx.upper_bound.to_bits(), my.upper_bound.to_bits());
+                    assert_eq!(mx.hop_bound.to_bits(), my.hop_bound.to_bits());
+                    assert_eq!(mx.settles, my.settles);
+                }
+                (a, b) => assert_eq!(a, b),
+            }
+        }
+    }
+
+    #[test]
+    fn scale_up_cells_beat_baseline_certificates() {
+        // capacity ×1.5 multiplies the optimum: the scaled cell's dual
+        // bound must clear the baseline cell's primal
+        let report = shared_report();
+        for t in 0..2 {
+            for run in 0..2 {
+                for m in 0..2 {
+                    let base = report.cell(t, run, 0, m, 0).metrics().unwrap();
+                    let scaled = report.cell(t, run, 2, m, 0).metrics().unwrap();
+                    assert!(scaled.upper_bound >= base.network_lambda * (1.0 - 1e-9));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bad_traffic_models_land_in_cells_not_panics() {
+        // hotspot:999 cannot be instantiated on a 20-server topology —
+        // the affected traffic column errors per cell, everything else
+        // still solves
+        let spec = SweepSpec {
+            topologies: vec![TopologyPoint::rrg(10, 6, 4)],
+            traffic: vec![
+                TrafficModel::Permutation,
+                TrafficModel::Hotspot { hot: 999 },
+                TrafficModel::Chunky { percent: 150.0 },
+            ],
+            scenarios: vec![Scenario::baseline()],
+            backends: vec![BackendChoice::fptas()],
+            opts: FlowOptions::fast(),
+            seed: 4,
+            runs: 1,
+        };
+        let report = SweepRunner::new(spec).run();
+        assert_eq!(report.cells.len(), 3);
+        assert!(report.cell(0, 0, 0, 0, 0).result.is_ok());
+        for m in 1..3 {
+            assert!(
+                matches!(
+                    report.cell(0, 0, 0, m, 0).result,
+                    Err(FlowError::BadOptions(_))
+                ),
+                "traffic model {m} must fail per-cell"
+            );
+        }
+    }
+
+    #[test]
+    fn dead_fabric_cells_report_zero_not_full_throughput() {
+        // failing every switch kills all traffic: the cell must read 0,
+        // never a vacuous 1.0 that beats the healthy baseline
+        let spec = SweepSpec {
+            topologies: vec![TopologyPoint::rrg(8, 5, 3)],
+            traffic: vec![TrafficModel::Permutation],
+            scenarios: vec![
+                Scenario::baseline(),
+                Scenario::new(
+                    "all-dead",
+                    vec![Degradation::FailSwitches { count: 8, seed: 1 }],
+                ),
+            ],
+            backends: vec![BackendChoice::fptas()],
+            opts: FlowOptions::fast(),
+            seed: 6,
+            runs: 1,
+        };
+        let report = SweepRunner::new(spec).run();
+        let healthy = report.cell(0, 0, 0, 0, 0).metrics().unwrap();
+        let dead_cell = report.cell(0, 0, 1, 0, 0);
+        let dead = dead_cell.metrics().unwrap();
+        assert_eq!(dead_cell.flows, 0);
+        assert_eq!(dead.throughput, 0.0);
+        assert!(healthy.throughput > dead.throughput);
+    }
+
+    #[test]
+    fn build_failures_land_in_cells_not_panics() {
+        let spec = SweepSpec {
+            topologies: vec![TopologyPoint::new("impossible", |rng| {
+                Topology::random_regular(5, 10, 3, rng) // odd degree sum
+            })],
+            traffic: vec![TrafficModel::Permutation],
+            scenarios: vec![Scenario::baseline()],
+            backends: vec![BackendChoice::fptas()],
+            opts: FlowOptions::fast(),
+            seed: 1,
+            runs: 1,
+        };
+        let report = SweepRunner::new(spec).run();
+        assert_eq!(report.cells.len(), 1);
+        assert!(matches!(
+            report.cells[0].result,
+            Err(FlowError::Graph(GraphError::Unrealizable(_)))
+        ));
+    }
+
+    #[test]
+    fn hop_bound_handles_edge_cases() {
+        let mut g = dctopo_graph::Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let net = CsrNet::from_graph(&g);
+        assert_eq!(hop_throughput_bound(&net, &[]), f64::INFINITY);
+        // disconnected commodity: bound collapses to 0
+        assert_eq!(hop_throughput_bound(&net, &[Commodity::unit(0, 2)]), 0.0);
+        // single edge, one unit commodity at distance 1: C = 4, α = 1
+        assert_eq!(hop_throughput_bound(&net, &[Commodity::unit(0, 1)]), 4.0);
+    }
+}

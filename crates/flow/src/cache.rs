@@ -7,18 +7,24 @@
 //! only on the *topology* and `k` — not on the traffic matrix. The
 //! paper's core experiment sweeps many traffic matrices over one fixed
 //! topology, so [`PathSetCache`] memoises frozen path sets per
-//! `(CsrNet identity, k)` and per `(src, dst)` pair: the first solve
+//! `(CsrNet structure, k)` and per `(src, dst)` pair: the first solve
 //! against a topology pays for Yen, every later solve that routes
 //! between previously-seen switch pairs reuses the frozen arc sequences.
 //!
-//! ## Why identity, not structure
+//! ## Why an identity token, not a structural hash
 //!
-//! The key is [`CsrNet::id`] — a process-unique token assigned when the
-//! net is built and preserved by `Clone`. Because a `CsrNet` is
-//! immutable, id equality implies content equality, so a hit can never
-//! return paths frozen against a different topology. Structurally equal
-//! nets built separately simply miss; correctness never depends on a
-//! structural hash.
+//! The key is [`CsrNet::structure_id`] — a process-unique token assigned
+//! when a net (or a structure-changing view) is built and preserved by
+//! `Clone` **and by capacity-only delta views**. structure_id equality
+//! guarantees identical adjacency and arc numbering, and Yen's paths
+//! here are hop-metric — they depend only on structure — so a hit can
+//! never return paths invalid for the requesting net. This is what lets
+//! a capacity-degradation sweep (uniform scaling, line-card mixes) reuse
+//! one topology's frozen path sets across every cell, while
+//! failure views ([`CsrNet::with_disabled_arcs`]) carry a fresh
+//! structure_id and correctly re-freeze. Structurally equal nets built
+//! separately simply miss; correctness never depends on a structural
+//! hash.
 //!
 //! ## Determinism invariant
 //!
@@ -68,10 +74,13 @@ pub struct PathSetCache {
 
 #[derive(Debug, Default)]
 struct Inner {
-    /// Adjacency-list rebuild per net id — Yen wants a [`Graph`], and
-    /// rebuilding it per solve was half the cold-start cost.
+    /// Adjacency-list rebuild per net structure — Yen wants a [`Graph`],
+    /// and rebuilding it per solve was half the cold-start cost. (Yen is
+    /// hop-metric, so the rebuilt graph's capacities are irrelevant and
+    /// any same-structure view's rebuild serves all of them.)
     graphs: HashMap<u64, Arc<Graph>>,
-    /// Frozen path sets keyed by `(net id, k)`, then `(src, dst)`.
+    /// Frozen path sets keyed by `(net structure id, k)`, then
+    /// `(src, dst)`.
     paths: HashMap<(u64, usize), HashMap<(NodeId, NodeId), FrozenPathSet>>,
     stats: CacheStats,
 }
@@ -95,7 +104,7 @@ impl PathSetCache {
         commodities: &[Commodity],
         k: usize,
     ) -> Result<Vec<FrozenPathSet>, FlowError> {
-        let key = (net.id(), k);
+        let key = (net.structure_id(), k);
         // phase 1 (locked): resolve hits, collect distinct misses, and
         // grab (or build) the shared adjacency-list view
         let mut out: Vec<Option<FrozenPathSet>> = vec![None; commodities.len()];
@@ -124,7 +133,7 @@ impl PathSetCache {
             if missing.is_empty() {
                 return Ok(out.into_iter().map(|p| p.expect("all hits")).collect());
             }
-            inner.graphs.get(&net.id()).cloned()
+            inner.graphs.get(&net.structure_id()).cloned()
         }
         // The O(nodes + arcs) adjacency rebuild runs outside the lock,
         // like the Yen runs below — concurrent solvers on different
@@ -134,12 +143,19 @@ impl PathSetCache {
         .unwrap_or_else(|| {
             let built = Arc::new(net.to_graph());
             let mut inner = self.inner.lock().expect("path cache poisoned");
-            inner.graphs.entry(net.id()).or_insert(built).clone()
+            inner
+                .graphs
+                .entry(net.structure_id())
+                .or_insert(built)
+                .clone()
         });
-        // phase 2 (unlocked): freeze the missing pairs
+        // phase 2 (unlocked): freeze the missing pairs. Yen enumerates
+        // node paths on the adjacency-list rebuild; arc translation goes
+        // through `net` so the stored sequences use the net's own arc
+        // numbering (the rebuild's edge ids compact on degraded views).
         let mut frozen: Vec<((NodeId, NodeId), FrozenPathSet)> = Vec::with_capacity(missing.len());
         for &(src, dst) in &missing {
-            let paths = crate::ksp::freeze_pair(&graph, src, dst, k)?;
+            let paths = crate::ksp::freeze_pair(&graph, net, src, dst, k)?;
             frozen.push(((src, dst), Arc::new(paths)));
         }
         // phase 3 (locked): publish. A racing freeze of the same pair
@@ -233,6 +249,23 @@ mod tests {
         let clone = n1.clone();
         cache.freeze(&clone, &cs, 2).unwrap();
         assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn capacity_views_share_frozen_paths_but_failure_views_refreeze() {
+        let cache = PathSetCache::new();
+        let net = net();
+        let cs = [Commodity::unit(0, 4)];
+        let a = cache.freeze(&net, &cs, 2).unwrap();
+        // capacity-only view: same structure_id, so the pair hits
+        let scaled = net.with_scaled_capacity(3.0).unwrap();
+        let b = cache.freeze(&scaled, &cs, 2).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert!(Arc::ptr_eq(&a[0], &b[0]), "scaled view must reuse paths");
+        // failure view: fresh structure_id, must re-freeze
+        let failed = net.with_disabled_arcs(&[0]).unwrap();
+        cache.freeze(&failed, &cs, 2).unwrap();
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
     }
 
     #[test]

@@ -85,8 +85,17 @@ pub fn max_concurrent_flow_ksp_cached(
 
 /// Freeze one `(src, dst)` pair's k-shortest path set as arc sequences.
 /// Shared by cold freezing here and by [`PathSetCache`] misses.
+///
+/// Yen enumerates hop-metric node paths on the adjacency-list `g`; the
+/// translation to arc ids goes through `net`, so the frozen sequences
+/// always use the net's own arc numbering. That distinction matters on
+/// degraded views: their [`CsrNet::to_graph`] rebuild compacts edge ids,
+/// but the view's arc ids (which flow vectors index) stay aligned with
+/// the base topology. `g` must have the same node set and per-node
+/// neighbor order as `net` (e.g. `net.to_graph()`).
 pub(crate) fn freeze_pair(
     g: &Graph,
+    net: &CsrNet,
     src: NodeId,
     dst: NodeId,
     k: usize,
@@ -95,7 +104,7 @@ pub(crate) fn freeze_pair(
         yen_k_shortest(g, src, dst, k).map_err(|_| FlowError::Unreachable { src, dst })?;
     node_paths
         .iter()
-        .map(|p| nodes_to_arcs(g, p))
+        .map(|p| nodes_to_arcs(net, p))
         .collect::<Result<Vec<_>, _>>()
 }
 
@@ -112,7 +121,7 @@ fn freeze_and_solve(
     }
     let paths = commodities
         .iter()
-        .map(|c| freeze_pair(g, c.src, c.dst, k).map(Arc::new))
+        .map(|c| freeze_pair(g, net, c.src, c.dst, k).map(Arc::new))
         .collect::<Result<Vec<FrozenPathSet>, _>>()?;
     solve_frozen(net, commodities, &paths, opts)
 }
@@ -239,15 +248,24 @@ fn cheapest<'p>(paths: &'p [Vec<usize>], length: &[f64]) -> (&'p Vec<usize>, f64
     (best, best_len)
 }
 
-fn nodes_to_arcs(g: &Graph, nodes: &[NodeId]) -> Result<Vec<usize>, FlowError> {
+/// Translate a node path into the net's arc ids: each hop takes the
+/// first live adjacency slot from `u` to `v`, i.e. the minimum arc id —
+/// the same arc the old `Graph::find_edge` + `arc_of` translation chose
+/// (adjacency slots are in edge-insertion order), pinned bitwise by the
+/// cache property suite.
+fn nodes_to_arcs(net: &CsrNet, nodes: &[NodeId]) -> Result<Vec<usize>, FlowError> {
     nodes
         .windows(2)
         .map(|w| {
-            let e = g.find_edge(w[0], w[1]).ok_or(FlowError::Unreachable {
-                src: w[0],
-                dst: w[1],
-            })?;
-            Ok(g.arc_of(e, w[0]))
+            let (arcs, heads) = net.out_slots(w[0]);
+            arcs.iter()
+                .zip(heads)
+                .find(|&(_, &h)| h as usize == w[1])
+                .map(|(&a, _)| a as usize)
+                .ok_or(FlowError::Unreachable {
+                    src: w[0],
+                    dst: w[1],
+                })
         })
         .collect()
 }
@@ -388,6 +406,34 @@ mod tests {
                 assert_eq!(x.to_bits(), y.to_bits());
             }
         }
+    }
+
+    /// Solving on a failure delta view is bit-identical to solving on a
+    /// net rebuilt from the degraded graph: the view's adjacency keeps
+    /// the rebuild's neighbor order, so Yen, translation, and the
+    /// multiplicative-weights trajectory all coincide.
+    #[test]
+    fn degraded_view_matches_rebuilt_net_bitwise() {
+        let mut g = Graph::new(5);
+        for &(u, v) in &[(0, 1), (1, 4), (0, 2), (2, 4), (0, 3), (3, 4)] {
+            g.add_unit_edge(u, v).unwrap();
+        }
+        let net = CsrNet::from_graph(&g);
+        // fail the middle route (edges 2 and 3: 0-2, 2-4)
+        let view = net.with_disabled_arcs(&[2 << 1, 3 << 1]).unwrap();
+        let rebuilt = CsrNet::from_graph(&view.to_graph());
+        let cs = [Commodity::unit(0, 4)];
+        let a = max_concurrent_flow_ksp_csr(&view, &cs, 3, &opts()).unwrap();
+        let b = max_concurrent_flow_ksp_csr(&rebuilt, &cs, 3, &opts()).unwrap();
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+        assert_eq!(a.phases, b.phases);
+        // no flow ever lands on the failed edges in the view's numbering
+        for dead in [2 << 1, (2 << 1) | 1, 3 << 1, (3 << 1) | 1] {
+            assert_eq!(a.arc_flow[dead], 0.0, "flow on failed arc {dead}");
+        }
+        // only the two surviving disjoint routes remain: λ ≈ 2
+        assert!((a.throughput - 2.0).abs() < 0.08, "λ = {}", a.throughput);
     }
 
     #[test]

@@ -28,10 +28,39 @@
 //! matches [`crate::paths::dijkstra`] operation-for-operation, so
 //! distances agree **bitwise** with the legacy implementation — seeded
 //! experiments produce identical numbers whichever path computes them.
+//!
+//! ## Delta views (failure / degradation scenarios)
+//!
+//! Scenario sweeps evaluate hundreds of *degraded* variants of one base
+//! topology — links failed, switches failed, capacities scaled or mixed.
+//! Rebuilding a [`Graph`] and re-flattening per variant would dominate
+//! the sweep, so `CsrNet` supports **cheap delta views**:
+//!
+//! * [`CsrNet::with_disabled_arcs`] — fail whole edges (both directions
+//!   of every listed arc). Disabled arcs keep their [`ArcId`] but leave
+//!   the adjacency and carry capacity `0.0` (`inv_capacity` `0.0` too,
+//!   so length vectors seeded from `inv_capacities` stay finite).
+//! * [`CsrNet::with_capacity_overrides`] /
+//!   [`CsrNet::with_scaled_capacity`] — re-rate edges without touching
+//!   the adjacency structure.
+//!
+//! All views share the untouched arrays with their base via `Arc` (a
+//! capacity view copies only the two capacity arrays; a failure view
+//! additionally rebuilds the adjacency in one O(n + m) pass), and **arc
+//! ids are stable across views**, so flow vectors, frozen path sets, and
+//! degradation lists index identically into every view of one base net.
+//!
+//! Two identity tokens police downstream caches: [`CsrNet::id`] is fresh
+//! on every view (id equality ⇒ full content equality, the PR-2 cache
+//! invalidation contract), while [`CsrNet::structure_id`] is *preserved*
+//! by capacity-only views (structure_id equality ⇒ identical node set +
+//! adjacency + arc numbering), which is exactly the validity condition
+//! for hop-metric path-set caches.
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crate::{ArcId, Graph, NodeId};
+use crate::{ArcId, Graph, GraphError, NodeId};
 
 /// Sentinel in [`DijkstraWorkspace::parent_arc`]: no parent (source or
 /// unreached node).
@@ -43,26 +72,35 @@ static NEXT_NET_ID: AtomicU64 = AtomicU64::new(1);
 
 /// Immutable flat arc-level view of a [`Graph`], shared by every solver
 /// backend and safe to reuse across traffic matrices and threads.
+///
+/// The big arrays are `Arc`-shared so that delta views (see the module
+/// docs) copy only what a degradation actually changes; `Clone` is
+/// always cheap and identity-preserving.
 #[derive(Debug, Clone)]
 pub struct CsrNet {
     /// Identity token (see [`CsrNet::id`]).
     id: u64,
+    /// Structural identity token (see [`CsrNet::structure_id`]).
+    structure_id: u64,
     n: usize,
+    /// Directed arcs with positive capacity (present in the adjacency).
+    live_arcs: usize,
     /// CSR offsets: out-arc slots of `v` are `row[v] as usize..row[v+1] as usize`.
-    row: Vec<u32>,
+    row: Arc<[u32]>,
     /// Arc id per adjacency slot (preserves [`Graph`] arc numbering).
-    adj_arc: Vec<u32>,
+    adj_arc: Arc<[u32]>,
     /// Head node per adjacency slot.
-    adj_head: Vec<u32>,
+    adj_head: Arc<[u32]>,
     /// Tail node per arc (indexed by [`ArcId`]).
-    arc_tail: Vec<u32>,
+    arc_tail: Arc<[u32]>,
     /// Head node per arc (indexed by [`ArcId`]).
-    arc_head: Vec<u32>,
-    /// Capacity per arc (indexed by [`ArcId`]).
-    capacity: Vec<f64>,
+    arc_head: Arc<[u32]>,
+    /// Capacity per arc (indexed by [`ArcId`]; `0.0` = disabled).
+    capacity: Arc<[f64]>,
     /// `1 / capacity` per arc, precomputed for the multiplicative-weights
-    /// length updates.
-    inv_capacity: Vec<f64>,
+    /// length updates (`0.0` for disabled arcs so length vectors seeded
+    /// from it stay finite).
+    inv_capacity: Arc<[f64]>,
 }
 
 impl CsrNet {
@@ -98,16 +136,19 @@ impl CsrNet {
             inv_capacity[fwd] = 1.0 / edge.capacity;
             inv_capacity[fwd | 1] = 1.0 / edge.capacity;
         }
+        let id = NEXT_NET_ID.fetch_add(1, Ordering::Relaxed);
         CsrNet {
-            id: NEXT_NET_ID.fetch_add(1, Ordering::Relaxed),
+            id,
+            structure_id: id,
             n,
-            row,
-            adj_arc,
-            adj_head,
-            arc_tail,
-            arc_head,
-            capacity,
-            inv_capacity,
+            live_arcs: num_arcs,
+            row: row.into(),
+            adj_arc: adj_arc.into(),
+            adj_head: adj_head.into(),
+            arc_tail: arc_tail.into(),
+            arc_head: arc_head.into(),
+            capacity: capacity.into(),
+            inv_capacity: inv_capacity.into(),
         }
     }
 
@@ -118,10 +159,28 @@ impl CsrNet {
     /// guaranteed content-identical — which is exactly the property
     /// per-topology caches (e.g. `dctopo-flow`'s path-set cache) need in
     /// a key. Two nets built from equal graphs still get *different*
-    /// ids: the token is an identity, not a structural hash.
+    /// ids: the token is an identity, not a structural hash. Delta views
+    /// ([`CsrNet::with_disabled_arcs`] and the capacity-override
+    /// constructors) change content and therefore always carry a *fresh*
+    /// id, so an id-keyed cache can never serve stale data for a view.
     #[inline]
     pub fn id(&self) -> u64 {
         self.id
+    }
+
+    /// Structural identity token: preserved by `Clone` **and by the
+    /// capacity-only views** ([`CsrNet::with_capacity_overrides`],
+    /// [`CsrNet::with_scaled_capacity`]); fresh for
+    /// [`CsrNet::from_graph`] and [`CsrNet::with_disabled_arcs`].
+    ///
+    /// structure_id equality guarantees an identical node count,
+    /// adjacency (slot-for-slot), and arc numbering — capacities may
+    /// differ. Caches whose payload depends only on structure (e.g.
+    /// hop-metric k-shortest path sets) key on this token and so stay
+    /// warm across capacity degradations of one base topology.
+    #[inline]
+    pub fn structure_id(&self) -> u64 {
+        self.structure_id
     }
 
     /// Number of nodes.
@@ -187,18 +246,216 @@ impl CsrNet {
     }
 
     /// Total capacity counting both directions (the paper's `C`).
+    /// Disabled arcs contribute nothing.
     pub fn total_capacity(&self) -> f64 {
         self.capacity.iter().sum()
     }
 
+    /// Whether arc `a` is live (positive capacity, present in the
+    /// adjacency). Always true on a freshly built net; false only for
+    /// arcs failed by [`CsrNet::with_disabled_arcs`].
+    #[inline]
+    pub fn is_live(&self, a: ArcId) -> bool {
+        self.capacity[a] > 0.0
+    }
+
+    /// Number of live directed arcs (`arc_count` minus disabled arcs).
+    #[inline]
+    pub fn live_arc_count(&self) -> usize {
+        self.live_arcs
+    }
+
+    /// Delta view with the listed arcs' **edges** failed: for every arc
+    /// in `arcs`, both directions of its underlying edge are removed
+    /// from the adjacency and their capacities forced to `0.0` (link
+    /// failures are whole-link events in the paper's model; a half-failed
+    /// duplex link is not representable in the undirected [`Graph`]
+    /// either).
+    ///
+    /// Arc ids are preserved — disabled arcs keep their slots in the
+    /// arc-indexed arrays — so flow vectors and frozen path sets index
+    /// interchangeably with the base net. Already-disabled arcs may be
+    /// listed again (idempotent). If the list disables nothing new, the
+    /// view is a plain clone (same `id`); otherwise both `id` and
+    /// `structure_id` are fresh.
+    ///
+    /// Cost: one O(n + m) adjacency rebuild plus the two capacity-array
+    /// copies; the arc tail/head arrays stay shared with the base.
+    ///
+    /// # Errors
+    /// [`GraphError::ArcOutOfRange`] if any listed arc id is `>=`
+    /// [`CsrNet::arc_count`].
+    pub fn with_disabled_arcs(&self, arcs: &[ArcId]) -> Result<CsrNet, GraphError> {
+        let m = self.arc_count();
+        let mut kill = vec![false; m];
+        let mut any_new = false;
+        for &a in arcs {
+            if a >= m {
+                return Err(GraphError::ArcOutOfRange { arc: a, arcs: m });
+            }
+            let fwd = a & !1;
+            if !kill[fwd] && self.is_live(fwd) {
+                kill[fwd] = true;
+                kill[fwd | 1] = true;
+                any_new = true;
+            }
+        }
+        if !any_new {
+            return Ok(self.clone());
+        }
+        let mut row = Vec::with_capacity(self.n + 1);
+        let mut adj_arc = Vec::with_capacity(self.adj_arc.len());
+        let mut adj_head = Vec::with_capacity(self.adj_head.len());
+        row.push(0u32);
+        for v in 0..self.n {
+            let (arcs_v, heads_v) = self.out_slots(v);
+            for (&a, &h) in arcs_v.iter().zip(heads_v) {
+                if !kill[a as usize] {
+                    adj_arc.push(a);
+                    adj_head.push(h);
+                }
+            }
+            row.push(adj_arc.len() as u32);
+        }
+        let mut capacity = self.capacity.to_vec();
+        let mut inv_capacity = self.inv_capacity.to_vec();
+        for (a, &dead) in kill.iter().enumerate() {
+            if dead {
+                capacity[a] = 0.0;
+                inv_capacity[a] = 0.0;
+            }
+        }
+        let id = NEXT_NET_ID.fetch_add(1, Ordering::Relaxed);
+        Ok(CsrNet {
+            id,
+            structure_id: id,
+            n: self.n,
+            live_arcs: adj_arc.len(),
+            row: row.into(),
+            adj_arc: adj_arc.into(),
+            adj_head: adj_head.into(),
+            arc_tail: Arc::clone(&self.arc_tail),
+            arc_head: Arc::clone(&self.arc_head),
+            capacity: capacity.into(),
+            inv_capacity: inv_capacity.into(),
+        })
+    }
+
+    /// Delta view re-rating specific **edges**: each `(arc, capacity)`
+    /// entry sets the capacity of the arc's underlying edge (both
+    /// directions — the [`Graph`] model is undirected, so capacity is a
+    /// per-edge quantity). The adjacency is untouched, so the view keeps
+    /// the base's [`CsrNet::structure_id`] (hop-metric path caches stay
+    /// valid) while carrying a fresh [`CsrNet::id`].
+    ///
+    /// An empty override list returns a plain clone (same `id`).
+    ///
+    /// # Errors
+    /// * [`GraphError::ArcOutOfRange`] for an arc id `>=` `arc_count`.
+    /// * [`GraphError::BadCapacity`] for a non-positive or non-finite
+    ///   capacity.
+    /// * [`GraphError::Unrealizable`] when overriding a disabled arc —
+    ///   re-rating a failed link is a scenario-composition bug, not a
+    ///   repair mechanism.
+    pub fn with_capacity_overrides(
+        &self,
+        overrides: &[(ArcId, f64)],
+    ) -> Result<CsrNet, GraphError> {
+        if overrides.is_empty() {
+            return Ok(self.clone());
+        }
+        let m = self.arc_count();
+        for &(a, c) in overrides {
+            if a >= m {
+                return Err(GraphError::ArcOutOfRange { arc: a, arcs: m });
+            }
+            if !(c.is_finite() && c > 0.0) {
+                return Err(GraphError::BadCapacity { capacity: c });
+            }
+            if !self.is_live(a) {
+                return Err(GraphError::Unrealizable(format!(
+                    "cannot override capacity of disabled arc {a}"
+                )));
+            }
+        }
+        let mut capacity = self.capacity.to_vec();
+        let mut inv_capacity = self.inv_capacity.to_vec();
+        for &(a, c) in overrides {
+            let fwd = a & !1;
+            capacity[fwd] = c;
+            capacity[fwd | 1] = c;
+            inv_capacity[fwd] = 1.0 / c;
+            inv_capacity[fwd | 1] = 1.0 / c;
+        }
+        Ok(CsrNet {
+            id: NEXT_NET_ID.fetch_add(1, Ordering::Relaxed),
+            structure_id: self.structure_id,
+            n: self.n,
+            live_arcs: self.live_arcs,
+            row: Arc::clone(&self.row),
+            adj_arc: Arc::clone(&self.adj_arc),
+            adj_head: Arc::clone(&self.adj_head),
+            arc_tail: Arc::clone(&self.arc_tail),
+            arc_head: Arc::clone(&self.arc_head),
+            capacity: capacity.into(),
+            inv_capacity: inv_capacity.into(),
+        })
+    }
+
+    /// Delta view scaling every live arc's capacity by `factor`
+    /// (uniform re-rating: the paper's capacity-scaling experiments).
+    /// Structure-preserving like [`CsrNet::with_capacity_overrides`];
+    /// `factor == 1.0` returns a plain clone (same `id`).
+    ///
+    /// # Errors
+    /// [`GraphError::BadCapacity`] when `factor` is non-positive or
+    /// non-finite.
+    pub fn with_scaled_capacity(&self, factor: f64) -> Result<CsrNet, GraphError> {
+        if !(factor.is_finite() && factor > 0.0) {
+            return Err(GraphError::BadCapacity { capacity: factor });
+        }
+        if factor == 1.0 {
+            return Ok(self.clone());
+        }
+        let mut capacity = self.capacity.to_vec();
+        let mut inv_capacity = self.inv_capacity.to_vec();
+        for (c, i) in capacity.iter_mut().zip(inv_capacity.iter_mut()) {
+            if *c > 0.0 {
+                *c *= factor;
+                *i = 1.0 / *c;
+            }
+        }
+        Ok(CsrNet {
+            id: NEXT_NET_ID.fetch_add(1, Ordering::Relaxed),
+            structure_id: self.structure_id,
+            n: self.n,
+            live_arcs: self.live_arcs,
+            row: Arc::clone(&self.row),
+            adj_arc: Arc::clone(&self.adj_arc),
+            adj_head: Arc::clone(&self.adj_head),
+            arc_tail: Arc::clone(&self.arc_tail),
+            arc_head: Arc::clone(&self.arc_head),
+            capacity: capacity.into(),
+            inv_capacity: inv_capacity.into(),
+        })
+    }
+
     /// Rebuild an equivalent [`Graph`] (used by path-enumeration code
     /// such as Yen's algorithm that wants adjacency-list form).
+    ///
+    /// Disabled edges are omitted, so on a degraded view the rebuilt
+    /// graph's **edge ids compact** and no longer align with this net's
+    /// arc numbering (node ids are preserved, and per-node neighbor
+    /// order matches the view's adjacency order). Code that needs arc
+    /// ids must translate node paths through the view itself.
     pub fn to_graph(&self) -> Graph {
         let mut g = Graph::new(self.n);
         for e in 0..self.arc_count() / 2 {
             let a = e << 1;
-            g.add_edge(self.arc_tail(a), self.arc_head(a), self.capacity[a])
-                .expect("CsrNet edges originate from a valid Graph");
+            if self.capacity[a] > 0.0 {
+                g.add_edge(self.arc_tail(a), self.arc_head(a), self.capacity[a])
+                    .expect("live CsrNet edges originate from a valid Graph");
+            }
         }
         g
     }
@@ -934,6 +1191,155 @@ mod tests {
         assert_eq!(ws.settles(), 6, "full run settles every node");
         net.dijkstra(0, &lens, &mut ws);
         assert_eq!(ws.settles(), 12, "counter is cumulative");
+    }
+
+    #[test]
+    fn disabled_arc_view_fails_whole_edges() {
+        let g = ring_with_chords(8, &[(0, 4)]);
+        let net = CsrNet::from_graph(&g);
+        let chord_fwd = 8 << 1; // edge 8 is the chord
+        let view = net.with_disabled_arcs(&[chord_fwd]).unwrap();
+        // identity: fresh id AND fresh structure id
+        assert_ne!(view.id(), net.id());
+        assert_ne!(view.structure_id(), net.structure_id());
+        // arc numbering stable; both directions dead; capacities zeroed
+        assert_eq!(view.arc_count(), net.arc_count());
+        assert!(!view.is_live(chord_fwd) && !view.is_live(chord_fwd | 1));
+        assert_eq!(view.capacity(chord_fwd), 0.0);
+        assert_eq!(view.inv_capacity(chord_fwd | 1), 0.0);
+        assert_eq!(view.live_arc_count(), net.live_arc_count() - 2);
+        assert_eq!(view.total_capacity(), net.total_capacity() - 5.0);
+        // adjacency no longer mentions the chord, base untouched
+        assert_eq!(view.out_degree(0), net.out_degree(0) - 1);
+        assert_eq!(net.out_degree(0), 3);
+        for v in 0..8 {
+            let (arcs, heads) = view.out_slots(v);
+            for (&a, &h) in arcs.iter().zip(heads) {
+                assert!(view.is_live(a as usize));
+                assert_eq!(view.arc_head(a as usize), h as usize);
+            }
+        }
+        // Dijkstra routes around the failed chord
+        let lens: Vec<f64> = view.inv_capacities().to_vec();
+        let mut ws = DijkstraWorkspace::new(8);
+        view.dijkstra(0, &lens, &mut ws);
+        assert!(ws.walk_path(&view, 4, |a| assert_ne!(a & !1, chord_fwd)));
+        // idempotent re-disable is a plain clone (id preserved)
+        let again = view.with_disabled_arcs(&[chord_fwd | 1]).unwrap();
+        assert_eq!(again.id(), view.id());
+        // out-of-range arc is a typed error
+        assert!(matches!(
+            net.with_disabled_arcs(&[net.arc_count()]),
+            Err(GraphError::ArcOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn capacity_views_preserve_structure_id() {
+        let g = ring_with_chords(6, &[(1, 4)]);
+        let net = CsrNet::from_graph(&g);
+        let scaled = net.with_scaled_capacity(2.5).unwrap();
+        assert_ne!(scaled.id(), net.id());
+        assert_eq!(scaled.structure_id(), net.structure_id());
+        for a in 0..net.arc_count() {
+            assert_eq!(
+                scaled.capacity(a).to_bits(),
+                (net.capacity(a) * 2.5).to_bits()
+            );
+            assert_eq!(
+                scaled.inv_capacity(a).to_bits(),
+                (1.0 / (net.capacity(a) * 2.5)).to_bits()
+            );
+        }
+        // identity scale is a plain clone
+        assert_eq!(net.with_scaled_capacity(1.0).unwrap().id(), net.id());
+        let over = net.with_capacity_overrides(&[(0, 7.0), (5, 3.0)]).unwrap();
+        assert_eq!(over.structure_id(), net.structure_id());
+        // edge-level semantics: both directions re-rated
+        assert_eq!(over.capacity(0), 7.0);
+        assert_eq!(over.capacity(1), 7.0);
+        assert_eq!(over.capacity(4), 3.0);
+        assert_eq!(over.capacity(5), 3.0);
+        assert_eq!(over.capacity(2), net.capacity(2));
+        // adjacency shared and identical
+        for v in 0..net.node_count() {
+            assert_eq!(over.out_slots(v), net.out_slots(v));
+        }
+        // error paths: typed and precise
+        assert!(matches!(
+            net.with_scaled_capacity(0.0),
+            Err(GraphError::BadCapacity { capacity }) if capacity == 0.0
+        ));
+        assert!(matches!(
+            net.with_scaled_capacity(f64::NAN),
+            Err(GraphError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            net.with_capacity_overrides(&[(99, 1.0)]),
+            Err(GraphError::ArcOutOfRange { arc: 99, .. })
+        ));
+        assert!(matches!(
+            net.with_capacity_overrides(&[(0, -2.0)]),
+            Err(GraphError::BadCapacity { .. })
+        ));
+        let failed = net.with_disabled_arcs(&[0]).unwrap();
+        assert!(matches!(
+            failed.with_capacity_overrides(&[(0, 2.0)]),
+            Err(GraphError::Unrealizable(_))
+        ));
+        // disabled arcs stay at zero through a uniform scale
+        let failed_scaled = failed.with_scaled_capacity(3.0).unwrap();
+        assert_eq!(failed_scaled.capacity(0), 0.0);
+        assert_eq!(failed_scaled.inv_capacity(1), 0.0);
+        assert_eq!(failed_scaled.structure_id(), failed.structure_id());
+    }
+
+    #[test]
+    fn degraded_to_graph_skips_failed_edges() {
+        let g = ring_with_chords(6, &[(0, 3)]);
+        let net = CsrNet::from_graph(&g);
+        let view = net.with_disabled_arcs(&[2 << 1]).unwrap(); // kill edge 2
+        let back = view.to_graph();
+        assert_eq!(back.node_count(), 6);
+        assert_eq!(back.edge_count(), g.edge_count() - 1);
+        assert!(!back.has_edge(2, 3));
+        assert!(back.has_edge(0, 3));
+        // neighbor order matches the view's (filtered) adjacency order
+        for v in 0..6 {
+            let (_, heads) = view.out_slots(v);
+            let rebuilt: Vec<usize> = back.neighbors(v).collect();
+            assert_eq!(
+                heads.iter().map(|&h| h as usize).collect::<Vec<_>>(),
+                rebuilt,
+                "node {v}"
+            );
+        }
+    }
+
+    /// A Dijkstra run on a view equals a run on a net rebuilt from the
+    /// degraded graph (same traversal order ⇒ same bits).
+    #[test]
+    fn view_dijkstra_matches_rebuilt_net() {
+        let g = ring_with_chords(10, &[(0, 5), (2, 7)]);
+        let net = CsrNet::from_graph(&g);
+        let view = net.with_disabled_arcs(&[0, 11 << 1]).unwrap();
+        let rebuilt = CsrNet::from_graph(&view.to_graph());
+        let lens_view: Vec<f64> = view.inv_capacities().to_vec();
+        let lens_rebuilt: Vec<f64> = rebuilt.inv_capacities().to_vec();
+        let mut ws_v = DijkstraWorkspace::new(10);
+        let mut ws_r = DijkstraWorkspace::new(10);
+        for src in 0..10 {
+            view.dijkstra(src, &lens_view, &mut ws_v);
+            rebuilt.dijkstra(src, &lens_rebuilt, &mut ws_r);
+            for v in 0..10 {
+                assert_eq!(
+                    ws_v.distance(v).to_bits(),
+                    ws_r.distance(v).to_bits(),
+                    "src {src} node {v}"
+                );
+            }
+        }
+        assert_eq!(ws_v.settles(), ws_r.settles());
     }
 
     #[test]

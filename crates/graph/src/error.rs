@@ -12,6 +12,13 @@ pub enum GraphError {
         /// The graph's node count.
         n: usize,
     },
+    /// An arc index was at least the number of arcs in the network.
+    ArcOutOfRange {
+        /// The offending arc index.
+        arc: usize,
+        /// The network's arc count.
+        arcs: usize,
+    },
     /// A self-loop was requested where the operation forbids it.
     SelfLoop {
         /// The node both endpoints referred to.
@@ -42,6 +49,12 @@ impl fmt::Display for GraphError {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
                 write!(f, "node index {node} out of range for graph with {n} nodes")
+            }
+            GraphError::ArcOutOfRange { arc, arcs } => {
+                write!(
+                    f,
+                    "arc index {arc} out of range for network with {arcs} arcs"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} is not allowed"),
             GraphError::BadCapacity { capacity } => {

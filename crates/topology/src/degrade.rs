@@ -1,0 +1,130 @@
+//! Seeded degradation generators: which links fail, which switches
+//! fail, which links get upgraded line cards.
+//!
+//! The scenario engine in `dctopo-core` composes degradations into
+//! `CsrNet` delta views; this module owns the *selection* side — a
+//! deterministic, seeded choice of victims against the **base**
+//! topology, so every sweep cell (and every re-run) degrades the exact
+//! same equipment.
+//!
+//! The failure orders are *prefix-nested by construction*: for one seed,
+//! the set of victims at failure level `c` is a subset of the set at any
+//! level `c' > c` (both are prefixes of the same shuffled order). The
+//! metamorphic monotonicity laws the test suite enforces — throughput
+//! never increases as links fail — are only theorems for nested failure
+//! sets, so sweeps over failure levels should hold the seed fixed and
+//! vary the count.
+
+use dctopo_graph::{EdgeId, Graph, NodeId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+/// Domain-separation salts: the same user seed must not make the link
+/// failure order predict the switch failure order or the line-card mix.
+const LINK_SALT: u64 = 0x6c69_6e6b_6661_696c; // "linkfail"
+const SWITCH_SALT: u64 = 0x7377_6974_6368_0000; // "switch"
+const LINECARD_SALT: u64 = 0x6c69_6e65_6361_7264; // "linecard"
+
+/// A uniformly random order in which the edges of `g` fail.
+///
+/// Failing the first `c` edges of the returned order gives level-`c`
+/// link failure; prefixes of one order are nested, which is what makes
+/// throughput provably monotone across failure levels.
+pub fn edge_failure_order(g: &Graph, seed: u64) -> Vec<EdgeId> {
+    let mut order: Vec<EdgeId> = (0..g.edge_count()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed ^ LINK_SALT));
+    order
+}
+
+/// A uniformly random order in which the `n` switches fail. Same
+/// nesting property as [`edge_failure_order`].
+pub fn switch_failure_order(n: usize, seed: u64) -> Vec<NodeId> {
+    let mut order: Vec<NodeId> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed ^ SWITCH_SALT));
+    order
+}
+
+/// A heterogeneous line-card mix: a seeded fraction of the edges of `g`
+/// re-rated to `factor ×` their current capacity (the §5.2 experiments
+/// upgrade a subset of links to higher line speeds; `factor < 1` models
+/// a fleet where some cards run degraded).
+///
+/// Returns `(edge id, new capacity)` pairs for `ceil(fraction · edges)`
+/// distinct edges, in the seeded selection order. `fraction` is clamped
+/// to `[0, 1]`; `factor` validity is enforced downstream by
+/// `CsrNet::with_capacity_overrides`.
+pub fn line_card_mix(g: &Graph, fraction: f64, factor: f64, seed: u64) -> Vec<(EdgeId, f64)> {
+    let mut order: Vec<EdgeId> = (0..g.edge_count()).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed ^ LINECARD_SALT));
+    let picked = ((g.edge_count() as f64) * fraction.clamp(0.0, 1.0)).ceil() as usize;
+    order
+        .into_iter()
+        .take(picked.min(g.edge_count()))
+        .map(|e| (e, g.edge(e).capacity * factor))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+
+    fn rrg() -> Graph {
+        let mut rng = StdRng::seed_from_u64(7);
+        Topology::random_regular(16, 8, 4, &mut rng).unwrap().graph
+    }
+
+    #[test]
+    fn failure_orders_are_permutations_and_deterministic() {
+        let g = rrg();
+        let a = edge_failure_order(&g, 42);
+        let b = edge_failure_order(&g, 42);
+        assert_eq!(a, b, "same seed, same order");
+        let mut sorted = a.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..g.edge_count()).collect::<Vec<_>>());
+        assert_ne!(a, edge_failure_order(&g, 43), "seeds decorrelate");
+        let s = switch_failure_order(16, 42);
+        let mut ss = s.clone();
+        ss.sort_unstable();
+        assert_eq!(ss, (0..16).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn prefixes_are_nested() {
+        let g = rrg();
+        let order = edge_failure_order(&g, 9);
+        for c in 1..8 {
+            let small: std::collections::HashSet<_> = order[..c].iter().collect();
+            let big: std::collections::HashSet<_> = order[..c + 1].iter().collect();
+            assert!(small.is_subset(&big));
+        }
+    }
+
+    #[test]
+    fn salts_decorrelate_domains() {
+        let g = rrg();
+        // same seed, different domains: orders must differ
+        assert_ne!(
+            edge_failure_order(&g, 5),
+            switch_failure_order(g.edge_count(), 5)
+        );
+    }
+
+    #[test]
+    fn line_card_mix_counts_and_scales() {
+        let g = rrg();
+        let mix = line_card_mix(&g, 0.25, 10.0, 3);
+        assert_eq!(mix.len(), (g.edge_count() as f64 * 0.25).ceil() as usize);
+        let mut seen = std::collections::HashSet::new();
+        for &(e, c) in &mix {
+            assert!(seen.insert(e), "edge {e} picked twice");
+            assert_eq!(c, g.edge(e).capacity * 10.0);
+        }
+        assert!(line_card_mix(&g, 0.0, 10.0, 3).is_empty());
+        assert_eq!(line_card_mix(&g, 1.0, 2.0, 3).len(), g.edge_count());
+        // deterministic
+        assert_eq!(mix, line_card_mix(&g, 0.25, 10.0, 3));
+    }
+}

@@ -27,8 +27,12 @@
 //! * [`vl2`] — the VL2 topology and the paper's §7 rewired variant.
 //! * [`expand`] — Jellyfish-style incremental expansion (add a switch by
 //!   donating random existing links), the §2 operational claim.
+//! * [`degrade`] — seeded, prefix-nested failure orders (links /
+//!   switches) and heterogeneous line-card mixes, consumed by the
+//!   scenario sweep engine in `dctopo-core`.
 
 pub mod classic;
+pub mod degrade;
 pub mod expand;
 pub mod hetero;
 pub mod rrg;

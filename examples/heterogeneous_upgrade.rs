@@ -1,41 +1,42 @@
 //! Scenario: a data center upgrade with heterogeneous switches (§5).
 //!
 //! An operator has 40 old 24-port switches and is adding 10 new 48-port
-//! switches, hosting 480 servers. Two design questions from the paper:
+//! switches, hosting 480 servers. Three design questions — the paper's
+//! two plus the operational one the scenario engine answers:
 //!
 //!  1. How should servers be split between old and new switches?
 //!  2. Should the big switches be densely wired to each other, or spread
 //!     into the fabric?
+//!  3. How gracefully does the chosen design degrade as links fail or
+//!     line cards run at mixed speeds?
 //!
-//! This example sweeps both knobs and prints the paper's answers:
-//! servers ∝ port count, and any cross-wiring above the collapse
-//! threshold is fine (so pick whatever minimises cable length).
+//! All three are sweep grids, so they run through `SweepRunner` — one
+//! invocation per question, every cell seeded and reproducible — instead
+//! of hand-rolled seed loops.
 //!
 //! ```text
 //! cargo run --release --example heterogeneous_upgrade
 //! ```
 
+use dctopo::core::{
+    BackendChoice, Degradation, Scenario, SweepRunner, SweepSpec, TopologyPoint, TrafficModel,
+};
 use dctopo::prelude::*;
 use dctopo::topology::hetero::{heterogeneous, two_cluster, CrossSpec};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 const RUNS: usize = 3;
 
-fn mean_throughput<F>(build: F) -> f64
-where
-    F: Fn(&mut StdRng) -> Topology,
-{
-    let mut sum = 0.0;
-    for seed in 0..RUNS as u64 {
-        let mut rng = StdRng::seed_from_u64(1000 + seed);
-        let topo = build(&mut rng);
-        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
-        sum += solve_throughput(&topo, &tm, &FlowOptions::fast())
-            .expect("solve")
-            .throughput;
-    }
-    sum / RUNS as f64
+fn sweep(topologies: Vec<TopologyPoint>, scenarios: Vec<Scenario>) -> dctopo::core::SweepReport {
+    SweepRunner::new(SweepSpec {
+        topologies,
+        traffic: vec![TrafficModel::Permutation],
+        scenarios,
+        backends: vec![BackendChoice::fptas()],
+        opts: FlowOptions::fast(),
+        seed: 1000,
+        runs: RUNS,
+    })
+    .run()
 }
 
 fn main() {
@@ -46,26 +47,35 @@ fn main() {
     println!("== Question 1: how to split {servers} servers? ==");
     println!("(new: {new_count}x{new_ports}p, old: {old_count}x{old_ports}p)");
     // proportional split: 48:24 = 2:1 → 16 per new switch, 8 per old
-    for (label, s_new, s_old) in [
+    let placements: Vec<(&str, usize, usize)> = [
         ("all on the old ToRs   ", 0usize, 12usize),
         ("old-heavy             ", 8, 10),
         ("proportional to ports ", 16, 8),
         ("new-heavy             ", 32, 4),
         ("almost all on new     ", 40, 2),
-    ] {
-        if new_count * s_new + old_count * s_old != servers {
-            continue;
-        }
-        let t = mean_throughput(|rng| {
-            heterogeneous(
-                &[(new_count, new_ports), (old_count, old_ports)],
-                servers,
-                &ServerPlacement::PerClass(vec![s_new, s_old]),
-                rng,
-            )
-            .expect("buildable")
-        });
-        println!("  {label}: throughput {t:.3}");
+    ]
+    .into_iter()
+    .filter(|&(_, s_new, s_old)| new_count * s_new + old_count * s_old == servers)
+    .collect();
+    let points = placements
+        .iter()
+        .map(|&(label, s_new, s_old)| {
+            TopologyPoint::new(label.trim(), move |rng| {
+                heterogeneous(
+                    &[(new_count, new_ports), (old_count, old_ports)],
+                    servers,
+                    &ServerPlacement::PerClass(vec![s_new, s_old]),
+                    rng,
+                )
+            })
+        })
+        .collect();
+    let grid = sweep(points, vec![Scenario::baseline()]);
+    for &(label, ..) in &placements {
+        let mean = grid
+            .mean_throughput(|c| c.topology == label.trim())
+            .unwrap_or(0.0);
+        println!("  {label}: throughput {mean:.3}");
     }
 
     println!();
@@ -80,13 +90,54 @@ fn main() {
         ports: old_ports,
         servers_per_switch: 8,
     };
-    for ratio in [0.2, 0.5, 1.0, 1.5] {
-        let t = mean_throughput(|rng| {
-            two_cluster(new, old, CrossSpec::Ratio(ratio), rng).expect("buildable")
-        });
-        println!("  cross-wiring at {ratio:.1}x random expectation: throughput {t:.3}");
+    let ratios = [0.2, 0.5, 1.0, 1.5];
+    let points = ratios
+        .iter()
+        .map(|&ratio| {
+            TopologyPoint::new(format!("cross-{ratio:.1}x"), move |rng| {
+                two_cluster(new, old, CrossSpec::Ratio(ratio), rng)
+            })
+        })
+        .collect();
+    let grid = sweep(points, vec![Scenario::baseline()]);
+    for ratio in ratios {
+        let mean = grid
+            .mean_throughput(|c| c.topology == format!("cross-{ratio:.1}x"))
+            .unwrap_or(0.0);
+        println!("  cross-wiring at {ratio:.1}x random expectation: throughput {mean:.3}");
     }
+
     println!();
-    println!("paper's takeaway: the plateau above the threshold leaves freedom to");
-    println!("cluster switches for shorter cables without losing throughput (§5.1)");
+    println!("== Question 3: degradation grid on the proportional design ==");
+    let points = vec![TopologyPoint::new("proportional", move |rng| {
+        two_cluster(new, old, CrossSpec::Ratio(1.0), rng)
+    })];
+    let scenarios = vec![
+        Scenario::baseline(),
+        Scenario::new("fail:8", vec![Degradation::FailLinks { count: 8, seed: 5 }]),
+        Scenario::new(
+            "fail:16",
+            vec![Degradation::FailLinks { count: 16, seed: 5 }],
+        ),
+        Scenario::new(
+            "half fleet at 40%",
+            vec![Degradation::LineCardMix {
+                fraction: 0.5,
+                factor: 0.4,
+                seed: 5,
+            }],
+        ),
+    ];
+    let grid = sweep(points, scenarios.clone());
+    for s in &scenarios {
+        let mean = grid
+            .mean_throughput(|c| c.scenario == s.name)
+            .unwrap_or(0.0);
+        println!("  {:<18}: throughput {mean:.3}", s.name);
+    }
+
+    println!();
+    println!("paper's takeaway: servers ∝ ports, and the plateau above the");
+    println!("cross-wiring threshold leaves freedom to cluster switches for");
+    println!("shorter cables without losing throughput (§5.1)");
 }

@@ -9,6 +9,11 @@
 //!                 [--traffic permutation|all-to-all|chunky:<pct>]
 //!                 [--runs N] [--seed S] [--precise]
 //!                 [--backend fptas|fptas-strict|exact|ksp:<k>]
+//! topobench sweep [--families rrg:16x8x4,fat-tree:4,...]
+//!                 [--traffic permutation,chunky:50,...]
+//!                 [--failures 0,2,4] [--switch-failures 0,1]
+//!                 [--scales 1.0,1.5] [--backends fptas,ksp:8]
+//!                 [--runs N] [--seed S] [--precise] [--json PATH]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
@@ -16,8 +21,12 @@
 //! `build` prints the switch-level topology as a capacitated edge list
 //! (or Graphviz DOT with `--dot`); `solve` builds, generates traffic,
 //! runs the certified max-concurrent-flow solver and prints throughput
-//! plus the §6.1 decomposition; `bounds` prints the paper's analytic
-//! bounds; `vl2-study` reproduces the §7 comparison for one size.
+//! plus the §6.1 decomposition; `sweep` evaluates the full
+//! `{family × traffic × degradation × backend}` grid through the
+//! scenario sweep engine (optionally writing per-cell records to
+//! `--json` in the shared `BENCH_*` schema); `bounds` prints the paper's
+//! analytic bounds; `vl2-study` reproduces the §7 comparison for one
+//! size.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -29,6 +38,7 @@ use dctopo::metrics::decompose;
 use dctopo::prelude::*;
 use dctopo::topology::classic::{complete, fat_tree, hypercube, torus2d};
 use dctopo::topology::vl2::{rewired_vl2, vl2, Vl2Params};
+use dctopo_bench::report::{self, SweepCellRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -37,12 +47,18 @@ fn usage() -> ! {
         "usage:\n  topobench build <family> [options] [--dot]\n  \
          topobench solve <family> [options] [--traffic T] [--runs N] [--precise]\n  \
          \x20               [--backend fptas|fptas-strict|exact|ksp:<k>]\n  \
+         topobench sweep [--families F1,F2,...] [--traffic T1,T2,...]\n  \
+         \x20               [--failures 0,2,4] [--switch-failures 0,1]\n  \
+         \x20               [--scales 1.0,1.5] [--backends fptas,ksp:8]\n  \
+         \x20               [--runs N] [--seed S] [--precise] [--json PATH]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
          families: rrg (--switches --ports --degree), fat-tree (--k),\n  \
          hypercube (--dim --servers), torus (--rows --cols --servers),\n  \
          complete (--switches --servers), vl2 (--da --di [--tors] [--rewired])\n\
-         traffic: permutation (default) | all-to-all | chunky:<percent>"
+         sweep family specs: rrg:NxKxR | fat-tree:K | complete:NxS |\n  \
+         hypercube:DxS | torus:RxCxS | vl2:AxI\n\
+         traffic: permutation (default) | all-to-all | chunky:<percent> | hotspot:<n>"
     );
     exit(2);
 }
@@ -275,6 +291,226 @@ fn cmd_solve(args: &Args) {
     println!("mean throughput over {runs} runs: {mean:.4}");
 }
 
+/// Parse a sweep family spec (`rrg:NxKxR`, `fat-tree:K`, `complete:NxS`,
+/// `hypercube:DxS`, `torus:RxCxS`, `vl2:AxI`) into a topology-axis point.
+fn parse_family(spec: &str) -> Option<dctopo::core::TopologyPoint> {
+    use dctopo::core::TopologyPoint;
+    let (family, params) = spec.split_once(':')?;
+    let dims: Vec<usize> = params
+        .split('x')
+        .map(str::parse)
+        .collect::<Result<_, _>>()
+        .ok()?;
+    let name = spec.to_string();
+    match (family, dims.as_slice()) {
+        ("rrg", &[n, k, r]) => Some(TopologyPoint::new(name, move |rng| {
+            Topology::random_regular(n, k, r, rng)
+        })),
+        ("fat-tree", &[k]) => Some(TopologyPoint::new(name, move |_| fat_tree(k))),
+        ("complete", &[n, s]) => Some(TopologyPoint::new(name, move |_| complete(n, s))),
+        ("hypercube", &[d, s]) => Some(TopologyPoint::new(name, move |_| hypercube(d as u32, s))),
+        ("torus", &[r, c, s]) => Some(TopologyPoint::new(name, move |_| torus2d(r, c, s))),
+        ("vl2", &[a, i]) => Some(TopologyPoint::new(name, move |_| {
+            vl2(Vl2Params {
+                d_a: a,
+                d_i: i,
+                tors: None,
+            })
+        })),
+        _ => None,
+    }
+}
+
+/// Parse a sweep traffic spec into a traffic-axis point.
+fn parse_traffic_model(spec: &str) -> Option<dctopo::core::TrafficModel> {
+    use dctopo::core::TrafficModel;
+    match spec {
+        "permutation" => Some(TrafficModel::Permutation),
+        "all-to-all" => Some(TrafficModel::AllToAll),
+        _ => {
+            if let Some(pct) = spec.strip_prefix("chunky:") {
+                let percent: f64 = pct.parse().ok()?;
+                (0.0..=100.0)
+                    .contains(&percent)
+                    .then_some(TrafficModel::Chunky { percent })
+            } else if let Some(hot) = spec.strip_prefix("hotspot:") {
+                let hot: usize = hot.parse().ok()?;
+                (hot >= 1).then_some(TrafficModel::Hotspot { hot })
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Split a comma list, parsing each item with `f`; exits on a bad item.
+fn parse_list<T>(what: &str, spec: &str, f: impl Fn(&str) -> Option<T>) -> Vec<T> {
+    spec.split(',')
+        .map(|item| {
+            f(item.trim()).unwrap_or_else(|| {
+                eprintln!("bad {what} '{item}'");
+                usage();
+            })
+        })
+        .collect()
+}
+
+fn cmd_sweep(args: &Args) {
+    use dctopo::core::{BackendChoice, Degradation, Scenario, SweepRunner, SweepSpec};
+
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let families = args
+        .values
+        .get("families")
+        .map(String::as_str)
+        .unwrap_or("rrg:16x8x4,rrg:32x10x6,rrg:48x12x8");
+    let topologies = parse_list("family", families, parse_family);
+    let traffic_spec = args
+        .values
+        .get("traffic")
+        .map(String::as_str)
+        .unwrap_or("permutation,all-to-all,chunky:50");
+    let traffic = parse_list("traffic model", traffic_spec, parse_traffic_model);
+    let backends_spec = args
+        .values
+        .get("backends")
+        .map(String::as_str)
+        .unwrap_or("fptas");
+    let backends = parse_list("backend", backends_spec, |s| {
+        parse_backend(s).map(|(backend, strict)| BackendChoice { backend, strict })
+    });
+
+    // degradation axis: link-failure levels × switch-failure levels ×
+    // capacity scales, named so cells stay self-describing
+    let failures: Vec<usize> = parse_list(
+        "failure count",
+        args.values
+            .get("failures")
+            .map(String::as_str)
+            .unwrap_or("0,2,4"),
+        |s| s.parse().ok(),
+    );
+    let switch_failures: Vec<usize> = parse_list(
+        "switch-failure count",
+        args.values
+            .get("switch-failures")
+            .map(String::as_str)
+            .unwrap_or("0"),
+        |s| s.parse().ok(),
+    );
+    let scales: Vec<f64> = parse_list(
+        "capacity scale",
+        args.values
+            .get("scales")
+            .map(String::as_str)
+            .unwrap_or("1.0"),
+        |s| s.parse().ok(),
+    );
+    let mut scenarios = Vec::new();
+    for &links in &failures {
+        for &switches in &switch_failures {
+            for &factor in &scales {
+                let mut degradations = Vec::new();
+                let mut name_parts = Vec::new();
+                if links > 0 {
+                    degradations.push(Degradation::FailLinks { count: links, seed });
+                    name_parts.push(format!("fail:{links}"));
+                }
+                if switches > 0 {
+                    degradations.push(Degradation::FailSwitches {
+                        count: switches,
+                        seed,
+                    });
+                    name_parts.push(format!("sw-fail:{switches}"));
+                }
+                if factor != 1.0 {
+                    degradations.push(Degradation::ScaleCapacity { factor });
+                    name_parts.push(format!("scale:{factor}"));
+                }
+                let name = if name_parts.is_empty() {
+                    "baseline".to_string()
+                } else {
+                    name_parts.join("+")
+                };
+                scenarios.push(Scenario::new(name, degradations));
+            }
+        }
+    }
+
+    let opts = if args.flag("precise") {
+        FlowOptions::precise()
+    } else {
+        FlowOptions::fast()
+    };
+    let spec = SweepSpec {
+        topologies,
+        traffic,
+        scenarios,
+        backends,
+        opts,
+        seed,
+        runs: args.get("runs").unwrap_or(1),
+    };
+    let [t, r, s, m, b] = [
+        spec.topologies.len(),
+        spec.runs.max(1),
+        spec.scenarios.len(),
+        spec.traffic.len(),
+        spec.backends.len(),
+    ];
+    eprintln!(
+        "# sweeping {t} topologies x {r} runs x {s} scenarios x {m} traffic \
+         models x {b} backends = {} cells",
+        t * r * s * m * b
+    );
+    let grid = SweepRunner::new(spec).run();
+    println!(
+        "{:<14} {:>3} {:<18} {:<12} {:<12} {:>10} {:>10} {:>9} {:>9}",
+        "topology",
+        "run",
+        "scenario",
+        "traffic",
+        "backend",
+        "throughput",
+        "hop-bound",
+        "gap",
+        "flows"
+    );
+    for cell in &grid.cells {
+        match &cell.result {
+            Ok(mtr) => println!(
+                "{:<14} {:>3} {:<18} {:<12} {:<12} {:>10.4} {:>10.4} {:>8.2}% {:>9}",
+                cell.topology,
+                cell.run,
+                cell.scenario,
+                cell.traffic,
+                cell.backend,
+                mtr.throughput,
+                if mtr.hop_bound.is_finite() {
+                    mtr.hop_bound
+                } else {
+                    f64::NAN
+                },
+                mtr.gap * 100.0,
+                cell.flows
+            ),
+            Err(e) => println!(
+                "{:<14} {:>3} {:<18} {:<12} {:<12} FAILED: {e}",
+                cell.topology, cell.run, cell.scenario, cell.traffic, cell.backend
+            ),
+        }
+    }
+    eprintln!("# {}/{} cells ok", grid.ok_count(), grid.cells.len());
+    if let Some(path) = args.values.get("json") {
+        let records: Vec<SweepCellRecord> = grid.cells.iter().map(Into::into).collect();
+        report::write_cells_json(path, &records).unwrap_or_else(|e| {
+            eprintln!("failed to write {path}: {e}");
+            exit(1);
+        });
+        eprintln!("# wrote {} cell records to {path}", records.len());
+    }
+}
+
 fn cmd_bounds(args: &Args) {
     let n: usize = args.require("switches");
     let r: usize = args.require("degree");
@@ -350,6 +586,7 @@ fn main() {
     match cmd {
         "build" => cmd_build(&args),
         "solve" => cmd_solve(&args),
+        "sweep" | "--sweep" => cmd_sweep(&args),
         "bounds" => cmd_bounds(&args),
         "vl2-study" => cmd_vl2_study(&args),
         _ => usage(),

@@ -90,7 +90,10 @@ pub use dctopo_traffic as traffic;
 pub mod prelude {
     pub use dctopo_bounds::{aspl_lower_bound, throughput_upper_bound};
     pub use dctopo_core::experiment::{Runner, Stats};
-    pub use dctopo_core::{solve_throughput, ThroughputEngine, ThroughputResult};
+    pub use dctopo_core::{
+        solve_throughput, BackendChoice, Degradation, Scenario, SweepRunner, SweepSpec,
+        ThroughputEngine, ThroughputResult, TopologyPoint, TrafficModel,
+    };
     pub use dctopo_flow::{Backend, Commodity, FlowOptions, SolvedFlow, SolverBackend};
     pub use dctopo_graph::{CsrNet, DijkstraWorkspace, Graph, GraphError, NodeId};
     pub use dctopo_metrics::{decompose, Decomposition};

@@ -2,13 +2,15 @@
 //! on malformed input, never hang or return garbage.
 
 use dctopo::core::packet::{build_packet_scenario, PacketParams};
-use dctopo::core::solve_throughput;
+use dctopo::core::solve::surviving_traffic;
+use dctopo::core::{solve_throughput, Degradation, Scenario};
 use dctopo::flow::{max_concurrent_flow, Commodity, FlowError, FlowOptions};
 use dctopo::graph::{Graph, GraphError};
 use dctopo::packetsim::{simulate, FlowSpec, LinkSpec, Network, SimConfig, SimError};
 use dctopo::prelude::*;
 use dctopo::topology::hetero::{two_cluster, CrossSpec};
 use dctopo::topology::vl2::{vl2, Vl2Params};
+use dctopo::topology::SwitchClass;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -34,6 +36,156 @@ fn disconnected_topology_fails_cleanly() {
         matches!(res, Err(FlowError::Unreachable { .. })),
         "expected Unreachable, got {res:?}"
     );
+}
+
+/// A three-switch line topology with one server each: failing the
+/// middle switch makes the ends unreachable from each other.
+fn line_topology() -> Topology {
+    let mut g = Graph::new(3);
+    g.add_unit_edge(0, 1).unwrap();
+    g.add_unit_edge(1, 2).unwrap();
+    Topology {
+        graph: g,
+        servers_at: vec![1, 1, 1],
+        class_of: vec![0, 0, 0],
+        classes: vec![SwitchClass {
+            name: "switch".into(),
+            ports: 4,
+        }],
+        unused_ports: 0,
+    }
+}
+
+/// Switch (node) failure, not just link failure: a failed middle switch
+/// must surface as `Unreachable` with the *exact* surviving endpoints,
+/// while traffic of the dead switch's own servers is filtered out
+/// rather than reported as an error.
+#[test]
+fn switch_failure_disconnects_with_precise_endpoints() {
+    let topo = line_topology();
+    let engine = ThroughputEngine::new(&topo);
+    // fail exactly switch 1 (the cut vertex): pick the seed whose
+    // failure order starts with it so the scenario is self-documenting
+    let seed = (0..64)
+        .find(|&s| dctopo::topology::degrade::switch_failure_order(3, s)[0] == 1)
+        .expect("some seed starts with switch 1");
+    let sc = Scenario::new("cut", vec![Degradation::FailSwitches { count: 1, seed }]);
+    let ap = sc.apply(&topo, engine.net()).unwrap();
+    assert_eq!(ap.failed_switch, vec![false, true, false]);
+    // server 1 (on the dead switch) loses its flows silently; the
+    // surviving 0 <-> 2 flows hit the disconnection and must name the
+    // surviving switch endpoints precisely
+    let tm = TrafficMatrix::from_pairs(3, vec![(0, 2), (2, 0), (1, 0)]);
+    let survivors = surviving_traffic(&topo, &tm, &ap.failed_switch);
+    assert_eq!(survivors.flow_count(), 2, "dead-switch flow must drop");
+    let res = engine.solve_scenario(&ap, &tm, &FlowOptions::default());
+    assert!(
+        matches!(res, Err(FlowError::Unreachable { src: 0, dst: 2 })),
+        "expected Unreachable {{0, 2}}, got {res:?}"
+    );
+    // with only the dead switch's traffic, everything filters away and
+    // the solve degenerates cleanly instead of erroring
+    let tm_dead = TrafficMatrix::from_pairs(3, vec![(1, 0), (2, 1)]);
+    let r = engine
+        .solve_scenario(&ap, &tm_dead, &FlowOptions::default())
+        .unwrap();
+    assert!(r.solved.is_none(), "no surviving network traffic expected");
+    assert_eq!(
+        r.throughput, 0.0,
+        "a fabric with zero surviving flows must not report throughput"
+    );
+}
+
+/// Capacity-override error paths: every malformed delta is a typed
+/// error naming the offending arc or value — never a panic, never a
+/// silently clamped capacity.
+#[test]
+fn capacity_override_error_paths_are_typed() {
+    let topo = line_topology();
+    let net = dctopo::graph::CsrNet::from_graph(&topo.graph);
+    // arc out of range: exact variant with exact indices
+    assert_eq!(
+        net.with_disabled_arcs(&[4]).unwrap_err(),
+        GraphError::ArcOutOfRange { arc: 4, arcs: 4 }
+    );
+    assert_eq!(
+        net.with_capacity_overrides(&[(9, 1.0)]).unwrap_err(),
+        GraphError::ArcOutOfRange { arc: 9, arcs: 4 }
+    );
+    // bad values: the variant carries the offending capacity
+    for bad in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+        assert!(matches!(
+            net.with_capacity_overrides(&[(0, bad)]),
+            Err(GraphError::BadCapacity { .. })
+        ));
+        assert!(matches!(
+            net.with_scaled_capacity(bad),
+            Err(GraphError::BadCapacity { .. })
+        ));
+    }
+    // overriding a failed link is a composition bug, not a repair
+    let failed = net.with_disabled_arcs(&[0]).unwrap();
+    assert!(matches!(
+        failed.with_capacity_overrides(&[(1, 2.0)]),
+        Err(GraphError::Unrealizable(_))
+    ));
+    // scenario layer surfaces the same errors through apply()
+    let err = Scenario::new("bad", vec![Degradation::ScaleCapacity { factor: f64::NAN }])
+        .apply(&topo, &net)
+        .unwrap_err();
+    assert!(matches!(err, GraphError::BadCapacity { .. }));
+    let err = Scenario::new(
+        "over",
+        vec![Degradation::FailSwitches { count: 99, seed: 0 }],
+    )
+    .apply(&topo, &net)
+    .unwrap_err();
+    assert!(matches!(err, GraphError::Unrealizable(_)));
+}
+
+/// Link-failure deltas on the flow layer: failing the only path yields
+/// `Unreachable` with the right endpoints on every backend, and failed
+/// arcs stay flow-free when a detour exists.
+#[test]
+fn link_failure_deltas_fail_loudly_or_route_around() {
+    use dctopo::flow::Backend;
+    let mut g = Graph::new(4);
+    for v in 0..4 {
+        g.add_unit_edge(v, (v + 1) % 4).unwrap();
+    }
+    let net = dctopo::graph::CsrNet::from_graph(&g);
+    let cs = [Commodity::unit(0, 2)];
+    let opts = FlowOptions::default();
+    // fail one side of the ring: the other side carries everything
+    let half = net.with_disabled_arcs(&[0]).unwrap();
+    for backend in [
+        Backend::Fptas,
+        Backend::ExactLp,
+        Backend::KspRestricted { k: 2 },
+    ] {
+        let s = dctopo::flow::solve(&half, &cs, &opts.with_backend(backend)).unwrap();
+        assert!(
+            (s.throughput - 1.0).abs() < 0.05,
+            "{}: detour should carry λ ≈ 1, got {}",
+            backend.name(),
+            s.throughput
+        );
+        assert_eq!(s.arc_flow[0], 0.0);
+        assert_eq!(s.arc_flow[1], 0.0);
+    }
+    // fail both sides: loud, precise failure on the iterative backends
+    let none = half.with_disabled_arcs(&[2 << 1]).unwrap();
+    let res = dctopo::flow::solve(&none, &cs, &opts);
+    assert!(matches!(
+        res,
+        Err(FlowError::Unreachable { src: 0, dst: 2 })
+    ));
+    let res = dctopo::flow::solve(
+        &none,
+        &cs,
+        &opts.with_backend(Backend::KspRestricted { k: 2 }),
+    );
+    assert!(matches!(res, Err(FlowError::Unreachable { .. })));
 }
 
 #[test]
