@@ -1,0 +1,141 @@
+//! Criterion benchmark for the topology search engine's multi-fidelity
+//! ladder: a fixed move budget evaluated with surrogate gating
+//! ([`Fidelity::Ladder`]) vs certifying every valid candidate
+//! ([`Fidelity::CertifyAll`]).
+//!
+//! The instance is the workspace's standard shape, RRG(64 switches, 12
+//! ports, degree 8) under one permutation matrix: a structural search
+//! of 10 rounds × 12 two-swap candidates. Random regular graphs sit
+//! near the Theorem-1 bound, so most rewires fail the hop-improvement
+//! gate and the ladder skips their certified solves. Before timing, the
+//! two modes are gated **identical**: same accepted-move sequence, same
+//! final certified λ (bitwise), same final topology — the ladder may
+//! only remove wasted work, never change the search.
+//!
+//! ```text
+//! DCTOPO_BENCH_JSON=BENCH_search.json cargo bench -p dctopo-bench --bench search
+//! ```
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dctopo_bench::report::{self, SpeedupRecord};
+use dctopo_flow::FlowOptions;
+use dctopo_search::{Fidelity, SearchResult, SearchRunner, SearchSpec};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn instance() -> (Topology, TrafficMatrix) {
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(64, 12, 8, &mut rng).expect("rrg");
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    (topo, tm)
+}
+
+fn run(topo: &Topology, tm: &TrafficMatrix, fidelity: Fidelity) -> SearchResult {
+    let spec = SearchSpec::structural(7, 10, 12)
+        .with_opts(FlowOptions::fast())
+        .with_fidelity(fidelity);
+    SearchRunner::new(topo, tm, spec)
+        .expect("spec valid")
+        .run()
+        .expect("search runs")
+}
+
+fn bench_search(c: &mut Criterion) {
+    let (topo, tm) = instance();
+
+    // ---- correctness gate + one-shot timing (runs before criterion) ----
+    let t = Instant::now();
+    let all = run(&topo, &tm, Fidelity::CertifyAll);
+    let old_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let ladder = run(&topo, &tm, Fidelity::Ladder);
+    let new_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // identical trajectories: the ladder's pruning must be invisible in
+    // the outcome
+    assert_eq!(ladder.accepted.len(), all.accepted.len());
+    for (a, b) in ladder.accepted.iter().zip(&all.accepted) {
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.index, b.index);
+        assert_eq!(
+            a.kind, b.kind,
+            "accepted moves diverged at round {}",
+            a.round
+        );
+        assert_eq!(
+            a.certificate.lambda.to_bits(),
+            b.certificate.lambda.to_bits()
+        );
+    }
+    assert_eq!(
+        ladder.best.lambda.to_bits(),
+        all.best.lambda.to_bits(),
+        "final certified λ diverged between fidelity modes"
+    );
+    assert_eq!(
+        ladder.topology.graph.edges(),
+        all.topology.graph.edges(),
+        "final topology diverged between fidelity modes"
+    );
+    // and the ladder must actually have pruned on a near-optimal RRG
+    assert!(
+        ladder.certified_solves * 2 <= all.certified_solves,
+        "ladder certified {} of the {} certify-all solves — expected \
+         at least a 2x reduction",
+        ladder.certified_solves,
+        all.certified_solves
+    );
+    let speedup = old_ms / new_ms;
+    assert!(
+        speedup >= 2.0,
+        "multi-fidelity ladder must evaluate the fixed move budget >= 2x \
+         faster than certify-every-move, measured {speedup:.2}x \
+         ({old_ms:.0} ms -> {new_ms:.0} ms)"
+    );
+    report::emit_from_env(&[SpeedupRecord {
+        name: "search_ladder".into(),
+        instance: format!(
+            "RRG(64, 12, 8) structural search, 10 rounds x 12 moves, \
+             fptas fast; certify-every-move ({} solves) vs hop/cut ladder \
+             ({} solves, {} hop-pruned, {} cut-pruned); final topology \
+             identical, lambda {:.4} both modes",
+            all.certified_solves,
+            ladder.certified_solves,
+            ladder.pruned_hop(),
+            ladder.pruned_cut(),
+            ladder.best.lambda
+        ),
+        old_ms,
+        new_ms,
+    }]);
+
+    // ---- timed comparison on a smaller instance criterion can loop ----
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let small = Topology::random_regular(24, 10, 6, &mut rng).expect("rrg");
+    let small_tm = TrafficMatrix::random_permutation(small.server_count(), &mut rng);
+    let small_run = |fidelity| {
+        let spec = SearchSpec::structural(5, 4, 8)
+            .with_opts(FlowOptions::fast())
+            .with_fidelity(fidelity);
+        SearchRunner::new(&small, &small_tm, spec)
+            .expect("spec valid")
+            .run()
+            .expect("search runs")
+            .best
+            .lambda
+    };
+    let mut group = c.benchmark_group("search_rrg24x10x6");
+    group.sample_size(10);
+    group.bench_function("certify_all", |b| {
+        b.iter(|| small_run(Fidelity::CertifyAll))
+    });
+    group.bench_function("ladder", |b| b.iter(|| small_run(Fidelity::Ladder)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_search);
+criterion_main!(benches);

@@ -19,7 +19,9 @@
 //!   observed peak `T*`, throughput must fall below `T*` once
 //!   `C̄ < T*·2n1n2/(n1+n2)`).
 
-use dctopo_graph::GraphError;
+#![warn(missing_docs)]
+
+use dctopo_graph::{Graph, GraphError};
 
 /// Cerf–Cowan–Mullin–Stanton lower bound on the average shortest path
 /// length of any `r`-regular graph with `n` nodes (the paper's §4).
@@ -140,6 +142,68 @@ pub fn cbar_star(t_star: f64, n1: usize, n2: usize) -> f64 {
     t_star * 2.0 * n1 as f64 * n2 as f64 / (n1 + n2) as f64
 }
 
+/// Total capacity crossing a bipartition, counting both directions
+/// (the `C̄` of Eqn. 1): `2 × Σ` capacity of edges whose endpoints fall
+/// on different sides of `membership`.
+///
+/// This is the cut-measurement half of the search engine's level-1
+/// surrogate: pair it with [`demand_cut_bound`] (or with
+/// [`cut_throughput_bound`] for the paper's random-permutation form).
+///
+/// # Panics
+/// If `membership` is shorter than the graph's node count.
+pub fn cross_capacity(g: &Graph, membership: &[bool]) -> f64 {
+    assert!(
+        membership.len() >= g.node_count(),
+        "membership covers {} of {} nodes",
+        membership.len(),
+        g.node_count()
+    );
+    cross_capacity_with(g, membership, |e| g.edge(e).capacity)
+}
+
+/// [`cross_capacity`] with per-edge effective capacities supplied by
+/// `edge_capacity` — the form re-rating analyses need, where an edge's
+/// effective capacity is its base capacity times some plan multiplier.
+/// Nodes beyond `membership`'s length (e.g. switches added by an
+/// expansion) count as the "false" side.
+pub fn cross_capacity_with<F: Fn(usize) -> f64>(
+    g: &Graph,
+    membership: &[bool],
+    edge_capacity: F,
+) -> f64 {
+    let side = |v: usize| membership.get(v).copied().unwrap_or(false);
+    2.0 * g
+        .edges()
+        .iter()
+        .enumerate()
+        .filter(|(_, e)| side(e.u) != side(e.v))
+        .map(|(e, _)| edge_capacity(e))
+        .sum::<f64>()
+}
+
+/// Demand-weighted cut bound on the concurrent-flow value λ of a
+/// *specific* commodity set: every commodity whose endpoints straddle
+/// the cut pushes at least `λ·d_j` units across it, so
+/// `λ ≤ C̄ / Σ_{j crossing} d_j`.
+///
+/// Unlike [`cut_throughput_bound`] (which assumes random permutation
+/// traffic and bounds the *expected* crossing demand), this form is a
+/// hard per-instance bound for any demand vector and any flow — the
+/// property the search engine's fidelity ladder needs to prune
+/// candidates soundly. `∞` when no demand crosses the cut.
+pub fn demand_cut_bound(cross_capacity: f64, cross_demand: f64) -> f64 {
+    assert!(
+        cross_capacity >= 0.0 && cross_demand >= 0.0,
+        "capacities and demands are non-negative"
+    );
+    if cross_demand == 0.0 {
+        f64::INFINITY
+    } else {
+        cross_capacity / cross_demand
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -230,6 +294,43 @@ mod tests {
         let scarce = cut_throughput_bound(1000.0, 10.0, 2.5, 100, 100);
         assert!((scarce - 10.0 * 200.0 / (2.0 * 100.0 * 100.0)).abs() < 1e-12);
         assert!(scarce < plateau);
+    }
+
+    #[test]
+    fn cross_capacity_counts_both_directions() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap(); // inside left
+        g.add_edge(2, 3, 1.0).unwrap(); // inside right
+        g.add_edge(0, 2, 3.0).unwrap(); // crossing
+        g.add_edge(1, 3, 2.0).unwrap(); // crossing
+        let membership = [true, true, false, false];
+        let cbar = cross_capacity(&g, &membership);
+        assert!((cbar - 2.0 * 5.0).abs() < 1e-12);
+        // the trivial cut (everything on one side) has no cross capacity
+        assert_eq!(cross_capacity(&g, &[true; 4]), 0.0);
+        // the weighted form: re-rating a crossing edge 2x moves C̄ by
+        // 2x its contribution; nodes beyond the membership default to
+        // the "false" side
+        let doubled = cross_capacity_with(&g, &membership, |e| {
+            let edge = g.edge(e);
+            if (edge.u, edge.v) == (0, 2) {
+                2.0 * edge.capacity
+            } else {
+                edge.capacity
+            }
+        });
+        assert!((doubled - 2.0 * 8.0).abs() < 1e-12);
+        let short = cross_capacity_with(&g, &[true], |e| g.edge(e).capacity);
+        assert!((short - 2.0 * 4.0).abs() < 1e-12); // edges 0-1, 0-2 cross
+    }
+
+    #[test]
+    fn demand_cut_bound_shapes() {
+        assert_eq!(demand_cut_bound(10.0, 0.0), f64::INFINITY);
+        assert!((demand_cut_bound(10.0, 4.0) - 2.5).abs() < 1e-12);
+        // scarcer cut -> lower bound; heavier demand -> lower bound
+        assert!(demand_cut_bound(5.0, 4.0) < demand_cut_bound(10.0, 4.0));
+        assert!(demand_cut_bound(10.0, 8.0) < demand_cut_bound(10.0, 4.0));
     }
 
     #[test]

@@ -27,6 +27,8 @@
 //!   `{topology × scenario × traffic × backend}` grid on the persistent
 //!   worker pool, bit-identical at every thread count.
 
+#![warn(missing_docs)]
+
 pub mod experiment;
 pub mod packet;
 pub mod scenario;

@@ -43,4 +43,4 @@ pub mod swaps;
 pub use csr::{CsrNet, DijkstraWorkspace};
 pub use error::GraphError;
 pub use graph::{ArcId, EdgeId, Graph, NodeId};
-pub use paths::PathStats;
+pub use paths::{BfsWorkspace, PathStats};

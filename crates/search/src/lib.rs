@@ -1,0 +1,90 @@
+//! # dctopo-search
+//!
+//! The topology **search engine**: deterministic, parallel local search
+//! / simulated annealing over the data-center design space the paper
+//! frames as an optimization problem (§1: "we propose that data center
+//! network topology design be treated as an optimization problem").
+//!
+//! The paper's headline results are statements about this search space:
+//! random regular graphs land within a few percent of the Theorem-1
+//! throughput bound (so *structural* search should barely improve on an
+//! RRG), while heterogeneous port/line-speed distribution leaves real
+//! gains on the table (so *capacity* search should find them). This
+//! crate makes both claims executable.
+//!
+//! ## Move families ([`moves`])
+//!
+//! * **Structural** — degree-preserving double-edge rewires
+//!   ([`dctopo_topology::moves::TwoSwap`]) and Jellyfish-style
+//!   [`dctopo_topology::expand::expand_random`] switch insertions.
+//!   Every switch keeps its port budget; the capacity multiset is
+//!   preserved by rewires.
+//! * **Capacity** — line-speed budget reallocation across switch-class
+//!   link groups ([`moves::CapacityPlan`]): multipliers per
+//!   `(class, class)` group, shifted budget-preservingly between groups
+//!   and applied as [`dctopo_graph::CsrNet::with_capacity_overrides`]
+//!   delta views, so the base net's `structure_id` (and therefore the
+//!   frozen path-set cache) stays warm across every candidate.
+//!
+//! ## The multi-fidelity ladder ([`ladder`])
+//!
+//! Certified solves are ~10⁴× the cost of a BFS sweep, so candidates
+//! climb a ladder and only survivors pay for certification:
+//!
+//! 1. **Hop bound** (level 0) — the Theorem-1-style hard bound
+//!    `C / Σ_j d_j·hop_j` from per-source BFS ([`ladder::hop_alpha`]).
+//!    Structural candidates must *strictly improve* it.
+//! 2. **Cut bound** (level 1) — `C̄ / crossing demand`
+//!    ([`dctopo_bounds::demand_cut_bound`]) over fixed probe partitions
+//!    ([`ladder::CutProbe`]): a candidate whose tightest cut bound
+//!    cannot beat the incumbent's certified λ is pruned *soundly*.
+//! 3. **Certified solve** (level 2) — the FPTAS / KSP backend selected
+//!    by [`dctopo_flow::FlowOptions::backend`], warm-started through
+//!    the shared path-set cache for capacity candidates.
+//!
+//! The gates are part of the acceptance semantics, not just an
+//! optimisation: a move is accepted only if it passes every level
+//! *and* strictly improves the certified λ. Running with
+//! [`runner::Fidelity::CertifyAll`] certifies every valid candidate but
+//! applies the same gates, so the accepted-move sequence — and the
+//! final topology — is **identical** between the two modes; the ladder
+//! only changes how much work rejection costs. `BENCH_search.json`
+//! records the resulting speedup.
+//!
+//! ## Determinism contract
+//!
+//! Every random choice derives from [`runner::SearchSpec::seed`] and
+//! grid coordinates (`(round, move index)` for moves, probe index for
+//! cut probes) — never from evaluation order. Batches are evaluated on
+//! the persistent worker pool with index-ordered assembly, and every
+//! backend is itself bit-identical across thread counts, so a search
+//! trajectory is **bit-identical at every thread count and across
+//! reruns** (pinned by `tests/search_determinism.rs`).
+
+#![warn(missing_docs)]
+
+pub mod ladder;
+pub mod moves;
+pub mod runner;
+
+pub use ladder::{hop_alpha, hop_bound, observed_aspl, CutProbe};
+pub use moves::{CapacityPlan, MoveKind};
+pub use runner::{
+    AcceptedMove, CapacityBudget, Certificate, Fidelity, GrowSpec, Outcome, RoundTrace,
+    SearchResult, SearchRunner, SearchSpec,
+};
+
+/// Mix grid coordinates into a master seed (splitmix64 finalizer), the
+/// same discipline as the sweep engine: every per-move / per-probe RNG
+/// is a function of the spec and its coordinates, never of scheduling.
+pub(crate) fn derive_seed(base: u64, domain: u64, a: usize, b: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(domain.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((a as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((b as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,404 @@
+//! The search engine's move vocabulary: structural rewires, Jellyfish
+//! expansions, and capacity-budget shifts, plus the [`CapacityPlan`]
+//! bookkeeping that turns per-group line-speed multipliers into
+//! [`CsrNet::with_capacity_overrides`] delta views.
+
+use dctopo_graph::{ArcId, CsrNet, GraphError};
+use dctopo_topology::moves::TwoSwap;
+use dctopo_topology::Topology;
+
+/// One candidate move, addressable as data so batches can be generated
+/// from seeds, evaluated in parallel, and replayed on acceptance.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MoveKind {
+    /// Degree-preserving double-edge rewire (structural family).
+    TwoSwap(TwoSwap),
+    /// Jellyfish-style switch insertion via
+    /// [`dctopo_topology::expand::expand_random`]: a new switch with
+    /// `network_degree` ports, every one wired by donating existing
+    /// links (growth family; no servers are attached, so the commodity
+    /// set is unchanged).
+    Expand {
+        /// Network ports of the new switch (must be even).
+        network_degree: usize,
+        /// Switch class the new switch joins.
+        class: usize,
+    },
+    /// Shift a slice of the line-speed budget from one class-pair link
+    /// group to another (capacity family). `step` is the fraction of
+    /// the donor group's *current* capacity that moves; the shift is
+    /// budget-preserving by construction.
+    ShiftCapacity {
+        /// Donor link-group index (into [`CapacityPlan`] group order).
+        donor: usize,
+        /// Receiver link-group index.
+        receiver: usize,
+        /// Fraction of the donor's current capacity to move, in (0, 1).
+        step: f64,
+    },
+}
+
+impl MoveKind {
+    /// Whether this move changes the adjacency structure (and therefore
+    /// invalidates structure-keyed caches).
+    pub fn is_structural(&self) -> bool {
+        !matches!(self, MoveKind::ShiftCapacity { .. })
+    }
+
+    /// Short display form for traces and CLI output.
+    pub fn describe(&self) -> String {
+        match self {
+            MoveKind::TwoSwap(s) => {
+                format!("two-swap({}, {}, cross={})", s.e1, s.e2, s.cross)
+            }
+            MoveKind::Expand {
+                network_degree,
+                class,
+            } => {
+                format!("expand(degree={network_degree}, class={class})")
+            }
+            MoveKind::ShiftCapacity {
+                donor,
+                receiver,
+                step,
+            } => {
+                format!("shift({donor} -> {receiver}, {:.0}%)", step * 100.0)
+            }
+        }
+    }
+}
+
+/// Per-link-group line-speed multipliers over a topology's switch-class
+/// structure.
+///
+/// A *link group* is an unordered switch-class pair `(c1 ≤ c2)`; every
+/// edge belongs to the group of its endpoints' classes. The plan holds
+/// one multiplier per group — the effective capacity of an edge is its
+/// base capacity times its group's multiplier — and group membership is
+/// recomputed from the graph on demand, so the plan survives structural
+/// moves (which shuffle edge ids) unchanged.
+///
+/// The total budget `Σ_e base_e · mult(group(e))` is conserved exactly
+/// by [`CapacityPlan::shifted`]; a uniform plan (all multipliers 1) is
+/// the identity and produces no overrides.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapacityPlan {
+    /// Unordered class pairs, sorted ascending — the group order every
+    /// index in this module refers to.
+    groups: Vec<(usize, usize)>,
+    /// Multiplier per group (aligned with `groups`).
+    mult: Vec<f64>,
+}
+
+impl CapacityPlan {
+    /// The uniform plan over the class pairs present in `topo`'s graph
+    /// (groups with no edges are not represented).
+    pub fn uniform(topo: &Topology) -> Self {
+        let mut groups: Vec<(usize, usize)> = Vec::new();
+        for e in topo.graph.edges() {
+            let pair = class_pair(topo, e.u, e.v);
+            if !groups.contains(&pair) {
+                groups.push(pair);
+            }
+        }
+        groups.sort_unstable();
+        let mult = vec![1.0; groups.len()];
+        CapacityPlan { groups, mult }
+    }
+
+    /// Number of link groups.
+    pub fn group_count(&self) -> usize {
+        self.groups.len()
+    }
+
+    /// The class pair of group `g`.
+    pub fn group_classes(&self, g: usize) -> (usize, usize) {
+        self.groups[g]
+    }
+
+    /// Display name of group `g` (`large-small`, `tor-agg`, ...).
+    pub fn group_name(&self, g: usize, topo: &Topology) -> String {
+        let (a, b) = self.groups[g];
+        format!("{}-{}", topo.classes[a].name, topo.classes[b].name)
+    }
+
+    /// Multiplier of group `g`.
+    pub fn multiplier(&self, g: usize) -> f64 {
+        self.mult[g]
+    }
+
+    /// All multipliers, in group order.
+    pub fn multipliers(&self) -> &[f64] {
+        &self.mult
+    }
+
+    /// Whether every multiplier is exactly 1 (no overrides needed).
+    pub fn is_uniform(&self) -> bool {
+        self.mult.iter().all(|&m| m == 1.0)
+    }
+
+    /// The group index of an edge between switches `u` and `v`, if its
+    /// class pair is represented.
+    pub fn group_of(&self, topo: &Topology, u: usize, v: usize) -> Option<usize> {
+        let pair = class_pair(topo, u, v);
+        self.groups.binary_search(&pair).ok()
+    }
+
+    /// Current (effective) edge-capacity sum of group `g` under this
+    /// plan: `mult_g · Σ base_e` over the group's edges in `topo`.
+    pub fn group_capacity(&self, g: usize, topo: &Topology) -> f64 {
+        self.mult[g] * self.group_base_capacity(g, topo)
+    }
+
+    /// Base edge-capacity sum of group `g` in `topo`.
+    pub fn group_base_capacity(&self, g: usize, topo: &Topology) -> f64 {
+        topo.graph
+            .edges()
+            .iter()
+            .filter(|e| class_pair(topo, e.u, e.v) == self.groups[g])
+            .map(|e| e.capacity)
+            .sum()
+    }
+
+    /// Total effective capacity counting both directions (comparable to
+    /// [`CsrNet::total_capacity`]). Edges whose class pair the plan does
+    /// not represent — e.g. links created by a growth move pairing
+    /// classes that had no edges at plan-construction time — ride at
+    /// multiplier 1.
+    pub fn effective_capacity(&self, topo: &Topology) -> f64 {
+        2.0 * topo
+            .graph
+            .edges()
+            .iter()
+            .map(|e| {
+                let mult = self.group_of(topo, e.u, e.v).map_or(1.0, |g| self.mult[g]);
+                e.capacity * mult
+            })
+            .sum::<f64>()
+    }
+
+    /// The per-edge capacity overrides materialising this plan over
+    /// `topo`, ready for [`CsrNet::with_capacity_overrides`] (arc ids
+    /// under the base numbering `2e`). Groups at multiplier 1 produce
+    /// no entries, so the uniform plan is a free clone.
+    pub fn overrides(&self, topo: &Topology) -> Vec<(ArcId, f64)> {
+        let mut out = Vec::new();
+        for (e, edge) in topo.graph.edges().iter().enumerate() {
+            let mult = self
+                .group_of(topo, edge.u, edge.v)
+                .map_or(1.0, |g| self.mult[g]);
+            if mult != 1.0 {
+                out.push((e << 1, edge.capacity * mult));
+            }
+        }
+        out
+    }
+
+    /// The delta view of `base` (which must be `topo.graph`'s net or a
+    /// structure-preserving view of it) under this plan. Uniform plans
+    /// return a plain clone, keeping the base `id` and every cache warm.
+    ///
+    /// # Errors
+    /// As [`CsrNet::with_capacity_overrides`] (e.g. an override landing
+    /// on a disabled arc).
+    pub fn view(&self, topo: &Topology, base: &CsrNet) -> Result<CsrNet, GraphError> {
+        base.with_capacity_overrides(&self.overrides(topo))
+    }
+
+    /// The plan after a budget-preserving [`MoveKind::ShiftCapacity`]:
+    /// `step` of the donor group's current capacity moves to the
+    /// receiver. Returns `None` when the move is invalid — identical or
+    /// out-of-range groups, a step outside `(0, 1)`, an empty donor or
+    /// receiver, or a resulting multiplier outside
+    /// `[min_mult, max_mult]`.
+    pub fn shifted(
+        &self,
+        topo: &Topology,
+        donor: usize,
+        receiver: usize,
+        step: f64,
+        min_mult: f64,
+        max_mult: f64,
+    ) -> Option<CapacityPlan> {
+        if donor == receiver
+            || donor >= self.groups.len()
+            || receiver >= self.groups.len()
+            || !(step > 0.0 && step < 1.0)
+        {
+            return None;
+        }
+        let donor_base = self.group_base_capacity(donor, topo);
+        let receiver_base = self.group_base_capacity(receiver, topo);
+        if donor_base <= 0.0 || receiver_base <= 0.0 {
+            return None;
+        }
+        let delta = step * self.mult[donor] * donor_base;
+        let new_donor = self.mult[donor] * (1.0 - step);
+        let new_receiver = self.mult[receiver] + delta / receiver_base;
+        if new_donor < min_mult || new_receiver > max_mult {
+            return None;
+        }
+        let mut next = self.clone();
+        next.mult[donor] = new_donor;
+        next.mult[receiver] = new_receiver;
+        Some(next)
+    }
+}
+
+/// The unordered class pair of an edge.
+fn class_pair(topo: &Topology, u: usize, v: usize) -> (usize, usize) {
+    let (a, b) = (topo.class_of[u], topo.class_of[v]);
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_topology::hetero::{two_cluster, CrossSpec};
+    use dctopo_topology::ClusterSpec;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hetero_topo() -> Topology {
+        let mut rng = StdRng::seed_from_u64(8);
+        two_cluster(
+            ClusterSpec {
+                count: 6,
+                ports: 10,
+                servers_per_switch: 3,
+            },
+            ClusterSpec {
+                count: 6,
+                ports: 8,
+                servers_per_switch: 2,
+            },
+            CrossSpec::Exact(6),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_plan_covers_all_edges_and_is_identity() {
+        let topo = hetero_topo();
+        let plan = CapacityPlan::uniform(&topo);
+        assert!(plan.group_count() >= 2 && plan.group_count() <= 3);
+        assert!(plan.is_uniform());
+        assert!(plan.overrides(&topo).is_empty());
+        let base = CsrNet::from_graph(&topo.graph);
+        let view = plan.view(&topo, &base).unwrap();
+        assert_eq!(view.id(), base.id(), "uniform plan must be a free clone");
+        assert!((plan.effective_capacity(&topo) - base.total_capacity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shift_conserves_budget_and_respects_bounds() {
+        let topo = hetero_topo();
+        let plan = CapacityPlan::uniform(&topo);
+        let before = plan.effective_capacity(&topo);
+        let shifted = plan.shifted(&topo, 0, 1, 0.25, 0.5, 2.0).unwrap();
+        let after = shifted.effective_capacity(&topo);
+        assert!(
+            (before - after).abs() < 1e-9 * before,
+            "budget drifted: {before} -> {after}"
+        );
+        assert!(shifted.multiplier(0) < 1.0 && shifted.multiplier(1) > 1.0);
+        // repeated shifting out of the donor eventually hits min_mult
+        let mut p = plan.clone();
+        let mut shifts = 0;
+        while let Some(next) = p.shifted(&topo, 0, 1, 0.25, 0.5, 4.0) {
+            p = next;
+            shifts += 1;
+            assert!(shifts < 100, "min_mult bound never engaged");
+        }
+        assert!(p.multiplier(0) >= 0.5);
+        // invalid moves
+        assert!(plan.shifted(&topo, 0, 0, 0.25, 0.5, 2.0).is_none());
+        assert!(plan.shifted(&topo, 0, 99, 0.25, 0.5, 2.0).is_none());
+        assert!(plan.shifted(&topo, 0, 1, 0.0, 0.5, 2.0).is_none());
+        assert!(plan.shifted(&topo, 0, 1, 1.0, 0.5, 2.0).is_none());
+    }
+
+    #[test]
+    fn overrides_land_on_the_right_edges() {
+        let topo = hetero_topo();
+        let plan = CapacityPlan::uniform(&topo);
+        let shifted = plan.shifted(&topo, 0, 1, 0.5, 0.25, 3.0).unwrap();
+        let base = CsrNet::from_graph(&topo.graph);
+        let view = shifted.view(&topo, &base).unwrap();
+        assert_eq!(
+            view.structure_id(),
+            base.structure_id(),
+            "capacity plan views must preserve structure"
+        );
+        for (e, edge) in topo.graph.edges().iter().enumerate() {
+            let g = shifted.group_of(&topo, edge.u, edge.v).unwrap();
+            let want = edge.capacity * shifted.multiplier(g);
+            assert!(
+                (view.capacity(e << 1) - want).abs() < 1e-12,
+                "edge {e} (group {g}) capacity wrong"
+            );
+        }
+        // budget conservation is visible in the view too
+        assert!((view.total_capacity() - base.total_capacity()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn plan_survives_structural_edge_id_shuffles() {
+        // group membership is a function of endpoints, so applying a
+        // two-swap (which compacts edge ids) must not corrupt the plan
+        let mut topo = hetero_topo();
+        let plan = CapacityPlan::uniform(&topo);
+        let shifted = plan.shifted(&topo, 0, 1, 0.25, 0.5, 2.0).unwrap();
+        let before = shifted.effective_capacity(&topo);
+        let m = topo.graph.edge_count();
+        let swap = (0..m)
+            .flat_map(|e1| (0..m).map(move |e2| (e1, e2)))
+            .flat_map(|(e1, e2)| {
+                [false, true]
+                    .into_iter()
+                    .map(move |cross| TwoSwap { e1, e2, cross })
+            })
+            .find(|s| {
+                // keep the swap class-internal so group sums are preserved
+                dctopo_topology::moves::two_swap_is_valid(&topo.graph, s) && {
+                    let ((x1, y1), (x2, y2)) =
+                        dctopo_topology::moves::two_swap_endpoints(&topo.graph, s).unwrap();
+                    let e1 = topo.graph.edge(s.e1);
+                    let e2 = topo.graph.edge(s.e2);
+                    class_pair(&topo, x1, y1) == class_pair(&topo, e1.u, e1.v)
+                        && class_pair(&topo, x2, y2) == class_pair(&topo, e2.u, e2.v)
+                }
+            })
+            .expect("some class-internal swap exists");
+        dctopo_topology::moves::apply_two_swap(&mut topo.graph, &swap).unwrap();
+        let after = shifted.effective_capacity(&topo);
+        assert!((before - after).abs() < 1e-9 * before);
+    }
+
+    #[test]
+    fn move_kind_descriptions() {
+        assert!(MoveKind::TwoSwap(TwoSwap {
+            e1: 3,
+            e2: 7,
+            cross: true
+        })
+        .is_structural());
+        assert!(MoveKind::Expand {
+            network_degree: 4,
+            class: 0
+        }
+        .is_structural());
+        let shift = MoveKind::ShiftCapacity {
+            donor: 0,
+            receiver: 1,
+            step: 0.25,
+        };
+        assert!(!shift.is_structural());
+        assert!(shift.describe().contains("25%"));
+    }
+}

@@ -1,0 +1,1137 @@
+//! The search driver: seeded move batches, parallel multi-fidelity
+//! evaluation, and a greedy / simulated-annealing acceptance schedule.
+//!
+//! One round generates [`SearchSpec::batch`] moves (each from a seed
+//! derived from `(round, move index)`), evaluates them concurrently on
+//! the persistent worker pool, and accepts at most one. A candidate is
+//! *eligible* only if it passes every ladder gate **and** strictly
+//! improves the certified λ; among eligible candidates the highest λ
+//! wins, ties broken by the lowest move index — a rule that depends
+//! only on the candidate vector, never on scheduling, which is what
+//! makes search trajectories bit-identical at every thread count.
+//!
+//! With [`SearchSpec::temperature`] `> 0`, a round with no improving
+//! candidate may instead accept the best gate-passing candidate with
+//! Metropolis probability `exp((λ_c - λ_inc) / (T_r · λ_inc))`, with
+//! `T_r` cooled geometrically per round and the coin drawn from a
+//! seed derived from the round index (deterministic annealing).
+
+use dctopo_core::solve::{aggregate_commodities, nic_limit};
+use dctopo_flow::{Commodity, FlowError, FlowOptions, PathSetCache, SolvedFlow};
+use dctopo_graph::paths::BfsWorkspace;
+use dctopo_graph::CsrNet;
+use dctopo_topology::expand::expand_random;
+use dctopo_topology::moves::{apply_two_swap, two_swap_is_valid, TwoSwap};
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use rayon::prelude::*;
+
+use crate::derive_seed;
+use crate::ladder::{cut_probes, hop_alpha, hop_bound, min_cut_bound, CutProbe};
+use crate::moves::{CapacityPlan, MoveKind};
+
+/// Domain tag for per-move generation seeds.
+const DOMAIN_MOVE: u64 = 21;
+/// Domain tag for per-move application randomness (expansion wiring).
+const DOMAIN_APPLY: u64 = 22;
+/// Domain tag for the per-round annealing coin.
+const DOMAIN_ACCEPT: u64 = 23;
+
+/// Constraints of the capacity (line-speed budget) move family.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityBudget {
+    /// No link group may drop below this multiple of its base capacity.
+    pub min_mult: f64,
+    /// No link group may exceed this multiple of its base capacity.
+    pub max_mult: f64,
+    /// Largest fraction of a donor group's current capacity one move
+    /// may shift (moves sample steps in `{¼, ½, ¾, 1} ×` this).
+    pub step: f64,
+}
+
+impl Default for CapacityBudget {
+    /// The paper-flavoured "2:1 line-card" budget: any group may be
+    /// re-rated between half and double its base line speed.
+    fn default() -> Self {
+        CapacityBudget {
+            min_mult: 0.5,
+            max_mult: 2.0,
+            step: 0.25,
+        }
+    }
+}
+
+/// Parameters of the growth (switch-insertion) move family.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GrowSpec {
+    /// Network ports of each inserted switch (must be even, positive).
+    pub network_degree: usize,
+    /// Switch class inserted switches join.
+    pub class: usize,
+}
+
+/// How candidates are certified.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fidelity {
+    /// Multi-fidelity: only candidates that clear the hop and cut gates
+    /// pay for a certified solve (the default).
+    Ladder,
+    /// Certify every valid candidate. The ladder gates still apply to
+    /// *acceptance*, so the accepted-move sequence is identical to
+    /// [`Fidelity::Ladder`] — this mode exists to measure what the
+    /// ladder saves (`BENCH_search.json`).
+    CertifyAll,
+}
+
+/// The full search specification.
+#[derive(Debug, Clone)]
+pub struct SearchSpec {
+    /// Master seed; every move, probe, and annealing coin derives from
+    /// it and its grid coordinates.
+    pub seed: u64,
+    /// Number of rounds (batches).
+    pub rounds: usize,
+    /// Moves generated and evaluated per round.
+    pub batch: usize,
+    /// Enable the structural (two-swap) move family.
+    pub structural: bool,
+    /// Enable the capacity move family with these constraints.
+    pub capacity: Option<CapacityBudget>,
+    /// Enable the growth (switch-insertion) move family.
+    pub grow: Option<GrowSpec>,
+    /// Solver options for certified evaluations (backend included).
+    pub opts: FlowOptions,
+    /// Ladder vs certify-every-move (see [`Fidelity`]).
+    pub fidelity: Fidelity,
+    /// Seeded bisection probes for the cut surrogate (the class
+    /// partition is always probed on heterogeneous topologies).
+    pub cut_probes: usize,
+    /// Initial annealing temperature (relative λ units); `0` = greedy.
+    pub temperature: f64,
+    /// Geometric cooling factor per round.
+    pub cooling: f64,
+}
+
+impl SearchSpec {
+    /// A greedy structural search (two-swaps only).
+    pub fn structural(seed: u64, rounds: usize, batch: usize) -> Self {
+        SearchSpec {
+            seed,
+            rounds,
+            batch,
+            structural: true,
+            capacity: None,
+            grow: None,
+            opts: FlowOptions::fast(),
+            fidelity: Fidelity::Ladder,
+            cut_probes: 2,
+            temperature: 0.0,
+            cooling: 0.9,
+        }
+    }
+
+    /// A greedy capacity search (budget shifts only).
+    pub fn capacity(seed: u64, rounds: usize, batch: usize, budget: CapacityBudget) -> Self {
+        SearchSpec {
+            structural: false,
+            capacity: Some(budget),
+            ..SearchSpec::structural(seed, rounds, batch)
+        }
+    }
+
+    /// Same spec with different solver options.
+    pub fn with_opts(mut self, opts: FlowOptions) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Same spec with a different certification mode.
+    pub fn with_fidelity(mut self, fidelity: Fidelity) -> Self {
+        self.fidelity = fidelity;
+        self
+    }
+
+    /// Same spec with simulated-annealing acceptance.
+    pub fn with_temperature(mut self, temperature: f64, cooling: f64) -> Self {
+        self.temperature = temperature;
+        self.cooling = cooling;
+        self
+    }
+}
+
+/// A certified evaluation of one topology/plan configuration, together
+/// with the surrogate bounds it was measured against.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Certificate {
+    /// Certified feasible network λ (the search objective).
+    pub lambda: f64,
+    /// Certified dual upper bound on the optimal λ.
+    pub upper: f64,
+    /// Level-0 hop bound `C / Σ d_j·hop_j` of this configuration.
+    pub hop_bound: f64,
+    /// Level-1 cut bound (min over probes); `∞` if no probe binds.
+    pub cut_bound: f64,
+    /// `Σ d_j·hop_j` (cached so capacity moves can reuse it).
+    pub hop_alpha: f64,
+    /// Dijkstra-equivalent settles the certified solve spent.
+    pub settles: u64,
+    /// The hop gate was evaluated and passed before certification.
+    pub passed_hop: bool,
+    /// The cut gate was evaluated and passed before certification.
+    pub passed_cut: bool,
+}
+
+/// Why (or how) a candidate left the ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Outcome {
+    /// The move could not be applied (illegal swap, over-budget shift,
+    /// stuck expansion, disconnecting rewire, solver rejection).
+    Invalid(String),
+    /// Pruned at level 0: the hop bound did not clear the gate.
+    PrunedHop {
+        /// The candidate's hop bound.
+        hop_bound: f64,
+    },
+    /// Pruned at level 1: the cut bound shows the candidate cannot be
+    /// accepted this round.
+    PrunedCut {
+        /// The candidate's hop bound (level 0 was passed).
+        hop_bound: f64,
+        /// The candidate's cut bound.
+        cut_bound: f64,
+    },
+    /// The candidate survived to a certified solve.
+    Certified(Certificate),
+}
+
+/// One evaluated move.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Candidate {
+    /// Move index within its round.
+    pub index: usize,
+    /// The move.
+    pub kind: MoveKind,
+    /// What happened to it.
+    pub outcome: Outcome,
+}
+
+impl Candidate {
+    /// The certificate, if the candidate was certified.
+    pub fn certificate(&self) -> Option<&Certificate> {
+        match &self.outcome {
+            Outcome::Certified(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+/// One round of the search trace.
+#[derive(Debug, Clone)]
+pub struct RoundTrace {
+    /// Round index.
+    pub round: usize,
+    /// Annealing temperature this round ran at.
+    pub temperature: f64,
+    /// Every candidate, in move-index order.
+    pub candidates: Vec<Candidate>,
+    /// Index (into `candidates`) of the accepted move, if any.
+    pub accepted: Option<usize>,
+}
+
+/// An accepted move, with the incumbent it replaced.
+#[derive(Debug, Clone)]
+pub struct AcceptedMove {
+    /// Round the move was accepted in.
+    pub round: usize,
+    /// Move index within the round.
+    pub index: usize,
+    /// The move.
+    pub kind: MoveKind,
+    /// Certified λ before the move.
+    pub lambda_before: f64,
+    /// The accepting evaluation.
+    pub certificate: Certificate,
+}
+
+/// The outcome of a whole search.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Certified evaluation of the starting configuration.
+    pub initial: Certificate,
+    /// Certified evaluation of the final configuration.
+    pub best: Certificate,
+    /// NIC cap of the traffic (constant across the search).
+    pub nic_limit: f64,
+    /// Per-round traces, in order.
+    pub rounds: Vec<RoundTrace>,
+    /// Accepted moves, in order.
+    pub accepted: Vec<AcceptedMove>,
+    /// Certified solves performed (including the initial one).
+    pub certified_solves: usize,
+    /// Total Dijkstra-equivalent settles across all certified solves.
+    pub total_settles: u64,
+    /// The final topology.
+    pub topology: Topology,
+    /// The final capacity plan (uniform if no capacity move was
+    /// accepted).
+    pub plan: CapacityPlan,
+}
+
+impl SearchResult {
+    /// Relative improvement of the certified λ over the initial
+    /// configuration.
+    pub fn improvement(&self) -> f64 {
+        if self.initial.lambda > 0.0 {
+            self.best.lambda / self.initial.lambda - 1.0
+        } else {
+            0.0
+        }
+    }
+
+    /// The paper's throughput of the final configuration: λ capped by
+    /// the NIC line rate.
+    pub fn throughput(&self) -> f64 {
+        self.best.lambda.min(self.nic_limit)
+    }
+
+    /// Candidates pruned by the hop gate, across all rounds.
+    pub fn pruned_hop(&self) -> usize {
+        self.count(|c| matches!(c.outcome, Outcome::PrunedHop { .. }))
+    }
+
+    /// Candidates pruned by the cut gate, across all rounds.
+    pub fn pruned_cut(&self) -> usize {
+        self.count(|c| matches!(c.outcome, Outcome::PrunedCut { .. }))
+    }
+
+    /// Invalid candidates across all rounds.
+    pub fn invalid(&self) -> usize {
+        self.count(|c| matches!(c.outcome, Outcome::Invalid(_)))
+    }
+
+    /// Total candidates evaluated.
+    pub fn evaluated(&self) -> usize {
+        self.rounds.iter().map(|r| r.candidates.len()).sum()
+    }
+
+    fn count(&self, pred: impl Fn(&Candidate) -> bool) -> usize {
+        self.rounds
+            .iter()
+            .flat_map(|r| &r.candidates)
+            .filter(|c| pred(c))
+            .count()
+    }
+}
+
+/// Mutable search state: the incumbent configuration plus everything
+/// derived from it.
+struct State {
+    topo: Topology,
+    /// CSR net of `topo.graph` at *base* capacities. Candidate
+    /// evaluations derive their plan views from it on demand.
+    base_net: CsrNet,
+    plan: CapacityPlan,
+    incumbent: Certificate,
+}
+
+/// Runs a [`SearchSpec`] against one topology and traffic matrix.
+pub struct SearchRunner {
+    spec: SearchSpec,
+    topo: Topology,
+    commodities: Vec<Commodity>,
+    nic: f64,
+    probes: Vec<CutProbe>,
+    cache: PathSetCache,
+}
+
+impl std::fmt::Debug for SearchRunner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SearchRunner")
+            .field("spec", &self.spec)
+            .field("switches", &self.topo.switch_count())
+            .field("commodities", &self.commodities.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl SearchRunner {
+    /// Set up a search over `topo` under the (fixed) traffic matrix
+    /// `tm`. The commodity set, NIC cap, and cut probes are computed
+    /// once here and held constant across the whole search.
+    ///
+    /// # Errors
+    /// [`FlowError::NoCommodities`] when all traffic is switch-local
+    /// (there is no network objective to search on);
+    /// [`FlowError::BadOptions`] when no move family is enabled or an
+    /// enabled family cannot operate on this topology (capacity search
+    /// needs ≥ 2 link groups, structural search ≥ 2 links, growth an
+    /// even positive degree).
+    pub fn new(topo: &Topology, tm: &TrafficMatrix, spec: SearchSpec) -> Result<Self, FlowError> {
+        let commodities = aggregate_commodities(topo, tm);
+        if commodities.is_empty() {
+            return Err(FlowError::NoCommodities);
+        }
+        let plan = CapacityPlan::uniform(topo);
+        if !spec.structural && spec.capacity.is_none() && spec.grow.is_none() {
+            return Err(FlowError::BadOptions(
+                "search needs at least one move family enabled".into(),
+            ));
+        }
+        if spec.structural && topo.graph.edge_count() < 2 {
+            return Err(FlowError::BadOptions(
+                "structural search needs at least 2 links".into(),
+            ));
+        }
+        if spec.capacity.is_some() && plan.group_count() < 2 {
+            return Err(FlowError::BadOptions(format!(
+                "capacity search needs >= 2 link groups, topology has {}",
+                plan.group_count()
+            )));
+        }
+        if let Some(grow) = &spec.grow {
+            if grow.network_degree == 0 || grow.network_degree % 2 != 0 {
+                return Err(FlowError::BadOptions(format!(
+                    "growth degree must be even and positive, got {}",
+                    grow.network_degree
+                )));
+            }
+            if grow.class >= topo.classes.len() {
+                return Err(FlowError::BadOptions(format!(
+                    "growth class {} does not exist",
+                    grow.class
+                )));
+            }
+        }
+        let probes = cut_probes(topo, &commodities, spec.cut_probes, spec.seed);
+        Ok(SearchRunner {
+            spec,
+            topo: topo.clone(),
+            commodities,
+            nic: nic_limit(tm),
+            probes,
+            cache: PathSetCache::new(),
+        })
+    }
+
+    /// The spec this runner executes.
+    pub fn spec(&self) -> &SearchSpec {
+        &self.spec
+    }
+
+    /// Execute the search.
+    ///
+    /// # Errors
+    /// Propagates [`FlowError`] from the *initial* certified solve
+    /// (e.g. a disconnected starting topology). Per-candidate solver
+    /// failures are recorded as [`Outcome::Invalid`] instead.
+    pub fn run(&self) -> Result<SearchResult, FlowError> {
+        let plan = CapacityPlan::uniform(&self.topo);
+        let base_net = CsrNet::from_graph(&self.topo.graph);
+        let view = plan.view(&self.topo, &base_net).map_err(FlowError::Graph)?;
+
+        // certify the starting configuration
+        let mut ws = BfsWorkspace::new(self.topo.switch_count());
+        let alpha0 = hop_alpha(&self.topo.graph, &self.commodities, &mut ws);
+        let solved0 = self.certify(&view, false)?;
+        let initial = Certificate {
+            lambda: solved0.throughput,
+            upper: solved0.upper_bound,
+            hop_bound: hop_bound(view.total_capacity(), alpha0),
+            cut_bound: self.cut_bound_of(&self.topo, &plan),
+            hop_alpha: alpha0,
+            settles: solved0.settles,
+            passed_hop: true,
+            passed_cut: true,
+        };
+
+        let mut state = State {
+            topo: self.topo.clone(),
+            base_net,
+            plan,
+            incumbent: initial,
+        };
+        let mut rounds = Vec::with_capacity(self.spec.rounds);
+        let mut accepted = Vec::new();
+        let mut certified_solves = 1usize;
+        let mut total_settles = initial.settles;
+
+        for round in 0..self.spec.rounds {
+            let temperature = self.spec.temperature * self.spec.cooling.powi(round as i32);
+            let moves: Vec<MoveKind> = (0..self.spec.batch)
+                .map(|i| self.generate_move(&state, round, i))
+                .collect();
+            let candidates: Vec<Candidate> = (0..moves.len())
+                .into_par_iter()
+                .map(|i| {
+                    let seed = derive_seed(self.spec.seed, DOMAIN_APPLY, round, i);
+                    self.evaluate(&state, moves[i], i, seed, temperature)
+                })
+                .collect();
+            for c in &candidates {
+                if let Outcome::Certified(cert) = &c.outcome {
+                    certified_solves += 1;
+                    total_settles += cert.settles;
+                }
+            }
+            let chosen = self.choose(&candidates, &state, round, temperature);
+            if let Some(idx) = chosen {
+                let cand = &candidates[idx];
+                let cert = *cand
+                    .certificate()
+                    .expect("accepted candidates are certified");
+                let lambda_before = state.incumbent.lambda;
+                let seed = derive_seed(self.spec.seed, DOMAIN_APPLY, round, idx);
+                self.apply(&mut state, cand.kind, seed, cert)
+                    .map_err(FlowError::Graph)?;
+                accepted.push(AcceptedMove {
+                    round,
+                    index: idx,
+                    kind: cand.kind,
+                    lambda_before,
+                    certificate: cert,
+                });
+            }
+            rounds.push(RoundTrace {
+                round,
+                temperature,
+                candidates,
+                accepted: chosen,
+            });
+        }
+
+        Ok(SearchResult {
+            initial,
+            best: state.incumbent,
+            nic_limit: self.nic,
+            rounds,
+            accepted,
+            certified_solves,
+            total_settles,
+            topology: state.topo,
+            plan: state.plan,
+        })
+    }
+
+    /// Deterministically sample move `(round, i)` against the current
+    /// state.
+    fn generate_move(&self, state: &State, round: usize, i: usize) -> MoveKind {
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.spec.seed, DOMAIN_MOVE, round, i));
+        let mut families: Vec<u8> = Vec::with_capacity(3);
+        if self.spec.structural {
+            families.push(0);
+        }
+        if self.spec.capacity.is_some() {
+            families.push(1);
+        }
+        if self.spec.grow.is_some() {
+            families.push(2);
+        }
+        match families[rng.random_range(0..families.len())] {
+            0 => {
+                let m = state.topo.graph.edge_count();
+                MoveKind::TwoSwap(TwoSwap {
+                    e1: rng.random_range(0..m),
+                    e2: rng.random_range(0..m),
+                    cross: rng.random_range(0..2) == 1,
+                })
+            }
+            1 => {
+                let budget = self.spec.capacity.expect("family enabled");
+                let groups = state.plan.group_count();
+                MoveKind::ShiftCapacity {
+                    donor: rng.random_range(0..groups),
+                    receiver: rng.random_range(0..groups),
+                    step: budget.step * rng.random_range(1..=4usize) as f64 / 4.0,
+                }
+            }
+            _ => {
+                let grow = self.spec.grow.expect("family enabled");
+                MoveKind::Expand {
+                    network_degree: grow.network_degree,
+                    class: grow.class,
+                }
+            }
+        }
+    }
+
+    /// The sound pruning floor at this temperature: any candidate whose
+    /// (hard) cut upper bound sits at or below it can neither improve
+    /// the incumbent nor be annealing-accepted.
+    fn prune_floor(&self, incumbent_lambda: f64, temperature: f64) -> f64 {
+        (incumbent_lambda * (1.0 - 3.0 * temperature)).max(0.0)
+    }
+
+    /// Climb the ladder for one candidate.
+    fn evaluate(
+        &self,
+        state: &State,
+        kind: MoveKind,
+        index: usize,
+        apply_seed: u64,
+        temperature: f64,
+    ) -> Candidate {
+        let out = self.evaluate_outcome(state, kind, apply_seed, temperature);
+        Candidate {
+            index,
+            kind,
+            outcome: out,
+        }
+    }
+
+    fn evaluate_outcome(
+        &self,
+        state: &State,
+        kind: MoveKind,
+        apply_seed: u64,
+        temperature: f64,
+    ) -> Outcome {
+        let floor = self.prune_floor(state.incumbent.lambda, temperature);
+        let ladder = self.spec.fidelity == Fidelity::Ladder;
+        match kind {
+            MoveKind::ShiftCapacity {
+                donor,
+                receiver,
+                step,
+            } => {
+                let budget = self.spec.capacity.expect("capacity family enabled");
+                let Some(plan) = state.plan.shifted(
+                    &state.topo,
+                    donor,
+                    receiver,
+                    step,
+                    budget.min_mult,
+                    budget.max_mult,
+                ) else {
+                    return Outcome::Invalid("shift outside the line-card budget".into());
+                };
+                // level 0: the budget is conserved and hop distances are
+                // untouched, so the hop bound is the incumbent's — the
+                // gate passes by construction
+                let hop = hop_bound(
+                    plan.effective_capacity(&state.topo),
+                    state.incumbent.hop_alpha,
+                );
+                // level 1: capacity moved across cuts
+                let cut = self.cut_bound_of(&state.topo, &plan);
+                if ladder && cut <= floor {
+                    return Outcome::PrunedCut {
+                        hop_bound: hop,
+                        cut_bound: cut,
+                    };
+                }
+                let view = match plan.view(&state.topo, &state.base_net) {
+                    Ok(v) => v,
+                    Err(e) => return Outcome::Invalid(e.to_string()),
+                };
+                match self.certify(&view, false) {
+                    Ok(s) => Outcome::Certified(Certificate {
+                        lambda: s.throughput,
+                        upper: s.upper_bound,
+                        hop_bound: hop,
+                        cut_bound: cut,
+                        hop_alpha: state.incumbent.hop_alpha,
+                        settles: s.settles,
+                        passed_hop: true,
+                        passed_cut: cut > floor,
+                    }),
+                    Err(e) => Outcome::Invalid(e.to_string()),
+                }
+            }
+            MoveKind::TwoSwap(swap) => {
+                if !two_swap_is_valid(&state.topo.graph, &swap) {
+                    return Outcome::Invalid("illegal two-swap".into());
+                }
+                let mut topo = state.topo.clone();
+                apply_two_swap(&mut topo.graph, &swap).expect("validated");
+                self.evaluate_structural(state, &topo, ladder, floor)
+            }
+            MoveKind::Expand {
+                network_degree,
+                class,
+            } => {
+                let mut topo = state.topo.clone();
+                let mut rng = StdRng::seed_from_u64(apply_seed);
+                if let Err(e) =
+                    expand_random(&mut topo, network_degree, network_degree, class, &mut rng)
+                {
+                    return Outcome::Invalid(e.to_string());
+                }
+                self.evaluate_structural(state, &topo, ladder, floor)
+            }
+        }
+    }
+
+    /// Levels 0–2 for a structurally-changed candidate topology.
+    fn evaluate_structural(
+        &self,
+        state: &State,
+        topo: &Topology,
+        ladder: bool,
+        floor: f64,
+    ) -> Outcome {
+        // level 0: the hop bound must strictly improve
+        let mut ws = BfsWorkspace::new(topo.switch_count());
+        let alpha = hop_alpha(&topo.graph, &self.commodities, &mut ws);
+        if alpha.is_infinite() {
+            return Outcome::Invalid("rewire disconnects a commodity".into());
+        }
+        let hop = hop_bound(state.plan.effective_capacity(topo), alpha);
+        let passed_hop = hop > state.incumbent.hop_bound;
+        if ladder && !passed_hop {
+            return Outcome::PrunedHop { hop_bound: hop };
+        }
+        // level 1: the cut bound must leave the candidate acceptable
+        let cut = self.cut_bound_of(topo, &state.plan);
+        let passed_cut = cut > floor;
+        if ladder && !passed_cut {
+            return Outcome::PrunedCut {
+                hop_bound: hop,
+                cut_bound: cut,
+            };
+        }
+        // level 2: certified solve on a fresh net (+ plan view)
+        let net = CsrNet::from_graph(&topo.graph);
+        let view = match state.plan.view(topo, &net) {
+            Ok(v) => v,
+            Err(e) => return Outcome::Invalid(e.to_string()),
+        };
+        match self.certify(&view, true) {
+            Ok(s) => Outcome::Certified(Certificate {
+                lambda: s.throughput,
+                upper: s.upper_bound,
+                hop_bound: hop,
+                cut_bound: cut,
+                hop_alpha: alpha,
+                settles: s.settles,
+                passed_hop,
+                passed_cut,
+            }),
+            Err(e) => Outcome::Invalid(e.to_string()),
+        }
+    }
+
+    /// The level-1 surrogate for a configuration.
+    fn cut_bound_of(&self, topo: &Topology, plan: &CapacityPlan) -> f64 {
+        min_cut_bound(&topo.graph, &self.probes, |e| {
+            let edge = topo.graph.edge(e);
+            let mult = plan
+                .group_of(topo, edge.u, edge.v)
+                .map_or(1.0, |g| plan.multiplier(g));
+            edge.capacity * mult
+        })
+    }
+
+    /// Certified solve: structural candidates solve cold (their nets
+    /// are fresh structures), capacity candidates go through the shared
+    /// path-set cache (same `structure_id` as the base, so `ksp`
+    /// backends refreeze nothing).
+    fn certify(&self, net: &CsrNet, structural: bool) -> Result<SolvedFlow, FlowError> {
+        if structural {
+            dctopo_flow::solve(net, &self.commodities, &self.spec.opts)
+        } else {
+            dctopo_flow::solve_with_cache(net, &self.commodities, &self.spec.opts, &self.cache)
+        }
+    }
+
+    /// Pick the accepted candidate of a round, if any: the highest
+    /// certified λ among gate-passing strict improvers (ties to the
+    /// lowest index), else — at positive temperature — a Metropolis
+    /// coin on the best gate-passing candidate.
+    fn choose(
+        &self,
+        candidates: &[Candidate],
+        state: &State,
+        round: usize,
+        temperature: f64,
+    ) -> Option<usize> {
+        let eligible = |c: &Candidate| {
+            c.certificate()
+                .filter(|cert| cert.passed_hop && cert.passed_cut)
+                .map(|cert| cert.lambda)
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for c in candidates {
+            if let Some(lambda) = eligible(c) {
+                if lambda > state.incumbent.lambda && best.is_none_or(|(_, b)| lambda > b) {
+                    best = Some((c.index, lambda));
+                }
+            }
+        }
+        if let Some((idx, _)) = best {
+            return Some(idx);
+        }
+        if temperature <= 0.0 {
+            return None;
+        }
+        // annealing: best gate-passing candidate, Metropolis-accepted
+        let mut best_any: Option<(usize, f64)> = None;
+        for c in candidates {
+            if let Some(lambda) = eligible(c) {
+                if best_any.is_none_or(|(_, b)| lambda > b) {
+                    best_any = Some((c.index, lambda));
+                }
+            }
+        }
+        let (idx, lambda) = best_any?;
+        let inc = state.incumbent.lambda;
+        if inc <= 0.0 || lambda < self.prune_floor(inc, temperature) {
+            return None;
+        }
+        let p = ((lambda - inc) / (temperature * inc)).exp().min(1.0);
+        let mut rng = StdRng::seed_from_u64(derive_seed(self.spec.seed, DOMAIN_ACCEPT, round, 0));
+        (rng.random_range(0.0..1.0) < p).then_some(idx)
+    }
+
+    /// Replay an accepted move onto the state and install its
+    /// certificate as the new incumbent.
+    fn apply(
+        &self,
+        state: &mut State,
+        kind: MoveKind,
+        apply_seed: u64,
+        cert: Certificate,
+    ) -> Result<(), dctopo_graph::GraphError> {
+        match kind {
+            MoveKind::TwoSwap(swap) => {
+                apply_two_swap(&mut state.topo.graph, &swap)?;
+                state.base_net = CsrNet::from_graph(&state.topo.graph);
+                // frozen path sets of the old structure can never be
+                // queried again; drop them rather than accumulate
+                self.cache.clear();
+            }
+            MoveKind::Expand {
+                network_degree,
+                class,
+            } => {
+                let mut rng = StdRng::seed_from_u64(apply_seed);
+                expand_random(
+                    &mut state.topo,
+                    network_degree,
+                    network_degree,
+                    class,
+                    &mut rng,
+                )?;
+                state.base_net = CsrNet::from_graph(&state.topo.graph);
+                self.cache.clear();
+            }
+            MoveKind::ShiftCapacity {
+                donor,
+                receiver,
+                step,
+            } => {
+                let budget = self.spec.capacity.expect("capacity family enabled");
+                state.plan = state
+                    .plan
+                    .shifted(
+                        &state.topo,
+                        donor,
+                        receiver,
+                        step,
+                        budget.min_mult,
+                        budget.max_mult,
+                    )
+                    .expect("accepted shift was valid at evaluation time");
+            }
+        }
+        state.incumbent = cert;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dctopo_graph::Graph;
+    use dctopo_topology::hetero::{two_cluster, CrossSpec};
+    use dctopo_topology::{ClusterSpec, SwitchClass};
+
+    fn opts() -> FlowOptions {
+        FlowOptions {
+            epsilon: 0.12,
+            target_gap: 0.05,
+            max_phases: 1200,
+            stall_phases: 80,
+            ..FlowOptions::fast()
+        }
+    }
+
+    /// A ring of `n` switches with one server each — deliberately far
+    /// from the Moore bound, so structural search has room to improve.
+    fn ring_topo(n: usize) -> Topology {
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_unit_edge(v, (v + 1) % n).unwrap();
+        }
+        Topology {
+            graph: g,
+            servers_at: vec![1; n],
+            class_of: vec![0; n],
+            classes: vec![SwitchClass {
+                name: "tor".into(),
+                ports: 3,
+            }],
+            unused_ports: 0,
+        }
+    }
+
+    fn scarce_cross_topo(seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        two_cluster(
+            ClusterSpec {
+                count: 6,
+                ports: 10,
+                servers_per_switch: 3,
+            },
+            ClusterSpec {
+                count: 6,
+                ports: 8,
+                servers_per_switch: 2,
+            },
+            CrossSpec::Exact(3),
+            &mut rng,
+        )
+        .unwrap()
+    }
+
+    fn perm(topo: &Topology, seed: u64) -> TrafficMatrix {
+        let mut rng = StdRng::seed_from_u64(seed);
+        TrafficMatrix::random_permutation(topo.server_count(), &mut rng)
+    }
+
+    #[test]
+    fn structural_search_improves_a_ring() {
+        let topo = ring_topo(12);
+        let tm = perm(&topo, 1);
+        let spec = SearchSpec::structural(7, 6, 8).with_opts(opts());
+        let result = SearchRunner::new(&topo, &tm, spec).unwrap().run().unwrap();
+        assert!(
+            !result.accepted.is_empty(),
+            "a ring must admit improving rewires"
+        );
+        assert!(
+            result.improvement() > 0.05,
+            "ring improvement only {:.2}%",
+            result.improvement() * 100.0
+        );
+        // degree sequence (and port budgets) survive every rewire
+        assert_eq!(result.topology.graph.regular_degree(), Some(2));
+        result.topology.validate_ports().unwrap();
+        // incumbent λ never decreases in greedy mode
+        let mut last = result.initial.lambda;
+        for mv in &result.accepted {
+            assert!(mv.certificate.lambda > last);
+            last = mv.certificate.lambda;
+        }
+        assert_eq!(last.to_bits(), result.best.lambda.to_bits());
+    }
+
+    #[test]
+    fn every_accepted_move_passed_its_gates_and_bounds() {
+        let topo = ring_topo(12);
+        let tm = perm(&topo, 1);
+        let spec = SearchSpec::structural(7, 6, 8).with_opts(opts());
+        let result = SearchRunner::new(&topo, &tm, spec).unwrap().run().unwrap();
+        for mv in &result.accepted {
+            let c = &mv.certificate;
+            assert!(c.passed_hop && c.passed_cut, "move accepted past a gate");
+            // the surrogate bounds are *hard*: certified λ must respect
+            // both, so the ladder never certifies what its own levels
+            // would refute
+            assert!(c.lambda <= c.hop_bound * (1.0 + 1e-9));
+            assert!(c.lambda <= c.cut_bound * (1.0 + 1e-9));
+            assert!(c.lambda <= c.upper * (1.0 + 1e-9));
+        }
+        // every certified candidate in the trace passed its gates (the
+        // Ladder contract: no certification without a full climb)
+        for round in &result.rounds {
+            for cand in &round.candidates {
+                if let Outcome::Certified(c) = &cand.outcome {
+                    assert!(c.passed_hop && c.passed_cut);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ladder_and_certify_all_accept_identically() {
+        let topo = ring_topo(12);
+        let tm = perm(&topo, 3);
+        let base = SearchSpec::structural(11, 5, 8).with_opts(opts());
+        let ladder = SearchRunner::new(&topo, &tm, base.clone())
+            .unwrap()
+            .run()
+            .unwrap();
+        let all = SearchRunner::new(&topo, &tm, base.with_fidelity(Fidelity::CertifyAll))
+            .unwrap()
+            .run()
+            .unwrap();
+        assert_eq!(ladder.accepted.len(), all.accepted.len());
+        for (a, b) in ladder.accepted.iter().zip(&all.accepted) {
+            assert_eq!(a.round, b.round);
+            assert_eq!(a.index, b.index);
+            assert_eq!(a.kind, b.kind);
+            assert_eq!(
+                a.certificate.lambda.to_bits(),
+                b.certificate.lambda.to_bits()
+            );
+        }
+        assert_eq!(
+            ladder.best.lambda.to_bits(),
+            all.best.lambda.to_bits(),
+            "final configuration diverged between fidelity modes"
+        );
+        assert_eq!(
+            ladder.topology.graph.edges(),
+            all.topology.graph.edges(),
+            "final topology diverged between fidelity modes"
+        );
+        // the ladder must actually have certified less
+        assert!(ladder.certified_solves <= all.certified_solves);
+        assert!(ladder.pruned_hop() + ladder.pruned_cut() > 0);
+        assert_eq!(all.pruned_hop() + all.pruned_cut(), 0);
+    }
+
+    #[test]
+    fn capacity_search_moves_budget_toward_the_scarce_cut() {
+        let topo = scarce_cross_topo(5);
+        let tm = perm(&topo, 5);
+        let spec = SearchSpec::capacity(9, 8, 6, CapacityBudget::default()).with_opts(opts());
+        let runner = SearchRunner::new(&topo, &tm, spec).unwrap();
+        let result = runner.run().unwrap();
+        assert!(
+            !result.accepted.is_empty(),
+            "scarce cross links must attract budget"
+        );
+        assert!(result.improvement() > 0.0);
+        // the budget is conserved across the whole search
+        let before = CapacityPlan::uniform(&topo).effective_capacity(&topo);
+        let after = result.plan.effective_capacity(&result.topology);
+        assert!(
+            (before - after).abs() < 1e-9 * before,
+            "budget drifted {before} -> {after}"
+        );
+        // capacity moves never touch the structure
+        assert_eq!(result.topology.graph.edges(), topo.graph.edges());
+        // and the winning plan up-rates the cross group: every accepted
+        // move's certificate raised λ, which on this instance is cut
+        // limited by the large-small group
+        let cross_group = (0..result.plan.group_count())
+            .find(|&g| result.plan.group_classes(g) == (0, 1))
+            .expect("cross group exists");
+        assert!(
+            result.plan.multiplier(cross_group) > 1.0,
+            "cross-group multiplier {} should exceed 1",
+            result.plan.multiplier(cross_group)
+        );
+    }
+
+    #[test]
+    fn reruns_are_bit_identical() {
+        let topo = scarce_cross_topo(2);
+        let tm = perm(&topo, 2);
+        let mk = || {
+            let mut spec = SearchSpec::structural(13, 4, 6).with_opts(opts());
+            spec.capacity = Some(CapacityBudget::default());
+            spec
+        };
+        let a = SearchRunner::new(&topo, &tm, mk()).unwrap().run().unwrap();
+        let b = SearchRunner::new(&topo, &tm, mk()).unwrap().run().unwrap();
+        assert_eq!(a.best.lambda.to_bits(), b.best.lambda.to_bits());
+        assert_eq!(a.best.upper.to_bits(), b.best.upper.to_bits());
+        assert_eq!(a.accepted.len(), b.accepted.len());
+        assert_eq!(a.certified_solves, b.certified_solves);
+        assert_eq!(a.total_settles, b.total_settles);
+        for (x, y) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(x.accepted, y.accepted);
+            assert_eq!(x.candidates.len(), y.candidates.len());
+            for (cx, cy) in x.candidates.iter().zip(&y.candidates) {
+                assert_eq!(cx.kind, cy.kind);
+                assert_eq!(cx.outcome, cy.outcome);
+            }
+        }
+    }
+
+    #[test]
+    fn growth_moves_insert_switches_without_breaking_ports() {
+        let topo = ring_topo(10);
+        let tm = perm(&topo, 4);
+        let mut spec = SearchSpec::structural(21, 4, 6).with_opts(opts());
+        spec.structural = false;
+        spec.grow = Some(GrowSpec {
+            network_degree: 2,
+            class: 0,
+        });
+        let result = SearchRunner::new(&topo, &tm, spec).unwrap().run().unwrap();
+        // growth adds capacity, so accepted expansions strictly help
+        for mv in &result.accepted {
+            assert!(matches!(mv.kind, MoveKind::Expand { .. }));
+        }
+        let grown = result.topology.switch_count() - topo.switch_count();
+        assert_eq!(grown, result.accepted.len());
+        result.topology.validate_ports().unwrap();
+        // commodity endpoints (original switches) kept their degree
+        for v in 0..topo.switch_count() {
+            assert_eq!(result.topology.graph.degree(v), 2);
+        }
+    }
+
+    #[test]
+    fn annealing_is_deterministic_and_bounded() {
+        let topo = ring_topo(12);
+        let tm = perm(&topo, 6);
+        let mk = || {
+            SearchSpec::structural(17, 4, 6)
+                .with_opts(opts())
+                .with_temperature(0.05, 0.8)
+        };
+        let a = SearchRunner::new(&topo, &tm, mk()).unwrap().run().unwrap();
+        let b = SearchRunner::new(&topo, &tm, mk()).unwrap().run().unwrap();
+        assert_eq!(a.best.lambda.to_bits(), b.best.lambda.to_bits());
+        for (x, y) in a.rounds.iter().zip(&b.rounds) {
+            assert_eq!(x.accepted, y.accepted);
+        }
+        // annealing may accept downhill moves, but never below the
+        // 3T window around the then-incumbent
+        for mv in &a.accepted {
+            let floor = mv.lambda_before * (1.0 - 3.0 * a.rounds[mv.round].temperature);
+            assert!(mv.certificate.lambda >= floor - 1e-12);
+        }
+    }
+
+    #[test]
+    fn bad_specs_are_typed_errors() {
+        let topo = ring_topo(8);
+        let tm = perm(&topo, 1);
+        // no family enabled
+        let mut spec = SearchSpec::structural(1, 1, 1);
+        spec.structural = false;
+        assert!(matches!(
+            SearchRunner::new(&topo, &tm, spec),
+            Err(FlowError::BadOptions(_))
+        ));
+        // capacity search on a single-group topology
+        let spec = SearchSpec::capacity(1, 1, 1, CapacityBudget::default());
+        assert!(matches!(
+            SearchRunner::new(&topo, &tm, spec),
+            Err(FlowError::BadOptions(_))
+        ));
+        // odd growth degree
+        let mut spec = SearchSpec::structural(1, 1, 1);
+        spec.grow = Some(GrowSpec {
+            network_degree: 3,
+            class: 0,
+        });
+        assert!(matches!(
+            SearchRunner::new(&topo, &tm, spec),
+            Err(FlowError::BadOptions(_))
+        ));
+        // all-local traffic: no network objective
+        let local = TrafficMatrix::from_pairs(8, vec![]);
+        assert!(matches!(
+            SearchRunner::new(&topo, &local, SearchSpec::structural(1, 1, 1)),
+            Err(FlowError::NoCommodities)
+        ));
+    }
+}

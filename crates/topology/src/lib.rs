@@ -30,11 +30,17 @@
 //! * [`degrade`] — seeded, prefix-nested failure orders (links /
 //!   switches) and heterogeneous line-card mixes, consumed by the
 //!   scenario sweep engine in `dctopo-core`.
+//! * [`moves`] — deterministic, validated degree-preserving two-swaps,
+//!   the structural move vocabulary of the `dctopo-search` topology
+//!   search engine.
+
+#![warn(missing_docs)]
 
 pub mod classic;
 pub mod degrade;
 pub mod expand;
 pub mod hetero;
+pub mod moves;
 pub mod rrg;
 pub mod stubs;
 pub mod vl2;

@@ -1,0 +1,257 @@
+//! Deterministic, validated structural rewiring moves — the move
+//! vocabulary of the topology search engine (`dctopo-search`).
+//!
+//! [`crate::Topology`]-level search needs *addressable* moves: a
+//! candidate must be describable as data (so batches can be generated
+//! from seeds, evaluated in parallel, and replayed), unlike
+//! [`dctopo_graph::swaps::try_random_swap`], which samples and applies
+//! in one step. [`TwoSwap`] names a degree-preserving double-edge swap
+//! explicitly; [`apply_two_swap`] validates it and applies it, and
+//! [`two_swap_is_valid`] is the cheap pre-check move generators use to
+//! reject illegal samples without touching the graph.
+//!
+//! ## Degree-sequence invariant
+//!
+//! A two-swap replaces edges `(a,b)` and `(c,d)` with `(a,c)+(b,d)`
+//! (`cross = false`) or `(a,d)+(b,c)` (`cross = true`). Every endpoint
+//! loses exactly one incident edge and gains exactly one, so the degree
+//! sequence — and therefore every port-budget constraint checked by
+//! [`crate::Topology::validate_ports`] — is preserved *exactly*. The
+//! capacity multiset is preserved too: the replacement touching `a`
+//! inherits edge `e1`'s capacity, the one touching `b` inherits `e2`'s.
+
+use dctopo_graph::{EdgeId, Graph, GraphError};
+
+/// One named degree-preserving double-edge swap: replace edges `e1 =
+/// (a,b)` and `e2 = (c,d)` with `(a,c)+(b,d)` (`cross = false`) or
+/// `(a,d)+(b,c)` (`cross = true`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TwoSwap {
+    /// First edge to remove.
+    pub e1: EdgeId,
+    /// Second edge to remove.
+    pub e2: EdgeId,
+    /// Orientation: `false` pairs `a` with `c`, `true` pairs `a` with `d`.
+    pub cross: bool,
+}
+
+/// The two replacement endpoint pairs a swap would create, in
+/// `((x1, y1), (x2, y2))` order — `(x1, y1)` inherits `e1`'s capacity,
+/// `(x2, y2)` inherits `e2`'s.
+///
+/// Returns `None` when either edge id is out of range or `e1 == e2`.
+pub fn two_swap_endpoints(g: &Graph, swap: &TwoSwap) -> Option<((usize, usize), (usize, usize))> {
+    let m = g.edge_count();
+    if swap.e1 >= m || swap.e2 >= m || swap.e1 == swap.e2 {
+        return None;
+    }
+    let (a, b) = {
+        let e = g.edge(swap.e1);
+        (e.u, e.v)
+    };
+    let (c, d) = {
+        let e = g.edge(swap.e2);
+        (e.u, e.v)
+    };
+    Some(if swap.cross {
+        ((a, d), (b, c))
+    } else {
+        ((a, c), (b, d))
+    })
+}
+
+/// Whether applying `swap` would keep the graph simple: no self-loops,
+/// no parallel edges. Out-of-range or identical edge ids are invalid.
+pub fn two_swap_is_valid(g: &Graph, swap: &TwoSwap) -> bool {
+    match two_swap_endpoints(g, swap) {
+        None => false,
+        Some(((x1, y1), (x2, y2))) => {
+            x1 != y1 && x2 != y2 && !g.has_edge(x1, y1) && !g.has_edge(x2, y2)
+        }
+    }
+}
+
+/// Apply a validated two-swap, preserving the degree sequence and the
+/// capacity multiset (see module docs for the inheritance rule).
+///
+/// Note that [`Graph::remove_edge`] compacts edge ids, so ids held
+/// across a successful swap are invalidated; move generators must
+/// sample against the *current* graph.
+///
+/// # Errors
+/// [`GraphError::Unrealizable`] when the swap is invalid
+/// ([`two_swap_is_valid`] is false). The graph is untouched on error.
+pub fn apply_two_swap(g: &mut Graph, swap: &TwoSwap) -> Result<(), GraphError> {
+    let ((x1, y1), (x2, y2)) = two_swap_endpoints(g, swap).ok_or_else(|| {
+        GraphError::Unrealizable(format!(
+            "two-swap ({}, {}) names invalid edges of a {}-edge graph",
+            swap.e1,
+            swap.e2,
+            g.edge_count()
+        ))
+    })?;
+    if x1 == y1 || x2 == y2 || g.has_edge(x1, y1) || g.has_edge(x2, y2) {
+        return Err(GraphError::Unrealizable(format!(
+            "two-swap ({}, {}, cross={}) would create a self-loop or parallel edge",
+            swap.e1, swap.e2, swap.cross
+        )));
+    }
+    let cap1 = g.edge(swap.e1).capacity;
+    let cap2 = g.edge(swap.e2).capacity;
+    // remove the higher id first so the lower id stays valid
+    let (hi, lo) = if swap.e1 > swap.e2 {
+        (swap.e1, swap.e2)
+    } else {
+        (swap.e2, swap.e1)
+    };
+    g.remove_edge(hi);
+    g.remove_edge(lo);
+    g.add_edge(x1, y1, cap1).expect("endpoints validated");
+    g.add_edge(x2, y2, cap2).expect("endpoints validated");
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Topology;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rrg(seed: u64) -> Topology {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Topology::random_regular(16, 8, 4, &mut rng).unwrap()
+    }
+
+    #[test]
+    fn valid_swap_preserves_degrees_and_capacities() {
+        let mut topo = rrg(3);
+        let before_deg = topo.graph.degrees();
+        let mut before_caps: Vec<i64> = topo
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.capacity as i64)
+            .collect();
+        before_caps.sort_unstable();
+        // find any valid swap deterministically
+        let m = topo.graph.edge_count();
+        let swap = (0..m)
+            .flat_map(|e1| (0..m).map(move |e2| (e1, e2)))
+            .flat_map(|(e1, e2)| {
+                [false, true]
+                    .into_iter()
+                    .map(move |cross| TwoSwap { e1, e2, cross })
+            })
+            .find(|s| two_swap_is_valid(&topo.graph, s))
+            .expect("a 16-node RRG admits some two-swap");
+        apply_two_swap(&mut topo.graph, &swap).unwrap();
+        assert_eq!(topo.graph.degrees(), before_deg);
+        let mut after_caps: Vec<i64> = topo
+            .graph
+            .edges()
+            .iter()
+            .map(|e| e.capacity as i64)
+            .collect();
+        after_caps.sort_unstable();
+        assert_eq!(after_caps, before_caps);
+        topo.validate_ports().unwrap();
+        // graph stays simple
+        for v in 0..topo.graph.node_count() {
+            let mut nb: Vec<_> = topo.graph.neighbors(v).collect();
+            let len = nb.len();
+            nb.sort_unstable();
+            nb.dedup();
+            assert_eq!(nb.len(), len, "parallel edge at {v}");
+            assert!(!nb.contains(&v), "self loop at {v}");
+        }
+    }
+
+    #[test]
+    fn invalid_swaps_are_rejected_without_mutation() {
+        let mut topo = rrg(4);
+        let edges_before: Vec<_> = topo.graph.edges().to_vec();
+        let m = topo.graph.edge_count();
+        // same edge twice
+        assert!(!two_swap_is_valid(
+            &topo.graph,
+            &TwoSwap {
+                e1: 0,
+                e2: 0,
+                cross: false
+            }
+        ));
+        // out of range
+        let bad = TwoSwap {
+            e1: 0,
+            e2: m,
+            cross: false,
+        };
+        assert!(!two_swap_is_valid(&topo.graph, &bad));
+        assert!(apply_two_swap(&mut topo.graph, &bad).is_err());
+        // adjacent edges sharing an endpoint in the self-loop orientation
+        let e1 = 0;
+        let u = topo.graph.edge(e1).u;
+        let (e2, _) = topo.graph.incident(u)[1];
+        // one orientation pairs u with u -> self loop; that orientation
+        // must be invalid and must not mutate
+        let mut rejected = 0;
+        for cross in [false, true] {
+            let s = TwoSwap { e1, e2, cross };
+            if !two_swap_is_valid(&topo.graph, &s) {
+                assert!(apply_two_swap(&mut topo.graph, &s).is_err());
+                rejected += 1;
+            }
+        }
+        assert!(rejected >= 1, "self-loop orientation must be rejected");
+        assert_eq!(topo.graph.edges(), &edges_before[..], "graph mutated");
+    }
+
+    #[test]
+    fn endpoints_orientations_differ() {
+        let mut g = Graph::new(4);
+        g.add_unit_edge(0, 1).unwrap();
+        g.add_unit_edge(2, 3).unwrap();
+        let plain = two_swap_endpoints(
+            &g,
+            &TwoSwap {
+                e1: 0,
+                e2: 1,
+                cross: false,
+            },
+        )
+        .unwrap();
+        let cross = two_swap_endpoints(
+            &g,
+            &TwoSwap {
+                e1: 0,
+                e2: 1,
+                cross: true,
+            },
+        )
+        .unwrap();
+        assert_eq!(plain, ((0, 2), (1, 3)));
+        assert_eq!(cross, ((0, 3), (1, 2)));
+    }
+
+    #[test]
+    fn capacity_inheritance_follows_e1_e2_rule() {
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 10.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        apply_two_swap(
+            &mut g,
+            &TwoSwap {
+                e1: 0,
+                e2: 1,
+                cross: false,
+            },
+        )
+        .unwrap();
+        // (0,2) inherits e1's 10x capacity, (1,3) inherits e2's 1x
+        let e02 = g.find_edge(0, 2).unwrap();
+        let e13 = g.find_edge(1, 3).unwrap();
+        assert_eq!(g.edge(e02).capacity, 10.0);
+        assert_eq!(g.edge(e13).capacity, 1.0);
+    }
+}

@@ -14,9 +14,21 @@
 //!                 [--failures 0,2,4] [--switch-failures 0,1]
 //!                 [--scales 1.0,1.5] [--backends fptas,ksp:8]
 //!                 [--runs N] [--seed S] [--precise] [--json PATH]
+//! topobench search [--family rrg:32x10x6] [--mode structural|capacity|both]
+//!                 [--rounds N] [--batch B] [--traffic T] [--seed S]
+//!                 [--backend fptas|fptas-strict|exact|ksp:<k>] [--precise]
+//!                 [--certify-all] [--min-mult X] [--max-mult X] [--cap-step X]
+//!                 [--temperature T] [--cooling C]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
+//!
+//! Every subcommand also accepts `--threads N`, which sizes the
+//! persistent worker pool directly. Precedence, highest first:
+//! `--threads`, then the `DCTOPO_THREADS` environment variable, then
+//! `RAYON_NUM_THREADS`, then the machine's available parallelism. The
+//! pool is sized once, at the first parallel operation, so the flag
+//! applies to the whole process.
 //!
 //! `build` prints the switch-level topology as a capacitated edge list
 //! (or Graphviz DOT with `--dot`); `solve` builds, generates traffic,
@@ -24,9 +36,11 @@
 //! plus the §6.1 decomposition; `sweep` evaluates the full
 //! `{family × traffic × degradation × backend}` grid through the
 //! scenario sweep engine (optionally writing per-cell records to
-//! `--json` in the shared `BENCH_*` schema); `bounds` prints the paper's
-//! analytic bounds; `vl2-study` reproduces the §7 comparison for one
-//! size.
+//! `--json` in the shared `BENCH_*` schema); `search` runs the
+//! multi-fidelity topology search engine (structural rewires and/or
+//! line-speed budget reallocation) and prints the accepted-move trace;
+//! `bounds` prints the paper's analytic bounds; `vl2-study` reproduces
+//! the §7 comparison for one size.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -51,8 +65,15 @@ fn usage() -> ! {
          \x20               [--failures 0,2,4] [--switch-failures 0,1]\n  \
          \x20               [--scales 1.0,1.5] [--backends fptas,ksp:8]\n  \
          \x20               [--runs N] [--seed S] [--precise] [--json PATH]\n  \
+         topobench search [--family F] [--mode structural|capacity|both]\n  \
+         \x20               [--rounds N] [--batch B] [--traffic T] [--seed S]\n  \
+         \x20               [--backend B] [--precise] [--certify-all]\n  \
+         \x20               [--min-mult X] [--max-mult X] [--cap-step X]\n  \
+         \x20               [--temperature T] [--cooling C]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
+         all subcommands: --threads N (worker pool size; overrides\n  \
+         \x20               DCTOPO_THREADS, then RAYON_NUM_THREADS)\n\
          families: rrg (--switches --ports --degree), fat-tree (--k),\n  \
          hypercube (--dim --servers), torus (--rows --cols --servers),\n  \
          complete (--switches --servers), vl2 (--da --di [--tors] [--rewired])\n\
@@ -96,7 +117,7 @@ impl Args {
             let tok = &raw[i];
             if let Some(key) = tok.strip_prefix("--") {
                 // boolean flags take no value; everything else takes one
-                if matches!(key, "dot" | "rewired" | "precise" | "full") {
+                if matches!(key, "dot" | "rewired" | "precise" | "full" | "certify-all") {
                     flags.push(key.to_string());
                 } else if i + 1 < raw.len() {
                     values.insert(key.to_string(), raw[i + 1].clone());
@@ -292,10 +313,41 @@ fn cmd_solve(args: &Args) {
 }
 
 /// Parse a sweep family spec (`rrg:NxKxR`, `fat-tree:K`, `complete:NxS`,
-/// `hypercube:DxS`, `torus:RxCxS`, `vl2:AxI`) into a topology-axis point.
+/// `hypercube:DxS`, `torus:RxCxS`, `vl2:AxI`,
+/// `two-cluster:NxPxS-nxpxs-X` — large cluster, small cluster, cross
+/// links) into a topology-axis point.
 fn parse_family(spec: &str) -> Option<dctopo::core::TopologyPoint> {
     use dctopo::core::TopologyPoint;
+    use dctopo::topology::hetero::{two_cluster, CrossSpec};
     let (family, params) = spec.split_once(':')?;
+    if family == "two-cluster" {
+        let name = spec.to_string();
+        let mut parts = params.split('-');
+        let cluster = |s: &str| -> Option<ClusterSpec> {
+            let d: Vec<usize> = s
+                .split('x')
+                .map(str::parse)
+                .collect::<Result<_, _>>()
+                .ok()?;
+            match d.as_slice() {
+                &[count, ports, servers_per_switch] => Some(ClusterSpec {
+                    count,
+                    ports,
+                    servers_per_switch,
+                }),
+                _ => None,
+            }
+        };
+        let large = cluster(parts.next()?)?;
+        let small = cluster(parts.next()?)?;
+        let cross: usize = parts.next()?.parse().ok()?;
+        if parts.next().is_some() {
+            return None;
+        }
+        return Some(TopologyPoint::new(name, move |rng| {
+            two_cluster(large, small, CrossSpec::Exact(cross), rng)
+        }));
+    }
     let dims: Vec<usize> = params
         .split('x')
         .map(str::parse)
@@ -511,6 +563,172 @@ fn cmd_sweep(args: &Args) {
     }
 }
 
+fn cmd_search(args: &Args) {
+    use dctopo::search::{CapacityBudget, Fidelity, MoveKind, SearchRunner, SearchSpec};
+
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let family_spec = args
+        .values
+        .get("family")
+        .map(String::as_str)
+        .unwrap_or("rrg:32x10x6");
+    let point = parse_family(family_spec).unwrap_or_else(|| {
+        eprintln!("bad family '{family_spec}'");
+        usage();
+    });
+    let traffic_spec = args
+        .values
+        .get("traffic")
+        .map(String::as_str)
+        .unwrap_or("permutation");
+    let model = parse_traffic_model(traffic_spec).unwrap_or_else(|| {
+        eprintln!("bad traffic '{traffic_spec}'");
+        usage();
+    });
+
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = match (point.build)(&mut rng) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to build {family_spec}: {e}");
+            exit(1);
+        }
+    };
+    let tm = match model.generate(&topo, &mut rng) {
+        Ok(tm) => tm,
+        Err(e) => {
+            eprintln!("failed to generate {traffic_spec} traffic: {e}");
+            exit(1);
+        }
+    };
+
+    let mode = args
+        .values
+        .get("mode")
+        .map(String::as_str)
+        .unwrap_or("structural");
+    let budget = CapacityBudget {
+        min_mult: args.get("min-mult").unwrap_or(0.5),
+        max_mult: args.get("max-mult").unwrap_or(2.0),
+        step: args.get("cap-step").unwrap_or(0.25),
+    };
+    let mut spec = SearchSpec::structural(
+        seed,
+        args.get("rounds").unwrap_or(4),
+        args.get("batch").unwrap_or(12),
+    );
+    match mode {
+        "structural" => {}
+        "capacity" => {
+            spec.structural = false;
+            spec.capacity = Some(budget);
+        }
+        "both" => spec.capacity = Some(budget),
+        other => {
+            eprintln!("unknown mode '{other}' (want structural, capacity, or both)");
+            usage();
+        }
+    }
+    spec.opts = if args.flag("precise") {
+        FlowOptions::precise()
+    } else {
+        FlowOptions::fast()
+    };
+    if let Some(b) = args.values.get("backend") {
+        let (backend, strict) = parse_backend(b).unwrap_or_else(|| {
+            eprintln!("unknown backend '{b}' (want fptas, fptas-strict, exact, or ksp:<k>)");
+            usage();
+        });
+        spec.opts.backend = backend;
+        spec.opts.strict_reference = strict;
+    }
+    if args.flag("certify-all") {
+        spec.fidelity = Fidelity::CertifyAll;
+    }
+    if let Some(t) = args.get::<f64>("temperature") {
+        spec.temperature = t;
+        spec.cooling = args.get("cooling").unwrap_or(0.9);
+    }
+
+    let runner = match SearchRunner::new(&topo, &tm, spec) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("search setup failed: {e}");
+            exit(1);
+        }
+    };
+    eprintln!(
+        "# searching {family_spec} ({} switches, {} links, {} servers), \
+         {} traffic, mode {mode}, {} rounds x {} moves",
+        topo.switch_count(),
+        topo.graph.edge_count(),
+        topo.server_count(),
+        model.name(),
+        runner.spec().rounds,
+        runner.spec().batch,
+    );
+    let result = match runner.run() {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("search failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "initial: λ {:.4} (≤ {:.4} certified, hop bound {:.4}, cut bound {})",
+        result.initial.lambda,
+        result.initial.upper,
+        result.initial.hop_bound,
+        if result.initial.cut_bound.is_finite() {
+            format!("{:.4}", result.initial.cut_bound)
+        } else {
+            "-".into()
+        }
+    );
+    for mv in &result.accepted {
+        println!(
+            "round {:>3}: accepted {:<28} λ {:.4} -> {:.4}",
+            mv.round,
+            mv.kind.describe(),
+            mv.lambda_before,
+            mv.certificate.lambda
+        );
+    }
+    println!(
+        "final:   λ {:.4} (≤ {:.4} certified), improvement {:+.2}%, throughput {:.4}",
+        result.best.lambda,
+        result.best.upper,
+        result.improvement() * 100.0,
+        result.throughput()
+    );
+    println!(
+        "ladder:  {} moves evaluated = {} certified + {} hop-pruned + \
+         {} cut-pruned + {} invalid ({} settles total)",
+        result.evaluated(),
+        result.certified_solves.saturating_sub(1),
+        result.pruned_hop(),
+        result.pruned_cut(),
+        result.invalid(),
+        result.total_settles,
+    );
+    if result
+        .accepted
+        .iter()
+        .any(|m| matches!(m.kind, MoveKind::ShiftCapacity { .. }))
+    {
+        let names: Vec<String> = (0..result.plan.group_count())
+            .map(|g| {
+                format!(
+                    "{} x{:.3}",
+                    result.plan.group_name(g, &result.topology),
+                    result.plan.multiplier(g)
+                )
+            })
+            .collect();
+        println!("line-speed plan: {}", names.join(", "));
+    }
+}
+
 fn cmd_bounds(args: &Args) {
     let n: usize = args.require("switches");
     let r: usize = args.require("degree");
@@ -583,10 +801,20 @@ fn main() {
     }
     let cmd = raw[0].as_str();
     let args = Args::parse(&raw[1..]);
+    // size the worker pool before the first parallel operation; the
+    // flag outranks DCTOPO_THREADS, which outranks RAYON_NUM_THREADS
+    if let Some(threads) = args.get::<usize>("threads") {
+        if threads == 0 {
+            eprintln!("--threads must be positive");
+            usage();
+        }
+        std::env::set_var("DCTOPO_THREADS", threads.to_string());
+    }
     match cmd {
         "build" => cmd_build(&args),
         "solve" => cmd_solve(&args),
         "sweep" | "--sweep" => cmd_sweep(&args),
+        "search" => cmd_search(&args),
         "bounds" => cmd_bounds(&args),
         "vl2-study" => cmd_vl2_study(&args),
         _ => usage(),

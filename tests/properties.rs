@@ -929,3 +929,64 @@ fn csr_dijkstra_matches_legacy_on_100_seeded_graphs() {
         }
     }
 }
+
+/// The expansion move's invariants on 50 seeded topologies: adding a
+/// switch Jellyfish-style preserves every existing switch's degree,
+/// never creates a parallel edge or self loop, attaches exactly the
+/// requested network degree, and keeps the port bookkeeping valid —
+/// the contract the search engine's growth moves build on. The
+/// bounded-retry error path is pinned on near-complete graphs, where
+/// no donatable link avoids the new switch's neighborhood.
+#[test]
+fn expand_random_invariants_on_50_seeded_topologies() {
+    use dctopo::graph::components::is_connected;
+    use dctopo::topology::expand::expand_random;
+    use rand::RngExt;
+
+    for seed in 0..50u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = rng.random_range(10..24);
+        let degree = 2 * rng.random_range(2..4); // 4 or 6, even
+        let ports = degree + rng.random_range(1..4);
+        let mut topo = Topology::random_regular(n, ports, degree, &mut rng)
+            .unwrap_or_else(|e| panic!("seed {seed}: build failed: {e}"));
+        let before = topo.graph.degrees();
+        let new = expand_random(&mut topo, ports, degree, 0, &mut rng)
+            .unwrap_or_else(|e| panic!("seed {seed}: expansion failed: {e}"));
+        assert_eq!(new, n, "seed {seed}: new switch id");
+        // existing degrees preserved exactly, new switch fully wired
+        assert_eq!(&topo.graph.degrees()[..n], &before[..], "seed {seed}");
+        assert_eq!(topo.graph.degree(new), degree, "seed {seed}");
+        // simple graph: no parallel edges, no self loops
+        for v in 0..topo.graph.node_count() {
+            let mut nb: Vec<_> = topo.graph.neighbors(v).collect();
+            let len = nb.len();
+            nb.sort_unstable();
+            nb.dedup();
+            assert_eq!(nb.len(), len, "seed {seed}: parallel edge at {v}");
+            assert!(!nb.contains(&v), "seed {seed}: self loop at {v}");
+        }
+        // bookkeeping: port budgets, class labels, server counts
+        topo.validate_ports()
+            .unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        assert_eq!(topo.servers_at[new], ports - degree, "seed {seed}");
+        assert_eq!(topo.class_of[new], 0, "seed {seed}");
+        // donating links cannot disconnect a connected fabric: each
+        // removed edge is replaced by a 2-path through the new switch
+        assert!(is_connected(&topo.graph), "seed {seed}");
+    }
+
+    // error path: on a complete graph the new switch runs out of
+    // donatable links (every remaining edge touches its neighborhood)
+    // and the bounded retry budget must fire as a typed error
+    for n in [5usize, 6] {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut topo = dctopo::topology::classic::complete(n, 1).unwrap();
+        let want = 2 * (n - 2); // more ports than any donation can satisfy
+        let err = expand_random(&mut topo, want, want, 0, &mut rng);
+        assert!(
+            matches!(err, Err(GraphError::Unrealizable(ref m)) if m.contains("stuck")),
+            "K{n}: expected the bounded-retry error, got {err:?}"
+        );
+    }
+}
