@@ -101,6 +101,7 @@ fn bench_fptas_fast(c: &mut Criterion) {
         ),
         old_ms,
         new_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
     }]);
 
     // ---- timed comparison ----

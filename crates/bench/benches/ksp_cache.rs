@@ -95,6 +95,7 @@ fn bench_ksp_sweep(c: &mut Criterion) {
             .into(),
         old_ms,
         new_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
     }]);
 
     let mut group = c.benchmark_group("ksp_sweep_rrg16x24x8");

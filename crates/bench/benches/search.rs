@@ -111,6 +111,7 @@ fn bench_search(c: &mut Criterion) {
         ),
         old_ms,
         new_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
     }]);
 
     // ---- timed comparison on a smaller instance criterion can loop ----

@@ -51,6 +51,7 @@ fn bench_csr_vs_graph(c: &mut Criterion) {
             .into(),
         old_ms,
         new_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
     }]);
 
     group.bench_function("graph_baseline", |b| {

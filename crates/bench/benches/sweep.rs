@@ -171,6 +171,7 @@ fn bench_sweep(c: &mut Criterion) {
         ),
         old_ms,
         new_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
     }]);
 
     // ---- full engine pass: emit the per-cell artifact ----

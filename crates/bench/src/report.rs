@@ -41,6 +41,10 @@ pub struct SpeedupRecord {
     pub old_ms: f64,
     /// New implementation's wall-clock for the instance, milliseconds.
     pub new_ms: f64,
+    /// Peak resident set size of the bench process when the record was
+    /// built (`VmHWM` on Linux; see [`peak_rss_bytes`]). `None` when
+    /// the platform does not expose it — serialized as `null`.
+    pub peak_rss_bytes: Option<u64>,
 }
 
 impl SpeedupRecord {
@@ -48,6 +52,21 @@ impl SpeedupRecord {
     pub fn speedup(&self) -> f64 {
         self.old_ms / self.new_ms
     }
+}
+
+/// Peak resident set size of the current process in bytes, from the
+/// `VmHWM` line of `/proc/self/status`. Returns `None` off Linux or if
+/// the field is missing/unparseable, so benches can record it
+/// opportunistically without platform gates.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // format: `VmHWM:    123456 kB`
+    let kb: u64 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())?;
+    Some(kb * 1024)
 }
 
 /// Minimal JSON string escaping (quotes, backslashes, control chars).
@@ -70,12 +89,14 @@ pub fn to_json(records: &[SpeedupRecord]) -> String {
         .iter()
         .map(|r| {
             format!(
-                "  {{\"name\": \"{}\", \"instance\": \"{}\", \"old_ms\": {:.3}, \"new_ms\": {:.3}, \"speedup\": {:.3}}}",
+                "  {{\"name\": \"{}\", \"instance\": \"{}\", \"old_ms\": {:.3}, \"new_ms\": {:.3}, \"speedup\": {:.3}, \"peak_rss_bytes\": {}}}",
                 escape(&r.name),
                 escape(&r.instance),
                 r.old_ms,
                 r.new_ms,
-                r.speedup()
+                r.speedup(),
+                r.peak_rss_bytes
+                    .map_or("null".into(), |b| b.to_string()),
             )
         })
         .collect();
@@ -227,6 +248,7 @@ mod tests {
             instance: "RRG(64, 12, 8) \"sweep\"".into(),
             old_ms: 300.0,
             new_ms: 150.0,
+            peak_rss_bytes: Some(2048),
         };
         assert!((rec.speedup() - 2.0).abs() < 1e-12);
         let json = to_json(std::slice::from_ref(&rec));
@@ -234,6 +256,22 @@ mod tests {
         assert!(json.contains("\"name\": \"fptas_fast\""));
         assert!(json.contains("\\\"sweep\\\""));
         assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"peak_rss_bytes\": 2048"));
+        let absent = SpeedupRecord {
+            peak_rss_bytes: None,
+            ..rec
+        };
+        assert!(to_json(&[absent]).contains("\"peak_rss_bytes\": null"));
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        // on Linux the probe must succeed and report at least 1 MiB for
+        // a running test binary; elsewhere it degrades to None
+        if cfg!(target_os = "linux") {
+            let rss = peak_rss_bytes().expect("VmHWM present on Linux");
+            assert!(rss > 1 << 20, "peak RSS {rss} implausibly small");
+        }
     }
 
     #[test]

@@ -38,7 +38,10 @@ pub mod vl2;
 
 pub use experiment::{Runner, Stats};
 pub use scenario::{AppliedScenario, Degradation, Scenario};
-pub use solve::{solve_throughput, ThroughputEngine, ThroughputResult};
+pub use solve::{
+    aggregate_groups, solve_throughput, AggregateThroughputResult, ThroughputEngine,
+    ThroughputResult,
+};
 pub use sweep::{
     BackendChoice, CellMetrics, SweepCell, SweepReport, SweepRunner, SweepSpec, TopologyPoint,
     TrafficModel,

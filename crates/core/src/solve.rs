@@ -18,11 +18,14 @@
 //! topology; [`solve_throughput`] is the one-shot convenience form.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
-use dctopo_flow::{Commodity, FlowError, FlowOptions, PathSetCache, SolvedFlow};
+use dctopo_flow::{
+    Commodity, DemandGroup, FlowError, FlowOptions, GroupedFlow, PathSetCache, SolvedFlow,
+};
 use dctopo_graph::CsrNet;
 use dctopo_topology::Topology;
-use dctopo_traffic::TrafficMatrix;
+use dctopo_traffic::{AggregatePattern, AggregateTraffic, TrafficMatrix};
 
 use crate::scenario::AppliedScenario;
 
@@ -121,6 +124,84 @@ pub fn nic_limit(tm: &TrafficMatrix) -> f64 {
     } else {
         1.0 / busiest as f64
     }
+}
+
+/// Lower an [`AggregateTraffic`] pattern to switch-level
+/// [`DemandGroup`]s without materializing server pairs.
+///
+/// * All-to-all: one `Arc`-shared weight vector `weights[v] =
+///   servers(v)`; switch `u` sends `servers(u)·servers(v)` to every
+///   other switch `v` — exactly what [`aggregate_commodities`] produces
+///   from the `Θ(n²)` pair list, in `O(switches)` memory.
+/// * Smeared hotspot: `weights[v] = hot servers on v`, scaled by
+///   `cold(u)/hot`, so switch `u`'s cold servers send their unit each,
+///   split evenly over the hot set.
+///
+/// Same-switch demand never enters the groups (the [`crate::solve`]
+/// semantics: local flows bypass the network); switches whose demand is
+/// entirely local produce no group.
+pub fn aggregate_groups(topo: &Topology, traffic: &AggregateTraffic) -> Vec<DemandGroup> {
+    assert_eq!(
+        traffic.server_count(),
+        topo.server_count(),
+        "aggregate traffic has {} servers, topology hosts {}",
+        traffic.server_count(),
+        topo.server_count()
+    );
+    let n = topo.switch_count();
+    match traffic.pattern() {
+        AggregatePattern::AllToAll => {
+            let weights = Arc::new(
+                topo.servers_at
+                    .iter()
+                    .map(|&s| s as f64)
+                    .collect::<Vec<_>>(),
+            );
+            (0..n)
+                .filter(|&u| topo.servers_at[u] > 0)
+                .map(|u| DemandGroup::weighted(u, Arc::clone(&weights), topo.servers_at[u] as f64))
+                .filter(|g| g.sink_count() > 0)
+                .collect()
+        }
+        AggregatePattern::Hotspot { hot } => {
+            // servers 0..hot are hot; count hot/cold servers per switch
+            let s2sw = topo.server_to_switch();
+            let mut hot_at = vec![0.0f64; n];
+            let mut cold_at = vec![0usize; n];
+            for (s, &sw) in s2sw.iter().enumerate() {
+                if s < hot {
+                    hot_at[sw] += 1.0;
+                } else {
+                    cold_at[sw] += 1;
+                }
+            }
+            let weights = Arc::new(hot_at);
+            (0..n)
+                .filter(|&u| cold_at[u] > 0)
+                .map(|u| {
+                    DemandGroup::weighted(u, Arc::clone(&weights), cold_at[u] as f64 / hot as f64)
+                })
+                .filter(|g| g.sink_count() > 0)
+                .collect()
+        }
+    }
+}
+
+/// Result of [`ThroughputEngine::solve_aggregate`]: the grouped-demand
+/// analogue of [`ThroughputResult`].
+#[derive(Debug, Clone)]
+pub struct AggregateThroughputResult {
+    /// Throughput capped at the analytic NIC limit.
+    pub throughput: f64,
+    /// Network-only concurrent flow value λ.
+    pub network_lambda: f64,
+    /// Certified upper bound on the optimal network λ.
+    pub network_upper_bound: f64,
+    /// The analytic NIC cap ([`AggregateTraffic::nic_limit`]).
+    pub nic_limit: f64,
+    /// The underlying grouped flow (`None` when all demand was
+    /// switch-local).
+    pub solved: Option<GroupedFlow>,
 }
 
 /// A topology preprocessed for repeated throughput solves.
@@ -253,6 +334,53 @@ impl<'t> ThroughputEngine<'t> {
         } else {
             self.solve_on(&applied.net, tm, opts)
         }
+    }
+
+    /// Solve an [`AggregateTraffic`] pattern through the grouped-demand
+    /// FPTAS ([`dctopo_flow::solve_grouped`]): the scale path for dense
+    /// matrices, `O(arcs + switches)` memory end to end where the
+    /// pair-list path is `Θ(servers²)`.
+    ///
+    /// # Errors
+    /// As [`ThroughputEngine::solve`] (notably
+    /// [`FlowError::Unreachable`] on a disconnected switch graph).
+    pub fn solve_aggregate(
+        &self,
+        traffic: &AggregateTraffic,
+        opts: &FlowOptions,
+    ) -> Result<AggregateThroughputResult, FlowError> {
+        self.solve_aggregate_on(&self.net, traffic, opts)
+    }
+
+    /// [`ThroughputEngine::solve_aggregate`] against an alternative
+    /// network view (typically a degradation delta view of this
+    /// engine's base net).
+    pub fn solve_aggregate_on(
+        &self,
+        net: &CsrNet,
+        traffic: &AggregateTraffic,
+        opts: &FlowOptions,
+    ) -> Result<AggregateThroughputResult, FlowError> {
+        let groups = aggregate_groups(self.topo, traffic);
+        let nic = traffic.nic_limit();
+        if groups.is_empty() {
+            // all demand is intra-switch: NIC-limited only
+            return Ok(AggregateThroughputResult {
+                throughput: nic.min(1.0),
+                network_lambda: f64::INFINITY,
+                network_upper_bound: f64::INFINITY,
+                nic_limit: nic,
+                solved: None,
+            });
+        }
+        let solved = dctopo_flow::solve_grouped(net, &groups, opts)?;
+        Ok(AggregateThroughputResult {
+            throughput: solved.throughput.min(nic),
+            network_lambda: solved.throughput,
+            network_upper_bound: solved.upper_bound,
+            nic_limit: nic,
+            solved: Some(solved),
+        })
     }
 }
 
@@ -453,5 +581,105 @@ mod tests {
             fptas.network_lambda,
             exact.network_lambda
         );
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+    use dctopo_topology::Topology;
+    use dctopo_traffic::AggregateTraffic;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn opts() -> FlowOptions {
+        FlowOptions {
+            epsilon: 0.08,
+            target_gap: 0.03,
+            max_phases: 8000,
+            stall_phases: 300,
+            ..FlowOptions::default()
+        }
+    }
+
+    /// The grouped lowering must describe the same demand as the
+    /// pair-list path: compare against `aggregate_commodities` on the
+    /// materialized all-to-all matrix.
+    #[test]
+    fn all_to_all_groups_match_pairwise_aggregation() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let topo = Topology::random_regular(6, 6, 3, &mut rng).unwrap();
+        let tm = TrafficMatrix::all_to_all(topo.server_count());
+        let pairwise = aggregate_commodities(&topo, &tm);
+        let agg = AggregateTraffic::all_to_all(topo.server_count());
+        let mut grouped_pairs = Vec::new();
+        for g in aggregate_groups(&topo, &agg) {
+            g.for_each_sink(|dst, demand| {
+                grouped_pairs.push(Commodity {
+                    src: g.src,
+                    dst,
+                    demand,
+                })
+            });
+        }
+        grouped_pairs.sort_by_key(|c| (c.src, c.dst));
+        assert_eq!(grouped_pairs, pairwise);
+    }
+
+    /// End-to-end: aggregate solve's certified interval overlaps the
+    /// pairwise engine's on the same all-to-all instance, and the NIC
+    /// caps agree.
+    #[test]
+    fn aggregate_solve_interval_overlaps_pairwise() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let topo = Topology::random_regular(8, 6, 3, &mut rng).unwrap();
+        let engine = ThroughputEngine::new(&topo);
+        let o = opts();
+        let tm = TrafficMatrix::all_to_all(topo.server_count());
+        let agg = AggregateTraffic::all_to_all(topo.server_count());
+        let pw = engine.solve(&tm, &o).unwrap();
+        let gr = engine.solve_aggregate(&agg, &o).unwrap();
+        assert_eq!(gr.nic_limit, nic_limit(&tm));
+        assert!(gr.network_lambda <= pw.network_upper_bound * (1.0 + 1e-9));
+        assert!(pw.network_lambda <= gr.network_upper_bound * (1.0 + 1e-9));
+        assert!(gr.throughput <= gr.nic_limit);
+    }
+
+    #[test]
+    fn hotspot_groups_split_cold_demand_over_hot_set() {
+        let mut rng = StdRng::seed_from_u64(11);
+        // ports 5, degree 3: two servers per switch
+        let topo = Topology::random_regular(4, 5, 3, &mut rng).unwrap();
+        // 8 servers, hot = servers 0..2 (both on switch 0)
+        let agg = AggregateTraffic::hotspot(topo.server_count(), 2);
+        let groups = aggregate_groups(&topo, &agg);
+        // switches 1..3 each host 2 cold servers sending 1 unit each,
+        // all of it to switch 0; switch 0 has no cold servers
+        assert_eq!(groups.len(), 3);
+        for g in &groups {
+            assert_ne!(g.src, 0);
+            let mut sinks = Vec::new();
+            g.for_each_sink(|dst, d| sinks.push((dst, d)));
+            assert_eq!(sinks, vec![(0, 2.0)]);
+        }
+    }
+
+    #[test]
+    fn single_switch_aggregate_is_nic_limited() {
+        let topo = Topology {
+            graph: dctopo_graph::Graph::new(1),
+            servers_at: vec![4],
+            class_of: vec![0],
+            classes: vec![dctopo_topology::SwitchClass {
+                name: "tor".into(),
+                ports: 4,
+            }],
+            unused_ports: 0,
+        };
+        let engine = ThroughputEngine::new(&topo);
+        let agg = AggregateTraffic::all_to_all(4);
+        let r = engine.solve_aggregate(&agg, &opts()).unwrap();
+        assert!(r.solved.is_none());
+        assert_eq!(r.throughput, agg.nic_limit());
     }
 }

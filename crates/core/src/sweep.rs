@@ -26,7 +26,7 @@
 //! transaction.
 
 use dctopo_flow::{Backend, Commodity, FlowError, FlowOptions};
-use dctopo_graph::{CsrNet, DijkstraWorkspace, GraphError};
+use dctopo_graph::{CsrNet, GraphError, MsBfsWorkspace};
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 use rand::rngs::StdRng;
@@ -395,11 +395,6 @@ impl SweepRunner {
             Err(e) => return error_block(FlowError::Graph(e)),
         };
         let engine = ThroughputEngine::new(&topo);
-        let applied: Vec<Result<crate::scenario::AppliedScenario, GraphError>> = spec
-            .scenarios
-            .iter()
-            .map(|s| s.apply(&topo, engine.net()))
-            .collect();
         let matrices: Vec<Result<TrafficMatrix, FlowError>> = spec
             .traffic
             .iter()
@@ -410,9 +405,65 @@ impl SweepRunner {
             })
             .collect();
 
-        // per-(scenario, traffic) precompute shared by every backend on
-        // the axis: the surviving traffic (filtered once, borrowed when
-        // no switch failed) and the hop bound (a Dijkstra sweep that is
+        // scenario fan-out with a bounded memory budget: each task
+        // applies its own delta view on demand and drops it when its
+        // row completes, so at most `threads` degraded views (plus
+        // their solver workspaces) are ever live — materialising every
+        // scenario's view upfront made peak memory proportional to the
+        // scenario axis, which is what dies first on 1000-cell grids
+        // over 1024-switch fabrics. Values are unchanged: views and
+        // matrices are pure functions of seeds and coordinates, and
+        // assembly is index-ordered, so the cell vector stays row-major
+        // and bit-identical at any thread count.
+        let blocks: Vec<Vec<SweepCell>> = (0..spec.scenarios.len())
+            .into_par_iter()
+            .map(|s| self.eval_scenario(point, run, s, &topo, &engine, &matrices))
+            .collect();
+        blocks.into_iter().flatten().collect()
+    }
+
+    /// Evaluate the `traffic × backend` row of one scenario within a
+    /// `(topology, run)` block, building (and owning) the scenario's
+    /// delta view for exactly the lifetime of the row.
+    fn eval_scenario(
+        &self,
+        point: &TopologyPoint,
+        run: usize,
+        s: usize,
+        topo: &Topology,
+        engine: &ThroughputEngine,
+        matrices: &[Result<TrafficMatrix, FlowError>],
+    ) -> Vec<SweepCell> {
+        let spec = &self.spec;
+        let n_traffic = spec.traffic.len();
+        let n_backends = spec.backends.len();
+        let cell_shell = |m: usize, b: usize| SweepCell {
+            topology: point.name.clone(),
+            run,
+            scenario: spec.scenarios[s].name.clone(),
+            traffic: spec.traffic[m].name(),
+            backend: spec.backends[b].name(),
+            switches: topo.switch_count(),
+            live_links: 0,
+            flows: 0,
+            result: Err(FlowError::NoCommodities),
+        };
+        let ap = match spec.scenarios[s].apply(topo, engine.net()) {
+            Ok(ap) => ap,
+            Err(e) => {
+                return (0..n_traffic * n_backends)
+                    .map(|i| {
+                        let mut cell = cell_shell(i / n_backends, i % n_backends);
+                        cell.result = Err(FlowError::Graph(e.clone()));
+                        cell
+                    })
+                    .collect();
+            }
+        };
+
+        // per-traffic precompute shared by the backend axis: the
+        // surviving traffic (filtered once, borrowed when no switch
+        // failed) and the hop bound (a batched BFS sweep that is
         // bit-identical across backends)
         struct Prepared {
             /// `Some` = filtered by switch failures; `None` = borrow
@@ -421,19 +472,16 @@ impl SweepRunner {
             flows: usize,
             hop_bound: f64,
         }
-        let n_traffic = spec.traffic.len();
-        let prepared: Vec<Option<Prepared>> = (0..spec.scenarios.len() * n_traffic)
-            .map(|i| {
-                let (s, m) = (i / n_traffic, i % n_traffic);
-                let ap = applied[s].as_ref().ok()?;
+        let prepared: Vec<Option<Prepared>> = (0..n_traffic)
+            .map(|m| {
                 let tm_full = matrices[m].as_ref().ok()?;
                 let (tm, flows, commodities) = if ap.failed_switch_count() > 0 {
-                    let tm = crate::solve::surviving_traffic(&topo, tm_full, &ap.failed_switch);
-                    let cs = crate::solve::aggregate_commodities(&topo, &tm);
+                    let tm = crate::solve::surviving_traffic(topo, tm_full, &ap.failed_switch);
+                    let cs = crate::solve::aggregate_commodities(topo, &tm);
                     let flows = tm.flow_count();
                     (Some(tm), flows, cs)
                 } else {
-                    let cs = crate::solve::aggregate_commodities(&topo, tm_full);
+                    let cs = crate::solve::aggregate_commodities(topo, tm_full);
                     (None, tm_full.flow_count(), cs)
                 };
                 let hop_bound = hop_throughput_bound(&ap.net, &commodities);
@@ -446,33 +494,16 @@ impl SweepRunner {
             .collect();
 
         // inner fan-out: the actual solves
-        (0..block)
+        (0..n_traffic * n_backends)
             .into_par_iter()
             .map(|i| {
-                let (s, m, b) = self.split(i);
+                let (m, b) = (i / n_backends, i % n_backends);
                 let choice = spec.backends[b];
                 let opts = spec
                     .opts
                     .with_backend(choice.backend)
                     .with_strict_reference(choice.strict);
-                let mut cell = SweepCell {
-                    topology: point.name.clone(),
-                    run,
-                    scenario: spec.scenarios[s].name.clone(),
-                    traffic: spec.traffic[m].name(),
-                    backend: choice.name(),
-                    switches: topo.switch_count(),
-                    live_links: 0,
-                    flows: 0,
-                    result: Err(FlowError::NoCommodities),
-                };
-                let ap = match &applied[s] {
-                    Ok(ap) => ap,
-                    Err(e) => {
-                        cell.result = Err(FlowError::Graph(e.clone()));
-                        return cell;
-                    }
-                };
+                let mut cell = cell_shell(m, b);
                 cell.live_links = ap.net.live_arc_count() / 2;
                 let tm_full = match &matrices[m] {
                     Ok(tm) => tm,
@@ -481,9 +512,7 @@ impl SweepRunner {
                         return cell;
                     }
                 };
-                let prep = prepared[s * n_traffic + m]
-                    .as_ref()
-                    .expect("scenario and matrix both ok");
+                let prep = prepared[m].as_ref().expect("scenario and matrix both ok");
                 let tm = prep.tm.as_ref().unwrap_or(tm_full);
                 cell.flows = prep.flows;
                 cell.result = engine.solve_on(&ap.net, tm, &opts).map(|r| {
@@ -526,28 +555,59 @@ impl SweepRunner {
 ///
 /// `∞` when there are no commodities; `0` when some commodity is
 /// disconnected (λ is forced to 0 there anyway).
+///
+/// Distances come from a 64-lane batched multi-source BFS over the
+/// view's live adjacency ([`dctopo_graph::ms_bfs_csr`]) through a
+/// thread-local workspace, so repeated per-cell calls allocate nothing
+/// after warm-up. Hop counts are exact small integers, so
+/// `f64::from(hops)` equals the unit-length Dijkstra distance this
+/// computed before bit for bit — the bound's value is unchanged.
 pub fn hop_throughput_bound(net: &CsrNet, commodities: &[Commodity]) -> f64 {
+    use dctopo_graph::msbfs::MAX_LANES;
+    use dctopo_graph::paths::UNREACHABLE;
     if commodities.is_empty() {
         return f64::INFINITY;
     }
-    let ones = vec![1.0f64; net.arc_count()];
-    let mut ws = DijkstraWorkspace::new(net.node_count());
-    let mut alpha = 0.0f64;
-    let mut current_src = usize::MAX;
-    // commodities arrive sorted by (src, dst) from the aggregation, so
-    // one Dijkstra per distinct source suffices
-    for c in commodities {
-        if c.src != current_src {
-            net.dijkstra(c.src, &ones, &mut ws);
-            current_src = c.src;
-        }
-        let d = ws.distance(c.dst);
-        if !d.is_finite() {
-            return 0.0;
-        }
-        alpha += c.demand * d;
+    thread_local! {
+        static HOP_WS: std::cell::RefCell<MsBfsWorkspace> = std::cell::RefCell::default();
     }
-    net.total_capacity() / alpha
+    HOP_WS.with(|cell| {
+        let ws = &mut *cell.borrow_mut();
+        let mut alpha = 0.0f64;
+        let mut i = 0;
+        // commodities arrive sorted by (src, dst) from the aggregation,
+        // so each distinct source is one contiguous run and one lane
+        while i < commodities.len() {
+            let mut sources = [0usize; MAX_LANES];
+            let mut lanes = 0usize;
+            let mut j = i;
+            while j < commodities.len() {
+                let s = commodities[j].src;
+                if lanes == 0 || sources[lanes - 1] != s {
+                    if lanes == MAX_LANES {
+                        break;
+                    }
+                    sources[lanes] = s;
+                    lanes += 1;
+                }
+                j += 1;
+            }
+            dctopo_graph::ms_bfs_csr(net, &sources[..lanes], ws);
+            let mut lane = 0usize;
+            for c in &commodities[i..j] {
+                if c.src != sources[lane] {
+                    lane += 1;
+                }
+                let d = ws.lane_distances(lane)[c.dst];
+                if d == UNREACHABLE {
+                    return 0.0;
+                }
+                alpha += c.demand * f64::from(d);
+            }
+            i = j;
+        }
+        net.total_capacity() / alpha
+    })
 }
 
 /// Mix grid coordinates into the master seed (splitmix64 finalizer) so

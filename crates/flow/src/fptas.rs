@@ -78,6 +78,31 @@ const PARALLEL_DUAL_MIN_WORK: usize = 1 << 12;
 /// grow large to avoid overflow corrupting the bound.
 const RESCALE_ABOVE: f64 = 1e100;
 
+/// Node count at or above which the fast path's **full-tree** passes
+/// (exact rebuilds, post-rescale refreshes, full-tree dual harvests)
+/// run the bucketed parallel SSSP ([`dctopo_graph::delta`]) instead of
+/// scalar heap Dijkstra. Distances are bitwise identical either way;
+/// parent trees may differ inside float-absorption plateaus (both
+/// valid, both deterministic), which can steer a different — equally
+/// certified — trajectory. The gate keeps the small pinned instances
+/// (RRG(64, 12, 8) benches, strict-vs-fast pins) on their historical
+/// byte-exact trajectories while 1024-switch solves get bucket-level
+/// parallelism inside every tree build, not just across groups.
+const DELTA_MIN_NODES: usize = 512;
+
+/// One full shortest-path tree under `length`: bucketed parallel SSSP
+/// at scale, scalar Dijkstra below [`DELTA_MIN_NODES`]. Either way the
+/// workspace ends in completed-full-run state, satisfying
+/// [`CsrNet::dijkstra_repair`]'s preconditions.
+#[inline]
+pub(crate) fn full_tree(net: &CsrNet, src: NodeId, length: &[f64], ws: &mut DijkstraWorkspace) {
+    if net.node_count() >= DELTA_MIN_NODES {
+        dctopo_graph::delta::sssp(net, src, length, ws);
+    } else {
+        net.dijkstra(src, length, ws);
+    }
+}
+
 /// Fast path: opening (coarse) step size of the annealing schedule.
 /// Solves whose configured ε is already coarser start there instead.
 /// Calibrated on RRG(64, 12, 8) permutation sweeps — see `BENCH_fptas`.
@@ -469,7 +494,7 @@ fn solve_fast(
         if exact_pass {
             let clock = base + log.len();
             let rebuild = |g: &mut GroupState| {
-                net.dijkstra(g.src, &length, &mut g.ws);
+                full_tree(net, g.src, &length, &mut g.ws);
                 g.cursor = clock;
                 g.needs_full = false;
             };
@@ -535,7 +560,7 @@ fn solve_fast(
                 if g.needs_full {
                     // post-rescale: stored distances are in pre-rescale
                     // units, so the drift gate cannot be trusted — rebuild
-                    net.dijkstra(g.src, &length, &mut g.ws);
+                    full_tree(net, g.src, &length, &mut g.ws);
                     g.cursor = base + log.len();
                     g.needs_full = false;
                 }
@@ -704,8 +729,11 @@ fn dual_bound(
     full_trees: bool,
 ) -> Result<Option<f64>, FlowError> {
     let settle = |g: &mut GroupState| {
-        let targets: &[u32] = if full_trees { &[] } else { &g.targets };
-        net.dijkstra_targets(g.src, length, targets, &mut g.ws);
+        if full_trees {
+            full_tree(net, g.src, length, &mut g.ws);
+        } else {
+            net.dijkstra_targets(g.src, length, &g.targets, &mut g.ws);
+        }
     };
     // Fan out only when the pass is big enough to amortise the pool
     // dispatch (and to avoid contending for pool workers when many

@@ -1,0 +1,719 @@
+//! Aggregated-demand max concurrent flow: `O(arcs + active pairs)`
+//! memory instead of the pairwise formulation's `O(n²)` commodities.
+//!
+//! The pairwise solver ([`crate::max_concurrent_flow_csr`]) keeps one
+//! [`DijkstraWorkspace`] **per source group** plus a `(src, dst,
+//! demand)` triple per commodity. For an all-to-all matrix on an
+//! `n`-switch fabric that is `Θ(n²)` state before the first phase runs
+//! — the reason ≥1024-switch dense instances OOM'd rather than merely
+//! being slow. This module replaces the commodity *list* with demand
+//! *descriptors*:
+//!
+//! * [`SinkSpec::List`] — an explicit `(dst, demand)` list, for sparse
+//!   groups (memory: the pairs that actually exist).
+//! * [`SinkSpec::Weighted`] — "this source sends `scale · weights[v]`
+//!   to every switch `v ≠ src`", with the weight vector shared across
+//!   all groups behind an [`Arc`]. An all-to-all fabric is `n` groups
+//!   sharing **one** `O(n)` vector: total demand state `O(n)`, not
+//!   `O(n²)`.
+//!
+//! ## The tree-aggregated Garg–Könemann step
+//!
+//! The pairwise solver already routes a source group's commodities down
+//! one shortest-path tree per step, but it materialises per-sink
+//! `remaining` vectors and walks each sink's path individually. Here
+//! the whole group advances **proportionally**: each step routes the
+//! same fraction `τ` of every sink's remaining demand, so the only
+//! per-group routing state is a single scalar (`frac_remaining`).
+//! Subtree loads come from one leaf-up Kahn pass over the parent
+//! forest — each node pushes its accumulated demand onto its parent
+//! arc once all its tree children have pushed onto it — which costs
+//! `O(n + arcs)` per step independent of how many sinks the group has:
+//!
+//! 1. build the tree under current lengths (`fptas::full_tree`:
+//!    bucketed parallel SSSP at scale, scalar Dijkstra below the gate);
+//! 2. `L(a)` = demand in the subtree hanging under arc `a`;
+//! 3. `τ = min(1, min_a c(a)/L(a))` — the capacity-scaled step;
+//! 4. `flow(a) += τ·L(a)`, `l(a) *= 1 + ε·τ·L(a)/c(a)`,
+//!    `frac_remaining *= 1 − τ`.
+//!
+//! Because every sink of a group routes the *same* cumulative fraction
+//! of its demand, the per-sink rates collapse to one factor per group
+//! ([`GroupedFlow::group_rate_factor`]): `rate(dst) = factor ·
+//! demand(dst)`. The certified primal is `λ = min_g factor_g` after
+//! scaling by the worst congestion, exactly the pairwise `min_j
+//! routed_j / (μ·d_j)` specialised to proportional routing.
+//!
+//! ## Certification
+//!
+//! The dual bound is the usual `D(l)/α(l)` with `α(l) = Σ_j d_j ·
+//! dist_l(s_j, t_j)`. `α` is harvested from the **first** tree each
+//! group builds in a phase (a free by-product — no extra SSSP pass),
+//! while `D(l)` is summed at phase end. Lengths only grow within a
+//! phase, so each harvested distance is ≤ its value under the
+//! phase-end lengths, hence `D(l_end)/α_harvest ≥ D(l_end)/α(l_end) ≥
+//! λ*`: still a valid (slightly looser) certificate. Rescaling runs
+//! *after* the bound is taken so the growth argument is never violated.
+//! After the phase loop a **final exact harvest** — one SSSP per group
+//! at the terminal lengths — evaluates `D(l)` and `α(l)` at the *same*
+//! `l` (a valid bound for any positive length function by LP duality)
+//! and usually tightens the interval by an order of magnitude for
+//! `O(groups)` extra SSSPs total.
+//!
+//! ## Determinism
+//!
+//! Groups route sequentially in input order; the leaf-up Kahn pass
+//! seeds its ready stack in node-index order, so its visit sequence —
+//! and therefore every float accumulation order — is a pure function
+//! of the parent forest; sink iteration is input order
+//! (`List`) or index order (`Weighted`); the tree builds are
+//! [`dctopo_graph::delta`] (bit-identical at any thread count) or
+//! scalar Dijkstra. The whole solve is therefore **bit-identical
+//! across thread counts and reruns**, same as the pairwise paths.
+
+use std::sync::Arc;
+
+use dctopo_graph::{CsrNet, DijkstraWorkspace, NodeId};
+
+use crate::fptas;
+use crate::{FlowError, FlowOptions};
+
+/// Where lengths get rescaled (mirrors the pairwise solver).
+const RESCALE_ABOVE: f64 = 1e100;
+
+/// The sinks of one [`DemandGroup`].
+#[derive(Debug, Clone)]
+pub enum SinkSpec {
+    /// Explicit `(dst, demand)` pairs. Memory: `O(pairs)`.
+    List(Vec<(NodeId, f64)>),
+    /// Demand `scale · weights[v]` to every node `v` with
+    /// `weights[v] > 0`, **skipping `v == src`** (same-switch traffic
+    /// never enters the network). The weight vector is `Arc`-shared so
+    /// `n` groups over the same population cost `O(n)` total, not
+    /// `O(n²)`.
+    Weighted {
+        /// Per-node sink weights (length = node count; zero = no sink).
+        weights: Arc<Vec<f64>>,
+        /// Multiplier applied to every weight (e.g. servers at the
+        /// source switch for switch-level all-to-all).
+        scale: f64,
+    },
+}
+
+/// One source and its aggregated sinks — the grouped analogue of a run
+/// of [`crate::Commodity`] entries sharing a `src`.
+#[derive(Debug, Clone)]
+pub struct DemandGroup {
+    /// Source node.
+    pub src: NodeId,
+    /// Aggregated destinations.
+    pub sinks: SinkSpec,
+}
+
+impl DemandGroup {
+    /// All-to-all from `src`: demand `scale · weights[v]` to every
+    /// other node with positive weight.
+    pub fn weighted(src: NodeId, weights: Arc<Vec<f64>>, scale: f64) -> Self {
+        DemandGroup {
+            src,
+            sinks: SinkSpec::Weighted { weights, scale },
+        }
+    }
+
+    /// Visit every `(dst, demand)` sink in deterministic order (input
+    /// order for [`SinkSpec::List`], node-index order for
+    /// [`SinkSpec::Weighted`]; weighted specs skip `src` and zero
+    /// weights).
+    pub fn for_each_sink(&self, mut f: impl FnMut(NodeId, f64)) {
+        match &self.sinks {
+            SinkSpec::List(pairs) => {
+                for &(dst, d) in pairs {
+                    f(dst, d);
+                }
+            }
+            SinkSpec::Weighted { weights, scale } => {
+                for (v, &w) in weights.iter().enumerate() {
+                    if v != self.src && w > 0.0 {
+                        f(v, scale * w);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Total demand out of this group's source.
+    pub fn total_demand(&self) -> f64 {
+        let mut t = 0.0;
+        self.for_each_sink(|_, d| t += d);
+        t
+    }
+
+    /// Number of `(src, dst)` pairs this group aggregates.
+    pub fn sink_count(&self) -> usize {
+        let mut k = 0usize;
+        self.for_each_sink(|_, _| k += 1);
+        k
+    }
+}
+
+/// Result of [`solve_grouped`]: the grouped analogue of
+/// [`crate::SolvedFlow`], with per-**group** rate factors instead of a
+/// per-commodity rate vector (the whole point is not materialising one
+/// number per pair).
+#[derive(Debug, Clone)]
+pub struct GroupedFlow {
+    /// Feasible concurrent throughput λ: every sink of every group
+    /// simultaneously receives ≥ `λ · demand`.
+    pub throughput: f64,
+    /// Certified upper bound on the optimum (`D(l)/α(l)` harvested
+    /// from the phase trees).
+    pub upper_bound: f64,
+    /// Feasible per-arc flow (scaled to respect every capacity).
+    pub arc_flow: Vec<f64>,
+    /// Per-group rate factor: sink `dst` of group `g` receives
+    /// `group_rate_factor[g] · demand(dst)`. `throughput` is the
+    /// minimum entry.
+    pub group_rate_factor: Vec<f64>,
+    /// Phases executed.
+    pub phases: usize,
+    /// Total shortest-path tree settles (work metric).
+    pub settles: u64,
+}
+
+impl GroupedFlow {
+    /// Relative certified optimality gap `(upper − λ)/upper`.
+    pub fn gap(&self) -> f64 {
+        if self.upper_bound <= 0.0 {
+            return 0.0;
+        }
+        (self.upper_bound - self.throughput) / self.upper_bound
+    }
+}
+
+fn validate_grouped(
+    node_count: usize,
+    groups: &[DemandGroup],
+    opts: &FlowOptions,
+) -> Result<(), FlowError> {
+    if groups.is_empty() {
+        return Err(FlowError::NoCommodities);
+    }
+    if !(opts.epsilon > 0.0 && opts.epsilon < 1.0) {
+        return Err(FlowError::BadOptions(format!(
+            "epsilon must be in (0, 1), got {}",
+            opts.epsilon
+        )));
+    }
+    if !(opts.target_gap > 0.0 && opts.target_gap < 1.0) {
+        return Err(FlowError::BadOptions(format!(
+            "target_gap must be in (0, 1), got {}",
+            opts.target_gap
+        )));
+    }
+    if opts.max_phases == 0 {
+        return Err(FlowError::BadOptions("max_phases must be > 0".into()));
+    }
+    for (gi, g) in groups.iter().enumerate() {
+        if g.src >= node_count {
+            return Err(FlowError::BadOptions(format!(
+                "group {gi}: src {} out of range (n = {node_count})",
+                g.src
+            )));
+        }
+        match &g.sinks {
+            SinkSpec::List(pairs) => {
+                for &(dst, d) in pairs {
+                    if dst >= node_count {
+                        return Err(FlowError::BadOptions(format!(
+                            "group {gi}: dst {dst} out of range (n = {node_count})"
+                        )));
+                    }
+                    if dst == g.src {
+                        return Err(FlowError::SelfCommodity { index: gi });
+                    }
+                    if !(d.is_finite() && d > 0.0) {
+                        return Err(FlowError::BadDemand {
+                            index: gi,
+                            demand: d,
+                        });
+                    }
+                }
+            }
+            SinkSpec::Weighted { weights, scale } => {
+                if weights.len() != node_count {
+                    return Err(FlowError::BadOptions(format!(
+                        "group {gi}: weight vector has {} entries, net has {node_count} nodes",
+                        weights.len()
+                    )));
+                }
+                if !(scale.is_finite() && *scale > 0.0) {
+                    return Err(FlowError::BadDemand {
+                        index: gi,
+                        demand: *scale,
+                    });
+                }
+                if weights.iter().any(|w| !w.is_finite() || *w < 0.0) {
+                    return Err(FlowError::BadOptions(format!(
+                        "group {gi}: weights must be finite and non-negative"
+                    )));
+                }
+            }
+        }
+        if g.sink_count() == 0 {
+            return Err(FlowError::BadDemand {
+                index: gi,
+                demand: 0.0,
+            });
+        }
+    }
+    Ok(())
+}
+
+/// Solve max concurrent flow for aggregated demand groups.
+///
+/// Same guarantees as [`crate::max_concurrent_flow_csr`] — feasible
+/// `throughput`, certified `upper_bound`, bit-identical across thread
+/// counts — with working memory `O(arcs + nodes + active pairs)`
+/// instead of `O(n²)`. See the module docs for the algorithm.
+///
+/// # Errors
+///
+/// * [`FlowError::Unreachable`] if any group has a positive-demand
+///   sink outside its source's component.
+/// * Validation errors for empty/invalid inputs (see [`FlowError`]).
+pub fn solve_grouped(
+    net: &CsrNet,
+    groups: &[DemandGroup],
+    opts: &FlowOptions,
+) -> Result<GroupedFlow, FlowError> {
+    validate_grouped(net.node_count(), groups, opts)?;
+    if net.arc_count() == 0 {
+        let mut first = None;
+        groups[0].for_each_sink(|dst, _| first = first.or(Some(dst)));
+        return Err(FlowError::Unreachable {
+            src: groups[0].src,
+            dst: first.expect("validated: at least one sink"),
+        });
+    }
+
+    let n = net.node_count();
+    let num_arcs = net.arc_count();
+    let eps = opts.epsilon;
+
+    // lengths l(a) = 1/c(a) initially, as in the pairwise solver
+    let mut length: Vec<f64> = net.inv_capacities().to_vec();
+    let mut arc_flow = vec![0.0f64; num_arcs];
+    // cumulative fraction of each group's demand that has been routed
+    // (unscaled): sink dst of group g has received routed_frac[g]·d(dst)
+    let mut routed_frac = vec![0.0f64; groups.len()];
+
+    // ONE shared workspace — the memory story. Groups route
+    // sequentially, so warm per-group trees are traded for O(n) state.
+    let mut ws = DijkstraWorkspace::default();
+    // leaf-up sweep scratch
+    let mut node_demand = vec![0.0f64; n];
+    let mut child_count = vec![0u32; n];
+    let mut ready: Vec<u32> = Vec::with_capacity(n);
+    let mut tree_load = vec![0.0f64; num_arcs];
+    let mut touched: Vec<usize> = Vec::new();
+
+    let mut best_dual = f64::INFINITY;
+    let mut best: Option<GroupedFlow> = None;
+    let mut last_primal_check = 0.0f64;
+    let mut stagnant_phases = 0usize;
+    let mut phases = 0usize;
+
+    while phases < opts.max_phases {
+        phases += 1;
+        // α(l) harvested from each group's first tree of the phase
+        let mut alpha_phase = 0.0f64;
+
+        for (gi, g) in groups.iter().enumerate() {
+            let mut frac_remaining = 1.0f64;
+            let mut inner = 0usize;
+            while frac_remaining > 1e-12 {
+                inner += 1;
+                if inner > 64 {
+                    // skewed instances can shrink τ repeatedly; carry
+                    // the leftover — `routed_frac` only counts what was
+                    // actually sent, so correctness is unaffected
+                    break;
+                }
+                fptas::full_tree(net, g.src, &length, &mut ws);
+
+                // seed the per-node sink demand for this step and check
+                // reachability; harvest α from the phase's first tree
+                let mut unreachable: Option<NodeId> = None;
+                let mut alpha_g = 0.0f64;
+                g.for_each_sink(|dst, d| {
+                    let dist = ws.distance(dst);
+                    if !dist.is_finite() {
+                        unreachable = unreachable.or(Some(dst));
+                        return;
+                    }
+                    node_demand[dst] += frac_remaining * d;
+                    if inner == 1 {
+                        alpha_g += d * dist;
+                    }
+                });
+                if let Some(dst) = unreachable {
+                    return Err(FlowError::Unreachable { src: g.src, dst });
+                }
+                if inner == 1 {
+                    alpha_phase += alpha_g;
+                }
+
+                // Leaf-up subtree loads via a Kahn pass over the parent
+                // forest: each node pushes its accumulated demand onto
+                // its parent arc once all its tree children have pushed
+                // onto it, so L(a) = demand below a in O(n + arcs).
+                // Deliberately NOT a decreasing-distance sort: at large
+                // length magnitudes float absorption can make a child's
+                // distance *equal* its parent's, and any dist-ordered
+                // sweep may then visit the parent first and strand the
+                // child's load — silently under-recording arc flow that
+                // `routed_frac` still takes credit for. The parent
+                // pointers themselves are always a well-founded forest.
+                for c in child_count.iter_mut() {
+                    *c = 0;
+                }
+                for v in 0..n {
+                    if let Some(a) = ws.parent(v) {
+                        child_count[net.arc_tail(a)] += 1;
+                    }
+                }
+                ready.clear();
+                ready.extend((0..n as u32).filter(|&v| {
+                    child_count[v as usize] == 0 && ws.distance(v as usize).is_finite()
+                }));
+                touched.clear();
+                while let Some(vu) = ready.pop() {
+                    let v = vu as usize;
+                    let load = node_demand[v];
+                    node_demand[v] = 0.0;
+                    // the root absorbs everything pushed up to it
+                    let Some(a) = ws.parent(v) else { continue };
+                    if load > 0.0 {
+                        if tree_load[a] == 0.0 {
+                            touched.push(a);
+                        }
+                        tree_load[a] += load;
+                        node_demand[net.arc_tail(a)] += load;
+                    }
+                    let t = net.arc_tail(a);
+                    child_count[t] -= 1;
+                    if child_count[t] == 0 {
+                        ready.push(t as u32);
+                    }
+                }
+
+                // capacity-scaled step: never overload any arc
+                let mut tau = 1.0f64;
+                for &a in &touched {
+                    tau = tau.min(net.capacity(a) / tree_load[a]);
+                }
+                for &a in &touched {
+                    let sent = tau * tree_load[a];
+                    arc_flow[a] += sent;
+                    length[a] *= 1.0 + eps * (sent / net.capacity(a));
+                    tree_load[a] = 0.0;
+                }
+                routed_frac[gi] += tau * frac_remaining;
+                frac_remaining -= tau * frac_remaining;
+                if tau >= 1.0 {
+                    break;
+                }
+            }
+        }
+
+        // dual BEFORE rescale: α was harvested under in-phase lengths,
+        // which only grew since — D(l_end)/α_harvest ≥ D(l_end)/α(l_end)
+        // ≥ λ*, a valid certificate (module docs)
+        let d_l: f64 = length
+            .iter()
+            .zip(net.capacities())
+            .map(|(&l, &c)| l * c)
+            .sum();
+        let bound = d_l / alpha_phase;
+        if bound.is_finite() && bound > 0.0 {
+            best_dual = best_dual.min(bound);
+        }
+
+        let max_len = length.iter().copied().fold(0.0f64, f64::max);
+        if max_len > RESCALE_ABOVE {
+            let inv = 1.0 / max_len;
+            for l in length.iter_mut() {
+                *l *= inv;
+            }
+        }
+
+        // certified primal: scale by worst congestion
+        let mu = arc_flow
+            .iter()
+            .zip(net.capacities())
+            .map(|(&f, &c)| f / c)
+            .fold(0.0f64, f64::max)
+            .max(1e-300);
+        let primal = routed_frac.iter().copied().fold(f64::INFINITY, f64::min) / mu;
+
+        let better = best.as_ref().is_none_or(|b| primal > b.throughput);
+        if better {
+            best = Some(GroupedFlow {
+                throughput: primal,
+                upper_bound: best_dual,
+                arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
+                group_rate_factor: routed_frac.iter().map(|&r| r / mu).collect(),
+                phases,
+                settles: 0,
+            });
+        }
+        if primal >= (1.0 - opts.target_gap) * best_dual {
+            break;
+        }
+        if primal > last_primal_check * 1.0005 {
+            last_primal_check = primal;
+            stagnant_phases = 0;
+        } else {
+            stagnant_phases += 1;
+            if stagnant_phases >= opts.stall_phases {
+                break;
+            }
+        }
+    }
+
+    // Final exact certificate: one SSSP per group at the terminal
+    // lengths evaluates α(l) and D(l) at the SAME l, which bounds λ*
+    // for any positive length function by LP duality. The in-loop
+    // mixed-age bound loosens as lengths grow within a phase; the
+    // terminal lengths are the most congestion-aware of the run and
+    // this single extra harvest usually tightens the interval by an
+    // order of magnitude for O(groups) SSSPs total.
+    let mut alpha_final = 0.0f64;
+    for g in groups {
+        fptas::full_tree(net, g.src, &length, &mut ws);
+        g.for_each_sink(|dst, d| {
+            let dist = ws.distance(dst);
+            if dist.is_finite() {
+                alpha_final += d * dist;
+            }
+        });
+    }
+    let d_final: f64 = length
+        .iter()
+        .zip(net.capacities())
+        .map(|(&l, &c)| l * c)
+        .sum();
+    let final_bound = d_final / alpha_final;
+    if final_bound.is_finite() && final_bound > 0.0 {
+        best_dual = best_dual.min(final_bound);
+    }
+
+    let mut sol = best.expect("at least one phase ran");
+    sol.upper_bound = best_dual;
+    sol.phases = phases;
+    sol.settles = ws.settles();
+    Ok(sol)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{max_concurrent_flow_csr, Commodity};
+    use dctopo_graph::Graph;
+
+    fn ring(n: usize, cap: f64) -> CsrNet {
+        let mut g = Graph::new(n);
+        for v in 0..n {
+            g.add_edge(v, (v + 1) % n, cap).unwrap();
+        }
+        CsrNet::from_graph(&g)
+    }
+
+    fn opts() -> FlowOptions {
+        FlowOptions {
+            epsilon: 0.05,
+            target_gap: 0.02,
+            max_phases: 20000,
+            stall_phases: 2000,
+            ..FlowOptions::default()
+        }
+    }
+
+    fn pairwise_of(groups: &[DemandGroup]) -> Vec<Commodity> {
+        let mut cs = Vec::new();
+        for g in groups {
+            g.for_each_sink(|dst, demand| {
+                cs.push(Commodity {
+                    src: g.src,
+                    dst,
+                    demand,
+                })
+            });
+        }
+        cs
+    }
+
+    /// Certified intervals of the grouped and pairwise formulations of
+    /// the same instance must overlap: each λ is feasible, so it can't
+    /// exceed the other's certified upper bound.
+    fn assert_intervals_overlap(net: &CsrNet, groups: &[DemandGroup]) {
+        let o = opts();
+        let grouped = solve_grouped(net, groups, &o).unwrap();
+        let pairwise = max_concurrent_flow_csr(net, &pairwise_of(groups), &o).unwrap();
+        assert!(
+            grouped.throughput <= pairwise.upper_bound * (1.0 + 1e-9),
+            "grouped λ {} exceeds pairwise bound {}",
+            grouped.throughput,
+            pairwise.upper_bound
+        );
+        assert!(
+            pairwise.throughput <= grouped.upper_bound * (1.0 + 1e-9),
+            "pairwise λ {} exceeds grouped bound {}",
+            pairwise.throughput,
+            grouped.upper_bound
+        );
+        assert!(
+            grouped.gap() <= o.target_gap + 0.25,
+            "gap {}",
+            grouped.gap()
+        );
+    }
+
+    #[test]
+    fn single_pair_matches_capacity() {
+        // two parallel 2-hop routes of capacity 1 ⇒ max flow 2
+        let mut g = Graph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 3, 1.0).unwrap();
+        g.add_edge(0, 2, 1.0).unwrap();
+        g.add_edge(2, 3, 1.0).unwrap();
+        let net = CsrNet::from_graph(&g);
+        let groups = [DemandGroup {
+            src: 0,
+            sinks: SinkSpec::List(vec![(3, 1.0)]),
+        }];
+        let s = solve_grouped(&net, &groups, &opts()).unwrap();
+        assert!(s.throughput > 1.9, "λ = {}", s.throughput);
+        assert!(s.upper_bound >= s.throughput);
+        assert!(s.upper_bound <= 2.0 / (1.0 - 0.05) + 1e-9);
+        assert_eq!(s.group_rate_factor.len(), 1);
+        assert!((s.group_rate_factor[0] - s.throughput).abs() < 1e-12);
+        assert!(s.settles > 0);
+    }
+
+    #[test]
+    fn grouped_interval_overlaps_pairwise_on_ring() {
+        let net = ring(8, 1.0);
+        let groups: Vec<DemandGroup> = (0..4)
+            .map(|s| DemandGroup {
+                src: s,
+                sinks: SinkSpec::List(vec![((s + 3) % 8, 1.0), ((s + 4) % 8, 0.5)]),
+            })
+            .collect();
+        assert_intervals_overlap(&net, &groups);
+    }
+
+    #[test]
+    fn weighted_all_to_all_interval_overlaps_pairwise() {
+        let net = ring(6, 2.0);
+        let weights = Arc::new(vec![1.0; 6]);
+        let groups: Vec<DemandGroup> = (0..6)
+            .map(|s| DemandGroup::weighted(s, Arc::clone(&weights), 1.0))
+            .collect();
+        assert_intervals_overlap(&net, &groups);
+    }
+
+    #[test]
+    fn weighted_matches_equivalent_list_bitwise() {
+        let net = ring(6, 1.0);
+        let weights = Arc::new(vec![0.0, 2.0, 0.0, 1.0, 0.5, 0.0]);
+        let as_weighted = [DemandGroup::weighted(0, weights, 3.0)];
+        let as_list = [DemandGroup {
+            src: 0,
+            sinks: SinkSpec::List(vec![(1, 6.0), (3, 3.0), (4, 1.5)]),
+        }];
+        let a = solve_grouped(&net, &as_weighted, &opts()).unwrap();
+        let b = solve_grouped(&net, &as_list, &opts()).unwrap();
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+        assert_eq!(a.phases, b.phases);
+        for (x, y) in a.arc_flow.iter().zip(&b.arc_flow) {
+            assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn weighted_skips_own_source() {
+        let weights = Arc::new(vec![1.0; 4]);
+        let g = DemandGroup::weighted(2, Arc::clone(&weights), 1.0);
+        assert_eq!(g.sink_count(), 3);
+        assert_eq!(g.total_demand(), 3.0);
+        let mut sinks = Vec::new();
+        g.for_each_sink(|dst, _| sinks.push(dst));
+        assert_eq!(sinks, vec![0, 1, 3]);
+    }
+
+    #[test]
+    fn unreachable_sink_is_reported() {
+        // 0–1 connected, 2 isolated
+        let mut g = Graph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        let net = CsrNet::from_graph(&g);
+        let groups = [DemandGroup {
+            src: 0,
+            sinks: SinkSpec::List(vec![(1, 1.0), (2, 1.0)]),
+        }];
+        let err = solve_grouped(&net, &groups, &opts()).unwrap_err();
+        assert!(matches!(err, FlowError::Unreachable { src: 0, dst: 2 }));
+    }
+
+    #[test]
+    fn validation_rejects_bad_groups() {
+        let net = ring(4, 1.0);
+        let o = opts();
+        assert!(matches!(
+            solve_grouped(&net, &[], &o),
+            Err(FlowError::NoCommodities)
+        ));
+        let selfc = [DemandGroup {
+            src: 1,
+            sinks: SinkSpec::List(vec![(1, 1.0)]),
+        }];
+        assert!(matches!(
+            solve_grouped(&net, &selfc, &o),
+            Err(FlowError::SelfCommodity { index: 0 })
+        ));
+        let badd = [DemandGroup {
+            src: 0,
+            sinks: SinkSpec::List(vec![(1, -2.0)]),
+        }];
+        assert!(matches!(
+            solve_grouped(&net, &badd, &o),
+            Err(FlowError::BadDemand { index: 0, .. })
+        ));
+        let allzero = [DemandGroup::weighted(0, Arc::new(vec![0.0; 4]), 1.0)];
+        assert!(matches!(
+            solve_grouped(&net, &allzero, &o),
+            Err(FlowError::BadDemand { index: 0, .. })
+        ));
+        let shortw = [DemandGroup::weighted(0, Arc::new(vec![1.0; 3]), 1.0)];
+        assert!(matches!(
+            solve_grouped(&net, &shortw, &o),
+            Err(FlowError::BadOptions(_))
+        ));
+    }
+
+    #[test]
+    fn deterministic_across_reruns() {
+        let net = ring(10, 1.5);
+        let weights = Arc::new(vec![1.0; 10]);
+        let groups: Vec<DemandGroup> = (0..10)
+            .map(|s| DemandGroup::weighted(s, Arc::clone(&weights), 1.0))
+            .collect();
+        let a = solve_grouped(&net, &groups, &opts()).unwrap();
+        let b = solve_grouped(&net, &groups, &opts()).unwrap();
+        assert_eq!(a.throughput.to_bits(), b.throughput.to_bits());
+        assert_eq!(a.upper_bound.to_bits(), b.upper_bound.to_bits());
+        assert_eq!(a.settles, b.settles);
+    }
+}

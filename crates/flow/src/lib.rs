@@ -60,6 +60,7 @@ pub mod cache;
 pub mod cut;
 pub mod exact;
 mod fptas;
+pub mod grouped;
 pub mod ksp;
 pub mod reference;
 
@@ -73,6 +74,7 @@ pub use dctopo_graph::NodeId;
 pub use backend::{solve, solve_with_cache, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
 pub use cache::{CacheStats, PathSetCache};
 pub use fptas::max_concurrent_flow_csr;
+pub use grouped::{solve_grouped, DemandGroup, GroupedFlow, SinkSpec};
 
 /// Solve max concurrent flow on `g` with the backend selected in
 /// `opts.backend` (the [`Fptas`] by default).

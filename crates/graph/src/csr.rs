@@ -704,7 +704,7 @@ impl CsrNet {
 /// numeric order for non-negative floats), node id in the low half so
 /// equal distances order by node id.
 #[inline]
-fn pack(dist: f64, node: u32) -> u128 {
+pub(crate) fn pack(dist: f64, node: u32) -> u128 {
     debug_assert!(dist >= 0.0);
     ((dist.to_bits() as u128) << 32) | node as u128
 }
@@ -765,7 +765,11 @@ impl DijkstraWorkspace {
     }
 
     /// Start a new run: reset the active prefix and clear the heap.
-    fn begin(&mut self, n: usize) {
+    /// `pub(crate)` so the bucketed SSSP ([`crate::delta`]) can leave the
+    /// workspace in exactly the state a completed [`CsrNet::dijkstra`]
+    /// would (empty heap, full dist/parent arrays), which is what
+    /// [`CsrNet::dijkstra_repair`] requires of its input.
+    pub(crate) fn begin(&mut self, n: usize) {
         if self.dist.len() < n {
             self.dist.resize(n, f64::INFINITY);
             self.parent_arc.resize(n, NO_ARC);
@@ -801,6 +805,14 @@ impl DijkstraWorkspace {
     #[inline]
     pub fn settles(&self) -> u64 {
         self.settles
+    }
+
+    /// Credit `k` settle operations performed outside the heap loop
+    /// (the bucketed SSSP in [`crate::delta`] settles nodes without
+    /// popping this workspace's heap but reports in the same unit).
+    #[inline]
+    pub(crate) fn note_settles(&mut self, k: u64) {
+        self.settles += k;
     }
 
     /// Distance of `v` from the last run's source (`INFINITY` if

@@ -32,10 +32,12 @@
 
 pub mod components;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod io;
 pub mod kshortest;
+pub mod msbfs;
 pub mod paths;
 pub mod spectral;
 pub mod swaps;
@@ -43,4 +45,5 @@ pub mod swaps;
 pub use csr::{CsrNet, DijkstraWorkspace};
 pub use error::GraphError;
 pub use graph::{ArcId, EdgeId, Graph, NodeId};
+pub use msbfs::{ms_bfs, ms_bfs_csr, MsBfsWorkspace};
 pub use paths::{BfsWorkspace, PathStats};

@@ -1,0 +1,82 @@
+//! Property test: delta-stepping SSSP is bitwise-equal to the binary
+//! heap Dijkstra on 50 seeded weighted nets at 1, 2, and 8 rayon
+//! threads — the determinism contract the FPTAS's dual-length passes
+//! (and the 1/2/8-thread solver pin) rest on.
+//!
+//! Lengths are drawn across six orders of magnitude, mimicking the
+//! multiplicatively-updated FPTAS length functions where
+//! float-absorption plateaus actually occur; a slice of each net's
+//! arcs is additionally given *equal* lengths to force ties.
+
+use dctopo_graph::{delta, CsrNet, DijkstraWorkspace, Graph};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// A seeded random weighted net plus per-arc lengths. Every fourth
+/// seed splits the nodes into two disconnected halves.
+fn random_net(seed: u64) -> (CsrNet, Vec<f64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = rng.random_range(2..=150usize);
+    let m = rng.random_range(1..=4 * n);
+    let split = seed.is_multiple_of(4);
+    let cut = n / 2;
+    let mut g = Graph::new(n);
+    for _ in 0..m {
+        let u = rng.random_range(0..n);
+        let v = rng.random_range(0..n);
+        if u == v || (split && (u < cut) != (v < cut)) {
+            continue;
+        }
+        g.add_edge(u, v, rng.random_range(0.5..4.0)).expect("valid");
+    }
+    let net = CsrNet::from_graph(&g);
+    let tie = rng.random_range(1e-3..1e3);
+    let lens: Vec<f64> = (0..net.arc_count())
+        .map(|_| {
+            if rng.random_bool(0.25) {
+                tie // shared exact value → distance ties and plateaus
+            } else {
+                let mag: f64 = rng.random_range(-3.0..3.0);
+                rng.random_range(1.0..10.0) * 10f64.powf(mag)
+            }
+        })
+        .collect();
+    (net, lens)
+}
+
+#[test]
+fn delta_sssp_matches_heap_dijkstra_at_1_2_8_threads() {
+    for seed in 0..50u64 {
+        let (net, lens) = random_net(seed);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5551);
+        let src = rng.random_range(0..net.node_count());
+
+        let mut heap_ws = DijkstraWorkspace::default();
+        net.dijkstra(src, &lens, &mut heap_ws);
+        let reference: Vec<u64> = (0..net.node_count())
+            .map(|v| heap_ws.distance(v).to_bits())
+            .collect();
+
+        let mut parents_at: Vec<Vec<Option<usize>>> = Vec::new();
+        for threads in [1usize, 2, 8] {
+            let pool = rayon::ThreadPoolBuilder::new()
+                .num_threads(threads)
+                .build()
+                .expect("build pool");
+            let mut ws = DijkstraWorkspace::default();
+            pool.install(|| delta::sssp(&net, src, &lens, &mut ws));
+            for (v, &expect) in reference.iter().enumerate() {
+                assert_eq!(
+                    ws.distance(v).to_bits(),
+                    expect,
+                    "seed {seed}: node {v} distance diverged from the \
+                     heap Dijkstra at {threads} thread(s)"
+                );
+            }
+            parents_at.push((0..net.node_count()).map(|v| ws.parent(v)).collect());
+        }
+        // the tree tie-breaking is thread-count-invariant too
+        assert_eq!(parents_at[0], parents_at[1], "seed {seed}: 1 vs 2 threads");
+        assert_eq!(parents_at[0], parents_at[2], "seed {seed}: 1 vs 8 threads");
+    }
+}

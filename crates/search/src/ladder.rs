@@ -9,14 +9,16 @@
 //! bound `C̄ / crossing demand` ([`dctopo_bounds::demand_cut_bound`])
 //! minimised over a fixed set of probe partitions ([`CutProbe`]): the
 //! switch-class partition (where the heterogeneous experiments put
-//! their bottleneck) plus seeded bisections. Level 0 runs its BFS
-//! sweeps through a reusable [`BfsWorkspace`] (one per candidate
-//! evaluation); the levels cost `O(n·m)` and `O(probes·m)`
-//! respectively — noise against a certified solve.
+//! their bottleneck) plus seeded bisections. Level 0 batches its BFS
+//! sweeps 64 sources at a time through a reusable
+//! [`MsBfsWorkspace`] (`O(⌈sources/64⌉·(n + m))` per candidate instead
+//! of one sweep per source); level 1 costs `O(probes·m)` — noise
+//! against a certified solve either way.
 
 use dctopo_bounds::{cross_capacity_with, demand_cut_bound};
 use dctopo_flow::Commodity;
-use dctopo_graph::paths::{bfs_distances_with, path_stats_with, BfsWorkspace, UNREACHABLE};
+use dctopo_graph::msbfs::{ms_bfs, MsBfsWorkspace, MAX_LANES};
+use dctopo_graph::paths::{path_stats_with, BfsWorkspace, UNREACHABLE};
 use dctopo_graph::{Graph, GraphError};
 use dctopo_topology::Topology;
 use rand::rngs::StdRng;
@@ -32,21 +34,44 @@ const DOMAIN_PROBE: u64 = 11;
 /// endpoints are disconnected (the candidate cannot route at all).
 ///
 /// Commodities must be sorted by source (the order
-/// `dctopo_core::solve::aggregate_commodities` emits) so one BFS per
-/// distinct source suffices.
-pub fn hop_alpha(g: &Graph, commodities: &[Commodity], ws: &mut BfsWorkspace) -> f64 {
+/// `dctopo_core::solve::aggregate_commodities` emits) so each distinct
+/// source occupies one contiguous run and one bit-lane. Distinct
+/// sources are batched [`MAX_LANES`] at a time through [`ms_bfs`],
+/// whose per-lane distances are bitwise identical to the scalar BFS
+/// this ran before, so the surrogate's values (and every pruning
+/// decision built on them) are unchanged.
+pub fn hop_alpha(g: &Graph, commodities: &[Commodity], ws: &mut MsBfsWorkspace) -> f64 {
     let mut alpha = 0.0f64;
-    let mut current_src = usize::MAX;
-    for c in commodities {
-        if c.src != current_src {
-            bfs_distances_with(g, c.src, ws);
-            current_src = c.src;
+    let mut i = 0;
+    while i < commodities.len() {
+        // gather the next batch of up to MAX_LANES distinct sources
+        let mut sources = [0usize; MAX_LANES];
+        let mut lanes = 0usize;
+        let mut j = i;
+        while j < commodities.len() {
+            let s = commodities[j].src;
+            if lanes == 0 || sources[lanes - 1] != s {
+                if lanes == MAX_LANES {
+                    break;
+                }
+                sources[lanes] = s;
+                lanes += 1;
+            }
+            j += 1;
         }
-        let d = ws.distances()[c.dst];
-        if d == UNREACHABLE {
-            return f64::INFINITY;
+        ms_bfs(g, &sources[..lanes], ws);
+        let mut lane = 0usize;
+        for c in &commodities[i..j] {
+            if c.src != sources[lane] {
+                lane += 1;
+            }
+            let d = ws.lane_distances(lane)[c.dst];
+            if d == UNREACHABLE {
+                return f64::INFINITY;
+            }
+            alpha += c.demand * f64::from(d);
         }
-        alpha += c.demand * f64::from(d);
+        i = j;
     }
     alpha
 }
@@ -225,7 +250,7 @@ mod tests {
     #[test]
     fn hop_alpha_weights_demands_by_distance() {
         let g = ring(6);
-        let mut ws = BfsWorkspace::default();
+        let mut ws = MsBfsWorkspace::default();
         let cs = [
             Commodity {
                 src: 0,

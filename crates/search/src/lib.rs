@@ -32,7 +32,8 @@
 //! climb a ladder and only survivors pay for certification:
 //!
 //! 1. **Hop bound** (level 0) — the Theorem-1-style hard bound
-//!    `C / Σ_j d_j·hop_j` from per-source BFS ([`ladder::hop_alpha`]).
+//!    `C / Σ_j d_j·hop_j` from 64-lane batched multi-source BFS
+//!    ([`ladder::hop_alpha`]).
 //!    Structural candidates must *strictly improve* it.
 //! 2. **Cut bound** (level 1) — `C̄ / crossing demand`
 //!    ([`dctopo_bounds::demand_cut_bound`]) over fixed probe partitions

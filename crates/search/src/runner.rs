@@ -18,8 +18,7 @@
 
 use dctopo_core::solve::{aggregate_commodities, nic_limit};
 use dctopo_flow::{Commodity, FlowError, FlowOptions, PathSetCache, SolvedFlow};
-use dctopo_graph::paths::BfsWorkspace;
-use dctopo_graph::CsrNet;
+use dctopo_graph::{CsrNet, MsBfsWorkspace};
 use dctopo_topology::expand::expand_random;
 use dctopo_topology::moves::{apply_two_swap, two_swap_is_valid, TwoSwap};
 use dctopo_topology::Topology;
@@ -432,7 +431,7 @@ impl SearchRunner {
         let view = plan.view(&self.topo, &base_net).map_err(FlowError::Graph)?;
 
         // certify the starting configuration
-        let mut ws = BfsWorkspace::new(self.topo.switch_count());
+        let mut ws = MsBfsWorkspace::new(self.topo.switch_count());
         let alpha0 = hop_alpha(&self.topo.graph, &self.commodities, &mut ws);
         let solved0 = self.certify(&view, false)?;
         let initial = Certificate {
@@ -671,9 +670,16 @@ impl SearchRunner {
         ladder: bool,
         floor: f64,
     ) -> Outcome {
-        // level 0: the hop bound must strictly improve
-        let mut ws = BfsWorkspace::new(topo.switch_count());
-        let alpha = hop_alpha(&topo.graph, &self.commodities, &mut ws);
+        // level 0: the hop bound must strictly improve. The workspace
+        // is thread-local: candidate evaluations fan out over the pool
+        // every round, and a per-candidate allocation here was the
+        // dominant level-0 cost at scale.
+        thread_local! {
+            static HOP_WS: std::cell::RefCell<MsBfsWorkspace> =
+                std::cell::RefCell::default();
+        }
+        let alpha =
+            HOP_WS.with(|ws| hop_alpha(&topo.graph, &self.commodities, &mut ws.borrow_mut()));
         if alpha.is_infinite() {
             return Outcome::Invalid("rewire disconnects a commodity".into());
         }

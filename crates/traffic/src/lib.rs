@@ -19,6 +19,15 @@
 //!   server-level random permutation among themselves.
 //! * [`TrafficMatrix::hotspot`] — a many-to-few stress pattern (extra,
 //!   not in the paper; useful for the examples).
+//!
+//! ## Aggregated patterns ([`AggregateTraffic`])
+//!
+//! Dense patterns like all-to-all are `Θ(n²)` as pair lists — at 1024
+//! switches × 16 servers that is ~270M pairs before the solver even
+//! starts. [`AggregateTraffic`] describes such patterns **analytically**
+//! (pattern + server count, `O(1)` memory); `dctopo-core` lowers them
+//! straight to `dctopo-flow`'s grouped demand descriptors, so the whole
+//! pipeline stays `O(arcs + active pairs)`.
 
 use rand::seq::SliceRandom;
 use rand::{Rng, RngExt};
@@ -186,6 +195,104 @@ impl TrafficMatrix {
     }
 }
 
+/// The shape of an [`AggregateTraffic`] pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggregatePattern {
+    /// Every ordered server pair, demand 1 each — the analytic form of
+    /// [`TrafficMatrix::all_to_all`].
+    AllToAll,
+    /// Many-to-few: every server outside the hot set (`hot..n`) sends 1
+    /// unit split uniformly over the `hot` hot servers. This is the
+    /// *smeared* (deterministic) form of [`TrafficMatrix::hotspot`],
+    /// which assigns each cold server one random hot target; the smear
+    /// is its expectation and needs no RNG.
+    Hotspot {
+        /// Size of the hot set (servers `0..hot`).
+        hot: usize,
+    },
+}
+
+/// A dense traffic pattern held analytically instead of as a pair list.
+///
+/// Use [`AggregateTraffic::flow_count`] / [`AggregateTraffic::nic_limit`]
+/// where the pair-list code used `TrafficMatrix` accessors; the demand
+/// itself is lowered to grouped commodity descriptors by `dctopo-core`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregateTraffic {
+    n_servers: usize,
+    pattern: AggregatePattern,
+}
+
+impl AggregateTraffic {
+    /// All-to-all over `n_servers` servers.
+    pub fn all_to_all(n_servers: usize) -> Self {
+        assert!(n_servers >= 2, "all-to-all needs at least two servers");
+        AggregateTraffic {
+            n_servers,
+            pattern: AggregatePattern::AllToAll,
+        }
+    }
+
+    /// Smeared hotspot: servers `hot..n_servers` each send 1 unit split
+    /// evenly across the hot set `0..hot`.
+    pub fn hotspot(n_servers: usize, hot: usize) -> Self {
+        assert!(
+            hot >= 1 && hot < n_servers,
+            "hot set must be non-empty and proper"
+        );
+        AggregateTraffic {
+            n_servers,
+            pattern: AggregatePattern::Hotspot { hot },
+        }
+    }
+
+    /// Number of servers the pattern is defined over.
+    pub fn server_count(&self) -> usize {
+        self.n_servers
+    }
+
+    /// The pattern shape.
+    pub fn pattern(&self) -> AggregatePattern {
+        self.pattern
+    }
+
+    /// Number of `(src, dst)` demand pairs the pattern describes —
+    /// without materializing them (`u128`: all-to-all at 2²⁰ servers
+    /// already overflows a u64-squared headroom check).
+    pub fn flow_count(&self) -> u128 {
+        let n = self.n_servers as u128;
+        match self.pattern {
+            AggregatePattern::AllToAll => n * (n - 1),
+            AggregatePattern::Hotspot { hot } => (n - hot as u128) * hot as u128,
+        }
+    }
+
+    /// Total demand volume (unit-rate flows): Σ over pairs of demand.
+    pub fn total_demand(&self) -> f64 {
+        match self.pattern {
+            AggregatePattern::AllToAll => self.flow_count() as f64,
+            // every cold server sends 1 unit total, however it is split
+            AggregatePattern::Hotspot { hot } => (self.n_servers - hot) as f64,
+        }
+    }
+
+    /// The NIC cap `1 / max per-server demand volume`, the analytic
+    /// counterpart of `dctopo-core`'s pair-list `nic_limit`:
+    /// all-to-all loads every NIC with `n − 1` unit flows; the smeared
+    /// hotspot loads each hot NIC with `(n − hot)/hot` inbound volume
+    /// and each cold NIC with 1 outbound.
+    pub fn nic_limit(&self) -> f64 {
+        let busiest: f64 = match self.pattern {
+            AggregatePattern::AllToAll => (self.n_servers - 1) as f64,
+            AggregatePattern::Hotspot { hot } => {
+                let inbound = (self.n_servers - hot) as f64 / hot as f64;
+                inbound.max(1.0)
+            }
+        };
+        1.0 / busiest
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -282,5 +389,49 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn from_pairs_rejects_out_of_range() {
         let _ = TrafficMatrix::from_pairs(3, vec![(0, 7)]);
+    }
+}
+
+#[cfg(test)]
+mod aggregate_tests {
+    use super::*;
+
+    #[test]
+    fn all_to_all_matches_materialized_counts() {
+        let agg = AggregateTraffic::all_to_all(40);
+        let tm = TrafficMatrix::all_to_all(40);
+        assert_eq!(agg.flow_count(), tm.flow_count() as u128);
+        assert_eq!(agg.total_demand(), tm.flow_count() as f64);
+        // pair-list nic limit: busiest NIC carries n-1 flows
+        let busiest = tm
+            .out_degree()
+            .into_iter()
+            .chain(tm.in_degree())
+            .max()
+            .unwrap();
+        assert_eq!(agg.nic_limit(), 1.0 / busiest as f64);
+    }
+
+    #[test]
+    fn huge_all_to_all_is_constant_size() {
+        // 2^20 servers: the pair list would be ~10^12 entries
+        let agg = AggregateTraffic::all_to_all(1 << 20);
+        assert_eq!(agg.flow_count(), (1u128 << 20) * ((1 << 20) - 1));
+        assert!(agg.nic_limit() > 0.0);
+    }
+
+    #[test]
+    fn hotspot_smear_counts() {
+        let agg = AggregateTraffic::hotspot(100, 4);
+        assert_eq!(agg.flow_count(), 96 * 4);
+        assert_eq!(agg.total_demand(), 96.0);
+        // each hot NIC absorbs 96/4 = 24 units
+        assert_eq!(agg.nic_limit(), 4.0 / 96.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "proper")]
+    fn hotspot_rejects_full_hot_set() {
+        AggregateTraffic::hotspot(4, 4);
     }
 }

@@ -7,7 +7,8 @@
 //! topobench build vl2 --da 12 --di 16 [--rewired] [--tors T] [--dot]
 //! topobench solve rrg --switches 40 --ports 15 --degree 10
 //!                 [--traffic permutation|all-to-all|chunky:<pct>]
-//!                 [--runs N] [--seed S] [--precise]
+//!                 [--traffic all-to-all-agg|hotspot-agg:<hot>]
+//!                 [--runs N] [--seed S] [--precise] [--max-pairs P]
 //!                 [--backend fptas|fptas-strict|exact|ksp:<k>]
 //! topobench sweep [--families rrg:16x8x4,fat-tree:4,...]
 //!                 [--traffic permutation,chunky:50,...]
@@ -52,9 +53,15 @@ use dctopo::metrics::decompose;
 use dctopo::prelude::*;
 use dctopo::topology::classic::{complete, fat_tree, hypercube, torus2d};
 use dctopo::topology::vl2::{rewired_vl2, vl2, Vl2Params};
+use dctopo::traffic::AggregateTraffic;
 use dctopo_bench::report::{self, SweepCellRecord};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// Default `--max-pairs`: dense pair lists beyond this abort with
+/// advice instead of OOMing (all-to-all at 1024 switches × 16 servers
+/// is ~268M pairs, gigabytes of demand state before the solver starts).
+const DEFAULT_MAX_PAIRS: u128 = 4_000_000;
 
 fn usage() -> ! {
     eprintln!(
@@ -79,7 +86,9 @@ fn usage() -> ! {
          complete (--switches --servers), vl2 (--da --di [--tors] [--rewired])\n\
          sweep family specs: rrg:NxKxR | fat-tree:K | complete:NxS |\n  \
          hypercube:DxS | torus:RxCxS | vl2:AxI\n\
-         traffic: permutation (default) | all-to-all | chunky:<percent> | hotspot:<n>"
+         traffic: permutation (default) | all-to-all | chunky:<percent> | hotspot:<n>\n\
+         solve also takes aggregated forms (all-to-all-agg, hotspot-agg:<hot>)\n  \
+         \x20               and --max-pairs P (refuse dense pair lists beyond P)"
     );
     exit(2);
 }
@@ -199,7 +208,46 @@ fn build_topology(family: &str, args: &Args, rng: &mut StdRng) -> Topology {
     }
 }
 
-fn build_traffic(spec: &str, topo: &Topology, rng: &mut StdRng) -> TrafficMatrix {
+/// How many `(src, dst)` pairs a traffic spec would materialize —
+/// computed analytically so the `--max-pairs` guard can refuse *before*
+/// allocation.
+fn traffic_pair_count(spec: &str, n_servers: usize) -> u128 {
+    let n = n_servers as u128;
+    if spec == "all-to-all" {
+        n.saturating_mul(n.saturating_sub(1))
+    } else {
+        // permutation / chunky / hotspot are all O(servers) pairs
+        n
+    }
+}
+
+/// Parse an aggregated (never-materialized) traffic spec:
+/// `all-to-all-agg` or `hotspot-agg:<hot>`. These route through
+/// [`dctopo::core::ThroughputEngine::solve_aggregate`] and stay
+/// `O(switches)` however large the fabric is.
+fn parse_aggregate(spec: &str, n_servers: usize) -> Option<AggregateTraffic> {
+    if spec == "all-to-all-agg" {
+        Some(AggregateTraffic::all_to_all(n_servers))
+    } else if let Some(hot) = spec.strip_prefix("hotspot-agg:") {
+        let hot: usize = hot.parse().ok()?;
+        (hot >= 1 && hot < n_servers).then(|| AggregateTraffic::hotspot(n_servers, hot))
+    } else {
+        None
+    }
+}
+
+fn build_traffic(spec: &str, topo: &Topology, rng: &mut StdRng, max_pairs: u128) -> TrafficMatrix {
+    let pairs = traffic_pair_count(spec, topo.server_count());
+    if pairs > max_pairs {
+        eprintln!(
+            "traffic '{spec}' on {} servers would materialize {pairs} pairs \
+             (limit --max-pairs {max_pairs}); use the aggregated form \
+             (--traffic all-to-all-agg / hotspot-agg:<hot> on `solve`) or \
+             raise --max-pairs",
+            topo.server_count()
+        );
+        exit(1);
+    }
     if spec == "permutation" {
         TrafficMatrix::random_permutation(topo.server_count(), rng)
     } else if spec == "all-to-all" {
@@ -269,6 +317,7 @@ fn cmd_solve(args: &Args) {
         opts.backend = backend;
         opts.strict_reference = strict;
     }
+    let max_pairs: u128 = args.get("max-pairs").unwrap_or(DEFAULT_MAX_PAIRS);
     let mut throughputs = Vec::new();
     for run in 0..runs {
         let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(run as u64));
@@ -276,7 +325,35 @@ fn cmd_solve(args: &Args) {
         // one CSR flattening per topology, shared by whichever backend
         // `opts.backend` selects
         let engine = dctopo::core::ThroughputEngine::new(&topo);
-        let tm = build_traffic(&traffic, &topo, &mut rng);
+        // aggregated specs skip the pair list entirely: grouped demand
+        // descriptors + the grouped FPTAS, O(switches) memory
+        if let Some(agg) = parse_aggregate(&traffic, topo.server_count()) {
+            match engine.solve_aggregate(&agg, &opts) {
+                Ok(res) => {
+                    if run == 0 {
+                        println!(
+                            "topology: {} switches / {} links / {} servers; \
+                             traffic: {} flows (aggregated)",
+                            topo.switch_count(),
+                            topo.graph.edge_count(),
+                            topo.server_count(),
+                            agg.flow_count()
+                        );
+                    }
+                    println!(
+                        "run {run}: throughput {:.4} (network λ {:.4} ≤ {:.4} certified, NIC cap {:.4})",
+                        res.throughput, res.network_lambda, res.network_upper_bound, res.nic_limit
+                    );
+                    throughputs.push(res.throughput);
+                }
+                Err(e) => {
+                    eprintln!("run {run}: solve failed: {e}");
+                    exit(1);
+                }
+            }
+            continue;
+        }
+        let tm = build_traffic(&traffic, &topo, &mut rng, max_pairs);
         match engine.solve(&tm, &opts) {
             Ok(res) => {
                 if run == 0 {
