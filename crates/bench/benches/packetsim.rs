@@ -1,39 +1,192 @@
-//! Criterion benchmark for the discrete-event packet simulator
-//! (events per second of simulated MPTCP traffic).
+//! Packet simulator throughput and co-validation gates.
+//!
+//! The instance is a permutation matrix on `RRG(40, 12, 8)` — 160
+//! servers — solved by the FPTAS with per-commodity recording, path
+//! decomposed, and offered at η = 0.9 of the certified rates. Three
+//! gates:
+//!
+//! 1. **Co-validation law**: the packet witness stays within the
+//!    certified offer (four packets of slack per measurement window)
+//!    and delivers at least `DCTOPO_PACKETSIM_MIN_RATIO` of it on the
+//!    worst flow — the same law `tests/packetsim_covalidation.rs` pins.
+//! 2. **Event rate**: the calendar-queue simulator must process at
+//!    least `DCTOPO_PACKETSIM_MIN_EPS` events per second (default
+//!    10⁷) single-threaded on a long run of the decomposed traffic.
+//! 3. **Scheduler equivalence**: the same run through the reference
+//!    binary-heap scheduler returns a bit-identical [`SimResult`] —
+//!    the `(time, seq)` determinism contract, observed end to end —
+//!    and a repeat calendar run reproduces itself exactly.
+//!
+//! The emitted speedup record compares the heap reference (`old_ms`)
+//! against the calendar queue (`new_ms`) on identical flows.
+//!
+//! Knobs (env): `DCTOPO_PACKETSIM_MIN_EPS` (relax in CI),
+//! `DCTOPO_PACKETSIM_MIN_RATIO` (default 0.8),
+//! `DCTOPO_PACKETSIM_DURATION` (simulated time units, default 4000).
+//!
+//! ```text
+//! DCTOPO_BENCH_JSON=BENCH_packetsim.json cargo bench -p dctopo-bench --bench packetsim
+//! ```
+
+use std::time::Instant;
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dctopo_core::packet::{build_packet_scenario, PacketParams};
-use dctopo_packetsim::{simulate, SimConfig};
+use dctopo_bench::report::{self, SpeedupRecord};
+use dctopo_core::solve::aggregate_commodities;
+use dctopo_core::{PacketParams, ThroughputEngine};
+use dctopo_flow::{decompose_paths, solve, FlowOptions};
+use dctopo_packetsim::{
+    simulate, simulate_with_heap, FlowSpec, PathSpec, SimConfig, TransportMode,
+};
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+fn env_f64(key: &str, default: f64) -> f64 {
+    std::env::var(key)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Decomposed η-scaled flows for the long timing runs — the same
+/// lowering `covalidate` performs, kept by hand so both schedulers can
+/// be timed on identical inputs.
+fn decomposed_flows(
+    net: &dctopo_graph::CsrNet,
+    topo: &Topology,
+    tm: &TrafficMatrix,
+    eta: f64,
+) -> Vec<FlowSpec> {
+    let commodities = aggregate_commodities(topo, tm);
+    let opts = FlowOptions::default().with_commodity_flows(true);
+    let solved = solve(net, &commodities, &opts).expect("solve");
+    let mut paths_of: Vec<Vec<PathSpec>> = vec![Vec::new(); commodities.len()];
+    for p in decompose_paths(net, &commodities, &solved).expect("decompose") {
+        paths_of[p.commodity].push(PathSpec {
+            arcs: p.arcs,
+            weight: p.flow,
+        });
+    }
+    let mut flows = Vec::new();
+    for (j, c) in commodities.iter().enumerate() {
+        let rate = eta * solved.commodity_rate[j];
+        if rate <= 1e-12 || paths_of[j].is_empty() {
+            continue;
+        }
+        flows.push(FlowSpec {
+            src: c.src,
+            dst: c.dst,
+            rate,
+            paths: std::mem::take(&mut paths_of[j]),
+        });
+    }
+    flows
+}
+
 fn bench_packetsim(c: &mut Criterion) {
-    let mut rng = StdRng::seed_from_u64(7);
-    let topo = Topology::random_regular(16, 8, 6, &mut rng).expect("rrg");
+    let min_eps = env_f64("DCTOPO_PACKETSIM_MIN_EPS", 1e7);
+    let min_ratio = env_f64("DCTOPO_PACKETSIM_MIN_RATIO", 0.8);
+    let duration = env_f64("DCTOPO_PACKETSIM_DURATION", 4000.0);
+
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(40, 12, 8, &mut rng).expect("rrg");
     let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
-    let scenario = build_packet_scenario(
-        &topo,
-        &tm,
-        &PacketParams {
-            subflows: 4,
-            ..PacketParams::default()
-        },
-    )
-    .expect("scenario");
+    let engine = ThroughputEngine::new(&topo);
+
+    // ---- gate 1: the co-validation law on the certified claim ----
+    let params = PacketParams {
+        duration: 100.0,
+        warmup: 25.0,
+        ..PacketParams::default()
+    };
+    let cv = engine
+        .covalidate(&tm, &FlowOptions::default(), &params)
+        .expect("covalidate");
+    assert!(
+        cv.upholds_law(4.0),
+        "packet goodput above the certified offer: min ratio {:.4}, \
+         mean ratio {:.4}",
+        cv.min_ratio(),
+        cv.mean_ratio()
+    );
+    assert!(
+        cv.min_ratio() >= min_ratio,
+        "worst flow delivered only {:.4} of its feasible offer \
+         (floor {min_ratio})",
+        cv.min_ratio()
+    );
+
+    // ---- gates 2 + 3: event rate and scheduler equivalence on a ----
+    // ---- long run of the same decomposed traffic                ----
+    let flows = decomposed_flows(engine.net(), &topo, &tm, 0.9);
     let cfg = SimConfig {
-        duration: 300.0,
-        warmup: 100.0,
+        mode: TransportMode::Paced,
+        duration,
+        warmup: duration * 0.1,
         ..SimConfig::default()
+    };
+    // warm once per scheduler, then best-of-3
+    let mut cal = simulate(engine.net(), &flows, &cfg).expect("sim");
+    let mut heap = simulate_with_heap(engine.net(), &flows, &cfg).expect("sim");
+    let mut cal_ms = f64::INFINITY;
+    let mut heap_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let t = Instant::now();
+        cal = simulate(engine.net(), &flows, &cfg).expect("sim");
+        cal_ms = cal_ms.min(t.elapsed().as_secs_f64() * 1e3);
+        let t = Instant::now();
+        heap = simulate_with_heap(engine.net(), &flows, &cfg).expect("sim");
+        heap_ms = heap_ms.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    assert_eq!(
+        cal, heap,
+        "calendar and heap schedulers must realise the same run"
+    );
+    let rerun = simulate(engine.net(), &flows, &cfg).expect("sim");
+    assert_eq!(cal, rerun, "calendar rerun must be bit-identical");
+
+    let events_per_sec = cal.events as f64 / (cal_ms / 1e3);
+    assert!(
+        events_per_sec >= min_eps,
+        "calendar queue processed {events_per_sec:.3e} events/s, \
+         below the {min_eps:.1e} floor ({} events in {cal_ms:.1} ms)",
+        cal.events
+    );
+
+    report::emit_from_env(&[SpeedupRecord {
+        name: "packetsim_events".into(),
+        instance: format!(
+            "RRG(40, 12, 8) permutation, {} decomposed flows at eta 0.9, \
+             duration {duration}; {} events, {events_per_sec:.3e} events/s, \
+             trace {:#018x} bit-identical heap vs calendar; heap vs \
+             calendar wall",
+            flows.len(),
+            cal.events,
+            cal.trace_hash
+        ),
+        old_ms: heap_ms,
+        new_ms: cal_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
+    }]);
+
+    // ---- a short run criterion can loop for trend tracking ----
+    let short = SimConfig {
+        duration: 200.0,
+        warmup: 20.0,
+        ..cfg
     };
     let mut group = c.benchmark_group("packetsim");
     group.sample_size(10);
-    group.bench_function("rrg16_32flows_4subflows", |b| {
+    group.bench_function("rrg40_calendar", |b| {
+        b.iter(|| simulate(engine.net(), &flows, &short).expect("sim").events)
+    });
+    group.bench_function("rrg40_heap", |b| {
         b.iter(|| {
-            simulate(&scenario.net, &scenario.flows, &cfg)
+            simulate_with_heap(engine.net(), &flows, &short)
                 .expect("sim")
-                .delivered
+                .events
         })
     });
     group.finish();

@@ -18,9 +18,11 @@
 //! * [`vl2`] — the §7 case study: binary search for the number of ToRs a
 //!   topology family supports at full throughput, for stock VL2 and the
 //!   rewired variant.
-//! * [`packet`] — glue from a [`dctopo_topology::Topology`] to the
-//!   packet-level simulator (Fig. 13): builds the host-augmented network
-//!   and MPTCP subflow paths over k-shortest routes.
+//! * [`packet`] — packet-level co-validation (§8.2 / Fig. 13):
+//!   [`packet::CoValidation`] witnesses a certified throughput claim by
+//!   simulating the decomposed (or KSP / ECMP) paths on the same
+//!   `CsrNet` the claim was solved on, at a utilization `η` of the
+//!   certified rates.
 //! * [`scenario`] — failure/degradation recipes ([`scenario::Scenario`])
 //!   applied to a base topology's `CsrNet` as cheap delta views.
 //! * [`sweep`] — the scenario sweep engine: evaluate a full
@@ -37,6 +39,7 @@ pub mod sweep;
 pub mod vl2;
 
 pub use experiment::{Runner, Stats};
+pub use packet::{CoValidation, PacketError, PacketParams, RoutingMode};
 pub use scenario::{AppliedScenario, Degradation, Scenario};
 pub use solve::{
     aggregate_groups, solve_throughput, AggregateThroughputResult, ThroughputEngine,

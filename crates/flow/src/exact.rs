@@ -97,6 +97,11 @@ pub fn exact_solved_flow(
                 }
             }
             let commodity_rate = commodities.iter().map(|c| throughput * c.demand).collect();
+            let commodity_arc_flow = opts.record_commodity_flows.then(|| {
+                (0..k)
+                    .map(|j| (0..m).map(|a| s.x[var(j, a)]).collect())
+                    .collect()
+            });
             Ok(SolvedFlow {
                 throughput,
                 upper_bound: throughput,
@@ -104,6 +109,7 @@ pub fn exact_solved_flow(
                 commodity_rate,
                 phases: 1,
                 settles: 0,
+                commodity_arc_flow,
             })
         }
         LpOutcome::Infeasible => Err(FlowError::BadOptions(

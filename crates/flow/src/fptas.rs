@@ -238,6 +238,10 @@ fn solve_strict(
     // raw (pre-scaling) accumulated flow
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
+    // optional per-commodity arc-flow record, same units as arc_flow
+    let mut cf: Option<Vec<Vec<f64>>> = opts
+        .record_commodity_flows
+        .then(|| vec![vec![0.0f64; num_arcs]; commodities.len()]);
 
     let mut best_dual = f64::INFINITY;
     // reachability check up front (also seeds the first dual bound)
@@ -311,6 +315,19 @@ fn solve_strict(
                     length[a] *= 1.0 + eps * (sent / net.capacity(a));
                     tree_load[a] = 0.0;
                 }
+                // mirror the same tree walk into the per-commodity
+                // record before `remaining` is consumed; the workspace
+                // still holds the tree the load was charged along
+                if let Some(cf) = cf.as_mut() {
+                    for (k, &(j, dst, _)) in g.sinks.iter().enumerate() {
+                        let r = g.remaining[k];
+                        if r <= 1e-12 {
+                            continue;
+                        }
+                        let sent = tau * r;
+                        g.ws.walk_path(net, dst, |a| cf[j][a] += sent);
+                    }
+                }
                 for (k, &(j, _, _)) in g.sinks.iter().enumerate() {
                     let sent = tau * g.remaining[k];
                     routed[j] += sent;
@@ -362,6 +379,11 @@ fn solve_strict(
                 commodity_rate: routed.iter().map(|&r| r / mu).collect(),
                 phases,
                 settles: 0,
+                commodity_arc_flow: cf.as_ref().map(|c| {
+                    c.iter()
+                        .map(|v| v.iter().map(|&f| f / mu).collect())
+                        .collect()
+                }),
             });
         }
         if primal >= (1.0 - opts.target_gap) * best_dual {
@@ -429,6 +451,10 @@ fn solve_fast(
     let mut length: Vec<f64> = inv_cap.to_vec();
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
+    // optional per-commodity arc-flow record, same units as arc_flow
+    let mut cf: Option<Vec<Vec<f64>>> = opts
+        .record_commodity_flows
+        .then(|| vec![vec![0.0f64; num_arcs]; commodities.len()]);
 
     // D(l) maintained incrementally at the length-update sites below;
     // recomputed in full only at init and after a uniform rescale, and
@@ -627,6 +653,19 @@ fn solve_fast(
                     log.push(a as u32);
                     tree_load[a] = 0.0;
                 }
+                // mirror the same tree walk into the per-commodity
+                // record before `remaining` is consumed; the workspace
+                // still holds the tree the load was charged along
+                if let Some(cf) = cf.as_mut() {
+                    for (k, &(j, dst, _)) in g.sinks.iter().enumerate() {
+                        let r = g.remaining[k];
+                        if r <= 1e-12 {
+                            continue;
+                        }
+                        let sent = tau * r;
+                        g.ws.walk_path(net, dst, |a| cf[j][a] += sent);
+                    }
+                }
                 for (k, &(j, _, _)) in g.sinks.iter().enumerate() {
                     let sent = tau * g.remaining[k];
                     routed[j] += sent;
@@ -675,6 +714,11 @@ fn solve_fast(
                 commodity_rate: routed.iter().map(|&r| r / mu).collect(),
                 phases,
                 settles: 0,
+                commodity_arc_flow: cf.as_ref().map(|c| {
+                    c.iter()
+                        .map(|v| v.iter().map(|&f| f / mu).collect())
+                        .collect()
+                }),
             });
         }
         if primal >= (1.0 - opts.target_gap) * best_dual {

@@ -140,6 +140,9 @@ fn solve_frozen(
     let mut length: Vec<f64> = net.inv_capacities().to_vec();
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
+    let mut cf: Option<Vec<Vec<f64>>> = opts
+        .record_commodity_flows
+        .then(|| vec![vec![0.0f64; num_arcs]; commodities.len()]);
     let mut best_dual = f64::INFINITY;
     let mut best: Option<SolvedFlow> = None;
     let mut phases = 0usize;
@@ -165,6 +168,11 @@ fn solve_frozen(
                 for &a in best_path {
                     arc_flow[a] += send;
                     length[a] *= 1.0 + eps * (send * net.inv_capacity(a));
+                }
+                if let Some(cf) = cf.as_mut() {
+                    for &a in best_path {
+                        cf[j][a] += send;
+                    }
                 }
                 routed[j] += send;
                 remaining -= send;
@@ -212,6 +220,11 @@ fn solve_frozen(
                 upper_bound: best_dual,
                 arc_flow: arc_flow.iter().map(|&f| f / mu).collect(),
                 commodity_rate: routed.iter().map(|&r| r / mu).collect(),
+                commodity_arc_flow: cf.as_ref().map(|c| {
+                    c.iter()
+                        .map(|v| v.iter().map(|&f| f / mu).collect())
+                        .collect()
+                }),
                 phases,
                 settles: 0,
             });

@@ -58,6 +58,7 @@
 pub mod backend;
 pub mod cache;
 pub mod cut;
+pub mod decompose;
 pub mod exact;
 mod fptas;
 pub mod grouped;
@@ -73,6 +74,7 @@ pub use dctopo_graph::NodeId;
 
 pub use backend::{solve, solve_with_cache, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
 pub use cache::{CacheStats, PathSetCache};
+pub use decompose::{decompose_paths, PathFlow};
 pub use fptas::max_concurrent_flow_csr;
 pub use grouped::{solve_grouped, DemandGroup, GroupedFlow, SinkSpec};
 
@@ -151,6 +153,12 @@ pub struct FlowOptions {
     /// (cheaper) trajectory. See `docs/ARCHITECTURE.md` for the full
     /// determinism contract. Ignored by the other backends.
     pub strict_reference: bool,
+    /// Also record each commodity's own arc flows
+    /// ([`SolvedFlow::commodity_arc_flow`]), enabling
+    /// [`decompose::decompose_paths`]. Costs `O(commodities × arcs)`
+    /// memory plus a second tree walk per augmentation, so it is off by
+    /// default. Honoured by every backend except [`mod@reference`].
+    pub record_commodity_flows: bool,
 }
 
 impl Default for FlowOptions {
@@ -162,6 +170,7 @@ impl Default for FlowOptions {
             stall_phases: 150,
             backend: Backend::Fptas,
             strict_reference: false,
+            record_commodity_flows: false,
         }
     }
 }
@@ -200,6 +209,12 @@ impl FlowOptions {
         self.strict_reference = strict;
         self
     }
+
+    /// Same options with [`FlowOptions::record_commodity_flows`] set.
+    pub fn with_commodity_flows(mut self, record: bool) -> Self {
+        self.record_commodity_flows = record;
+        self
+    }
 }
 
 /// A solved max concurrent flow.
@@ -221,6 +236,13 @@ pub struct SolvedFlow {
     /// `0` for solvers that are not instrumented ([`ExactLp`],
     /// [`KspRestricted`], and the [`mod@reference`] baseline).
     pub settles: u64,
+    /// Per-commodity arc flows (outer index = commodity in input
+    /// order, inner = [`dctopo_graph::ArcId`]), scaled like
+    /// [`SolvedFlow::arc_flow`] so that summing over commodities
+    /// reproduces it. `Some` only when solved with
+    /// [`FlowOptions::record_commodity_flows`]; the input for
+    /// [`decompose::decompose_paths`].
+    pub commodity_arc_flow: Option<Vec<Vec<f64>>>,
 }
 
 impl SolvedFlow {

@@ -202,6 +202,8 @@ pub fn max_concurrent_flow_graph(
             commodity_rate: routed.iter().map(|&r| r / mu).collect(),
             phases,
             settles: 0,
+            // the baseline stays un-instrumented by design
+            commodity_arc_flow: None,
         };
 
         let better = best.as_ref().is_none_or(|b| primal > b.throughput);

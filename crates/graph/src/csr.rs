@@ -245,6 +245,18 @@ impl CsrNet {
         (self.row[v + 1] - self.row[v]) as usize
     }
 
+    /// The first live arc `u → v` in adjacency order, if any — the
+    /// deterministic node-path → arc-path lowering rule (parallel
+    /// edges resolve to the lowest slot, matching the tie-break used
+    /// by the solver's tree walks).
+    pub fn arc_between(&self, u: NodeId, v: NodeId) -> Option<ArcId> {
+        let (arcs, heads) = self.out_slots(u);
+        arcs.iter()
+            .zip(heads)
+            .find(|&(&a, &h)| h as usize == v && self.is_live(a as usize))
+            .map(|(&a, _)| a as usize)
+    }
+
     /// Total capacity counting both directions (the paper's `C`).
     /// Disabled arcs contribute nothing.
     pub fn total_capacity(&self) -> f64 {

@@ -1,189 +1,50 @@
 //! # dctopo-packetsim
 //!
-//! A discrete-event packet-level network simulator with an MPTCP-like
-//! multipath transport, reproducing the paper's §8.2 experiment ("we use
-//! Multipath TCP in a packet level simulation to test if the throughput
-//! of our modified VL2-like topology is similar to what flow simulations
-//! yield" — the authors used htsim; we built the equivalent).
+//! A deterministic, arena-allocated, event-driven packet simulator
+//! that independently witnesses the fluid solver's certified
+//! throughput claims (the paper's §8.2 cross-check, rebuilt as a
+//! co-validation engine).
 //!
-//! ## Model
+//! Unlike its predecessor, this simulator has no private network
+//! type: it is constructed directly from any
+//! [`dctopo_graph::CsrNet`] — including the sweep engine's
+//! `with_disabled_arcs` / capacity-override delta views — with the
+//! sim's link `a` being exactly CSR arc `a`. Flows are routed along
+//! explicit arc paths (FPTAS path decompositions, frozen KSP path
+//! sets, or ECMP shortest paths, built by `dctopo-core`), split per
+//! the solved arc flows.
 //!
-//! * **Nodes** are switches and hosts; **links** are unidirectional
-//!   FIFO drop-tail queues with a service rate (packets per time unit —
-//!   a unit-capacity link serves one packet per time unit) and a fixed
-//!   propagation delay.
-//! * **Routing** is source routing: each MPTCP subflow is pinned to one
-//!   of the `k` shortest paths between its endpoints (§8.2: "MPTCP with
-//!   the shortest paths, using as many as 8 MPTCP subflows").
-//! * **Transport** ([`transport`]) is a window-based AIMD with coupled
-//!   increase across a connection's subflows (a simplified LIA): each
-//!   cumulative ACK increases the ACKed subflow's window by
-//!   `1/cwnd_total`, three duplicate ACKs halve that subflow's window
-//!   and trigger a retransmission, and a retransmit timeout collapses it
-//!   to one packet.
-//! * ACKs travel on the reverse path but bypass queues (pure delay).
-//!   This is the standard abstraction when the metric of interest is
-//!   steady-state data throughput; we document it as a deliberate
-//!   simplification.
+//! ## Determinism contract
 //!
-//! The headline output is per-flow goodput over the post-warmup window,
-//! normalised to the host line rate — directly comparable to the
-//! flow-level λ from `dctopo-flow` (Fig. 13).
+//! * Time is integer ticks, [`TICKS_PER_UNIT`] per model time unit.
+//! * Events are totally ordered by `(time, seq)` where `seq` is the
+//!   scheduler-assigned insertion sequence; ties in time pop in
+//!   insertion order.
+//! * The production [`CalendarQueue`] and the reference
+//!   [`HeapScheduler`] realise the same order, verified by
+//!   differential tests; [`simulate`] and [`simulate_with_heap`]
+//!   return byte-for-byte identical [`SimResult`]s.
+//! * No wall clock, no RNG, no address-dependent iteration: reruns
+//!   are bit-identical, pinned by [`SimResult::trace_hash`].
+//!
+//! ## Performance contract
+//!
+//! Single-threaded, ≥10⁷ packet-events per second on the bench
+//! instance (`BENCH_packetsim.json`, gated in
+//! `crates/bench/benches/packetsim.rs`). The hot loop allocates
+//! nothing per packet: link queues are rings in one shared slab,
+//! transport windows are fixed bitmaps, events are `Copy`.
 
+#![warn(missing_docs)]
+
+pub mod calendar;
 pub mod net;
 pub mod sim;
-pub mod transport;
+mod transport;
 
-pub use net::{LinkSpec, Network};
-pub use sim::{simulate, FlowSpec, SimConfig, SimError, SimResult};
-
-#[cfg(test)]
-mod integration_tests {
-    use super::*;
-
-    /// One flow over one unit link: goodput ≈ line rate.
-    #[test]
-    fn single_flow_saturates_link() {
-        let mut net = Network::new(2);
-        net.add_duplex_link(
-            0,
-            1,
-            LinkSpec {
-                rate: 1.0,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        let flows = vec![FlowSpec {
-            src: 0,
-            dst: 1,
-            paths: vec![vec![0, 1]],
-        }];
-        let cfg = SimConfig {
-            duration: 3000.0,
-            warmup: 500.0,
-            ..SimConfig::default()
-        };
-        let res = simulate(&net, &flows, &cfg).unwrap();
-        let rate = res.flow_goodput[0];
-        assert!(rate > 0.85, "goodput {rate} too far below line rate");
-        assert!(rate <= 1.0 + 1e-9, "goodput {rate} exceeds line rate");
-    }
-
-    /// Two flows share one link: fair split, full utilization.
-    #[test]
-    fn two_flows_share_fairly() {
-        let mut net = Network::new(4);
-        net.add_duplex_link(
-            0,
-            2,
-            LinkSpec {
-                rate: 1.0,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        net.add_duplex_link(
-            1,
-            2,
-            LinkSpec {
-                rate: 1.0,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        net.add_duplex_link(
-            2,
-            3,
-            LinkSpec {
-                rate: 1.0,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        let flows = vec![
-            FlowSpec {
-                src: 0,
-                dst: 3,
-                paths: vec![vec![0, 2, 3]],
-            },
-            FlowSpec {
-                src: 1,
-                dst: 3,
-                paths: vec![vec![1, 2, 3]],
-            },
-        ];
-        let cfg = SimConfig {
-            duration: 4000.0,
-            warmup: 1000.0,
-            ..SimConfig::default()
-        };
-        let res = simulate(&net, &flows, &cfg).unwrap();
-        let (a, b) = (res.flow_goodput[0], res.flow_goodput[1]);
-        assert!(a + b > 0.8, "total {a}+{b} leaves the bottleneck idle");
-        assert!(a + b <= 1.0 + 1e-9);
-        let fairness = a.min(b) / a.max(b);
-        assert!(fairness > 0.55, "unfair split: {a} vs {b}");
-    }
-
-    /// Multipath: two disjoint paths double a single flow's goodput.
-    #[test]
-    fn multipath_uses_both_paths() {
-        // 0 -(A)- 1 -(A)- 3 and 0 -(B)- 2 -(B)- 3
-        let mut net = Network::new(4);
-        net.add_duplex_link(
-            0,
-            1,
-            LinkSpec {
-                rate: 0.5,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        net.add_duplex_link(
-            1,
-            3,
-            LinkSpec {
-                rate: 0.5,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        net.add_duplex_link(
-            0,
-            2,
-            LinkSpec {
-                rate: 0.5,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        net.add_duplex_link(
-            2,
-            3,
-            LinkSpec {
-                rate: 0.5,
-                delay: 0.05,
-                queue: 32,
-            },
-        );
-        let single = vec![FlowSpec {
-            src: 0,
-            dst: 3,
-            paths: vec![vec![0, 1, 3]],
-        }];
-        let multi = vec![FlowSpec {
-            src: 0,
-            dst: 3,
-            paths: vec![vec![0, 1, 3], vec![0, 2, 3]],
-        }];
-        let cfg = SimConfig {
-            duration: 4000.0,
-            warmup: 1000.0,
-            ..SimConfig::default()
-        };
-        let r1 = simulate(&net, &single, &cfg).unwrap().flow_goodput[0];
-        let r2 = simulate(&net, &multi, &cfg).unwrap().flow_goodput[0];
-        assert!(r2 > 1.5 * r1, "multipath {r2} vs single {r1}");
-    }
-}
+pub use calendar::{CalendarQueue, EventScheduler, HeapScheduler};
+pub use net::SimError;
+pub use sim::{
+    simulate, simulate_with_heap, FlowSpec, PathSpec, SimConfig, SimResult, TransportMode,
+    TICKS_PER_UNIT,
+};

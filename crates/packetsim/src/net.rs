@@ -1,166 +1,157 @@
-//! The simulated network: nodes connected by unidirectional links, each
-//! with a service rate, propagation delay, and a FIFO drop-tail queue.
+//! Lowering a [`CsrNet`] into the simulator's per-link timing tables,
+//! plus path validation and the typed error surface.
+//!
+//! The lowering rules (see `docs/ARCHITECTURE.md`):
+//!
+//! * **Link id = arc id.** The simulator's link `a` is exactly CSR arc
+//!   `a`, so path decompositions, delta views
+//!   ([`CsrNet::with_disabled_arcs`] / capacity overrides), and solved
+//!   arc flows address the sim without translation.
+//! * **Service time** of arc `a` is `TICKS_PER_UNIT / capacity(a)`
+//!   ticks per packet, rounded, minimum one tick — one capacity unit
+//!   moves one packet per time unit. Dead arcs (capacity 0) get
+//!   service 0 and reject any path routed over them.
+//! * **Propagation delay** and **queue capacity** are uniform across
+//!   links, from [`SimConfig`](crate::SimConfig); the queue counts the
+//!   in-service packet, so a link holds at most `queue_cap` packets.
 
-/// Parameters of one (unidirectional) link.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct LinkSpec {
-    /// Service rate in packets per time unit (1.0 = server line rate).
-    pub rate: f64,
-    /// Propagation delay in time units.
-    pub delay: f64,
-    /// Queue capacity in packets (excluding the one in service).
-    pub queue: usize,
+use std::fmt;
+
+use dctopo_graph::CsrNet;
+
+use crate::sim::TICKS_PER_UNIT;
+
+/// Errors from lowering or validating simulator input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// A flow's source equals its destination.
+    SelfLoopFlow {
+        /// The offending node.
+        node: usize,
+    },
+    /// A path is routed over an arc with zero capacity (a failed link
+    /// in a delta view, or a disabled arc).
+    ZeroCapacityLink {
+        /// The dead arc id.
+        arc: usize,
+    },
+    /// A path is structurally invalid for its flow.
+    BrokenPath {
+        /// Index of the flow the path belongs to.
+        flow: usize,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// A configuration value is out of range.
+    BadConfig(String),
 }
 
-/// A directed link instance.
-#[derive(Debug, Clone, Copy)]
-pub struct Link {
-    /// Source node.
-    pub from: usize,
-    /// Target node.
-    pub to: usize,
-    /// Parameters.
-    pub spec: LinkSpec,
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::SelfLoopFlow { node } => {
+                write!(f, "flow source equals destination (node {node})")
+            }
+            SimError::ZeroCapacityLink { arc } => {
+                write!(f, "path routed over zero-capacity arc {arc}")
+            }
+            SimError::BrokenPath { flow, reason } => {
+                write!(f, "flow {flow} has a broken path: {reason}")
+            }
+            SimError::BadConfig(msg) => write!(f, "bad sim config: {msg}"),
+        }
+    }
 }
 
-/// The static network: node count and directed links with an adjacency
-/// index for path resolution.
-#[derive(Debug, Clone, Default)]
-pub struct Network {
-    nodes: usize,
-    links: Vec<Link>,
-    /// `next_link[u]` lists `(v, link id)` pairs.
-    out: Vec<Vec<(usize, usize)>>,
+impl std::error::Error for SimError {}
+
+/// Per-link timing tables lowered from a [`CsrNet`].
+pub(crate) struct SimNet {
+    /// Ticks to serialize one packet on arc `a`; 0 marks a dead arc.
+    pub service_ticks: Vec<u64>,
+    /// Propagation delay in ticks, uniform across links.
+    pub delay_ticks: u64,
+    /// Drop-tail queue capacity per link, counting the packet in
+    /// service.
+    pub queue_cap: usize,
+    /// Head node of each arc (copied so the sim owns its tables).
+    pub arc_head: Vec<u32>,
+    /// Tail node of each arc.
+    pub arc_tail: Vec<u32>,
 }
 
-impl Network {
-    /// A network with `nodes` nodes and no links.
-    pub fn new(nodes: usize) -> Self {
-        Network {
-            nodes,
-            links: Vec::new(),
-            out: vec![Vec::new(); nodes],
+impl SimNet {
+    /// Lower `net` with the given uniform delay (ticks) and queue
+    /// capacity.
+    pub fn lower(net: &CsrNet, delay_ticks: u64, queue_cap: usize) -> SimNet {
+        let m = net.arc_count();
+        let mut service_ticks = Vec::with_capacity(m);
+        let mut arc_head = Vec::with_capacity(m);
+        let mut arc_tail = Vec::with_capacity(m);
+        for a in 0..m {
+            let cap = net.capacity(a);
+            let svc = if cap > 0.0 {
+                ((TICKS_PER_UNIT as f64 / cap).round() as u64).max(1)
+            } else {
+                0
+            };
+            service_ticks.push(svc);
+            arc_head.push(net.arc_head(a) as u32);
+            arc_tail.push(net.arc_tail(a) as u32);
+        }
+        SimNet {
+            service_ticks,
+            delay_ticks,
+            queue_cap,
+            arc_head,
+            arc_tail,
         }
     }
 
-    /// Number of nodes.
-    pub fn node_count(&self) -> usize {
-        self.nodes
-    }
-
-    /// Number of directed links.
-    pub fn link_count(&self) -> usize {
-        self.links.len()
-    }
-
-    /// Link by id.
-    pub fn link(&self, id: usize) -> &Link {
-        &self.links[id]
-    }
-
-    /// Add a unidirectional link; returns its id.
-    ///
-    /// # Panics
-    /// On out-of-range nodes, self-loops, or non-positive rate.
-    pub fn add_link(&mut self, from: usize, to: usize, spec: LinkSpec) -> usize {
-        assert!(
-            from < self.nodes && to < self.nodes,
-            "link endpoint out of range"
-        );
-        assert_ne!(from, to, "self-loop link");
-        assert!(
-            spec.rate > 0.0 && spec.rate.is_finite(),
-            "link rate must be positive"
-        );
-        assert!(spec.delay >= 0.0, "negative delay");
-        let id = self.links.len();
-        self.links.push(Link { from, to, spec });
-        self.out[from].push((to, id));
-        id
-    }
-
-    /// Add both directions with the same spec; returns `(fwd, rev)` ids.
-    pub fn add_duplex_link(&mut self, a: usize, b: usize, spec: LinkSpec) -> (usize, usize) {
-        (self.add_link(a, b, spec), self.add_link(b, a, spec))
-    }
-
-    /// The link from `u` to `v`, if present (first match on parallels).
-    pub fn link_between(&self, u: usize, v: usize) -> Option<usize> {
-        self.out[u]
-            .iter()
-            .find(|&&(w, _)| w == v)
-            .map(|&(_, id)| id)
-    }
-
-    /// Resolve a node path `[n0, n1, ..., nk]` into link ids.
-    ///
-    /// Returns `None` if any consecutive pair has no link.
-    pub fn resolve_path(&self, nodes: &[usize]) -> Option<Vec<usize>> {
-        nodes
-            .windows(2)
-            .map(|w| self.link_between(w[0], w[1]))
-            .collect()
-    }
-
-    /// Total propagation delay along a node path (for ACK return delay).
-    pub fn path_delay(&self, links: &[usize]) -> f64 {
-        links.iter().map(|&l| self.links[l].spec.delay).sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn spec() -> LinkSpec {
-        LinkSpec {
-            rate: 1.0,
-            delay: 0.1,
-            queue: 8,
+    /// Validate one flow path: non-empty, in range, live, contiguous,
+    /// and anchored at the flow's endpoints.
+    pub fn validate_path(
+        &self,
+        flow: usize,
+        src: usize,
+        dst: usize,
+        arcs: &[usize],
+    ) -> Result<(), SimError> {
+        let broken = |reason: String| SimError::BrokenPath { flow, reason };
+        if arcs.is_empty() {
+            return Err(broken("empty path".into()));
         }
-    }
-
-    #[test]
-    fn build_and_resolve() {
-        let mut net = Network::new(3);
-        net.add_duplex_link(0, 1, spec());
-        net.add_link(1, 2, spec());
-        assert_eq!(net.link_count(), 3);
-        let path = net.resolve_path(&[0, 1, 2]).unwrap();
-        assert_eq!(path.len(), 2);
-        assert_eq!(net.link(path[0]).from, 0);
-        assert_eq!(net.link(path[1]).to, 2);
-        // reverse of 1->2 does not exist
-        assert!(net.resolve_path(&[2, 1]).is_none());
-        assert!((net.path_delay(&path) - 0.2).abs() < 1e-12);
-    }
-
-    #[test]
-    #[should_panic(expected = "self-loop")]
-    fn rejects_self_loop() {
-        let mut net = Network::new(2);
-        net.add_link(1, 1, spec());
-    }
-
-    #[test]
-    #[should_panic(expected = "out of range")]
-    fn rejects_bad_node() {
-        let mut net = Network::new(2);
-        net.add_link(0, 5, spec());
-    }
-
-    #[test]
-    #[should_panic(expected = "positive")]
-    fn rejects_zero_rate() {
-        let mut net = Network::new(2);
-        net.add_link(
-            0,
-            1,
-            LinkSpec {
-                rate: 0.0,
-                delay: 0.0,
-                queue: 1,
-            },
-        );
+        for &a in arcs {
+            if a >= self.service_ticks.len() {
+                return Err(broken(format!(
+                    "arc {a} out of range ({} arcs)",
+                    self.service_ticks.len()
+                )));
+            }
+            if self.service_ticks[a] == 0 {
+                return Err(SimError::ZeroCapacityLink { arc: a });
+            }
+        }
+        if self.arc_tail[arcs[0]] as usize != src {
+            return Err(broken(format!(
+                "first arc starts at {} not source {src}",
+                self.arc_tail[arcs[0]]
+            )));
+        }
+        if self.arc_head[*arcs.last().unwrap()] as usize != dst {
+            return Err(broken(format!(
+                "last arc ends at {} not destination {dst}",
+                self.arc_head[*arcs.last().unwrap()]
+            )));
+        }
+        for w in arcs.windows(2) {
+            if self.arc_head[w[0]] != self.arc_tail[w[1]] {
+                return Err(broken(format!(
+                    "arc {} ends at {} but arc {} starts at {}",
+                    w[0], self.arc_head[w[0]], w[1], self.arc_tail[w[1]]
+                )));
+            }
+        }
+        Ok(())
     }
 }

@@ -1,224 +1,233 @@
-//! MPTCP-like transport state machines: per-subflow AIMD senders with
-//! coupled window increase, and a cumulative-ACK receiver.
+//! Window-based transport state: a per-path AIMD subflow (coupled
+//! across a flow's paths, MPTCP-LIA style, by the engine) and a
+//! per-flow receiver that deduplicates deliveries.
 //!
-//! This is deliberately an *abstract* TCP: no byte streams, no SACK
-//! blocks, no slow-start phase (we start from a small window and let
-//! AIMD probe) — the quantities that matter for Fig. 13 are steady-state
-//! window dynamics: additive increase coupled across subflows
-//! (`+1/cwnd_total` per ACKed packet, a simplified Linked-Increases
-//! Algorithm), multiplicative decrease on triple-duplicate ACK, and a
-//! retransmit-timeout backstop.
+//! All state is fixed-size — sequence bitmaps are [`WINDOW_CAP`]-bit
+//! rings and the retransmission stack is pre-allocated — so transport
+//! processing never allocates per packet.
 
-use std::collections::{BTreeMap, BTreeSet};
+/// Sender/receiver window in packets. Power of two; bounds how far
+/// `next_seq` may run ahead of the cumulative ACK, so the bitmaps
+/// below can be fixed-size rings.
+pub(crate) const WINDOW_CAP: u64 = 512;
 
-/// Maximum congestion window (packets) — a sanity cap, not a tuning knob.
-pub const MAX_CWND: f64 = 10_000.0;
+/// Congestion-window ceiling in packets. Strictly below [`WINDOW_CAP`]
+/// so the flow-control window never binds the bitmap indexing.
+pub(crate) const MAX_CWND: f64 = 256.0;
 
-/// Sender-side state of one subflow.
-#[derive(Debug, Clone)]
-pub struct Subflow {
-    /// Congestion window in packets.
+/// A fixed [`WINDOW_CAP`]-bit bitmap indexed by `seq % WINDOW_CAP`.
+#[derive(Clone, Copy)]
+pub(crate) struct BitRing {
+    words: [u64; (WINDOW_CAP / 64) as usize],
+}
+
+impl BitRing {
+    pub fn new() -> BitRing {
+        BitRing {
+            words: [0; (WINDOW_CAP / 64) as usize],
+        }
+    }
+
+    #[inline]
+    fn slot(seq: u64) -> (usize, u64) {
+        let bit = seq % WINDOW_CAP;
+        ((bit / 64) as usize, 1u64 << (bit % 64))
+    }
+
+    #[inline]
+    pub fn get(&self, seq: u64) -> bool {
+        let (w, m) = Self::slot(seq);
+        self.words[w] & m != 0
+    }
+
+    #[inline]
+    pub fn set(&mut self, seq: u64) {
+        let (w, m) = Self::slot(seq);
+        self.words[w] |= m;
+    }
+
+    #[inline]
+    pub fn clear(&mut self, seq: u64) {
+        let (w, m) = Self::slot(seq);
+        self.words[w] &= !m;
+    }
+}
+
+/// Sender-side state of one subflow (one path of a flow).
+pub(crate) struct Subflow {
+    /// Congestion window in packets (fractional; floor gates sending).
     pub cwnd: f64,
-    /// Next fresh sequence number to send.
+    /// Next fresh sequence number.
     pub next_seq: u64,
-    /// Highest cumulative ACK received (all `seq < cum_acked` delivered).
+    /// All sequences below this are acknowledged.
     pub cum_acked: u64,
-    /// Unacknowledged sequences in flight, mapped to their send time
-    /// (`NAN` once retransmitted — Karn's rule excludes them from RTT
-    /// sampling).
-    pub outstanding: BTreeMap<u64, f64>,
-    /// Duplicate-ACK counter.
-    pub dup_acks: u32,
-    /// While `cum_acked < recover_until` the subflow is in fast recovery
-    /// and ignores further duplicate ACKs.
-    pub recover_until: u64,
-    /// Timer generation — incremented to invalidate stale RTO events.
-    pub timer_gen: u64,
-    /// Smoothed RTT estimate (RFC-6298 style), `None` before the first
-    /// sample.
-    pub srtt: Option<f64>,
-    /// RTT variance estimate.
-    pub rttvar: f64,
-    /// Consecutive-timeout exponential backoff (doubles the RTO per
-    /// timeout, reset by the next genuine ACK).
+    /// Packets sent, neither acked nor timed out.
+    pub inflight: u32,
+    /// Acked sequences in `[cum_acked, cum_acked + WINDOW_CAP)`.
+    acked: BitRing,
+    /// Sequences with a pending timeout (sent, not yet resolved).
+    outstanding: BitRing,
+    /// LIFO stack of sequences awaiting retransmission.
+    rtx: Vec<u64>,
+    /// Per-slot send generation; a timeout is valid only for the
+    /// latest send of its sequence.
+    gens: Vec<u16>,
+    /// Duplicate-ACK counter: new ACKs above a stalled cumulative
+    /// point. Three trigger a fast retransmission.
+    dup: u32,
+    /// Sequences below this already fast-retransmitted once.
+    fr_mark: u64,
+    /// Consecutive unproductive timeouts; scales the RTO exponentially
+    /// (reset when the cumulative point advances).
     pub backoff: u32,
 }
 
-/// What the engine must do after feeding an ACK to a subflow.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct AckOutcome {
-    /// Number of newly acknowledged packets (0 for a duplicate ACK).
-    pub newly_acked: u64,
-    /// A sequence number to retransmit immediately, if any.
-    pub retransmit: Option<u64>,
-}
-
 impl Subflow {
-    /// Fresh subflow with the given initial window.
-    pub fn new(initial_cwnd: f64) -> Self {
+    pub fn new(initial_cwnd: u32) -> Subflow {
         Subflow {
-            cwnd: initial_cwnd.max(1.0),
+            cwnd: f64::from(initial_cwnd).clamp(1.0, MAX_CWND),
             next_seq: 0,
             cum_acked: 0,
-            outstanding: BTreeMap::new(),
-            dup_acks: 0,
-            recover_until: 0,
-            timer_gen: 0,
-            srtt: None,
-            rttvar: 0.0,
+            inflight: 0,
+            acked: BitRing::new(),
+            outstanding: BitRing::new(),
+            rtx: Vec::with_capacity(WINDOW_CAP as usize),
+            gens: vec![0; WINDOW_CAP as usize],
+            dup: 0,
+            fr_mark: 0,
             backoff: 0,
         }
     }
 
-    /// Current retransmission timeout: `SRTT + 4·RTTVAR`, clamped to
-    /// `[initial/10, initial·10]`; `initial` before the first sample.
-    pub fn rto(&self, initial: f64) -> f64 {
-        let base = match self.srtt {
-            Some(srtt) => (srtt + 4.0 * self.rttvar).clamp(initial / 10.0, initial * 10.0),
-            None => initial,
-        };
-        base * f64::from(1u32 << self.backoff.min(6))
+    /// Drop retransmission candidates that were acknowledged after the
+    /// timeout queued them (lazy cancelation).
+    fn purge_rtx(&mut self) {
+        while let Some(&seq) = self.rtx.last() {
+            if seq < self.cum_acked || self.acked.get(seq) {
+                self.rtx.pop();
+            } else {
+                break;
+            }
+        }
     }
 
-    /// Record an RTT sample (RFC 6298 smoothing).
-    fn sample_rtt(&mut self, sample: f64) {
-        match self.srtt {
+    /// Whether the congestion and flow-control windows admit a send.
+    pub fn can_send(&mut self) -> bool {
+        if u64::from(self.inflight) >= self.cwnd as u64 {
+            return false;
+        }
+        self.purge_rtx();
+        !self.rtx.is_empty() || self.next_seq < self.cum_acked + WINDOW_CAP
+    }
+
+    /// Claim the next sequence to transmit; the `bool` means it is a
+    /// retransmission, the `u16` is the send generation to stamp into
+    /// the retransmission timer. Callers must have checked
+    /// [`Subflow::can_send`].
+    pub fn take_seq(&mut self) -> (u64, bool, u16) {
+        self.purge_rtx();
+        let (seq, is_rtx) = match self.rtx.pop() {
+            Some(seq) => (seq, true),
             None => {
-                self.srtt = Some(sample);
-                self.rttvar = sample / 2.0;
+                let seq = self.next_seq;
+                self.next_seq += 1;
+                (seq, false)
             }
-            Some(srtt) => {
-                self.rttvar = 0.75 * self.rttvar + 0.25 * (srtt - sample).abs();
-                self.srtt = Some(0.875 * srtt + 0.125 * sample);
-            }
+        };
+        self.outstanding.set(seq);
+        self.inflight += 1;
+        let slot = (seq % WINDOW_CAP) as usize;
+        self.gens[slot] = self.gens[slot].wrapping_add(1);
+        (seq, is_rtx, self.gens[slot])
+    }
+
+    /// Process an ACK. Returns `true` if it newly acknowledged data
+    /// (the engine then applies the coupled window increase). May
+    /// queue a fast retransmission (three duplicate ACKs above a
+    /// stalled cumulative point halve the window and resend the
+    /// missing sequence without waiting for the timer).
+    pub fn on_ack(&mut self, seq: u64) -> bool {
+        if seq < self.cum_acked || self.acked.get(seq) {
+            return false;
         }
-    }
-
-    /// Can another packet enter the network under the current window?
-    pub fn can_send(&self) -> bool {
-        (self.outstanding.len() as f64) < self.cwnd.floor().max(1.0)
-    }
-
-    /// Allocate and record the next fresh sequence number, stamped with
-    /// its send time for RTT sampling.
-    pub fn take_next_seq(&mut self, now: f64) -> u64 {
-        let s = self.next_seq;
-        self.next_seq += 1;
-        self.outstanding.insert(s, now);
-        s
-    }
-
-    /// Mark a sequence as retransmitted (Karn: exclude from RTT samples).
-    pub fn mark_retransmitted(&mut self, seq: u64) {
-        if let Some(t) = self.outstanding.get_mut(&seq) {
-            *t = f64::NAN;
+        self.acked.set(seq);
+        if self.outstanding.get(seq) {
+            self.outstanding.clear(seq);
+            self.inflight -= 1;
         }
-    }
-
-    /// Process a cumulative ACK at time `now`. `total_cwnd` is the sum
-    /// of the windows of *all* subflows of the connection (the coupling
-    /// term).
-    pub fn on_ack(&mut self, cum: u64, total_cwnd: f64, now: f64) -> AckOutcome {
-        if cum > self.cum_acked {
-            let newly = cum - self.cum_acked;
-            self.cum_acked = cum;
-            // drop acked seqs, sampling RTT from never-retransmitted ones
-            let mut best_sample: Option<f64> = None;
-            while let Some((&s, &sent)) = self.outstanding.iter().next() {
-                if s < cum {
-                    self.outstanding.remove(&s);
-                    if sent.is_finite() {
-                        best_sample = Some(now - sent);
-                    }
-                } else {
-                    break;
-                }
-            }
-            if let Some(sample) = best_sample {
-                self.sample_rtt(sample.max(0.0));
-            }
-            self.dup_acks = 0;
+        let before = self.cum_acked;
+        while self.acked.get(self.cum_acked) {
+            self.acked.clear(self.cum_acked);
+            self.cum_acked += 1;
+        }
+        if self.cum_acked > before {
+            self.dup = 0;
             self.backoff = 0;
-            // coupled additive increase: +1/total per ACKed packet
-            let total = total_cwnd.max(1.0);
-            self.cwnd = (self.cwnd + newly as f64 / total).min(MAX_CWND);
-            // a partial ACK during recovery retransmits the next hole
-            let retransmit = if cum < self.recover_until && self.outstanding.contains_key(&cum) {
-                Some(cum)
-            } else {
-                None
-            };
-            AckOutcome {
-                newly_acked: newly,
-                retransmit,
-            }
         } else {
-            // duplicate ACK
-            self.dup_acks += 1;
-            if self.dup_acks == 3 && self.cum_acked >= self.recover_until {
-                // fast retransmit + multiplicative decrease, once per window
+            // the cumulative point is stalled: this ACK is "duplicate"
+            // evidence that cum_acked itself was lost
+            self.dup += 1;
+            let missing = self.cum_acked;
+            if self.dup >= 3 && missing >= self.fr_mark && self.outstanding.get(missing) {
+                self.outstanding.clear(missing);
+                self.inflight -= 1;
                 self.cwnd = (self.cwnd / 2.0).max(1.0);
-                self.recover_until = self.next_seq;
-                let seq = self.cum_acked;
-                let retransmit = self.outstanding.contains_key(&seq).then_some(seq);
-                AckOutcome {
-                    newly_acked: 0,
-                    retransmit,
-                }
-            } else {
-                AckOutcome {
-                    newly_acked: 0,
-                    retransmit: None,
-                }
+                self.rtx.push(missing);
+                self.fr_mark = missing + 1;
+                self.dup = 0;
             }
         }
+        true
     }
 
-    /// Retransmission timeout: collapse the window, return the first
-    /// missing sequence to retransmit (if anything is in flight).
-    pub fn on_timeout(&mut self) -> Option<u64> {
-        if self.outstanding.is_empty() {
-            return None;
+    /// Process a retransmission timeout for send generation `gen`.
+    /// Returns `true` if the loss was real (multiplicative decrease
+    /// applied, packet queued for retransmission); `false` lazily
+    /// cancels a stale timer — acked, already recovered, or
+    /// superseded by a newer send of the same sequence.
+    pub fn on_timeout(&mut self, seq: u64, gen: u16) -> bool {
+        if seq < self.cum_acked
+            || self.acked.get(seq)
+            || !self.outstanding.get(seq)
+            || self.gens[(seq % WINDOW_CAP) as usize] != gen
+        {
+            return false;
         }
-        self.cwnd = 1.0;
-        self.dup_acks = 0;
-        self.recover_until = self.next_seq;
-        // exponential backoff: repeated timeouts double the RTO
+        self.outstanding.clear(seq);
+        self.inflight -= 1;
+        self.cwnd = (self.cwnd / 2.0).max(1.0);
+        self.rtx.push(seq);
         self.backoff = (self.backoff + 1).min(6);
-        if let Some(srtt) = self.srtt {
-            self.rttvar = (self.rttvar * 2.0).max(srtt / 2.0);
-        }
-        self.outstanding.keys().next().copied()
+        true
     }
 }
 
-/// Receiver-side state of one subflow: cumulative ACK with out-of-order
-/// buffering.
-#[derive(Debug, Clone, Default)]
-pub struct Receiver {
-    /// Next in-order sequence expected (= cumulative ACK value).
-    pub expected: u64,
-    /// Out-of-order packets held back.
-    pub buffered: BTreeSet<u64>,
+/// Receiver-side state of one flow: cumulative receive point plus a
+/// window bitmap, deduplicating late retransmissions.
+pub(crate) struct Receiver {
+    cum: u64,
+    seen: BitRing,
 }
 
 impl Receiver {
-    /// Process an arriving packet. Returns `(cumulative_ack, is_new)`:
-    /// `is_new` is false for duplicates (retransmissions of delivered
-    /// data), which must not count toward goodput.
-    pub fn on_packet(&mut self, seq: u64) -> (u64, bool) {
-        if seq < self.expected || self.buffered.contains(&seq) {
-            return (self.expected, false);
+    pub fn new() -> Receiver {
+        Receiver {
+            cum: 0,
+            seen: BitRing::new(),
         }
-        if seq == self.expected {
-            self.expected += 1;
-            while self.buffered.remove(&self.expected) {
-                self.expected += 1;
-            }
-        } else {
-            self.buffered.insert(seq);
+    }
+
+    /// Record an arriving sequence; `true` if it is new (goodput).
+    pub fn on_packet(&mut self, seq: u64) -> bool {
+        if seq < self.cum || self.seen.get(seq) {
+            return false;
         }
-        (self.expected, true)
+        self.seen.set(seq);
+        while self.seen.get(self.cum) {
+            self.seen.clear(self.cum);
+            self.cum += 1;
+        }
+        true
     }
 }
 
@@ -227,125 +236,54 @@ mod tests {
     use super::*;
 
     #[test]
-    fn window_gates_sending() {
-        let mut s = Subflow::new(2.0);
-        assert!(s.can_send());
-        s.take_next_seq(0.0);
-        assert!(s.can_send());
-        s.take_next_seq(0.0);
-        assert!(!s.can_send());
+    fn ack_advances_cumulative_point() {
+        let mut sf = Subflow::new(4);
+        let (s0, _, _) = sf.take_seq();
+        let (s1, _, _) = sf.take_seq();
+        let (s2, _, _) = sf.take_seq();
+        assert!(sf.on_ack(s1));
+        assert_eq!(sf.cum_acked, 0);
+        assert!(sf.on_ack(s0));
+        assert_eq!(sf.cum_acked, 2);
+        assert!(!sf.on_ack(s1), "duplicate ACK is stale");
+        assert!(sf.on_ack(s2));
+        assert_eq!(sf.cum_acked, 3);
+        assert_eq!(sf.inflight, 0);
     }
 
     #[test]
-    fn ack_advances_and_grows_window() {
-        let mut s = Subflow::new(2.0);
-        s.take_next_seq(0.0);
-        s.take_next_seq(0.0);
-        let out = s.on_ack(2, 4.0, 1.0);
-        assert_eq!(out.newly_acked, 2);
-        assert!(out.retransmit.is_none());
-        assert!(s.outstanding.is_empty());
-        assert!((s.cwnd - 2.5).abs() < 1e-12, "coupled increase 2·(1/4)");
-    }
-
-    #[test]
-    fn triple_dup_ack_halves_and_retransmits() {
-        let mut s = Subflow::new(8.0);
-        for _ in 0..8 {
-            s.take_next_seq(0.0);
-        }
-        // packet 0 lost: receiver keeps acking 0
-        assert_eq!(
-            s.on_ack(0, 8.0, 1.0),
-            AckOutcome {
-                newly_acked: 0,
-                retransmit: None
-            }
+    fn timeout_then_late_ack_does_not_double_count() {
+        let mut sf = Subflow::new(4);
+        let (s0, _, g0) = sf.take_seq();
+        assert_eq!(sf.inflight, 1);
+        assert!(sf.on_timeout(s0, g0));
+        assert_eq!(sf.inflight, 0);
+        assert!(
+            !sf.on_timeout(s0, g0),
+            "second firing of the same timer is stale"
         );
-        assert_eq!(
-            s.on_ack(0, 8.0, 1.1),
-            AckOutcome {
-                newly_acked: 0,
-                retransmit: None
-            }
+        // the retransmission goes out with a fresh timer generation
+        let (again, is_rtx, g1) = sf.take_seq();
+        assert_eq!(again, s0);
+        assert!(is_rtx);
+        assert!(
+            !sf.on_timeout(s0, g0),
+            "superseded-generation timer is stale"
         );
-        let third = s.on_ack(0, 8.0, 1.2);
-        assert_eq!(third.retransmit, Some(0));
-        assert!((s.cwnd - 4.0).abs() < 1e-12);
-        // further dups during recovery do nothing
-        let fourth = s.on_ack(0, 8.0, 1.3);
-        assert_eq!(fourth.retransmit, None);
-        assert!((s.cwnd - 4.0).abs() < 1e-12);
+        // the original packet's ACK arrives late: acked once, and the
+        // pending retransmission timer lazily cancels
+        assert!(sf.on_ack(s0));
+        assert_eq!(sf.inflight, 0);
+        assert!(!sf.on_timeout(s0, g1), "timer for an acked seq is stale");
     }
 
     #[test]
-    fn partial_ack_in_recovery_retransmits_next_hole() {
-        let mut s = Subflow::new(8.0);
-        for _ in 0..6 {
-            s.take_next_seq(0.0);
-        }
-        for _ in 0..3 {
-            s.on_ack(0, 8.0, 1.0);
-        }
-        assert!(s.recover_until == 6);
-        // cum advances to 2 but hole at 2 remains
-        let out = s.on_ack(2, 8.0, 1.5);
-        assert_eq!(out.newly_acked, 2);
-        assert_eq!(out.retransmit, Some(2));
-    }
-
-    #[test]
-    fn timeout_collapses_window() {
-        let mut s = Subflow::new(16.0);
-        for _ in 0..5 {
-            s.take_next_seq(0.0);
-        }
-        let r = s.on_timeout();
-        assert_eq!(r, Some(0));
-        assert_eq!(s.cwnd, 1.0);
-        // nothing outstanding → no retransmission
-        let mut idle = Subflow::new(4.0);
-        assert_eq!(idle.on_timeout(), None);
-    }
-
-    #[test]
-    fn window_never_exceeds_cap_or_floor() {
-        let mut s = Subflow::new(0.1);
-        assert!(s.cwnd >= 1.0);
-        s.cwnd = MAX_CWND - 0.1;
-        s.take_next_seq(0.0);
-        s.on_ack(1, 1.0, 1.0);
-        assert!(s.cwnd <= MAX_CWND);
-    }
-
-    #[test]
-    fn rtt_estimator_tracks_samples_and_sets_rto() {
-        let mut s = Subflow::new(4.0);
-        assert_eq!(s.rto(60.0), 60.0, "initial RTO before any sample");
-        s.take_next_seq(0.0);
-        s.on_ack(1, 4.0, 2.0); // sample = 2.0
-        assert!((s.srtt.unwrap() - 2.0).abs() < 1e-12);
-        let rto = s.rto(60.0);
-        assert!((2.0..60.0).contains(&rto), "adaptive RTO {rto} near RTT");
-        // Karn: retransmitted packets give no sample
-        s.take_next_seq(3.0);
-        s.mark_retransmitted(1);
-        let srtt_before = s.srtt;
-        s.on_ack(2, 4.0, 100.0);
-        assert_eq!(s.srtt, srtt_before, "retransmitted seq must not skew RTT");
-    }
-
-    #[test]
-    fn receiver_cumulative_and_ooo() {
-        let mut r = Receiver::default();
-        assert_eq!(r.on_packet(0), (1, true));
-        // gap: 2 arrives before 1
-        assert_eq!(r.on_packet(2), (1, true));
-        // duplicate of 2
-        assert_eq!(r.on_packet(2), (1, false));
-        // hole fills, cum jumps past buffered 2
-        assert_eq!(r.on_packet(1), (3, true));
-        // stale retransmission
-        assert_eq!(r.on_packet(0), (3, false));
+    fn receiver_dedups() {
+        let mut r = Receiver::new();
+        assert!(r.on_packet(0));
+        assert!(r.on_packet(2));
+        assert!(!r.on_packet(2));
+        assert!(r.on_packet(1));
+        assert!(!r.on_packet(0));
     }
 }

@@ -20,6 +20,11 @@
 //!                 [--backend fptas|fptas-strict|exact|ksp:<k>] [--precise]
 //!                 [--certify-all] [--min-mult X] [--max-mult X] [--cap-step X]
 //!                 [--temperature T] [--cooling C]
+//! topobench packetsim rrg --switches 16 --ports 10 --degree 6
+//!                 [--traffic T] [--seed S] [--routing decomposed|ksp:<k>|ecmp:<n>]
+//!                 [--utilization X] [--duration D] [--warmup W] [--queue Q]
+//!                 [--window] [--rto R] [--cwnd C]
+//!                 [--failures N] [--backend B] [--precise]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
@@ -77,6 +82,10 @@ fn usage() -> ! {
          \x20               [--backend B] [--precise] [--certify-all]\n  \
          \x20               [--min-mult X] [--max-mult X] [--cap-step X]\n  \
          \x20               [--temperature T] [--cooling C]\n  \
+         topobench packetsim <family> [options] [--traffic T] [--seed S]\n  \
+         \x20               [--routing decomposed|ksp:<k>|ecmp:<n>] [--utilization X]\n  \
+         \x20               [--duration D] [--warmup W] [--queue Q] [--window]\n  \
+         \x20               [--rto R] [--cwnd C] [--failures N] [--backend B] [--precise]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
          all subcommands: --threads N (worker pool size; overrides\n  \
@@ -126,7 +135,10 @@ impl Args {
             let tok = &raw[i];
             if let Some(key) = tok.strip_prefix("--") {
                 // boolean flags take no value; everything else takes one
-                if matches!(key, "dot" | "rewired" | "precise" | "full" | "certify-all") {
+                if matches!(
+                    key,
+                    "dot" | "rewired" | "precise" | "full" | "certify-all" | "window"
+                ) {
                     flags.push(key.to_string());
                 } else if i + 1 < raw.len() {
                     values.insert(key.to_string(), raw[i + 1].clone());
@@ -806,6 +818,163 @@ fn cmd_search(args: &Args) {
     }
 }
 
+/// Parse a `--routing` argument (`decomposed`, `ksp:<k>`, `ecmp:<n>`).
+fn parse_routing(s: &str) -> Option<RoutingMode> {
+    if s == "decomposed" {
+        return Some(RoutingMode::Decomposed);
+    }
+    if let Some(k) = s.strip_prefix("ksp:") {
+        let k: usize = k.parse().ok()?;
+        return (k > 0).then_some(RoutingMode::Ksp { k });
+    }
+    if let Some(n) = s.strip_prefix("ecmp:") {
+        let limit: usize = n.parse().ok()?;
+        return (limit > 0).then_some(RoutingMode::Ecmp { limit });
+    }
+    None
+}
+
+fn cmd_packetsim(args: &Args) {
+    let family = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let traffic = args
+        .values
+        .get("traffic")
+        .cloned()
+        .unwrap_or_else(|| "permutation".into());
+    let mut opts = if args.flag("precise") {
+        FlowOptions::precise()
+    } else {
+        FlowOptions::default()
+    };
+    if let Some(spec) = args.values.get("backend") {
+        let (backend, strict) = parse_backend(spec).unwrap_or_else(|| {
+            eprintln!("unknown backend '{spec}' (want fptas, fptas-strict, exact, or ksp:<k>)");
+            usage();
+        });
+        opts.backend = backend;
+        opts.strict_reference = strict;
+    }
+    let routing = match args.values.get("routing") {
+        Some(spec) => parse_routing(spec).unwrap_or_else(|| {
+            eprintln!("unknown routing '{spec}' (want decomposed, ksp:<k>, or ecmp:<n>)");
+            usage();
+        }),
+        None => RoutingMode::Decomposed,
+    };
+    let mut params = PacketParams {
+        routing,
+        utilization: args.get("utilization").unwrap_or(0.9),
+        ..PacketParams::default()
+    };
+    if args.flag("window") {
+        params.mode = dctopo::packetsim::TransportMode::Window;
+    }
+    if let Some(d) = args.get("duration") {
+        params.duration = d;
+    }
+    if let Some(w) = args.get("warmup") {
+        params.warmup = w;
+    }
+    if let Some(q) = args.get("queue") {
+        params.queue = q;
+    }
+    if let Some(r) = args.get("rto") {
+        params.rto = r;
+    }
+    if let Some(c) = args.get("cwnd") {
+        params.initial_cwnd = c;
+    }
+    let max_pairs: u128 = args.get("max-pairs").unwrap_or(DEFAULT_MAX_PAIRS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = build_topology(family, args, &mut rng);
+    let tm = build_traffic(&traffic, &topo, &mut rng, max_pairs);
+    let engine = dctopo::core::ThroughputEngine::new(&topo);
+    let fail_links: usize = args.get("failures").unwrap_or(0);
+    let cv = if fail_links > 0 {
+        let sc = Scenario::new(
+            format!("fail-{fail_links}"),
+            vec![Degradation::FailLinks {
+                count: fail_links,
+                seed,
+            }],
+        );
+        let applied = match sc.apply(&topo, engine.net()) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("scenario failed to apply: {e}");
+                exit(1);
+            }
+        };
+        engine.covalidate_scenario(&applied, &tm, &opts, &params)
+    } else {
+        engine.covalidate(&tm, &opts, &params)
+    };
+    let cv = match cv {
+        Ok(cv) => cv,
+        Err(e) => {
+            eprintln!("co-validation failed: {e}");
+            exit(1);
+        }
+    };
+    println!(
+        "topology: {} switches / {} links / {} servers; traffic: {} flows; {} failed links",
+        topo.switch_count(),
+        topo.graph.edge_count(),
+        topo.server_count(),
+        tm.flow_count(),
+        fail_links
+    );
+    println!(
+        "certified: network λ {:.4} ≤ {:.4} upper bound",
+        cv.lambda, cv.upper_bound
+    );
+    println!(
+        "packet level: {} commodities at η = {:.2}; goodput/offer mean {:.4}, min {:.4}",
+        cv.commodity_offered.len(),
+        params.utilization,
+        cv.mean_ratio(),
+        cv.min_ratio()
+    );
+    println!(
+        "sim: {} events, {} delivered, {} drops, {} retransmits, trace {:#018x}",
+        cv.result.events,
+        cv.result.delivered,
+        cv.result.drops,
+        cv.result.retransmits,
+        cv.result.trace_hash
+    );
+    // the co-validation verdict: four packets of slack per measurement
+    // window covers goodput's packet granularity plus warmup-boundary
+    // backlog drain (see CoValidation::upholds_law). Closed-loop AIMD
+    // legitimately exceeds the scaled offer, so window mode checks the
+    // demand-normalized goodput against the certified upper bound.
+    if args.flag("window") {
+        let witnessed = cv.normalized_min_goodput();
+        let slack = 4.0 / cv.measure_window;
+        println!("packet-level witnessed λ: {witnessed:.4}");
+        if witnessed <= cv.upper_bound + slack {
+            println!("co-validation law upheld: witnessed λ within the certified upper bound");
+        } else {
+            eprintln!(
+                "CO-VALIDATION VIOLATION: witnessed λ {witnessed:.4} exceeds the \
+                 certified upper bound {:.4}",
+                cv.upper_bound
+            );
+            exit(1);
+        }
+    } else if cv.upholds_law(4.0) {
+        println!("co-validation law upheld: goodput within the certified offer");
+    } else {
+        eprintln!("CO-VALIDATION VIOLATION: goodput exceeds the certified offer");
+        exit(1);
+    }
+}
+
 fn cmd_bounds(args: &Args) {
     let n: usize = args.require("switches");
     let r: usize = args.require("degree");
@@ -892,6 +1061,7 @@ fn main() {
         "solve" => cmd_solve(&args),
         "sweep" | "--sweep" => cmd_sweep(&args),
         "search" => cmd_search(&args),
+        "packetsim" => cmd_packetsim(&args),
         "bounds" => cmd_bounds(&args),
         "vl2-study" => cmd_vl2_study(&args),
         _ => usage(),

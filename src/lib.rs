@@ -93,8 +93,9 @@ pub mod prelude {
     pub use dctopo_bounds::{aspl_lower_bound, throughput_upper_bound};
     pub use dctopo_core::experiment::{Runner, Stats};
     pub use dctopo_core::{
-        solve_throughput, BackendChoice, Degradation, Scenario, SweepRunner, SweepSpec,
-        ThroughputEngine, ThroughputResult, TopologyPoint, TrafficModel,
+        solve_throughput, BackendChoice, CoValidation, Degradation, PacketParams, RoutingMode,
+        Scenario, SweepRunner, SweepSpec, ThroughputEngine, ThroughputResult, TopologyPoint,
+        TrafficModel,
     };
     pub use dctopo_flow::{Backend, Commodity, FlowOptions, SolvedFlow, SolverBackend};
     pub use dctopo_graph::{CsrNet, DijkstraWorkspace, Graph, GraphError, NodeId};

@@ -1,12 +1,12 @@
 //! Failure-injection tests: every layer must fail loudly and precisely
 //! on malformed input, never hang or return garbage.
 
-use dctopo::core::packet::{build_packet_scenario, PacketParams};
+use dctopo::core::packet::PacketParams;
 use dctopo::core::solve::surviving_traffic;
 use dctopo::core::{solve_throughput, Degradation, Scenario};
 use dctopo::flow::{max_concurrent_flow, Commodity, FlowError, FlowOptions};
-use dctopo::graph::{Graph, GraphError};
-use dctopo::packetsim::{simulate, FlowSpec, LinkSpec, Network, SimConfig, SimError};
+use dctopo::graph::{CsrNet, Graph, GraphError};
+use dctopo::packetsim::{simulate, FlowSpec, PathSpec, SimConfig, SimError};
 use dctopo::prelude::*;
 use dctopo::topology::hetero::{two_cluster, CrossSpec};
 use dctopo::topology::vl2::{vl2, Vl2Params};
@@ -285,28 +285,25 @@ fn solver_on_edgeless_graph() {
 
 #[test]
 fn packet_sim_validates_everything() {
-    let mut net = Network::new(3);
-    net.add_duplex_link(
-        0,
-        1,
-        LinkSpec {
-            rate: 1.0,
-            delay: 0.1,
-            queue: 4,
-        },
-    );
-    // path through a non-existent link
+    // 0-1-2 line; a "path" jumping 0→2 directly does not exist
+    let mut g = Graph::new(3);
+    g.add_edge(0, 1, 1.0).unwrap();
+    g.add_edge(1, 2, 1.0).unwrap();
+    let net = CsrNet::from_graph(&g);
+    let a01 = net.arc_between(0, 1).unwrap();
+    // path ends at node 1, not the flow's destination 2
     let flows = vec![FlowSpec {
         src: 0,
         dst: 2,
-        paths: vec![vec![0, 2]],
+        rate: 1.0,
+        paths: vec![PathSpec {
+            arcs: vec![a01],
+            weight: 1.0,
+        }],
     }];
     assert!(matches!(
         simulate(&net, &flows, &SimConfig::default()),
-        Err(SimError::BadPath {
-            flow: 0,
-            subflow: 0
-        })
+        Err(SimError::BrokenPath { flow: 0, .. })
     ));
     // warmup >= duration
     let cfg = SimConfig {
@@ -325,8 +322,10 @@ fn packet_scenario_needs_matching_sizes() {
     let mut rng = StdRng::seed_from_u64(3);
     let topo = Topology::random_regular(6, 5, 4, &mut rng).unwrap(); // 6 servers
     let tm = TrafficMatrix::random_permutation(5, &mut rng); // wrong count
-    let result =
-        std::panic::catch_unwind(|| build_packet_scenario(&topo, &tm, &PacketParams::default()));
+    let engine = ThroughputEngine::new(&topo);
+    let result = std::panic::catch_unwind(|| {
+        engine.covalidate(&tm, &FlowOptions::default(), &PacketParams::default())
+    });
     assert!(result.is_err(), "size mismatch must be rejected");
 }
 
