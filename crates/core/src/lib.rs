@@ -46,6 +46,6 @@ pub use solve::{
     ThroughputResult,
 };
 pub use sweep::{
-    BackendChoice, CellMetrics, SweepCell, SweepReport, SweepRunner, SweepSpec, TopologyPoint,
-    TrafficModel,
+    BackendChoice, CellMetrics, ErrorKindCount, ErrorSummary, SweepCell, SweepReport, SweepRunner,
+    SweepSpec, TopologyPoint, TrafficModel,
 };

@@ -319,6 +319,82 @@ impl SweepReport {
             .collect();
         (!xs.is_empty()).then(|| xs.iter().sum::<f64>() / xs.len() as f64)
     }
+
+    /// Typed summary of the grid's failed cells, grouped by error kind —
+    /// `None` when every cell solved. Strict callers (e.g.
+    /// `topobench sweep --strict`) turn this into a non-zero exit.
+    pub fn error_summary(&self) -> Option<ErrorSummary> {
+        let mut kinds: Vec<ErrorKindCount> = Vec::new();
+        for cell in &self.cells {
+            let Err(e) = &cell.result else { continue };
+            let kind = match e {
+                FlowError::NoCommodities => "no-commodities",
+                FlowError::BadDemand { .. } => "bad-demand",
+                FlowError::SelfCommodity { .. } => "self-commodity",
+                FlowError::Unreachable { .. } => "unreachable",
+                FlowError::Graph(_) => "graph",
+                FlowError::BadOptions(_) => "bad-options",
+            };
+            let witness = format!(
+                "{}/run{}/{}/{}/{}",
+                cell.topology, cell.run, cell.scenario, cell.traffic, cell.backend
+            );
+            match kinds.iter_mut().find(|k| k.kind == kind) {
+                Some(k) => k.count += 1,
+                None => kinds.push(ErrorKindCount {
+                    kind: kind.to_string(),
+                    count: 1,
+                    witness,
+                }),
+            }
+        }
+        if kinds.is_empty() {
+            return None;
+        }
+        // most frequent kind first; ties break on the kind name so the
+        // summary is independent of cell scheduling
+        kinds.sort_by(|a, b| b.count.cmp(&a.count).then(a.kind.cmp(&b.kind)));
+        Some(ErrorSummary {
+            failed: kinds.iter().map(|k| k.count).sum(),
+            total: self.cells.len(),
+            kinds,
+        })
+    }
+}
+
+/// Failures of one error kind across a sweep grid.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorKindCount {
+    /// Stable kind slug (`unreachable`, `no-commodities`, ...), one per
+    /// [`FlowError`] variant.
+    pub kind: String,
+    /// How many cells failed with this kind.
+    pub count: usize,
+    /// `topology/run/scenario/traffic/backend` label of the first
+    /// failing cell (row-major order), for reproduction.
+    pub witness: String,
+}
+
+/// Typed summary of a sweep grid's failed cells — see
+/// [`SweepReport::error_summary`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ErrorSummary {
+    /// Total failed cells.
+    pub failed: usize,
+    /// Total cells in the grid.
+    pub total: usize,
+    /// Per-kind counts, most frequent first.
+    pub kinds: Vec<ErrorKindCount>,
+}
+
+impl std::fmt::Display for ErrorSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{} cells failed:", self.failed, self.total)?;
+        for k in &self.kinds {
+            write!(f, " {}x{} (first: {})", k.kind, k.count, k.witness)?;
+        }
+        Ok(())
+    }
 }
 
 /// Runs a [`SweepSpec`] grid on the persistent worker pool.

@@ -56,6 +56,38 @@
 //! by capacity-only views (structure_id equality ⇒ identical node set +
 //! adjacency + arc numbering), which is exactly the validity condition
 //! for hop-metric path-set caches.
+//!
+//! ## Views compose (views of views)
+//!
+//! Every view constructor takes `&self`, so views stack: the
+//! reconfiguration planner materialises each migration prefix as
+//! `base.with_capacity_overrides(..)?.with_disabled_arcs(..)?` and the
+//! scenario engine composes ordered degradations the same way. The
+//! composition laws, pinned bitwise by the `view_composition_*`
+//! regression tests:
+//!
+//! * **Disable ∘ disable = disable of the union.** Stacked
+//!   [`CsrNet::with_disabled_arcs`] views equal the single view built
+//!   from the concatenated arc lists — same capacities, adjacency, and
+//!   live-arc count, bit for bit. Re-disabling an already-dead arc is
+//!   idempotent at any depth of the stack.
+//! * **Override ∘ override = last-write-wins merge.** A later
+//!   [`CsrNet::with_capacity_overrides`] replaces earlier overrides of
+//!   the same edge and preserves the rest.
+//! * **Override and disable commute on disjoint edges.** When no
+//!   override touches a disabled edge, either stacking order yields
+//!   bitwise-identical arrays. Overriding a *disabled* arc is rejected
+//!   with [`GraphError::Unrealizable`] in any order (re-rating a failed
+//!   link is a composition bug, not a repair mechanism), which is why
+//!   planner prefix states apply capacity overrides on the fully-live
+//!   base **first** and disable arcs on top.
+//! * **Identity tokens survive stacking unchanged in meaning**:
+//!   [`CsrNet::id`] is fresh on every materially-new view wherever it
+//!   sits in a stack (no-op views — an empty override list, a disable
+//!   list that kills nothing new — return plain clones with the same
+//!   `id`); [`CsrNet::structure_id`] is preserved by capacity-only
+//!   layers and refreshed by any layer that disables something new, so
+//!   it always identifies the *net* adjacency of the whole stack.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -1386,5 +1418,149 @@ mod tests {
         net2.dijkstra(0, &[1.0; 2], &mut ws2);
         assert!(!ws2.walk_path(&net2, 2, |_| none += 1));
         assert_eq!(none, 0);
+    }
+
+    /// Bitwise equality of everything downstream code can observe:
+    /// capacities, inverse capacities, adjacency arrays, and live-arc
+    /// bookkeeping. Identity tokens are deliberately excluded — every
+    /// materially-new view mints a fresh `id`.
+    fn assert_views_bitwise_equal(a: &CsrNet, b: &CsrNet, what: &str) {
+        assert_eq!(a.node_count(), b.node_count(), "{what}: node count");
+        assert_eq!(a.arc_count(), b.arc_count(), "{what}: arc count");
+        assert_eq!(a.live_arc_count(), b.live_arc_count(), "{what}: live arcs");
+        for arc in 0..a.arc_count() {
+            assert_eq!(
+                a.capacity(arc).to_bits(),
+                b.capacity(arc).to_bits(),
+                "{what}: capacity of arc {arc}"
+            );
+            assert_eq!(
+                a.inv_capacity(arc).to_bits(),
+                b.inv_capacity(arc).to_bits(),
+                "{what}: inv capacity of arc {arc}"
+            );
+        }
+        for v in 0..a.node_count() {
+            assert_eq!(a.out_slots(v), b.out_slots(v), "{what}: adjacency of {v}");
+        }
+    }
+
+    #[test]
+    fn view_composition_stacked_disables_equal_union_disable() {
+        let g = ring_with_chords(10, &[(0, 5), (2, 7), (4, 9)]);
+        let base = CsrNet::from_graph(&g);
+        let d1 = [0usize, 4]; // edges 0 and 2 (fwd arcs)
+        let d2 = [9usize, 20]; // edge 4 (reverse arc) and edge 10
+        let stacked = base
+            .with_disabled_arcs(&d1)
+            .unwrap()
+            .with_disabled_arcs(&d2)
+            .unwrap();
+        let union: Vec<usize> = d1.iter().chain(&d2).copied().collect();
+        let single = base.with_disabled_arcs(&union).unwrap();
+        assert_views_bitwise_equal(&stacked, &single, "disable∘disable");
+        // re-disabling an arc already dead in the lower layer is
+        // idempotent: the upper layer treats it as a no-op entry
+        let redundant = stacked.with_disabled_arcs(&d1).unwrap();
+        assert_views_bitwise_equal(&redundant, &single, "idempotent re-disable");
+        assert_eq!(redundant.id(), stacked.id(), "no-op layer is a plain clone");
+    }
+
+    #[test]
+    fn view_composition_override_then_disable_equals_either_order() {
+        let g = ring_with_chords(10, &[(0, 5), (2, 7)]);
+        let base = CsrNet::from_graph(&g);
+        // overrides and disables touch disjoint edges
+        let overrides = [(2usize, 4.0), (21usize, 0.25)]; // edges 1 and 10
+        let disabled = [6usize, 16]; // edges 3 and 8
+        let override_first = base
+            .with_capacity_overrides(&overrides)
+            .unwrap()
+            .with_disabled_arcs(&disabled)
+            .unwrap();
+        let disable_first = base
+            .with_disabled_arcs(&disabled)
+            .unwrap()
+            .with_capacity_overrides(&overrides)
+            .unwrap();
+        assert_views_bitwise_equal(
+            &override_first,
+            &disable_first,
+            "override/disable commute on disjoint edges",
+        );
+        // the stacked view keeps the overridden rates on surviving edges
+        assert_eq!(override_first.capacity(2), 4.0);
+        assert_eq!(override_first.capacity(3), 4.0);
+        assert_eq!(override_first.capacity(6), 0.0);
+    }
+
+    #[test]
+    fn view_composition_stacked_overrides_last_write_wins() {
+        let g = ring_with_chords(8, &[(1, 5)]);
+        let base = CsrNet::from_graph(&g);
+        let stacked = base
+            .with_capacity_overrides(&[(0, 2.0), (4, 8.0)])
+            .unwrap()
+            .with_capacity_overrides(&[(4, 3.0)])
+            .unwrap();
+        let merged = base.with_capacity_overrides(&[(0, 2.0), (4, 3.0)]).unwrap();
+        assert_views_bitwise_equal(&stacked, &merged, "override∘override");
+        // capacity-only layers preserve the base structure_id at any
+        // stacking depth...
+        assert_eq!(stacked.structure_id(), base.structure_id());
+        // ...while each materially-new layer mints a fresh id
+        assert_ne!(stacked.id(), base.id());
+    }
+
+    #[test]
+    fn view_composition_structure_id_tracks_net_adjacency_of_stack() {
+        let g = ring_with_chords(8, &[(0, 4)]);
+        let base = CsrNet::from_graph(&g);
+        let capped = base.with_capacity_overrides(&[(0, 5.0)]).unwrap();
+        assert_eq!(capped.structure_id(), base.structure_id());
+        let degraded = capped.with_disabled_arcs(&[8]).unwrap();
+        assert_ne!(
+            degraded.structure_id(),
+            base.structure_id(),
+            "a disabling layer refreshes the stack's structure_id"
+        );
+        let rerated = degraded.with_scaled_capacity(2.0).unwrap();
+        assert_eq!(
+            rerated.structure_id(),
+            degraded.structure_id(),
+            "a capacity-only layer on a degraded view keeps its structure_id"
+        );
+        // dead arcs stay dead through capacity-only layers
+        assert_eq!(rerated.capacity(8), 0.0);
+        assert_eq!(rerated.capacity(0).to_bits(), 10.0f64.to_bits());
+    }
+
+    #[test]
+    fn view_composition_rejects_override_of_disabled_arc_in_any_order() {
+        let g = ring_with_chords(8, &[(2, 6)]);
+        let base = CsrNet::from_graph(&g);
+        let dead = base.with_disabled_arcs(&[4]).unwrap();
+        let err = dead.with_capacity_overrides(&[(4, 2.0)]).unwrap_err();
+        assert!(matches!(err, GraphError::Unrealizable(_)));
+        // the reverse arc of the same edge is equally dead
+        let err = dead.with_capacity_overrides(&[(5, 2.0)]).unwrap_err();
+        assert!(matches!(err, GraphError::Unrealizable(_)));
+    }
+
+    #[test]
+    fn view_composition_scale_on_disabled_view_equals_disable_on_scaled() {
+        let g = ring_with_chords(9, &[(0, 3), (1, 6)]);
+        let base = CsrNet::from_graph(&g);
+        let a = base
+            .with_disabled_arcs(&[2, 10])
+            .unwrap()
+            .with_scaled_capacity(1.5)
+            .unwrap();
+        let b = base
+            .with_scaled_capacity(1.5)
+            .unwrap()
+            .with_disabled_arcs(&[2, 10])
+            .unwrap();
+        assert_views_bitwise_equal(&a, &b, "scale/disable commute");
     }
 }

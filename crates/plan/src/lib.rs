@@ -1,0 +1,111 @@
+//! # dctopo-plan
+//!
+//! The **reconfiguration planner**: certified-safe migration orderings
+//! between two topologies, with counter-example-guided pruning and
+//! parallel execution DAGs.
+//!
+//! The paper treats topology design as an optimization problem; this
+//! crate treats topology *transitions* the same way. Given a source
+//! topology `A` and a target `B` expressed as a set of resolved move
+//! primitives ([`dctopo_search::ResolvedMove`]: degree-preserving
+//! rewires and budget-preserving line-speed shifts), the planner
+//! searches for an execution ordering in which **every intermediate
+//! state keeps a certified throughput λ at or above a safety floor**
+//! (default `0.9 · min(λ_A, λ_B)`), where each step's in-flight move is
+//! modeled as a transient link failure: its removed links are already
+//! down while its added links are not yet up.
+//!
+//! ## The union net: prefix states as composed delta views
+//!
+//! [`Migration::new`] assembles one **union graph** — `A`'s edges plus
+//! every edge any move adds — and flattens it to a single
+//! [`dctopo_graph::CsrNet`] exactly once. Every intermediate state of
+//! every candidate ordering is then a *composed delta view* of that one
+//! base: capacity overrides (line-speed multipliers from applied
+//! shifts) layered on the fully-live base first, then disabled arcs
+//! (edges not yet added, already removed, or in flight) on top. No
+//! graph is ever rebuilt mid-search, and the view-composition laws
+//! pinned in `dctopo-graph` guarantee the stack is order-insensitive
+//! where it must be.
+//!
+//! ## Certification: sound bounds screen, certified solves decide
+//!
+//! Step safety climbs the same fidelity ladder as the search engine:
+//! the Theorem-1-style hop bound and demand/cut bounds are **upper**
+//! bounds on λ, so a step whose bound is below the floor is rejected
+//! without a solve — soundly. The same bounds double as a
+//! **best-bound-first scan order**: at every depth the planner
+//! certifies the most promising candidate (typically a
+//! capacity-restoring move when the floor is churn-tight) before paying
+//! for any other, so doomed candidates are rarely even attempted. Only
+//! a certified lower bound from the flow solver (via
+//! [`dctopo_core::ThroughputEngine`]) ever *accepts* a step. Because
+//! the transient view is pointwise dominated by the post-step state,
+//! its certificate also certifies the completed prefix.
+//! [`planner::Fidelity::CertifyAll`] keeps the scan order but skips the
+//! screens and certifies everything — same decisions, more solves.
+//! The speedup claim is benchmarked against the honest naive search,
+//! [`planner::PlanSpec::baseline`]: declaration-ordered first-fit with
+//! no bound machinery at all, which must also pay the certificates the
+//! dominance theorem makes redundant (every landed prefix state and
+//! every singleton stage).
+//!
+//! ## Counter-example-guided pruning
+//!
+//! When a step fails its floor, the planner extracts an *offending
+//! move pair*: it looks for a rescuer move `u` whose prior execution
+//! provably (certified) makes the failing move `m` safe, and learns
+//! `u ≺ m` as a hard ordering constraint. Learned constraints prune
+//! every future ordering that repeats the mistake; a memo table on
+//! (prefix-state, move) avoids re-certifying known-bad steps after
+//! backtracking. If the pruned search exhausts, it retries once without
+//! learned constraints, so pruning never costs completeness.
+//!
+//! ## Output: a maximally-parallel execution DAG
+//!
+//! A safe ordering is compacted into contiguous **stages** of moves
+//! that may execute concurrently: a stage is extended while its moves
+//! are mutually independent *and* the combined view with the whole
+//! stage in flight still certifies above the floor — which dominates
+//! every interleaving of the stage's members. When no safe ordering
+//! exists the planner returns the typed
+//! [`planner::PlanError::NoSafeOrdering`] carrying the best floor
+//! reached, the witness prefix, the learned conflicts, and a degraded
+//! best-floor ordering with its violation list.
+//!
+//! ## Determinism
+//!
+//! Planning is bit-identical across reruns and thread counts: bound
+//! screening is evaluated on the worker pool with index-ordered
+//! assembly, every extra cut probe derives its seed from
+//! `(depth, candidate)` grid coordinates via the workspace's splitmix64
+//! discipline, and the flow backends are themselves thread-pinned.
+//! `tests/plan_determinism.rs` pins plan fingerprints at 1, 2, and 8
+//! threads.
+
+#![warn(missing_docs)]
+
+pub mod migration;
+pub mod planner;
+
+pub use migration::{cross_churn, maintenance_churn, Migration, UnionEdge};
+pub use planner::{
+    plan_migration, Conflict, DegradedPlan, Fidelity, MigrationPlan, PlanError, PlanSpec,
+    PlanStage, PlanStats,
+};
+
+/// Mix grid coordinates into a master seed (splitmix64 finalizer), the
+/// same discipline as the sweep and search engines: every per-probe RNG
+/// is a function of the spec seed and its `(depth, candidate)` grid
+/// coordinates, never of scheduling or evaluation order.
+pub(crate) fn derive_seed(base: u64, domain: u64, a: usize, b: usize) -> u64 {
+    let mut z = base
+        .wrapping_add(domain.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+        .wrapping_add((a as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((b as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 27;
+    z = z.wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}

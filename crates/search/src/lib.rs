@@ -69,7 +69,7 @@ pub mod moves;
 pub mod runner;
 
 pub use ladder::{hop_alpha, hop_bound, observed_aspl, CutProbe};
-pub use moves::{CapacityPlan, MoveKind};
+pub use moves::{CapacityPlan, MoveKind, ResolvedMove};
 pub use runner::{
     AcceptedMove, CapacityBudget, Certificate, Fidelity, GrowSpec, Outcome, RoundTrace,
     SearchResult, SearchRunner, SearchSpec,

@@ -245,6 +245,68 @@ impl CapacityPlan {
     }
 }
 
+/// A move resolved against the exact graph state it was applied to:
+/// edge *ids* (which [`dctopo_graph::Graph::remove_edge`] compacts on
+/// every rewire) are replaced by endpoint pairs, and budget-preserving
+/// capacity shifts by their multiplicative group factors — so the move
+/// survives replay, reordering, and rollback. This is the interchange
+/// form the reconfiguration planner (`dctopo-plan`) consumes; produce
+/// it with [`crate::SearchResult::export_moves`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResolvedMove {
+    /// A degree-preserving rewire: remove the two `remove` endpoint
+    /// pairs, add the two `add` pairs with capacities `cap` (the
+    /// [`TwoSwap`] capacity-inheritance rule already applied).
+    Rewire {
+        /// Endpoint pairs of the two removed edges.
+        remove: [(usize, usize); 2],
+        /// Endpoint pairs of the two added edges.
+        add: [(usize, usize); 2],
+        /// Capacities of the two added edges, aligned with `add`.
+        cap: [f64; 2],
+    },
+    /// A budget-preserving line-speed shift, resolved to the exact
+    /// multiplicative factors it applied to the donor and receiver
+    /// group multipliers. Factors compose commutatively, so a set of
+    /// resolved shifts reaches the same final plan in any order
+    /// (multiply in a fixed canonical order for bitwise determinism).
+    Shift {
+        /// Donor link-group index (in [`CapacityPlan`] group order).
+        donor: usize,
+        /// Receiver link-group index.
+        receiver: usize,
+        /// Factor applied to the donor's multiplier (`1 - step`, < 1).
+        donor_factor: f64,
+        /// Factor applied to the receiver's multiplier (> 1).
+        receiver_factor: f64,
+    },
+}
+
+impl ResolvedMove {
+    /// Short display form for traces and CLI output.
+    pub fn describe(&self) -> String {
+        match self {
+            ResolvedMove::Rewire { remove, add, .. } => format!(
+                "rewire -({},{})-({},{}) +({},{})+({},{})",
+                remove[0].0,
+                remove[0].1,
+                remove[1].0,
+                remove[1].1,
+                add[0].0,
+                add[0].1,
+                add[1].0,
+                add[1].1
+            ),
+            ResolvedMove::Shift {
+                donor,
+                receiver,
+                donor_factor,
+                receiver_factor,
+            } => format!("shift {donor} x{donor_factor:.3} -> {receiver} x{receiver_factor:.3}"),
+        }
+    }
+}
+
 /// The unordered class pair of an edge.
 fn class_pair(topo: &Topology, u: usize, v: usize) -> (usize, usize) {
     let (a, b) = (topo.class_of[u], topo.class_of[v]);

@@ -322,6 +322,99 @@ impl SearchResult {
             .filter(|c| pred(c))
             .count()
     }
+
+    /// Export the accepted move sequence as id-stable
+    /// [`ResolvedMove`](crate::moves::ResolvedMove)s by replaying it
+    /// from `from`, the topology this search started at.
+    ///
+    /// Each [`MoveKind::TwoSwap`] names edge *ids* valid only against
+    /// the graph state it was accepted on (rewires compact edge ids),
+    /// so the replay resolves every swap to its endpoint pairs and
+    /// every [`MoveKind::ShiftCapacity`] to the exact multiplicative
+    /// group factors it applied. The result is the migration the
+    /// reconfiguration planner (`dctopo-plan`) reorders: applying the
+    /// resolved moves in any valid order reaches this search's final
+    /// topology and capacity plan.
+    ///
+    /// # Errors
+    /// [`dctopo_graph::GraphError::Unrealizable`] when the sequence
+    /// contains a [`MoveKind::Expand`] (a new switch has no meaning on
+    /// the fixed node set a migration is planned over), when a replayed
+    /// move no longer applies to `from` (wrong starting topology), or
+    /// when a shift's factors cannot be reconstructed.
+    pub fn export_moves(
+        &self,
+        from: &Topology,
+    ) -> Result<Vec<crate::moves::ResolvedMove>, dctopo_graph::GraphError> {
+        use crate::moves::ResolvedMove;
+        use dctopo_graph::GraphError;
+        use dctopo_topology::moves::two_swap_endpoints;
+
+        let mut topo = from.clone();
+        let mut plan = CapacityPlan::uniform(&topo);
+        let mut out = Vec::with_capacity(self.accepted.len());
+        for mv in &self.accepted {
+            match mv.kind {
+                MoveKind::TwoSwap(swap) => {
+                    let ((x1, y1), (x2, y2)) =
+                        two_swap_endpoints(&topo.graph, &swap).ok_or_else(|| {
+                            GraphError::Unrealizable(format!(
+                                "accepted swap ({}, {}) does not replay on the given \
+                                 starting topology",
+                                swap.e1, swap.e2
+                            ))
+                        })?;
+                    let (a, b) = {
+                        let e = topo.graph.edge(swap.e1);
+                        (e.u, e.v)
+                    };
+                    let (c, d) = {
+                        let e = topo.graph.edge(swap.e2);
+                        (e.u, e.v)
+                    };
+                    let cap1 = topo.graph.edge(swap.e1).capacity;
+                    let cap2 = topo.graph.edge(swap.e2).capacity;
+                    apply_two_swap(&mut topo.graph, &swap)?;
+                    out.push(ResolvedMove::Rewire {
+                        remove: [(a, b), (c, d)],
+                        add: [(x1, y1), (x2, y2)],
+                        cap: [cap1, cap2],
+                    });
+                }
+                MoveKind::ShiftCapacity {
+                    donor,
+                    receiver,
+                    step,
+                } => {
+                    let before_donor = plan.multiplier(donor);
+                    let before_receiver = plan.multiplier(receiver);
+                    // accepted shifts were already validated against the
+                    // spec's budget bounds; replay with loose bounds
+                    plan = plan
+                        .shifted(&topo, donor, receiver, step, 0.0, f64::INFINITY)
+                        .ok_or_else(|| {
+                            GraphError::Unrealizable(format!(
+                                "accepted shift {donor} -> {receiver} does not replay"
+                            ))
+                        })?;
+                    out.push(ResolvedMove::Shift {
+                        donor,
+                        receiver,
+                        donor_factor: plan.multiplier(donor) / before_donor,
+                        receiver_factor: plan.multiplier(receiver) / before_receiver,
+                    });
+                }
+                MoveKind::Expand { .. } => {
+                    return Err(GraphError::Unrealizable(
+                        "expand moves cannot be exported as a migration: the planner \
+                         reorders moves over a fixed switch set"
+                            .into(),
+                    ));
+                }
+            }
+        }
+        Ok(out)
+    }
 }
 
 /// Mutable search state: the incumbent configuration plus everything

@@ -35,6 +35,45 @@ pub struct TwoSwap {
     pub cross: bool,
 }
 
+impl TwoSwap {
+    /// The swap that undoes `self`, computed against the graph `self`
+    /// is *about to be applied to* (the pre-application state).
+    ///
+    /// [`apply_two_swap`] removes the higher edge id, then the lower,
+    /// then appends the two replacement edges — so after a successful
+    /// application the replacements always occupy the last two edge
+    /// ids, stored in the `((x1, y1), (x2, y2))` orientation of
+    /// [`two_swap_endpoints`]. Un-crossing them (`cross = false`)
+    /// re-pairs `x1` with `x2` and `y1` with `y2`, which recreates the
+    /// original `(a, b)` and `(c, d)` pairs with their original
+    /// capacities for *either* orientation of `self`. Hence the
+    /// inverse is always `TwoSwap { e1: m - 2, e2: m - 1, cross:
+    /// false }`, where `m` is the (swap-invariant) edge count.
+    ///
+    /// Applying `self` and then the returned swap round-trips the
+    /// topology exactly as a capacitated graph: same degree sequence,
+    /// same adjacency, same `(endpoints, capacity)` edge multiset, and
+    /// the same dense `0..m` edge-id range — though individual edges
+    /// may sit at permuted ids, because [`Graph::remove_edge`]
+    /// compacts by swapping the last edge into the freed slot (see the
+    /// round-trip property test).
+    ///
+    /// Returns `None` when `self` is not applicable to `g`
+    /// ([`two_swap_is_valid`] is false), since no inverse exists for a
+    /// move that cannot happen.
+    pub fn inverse(&self, g: &Graph) -> Option<TwoSwap> {
+        if !two_swap_is_valid(g, self) {
+            return None;
+        }
+        let m = g.edge_count();
+        Some(TwoSwap {
+            e1: m - 2,
+            e2: m - 1,
+            cross: false,
+        })
+    }
+}
+
 /// The two replacement endpoint pairs a swap would create, in
 /// `((x1, y1), (x2, y2))` order — `(x1, y1)` inherits `e1`'s capacity,
 /// `(x2, y2)` inherits `e2`'s.
@@ -232,6 +271,96 @@ mod tests {
         .unwrap();
         assert_eq!(plain, ((0, 2), (1, 3)));
         assert_eq!(cross, ((0, 3), (1, 2)));
+    }
+
+    /// Canonical form of a capacitated graph: the sorted multiset of
+    /// `(min endpoint, max endpoint, capacity bits)` — invariant under
+    /// the edge-id permutations `remove_edge` compaction introduces.
+    fn canonical_edges(g: &Graph) -> Vec<(usize, usize, u64)> {
+        let mut edges: Vec<(usize, usize, u64)> = g
+            .edges()
+            .iter()
+            .map(|e| {
+                let (u, v) = if e.u <= e.v { (e.u, e.v) } else { (e.v, e.u) };
+                (u, v, e.capacity.to_bits())
+            })
+            .collect();
+        edges.sort_unstable();
+        edges
+    }
+
+    /// Deterministically sample a valid swap of `g`, or `None` if the
+    /// seeded sampler exhausts its budget.
+    fn sample_valid_swap(g: &Graph, rng: &mut StdRng) -> Option<TwoSwap> {
+        use rand::RngExt;
+        let m = g.edge_count();
+        for _ in 0..256 {
+            let swap = TwoSwap {
+                e1: rng.random_range(0..m),
+                e2: rng.random_range(0..m),
+                cross: rng.random_bool(0.5),
+            };
+            if two_swap_is_valid(g, &swap) {
+                return Some(swap);
+            }
+        }
+        None
+    }
+
+    #[test]
+    fn inverse_round_trips_topology_on_50_seeded_instances() {
+        for seed in 0..50u64 {
+            let mut topo = rrg(1000 + seed);
+            let mut rng = StdRng::seed_from_u64(2000 + seed);
+            let before_edges = canonical_edges(&topo.graph);
+            let before_deg = topo.graph.degrees();
+            let before_unused = topo.unused_ports;
+            let swap = sample_valid_swap(&topo.graph, &mut rng)
+                .expect("a 16-node RRG admits a valid swap within budget");
+            let inv = swap
+                .inverse(&topo.graph)
+                .expect("valid swap has an inverse");
+            apply_two_swap(&mut topo.graph, &swap).unwrap();
+            assert_ne!(
+                canonical_edges(&topo.graph),
+                before_edges,
+                "seed {seed}: swap must change the edge multiset"
+            );
+            apply_two_swap(&mut topo.graph, &inv).unwrap();
+            // exact round trip: edge multiset (endpoints + capacity
+            // bits), degree sequence, dense edge-id range, and port
+            // bookkeeping all restored
+            assert_eq!(
+                canonical_edges(&topo.graph),
+                before_edges,
+                "seed {seed}: inverse failed to restore the edge multiset"
+            );
+            assert_eq!(topo.graph.degrees(), before_deg, "seed {seed}");
+            assert_eq!(topo.graph.edge_count(), before_edges.len(), "seed {seed}");
+            assert_eq!(topo.unused_ports, before_unused, "seed {seed}");
+            topo.validate_ports().unwrap();
+        }
+    }
+
+    #[test]
+    fn inverse_of_invalid_swap_is_none() {
+        let topo = rrg(9);
+        let m = topo.graph.edge_count();
+        // same edge twice and out-of-range ids have no inverse
+        assert!(TwoSwap {
+            e1: 0,
+            e2: 0,
+            cross: false
+        }
+        .inverse(&topo.graph)
+        .is_none());
+        assert!(TwoSwap {
+            e1: 0,
+            e2: m,
+            cross: false
+        }
+        .inverse(&topo.graph)
+        .is_none());
     }
 
     #[test]

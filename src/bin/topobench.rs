@@ -14,12 +14,15 @@
 //!                 [--traffic permutation,chunky:50,...]
 //!                 [--failures 0,2,4] [--switch-failures 0,1]
 //!                 [--scales 1.0,1.5] [--backends fptas,ksp:8]
-//!                 [--runs N] [--seed S] [--precise] [--json PATH]
+//!                 [--runs N] [--seed S] [--precise] [--json PATH] [--strict]
 //! topobench search [--family rrg:32x10x6] [--mode structural|capacity|both]
 //!                 [--rounds N] [--batch B] [--traffic T] [--seed S]
 //!                 [--backend fptas|fptas-strict|exact|ksp:<k>] [--precise]
 //!                 [--certify-all] [--min-mult X] [--max-mult X] [--cap-step X]
 //!                 [--temperature T] [--cooling C]
+//! topobench plan [--family rrg:16x6x4] [--pairs P] [--maintenance] [--traffic T]
+//!                 [--seed S] [--floor X | --floor-frac F] [--probes N]
+//!                 [--max-solves N] [--naive] [--certify-all] [--precise] [--backend B]
 //! topobench packetsim rrg --switches 16 --ports 10 --degree 6
 //!                 [--traffic T] [--seed S] [--routing decomposed|ksp:<k>|ecmp:<n>]
 //!                 [--utilization X] [--duration D] [--warmup W] [--queue Q]
@@ -42,11 +45,18 @@
 //! plus the §6.1 decomposition; `sweep` evaluates the full
 //! `{family × traffic × degradation × backend}` grid through the
 //! scenario sweep engine (optionally writing per-cell records to
-//! `--json` in the shared `BENCH_*` schema); `search` runs the
-//! multi-fidelity topology search engine (structural rewires and/or
-//! line-speed budget reallocation) and prints the accepted-move trace;
-//! `bounds` prints the paper's analytic bounds; `vl2-study` reproduces
-//! the §7 comparison for one size.
+//! `--json` in the shared `BENCH_*` schema; with `--strict` a grid with
+//! failed cells prints a typed per-kind error summary and exits
+//! non-zero); `search` runs the multi-fidelity topology search engine
+//! (structural rewires and/or line-speed budget reallocation) and
+//! prints the accepted-move trace; `plan` runs the certified-safe
+//! reconfiguration planner over a churn migration (`--maintenance`
+//! restores links at their original endpoints so λ_B ≈ λ_A at any
+//! churn depth) and prints the parallel execution DAG with per-stage
+//! certified λ (`--naive` runs the declaration-ordered baseline: no
+//! bounds, no pruning, dominance-free certificates — for comparison);
+//! `bounds` prints the paper's analytic bounds;
+//! `vl2-study` reproduces the §7 comparison for one size.
 
 use std::collections::HashMap;
 use std::process::exit;
@@ -76,12 +86,15 @@ fn usage() -> ! {
          topobench sweep [--families F1,F2,...] [--traffic T1,T2,...]\n  \
          \x20               [--failures 0,2,4] [--switch-failures 0,1]\n  \
          \x20               [--scales 1.0,1.5] [--backends fptas,ksp:8]\n  \
-         \x20               [--runs N] [--seed S] [--precise] [--json PATH]\n  \
+         \x20               [--runs N] [--seed S] [--precise] [--json PATH] [--strict]\n  \
          topobench search [--family F] [--mode structural|capacity|both]\n  \
          \x20               [--rounds N] [--batch B] [--traffic T] [--seed S]\n  \
          \x20               [--backend B] [--precise] [--certify-all]\n  \
          \x20               [--min-mult X] [--max-mult X] [--cap-step X]\n  \
          \x20               [--temperature T] [--cooling C]\n  \
+         topobench plan [--family F] [--pairs P] [--maintenance] [--traffic T]\n  \
+         \x20               [--seed S] [--floor X | --floor-frac F] [--probes N]\n  \
+         \x20               [--max-solves N] [--naive] [--certify-all] [--precise] [--backend B]\n  \
          topobench packetsim <family> [options] [--traffic T] [--seed S]\n  \
          \x20               [--routing decomposed|ksp:<k>|ecmp:<n>] [--utilization X]\n  \
          \x20               [--duration D] [--warmup W] [--queue Q] [--window]\n  \
@@ -137,7 +150,15 @@ impl Args {
                 // boolean flags take no value; everything else takes one
                 if matches!(
                     key,
-                    "dot" | "rewired" | "precise" | "full" | "certify-all" | "window"
+                    "dot"
+                        | "rewired"
+                        | "precise"
+                        | "full"
+                        | "certify-all"
+                        | "window"
+                        | "strict"
+                        | "naive"
+                        | "maintenance"
                 ) {
                     flags.push(key.to_string());
                 } else if i + 1 < raw.len() {
@@ -650,6 +671,13 @@ fn cmd_sweep(args: &Args) {
         });
         eprintln!("# wrote {} cell records to {path}", records.len());
     }
+    if args.flag("strict") {
+        if let Some(summary) = grid.error_summary() {
+            eprintln!("sweep --strict: {summary}");
+            exit(1);
+        }
+        eprintln!("# sweep --strict: all {} cells ok", grid.cells.len());
+    }
 }
 
 fn cmd_search(args: &Args) {
@@ -815,6 +843,208 @@ fn cmd_search(args: &Args) {
             })
             .collect();
         println!("line-speed plan: {}", names.join(", "));
+    }
+}
+
+fn cmd_plan(args: &Args) {
+    use dctopo::plan::{
+        cross_churn, maintenance_churn, plan_migration, Migration, PlanError, PlanSpec,
+    };
+    use dctopo::search::Fidelity;
+
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let family_spec = args
+        .values
+        .get("family")
+        .map(String::as_str)
+        .unwrap_or("rrg:16x6x4");
+    let point = parse_family(family_spec).unwrap_or_else(|| {
+        eprintln!("bad family '{family_spec}'");
+        usage();
+    });
+    let traffic_spec = args
+        .values
+        .get("traffic")
+        .map(String::as_str)
+        .unwrap_or("permutation");
+    let model = parse_traffic_model(traffic_spec).unwrap_or_else(|| {
+        eprintln!("bad traffic '{traffic_spec}'");
+        usage();
+    });
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = match (point.build)(&mut rng) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("failed to build {family_spec}: {e}");
+            exit(1);
+        }
+    };
+    let tm = match model.generate(&topo, &mut rng) {
+        Ok(tm) => tm,
+        Err(e) => {
+            eprintln!("failed to generate {traffic_spec} traffic: {e}");
+            exit(1);
+        }
+    };
+
+    let pairs: usize = args.get("pairs").unwrap_or(3);
+    let moves = if args.flag("maintenance") {
+        // restore-to-original churn (last 2 pairs shifted): λ_B ≈ λ_A
+        // at any depth, so the floor sits inside the transient dip band
+        maintenance_churn(&topo, pairs, 2.min(pairs), seed)
+    } else {
+        cross_churn(&topo, pairs, seed)
+    };
+    let moves = match moves {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("failed to generate churn migration: {e}");
+            exit(1);
+        }
+    };
+    let migration = match Migration::new(&topo, &moves) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("invalid migration: {e}");
+            exit(1);
+        }
+    };
+
+    // --naive is the benchmark baseline: declaration-ordered first-fit
+    // that certifies every attempted step (no bounds, no screening),
+    // learns nothing from violations, and pays the dominance-free
+    // certificates (landed prefixes + singleton stages)
+    let naive = args.flag("naive");
+    let mut spec = PlanSpec {
+        seed,
+        learn: !naive,
+        baseline: naive,
+        fidelity: if naive || args.flag("certify-all") {
+            Fidelity::CertifyAll
+        } else {
+            Fidelity::Ladder
+        },
+        ..PlanSpec::default()
+    };
+    if let Some(frac) = args.get::<f64>("floor-frac") {
+        spec.floor_frac = frac;
+    }
+    spec.floor = args.get("floor");
+    if let Some(p) = args.get("probes") {
+        spec.cut_probes = p;
+    }
+    if let Some(m) = args.get("max-solves") {
+        spec.max_solves = m;
+    }
+    if args.flag("precise") {
+        spec.opts = FlowOptions::precise();
+    }
+    if let Some(b) = args.values.get("backend") {
+        let (backend, strict) = parse_backend(b).unwrap_or_else(|| {
+            eprintln!("unknown backend '{b}' (want fptas, fptas-strict, exact, or ksp:<k>)");
+            usage();
+        });
+        spec.opts.backend = backend;
+        spec.opts.strict_reference = strict;
+    }
+
+    eprintln!(
+        "# planning {family_spec} ({} switches, {} links), {} traffic, \
+         {} moves ({pairs} churn pairs), mode {}",
+        topo.switch_count(),
+        topo.graph.edge_count(),
+        model.name(),
+        migration.move_count(),
+        if naive { "naive" } else { "pruned" },
+    );
+    match plan_migration(&topo, &tm, &migration, &spec) {
+        Ok(plan) => {
+            println!(
+                "endpoints: λ_A {:.4}, λ_B {:.4}; safety floor {:.4}",
+                plan.lambda_a, plan.lambda_b, plan.floor
+            );
+            for (i, stage) in plan.stages.iter().enumerate() {
+                println!(
+                    "stage {:>2}: λ {:.4} with {} move(s) in flight",
+                    i,
+                    stage.lambda,
+                    stage.moves.len()
+                );
+                for &m in &stage.moves {
+                    println!(
+                        "          move {:>2}: {}",
+                        m,
+                        migration.moves()[m].describe()
+                    );
+                }
+            }
+            println!(
+                "plan: {} moves in {} stages (max {} concurrent), achieved floor {:.4} ≥ {:.4}",
+                plan.order.len(),
+                plan.stages.len(),
+                plan.parallelism(),
+                plan.achieved_floor,
+                plan.floor
+            );
+            let s = &plan.stats;
+            println!(
+                "work: {} certified solves ({} ordering attempts + {} stage-packing), \
+                 {} hop-pruned + {} cut-pruned + {} memo hits, {} backtracks, \
+                 {} conflicts learned",
+                s.certified_solves,
+                s.attempts,
+                s.stage_solves,
+                s.hop_rejected,
+                s.cut_rejected,
+                s.memo_hits,
+                s.backtracks,
+                s.conflicts_learned
+            );
+            println!("fingerprint: {:#018x}", plan.fingerprint());
+        }
+        Err(PlanError::NoSafeOrdering {
+            best_floor,
+            witness_prefix,
+            learned_conflicts,
+            degraded,
+        }) => {
+            eprintln!(
+                "no safe ordering: floor {:.4} unreachable (best {best_floor:.4}, \
+                 witness depth {}, {} learned conflicts)",
+                degraded.floor,
+                witness_prefix.len(),
+                learned_conflicts.len()
+            );
+            eprintln!(
+                "degraded best-floor ordering ({} of {} steps violate the floor):",
+                degraded.violations.len(),
+                degraded.order.len()
+            );
+            for (pos, (&m, &lambda)) in degraded
+                .order
+                .iter()
+                .zip(degraded.step_lambda.iter())
+                .enumerate()
+            {
+                let mark = if degraded.violations.contains(&pos) {
+                    " VIOLATES"
+                } else {
+                    ""
+                };
+                eprintln!(
+                    "  step {:>2}: λ {:.4}{mark}  move {:>2}: {}",
+                    pos,
+                    lambda,
+                    m,
+                    migration.moves()[m].describe()
+                );
+            }
+            exit(1);
+        }
+        Err(e) => {
+            eprintln!("planning failed: {e}");
+            exit(1);
+        }
     }
 }
 
@@ -1061,6 +1291,7 @@ fn main() {
         "solve" => cmd_solve(&args),
         "sweep" | "--sweep" => cmd_sweep(&args),
         "search" => cmd_search(&args),
+        "plan" => cmd_plan(&args),
         "packetsim" => cmd_packetsim(&args),
         "bounds" => cmd_bounds(&args),
         "vl2-study" => cmd_vl2_study(&args),

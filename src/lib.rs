@@ -16,6 +16,7 @@
 //! * [`packetsim`] — discrete-event packet simulator with MPTCP-like transport
 //! * [`core`](mod@core) — experiment harness, scenario sweeps, VL2 case study
 //! * [`search`] — multi-fidelity topology search (rewires + line-speed budgets)
+//! * [`plan`] — certified-safe reconfiguration planner (migration DAGs)
 //!
 //! ## Quickstart
 //!
@@ -84,6 +85,7 @@ pub use dctopo_graph as graph;
 pub use dctopo_linprog as linprog;
 pub use dctopo_metrics as metrics;
 pub use dctopo_packetsim as packetsim;
+pub use dctopo_plan as plan;
 pub use dctopo_search as search;
 pub use dctopo_topology as topology;
 pub use dctopo_traffic as traffic;
@@ -100,6 +102,7 @@ pub mod prelude {
     pub use dctopo_flow::{Backend, Commodity, FlowOptions, SolvedFlow, SolverBackend};
     pub use dctopo_graph::{CsrNet, DijkstraWorkspace, Graph, GraphError, NodeId};
     pub use dctopo_metrics::{decompose, Decomposition};
+    pub use dctopo_plan::{plan_migration, Migration, MigrationPlan, PlanSpec};
     pub use dctopo_search::{CapacityBudget, Fidelity, SearchResult, SearchRunner, SearchSpec};
     pub use dctopo_topology::{ClusterSpec, ServerPlacement, SwitchClass, Topology};
     pub use dctopo_traffic::TrafficMatrix;

@@ -1,0 +1,131 @@
+//! End-to-end CLI pins for the strict sweep gate and the planner
+//! subcommand, driving the real `topobench` binary.
+
+use std::process::Command;
+
+fn topobench() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_topobench"))
+}
+
+/// A grid whose every cell solves exits 0 under `--strict` and says so.
+#[test]
+fn strict_sweep_passes_on_a_clean_grid() {
+    let out = topobench()
+        .args([
+            "sweep",
+            "--families",
+            "complete:4x1",
+            "--traffic",
+            "permutation",
+            "--failures",
+            "0",
+            "--runs",
+            "1",
+            "--seed",
+            "1",
+            "--strict",
+            "--threads",
+            "2",
+        ])
+        .output()
+        .expect("failed to run topobench");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "clean grid exited non-zero under --strict:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("sweep --strict: all"),
+        "missing strict confirmation:\n{stderr}"
+    );
+}
+
+/// A grid with failed cells exits non-zero under `--strict` and prints
+/// the typed per-kind error summary — here a disconnected degree-2
+/// "network" whose cells all fail `unreachable`. Without `--strict` the
+/// same grid exits 0 (failures stay per-cell).
+#[test]
+fn strict_sweep_fails_on_error_cells_with_typed_summary() {
+    let bad = [
+        "sweep",
+        "--families",
+        "rrg:16x6x2",
+        "--traffic",
+        "permutation",
+        "--failures",
+        "0",
+        "--runs",
+        "1",
+        "--seed",
+        "1",
+        "--threads",
+        "2",
+    ];
+    let lax = topobench().args(bad).output().expect("failed to run");
+    assert!(
+        lax.status.success(),
+        "without --strict, per-cell failures must not fail the process"
+    );
+    let strict = topobench()
+        .args(bad)
+        .arg("--strict")
+        .output()
+        .expect("failed to run");
+    assert!(
+        !strict.status.success(),
+        "--strict must exit non-zero when cells failed"
+    );
+    let stderr = String::from_utf8_lossy(&strict.stderr);
+    assert!(
+        stderr.contains("sweep --strict:") && stderr.contains("cells failed"),
+        "missing typed summary:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("unreachable") && stderr.contains("first:"),
+        "summary must name the error kind and a witness cell:\n{stderr}"
+    );
+}
+
+/// `topobench plan` produces a staged plan with a fingerprint, and the
+/// fingerprint is stable across invocations (CLI-level determinism).
+#[test]
+fn plan_subcommand_emits_a_stable_staged_plan() {
+    let run = || {
+        let out = topobench()
+            .args([
+                "plan",
+                "--family",
+                "rrg:16x6x4",
+                "--pairs",
+                "2",
+                "--floor-frac",
+                "0.5",
+                "--seed",
+                "7",
+                "--threads",
+                "2",
+            ])
+            .output()
+            .expect("failed to run topobench plan");
+        assert!(
+            out.status.success(),
+            "plan failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        String::from_utf8_lossy(&out.stdout).into_owned()
+    };
+    let first = run();
+    assert!(first.contains("stage "), "no stages printed:\n{first}");
+    assert!(first.contains("achieved floor"));
+    let fp = |s: &str| {
+        s.lines()
+            .find(|l| l.starts_with("fingerprint:"))
+            .map(str::to_owned)
+            .expect("no fingerprint line")
+    };
+    assert_eq!(
+        fp(&first),
+        fp(&run()),
+        "plan fingerprint drifted across runs"
+    );
+}

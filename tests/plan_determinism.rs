@@ -1,0 +1,256 @@
+//! The reconfiguration planner's acceptance pins:
+//!
+//! * **the floor law** — every stage of the execution DAG certifies
+//!   λ ≥ floor on a *freshly recomposed* transient-failure view (whole
+//!   stage in flight at once), not just on the planner's own word;
+//! * **pruning changes cost, never outcome** — the naive baseline
+//!   (declaration-ordered, certify-everything, dominance-free
+//!   certificates) and the pruned planner (best-bound-first scan +
+//!   fidelity ladder + counter-example-guided constraints) both honor
+//!   the bitwise-identical spec floor, with the naive one paying at
+//!   least as many certified solves; and at the planner's shared scan
+//!   order, certify-all is bitwise decision-identical to the ladder;
+//! * **bit-identical at 1, 2, and 8 rayon threads and across reruns**
+//!   — a plan fingerprint is a function of the spec, never of
+//!   scheduling;
+//! * **the typed failure path** — an unreachable floor degrades into
+//!   `NoSafeOrdering` carrying a complete best-floor ordering with its
+//!   violations called out;
+//! * **search → plan round trip** — a search result's exported resolved
+//!   moves build a valid migration the planner can order.
+
+use dctopo::plan::{cross_churn, plan_migration, Migration, MigrationPlan, PlanError, PlanSpec};
+use dctopo::prelude::*;
+use dctopo::topology::hetero::{two_cluster, CrossSpec};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+
+/// The determinism workload: RRG(16, 6, 4) under permutation traffic,
+/// three churn pairs (six moves), floor at half the endpoint λ — tight
+/// enough that the transient dip matters, loose enough to be plannable.
+fn instance() -> (Topology, TrafficMatrix, Migration) {
+    let mut rng = StdRng::seed_from_u64(77);
+    let topo = Topology::random_regular(16, 6, 4, &mut rng).unwrap();
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    let moves = cross_churn(&topo, 3, 77).unwrap();
+    let mig = Migration::new(&topo, &moves).unwrap();
+    (topo, tm, mig)
+}
+
+fn spec_with(learn: bool, fidelity: Fidelity) -> PlanSpec {
+    PlanSpec {
+        seed: 77,
+        floor_frac: 0.5,
+        learn,
+        fidelity,
+        ..PlanSpec::default()
+    }
+}
+
+fn plan_instance() -> MigrationPlan {
+    let (topo, tm, mig) = instance();
+    plan_migration(&topo, &tm, &mig, &spec_with(true, Fidelity::Ladder)).unwrap()
+}
+
+/// Every DAG stage honors the floor on an *independently recomposed*
+/// view: applied = all earlier stages, in flight = the whole stage at
+/// once. A fresh engine re-certifies each stage's λ, so the plan's
+/// numbers are backed by the solver, not trusted from the planner.
+#[test]
+fn every_stage_certifies_above_the_floor_on_fresh_views() {
+    let (topo, tm, mig) = instance();
+    let plan = plan_migration(&topo, &tm, &mig, &spec_with(true, Fidelity::Ladder)).unwrap();
+    assert!(!plan.stages.is_empty());
+    assert!(plan.achieved_floor >= plan.floor);
+
+    let engine = ThroughputEngine::new(&topo);
+    let opts = FlowOptions::fast();
+    let mut applied = vec![false; mig.move_count()];
+    let mut min_fresh = f64::INFINITY;
+    for stage in &plan.stages {
+        // the transient view with the whole stage mid-execution
+        let view = mig.state_view(&applied, &stage.moves).unwrap();
+        let fresh = engine.solve_on(&view, &tm, &opts).unwrap().network_lambda;
+        assert!(
+            fresh >= plan.floor * (1.0 - 1e-9),
+            "stage {:?} recertified at λ {fresh} below floor {}",
+            stage.moves,
+            plan.floor
+        );
+        assert!(
+            (fresh - stage.lambda).abs() <= 1e-9 * stage.lambda.max(1.0),
+            "stage {:?}: fresh λ {fresh} != planned λ {}",
+            stage.moves,
+            stage.lambda
+        );
+        min_fresh = min_fresh.min(fresh);
+        for &m in &stage.moves {
+            applied[m] = true;
+        }
+    }
+    // all moves executed, achieved floor is the min over the stages
+    assert!(applied.iter().all(|&a| a));
+    assert!((min_fresh - plan.achieved_floor).abs() <= 1e-9 * plan.achieved_floor.max(1.0));
+
+    // the sequential step certificates honor the floor too
+    assert_eq!(plan.step_lambda.len(), plan.order.len());
+    for (&m, &l) in plan.order.iter().zip(&plan.step_lambda) {
+        assert!(l >= plan.floor, "step (move {m}) certified λ {l} < floor");
+    }
+    // the order is a permutation of the migration's moves
+    let mut sorted = plan.order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..mig.move_count()).collect::<Vec<_>>());
+}
+
+/// The honest naive ordering search the planner is benchmarked
+/// against: declaration-ordered first-fit, certify everything, no
+/// learning, and the dominance-free certificates (landed prefixes +
+/// singleton stages) a search without the transient-dominance theorem
+/// must pay.
+fn naive_spec() -> PlanSpec {
+    PlanSpec {
+        seed: 77,
+        floor_frac: 0.5,
+        learn: false,
+        baseline: true,
+        fidelity: Fidelity::CertifyAll,
+        ..PlanSpec::default()
+    }
+}
+
+/// The naive baseline and the pruned planner both honor the
+/// bitwise-identical spec floor with complete orderings; pruning only
+/// removes solves. And with the scan order shared, certify-all is
+/// bitwise decision-identical to the ladder — screens change cost,
+/// never outcome.
+#[test]
+fn naive_and_pruned_honor_the_identical_floor() {
+    let (topo, tm, mig) = instance();
+    let pruned = plan_migration(&topo, &tm, &mig, &spec_with(true, Fidelity::Ladder)).unwrap();
+    let naive = plan_migration(&topo, &tm, &mig, &naive_spec()).unwrap();
+    // same endpoints, same floor_frac → the bitwise-identical floor,
+    // honored by both searches with complete orderings
+    assert_eq!(pruned.floor.to_bits(), naive.floor.to_bits());
+    for plan in [&pruned, &naive] {
+        assert!(plan.achieved_floor >= plan.floor);
+        let mut sorted = plan.order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..mig.move_count()).collect::<Vec<_>>());
+    }
+    assert!(
+        naive.stats.certified_solves >= pruned.stats.certified_solves,
+        "naive paid fewer solves ({}) than pruned ({})",
+        naive.stats.certified_solves,
+        pruned.stats.certified_solves
+    );
+    // certify-all at the planner's shared best-bound-first scan order
+    // makes the identical plan, paying at least as many solves
+    let all = plan_migration(&topo, &tm, &mig, &spec_with(true, Fidelity::CertifyAll)).unwrap();
+    assert_eq!(all.fingerprint(), pruned.fingerprint());
+    assert!(all.stats.certified_solves >= pruned.stats.certified_solves);
+}
+
+fn fingerprint_at(threads: usize) -> u64 {
+    ThreadPoolBuilder::new()
+        .num_threads(threads)
+        .build()
+        .unwrap()
+        .install(|| plan_instance().fingerprint())
+}
+
+/// The plan (order, stages, every certified λ down to the bit) is a
+/// function of the spec — identical at 1, 2, and 8 worker threads and
+/// across reruns at the same thread count.
+#[test]
+fn plan_bit_identical_across_threads_and_reruns() {
+    let base = fingerprint_at(1);
+    for threads in [1usize, 2, 8] {
+        assert_eq!(
+            fingerprint_at(threads),
+            base,
+            "plan fingerprint diverged at {threads} threads"
+        );
+    }
+    // rerun in the same (default) pool: no hidden state between runs
+    assert_eq!(plan_instance().fingerprint(), plan_instance().fingerprint());
+}
+
+/// An unreachable floor fails *typed*: `NoSafeOrdering` carries the
+/// best floor the search reached, the learned conflicts, and a complete
+/// degraded ordering whose violating steps are called out.
+#[test]
+fn unreachable_floor_degrades_with_violations() {
+    let (topo, tm, mig) = instance();
+    let spec = PlanSpec {
+        seed: 77,
+        floor: Some(f64::MAX),
+        ..PlanSpec::default()
+    };
+    match plan_migration(&topo, &tm, &mig, &spec) {
+        Err(PlanError::NoSafeOrdering {
+            best_floor,
+            degraded,
+            ..
+        }) => {
+            assert!(best_floor.is_finite());
+            assert_eq!(degraded.order.len(), mig.move_count());
+            assert_eq!(degraded.step_lambda.len(), mig.move_count());
+            // no finite λ clears an infinite floor: every step violates
+            assert_eq!(degraded.violations.len(), mig.move_count());
+            let mut sorted = degraded.order.clone();
+            sorted.sort_unstable();
+            assert_eq!(sorted, (0..mig.move_count()).collect::<Vec<_>>());
+        }
+        other => panic!("expected NoSafeOrdering, got {other:?}"),
+    }
+}
+
+/// A search result's exported resolved moves round-trip into a
+/// migration the planner can order: the search's accepted trajectory is
+/// itself a safe-orderable reconfiguration.
+#[test]
+fn search_export_round_trips_through_the_planner() {
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = two_cluster(
+        ClusterSpec {
+            count: 8,
+            ports: 12,
+            servers_per_switch: 4,
+        },
+        ClusterSpec {
+            count: 8,
+            ports: 8,
+            servers_per_switch: 2,
+        },
+        CrossSpec::Exact(4),
+        &mut rng,
+    )
+    .unwrap();
+    let tm = {
+        let mut rng = StdRng::seed_from_u64(3);
+        TrafficMatrix::random_permutation(topo.server_count(), &mut rng)
+    };
+    let mut spec = SearchSpec::structural(17, 4, 8).with_opts(FlowOptions::fast());
+    spec.capacity = Some(CapacityBudget::default());
+    let result = SearchRunner::new(&topo, &tm, spec).unwrap().run().unwrap();
+    assert!(!result.accepted.is_empty());
+
+    let moves = result.export_moves(&topo).unwrap();
+    assert_eq!(moves.len(), result.accepted.len());
+    let mig = Migration::new(&topo, &moves).unwrap();
+    mig.final_view().unwrap();
+
+    // a permissive floor must order the search's own trajectory
+    let plan_spec = PlanSpec {
+        seed: 17,
+        floor_frac: 0.1,
+        ..PlanSpec::default()
+    };
+    let plan = plan_migration(&topo, &tm, &mig, &plan_spec).unwrap();
+    assert_eq!(plan.order.len(), moves.len());
+    let mut sorted = plan.order.clone();
+    sorted.sort_unstable();
+    assert_eq!(sorted, (0..moves.len()).collect::<Vec<_>>());
+}
