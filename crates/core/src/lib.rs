@@ -38,6 +38,7 @@ pub mod solve;
 pub mod sweep;
 pub mod vl2;
 
+pub use dctopo_flow::WarmState;
 pub use experiment::{Runner, Stats};
 pub use packet::{CoValidation, PacketError, PacketParams, RoutingMode};
 pub use scenario::{AppliedScenario, Degradation, Scenario};

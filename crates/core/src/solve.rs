@@ -21,7 +21,8 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use dctopo_flow::{
-    Commodity, DemandGroup, FlowError, FlowOptions, GroupedFlow, PathSetCache, SolvedFlow,
+    Backend, Commodity, DemandGroup, FlowError, FlowOptions, GroupedFlow, PathSetCache, SolvedFlow,
+    WarmState,
 };
 use dctopo_graph::CsrNet;
 use dctopo_topology::Topology;
@@ -336,6 +337,112 @@ impl<'t> ThroughputEngine<'t> {
         }
     }
 
+    /// Lower a scenario + traffic matrix to exactly the demand
+    /// [`ThroughputEngine::solve_scenario`] would solve: the surviving
+    /// switch-level commodities (deterministic `(src, dst)` order), the
+    /// NIC cap of the surviving traffic, and the surviving server-flow
+    /// count (`0` distinguishes a dead demand set from an all-local
+    /// one). The serve layer uses this split form so it can apply
+    /// demand drift to the commodities before solving.
+    pub fn scenario_demand(
+        &self,
+        applied: &AppliedScenario,
+        tm: &TrafficMatrix,
+    ) -> (Vec<Commodity>, f64, usize) {
+        if applied.failed_switch_count() > 0 {
+            let survivors = surviving_traffic(self.topo, tm, &applied.failed_switch);
+            (
+                aggregate_commodities(self.topo, &survivors),
+                nic_limit(&survivors),
+                survivors.flow_count(),
+            )
+        } else {
+            (
+                aggregate_commodities(self.topo, tm),
+                nic_limit(tm),
+                tm.flow_count(),
+            )
+        }
+    }
+
+    /// Solve a prepared commodity list against `net` with optional
+    /// cross-request warm-starting — the commodity-level form of
+    /// [`ThroughputEngine::solve_on`] the serve layer uses after
+    /// applying demand drift.
+    ///
+    /// `nic` and `flows` are the NIC cap and server-flow count the
+    /// commodities were lowered with (see
+    /// [`ThroughputEngine::scenario_demand`]); `flows == 0` yields the
+    /// zero result and an empty commodity list with `flows > 0` yields
+    /// the NIC-limited result, both exactly as
+    /// [`ThroughputEngine::solve_on`] produces them.
+    ///
+    /// Warm-starting applies only to the default FPTAS fast path
+    /// ([`Backend::Fptas`] without
+    /// [`FlowOptions::strict_reference`]); every other backend solves
+    /// through the engine's shared [`PathSetCache`] and returns a cold
+    /// [`WarmState`]. With `warm: None` the FPTAS path is
+    /// **bit-identical** to [`ThroughputEngine::solve_on`] on the same
+    /// inputs.
+    ///
+    /// # Errors
+    /// As [`ThroughputEngine::solve_on`].
+    pub fn solve_commodities_warm(
+        &self,
+        net: &CsrNet,
+        commodities: Vec<Commodity>,
+        nic: f64,
+        flows: usize,
+        opts: &FlowOptions,
+        warm: Option<&WarmState>,
+    ) -> Result<(ThroughputResult, WarmState), FlowError> {
+        if flows == 0 {
+            return Ok((
+                ThroughputResult {
+                    throughput: 0.0,
+                    network_lambda: 0.0,
+                    network_upper_bound: 0.0,
+                    nic_limit: f64::INFINITY,
+                    commodities: Vec::new(),
+                    solved: None,
+                },
+                WarmState::cold(),
+            ));
+        }
+        if commodities.is_empty() {
+            return Ok((
+                ThroughputResult {
+                    throughput: nic.min(1.0),
+                    network_lambda: f64::INFINITY,
+                    network_upper_bound: f64::INFINITY,
+                    nic_limit: nic,
+                    commodities,
+                    solved: None,
+                },
+                WarmState::cold(),
+            ));
+        }
+        let (solved, state) = if matches!(opts.backend, Backend::Fptas) && !opts.strict_reference {
+            dctopo_flow::max_concurrent_flow_warm(net, &commodities, opts, warm)?
+        } else {
+            (
+                dctopo_flow::solve_with_cache(net, &commodities, opts, &self.cache)?,
+                WarmState::cold(),
+            )
+        };
+        Ok((
+            ThroughputResult {
+                throughput: solved.throughput.min(nic),
+                network_lambda: solved.throughput,
+                network_upper_bound: solved.upper_bound,
+                nic_limit: nic,
+                commodities,
+                solved: Some(solved),
+            },
+            state,
+        ))
+    }
+
     /// Solve an [`AggregateTraffic`] pattern through the grouped-demand
     /// FPTAS ([`dctopo_flow::solve_grouped`]): the scale path for dense
     /// matrices, `O(arcs + switches)` memory end to end where the
@@ -558,6 +665,52 @@ mod tests {
         // fast and strict certify overlapping intervals
         assert!(fast.network_lambda <= strict.network_upper_bound * (1.0 + 1e-9));
         assert!(strict.network_lambda <= fast.network_upper_bound * (1.0 + 1e-9));
+    }
+
+    /// The commodity-level warm entry point with `warm: None` is
+    /// bitwise the `solve_scenario` path on the same scenario — the
+    /// plumbing the serve layer's cold/warm equivalence law stands on.
+    #[test]
+    fn commodity_warm_entry_matches_solve_scenario_bitwise() {
+        use crate::scenario::{Degradation, Scenario};
+        let mut rng = StdRng::seed_from_u64(21);
+        let topo = Topology::random_regular(12, 8, 4, &mut rng).unwrap();
+        let engine = ThroughputEngine::new(&topo);
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        let o = opts();
+        for sc in [
+            Scenario::baseline(),
+            Scenario::new("links", vec![Degradation::FailLinks { count: 3, seed: 5 }]),
+            Scenario::new("sw", vec![Degradation::FailSwitches { count: 2, seed: 7 }]),
+            Scenario::new("rerate", vec![Degradation::ScaleCapacity { factor: 0.5 }]),
+        ] {
+            let applied = sc.apply(&topo, engine.net()).unwrap();
+            let direct = engine.solve_scenario(&applied, &tm, &o).unwrap();
+            let (cs, nic, flows) = engine.scenario_demand(&applied, &tm);
+            assert_eq!(cs, direct.commodities);
+            let (via, state) = engine
+                .solve_commodities_warm(&applied.net, cs, nic, flows, &o, None)
+                .unwrap();
+            assert_eq!(direct.throughput.to_bits(), via.throughput.to_bits());
+            assert_eq!(
+                direct.network_lambda.to_bits(),
+                via.network_lambda.to_bits()
+            );
+            assert_eq!(
+                direct.network_upper_bound.to_bits(),
+                via.network_upper_bound.to_bits()
+            );
+            assert_eq!(direct.nic_limit.to_bits(), via.nic_limit.to_bits());
+            assert!(state.is_seeded());
+            // and the state round-trips: a warm re-solve of the same
+            // demand still certifies an overlapping interval
+            let (cs2, nic2, flows2) = engine.scenario_demand(&applied, &tm);
+            let (warm, _) = engine
+                .solve_commodities_warm(&applied.net, cs2, nic2, flows2, &o, Some(&state))
+                .unwrap();
+            assert!(warm.network_lambda <= direct.network_upper_bound * (1.0 + 1e-9));
+            assert!(direct.network_lambda <= warm.network_upper_bound * (1.0 + 1e-9));
+        }
     }
 
     /// FlowOptions.backend is honored end-to-end: the exact LP and the

@@ -90,6 +90,94 @@ const RESCALE_ABOVE: f64 = 1e100;
 /// parallelism inside every tree build, not just across groups.
 const DELTA_MIN_NODES: usize = 512;
 
+/// Terminal solver state a later solve can warm-start from: the arc
+/// length function the FPTAS ended on.
+///
+/// Soundness rests on the same two facts as the fast path itself: the
+/// primal is feasible by construction (capacity-scaled steps), and the
+/// dual `D(l)/α(l)` upper-bounds λ* for **any** positive length
+/// function — so seeding the next solve's lengths from a previous
+/// solve's terminal state changes the trajectory, never the
+/// certificates. A warm solve's reported `(throughput, upper_bound)`
+/// interval is certified exactly as a cold one's is.
+///
+/// Warm states transfer across [`CsrNet`] **views** of one structure:
+/// arc ids are stable across `with_capacity_overrides` /
+/// `with_scaled_capacity` views, and the lengths are re-anchored (and
+/// invalid entries healed per-arc) by the normalization in
+/// [`max_concurrent_flow_warm`], so a state learned under one capacity
+/// profile is a usable starting point for a re-rated or drifted-demand
+/// solve of the same structure. An empty state (the default) means
+/// "cold": solving with it is identical to [`max_concurrent_flow_csr`].
+#[derive(Debug, Clone, Default)]
+pub struct WarmState {
+    /// Terminal arc lengths (empty = cold). Indexed by arc id of the
+    /// net the state was produced on.
+    lengths: Vec<f64>,
+}
+
+impl WarmState {
+    /// A cold (empty) state.
+    pub fn cold() -> Self {
+        WarmState::default()
+    }
+
+    /// Whether the state carries any learned lengths.
+    pub fn is_seeded(&self) -> bool {
+        !self.lengths.is_empty()
+    }
+
+    /// Number of arcs the stored lengths cover (0 when cold).
+    pub fn arc_count(&self) -> usize {
+        self.lengths.len()
+    }
+}
+
+/// Normalize a warm state's lengths into a valid initial length
+/// function for `net`, or `None` when the state is unusable (cold, or
+/// sized for a different arc space) and the solve should start cold.
+///
+/// The dual bound and shortest paths are invariant under uniform
+/// scaling, so the lengths are re-anchored to the cold-start gauge:
+/// scaled so the minimum of `l(a)·c(a)` over live arcs is 1 (cold start
+/// has `l·c = 1` everywhere). Per-arc healing keeps the function
+/// strictly positive on live arcs no matter what the previous view did:
+/// non-finite/non-positive entries (e.g. arcs that were disabled in the
+/// view the state was learned on) fall back to the cold `1/c(a)`, dead
+/// arcs get 0.0 (never traversed), and survivors clamp at
+/// [`RESCALE_ABOVE`] like any in-solve length.
+fn warm_lengths(net: &CsrNet, warm: &WarmState) -> Option<Vec<f64>> {
+    if warm.lengths.len() != net.arc_count() {
+        return None;
+    }
+    let caps = net.capacities();
+    let mut anchor = f64::INFINITY;
+    for (a, &l) in warm.lengths.iter().enumerate() {
+        if caps[a] > 0.0 && l.is_finite() && l > 0.0 {
+            anchor = anchor.min(l * caps[a]);
+        }
+    }
+    if !(anchor.is_finite() && anchor > 0.0) {
+        return None;
+    }
+    let scale = 1.0 / anchor;
+    let out: Vec<f64> = warm
+        .lengths
+        .iter()
+        .enumerate()
+        .map(|(a, &l)| {
+            if caps[a] <= 0.0 {
+                0.0
+            } else if l.is_finite() && l > 0.0 {
+                (l * scale).min(RESCALE_ABOVE)
+            } else {
+                net.inv_capacity(a)
+            }
+        })
+        .collect();
+    Some(out)
+}
+
 /// One full shortest-path tree under `length`: bucketed parallel SSSP
 /// at scale, scalar Dijkstra below [`DELTA_MIN_NODES`]. Either way the
 /// workspace ends in completed-full-run state, satisfying
@@ -204,6 +292,34 @@ pub fn max_concurrent_flow_csr(
     commodities: &[Commodity],
     opts: &FlowOptions,
 ) -> Result<SolvedFlow, FlowError> {
+    max_concurrent_flow_warm(net, commodities, opts, None).map(|(sol, _)| sol)
+}
+
+/// [`max_concurrent_flow_csr`] with cross-solve warm-starting: seed the
+/// fast path's initial lengths from a previous solve's terminal
+/// [`WarmState`] and return the new terminal state for the next solve.
+///
+/// `warm: None` (or an empty/ill-sized state) is **bit-identical** to
+/// the cold [`max_concurrent_flow_csr`] — the warm hook changes nothing
+/// until a usable state is supplied. The strict path
+/// ([`FlowOptions::strict_reference`]) never warm-starts (its whole
+/// point is the pinned legacy trajectory) and returns a cold state.
+///
+/// A warm-started solve follows a different — typically much shorter —
+/// trajectory, but its certificates are as strong as a cold solve's:
+/// the primal is feasible by construction and the dual bound holds for
+/// any positive lengths (see [`WarmState`]). Warm solves also skip the
+/// coarse-ε annealing ramp: the inherited lengths already encode the
+/// congestion landscape the ramp exists to discover.
+///
+/// # Errors
+/// As [`max_concurrent_flow_csr`].
+pub fn max_concurrent_flow_warm(
+    net: &CsrNet,
+    commodities: &[Commodity],
+    opts: &FlowOptions,
+    warm: Option<&WarmState>,
+) -> Result<(SolvedFlow, WarmState), FlowError> {
     validate(net.node_count(), commodities, opts)?;
     if net.arc_count() == 0 {
         // commodities exist but there are no edges at all
@@ -214,9 +330,9 @@ pub fn max_concurrent_flow_csr(
         });
     }
     if opts.strict_reference {
-        solve_strict(net, commodities, opts)
+        Ok((solve_strict(net, commodities, opts)?, WarmState::cold()))
     } else {
-        solve_fast(net, commodities, opts)
+        solve_fast(net, commodities, opts, warm)
     }
 }
 
@@ -442,13 +558,20 @@ fn solve_fast(
     net: &CsrNet,
     commodities: &[Commodity],
     opts: &FlowOptions,
-) -> Result<SolvedFlow, FlowError> {
+    warm: Option<&WarmState>,
+) -> Result<(SolvedFlow, WarmState), FlowError> {
     let num_arcs = net.arc_count();
     let eps = opts.epsilon;
     let mut groups = group_by_source(commodities, net.node_count());
     let inv_cap = net.inv_capacities();
 
-    let mut length: Vec<f64> = inv_cap.to_vec();
+    // Cross-solve warm start: inherit a previous solve's terminal
+    // lengths (re-anchored to the cold gauge, per-arc healed) instead
+    // of the flat `1/c(a)` opener. An unusable state degrades to a
+    // cold start, bit-identical to `warm: None`.
+    let warm_init = warm.and_then(|w| warm_lengths(net, w));
+    let warm_started = warm_init.is_some();
+    let mut length: Vec<f64> = warm_init.unwrap_or_else(|| inv_cap.to_vec());
     let mut arc_flow = vec![0.0f64; num_arcs];
     let mut routed = vec![0.0f64; commodities.len()];
     // optional per-commodity arc-flow record, same units as arc_flow
@@ -492,7 +615,15 @@ fn solve_fast(
     // the primal is feasible by construction and `D(l)/α(l)` bounds λ*
     // for *any* positive lengths — so annealing changes the trajectory,
     // never the guarantees.
-    let mut eps_cur = eps.max(COARSE_EPS);
+    //
+    // A warm-started solve skips the ramp entirely: the inherited
+    // lengths already encode the congestion landscape the coarse
+    // phases exist to discover, and re-coarsening would churn them.
+    let mut eps_cur = if warm_started {
+        eps
+    } else {
+        eps.max(COARSE_EPS)
+    };
     // Patience before halving ε (or, at the final ε, before the
     // `stall_phases` plateau stop takes over).
     let anneal_patience = 10usize.min(opts.stall_phases);
@@ -750,7 +881,7 @@ fn solve_fast(
     sol.upper_bound = best_dual;
     sol.phases = phases;
     sol.settles = groups.iter().map(|g| g.ws.settles()).sum();
-    Ok(sol)
+    Ok((sol, WarmState { lengths: length }))
 }
 
 /// The certified dual bound `D(l)/α(l)` at the given lengths, or `None`
@@ -1072,6 +1203,100 @@ mod tests {
             let s = max_concurrent_flow(&g, &cs, &opts().with_strict_reference(strict)).unwrap();
             assert!(s.settles > 0, "strict {strict}: no settles recorded");
         }
+    }
+
+    /// `warm: None` and an empty/ill-sized [`WarmState`] are bitwise
+    /// the cold solve — the warm hook is invisible until a usable
+    /// state is supplied.
+    #[test]
+    fn warm_none_is_bitwise_cold() {
+        let mut g = Graph::new(12);
+        for v in 0..12 {
+            g.add_unit_edge(v, (v + 1) % 12).unwrap();
+        }
+        g.add_edge(0, 6, 2.0).unwrap();
+        let net = dctopo_graph::CsrNet::from_graph(&g);
+        let cs: Vec<Commodity> = (0..6).map(|v| Commodity::unit(v, (v + 5) % 12)).collect();
+        let o = opts();
+        let cold = max_concurrent_flow_csr(&net, &cs, &o).unwrap();
+        let (none, state) = max_concurrent_flow_warm(&net, &cs, &o, None).unwrap();
+        let (empty, _) = max_concurrent_flow_warm(&net, &cs, &o, Some(&WarmState::cold())).unwrap();
+        let bad = WarmState {
+            lengths: vec![1.0; 3], // wrong arc space → degrade to cold
+        };
+        let (ill, _) = max_concurrent_flow_warm(&net, &cs, &o, Some(&bad)).unwrap();
+        for s in [&none, &empty, &ill] {
+            assert_eq!(cold.throughput.to_bits(), s.throughput.to_bits());
+            assert_eq!(cold.upper_bound.to_bits(), s.upper_bound.to_bits());
+            assert_eq!(cold.phases, s.phases);
+            for (x, y) in cold.arc_flow.iter().zip(&s.arc_flow) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+        assert!(state.is_seeded());
+        assert_eq!(state.arc_count(), net.arc_count());
+    }
+
+    /// A warm-started re-solve of a drifted instance certifies an
+    /// interval overlapping the cold solve's, at the same target gap —
+    /// the soundness half of the serve-mode warm-reuse contract.
+    #[test]
+    fn warm_resolve_certificates_overlap_cold() {
+        let mut g = Graph::new(16);
+        for v in 0..16 {
+            g.add_unit_edge(v, (v + 1) % 16).unwrap();
+        }
+        for v in 0..8 {
+            g.add_edge(v, v + 8, 1.5).unwrap();
+        }
+        let net = dctopo_graph::CsrNet::from_graph(&g);
+        let cs: Vec<Commodity> = (0..8).map(|v| Commodity::unit(v, (v + 7) % 16)).collect();
+        let o = opts();
+        let (_, state) = max_concurrent_flow_warm(&net, &cs, &o, None).unwrap();
+        // drift demands ±10% deterministically
+        let drifted: Vec<Commodity> = cs
+            .iter()
+            .enumerate()
+            .map(|(i, c)| Commodity {
+                demand: c.demand * (0.9 + 0.2 * (i as f64 / 7.0)),
+                ..*c
+            })
+            .collect();
+        let cold = max_concurrent_flow_csr(&net, &drifted, &o).unwrap();
+        let (warm, next) = max_concurrent_flow_warm(&net, &drifted, &o, Some(&state)).unwrap();
+        // a warm solve may plateau-stop slightly past the target (its
+        // inherited lengths make the *dual* tighter from phase one);
+        // the certified gap stays O(ε) regardless
+        let gap_cap = o.target_gap.max(o.epsilon) + 1e-9;
+        assert!(warm.gap() <= gap_cap, "warm gap {}", warm.gap());
+        assert!(warm.throughput <= cold.upper_bound * (1.0 + 1e-9));
+        assert!(cold.throughput <= warm.upper_bound * (1.0 + 1e-9));
+        assert!(next.is_seeded());
+        // feasibility of the warm primal: no arc over capacity
+        for a in 0..net.arc_count() {
+            assert!(warm.arc_flow[a] <= net.capacity(a) * (1.0 + 1e-9));
+        }
+    }
+
+    /// The strict path refuses to warm-start: its output with a seeded
+    /// state is bitwise the strict cold output, and it hands back a
+    /// cold state.
+    #[test]
+    fn strict_path_never_warm_starts() {
+        let mut g = Graph::new(8);
+        for v in 0..8 {
+            g.add_unit_edge(v, (v + 1) % 8).unwrap();
+        }
+        let net = dctopo_graph::CsrNet::from_graph(&g);
+        let cs = [Commodity::unit(0, 4), Commodity::unit(1, 5)];
+        let o = opts();
+        let (_, seeded) = max_concurrent_flow_warm(&net, &cs, &o, None).unwrap();
+        let strict = o.with_strict_reference(true);
+        let cold = max_concurrent_flow_csr(&net, &cs, &strict).unwrap();
+        let (warm, state) = max_concurrent_flow_warm(&net, &cs, &strict, Some(&seeded)).unwrap();
+        assert_eq!(cold.throughput.to_bits(), warm.throughput.to_bits());
+        assert_eq!(cold.upper_bound.to_bits(), warm.upper_bound.to_bits());
+        assert!(!state.is_seeded());
     }
 
     /// The headline determinism guarantee: a seeded instance solved at

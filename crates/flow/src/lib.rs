@@ -75,7 +75,7 @@ pub use dctopo_graph::NodeId;
 pub use backend::{solve, solve_with_cache, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
 pub use cache::{CacheStats, PathSetCache};
 pub use decompose::{decompose_paths, PathFlow};
-pub use fptas::max_concurrent_flow_csr;
+pub use fptas::{max_concurrent_flow_csr, max_concurrent_flow_warm, WarmState};
 pub use grouped::{solve_grouped, DemandGroup, GroupedFlow, SinkSpec};
 
 /// Solve max concurrent flow on `g` with the backend selected in

@@ -1,0 +1,561 @@
+//! The serve engine: a long-running [`Server`] owning sharded engine
+//! state — the base `CsrNet` (inside a [`ThroughputEngine`]), the
+//! shared path-set cache, and a per-structure store of persistent FPTAS
+//! length state — answering batched what-if queries.
+//!
+//! ## Batch evaluation model
+//!
+//! Requests accumulate until a blank line (or EOF) flushes the batch.
+//! A batch is evaluated as one deterministic transaction:
+//!
+//! 1. Every line parses to a typed request (or a typed error record —
+//!    a malformed line never kills the server or the batch).
+//! 2. Queries are sorted into **canonical order** (lexicographic by
+//!    their [`QuerySpec::content_bytes`] encoding, ids excluded) and
+//!    grouped by [`QuerySpec::structure_key`]; each distinct structure
+//!    applies its scenario and lowers its surviving demand **once**.
+//! 3. All queries evaluate in parallel on the persistent worker pool
+//!    (`DCTOPO_THREADS` caps the fan-out — the admission control).
+//!    Every warm-eligible query reads the **batch-start** warm
+//!    snapshot of its structure slot; warm state is never chained
+//!    *within* a batch.
+//! 4. The warm store commits at the batch boundary, walking results in
+//!    canonical order (last writer per structure wins).
+//! 5. Responses are emitted in **arrival order**, ids echoed.
+//!
+//! Steps 2–4 are what make the responses **bit-identical under
+//! permuted arrival order and at any thread count**: the multiset of
+//! canonical encodings (and the batch-start warm snapshot) fully
+//! determines every response and the committed warm store, and each
+//! individual solve is itself thread-invariant by the workspace's
+//! determinism contract.
+//!
+//! ## Warm-start validity
+//!
+//! Warm slots hold [`WarmState`] terminal lengths keyed by structure.
+//! Reusing them is certified-sound no matter what produced them (the
+//! FPTAS dual bound holds for *any* positive lengths — see
+//! [`WarmState`]); only the default FPTAS fast path consumes them.
+//! `fptas-strict`, `exact`, and `ksp:K` queries always run their
+//! pinned cold paths and answer **bitwise identically** to a one-shot
+//! [`ThroughputEngine::solve_scenario`], as does any query with
+//! `"warm":false`.
+
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+
+use dctopo_core::{Degradation, Scenario, ThroughputEngine, ThroughputResult, WarmState};
+use dctopo_flow::FlowError;
+use dctopo_flow::FlowOptions;
+use dctopo_graph::GraphError;
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rayon::prelude::*;
+
+use crate::json::Json;
+use crate::proto::{backend_name, Op, ProtoError, QuerySpec, Request};
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeConfig {
+    /// Solver options queries run with (backend overridable per
+    /// request).
+    pub opts: FlowOptions,
+    /// Whether warm-eligible queries warm-start by default (per-query
+    /// `"warm"` overrides).
+    pub warm_default: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            opts: FlowOptions::fast(),
+            warm_default: true,
+        }
+    }
+}
+
+/// Deterministic server counters (everything here is invariant under
+/// arrival order and thread count; the shared path-set cache's
+/// hit/miss counters are deliberately *not* included because cache
+/// race interleaving makes them schedule-dependent).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Batches flushed.
+    pub batches: u64,
+    /// Query requests evaluated (including ones that returned typed
+    /// errors).
+    pub queries: u64,
+    /// Error records emitted (parse errors + query errors).
+    pub errors: u64,
+    /// Warm-eligible queries that found a seeded warm slot.
+    pub warm_hits: u64,
+    /// Warm-eligible queries that started cold (no slot yet).
+    pub warm_misses: u64,
+}
+
+/// A long-running throughput-query server over one topology + traffic
+/// matrix. See the module docs for the evaluation model.
+#[derive(Debug)]
+pub struct Server<'t> {
+    engine: ThroughputEngine<'t>,
+    tm: TrafficMatrix,
+    cfg: ServeConfig,
+    /// Per-structure warm slots, committed only at batch boundaries.
+    warm: HashMap<u64, WarmState>,
+    stats: ServeStats,
+}
+
+/// Everything one evaluated query produces: the response payload
+/// (without the echoed id) plus the warm state to commit.
+struct QueryOut {
+    payload: Json,
+    is_error: bool,
+    warm_used: bool,
+    warm_eligible: bool,
+    warm_out: Option<WarmState>,
+}
+
+/// One parsed line of a batch, mapped back to its arrival slot.
+enum Slot {
+    Bad(Option<Json>, ProtoError),
+    Ping(Option<Json>),
+    Stats(Option<Json>),
+    /// Query at index `qi` of the batch's query list.
+    Query(Option<Json>, usize),
+}
+
+impl<'t> Server<'t> {
+    /// Build a server over `topo` carrying `tm` as the base demand.
+    pub fn new(topo: &'t Topology, tm: TrafficMatrix, cfg: ServeConfig) -> Self {
+        Server {
+            engine: ThroughputEngine::new(topo),
+            tm,
+            cfg,
+            warm: HashMap::new(),
+            stats: ServeStats::default(),
+        }
+    }
+
+    /// The deterministic counters.
+    pub fn stats(&self) -> ServeStats {
+        self.stats
+    }
+
+    /// Number of structure slots currently holding warm state.
+    pub fn warm_slots(&self) -> usize {
+        self.warm.len()
+    }
+
+    /// The underlying engine (e.g. for path-cache inspection).
+    pub fn engine(&self) -> &ThroughputEngine<'t> {
+        &self.engine
+    }
+
+    /// Evaluate one batch of request lines, returning one response
+    /// line per request **in arrival order**.
+    pub fn serve_batch(&mut self, lines: &[String]) -> Vec<String> {
+        // stats are snapshotted *before* the batch so a `stats`
+        // request's answer cannot depend on its position in the batch
+        let pre_stats = self.stats;
+        let pre_slots = self.warm.len();
+
+        // ---- parse (arrival order) ----
+        let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+        let mut queries: Vec<QuerySpec> = Vec::new();
+        for line in lines {
+            match Request::parse(line) {
+                Err(e) => slots.push(Slot::Bad(None, e)),
+                Ok(Request { id, op }) => match op {
+                    Op::Ping => slots.push(Slot::Ping(id)),
+                    Op::Stats => slots.push(Slot::Stats(id)),
+                    Op::Query(q) => {
+                        slots.push(Slot::Query(id, queries.len()));
+                        queries.push(*q);
+                    }
+                },
+            }
+        }
+
+        // ---- canonical order + per-structure lowering ----
+        let encodings: Vec<Vec<u8>> = queries.iter().map(QuerySpec::content_bytes).collect();
+        let mut order: Vec<usize> = (0..queries.len()).collect();
+        order.sort_by(|&a, &b| encodings[a].cmp(&encodings[b]));
+
+        // apply each distinct scenario once and lower its demand once;
+        // iteration in canonical order keeps everything deterministic
+        struct Structure {
+            applied: Result<dctopo_core::AppliedScenario, GraphError>,
+            demand: Option<(Vec<dctopo_flow::Commodity>, f64, usize)>,
+        }
+        let mut structures: HashMap<u64, Structure> = HashMap::new();
+        for &qi in &order {
+            let skey = queries[qi].structure_key();
+            structures.entry(skey).or_insert_with(|| {
+                let sc = scenario_of(&queries[qi].degradations);
+                let applied = sc.apply(self.engine.topology(), self.engine.net());
+                let demand = applied
+                    .as_ref()
+                    .ok()
+                    .map(|a| self.engine.scenario_demand(a, &self.tm));
+                Structure { applied, demand }
+            });
+        }
+
+        // ---- parallel evaluation against the batch-start snapshot ----
+        let engine = &self.engine;
+        let cfg = self.cfg;
+        let warm_store = &self.warm;
+        let queries_ref = &queries;
+        let order_ref = &order;
+        let structures_ref = &structures;
+        let mut evals: Vec<QueryOut> = (0..order.len())
+            .into_par_iter()
+            .map(|ci| {
+                let qi = order_ref[ci];
+                let spec = &queries_ref[qi];
+                let skey = spec.structure_key();
+                let s = &structures_ref[&skey];
+                eval_query(
+                    engine,
+                    cfg,
+                    spec,
+                    skey,
+                    s.applied.as_ref(),
+                    s.demand.as_ref(),
+                    warm_store.get(&skey),
+                )
+            })
+            .collect();
+
+        // ---- commit: counters, then warm slots in canonical order ----
+        self.stats.batches += 1;
+        self.stats.queries += queries.len() as u64;
+        for slot in &slots {
+            if matches!(slot, Slot::Bad(..)) {
+                self.stats.errors += 1;
+            }
+        }
+        for out in &evals {
+            if out.is_error {
+                self.stats.errors += 1;
+            }
+            if out.warm_eligible {
+                if out.warm_used {
+                    self.stats.warm_hits += 1;
+                } else {
+                    self.stats.warm_misses += 1;
+                }
+            }
+        }
+        // canonical-order commit: last writer per structure wins, so
+        // the committed store is arrival-order-invariant too
+        let mut by_query: Vec<Option<Json>> = Vec::with_capacity(evals.len());
+        by_query.resize_with(queries.len(), || None);
+        for (ci, out) in evals.drain(..).enumerate() {
+            let qi = order[ci];
+            if let Some(state) = out.warm_out {
+                self.warm.insert(queries[qi].structure_key(), state);
+            }
+            by_query[qi] = Some(out.payload);
+        }
+
+        // ---- responses in arrival order ----
+        slots
+            .into_iter()
+            .map(|slot| {
+                let (id, payload) = match slot {
+                    Slot::Bad(id, e) => (id, error_payload(e.kind(), e.message())),
+                    Slot::Ping(id) => (
+                        id,
+                        Json::Obj(vec![
+                            ("ok".into(), Json::Bool(true)),
+                            ("pong".into(), Json::Bool(true)),
+                        ]),
+                    ),
+                    Slot::Stats(id) => (id, stats_payload(pre_stats, pre_slots)),
+                    Slot::Query(id, qi) => {
+                        (id, by_query[qi].take().expect("every query evaluated"))
+                    }
+                };
+                let mut fields = vec![("id".into(), id.unwrap_or(Json::Null))];
+                match payload {
+                    Json::Obj(rest) => fields.extend(rest),
+                    other => fields.push(("payload".into(), other)),
+                }
+                Json::Obj(fields).to_string()
+            })
+            .collect()
+    }
+
+    /// Drive the server over a line-delimited stream: requests
+    /// accumulate per batch, a blank line flushes, EOF drains the
+    /// in-flight batch, responses go to `out` one line each (flushed
+    /// per batch). Returns the final counters.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the reader or writer.
+    pub fn run<R: BufRead, W: Write>(&mut self, reader: R, mut out: W) -> io::Result<ServeStats> {
+        let mut batch: Vec<String> = Vec::new();
+        let flush = |server: &mut Self, batch: &mut Vec<String>, out: &mut W| -> io::Result<()> {
+            if batch.is_empty() {
+                return Ok(());
+            }
+            for line in server.serve_batch(batch) {
+                writeln!(out, "{line}")?;
+            }
+            out.flush()?;
+            batch.clear();
+            Ok(())
+        };
+        for line in reader.lines() {
+            let line = line?;
+            if line.trim().is_empty() {
+                flush(self, &mut batch, &mut out)?;
+            } else {
+                batch.push(line);
+            }
+        }
+        // EOF shutdown drains the in-flight batch
+        flush(self, &mut batch, &mut out)?;
+        Ok(self.stats)
+    }
+}
+
+/// A display name for an ad-hoc degradation recipe.
+fn scenario_of(degradations: &[Degradation]) -> Scenario {
+    let name = if degradations.is_empty() {
+        "baseline".to_string()
+    } else {
+        degradations
+            .iter()
+            .map(|d| match d {
+                Degradation::FailLinks { count, .. } => format!("fail-links:{count}"),
+                Degradation::FailSwitches { count, .. } => format!("fail-switches:{count}"),
+                Degradation::ScaleCapacity { factor } => format!("scale:{factor}"),
+                Degradation::LineCardMix {
+                    fraction, factor, ..
+                } => {
+                    format!("mix:{fraction}x{factor}")
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("+")
+    };
+    Scenario::new(name, degradations.to_vec())
+}
+
+fn error_payload(kind: &str, message: &str) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(false)),
+        (
+            "error".into(),
+            Json::Obj(vec![
+                ("kind".into(), Json::Str(kind.into())),
+                ("message".into(), Json::Str(message.into())),
+            ]),
+        ),
+    ])
+}
+
+fn stats_payload(stats: ServeStats, warm_slots: usize) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        (
+            "stats".into(),
+            Json::Obj(vec![
+                ("batches".into(), Json::Num(stats.batches as f64)),
+                ("queries".into(), Json::Num(stats.queries as f64)),
+                ("errors".into(), Json::Num(stats.errors as f64)),
+                ("warm_hits".into(), Json::Num(stats.warm_hits as f64)),
+                ("warm_misses".into(), Json::Num(stats.warm_misses as f64)),
+                ("warm_slots".into(), Json::Num(warm_slots as f64)),
+            ]),
+        ),
+    ])
+}
+
+fn graph_error_kind(e: &GraphError) -> &'static str {
+    match e {
+        GraphError::Unrealizable(_) => "unrealizable",
+        GraphError::BadCapacity { .. } => "bad-capacity",
+        _ => "graph",
+    }
+}
+
+fn flow_error_kind(e: &FlowError) -> &'static str {
+    match e {
+        FlowError::Unreachable { .. } => "unreachable",
+        _ => "solver",
+    }
+}
+
+fn result_payload(
+    r: &ThroughputResult,
+    warm_used: bool,
+    skey: u64,
+    backend: &str,
+    flows: usize,
+) -> Json {
+    Json::Obj(vec![
+        ("ok".into(), Json::Bool(true)),
+        ("throughput".into(), Json::num(r.throughput)),
+        ("network_lambda".into(), Json::num(r.network_lambda)),
+        ("upper_bound".into(), Json::num(r.network_upper_bound)),
+        ("nic_limit".into(), Json::num(r.nic_limit)),
+        ("flows".into(), Json::Num(flows as f64)),
+        ("commodities".into(), Json::Num(r.commodities.len() as f64)),
+        (
+            "phases".into(),
+            Json::Num(r.solved.as_ref().map_or(0, |s| s.phases) as f64),
+        ),
+        ("warm".into(), Json::Bool(warm_used)),
+        ("structure".into(), Json::Str(format!("{skey:016x}"))),
+        ("backend".into(), Json::Str(backend.into())),
+    ])
+}
+
+#[allow(clippy::too_many_arguments)]
+fn eval_query(
+    engine: &ThroughputEngine<'_>,
+    cfg: ServeConfig,
+    spec: &QuerySpec,
+    skey: u64,
+    applied: Result<&dctopo_core::AppliedScenario, &GraphError>,
+    demand: Option<&(Vec<dctopo_flow::Commodity>, f64, usize)>,
+    warm_in: Option<&WarmState>,
+) -> QueryOut {
+    let applied = match applied {
+        Ok(a) => a,
+        Err(e) => {
+            return QueryOut {
+                payload: error_payload(graph_error_kind(e), &e.to_string()),
+                is_error: true,
+                warm_used: false,
+                warm_eligible: false,
+                warm_out: None,
+            }
+        }
+    };
+    let (base_commodities, nic, flows) = demand.expect("demand lowered for applied scenarios");
+    let mut commodities = base_commodities.clone();
+    if let Some(drift) = spec.drift {
+        for c in &mut commodities {
+            c.demand *= QuerySpec::drift_factor(drift, c.src, c.dst);
+        }
+    }
+    let mut opts = cfg.opts;
+    if let Some((backend, strict)) = spec.backend {
+        opts.backend = backend;
+        opts.strict_reference = strict;
+    }
+    let eligible = matches!(opts.backend, dctopo_flow::Backend::Fptas) && !opts.strict_reference;
+    let warm_requested = spec.warm.unwrap_or(cfg.warm_default);
+    let warm = if eligible && warm_requested {
+        warm_in.filter(|w| w.is_seeded())
+    } else {
+        None
+    };
+    let warm_used = warm.is_some();
+    let backend = backend_name(opts.backend, opts.strict_reference);
+    match engine.solve_commodities_warm(&applied.net, commodities, *nic, *flows, &opts, warm) {
+        Ok((result, state)) => QueryOut {
+            payload: result_payload(&result, warm_used, skey, &backend, *flows),
+            is_error: false,
+            warm_used,
+            warm_eligible: eligible && warm_requested,
+            warm_out: state.is_seeded().then_some(state),
+        },
+        Err(e) => QueryOut {
+            payload: error_payload(flow_error_kind(&e), &e.to_string()),
+            is_error: true,
+            warm_used,
+            warm_eligible: eligible && warm_requested,
+            warm_out: None,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn server(topo: &Topology) -> Server<'_> {
+        let mut rng = StdRng::seed_from_u64(42);
+        let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+        Server::new(topo, tm, ServeConfig::default())
+    }
+
+    fn topo() -> Topology {
+        let mut rng = StdRng::seed_from_u64(7);
+        Topology::random_regular(16, 8, 4, &mut rng).unwrap()
+    }
+
+    fn lines(ls: &[&str]) -> Vec<String> {
+        ls.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn batch_answers_in_arrival_order_with_echoed_ids() {
+        let t = topo();
+        let mut s = server(&t);
+        let out = s.serve_batch(&lines(&[
+            r#"{"id":"b","op":"ping"}"#,
+            r#"{"id":1}"#,
+            r#"{"id":2,"op":"stats"}"#,
+        ]));
+        assert_eq!(out.len(), 3);
+        assert!(out[0].starts_with(r#"{"id":"b""#) && out[0].contains("\"pong\":true"));
+        assert!(out[1].starts_with(r#"{"id":1,"ok":true"#));
+        assert!(out[2].starts_with(r#"{"id":2"#) && out[2].contains("\"stats\""));
+    }
+
+    #[test]
+    fn malformed_lines_yield_typed_errors_not_crashes() {
+        let t = topo();
+        let mut s = server(&t);
+        let out = s.serve_batch(&lines(&["} not json {", r#"{"id":5}"#]));
+        let err = Json::parse(&out[0]).unwrap();
+        assert_eq!(err.get("ok").unwrap().as_bool(), Some(false));
+        assert_eq!(
+            err.get("error").unwrap().get("kind").unwrap().as_str(),
+            Some("malformed")
+        );
+        // the good request in the same batch still answers
+        let good = Json::parse(&out[1]).unwrap();
+        assert_eq!(good.get("ok").unwrap().as_bool(), Some(true));
+        assert_eq!(s.stats().errors, 1);
+        assert_eq!(s.stats().queries, 1);
+    }
+
+    #[test]
+    fn warm_store_fills_and_hits_across_batches() {
+        let t = topo();
+        let mut s = server(&t);
+        let q = r#"{"degrade":[{"kind":"fail-links","count":2,"seed":3}]}"#;
+        s.serve_batch(&lines(&[q]));
+        assert_eq!(s.stats().warm_misses, 1);
+        assert_eq!(s.warm_slots(), 1);
+        let drifted = r#"{"degrade":[{"kind":"fail-links","count":2,"seed":3}],"drift":{"spread":0.1,"seed":9}}"#;
+        let out = s.serve_batch(&lines(&[drifted]));
+        assert_eq!(s.stats().warm_hits, 1);
+        let v = Json::parse(&out[0]).unwrap();
+        assert_eq!(v.get("warm").unwrap().as_bool(), Some(true));
+        assert!(v.get("throughput").unwrap().as_f64().unwrap() > 0.0);
+    }
+
+    #[test]
+    fn run_drains_final_batch_at_eof_without_blank_line() {
+        let t = topo();
+        let mut s = server(&t);
+        let input = "{\"id\":1,\"op\":\"ping\"}\n\n{\"id\":2,\"op\":\"ping\"}";
+        let mut out = Vec::new();
+        let stats = s.run(io::Cursor::new(input), &mut out).unwrap();
+        assert_eq!(stats.batches, 2, "EOF must flush the in-flight batch");
+        let text = String::from_utf8(out).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.lines().nth(1).unwrap().contains("\"id\":2"));
+    }
+}

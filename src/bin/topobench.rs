@@ -28,6 +28,8 @@
 //!                 [--utilization X] [--duration D] [--warmup W] [--queue Q]
 //!                 [--window] [--rto R] [--cwnd C]
 //!                 [--failures N] [--backend B] [--precise]
+//! topobench serve rrg --switches 16 --ports 8 --degree 4
+//!                 [--traffic T] [--seed S] [--precise] [--backend B] [--no-warm]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
@@ -55,7 +57,12 @@
 //! churn depth) and prints the parallel execution DAG with per-stage
 //! certified λ (`--naive` runs the declaration-ordered baseline: no
 //! bounds, no pruning, dominance-free certificates — for comparison);
-//! `bounds` prints the paper's analytic bounds;
+//! `serve` starts the long-running what-if query server: batched
+//! line-delimited JSON requests on stdin (blank line flushes a batch,
+//! EOF drains and exits), one response line per request on stdout, with
+//! per-structure FPTAS warm state reused across batches (`--no-warm`
+//! disables warm-starting by default; requests can still opt in/out
+//! per query); `bounds` prints the paper's analytic bounds;
 //! `vl2-study` reproduces the §7 comparison for one size.
 
 use std::collections::HashMap;
@@ -99,6 +106,8 @@ fn usage() -> ! {
          \x20               [--routing decomposed|ksp:<k>|ecmp:<n>] [--utilization X]\n  \
          \x20               [--duration D] [--warmup W] [--queue Q] [--window]\n  \
          \x20               [--rto R] [--cwnd C] [--failures N] [--backend B] [--precise]\n  \
+         topobench serve <family> [options] [--traffic T] [--seed S]\n  \
+         \x20               [--precise] [--backend B] [--no-warm]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
          all subcommands: --threads N (worker pool size; overrides\n  \
@@ -159,6 +168,7 @@ impl Args {
                         | "strict"
                         | "naive"
                         | "maintenance"
+                        | "no-warm"
                 ) {
                     flags.push(key.to_string());
                 } else if i + 1 < raw.len() {
@@ -1205,6 +1215,65 @@ fn cmd_packetsim(args: &Args) {
     }
 }
 
+fn cmd_serve(args: &Args) {
+    use dctopo::serve::{ServeConfig, Server};
+
+    let family = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let traffic = args
+        .values
+        .get("traffic")
+        .cloned()
+        .unwrap_or_else(|| "permutation".into());
+    let mut cfg = ServeConfig {
+        opts: if args.flag("precise") {
+            FlowOptions::precise()
+        } else {
+            FlowOptions::fast()
+        },
+        warm_default: !args.flag("no-warm"),
+    };
+    if let Some(spec) = args.values.get("backend") {
+        let (backend, strict) = parse_backend(spec).unwrap_or_else(|| {
+            eprintln!("unknown backend '{spec}' (want fptas, fptas-strict, exact, or ksp:<k>)");
+            usage();
+        });
+        cfg.opts.backend = backend;
+        cfg.opts.strict_reference = strict;
+    }
+    let max_pairs: u128 = args.get("max-pairs").unwrap_or(DEFAULT_MAX_PAIRS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = build_topology(family, args, &mut rng);
+    let tm = build_traffic(&traffic, &topo, &mut rng, max_pairs);
+    // the banner goes to stderr: stdout is the protocol channel
+    eprintln!(
+        "# serving {family}: {} switches / {} links / {} servers; \
+         traffic: {} flows; warm-start default {}",
+        topo.switch_count(),
+        topo.graph.edge_count(),
+        topo.server_count(),
+        tm.flow_count(),
+        if cfg.warm_default { "on" } else { "off" },
+    );
+    let mut server = Server::new(&topo, tm, cfg);
+    let stdin = std::io::stdin();
+    let stdout = std::io::stdout();
+    match server.run(stdin.lock(), stdout.lock()) {
+        Ok(stats) => eprintln!(
+            "# served {} queries in {} batches ({} errors, {} warm hits / {} misses)",
+            stats.queries, stats.batches, stats.errors, stats.warm_hits, stats.warm_misses
+        ),
+        Err(e) => {
+            eprintln!("serve I/O error: {e}");
+            exit(1);
+        }
+    }
+}
+
 fn cmd_bounds(args: &Args) {
     let n: usize = args.require("switches");
     let r: usize = args.require("degree");
@@ -1293,6 +1362,7 @@ fn main() {
         "search" => cmd_search(&args),
         "plan" => cmd_plan(&args),
         "packetsim" => cmd_packetsim(&args),
+        "serve" => cmd_serve(&args),
         "bounds" => cmd_bounds(&args),
         "vl2-study" => cmd_vl2_study(&args),
         _ => usage(),

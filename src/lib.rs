@@ -17,6 +17,7 @@
 //! * [`core`](mod@core) — experiment harness, scenario sweeps, VL2 case study
 //! * [`search`] — multi-fidelity topology search (rewires + line-speed budgets)
 //! * [`plan`] — certified-safe reconfiguration planner (migration DAGs)
+//! * [`serve`] — batched what-if query server with warm incremental re-solves
 //!
 //! ## Quickstart
 //!
@@ -87,6 +88,7 @@ pub use dctopo_metrics as metrics;
 pub use dctopo_packetsim as packetsim;
 pub use dctopo_plan as plan;
 pub use dctopo_search as search;
+pub use dctopo_serve as serve;
 pub use dctopo_topology as topology;
 pub use dctopo_traffic as traffic;
 
@@ -104,6 +106,7 @@ pub mod prelude {
     pub use dctopo_metrics::{decompose, Decomposition};
     pub use dctopo_plan::{plan_migration, Migration, MigrationPlan, PlanSpec};
     pub use dctopo_search::{CapacityBudget, Fidelity, SearchResult, SearchRunner, SearchSpec};
+    pub use dctopo_serve::{ServeConfig, ServeStats, Server};
     pub use dctopo_topology::{ClusterSpec, ServerPlacement, SwitchClass, Topology};
     pub use dctopo_traffic::TrafficMatrix;
 }

@@ -1,0 +1,226 @@
+//! End-to-end pins for `topobench serve`, driving the real binary with
+//! piped stdin: a golden request/response transcript checked against an
+//! in-process engine (floats round-trip bitwise through the protocol),
+//! typed error records for malformed lines (the process must NOT crash
+//! or exit), and EOF shutdown draining the in-flight batch.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+use dctopo::core::{Degradation, Scenario, ThroughputEngine};
+use dctopo::prelude::*;
+use dctopo::serve::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Spawn `topobench serve` on a fixed fabric, feed it `input`, and
+/// collect (stdout lines, stderr, success).
+fn serve_transcript(input: &str, extra: &[&str]) -> (Vec<String>, String, bool) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_topobench"));
+    cmd.args([
+        "serve",
+        "rrg",
+        "--switches",
+        "12",
+        "--ports",
+        "8",
+        "--degree",
+        "4",
+        "--seed",
+        "5",
+        "--threads",
+        "2",
+    ])
+    .args(extra)
+    .stdin(Stdio::piped())
+    .stdout(Stdio::piped())
+    .stderr(Stdio::piped());
+    let mut child = cmd.spawn().expect("failed to spawn topobench serve");
+    child
+        .stdin
+        .take()
+        .unwrap()
+        .write_all(input.as_bytes())
+        .expect("failed to write requests");
+    // dropping stdin closes the pipe: EOF is the shutdown signal
+    let out = child.wait_with_output().expect("serve did not exit");
+    (
+        String::from_utf8_lossy(&out.stdout)
+            .lines()
+            .map(str::to_owned)
+            .collect(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+/// The same fabric the CLI builds: family seed drives both the
+/// topology and the traffic draw, exactly like `cmd_serve`.
+fn reference_engine() -> (Topology, TrafficMatrix) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let topo = Topology::random_regular(12, 8, 4, &mut rng).unwrap();
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    (topo, tm)
+}
+
+fn field_f64(line: &str, key: &str) -> f64 {
+    Json::parse(line)
+        .unwrap_or_else(|e| panic!("unparseable response {line:?}: {e}"))
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("missing {key} in {line}"))
+}
+
+#[test]
+fn golden_transcript_matches_in_process_engine_bitwise() {
+    let input = "\
+{\"id\":1}\n\
+{\"id\":2,\"degrade\":[{\"kind\":\"fail-links\",\"count\":2,\"seed\":9}]}\n\
+{\"id\":3,\"op\":\"ping\"}\n\
+\n\
+{\"id\":4,\"op\":\"stats\"}\n";
+    let (lines, stderr, ok) = serve_transcript(input, &[]);
+    assert!(ok, "serve exited non-zero:\n{stderr}");
+    assert_eq!(lines.len(), 4, "one response per request:\n{lines:?}");
+
+    // golden shape pins (id echo, arrival order, response kinds)
+    assert!(lines[0].starts_with("{\"id\":1,\"ok\":true,\"throughput\":"));
+    assert!(lines[1].starts_with("{\"id\":2,\"ok\":true,\"throughput\":"));
+    assert!(lines[1].contains("\"warm\":false") && lines[1].contains("\"backend\":\"fptas\""));
+    assert_eq!(lines[2], "{\"id\":3,\"ok\":true,\"pong\":true}");
+    assert_eq!(
+        lines[3],
+        "{\"id\":4,\"ok\":true,\"stats\":{\"batches\":1,\"queries\":2,\"errors\":0,\
+         \"warm_hits\":0,\"warm_misses\":2,\"warm_slots\":2}}"
+    );
+
+    // differential pin: floats round-trip bitwise through the protocol,
+    // so the transcript must agree with an in-process cold solve
+    let (topo, tm) = reference_engine();
+    let engine = ThroughputEngine::new(&topo);
+    let opts = FlowOptions::fast();
+    let cases = [
+        (0usize, Scenario::baseline()),
+        (
+            1,
+            Scenario::new("f", vec![Degradation::FailLinks { count: 2, seed: 9 }]),
+        ),
+    ];
+    for (i, sc) in cases {
+        let applied = sc.apply(&topo, engine.net()).unwrap();
+        let cold = engine.solve_scenario(&applied, &tm, &opts).unwrap();
+        assert_eq!(
+            field_f64(&lines[i], "throughput").to_bits(),
+            cold.throughput.to_bits(),
+            "line {i} throughput diverged from the in-process engine"
+        );
+        assert_eq!(
+            field_f64(&lines[i], "network_lambda").to_bits(),
+            cold.network_lambda.to_bits()
+        );
+        assert_eq!(
+            field_f64(&lines[i], "upper_bound").to_bits(),
+            cold.network_upper_bound.to_bits()
+        );
+    }
+
+    // CLI-level determinism: identical stdin → identical stdout
+    let (again, _, ok2) = serve_transcript(input, &[]);
+    assert!(ok2);
+    assert_eq!(lines, again, "serve transcript drifted across runs");
+}
+
+#[test]
+fn malformed_requests_get_typed_error_records_and_the_server_survives() {
+    let input = "\
+} not json at all {\n\
+{\"id\":1,\"degrade\":[{\"kind\":\"no-such-kind\"}]}\n\
+{\"id\":2,\"degrade\":[{\"kind\":\"fail-links\",\"count\":2,\"seed\":1,\"bogus\":3}]}\n\
+{\"id\":3,\"op\":\"teapot\"}\n\
+{\"id\":4,\"drift\":{\"spread\":1.5,\"seed\":1}}\n\
+{\"id\":5,\"op\":\"ping\"}\n";
+    let (lines, stderr, ok) = serve_transcript(input, &[]);
+    assert!(
+        ok,
+        "bad input must never crash or exit the server:\n{stderr}"
+    );
+    assert_eq!(lines.len(), 6, "every line gets a response:\n{lines:?}");
+    let expect_err = |line: &str, kind: &str| {
+        let v = Json::parse(line).unwrap();
+        assert_eq!(v.get("ok").and_then(Json::as_bool), Some(false), "{line}");
+        let err = v.get("error").unwrap_or_else(|| panic!("no error: {line}"));
+        assert_eq!(
+            err.get("kind").and_then(Json::as_str),
+            Some(kind),
+            "wrong error kind in {line}"
+        );
+        assert!(
+            !err.get("message")
+                .and_then(Json::as_str)
+                .unwrap()
+                .is_empty(),
+            "empty message: {line}"
+        );
+    };
+    expect_err(&lines[0], "malformed");
+    expect_err(&lines[1], "bad-request");
+    expect_err(&lines[2], "bad-request");
+    expect_err(&lines[3], "bad-request");
+    expect_err(&lines[4], "bad-request");
+    // the good request in the same batch still answers
+    assert_eq!(lines[5], "{\"id\":5,\"ok\":true,\"pong\":true}");
+    assert!(
+        stderr.contains("5 errors"),
+        "final stats must count the typed errors:\n{stderr}"
+    );
+}
+
+#[test]
+fn eof_shutdown_drains_the_in_flight_batch() {
+    // no trailing blank line: the second batch is still in flight when
+    // stdin closes, and must be answered before exit
+    let input =
+        "{\"id\":1,\"op\":\"ping\"}\n\n{\"id\":2,\"op\":\"ping\"}\n{\"id\":3,\"op\":\"stats\"}";
+    let (lines, stderr, ok) = serve_transcript(input, &[]);
+    assert!(ok, "{stderr}");
+    assert_eq!(
+        lines.len(),
+        3,
+        "EOF must drain the in-flight batch:\n{lines:?}"
+    );
+    assert_eq!(lines[1], "{\"id\":2,\"ok\":true,\"pong\":true}");
+    // the drained batch is the second one: stats snapshot sees batch 1
+    let v = Json::parse(&lines[2]).unwrap();
+    let batches = v
+        .get("stats")
+        .and_then(|s| s.get("batches"))
+        .and_then(Json::as_f64)
+        .unwrap();
+    assert_eq!(batches, 1.0);
+    assert!(
+        stderr.contains("in 2 batches"),
+        "shutdown summary must count the drained batch:\n{stderr}"
+    );
+}
+
+#[test]
+fn no_warm_flag_disables_warm_starts_by_default() {
+    let input = "\
+{\"id\":1,\"degrade\":[{\"kind\":\"fail-links\",\"count\":2,\"seed\":9}]}\n\
+\n\
+{\"id\":2,\"degrade\":[{\"kind\":\"fail-links\",\"count\":2,\"seed\":9}],\"drift\":{\"spread\":0.1,\"seed\":3}}\n\
+{\"id\":3,\"degrade\":[{\"kind\":\"fail-links\",\"count\":2,\"seed\":9}],\"drift\":{\"spread\":0.1,\"seed\":3},\"warm\":true}\n";
+    let (lines, stderr, ok) = serve_transcript(input, &["--no-warm"]);
+    assert!(ok, "{stderr}");
+    assert_eq!(lines.len(), 3);
+    assert!(
+        lines[1].contains("\"warm\":false"),
+        "--no-warm must make cold the default:\n{}",
+        lines[1]
+    );
+    assert!(
+        lines[2].contains("\"warm\":true"),
+        "per-request \"warm\":true must still opt in:\n{}",
+        lines[2]
+    );
+}
