@@ -1,0 +1,166 @@
+//! Criterion benchmark gating the telemetry recorder's overhead on the
+//! fptas_fast sweep workload.
+//!
+//! Two claims are pinned here (both from the `dctopo-obs` overhead
+//! model):
+//!
+//! 1. **Determinism under tracing.** The traced run's λ, certified
+//!    upper bound, and settle counts are bitwise identical to the
+//!    untraced run's — the recorder observes the solver, it never
+//!    steers it.
+//! 2. **Cost.** With the recorder *enabled* (memory sink), the sweep
+//!    must finish within `DCTOPO_OBS_OVERHEAD_CAP` (default 1.02×) of
+//!    the disabled run, comparing min-of-5 wall clocks. The disabled
+//!    run does strictly less work (one relaxed atomic load per site),
+//!    so the disabled-recorder overhead is bounded by the same gate.
+//!
+//! Run `DCTOPO_BENCH_JSON=BENCH_obs.json cargo bench -p dctopo-bench
+//! --bench obs` to regenerate the committed artifact.
+
+use std::time::Instant;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dctopo_bench::report::{self, SpeedupRecord};
+use dctopo_core::solve::aggregate_commodities;
+use dctopo_flow::{Commodity, FlowOptions, SolvedFlow};
+use dctopo_graph::CsrNet;
+use dctopo_topology::Topology;
+use dctopo_traffic::TrafficMatrix;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One RRG(48, 10, 6) plus 4 aggregated permutation matrices — the
+/// fptas_fast shape, sized so five repetitions stay in CI budget.
+fn sweep_instance() -> (CsrNet, Vec<Vec<Commodity>>) {
+    let mut rng = StdRng::seed_from_u64(20140402);
+    let topo = Topology::random_regular(48, 10, 6, &mut rng).expect("rrg");
+    let matrices: Vec<Vec<Commodity>> = (0..4)
+        .map(|_| {
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+            aggregate_commodities(&topo, &tm)
+        })
+        .collect();
+    (CsrNet::from_graph(&topo.graph), matrices)
+}
+
+fn sweep_opts() -> FlowOptions {
+    FlowOptions {
+        max_phases: 2000,
+        stall_phases: 200,
+        ..FlowOptions::fast()
+    }
+}
+
+fn run_sweep(net: &CsrNet, matrices: &[Vec<Commodity>], opts: &FlowOptions) -> Vec<SolvedFlow> {
+    matrices
+        .iter()
+        .map(|cs| dctopo_flow::solve(net, cs, opts).expect("solve"))
+        .collect()
+}
+
+/// Min-of-N wall clock in milliseconds (min, not mean: scheduler noise
+/// on shared CI runners only ever inflates a sample).
+fn min_ms(n: usize, mut f: impl FnMut()) -> f64 {
+    (0..n)
+        .map(|_| {
+            let t = Instant::now();
+            f();
+            t.elapsed().as_secs_f64() * 1e3
+        })
+        .fold(f64::INFINITY, f64::min)
+}
+
+fn bench_obs_overhead(c: &mut Criterion) {
+    let (net, matrices) = sweep_instance();
+    let opts = sweep_opts();
+
+    // ---- determinism gate: traced results are bitwise untraced ----
+    assert!(!dctopo_obs::enabled(), "recorder must start disabled");
+    let plain = run_sweep(&net, &matrices, &opts);
+    dctopo_obs::enable_memory();
+    let traced = run_sweep(&net, &matrices, &opts);
+    let events = dctopo_obs::drain_memory();
+    dctopo_obs::disable();
+    assert!(
+        !events.is_empty(),
+        "traced run must emit solver events (instrumentation went dead)"
+    );
+    for (i, (p, t)) in plain.iter().zip(&traced).enumerate() {
+        assert_eq!(
+            p.throughput.to_bits(),
+            t.throughput.to_bits(),
+            "matrix {i}: tracing changed λ"
+        );
+        assert_eq!(
+            p.upper_bound.to_bits(),
+            t.upper_bound.to_bits(),
+            "matrix {i}: tracing changed the certified bound"
+        );
+        assert_eq!(p.settles, t.settles, "matrix {i}: tracing changed settles");
+        assert_eq!(p.phases, t.phases, "matrix {i}: tracing changed phases");
+    }
+
+    // ---- overhead gate ----
+    let reps = 5;
+    run_sweep(&net, &matrices, &opts); // warm-up (allocator, caches)
+    let disabled_ms = min_ms(reps, || {
+        run_sweep(&net, &matrices, &opts);
+    });
+    dctopo_obs::enable_memory();
+    let enabled_ms = min_ms(reps, || {
+        run_sweep(&net, &matrices, &opts);
+        dctopo_obs::drain_memory(); // bound sink growth across reps
+    });
+    dctopo_obs::disable();
+    let cap: f64 = std::env::var("DCTOPO_OBS_OVERHEAD_CAP")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.02);
+    assert!(
+        enabled_ms <= disabled_ms * cap,
+        "tracing overhead above cap: enabled {enabled_ms:.1}ms vs \
+         disabled {disabled_ms:.1}ms (cap {cap}x)"
+    );
+    report::emit_from_env(&[SpeedupRecord {
+        name: "obs_overhead".into(),
+        instance: format!(
+            "RRG(48, 10, 6), 4 permutation matrices, fptas fast; recorder \
+             enabled (memory sink, {} events/run) vs disabled, min of {reps}; \
+             gate enabled <= {cap}x disabled",
+            events.len()
+        ),
+        // old = enabled, new = disabled, so speedup = the overhead
+        // factor the gate bounds (>= 1/cap means within budget)
+        old_ms: enabled_ms,
+        new_ms: disabled_ms,
+        peak_rss_bytes: report::peak_rss_bytes(),
+    }]);
+
+    // ---- timed comparison ----
+    let mut group = c.benchmark_group("obs_overhead_rrg48x10x6");
+    group.sample_size(10);
+    group.bench_function("recorder_disabled", |b| {
+        b.iter(|| {
+            run_sweep(&net, &matrices, &opts)
+                .iter()
+                .map(|s| s.throughput)
+                .sum::<f64>()
+        })
+    });
+    group.bench_function("recorder_enabled_mem", |b| {
+        dctopo_obs::enable_memory();
+        b.iter(|| {
+            let x = run_sweep(&net, &matrices, &opts)
+                .iter()
+                .map(|s| s.throughput)
+                .sum::<f64>();
+            dctopo_obs::drain_memory();
+            x
+        });
+        dctopo_obs::disable();
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_obs_overhead);
+criterion_main!(benches);

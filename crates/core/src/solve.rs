@@ -246,6 +246,35 @@ impl<'t> ThroughputEngine<'t> {
         &self.cache
     }
 
+    /// Cumulative path-set cache counters — shorthand for
+    /// [`PathSetCache::stats`] on [`ThroughputEngine::path_cache`],
+    /// for CLI summaries.
+    pub fn cache_stats(&self) -> dctopo_flow::CacheStats {
+        self.cache.stats()
+    }
+
+    /// Emit one `cache_key` trace event per `(structure, k)` path-cache
+    /// key, in sorted key order. Entry counts and `k` are pure
+    /// functions of the workload; the hit/miss split and the raw
+    /// structure id depend on solve scheduling, so they sit in the
+    /// non-deterministic section. Call from sequential summary sites
+    /// (the CLI does, after its solves complete).
+    pub fn emit_cache_trace(&self) {
+        if !dctopo_obs::enabled() {
+            return;
+        }
+        for (i, ks) in self.cache.key_stats().iter().enumerate() {
+            dctopo_obs::Event::new("cache_key")
+                .field("key_index", i)
+                .field("k", ks.k)
+                .field("entries", ks.entries)
+                .nd("structure_id", ks.structure_id)
+                .nd("hits", ks.hits)
+                .nd("misses", ks.misses)
+                .emit();
+        }
+    }
+
     /// Solve the throughput of the topology under `tm`, using the
     /// backend selected by `opts.backend`. See module docs.
     ///

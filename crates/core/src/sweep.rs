@@ -25,8 +25,9 @@
 //! rather than aborting the grid: a sweep is a census, not a
 //! transaction.
 
-use dctopo_flow::{Backend, Commodity, FlowError, FlowOptions};
+use dctopo_flow::{Backend, CacheStats, Commodity, FlowError, FlowOptions};
 use dctopo_graph::{CsrNet, GraphError, MsBfsWorkspace};
+use dctopo_obs as obs;
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 use rand::rngs::StdRng;
@@ -289,12 +290,21 @@ pub struct SweepReport {
     /// All cells, row-major.
     pub cells: Vec<SweepCell>,
     dims: [usize; 5],
+    cache: CacheStats,
 }
 
 impl SweepReport {
     /// Grid dimensions `[topologies, runs, scenarios, traffic, backends]`.
     pub fn dims(&self) -> [usize; 5] {
         self.dims
+    }
+
+    /// Path-set cache counters summed over every `(topology, run)`
+    /// block's engine (each block owns one engine, so its cache dies
+    /// with the block — this total is the only place the numbers
+    /// survive to).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache
     }
 
     /// The cell at the given grid coordinates.
@@ -417,6 +427,8 @@ impl SweepRunner {
     /// Evaluate every cell of the grid. Per-cell failures land in the
     /// cells; the grid itself always comes back complete.
     pub fn run(&self) -> SweepReport {
+        obs::auto_init();
+        let t_run = obs::clock();
         let spec = &self.spec;
         let runs = spec.runs.max(1);
         let dims = [
@@ -430,27 +442,70 @@ impl SweepRunner {
         // own topology + base net + scenario views + traffic matrices,
         // then fans the cells out again (the pool's submitter
         // participates, so nesting cannot deadlock)
-        let blocks: Vec<Vec<SweepCell>> = (0..dims[0] * runs)
+        let blocks: Vec<(Vec<(SweepCell, u64)>, CacheStats)> = (0..dims[0] * runs)
             .into_par_iter()
             .map(|tr| self.eval_topology(tr / runs, tr % runs))
             .collect();
+        let mut cache = CacheStats::default();
+        for (_, cs) in &blocks {
+            cache.hits += cs.hits;
+            cache.misses += cs.misses;
+        }
+        let timed: Vec<(SweepCell, u64)> = blocks.into_iter().flat_map(|(b, _)| b).collect();
+        // trace emission happens here, after index-ordered assembly, so
+        // the event sequence is row-major and thread-count-invariant
+        // even though the cells themselves were solved in parallel;
+        // only the per-cell wall clocks carry scheduling noise, and
+        // they live in the nd section
+        if obs::enabled() {
+            for (i, (cell, us)) in timed.iter().enumerate() {
+                let mut ev = obs::Event::new("sweep_cell")
+                    .field("index", i)
+                    .field("topology", cell.topology.as_str())
+                    .field("run", cell.run)
+                    .field("scenario", cell.scenario.as_str())
+                    .field("traffic", cell.traffic.as_str())
+                    .field("backend", cell.backend.as_str())
+                    .field("flows", cell.flows)
+                    .field("ok", cell.result.is_ok());
+                if let Ok(m) = &cell.result {
+                    ev = ev
+                        .field("throughput", m.throughput)
+                        .field("lambda", m.network_lambda)
+                        .field("upper_bound", m.upper_bound)
+                        .field("hop_bound", m.hop_bound)
+                        .field("settles", m.settles);
+                }
+                ev.nd("wall_us", *us).emit();
+            }
+            obs::Event::new("sweep_report")
+                .field("cells", timed.len())
+                .field("ok", timed.iter().filter(|(c, _)| c.result.is_ok()).count())
+                .nd("cache_hits", cache.hits)
+                .nd("cache_misses", cache.misses)
+                .nd("wall_us", obs::us_since(t_run))
+                .emit();
+        }
         SweepReport {
-            cells: blocks.into_iter().flatten().collect(),
+            cells: timed.into_iter().map(|(c, _)| c).collect(),
             dims,
+            cache,
         }
     }
 
     /// Evaluate the `scenario × traffic × backend` block of one
-    /// `(topology, run)` pair.
-    fn eval_topology(&self, t: usize, run: usize) -> Vec<SweepCell> {
+    /// `(topology, run)` pair. Returns the cells with their solve wall
+    /// clocks (µs, 0 when tracing is off) and the block engine's final
+    /// path-cache counters.
+    fn eval_topology(&self, t: usize, run: usize) -> (Vec<(SweepCell, u64)>, CacheStats) {
         let spec = &self.spec;
         let point = &spec.topologies[t];
         let block = spec.scenarios.len() * spec.traffic.len() * spec.backends.len();
-        let error_block = |e: FlowError| -> Vec<SweepCell> {
-            (0..block)
+        let error_block = |e: FlowError| -> (Vec<(SweepCell, u64)>, CacheStats) {
+            let cells = (0..block)
                 .map(|i| {
                     let (s, m, b) = self.split(i);
-                    SweepCell {
+                    let cell = SweepCell {
                         topology: point.name.clone(),
                         run,
                         scenario: spec.scenarios[s].name.clone(),
@@ -460,9 +515,11 @@ impl SweepRunner {
                         live_links: 0,
                         flows: 0,
                         result: Err(e.clone()),
-                    }
+                    };
+                    (cell, 0)
                 })
-                .collect()
+                .collect();
+            (cells, CacheStats::default())
         };
 
         let mut rng = StdRng::seed_from_u64(derive_seed(spec.seed, 1, t, run));
@@ -491,11 +548,12 @@ impl SweepRunner {
         // matrices are pure functions of seeds and coordinates, and
         // assembly is index-ordered, so the cell vector stays row-major
         // and bit-identical at any thread count.
-        let blocks: Vec<Vec<SweepCell>> = (0..spec.scenarios.len())
+        let blocks: Vec<Vec<(SweepCell, u64)>> = (0..spec.scenarios.len())
             .into_par_iter()
             .map(|s| self.eval_scenario(point, run, s, &topo, &engine, &matrices))
             .collect();
-        blocks.into_iter().flatten().collect()
+        let cache = engine.cache_stats();
+        (blocks.into_iter().flatten().collect(), cache)
     }
 
     /// Evaluate the `traffic × backend` row of one scenario within a
@@ -509,7 +567,7 @@ impl SweepRunner {
         topo: &Topology,
         engine: &ThroughputEngine,
         matrices: &[Result<TrafficMatrix, FlowError>],
-    ) -> Vec<SweepCell> {
+    ) -> Vec<(SweepCell, u64)> {
         let spec = &self.spec;
         let n_traffic = spec.traffic.len();
         let n_backends = spec.backends.len();
@@ -531,7 +589,7 @@ impl SweepRunner {
                     .map(|i| {
                         let mut cell = cell_shell(i / n_backends, i % n_backends);
                         cell.result = Err(FlowError::Graph(e.clone()));
-                        cell
+                        (cell, 0)
                     })
                     .collect();
             }
@@ -573,6 +631,7 @@ impl SweepRunner {
         (0..n_traffic * n_backends)
             .into_par_iter()
             .map(|i| {
+                let t_cell = obs::clock();
                 let (m, b) = (i / n_backends, i % n_backends);
                 let choice = spec.backends[b];
                 let opts = spec
@@ -585,7 +644,7 @@ impl SweepRunner {
                     Ok(tm) => tm,
                     Err(e) => {
                         cell.result = Err(e.clone());
-                        return cell;
+                        return (cell, obs::us_since(t_cell));
                     }
                 };
                 let prep = prepared[m].as_ref().expect("scenario and matrix both ok");
@@ -607,7 +666,7 @@ impl SweepRunner {
                         settles,
                     }
                 });
-                cell
+                (cell, obs::us_since(t_cell))
             })
             .collect()
     }

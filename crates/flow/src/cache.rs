@@ -57,6 +57,29 @@ pub struct CacheStats {
     pub misses: u64,
 }
 
+/// Per-`(net structure, k)` cache statistics snapshot (see
+/// [`PathSetCache::key_stats`]).
+///
+/// `k` and `entries` are pure functions of the workload; `hits` /
+/// `misses` are not when solves race (two concurrent solvers missing
+/// the same pair both count a miss), and `structure_id` allocation
+/// order follows net construction order — so telemetry emitting these
+/// should put the split and the raw id in the non-deterministic
+/// section.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyStats {
+    /// The [`CsrNet::structure_id`] half of the cache key.
+    pub structure_id: u64,
+    /// The `k` half of the cache key.
+    pub k: usize,
+    /// Frozen `(src, dst)` pairs stored under this key.
+    pub entries: usize,
+    /// Pair lookups under this key served from the cache.
+    pub hits: u64,
+    /// Pair lookups under this key that ran Yen's algorithm.
+    pub misses: u64,
+}
+
 /// Memoises frozen k-shortest path sets per `(CsrNet identity, k)` so
 /// repeated [`crate::KspRestricted`] solves on one topology amortise
 /// Yen preprocessing across traffic matrices — mirroring what the FPTAS
@@ -83,6 +106,9 @@ struct Inner {
     /// `(src, dst)`.
     paths: HashMap<(u64, usize), HashMap<(NodeId, NodeId), FrozenPathSet>>,
     stats: CacheStats,
+    /// Hit/miss split per `(structure id, k)` key (the telemetry view;
+    /// `stats` above stays the cheap global aggregate).
+    key_stats: HashMap<(u64, usize), CacheStats>,
 }
 
 impl PathSetCache {
@@ -130,6 +156,9 @@ impl PathSetCache {
             }
             inner.stats.hits += hits;
             inner.stats.misses += commodities.len() as u64 - hits;
+            let ks = inner.key_stats.entry(key).or_default();
+            ks.hits += hits;
+            ks.misses += commodities.len() as u64 - hits;
             if missing.is_empty() {
                 return Ok(out.into_iter().map(|p| p.expect("all hits")).collect());
             }
@@ -188,6 +217,25 @@ impl PathSetCache {
         self.inner.lock().expect("path cache poisoned").stats
     }
 
+    /// Per-`(structure, k)` statistics, sorted by `(structure_id, k)`
+    /// so the listing order is stable for a given set of keys.
+    pub fn key_stats(&self) -> Vec<KeyStats> {
+        let inner = self.inner.lock().expect("path cache poisoned");
+        let mut out: Vec<KeyStats> = inner
+            .key_stats
+            .iter()
+            .map(|(&(structure_id, k), s)| KeyStats {
+                structure_id,
+                k,
+                entries: inner.paths.get(&(structure_id, k)).map_or(0, HashMap::len),
+                hits: s.hits,
+                misses: s.misses,
+            })
+            .collect();
+        out.sort_unstable_by_key(|s| (s.structure_id, s.k));
+        out
+    }
+
     /// Drop every cached graph and path set (counters included). Useful
     /// when sweeping many topologies through one long-lived cache.
     pub fn clear(&self) {
@@ -195,6 +243,7 @@ impl PathSetCache {
         inner.graphs.clear();
         inner.paths.clear();
         inner.stats = CacheStats::default();
+        inner.key_stats.clear();
     }
 }
 
@@ -266,6 +315,30 @@ mod tests {
         let failed = net.with_disabled_arcs(&[0]).unwrap();
         cache.freeze(&failed, &cs, 2).unwrap();
         assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 2 });
+    }
+
+    #[test]
+    fn key_stats_split_per_structure_and_k() {
+        let cache = PathSetCache::new();
+        let (n1, n2) = (net(), net());
+        let cs = [Commodity::unit(0, 4), Commodity::unit(1, 4)];
+        cache.freeze(&n1, &cs, 2).unwrap();
+        cache.freeze(&n1, &cs, 2).unwrap();
+        cache.freeze(&n2, &cs, 3).unwrap();
+        let ks = cache.key_stats();
+        assert_eq!(ks.len(), 2);
+        // sorted by (structure_id, k); ids are allocated in net build order
+        assert!(ks[0].structure_id < ks[1].structure_id);
+        assert_eq!(
+            (ks[0].k, ks[0].entries, ks[0].hits, ks[0].misses),
+            (2, 2, 2, 2)
+        );
+        assert_eq!(
+            (ks[1].k, ks[1].entries, ks[1].hits, ks[1].misses),
+            (3, 2, 0, 2)
+        );
+        cache.clear();
+        assert!(cache.key_stats().is_empty());
     }
 
     #[test]

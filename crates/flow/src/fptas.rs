@@ -60,9 +60,11 @@
 
 use std::collections::HashMap;
 
-use dctopo_graph::{CsrNet, DijkstraWorkspace, NodeId};
+use dctopo_graph::{CsrNet, DeltaStats, DijkstraWorkspace, NodeId};
+use dctopo_obs as obs;
 use rayon::prelude::*;
 
+use crate::trace::with_delta_stats;
 use crate::{validate, Commodity, FlowError, FlowOptions, SolvedFlow};
 
 /// Minimum `source groups × arcs` before the dual-bound Dijkstra pass
@@ -377,9 +379,11 @@ fn solve_strict(
     // routing scratch shared across groups (routing is sequential)
     let mut tree_load = vec![0.0f64; num_arcs];
     let mut touched: Vec<usize> = Vec::new();
+    let t_solve = obs::clock();
 
     while phases < opts.max_phases {
         phases += 1;
+        let t_phase = obs::clock();
         // sequential routing in fixed group order, shortest paths always
         // under the *current* lengths (see module docs for why routing
         // is not parallelised)
@@ -486,6 +490,24 @@ fn solve_strict(
             }
         }
 
+        // emission sits in the sequential phase loop, so the event
+        // sequence is deterministic whenever solves themselves are run
+        // sequentially (see dctopo-obs crate docs)
+        if obs::enabled() {
+            obs::Event::new("fptas_phase")
+                .field("mode", "strict")
+                .field("phase", phases as u64)
+                .field("eps", eps)
+                .field("primal", primal)
+                .field("dual", best_dual)
+                .field(
+                    "settles",
+                    groups.iter().map(|g| g.ws.settles()).sum::<u64>(),
+                )
+                .nd("wall_us", obs::us_since(t_phase))
+                .emit();
+        }
+
         let better = best.as_ref().is_none_or(|b| primal > b.throughput);
         if better {
             best = Some(SolvedFlow {
@@ -522,6 +544,25 @@ fn solve_strict(
     sol.upper_bound = best_dual;
     sol.phases = phases;
     sol.settles = groups.iter().map(|g| g.ws.settles()).sum();
+    if obs::enabled() {
+        let mut ds = DeltaStats::default();
+        for g in &groups {
+            ds.merge(g.ws.delta_stats());
+        }
+        with_delta_stats(
+            obs::Event::new("fptas_solve")
+                .field("mode", "strict")
+                .field("groups", groups.len())
+                .field("commodities", commodities.len())
+                .field("phases", phases as u64)
+                .field("settles", sol.settles)
+                .field("lambda", sol.throughput)
+                .field("upper_bound", sol.upper_bound),
+            &ds,
+        )
+        .nd("wall_us", obs::us_since(t_solve))
+        .emit();
+    }
     Ok(sol)
 }
 
@@ -628,8 +669,21 @@ fn solve_fast(
     // `stall_phases` plateau stop takes over).
     let anneal_patience = 10usize.min(opts.stall_phases);
 
+    // Tier-ladder telemetry: augmentations accepted on an exact tree
+    // (tier 1 / post-repair), accepted inside the drift gate (tier 2),
+    // incremental repairs (tier 3), and post-rescale full rebuilds.
+    // Per-phase counts with running solve totals; deterministic (pure
+    // functions of the trajectory) and cheap (a few scalar adds per
+    // augmentation), so they are maintained unconditionally — only
+    // event emission is gated on `obs::enabled()`.
+    let (mut ph_exact, mut ph_drift, mut ph_repairs, mut ph_rebuilds) = (0u64, 0u64, 0u64, 0u64);
+    let (mut tot_exact, mut tot_drift, mut tot_repairs, mut tot_rebuilds) =
+        (0u64, 0u64, 0u64, 0u64);
+    let t_solve = obs::clock();
+
     while phases < opts.max_phases {
         phases += 1;
+        let t_phase = obs::clock();
         // Tier-2 gate: tolerate a touched path while its current length
         // stays within (1 + ε/2) of the tree-time distance. A
         // tighter-than-(1+ε) gate keeps routing reactive to other
@@ -720,6 +774,7 @@ fn solve_fast(
                     full_tree(net, g.src, &length, &mut g.ws);
                     g.cursor = base + log.len();
                     g.needs_full = false;
+                    ph_rebuilds += 1;
                 }
                 // walk the tree through the reuse ladder; repair at most
                 // once per augmentation (a repaired tree is exact)
@@ -765,6 +820,12 @@ fn solve_fast(
                     net.dijkstra_repair(g.src, &length, &log[g.cursor - base..], &mut g.ws);
                     g.cursor = base + log.len();
                     exact = true;
+                    ph_repairs += 1;
+                }
+                if exact {
+                    ph_exact += 1;
+                } else {
+                    ph_drift += 1;
                 }
                 let mut tau = 1.0f64;
                 for &a in &touched {
@@ -836,6 +897,35 @@ fn solve_fast(
             .map(|(j, c)| routed[j] / (mu * c.demand))
             .fold(f64::INFINITY, f64::min);
 
+        // emission sits in the sequential phase loop, so the event
+        // sequence is deterministic whenever solves themselves are run
+        // sequentially (see dctopo-obs crate docs)
+        if obs::enabled() {
+            obs::Event::new("fptas_phase")
+                .field("mode", "fast")
+                .field("phase", phases as u64)
+                .field("eps", eps_cur)
+                .field("exact_pass", exact_pass)
+                .field("primal", primal)
+                .field("dual", best_dual)
+                .field("d_l", d_l)
+                .field("aug_exact", ph_exact)
+                .field("aug_drift", ph_drift)
+                .field("repairs", ph_repairs)
+                .field("rescale_rebuilds", ph_rebuilds)
+                .field(
+                    "settles",
+                    groups.iter().map(|g| g.ws.settles()).sum::<u64>(),
+                )
+                .nd("wall_us", obs::us_since(t_phase))
+                .emit();
+        }
+        tot_exact += ph_exact;
+        tot_drift += ph_drift;
+        tot_repairs += ph_repairs;
+        tot_rebuilds += ph_rebuilds;
+        (ph_exact, ph_drift, ph_repairs, ph_rebuilds) = (0, 0, 0, 0);
+
         let better = best.as_ref().is_none_or(|b| primal > b.throughput);
         if better {
             best = Some(SolvedFlow {
@@ -859,7 +949,16 @@ fn solve_fast(
         // shrinks to its own order (it cannot certify much further):
         // halve ε and keep going
         if eps_cur > eps && primal >= (1.0 - eps_cur) * best_dual {
-            eps_cur = (eps_cur * 0.5).max(eps);
+            let next = (eps_cur * 0.5).max(eps);
+            if obs::enabled() {
+                obs::Event::new("fptas_anneal")
+                    .field("phase", phases as u64)
+                    .field("from", eps_cur)
+                    .field("to", next)
+                    .field("reason", "gap")
+                    .emit();
+            }
+            eps_cur = next;
             stagnant_phases = 0;
         }
         if primal > last_primal_check * 1.0005 {
@@ -869,7 +968,16 @@ fn solve_fast(
             stagnant_phases += 1;
             // a stall at a coarse ε also means that step is exhausted
             if eps_cur > eps && stagnant_phases >= anneal_patience {
-                eps_cur = (eps_cur * 0.5).max(eps);
+                let next = (eps_cur * 0.5).max(eps);
+                if obs::enabled() {
+                    obs::Event::new("fptas_anneal")
+                        .field("phase", phases as u64)
+                        .field("from", eps_cur)
+                        .field("to", next)
+                        .field("reason", "stall")
+                        .emit();
+                }
+                eps_cur = next;
                 stagnant_phases = 0;
             } else if stagnant_phases >= opts.stall_phases {
                 break;
@@ -881,6 +989,30 @@ fn solve_fast(
     sol.upper_bound = best_dual;
     sol.phases = phases;
     sol.settles = groups.iter().map(|g| g.ws.settles()).sum();
+    if obs::enabled() {
+        let mut ds = DeltaStats::default();
+        for g in &groups {
+            ds.merge(g.ws.delta_stats());
+        }
+        with_delta_stats(
+            obs::Event::new("fptas_solve")
+                .field("mode", "fast")
+                .field("warm", warm_started)
+                .field("groups", groups.len())
+                .field("commodities", commodities.len())
+                .field("phases", phases as u64)
+                .field("settles", sol.settles)
+                .field("aug_exact", tot_exact)
+                .field("aug_drift", tot_drift)
+                .field("repairs", tot_repairs)
+                .field("rescale_rebuilds", tot_rebuilds)
+                .field("lambda", sol.throughput)
+                .field("upper_bound", sol.upper_bound),
+            &ds,
+        )
+        .nd("wall_us", obs::us_since(t_solve))
+        .emit();
+    }
     Ok((sol, WarmState { lengths: length }))
 }
 

@@ -74,8 +74,10 @@
 use std::sync::Arc;
 
 use dctopo_graph::{CsrNet, DijkstraWorkspace, NodeId};
+use dctopo_obs as obs;
 
 use crate::fptas;
+use crate::trace::with_delta_stats;
 use crate::{FlowError, FlowOptions};
 
 /// Where lengths get rescaled (mirrors the pairwise solver).
@@ -325,6 +327,13 @@ pub fn solve_grouped(
 
     while phases < opts.max_phases {
         phases += 1;
+        let t_phase = obs::clock();
+        // per-phase telemetry: routing steps (= trees built) plus
+        // tree-build and Kahn-pass wall time (nd; zero when disabled —
+        // `obs::clock()` never touches the clock then)
+        let mut ph_steps = 0u64;
+        let mut tree_us = 0u64;
+        let mut kahn_us = 0u64;
         // α(l) harvested from each group's first tree of the phase
         let mut alpha_phase = 0.0f64;
 
@@ -339,7 +348,10 @@ pub fn solve_grouped(
                     // actually sent, so correctness is unaffected
                     break;
                 }
+                ph_steps += 1;
+                let t_tree = obs::clock();
                 fptas::full_tree(net, g.src, &length, &mut ws);
+                tree_us += obs::us_since(t_tree);
 
                 // seed the per-node sink demand for this step and check
                 // reachability; harvest α from the phase's first tree
@@ -374,6 +386,7 @@ pub fn solve_grouped(
                 // child's load — silently under-recording arc flow that
                 // `routed_frac` still takes credit for. The parent
                 // pointers themselves are always a well-founded forest.
+                let t_kahn = obs::clock();
                 for c in child_count.iter_mut() {
                     *c = 0;
                 }
@@ -406,6 +419,7 @@ pub fn solve_grouped(
                         ready.push(t as u32);
                     }
                 }
+                kahn_us += obs::us_since(t_kahn);
 
                 // capacity-scaled step: never overload any arc
                 let mut tau = 1.0f64;
@@ -456,6 +470,23 @@ pub fn solve_grouped(
             .max(1e-300);
         let primal = routed_frac.iter().copied().fold(f64::INFINITY, f64::min) / mu;
 
+        // groups route sequentially, so this sits outside any parallel
+        // region and the event sequence is deterministic per solve
+        if obs::enabled() {
+            obs::Event::new("grouped_phase")
+                .field("phase", phases as u64)
+                .field("steps", ph_steps)
+                .field("alpha", alpha_phase)
+                .field("d_l", d_l)
+                .field("primal", primal)
+                .field("dual", best_dual)
+                .field("settles", ws.settles())
+                .nd("tree_us", tree_us)
+                .nd("kahn_us", kahn_us)
+                .nd("wall_us", obs::us_since(t_phase))
+                .emit();
+        }
+
         let better = best.as_ref().is_none_or(|b| primal > b.throughput);
         if better {
             best = Some(GroupedFlow {
@@ -488,6 +519,7 @@ pub fn solve_grouped(
     // terminal lengths are the most congestion-aware of the run and
     // this single extra harvest usually tightens the interval by an
     // order of magnitude for O(groups) SSSPs total.
+    let t_harvest = obs::clock();
     let mut alpha_final = 0.0f64;
     for g in groups {
         fptas::full_tree(net, g.src, &length, &mut ws);
@@ -507,11 +539,31 @@ pub fn solve_grouped(
     if final_bound.is_finite() && final_bound > 0.0 {
         best_dual = best_dual.min(final_bound);
     }
+    if obs::enabled() {
+        obs::Event::new("grouped_harvest")
+            .field("alpha", alpha_final)
+            .field("d_l", d_final)
+            .field("bound", final_bound)
+            .nd("wall_us", obs::us_since(t_harvest))
+            .emit();
+    }
 
     let mut sol = best.expect("at least one phase ran");
     sol.upper_bound = best_dual;
     sol.phases = phases;
     sol.settles = ws.settles();
+    if obs::enabled() {
+        with_delta_stats(
+            obs::Event::new("grouped_solve")
+                .field("groups", groups.len())
+                .field("phases", phases as u64)
+                .field("settles", sol.settles)
+                .field("lambda", sol.throughput)
+                .field("upper_bound", sol.upper_bound),
+            ws.delta_stats(),
+        )
+        .emit();
+    }
     Ok(sol)
 }
 

@@ -64,6 +64,7 @@ mod fptas;
 pub mod grouped;
 pub mod ksp;
 pub mod reference;
+mod trace;
 
 use std::fmt;
 
@@ -73,7 +74,7 @@ use dctopo_graph::{CsrNet, Graph, GraphError};
 pub use dctopo_graph::NodeId;
 
 pub use backend::{solve, solve_with_cache, Backend, ExactLp, Fptas, KspRestricted, SolverBackend};
-pub use cache::{CacheStats, PathSetCache};
+pub use cache::{CacheStats, KeyStats, PathSetCache};
 pub use decompose::{decompose_paths, PathFlow};
 pub use fptas::{max_concurrent_flow_csr, max_concurrent_flow_warm, WarmState};
 pub use grouped::{solve_grouped, DemandGroup, GroupedFlow, SinkSpec};

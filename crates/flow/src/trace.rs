@@ -1,0 +1,26 @@
+//! Shared telemetry helpers for the flow solvers: attach graph-layer
+//! [`DeltaStats`] snapshots to [`dctopo_obs`] events with the crate's
+//! deterministic/non-deterministic field partition applied.
+
+use dctopo_graph::DeltaStats;
+use dctopo_obs::{Event, Json};
+
+/// Attach a [`DeltaStats`] snapshot to an event. The schedule-invariant
+/// counters (buckets, rounds, expansions, occupancy histogram) go in as
+/// deterministic fields; the CAS tallies — the one interleaving-dependent
+/// pair — go under `nd`.
+#[must_use]
+pub(crate) fn with_delta_stats(ev: Event, st: &DeltaStats) -> Event {
+    let hist: Vec<Json> = st.occupancy_hist.iter().map(|&b| Json::from(b)).collect();
+    ev.field("sssp_runs", st.runs)
+        .field("buckets", st.buckets)
+        .field("light_rounds", st.light_rounds)
+        .field("expansions", st.expansions)
+        .field("heavy_expansions", st.heavy_expansions)
+        .field("edge_scans", st.edge_scans)
+        .field("par_rounds", st.par_rounds)
+        .field("seq_rounds", st.seq_rounds)
+        .field("occupancy_hist", hist)
+        .nd("cas_success", st.cas_success)
+        .nd("cas_retries", st.cas_retries)
+}

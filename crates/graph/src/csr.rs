@@ -798,6 +798,9 @@ pub struct DijkstraWorkspace {
     mark_gen: u32,
     /// Scratch list of affected nodes for the current repair.
     affected: Vec<u32>,
+    /// Cumulative bucketed-SSSP statistics across [`crate::delta::sssp`]
+    /// runs through this workspace (zero when only the heap path ran).
+    delta_stats: crate::delta::DeltaStats,
 }
 
 impl DijkstraWorkspace {
@@ -857,6 +860,23 @@ impl DijkstraWorkspace {
     #[inline]
     pub(crate) fn note_settles(&mut self, k: u64) {
         self.settles += k;
+    }
+
+    /// Cumulative bucketed-SSSP statistics this workspace accumulated
+    /// (see [`crate::delta::DeltaStats`]); all zeros when only the
+    /// scalar heap path ran. Snapshot-and-[`diff`](
+    /// crate::delta::DeltaStats::since) to attribute activity to one
+    /// solver phase.
+    #[inline]
+    pub fn delta_stats(&self) -> &crate::delta::DeltaStats {
+        &self.delta_stats
+    }
+
+    /// Merge one bucketed-SSSP run's statistics into the cumulative
+    /// counter (called by [`crate::delta::sssp`]).
+    #[inline]
+    pub(crate) fn note_delta_stats(&mut self, st: &crate::delta::DeltaStats) {
+        self.delta_stats.merge(st);
     }
 
     /// Distance of `v` from the last run's source (`INFINITY` if

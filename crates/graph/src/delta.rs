@@ -57,6 +57,117 @@ use crate::NodeId;
 /// the output bits) is identical either way.
 const PAR_MIN_FRONTIER: usize = 256;
 
+/// Bins of the frontier-occupancy histogram in [`DeltaStats`]:
+/// bin `i` counts relaxation rounds whose frontier held
+/// `[2^i, 2^(i+1))` nodes (the last bin absorbs everything larger).
+pub const OCCUPANCY_BINS: usize = 24;
+
+/// Aggregated execution statistics of the bucketed SSSP, accumulated
+/// into the [`DijkstraWorkspace`] across [`sssp`] calls (mirroring the
+/// settle counter) so sequential callers can snapshot/diff them per
+/// solver phase.
+///
+/// Every field except the `cas_*` pair is **deterministic** — a pure
+/// function of the instance and lengths, identical at any thread
+/// count, because the per-round frontier *sets* are schedule-invariant
+/// (each round's distance array is the minimum over all offers of the
+/// previous round, regardless of interleaving). The `cas_*` counters
+/// depend on how relaxations race and belong in a trace's
+/// non-deterministic section only.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct DeltaStats {
+    /// Completed [`sssp`] runs.
+    pub runs: u64,
+    /// Buckets popped (outer loop iterations).
+    pub buckets: u64,
+    /// Light-loop relaxation rounds.
+    pub light_rounds: u64,
+    /// Light-loop node expansions: total frontier memberships across
+    /// rounds. This is the Dijkstra-equivalent work the settle counter
+    /// credits (a node re-expanded in a later round pays again, like a
+    /// heap pop would).
+    pub expansions: u64,
+    /// Heavy-phase node expansions (once per node settled in a bucket).
+    pub heavy_expansions: u64,
+    /// Out-arc relaxation attempts scanned (light + heavy).
+    pub edge_scans: u64,
+    /// Relaxation rounds that fanned out on the worker pool
+    /// (frontier ≥ the parallel threshold and more than one thread
+    /// configured) — each one is a fork/join barrier.
+    pub par_rounds: u64,
+    /// Relaxation rounds that ran sequentially (below the threshold).
+    pub seq_rounds: u64,
+    /// Histogram of frontier sizes per round, log2 bins — see
+    /// [`OCCUPANCY_BINS`].
+    pub occupancy_hist: [u64; OCCUPANCY_BINS],
+    /// Successful atomic distance decreases (**non-deterministic**:
+    /// when two offers race, whether the larger one ever lands is
+    /// schedule-dependent).
+    pub cas_success: u64,
+    /// Failed compare-exchange attempts (**non-deterministic**; pure
+    /// contention signal).
+    pub cas_retries: u64,
+}
+
+impl DeltaStats {
+    /// Element-wise saturating difference `self - since`: the activity
+    /// between two snapshots of an accumulating workspace counter.
+    #[must_use]
+    pub fn since(&self, earlier: &DeltaStats) -> DeltaStats {
+        let mut occupancy_hist = [0u64; OCCUPANCY_BINS];
+        for (o, (a, b)) in occupancy_hist
+            .iter_mut()
+            .zip(self.occupancy_hist.iter().zip(&earlier.occupancy_hist))
+        {
+            *o = a.saturating_sub(*b);
+        }
+        DeltaStats {
+            runs: self.runs.saturating_sub(earlier.runs),
+            buckets: self.buckets.saturating_sub(earlier.buckets),
+            light_rounds: self.light_rounds.saturating_sub(earlier.light_rounds),
+            expansions: self.expansions.saturating_sub(earlier.expansions),
+            heavy_expansions: self
+                .heavy_expansions
+                .saturating_sub(earlier.heavy_expansions),
+            edge_scans: self.edge_scans.saturating_sub(earlier.edge_scans),
+            par_rounds: self.par_rounds.saturating_sub(earlier.par_rounds),
+            seq_rounds: self.seq_rounds.saturating_sub(earlier.seq_rounds),
+            occupancy_hist,
+            cas_success: self.cas_success.saturating_sub(earlier.cas_success),
+            cas_retries: self.cas_retries.saturating_sub(earlier.cas_retries),
+        }
+    }
+
+    /// Merge another stats block into this one (plain sums).
+    pub fn merge(&mut self, other: &DeltaStats) {
+        self.runs += other.runs;
+        self.buckets += other.buckets;
+        self.light_rounds += other.light_rounds;
+        self.expansions += other.expansions;
+        self.heavy_expansions += other.heavy_expansions;
+        self.edge_scans += other.edge_scans;
+        self.par_rounds += other.par_rounds;
+        self.seq_rounds += other.seq_rounds;
+        for (a, b) in self.occupancy_hist.iter_mut().zip(&other.occupancy_hist) {
+            *a += b;
+        }
+        self.cas_success += other.cas_success;
+        self.cas_retries += other.cas_retries;
+    }
+
+    /// Record one relaxation round (light or heavy) over
+    /// `frontier_size` nodes.
+    fn note_round(&mut self, frontier_size: usize, parallel: bool) {
+        if parallel {
+            self.par_rounds += 1;
+        } else {
+            self.seq_rounds += 1;
+        }
+        let bin = (usize::BITS - frontier_size.leading_zeros()) as usize;
+        self.occupancy_hist[bin.saturating_sub(1).min(OCCUPANCY_BINS - 1)] += 1;
+    }
+}
+
 /// Per-thread scratch for [`sssp`]: distance-bit atomics, dedup marks,
 /// and the parent-pass candidate arrays. Thread-local because the
 /// caller may invoke [`sssp`] from inside a parallel pass (one scratch
@@ -70,9 +181,6 @@ struct Scratch {
     round_gen: u64,
     /// Per-bucket settled dedup stamp (one bump per bucket pop).
     pop_mark: Vec<u64>,
-    /// First-settle stamp for the settle counter (one bump per run).
-    run_mark: Vec<u64>,
-    run_gen: u64,
     /// Parent-pass candidate: best `(pack(dist, tail), arc)` this round.
     cand_key: Vec<u128>,
     cand_arc: Vec<u32>,
@@ -87,7 +195,6 @@ impl Scratch {
             self.bits.resize_with(n, || AtomicU64::new(0));
             self.round_mark.resize(n, 0);
             self.pop_mark.resize(n, 0);
-            self.run_mark.resize(n, 0);
             self.cand_key.resize(n, 0);
             self.cand_arc.resize(n, 0);
             self.cand_mark.resize(n, 0);
@@ -97,7 +204,6 @@ impl Scratch {
         for b in &self.bits[..n] {
             b.store(inf, Ordering::Relaxed);
         }
-        self.run_gen += 1;
     }
 }
 
@@ -106,11 +212,13 @@ thread_local! {
 }
 
 /// Atomically lower `bits[w]` to `nd` if `nd` is strictly smaller.
-/// Returns whether this call performed the decrease. Order-independent:
-/// the final cell value is the minimum of all offered values no matter
-/// how calls interleave.
+/// Returns whether this call performed the decrease, bumping `retries`
+/// once per failed compare-exchange (a contention counter for the
+/// trace's non-deterministic section). Order-independent: the final
+/// cell value is the minimum of all offered values no matter how calls
+/// interleave.
 #[inline]
-fn relax_min(bits: &[AtomicU64], w: usize, nd: f64) -> bool {
+fn relax_min(bits: &[AtomicU64], w: usize, nd: f64, retries: &mut u64) -> bool {
     let nb = nd.to_bits();
     let mut cur = bits[w].load(Ordering::Relaxed);
     loop {
@@ -119,7 +227,10 @@ fn relax_min(bits: &[AtomicU64], w: usize, nd: f64) -> bool {
         }
         match bits[w].compare_exchange_weak(cur, nb, Ordering::Relaxed, Ordering::Relaxed) {
             Ok(_) => return true,
-            Err(seen) => cur = seen,
+            Err(seen) => {
+                *retries += 1;
+                cur = seen;
+            }
         }
     }
 }
@@ -196,10 +307,14 @@ fn run(
     scratch.bits[src].store(0.0f64.to_bits(), Ordering::Relaxed);
     let mut buckets: BTreeMap<u64, Vec<u32>> = BTreeMap::new();
     buckets.insert(0, vec![src as u32]);
-    let mut settled_nodes = 0u64;
+    let mut st = DeltaStats {
+        runs: 1,
+        ..DeltaStats::default()
+    };
     let mut settled: Vec<u32> = Vec::new();
 
     while let Some((b, mut list)) = buckets.pop_first() {
+        st.buckets += 1;
         // one settled set per bucket pop: nodes whose bucket-b distance
         // is final once the light loop below converges
         let pop_gen = {
@@ -227,16 +342,21 @@ fn run(
                 if scratch.pop_mark[vi] != pop_gen {
                     scratch.pop_mark[vi] = pop_gen;
                     settled.push(v);
-                    if scratch.run_mark[vi] != scratch.run_gen {
-                        scratch.run_mark[vi] = scratch.run_gen;
-                        settled_nodes += 1;
-                    }
                 }
             }
             if frontier.is_empty() {
                 break;
             }
-            let decreased = relax(net, arc_len, &scratch.bits, &frontier, |len| len < delta);
+            st.light_rounds += 1;
+            st.expansions += frontier.len() as u64;
+            let decreased = relax(
+                net,
+                arc_len,
+                &scratch.bits,
+                &frontier,
+                |len| len < delta,
+                &mut st,
+            );
             // re-bucket every decreased node; bucket-b landings loop
             list.clear();
             for &w in &decreased {
@@ -254,7 +374,15 @@ fn run(
         // -- heavy phase: arcs of length >= Δ, once per settled node,
         //    against its bucket-final distance --
         if !settled.is_empty() {
-            let decreased = relax(net, arc_len, &scratch.bits, &settled, |len| len >= delta);
+            st.heavy_expansions += settled.len() as u64;
+            let decreased = relax(
+                net,
+                arc_len,
+                &scratch.bits,
+                &settled,
+                |len| len >= delta,
+                &mut st,
+            );
             for &w in &decreased {
                 let nb = bucket_of(load(&scratch.bits, w as usize), inv_delta);
                 buckets.entry(nb).or_default().push(w);
@@ -265,46 +393,77 @@ fn run(
     for v in 0..n {
         ws.dist[v] = load(&scratch.bits, v);
     }
-    ws.note_settles(settled_nodes);
+    // Dijkstra-equivalent work: every node *expansion* (an out-arc scan
+    // of a frontier or heavy-settled node) counts, the way each heap
+    // pop does on the scalar path. Counting unique settled nodes here
+    // under-reported the bucketed path's actual work, because a node
+    // re-entering the frontier across rounds scans its arcs each time.
+    // Both terms are deterministic (round frontiers are
+    // schedule-invariant sets), so the settle counter stays bitwise
+    // thread-count-invariant.
+    ws.note_settles(st.expansions + st.heavy_expansions);
+    ws.note_delta_stats(&st);
     assign_parents(net, src, arc_len, ws, scratch);
 }
 
 /// Relax the selected arcs (`keep(len)`) of every frontier node,
 /// returning the nodes whose distance decreased. Fans out on the worker
 /// pool above [`PAR_MIN_FRONTIER`]; the sequential and parallel paths
-/// produce the identical decrease set in the identical order (chunks
-/// assemble in index order).
+/// produce the identical decrease *set* (chunks assemble in index
+/// order). Statistics accumulate into `st`: edge scans are
+/// deterministic (per-task locals merged in worker-index order sum to
+/// a schedule-invariant total), the `cas_*` pair is not.
 fn relax(
     net: &CsrNet,
     arc_len: &[f64],
     bits: &[AtomicU64],
     frontier: &[u32],
     keep: impl Fn(f64) -> bool + Sync,
+    st: &mut DeltaStats,
 ) -> Vec<u32> {
+    // per-node relaxation, counting into a task-local tally:
+    // (decreases, scans, successes, retries)
     let relax_node = |u: u32| {
         let u = u as usize;
         let du = load(bits, u);
         let mut local: Vec<u32> = Vec::new();
+        let (mut scans, mut success, mut retries) = (0u64, 0u64, 0u64);
         let (arcs, heads) = net.out_slots(u);
         for (&a, &w) in arcs.iter().zip(heads) {
             let len = arc_len[a as usize];
             if !keep(len) {
                 continue;
             }
+            scans += 1;
             let nd = du + len;
-            if relax_min(bits, w as usize, nd) {
+            if relax_min(bits, w as usize, nd, &mut retries) {
+                success += 1;
                 local.push(w);
             }
         }
-        local
+        (local, scans, success, retries)
     };
-    if frontier.len() >= PAR_MIN_FRONTIER && rayon::current_num_threads() > 1 {
-        let locals: Vec<Vec<u32>> = frontier.par_iter().map(|&u| relax_node(u)).collect();
-        locals.concat()
+    let parallel = frontier.len() >= PAR_MIN_FRONTIER && rayon::current_num_threads() > 1;
+    st.note_round(frontier.len(), parallel);
+    if parallel {
+        let locals: Vec<(Vec<u32>, u64, u64, u64)> =
+            frontier.par_iter().map(|&u| relax_node(u)).collect();
+        let mut out = Vec::new();
+        for (local, scans, success, retries) in locals {
+            out.extend(local);
+            st.edge_scans += scans;
+            st.cas_success += success;
+            st.cas_retries += retries;
+        }
+        out
     } else {
         let mut out = Vec::new();
         for &u in frontier {
-            out.extend(relax_node(u));
+            let (local, scans, success, retries) = relax_node(u);
+            out.extend(local);
+            st.edge_scans += scans;
+            st.cas_success += success;
+            st.cas_retries += retries;
         }
         out
     }
@@ -457,6 +616,52 @@ mod tests {
         assert_eq!(ws.dist[1], 1.0);
         assert!(ws.dist[2].is_infinite());
         assert!(ws.parent(2).is_none());
+    }
+
+    #[test]
+    fn stats_deterministic_and_settles_count_expansions() {
+        let (g, lens) = random_net(11, 300, 900);
+        let net = CsrNet::from_graph(&g);
+        let run_at = |t: usize| {
+            let pool = ThreadPoolBuilder::new().num_threads(t).build().unwrap();
+            pool.install(|| {
+                let mut ws = DijkstraWorkspace::new(net.node_count());
+                sssp(&net, 0, &lens, &mut ws);
+                (ws.settles(), ws.delta_stats().clone())
+            })
+        };
+        let (settles, base) = run_at(1);
+        // settles credit every expansion: at least one per reachable
+        // node, and exactly the expansion totals the stats carry
+        assert!(settles >= net.node_count() as u64 - 1);
+        assert_eq!(settles, base.expansions + base.heavy_expansions);
+        assert_eq!(base.runs, 1);
+        assert!(base.buckets > 0 && base.light_rounds > 0);
+        // every relaxation round (light or heavy) lands in exactly one
+        // scheduling class and one occupancy bin
+        assert!(base.par_rounds + base.seq_rounds >= base.light_rounds);
+        assert_eq!(
+            base.occupancy_hist.iter().sum::<u64>(),
+            base.par_rounds + base.seq_rounds
+        );
+        // every deterministic field is thread-count-invariant; only the
+        // cas_* pair may differ between schedules
+        for t in [2usize, 8] {
+            let (s, st) = run_at(t);
+            assert_eq!(s, settles, "{t} threads: settles diverged");
+            let mut masked = st.clone();
+            masked.cas_success = base.cas_success;
+            masked.cas_retries = base.cas_retries;
+            assert_eq!(masked, base, "{t} threads: deterministic stats diverged");
+        }
+        // snapshot differencing isolates one run's activity
+        let mut ws = DijkstraWorkspace::new(net.node_count());
+        sssp(&net, 0, &lens, &mut ws);
+        let snap = ws.delta_stats().clone();
+        sssp(&net, 0, &lens, &mut ws);
+        let one = ws.delta_stats().since(&snap);
+        assert_eq!(one.runs, 1);
+        assert_eq!(one.expansions, snap.expansions);
     }
 
     #[test]

@@ -43,6 +43,7 @@ pub mod spectral;
 pub mod swaps;
 
 pub use csr::{CsrNet, DijkstraWorkspace};
+pub use delta::DeltaStats;
 pub use error::GraphError;
 pub use graph::{ArcId, EdgeId, Graph, NodeId};
 pub use msbfs::{ms_bfs, ms_bfs_csr, MsBfsWorkspace};

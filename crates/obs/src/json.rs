@@ -1,6 +1,8 @@
 //! A minimal, dependency-free JSON value type with a recursive-descent
-//! parser and a writer — just enough for the serve protocol, hermetic
-//! by construction (the workspace vendors no serde).
+//! parser and a writer — just enough for the serve protocol and the
+//! trace recorder's JSONL events, hermetic by construction (the
+//! workspace vendors no serde). `dctopo-serve` re-exports this module
+//! as `dctopo_serve::json`, its historical home.
 //!
 //! ## Number fidelity
 //!
@@ -119,6 +121,58 @@ impl Json {
         } else {
             Json::Null
         }
+    }
+}
+
+// Conversions for ergonomic event building. Counters go through `f64`
+// (exact up to 2^53 — far beyond any settle or bucket count the
+// solvers produce); non-finite floats become `null` like everywhere
+// else in the writer.
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::num(x)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(x: u64) -> Json {
+        Json::num(x as f64)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(x: usize) -> Json {
+        Json::num(x as f64)
+    }
+}
+
+impl From<u32> for Json {
+    fn from(x: u32) -> Json {
+        Json::num(f64::from(x))
+    }
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+
+impl From<Vec<Json>> for Json {
+    fn from(items: Vec<Json>) -> Json {
+        Json::Arr(items)
     }
 }
 

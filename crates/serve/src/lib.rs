@@ -29,7 +29,7 @@
 
 #![warn(missing_docs)]
 
-pub mod json;
+pub use dctopo_obs::json;
 pub mod proto;
 pub mod server;
 

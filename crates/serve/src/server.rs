@@ -48,6 +48,7 @@ use dctopo_core::{Degradation, Scenario, ThroughputEngine, ThroughputResult, War
 use dctopo_flow::FlowError;
 use dctopo_flow::FlowOptions;
 use dctopo_graph::GraphError;
+use dctopo_obs as obs;
 use dctopo_topology::Topology;
 use dctopo_traffic::TrafficMatrix;
 use rayon::prelude::*;
@@ -114,6 +115,8 @@ struct QueryOut {
     warm_used: bool,
     warm_eligible: bool,
     warm_out: Option<WarmState>,
+    /// Solve wall clock (µs, 0 when tracing is off) — trace-only.
+    wall_us: u64,
 }
 
 /// One parsed line of a batch, mapped back to its arrival slot.
@@ -155,10 +158,16 @@ impl<'t> Server<'t> {
     /// Evaluate one batch of request lines, returning one response
     /// line per request **in arrival order**.
     pub fn serve_batch(&mut self, lines: &[String]) -> Vec<String> {
+        let t_batch = obs::clock();
         // stats are snapshotted *before* the batch so a `stats`
         // request's answer cannot depend on its position in the batch
+        // (the trace event count likewise: cumulative emission counts
+        // are sums over deterministic per-solve counts, so the
+        // snapshot is transcript-determined even though parallel
+        // queries interleave their emissions)
         let pre_stats = self.stats;
         let pre_slots = self.warm.len();
+        let pre_events = obs::event_count();
 
         // ---- parse (arrival order) ----
         let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
@@ -254,10 +263,39 @@ impl<'t> Server<'t> {
         by_query.resize_with(queries.len(), || None);
         for (ci, out) in evals.drain(..).enumerate() {
             let qi = order[ci];
+            // trace emission in canonical order: the event sequence is
+            // a pure function of the batch transcript, never of
+            // scheduling — only the wall clock in the nd section
+            // carries scheduling noise
+            if obs::enabled() {
+                obs::Event::new("serve_query")
+                    .field("canonical", ci as u64)
+                    .field("arrival", qi as u64)
+                    .field("ok", !out.is_error)
+                    .field("warm", out.warm_used)
+                    .field("structure", format!("{:016x}", queries[qi].structure_key()))
+                    .nd("wall_us", out.wall_us)
+                    .emit();
+            }
             if let Some(state) = out.warm_out {
                 self.warm.insert(queries[qi].structure_key(), state);
             }
             by_query[qi] = Some(out.payload);
+        }
+        if obs::enabled() {
+            obs::Event::new("serve_batch")
+                .field("batch", self.stats.batches)
+                .field("requests", lines.len())
+                .field("queries", queries.len())
+                .field("errors", self.stats.errors - pre_stats.errors)
+                .field("warm_hits", self.stats.warm_hits - pre_stats.warm_hits)
+                .field(
+                    "warm_misses",
+                    self.stats.warm_misses - pre_stats.warm_misses,
+                )
+                .field("warm_slots", self.warm.len())
+                .nd("wall_us", obs::us_since(t_batch))
+                .emit();
         }
 
         // ---- responses in arrival order ----
@@ -273,7 +311,7 @@ impl<'t> Server<'t> {
                             ("pong".into(), Json::Bool(true)),
                         ]),
                     ),
-                    Slot::Stats(id) => (id, stats_payload(pre_stats, pre_slots)),
+                    Slot::Stats(id) => (id, stats_payload(pre_stats, pre_slots, pre_events)),
                     Slot::Query(id, qi) => {
                         (id, by_query[qi].take().expect("every query evaluated"))
                     }
@@ -296,6 +334,7 @@ impl<'t> Server<'t> {
     /// # Errors
     /// Propagates I/O errors from the reader or writer.
     pub fn run<R: BufRead, W: Write>(&mut self, reader: R, mut out: W) -> io::Result<ServeStats> {
+        obs::auto_init();
         let mut batch: Vec<String> = Vec::new();
         let flush = |server: &mut Self, batch: &mut Vec<String>, out: &mut W| -> io::Result<()> {
             if batch.is_empty() {
@@ -358,7 +397,7 @@ fn error_payload(kind: &str, message: &str) -> Json {
     ])
 }
 
-fn stats_payload(stats: ServeStats, warm_slots: usize) -> Json {
+fn stats_payload(stats: ServeStats, warm_slots: usize, events: u64) -> Json {
     Json::Obj(vec![
         ("ok".into(), Json::Bool(true)),
         (
@@ -370,6 +409,13 @@ fn stats_payload(stats: ServeStats, warm_slots: usize) -> Json {
                 ("warm_hits".into(), Json::Num(stats.warm_hits as f64)),
                 ("warm_misses".into(), Json::Num(stats.warm_misses as f64)),
                 ("warm_slots".into(), Json::Num(warm_slots as f64)),
+                (
+                    "trace".into(),
+                    Json::Obj(vec![
+                        ("enabled".into(), Json::Bool(obs::enabled())),
+                        ("events".into(), Json::Num(events as f64)),
+                    ]),
+                ),
             ]),
         ),
     ])
@@ -425,6 +471,7 @@ fn eval_query(
     demand: Option<&(Vec<dctopo_flow::Commodity>, f64, usize)>,
     warm_in: Option<&WarmState>,
 ) -> QueryOut {
+    let t_query = obs::clock();
     let applied = match applied {
         Ok(a) => a,
         Err(e) => {
@@ -434,6 +481,7 @@ fn eval_query(
                 warm_used: false,
                 warm_eligible: false,
                 warm_out: None,
+                wall_us: obs::us_since(t_query),
             }
         }
     };
@@ -465,6 +513,7 @@ fn eval_query(
             warm_used,
             warm_eligible: eligible && warm_requested,
             warm_out: state.is_seeded().then_some(state),
+            wall_us: obs::us_since(t_query),
         },
         Err(e) => QueryOut {
             payload: error_payload(flow_error_kind(&e), &e.to_string()),
@@ -472,6 +521,7 @@ fn eval_query(
             warm_used,
             warm_eligible: eligible && warm_requested,
             warm_out: None,
+            wall_us: obs::us_since(t_query),
         },
     }
 }

@@ -30,6 +30,9 @@
 //!                 [--failures N] [--backend B] [--precise]
 //! topobench serve rrg --switches 16 --ports 8 --degree 4
 //!                 [--traffic T] [--seed S] [--precise] [--backend B] [--no-warm]
+//! topobench profile rrg --switches 40 --ports 15 --degree 10
+//!                 [--traffic T] [--seed S] [--backend B] [--precise]
+//!                 [--phases N] [--max-pairs P]
 //! topobench bounds --switches 40 --degree 10 --flows 200
 //! topobench vl2-study --da 10 --di 12 [--runs N]
 //! ```
@@ -40,6 +43,16 @@
 //! `RAYON_NUM_THREADS`, then the machine's available parallelism. The
 //! pool is sized once, at the first parallel operation, so the flag
 //! applies to the whole process.
+//!
+//! Every subcommand also accepts `--trace PATH`, which enables the
+//! structured telemetry recorder ([`dctopo::obs`]) with a JSONL file
+//! sink for the whole process — solver phase records, sweep cell
+//! records, serve batch/query records, cache key statistics. Without
+//! the flag the `DCTOPO_TRACE` environment variable is consulted
+//! instead; with neither, tracing is off and costs one relaxed atomic
+//! load per instrumentation site. `profile` runs one solve with the
+//! in-memory recorder and prints a per-phase wall/work breakdown
+//! (`--trace` additionally writes the raw events out).
 //!
 //! `build` prints the switch-level topology as a capacitated edge list
 //! (or Graphviz DOT with `--dot`); `solve` builds, generates traffic,
@@ -108,10 +121,13 @@ fn usage() -> ! {
          \x20               [--rto R] [--cwnd C] [--failures N] [--backend B] [--precise]\n  \
          topobench serve <family> [options] [--traffic T] [--seed S]\n  \
          \x20               [--precise] [--backend B] [--no-warm]\n  \
+         topobench profile <family> [options] [--traffic T] [--seed S]\n  \
+         \x20               [--backend B] [--precise] [--phases N] [--eps E]\n  \
          topobench bounds --switches N --degree R --flows F\n  \
          topobench vl2-study --da A --di I [--runs N]\n\n\
          all subcommands: --threads N (worker pool size; overrides\n  \
-         \x20               DCTOPO_THREADS, then RAYON_NUM_THREADS)\n\
+         \x20               DCTOPO_THREADS, then RAYON_NUM_THREADS)\n  \
+         \x20               --trace PATH (JSONL telemetry; or DCTOPO_TRACE env)\n\
          families: rrg (--switches --ports --degree), fat-tree (--k),\n  \
          hypercube (--dim --servers), torus (--rows --cols --servers),\n  \
          complete (--switches --servers), vl2 (--da --di [--tors] [--rewired])\n\
@@ -673,6 +689,11 @@ fn cmd_sweep(args: &Args) {
         }
     }
     eprintln!("# {}/{} cells ok", grid.ok_count(), grid.cells.len());
+    let cache = grid.cache_stats();
+    eprintln!(
+        "# path cache: {} hits / {} misses across all block engines",
+        cache.hits, cache.misses
+    );
     if let Some(path) = args.values.get("json") {
         let records: Vec<SweepCellRecord> = grid.cells.iter().map(Into::into).collect();
         report::write_cells_json(path, &records).unwrap_or_else(|e| {
@@ -1263,15 +1284,225 @@ fn cmd_serve(args: &Args) {
     let stdin = std::io::stdin();
     let stdout = std::io::stdout();
     match server.run(stdin.lock(), stdout.lock()) {
-        Ok(stats) => eprintln!(
-            "# served {} queries in {} batches ({} errors, {} warm hits / {} misses)",
-            stats.queries, stats.batches, stats.errors, stats.warm_hits, stats.warm_misses
-        ),
+        Ok(stats) => {
+            eprintln!(
+                "# served {} queries in {} batches ({} errors, {} warm hits / {} misses)",
+                stats.queries, stats.batches, stats.errors, stats.warm_hits, stats.warm_misses
+            );
+            let cache = server.engine().cache_stats();
+            eprintln!(
+                "# path cache: {} hits / {} misses over {} structure keys",
+                cache.hits,
+                cache.misses,
+                server.engine().path_cache().key_stats().len()
+            );
+            server.engine().emit_cache_trace();
+        }
         Err(e) => {
             eprintln!("serve I/O error: {e}");
             exit(1);
         }
     }
+}
+
+/// A deterministic field of a parsed trace event, as f64 (0.0 when
+/// absent).
+fn ev_f64(ev: &dctopo::obs::Json, key: &str) -> f64 {
+    ev.get(key)
+        .and_then(dctopo::obs::Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+/// A non-deterministic (`nd`) field of a parsed trace event, as f64.
+fn ev_nd_f64(ev: &dctopo::obs::Json, key: &str) -> f64 {
+    ev.get("nd")
+        .and_then(|nd| nd.get(key))
+        .and_then(dctopo::obs::Json::as_f64)
+        .unwrap_or(0.0)
+}
+
+fn cmd_profile(args: &Args) {
+    use dctopo::obs::{self as obs, Json};
+
+    let family = args
+        .positional
+        .first()
+        .map(String::as_str)
+        .unwrap_or_else(|| usage());
+    let seed: u64 = args.get("seed").unwrap_or(1);
+    let traffic = args
+        .values
+        .get("traffic")
+        .cloned()
+        .unwrap_or_else(|| "permutation".into());
+    let mut opts = if args.flag("precise") {
+        FlowOptions::precise()
+    } else {
+        FlowOptions::default()
+    };
+    if let Some(spec) = args.values.get("backend") {
+        let (backend, strict) = parse_backend(spec).unwrap_or_else(|| {
+            eprintln!("unknown backend '{spec}' (want fptas, fptas-strict, exact, or ksp:<k>)");
+            usage();
+        });
+        opts.backend = backend;
+        opts.strict_reference = strict;
+    }
+    if let Some(p) = args.get::<usize>("phases") {
+        if p == 0 {
+            eprintln!("--phases must be positive");
+            usage();
+        }
+        opts.max_phases = p;
+        // a deliberate phase cap is a wall budget, not a convergence
+        // question: don't let the stall heuristic cut the run short
+        opts.stall_phases = opts.stall_phases.max(p);
+    }
+    if let Some(e) = args.get::<f64>("eps") {
+        if !(e > 0.0 && e < 1.0) {
+            eprintln!("--eps must be in (0, 1)");
+            usage();
+        }
+        opts.epsilon = e;
+    }
+    let max_pairs: u128 = args.get("max-pairs").unwrap_or(DEFAULT_MAX_PAIRS);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let topo = build_topology(family, args, &mut rng);
+    let engine = dctopo::core::ThroughputEngine::new(&topo);
+
+    // the profile recorder is always the in-memory sink (replacing a
+    // --trace file sink installed by main: nothing was emitted yet);
+    // --trace makes the drained events land on disk afterwards too
+    obs::enable_memory();
+    // (throughput, network λ, certified upper bound, NIC cap) from
+    // whichever solve path the traffic spec selects
+    let res = if let Some(agg) = parse_aggregate(&traffic, topo.server_count()) {
+        eprintln!(
+            "# profiling {family}: {} switches / {} links / {} servers; \
+             traffic {traffic} ({} flows, aggregated)",
+            topo.switch_count(),
+            topo.graph.edge_count(),
+            topo.server_count(),
+            agg.flow_count()
+        );
+        match engine.solve_aggregate(&agg, &opts) {
+            Ok(r) => (
+                r.throughput,
+                r.network_lambda,
+                r.network_upper_bound,
+                r.nic_limit,
+            ),
+            Err(e) => {
+                eprintln!("profile solve failed: {e}");
+                exit(1);
+            }
+        }
+    } else {
+        let tm = build_traffic(&traffic, &topo, &mut rng, max_pairs);
+        eprintln!(
+            "# profiling {family}: {} switches / {} links / {} servers; \
+             traffic {traffic} ({} flows)",
+            topo.switch_count(),
+            topo.graph.edge_count(),
+            topo.server_count(),
+            tm.flow_count()
+        );
+        match engine.solve(&tm, &opts) {
+            Ok(r) => (
+                r.throughput,
+                r.network_lambda,
+                r.network_upper_bound,
+                r.nic_limit,
+            ),
+            Err(e) => {
+                eprintln!("profile solve failed: {e}");
+                exit(1);
+            }
+        }
+    };
+    engine.emit_cache_trace();
+    let lines = obs::drain_memory();
+    obs::disable();
+    if let Some(path) = args.values.get("trace") {
+        let mut text = lines.join("\n");
+        text.push('\n');
+        if let Err(e) = std::fs::write(path, text) {
+            eprintln!("cannot write trace to {path}: {e}");
+            exit(1);
+        }
+        eprintln!("# wrote {} trace events to {path}", lines.len());
+    }
+
+    println!(
+        "throughput {:.4} (network λ {:.4} ≤ {:.4} certified, NIC cap {:.4})",
+        res.0, res.1, res.2, res.3
+    );
+
+    let events: Vec<Json> = lines.iter().filter_map(|l| Json::parse(l).ok()).collect();
+    // wall/count breakdown keyed by event kind, first-appearance order
+    let mut kinds: Vec<(String, u64, f64)> = Vec::new();
+    for ev in &events {
+        let kind = ev
+            .get("ev")
+            .and_then(Json::as_str)
+            .unwrap_or("?")
+            .to_string();
+        let wall_ms = ev_nd_f64(ev, "wall_us") / 1000.0;
+        match kinds.iter_mut().find(|(k, _, _)| *k == kind) {
+            Some(e) => {
+                e.1 += 1;
+                e.2 += wall_ms;
+            }
+            None => kinds.push((kind, 1, wall_ms)),
+        }
+    }
+    println!("{:<16} {:>8} {:>12}", "event", "count", "wall_ms");
+    for (kind, count, wall_ms) in &kinds {
+        println!("{kind:<16} {count:>8} {wall_ms:>12.1}");
+    }
+
+    // the end-of-solve summary event carries the work profile
+    let summary = events.iter().rev().find(|e| {
+        matches!(
+            e.get("ev").and_then(Json::as_str),
+            Some("fptas_solve" | "grouped_solve")
+        )
+    });
+    if let Some(s) = summary {
+        println!(
+            "solve: {} phases, {} settles, {} groups, λ {:.4} ≤ {:.4}",
+            ev_f64(s, "phases"),
+            ev_f64(s, "settles"),
+            ev_f64(s, "groups"),
+            ev_f64(s, "lambda"),
+            ev_f64(s, "upper_bound")
+        );
+        if s.get("aug_exact").is_some() {
+            println!(
+                "reuse ladder: {} exact + {} drift augmentations, {} repairs, \
+                 {} rescale rebuilds",
+                ev_f64(s, "aug_exact"),
+                ev_f64(s, "aug_drift"),
+                ev_f64(s, "repairs"),
+                ev_f64(s, "rescale_rebuilds")
+            );
+        }
+        if s.get("sssp_runs").is_some() && ev_f64(s, "sssp_runs") > 0.0 {
+            println!(
+                "delta-stepping: {} runs, {} buckets, {} light rounds \
+                 ({} parallel / {} sequential), {} expansions, {} edge scans",
+                ev_f64(s, "sssp_runs"),
+                ev_f64(s, "buckets"),
+                ev_f64(s, "light_rounds"),
+                ev_f64(s, "par_rounds"),
+                ev_f64(s, "seq_rounds"),
+                ev_f64(s, "expansions"),
+                ev_f64(s, "edge_scans")
+            );
+        }
+    }
+    let cache = engine.cache_stats();
+    println!("path cache: {} hits / {} misses", cache.hits, cache.misses);
 }
 
 fn cmd_bounds(args: &Args) {
@@ -1355,6 +1586,16 @@ fn main() {
         }
         std::env::set_var("DCTOPO_THREADS", threads.to_string());
     }
+    // telemetry sink: the flag outranks DCTOPO_TRACE (profile swaps in
+    // its own in-memory sink either way)
+    if let Some(path) = args.values.get("trace") {
+        if let Err(e) = dctopo::obs::enable_file(path) {
+            eprintln!("cannot open trace file {path}: {e}");
+            exit(1);
+        }
+    } else {
+        dctopo::obs::auto_init();
+    }
     match cmd {
         "build" => cmd_build(&args),
         "solve" => cmd_solve(&args),
@@ -1363,8 +1604,10 @@ fn main() {
         "plan" => cmd_plan(&args),
         "packetsim" => cmd_packetsim(&args),
         "serve" => cmd_serve(&args),
+        "profile" => cmd_profile(&args),
         "bounds" => cmd_bounds(&args),
         "vl2-study" => cmd_vl2_study(&args),
         _ => usage(),
     }
+    dctopo::obs::flush();
 }

@@ -13,6 +13,7 @@
 //! * [`traffic`] — permutation / all-to-all / chunky / hotspot traffic matrices
 //! * [`bounds`] — Theorem 1 throughput bound, ASPL lower bound, cut bounds
 //! * [`metrics`] — throughput decomposition `T = C·U / (⟨D⟩·AS)`
+//! * [`obs`] — deterministic telemetry: trace recorder, typed events, JSONL sink
 //! * [`packetsim`] — discrete-event packet simulator with MPTCP-like transport
 //! * [`core`](mod@core) — experiment harness, scenario sweeps, VL2 case study
 //! * [`search`] — multi-fidelity topology search (rewires + line-speed budgets)
@@ -85,6 +86,7 @@ pub use dctopo_flow as flow;
 pub use dctopo_graph as graph;
 pub use dctopo_linprog as linprog;
 pub use dctopo_metrics as metrics;
+pub use dctopo_obs as obs;
 pub use dctopo_packetsim as packetsim;
 pub use dctopo_plan as plan;
 pub use dctopo_search as search;

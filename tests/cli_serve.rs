@@ -91,7 +91,8 @@ fn golden_transcript_matches_in_process_engine_bitwise() {
     assert_eq!(
         lines[3],
         "{\"id\":4,\"ok\":true,\"stats\":{\"batches\":1,\"queries\":2,\"errors\":0,\
-         \"warm_hits\":0,\"warm_misses\":2,\"warm_slots\":2}}"
+         \"warm_hits\":0,\"warm_misses\":2,\"warm_slots\":2,\
+         \"trace\":{\"enabled\":false,\"events\":0}}}"
     );
 
     // differential pin: floats round-trip bitwise through the protocol,

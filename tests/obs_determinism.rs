@@ -1,0 +1,162 @@
+//! The observability layer's acceptance pins.
+//!
+//! The determinism contract under test ([`dctopo::obs`] module docs):
+//!
+//! * **Tracing never steers the solver.** λ, the certified dual bound,
+//!   settle counts, and phase counts are bitwise identical between
+//!   trace-off and trace-on runs, at 1, 2, and 8 rayon threads, over 50
+//!   seeded instances.
+//! * **The deterministic residue replays byte for byte.** After
+//!   [`dctopo::obs::strip_nd`] removes the `"nd"` (wall-clock /
+//!   scheduling) section from every line, two traced runs of the same
+//!   sequentially-driven workload — and traced runs at *different*
+//!   thread counts — produce identical JSONL. (Workloads that
+//!   parallelize *across* solves, like sweep grids, pin output
+//!   determinism instead: their per-solve emissions interleave, which
+//!   is why sweep-level events are emitted post-assembly.)
+//! * **Serve transcripts are tracing-invariant**, and the traced batch
+//!   emits the serve event taxonomy.
+//!
+//! The recorder is process-global, so everything lives in ONE `#[test]`
+//! — the harness's default parallel scheduling must never interleave
+//! two sinks.
+
+use dctopo::obs;
+use dctopo::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::ThreadPoolBuilder;
+
+/// Everything a solve must reproduce bitwise.
+#[derive(Debug, PartialEq, Eq)]
+struct Pin {
+    lambda: u64,
+    upper: u64,
+    settles: u64,
+    phases: usize,
+}
+
+/// 50 seeded instances cycling through five RRG shapes.
+fn instances() -> Vec<(Topology, TrafficMatrix)> {
+    let shapes = [(10, 6, 4), (12, 7, 4), (14, 8, 5), (16, 8, 4), (12, 6, 3)];
+    (0..50u64)
+        .map(|i| {
+            let (n, k, r) = shapes[i as usize % shapes.len()];
+            let mut rng = StdRng::seed_from_u64(100 + i);
+            let topo = Topology::random_regular(n, k, r, &mut rng).expect("rrg");
+            let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+            (topo, tm)
+        })
+        .collect()
+}
+
+/// Solve every instance sequentially (each solve may parallelize
+/// internally — that is exactly what the thread-count pin exercises).
+fn solve_all(insts: &[(Topology, TrafficMatrix)], opts: &FlowOptions) -> Vec<Pin> {
+    insts
+        .iter()
+        .map(|(topo, tm)| {
+            let engine = ThroughputEngine::new(topo);
+            let r = engine.solve(tm, opts).expect("solve");
+            let s = r.solved.as_ref().expect("iterative backend");
+            Pin {
+                lambda: r.network_lambda.to_bits(),
+                upper: r.network_upper_bound.to_bits(),
+                settles: s.settles,
+                phases: s.phases,
+            }
+        })
+        .collect()
+}
+
+fn strip_all(lines: &[String]) -> Vec<String> {
+    lines
+        .iter()
+        .map(|l| obs::strip_nd(l).expect("valid trace JSONL"))
+        .collect()
+}
+
+#[test]
+fn tracing_is_invisible_to_results_and_replays_deterministically() {
+    let insts = instances();
+    let opts = FlowOptions::fast();
+
+    // ---- baseline: trace-off, ambient pool ----
+    assert!(!obs::enabled(), "recorder must start disabled");
+    let baseline = solve_all(&insts, &opts);
+
+    // ---- trace-on at 1/2/8 threads: bitwise pins + residue capture ----
+    let mut residues: Vec<Vec<String>> = Vec::new();
+    for &threads in &[1usize, 2, 8] {
+        obs::enable_memory(); // fresh sink: seq restarts at 0
+        let pinned = ThreadPoolBuilder::new()
+            .num_threads(threads)
+            .build()
+            .unwrap()
+            .install(|| solve_all(&insts, &opts));
+        let lines = obs::drain_memory();
+        obs::disable();
+        assert_eq!(
+            pinned, baseline,
+            "traced solve at {threads} threads diverged from the untraced baseline"
+        );
+        assert!(!lines.is_empty(), "traced run emitted no events");
+        residues.push(strip_all(&lines));
+    }
+    assert_eq!(
+        residues[0], residues[1],
+        "deterministic residue differs between 1 and 2 threads"
+    );
+    assert_eq!(
+        residues[0], residues[2],
+        "deterministic residue differs between 1 and 8 threads"
+    );
+
+    // ---- replay: a second traced run reproduces the residue byte for
+    // byte (and really did strip something: phase events carry wall
+    // clocks) ----
+    obs::enable_memory();
+    let again = ThreadPoolBuilder::new()
+        .num_threads(1)
+        .build()
+        .unwrap()
+        .install(|| solve_all(&insts, &opts));
+    let raw = obs::drain_memory();
+    obs::disable();
+    assert_eq!(again, baseline);
+    assert!(
+        raw.iter().any(|l| l.contains("\"nd\":")),
+        "trace must carry an nd section to strip"
+    );
+    assert_eq!(
+        strip_all(&raw),
+        residues[0],
+        "replay residue diverged from the first traced run"
+    );
+
+    // ---- serve: transcripts are tracing-invariant ----
+    let mut rng = StdRng::seed_from_u64(7);
+    let topo = Topology::random_regular(12, 7, 4, &mut rng).unwrap();
+    let tm = TrafficMatrix::random_permutation(topo.server_count(), &mut rng);
+    let batch: Vec<String> = vec![
+        r#"{"id":1}"#.into(),
+        r#"{"id":2,"degrade":[{"kind":"fail-links","count":2,"seed":3}]}"#.into(),
+        r#"{"id":3,"op":"ping"}"#.into(),
+        r#"{"id":4,"degrade":[{"kind":"scale-capacity","factor":0.5}],"warm":false}"#.into(),
+    ];
+    let mut plain_server = Server::new(&topo, tm.clone(), ServeConfig::default());
+    let plain = plain_server.serve_batch(&batch);
+    obs::enable_memory();
+    let mut traced_server = Server::new(&topo, tm, ServeConfig::default());
+    let traced = traced_server.serve_batch(&batch);
+    let trace = obs::drain_memory();
+    obs::disable();
+    assert_eq!(plain, traced, "tracing changed a serve transcript");
+    assert_eq!(plain_server.stats(), traced_server.stats());
+    for kind in ["\"ev\":\"serve_query\"", "\"ev\":\"serve_batch\""] {
+        assert!(
+            trace.iter().any(|l| l.contains(kind)),
+            "traced batch missing {kind} events"
+        );
+    }
+}
